@@ -1,0 +1,194 @@
+(* Benchmark and reproduction harness.
+
+   Running this executable regenerates, as printed tables, every figure
+   of the paper's evaluation section (Figures 8-14) plus the Theorem 2
+   cross-check and three ablation studies, then times the library's
+   building blocks with Bechamel (one Test.make per figure on top of the
+   micro-benchmarks).
+
+   Usage: main.exe [--quick] [--skip-micro] [--only ID]           *)
+
+module Q = Numeric.Rational
+
+let quick = ref false
+let skip_micro = ref false
+let only : string option ref = ref None
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--skip-micro" :: rest ->
+      skip_micro := true;
+      go rest
+    | "--only" :: id :: rest ->
+      only := Some id;
+      go rest
+    | arg :: _ ->
+      Printf.eprintf "unknown argument %S\n" arg;
+      Printf.eprintf "usage: %s [--quick] [--skip-micro] [--only ID]\n"
+        Sys.executable_name;
+      Printf.eprintf "known ids: %s\n"
+        (String.concat ", " (Experiments.Registry.ids ()));
+      exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate every figure                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_experiments () =
+  let entries =
+    match !only with
+    | Some id -> [ Experiments.Registry.find id ]
+    | None -> Experiments.Registry.all
+  in
+  List.iter
+    (fun e ->
+      let t0 = Unix.gettimeofday () in
+      List.iter Experiments.Report.print
+        (e.Experiments.Registry.run ~quick:!quick);
+      Printf.printf "(%s finished in %.1f s)\n\n%!" e.Experiments.Registry.id
+        (Unix.gettimeofday () -. t0))
+    entries
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_platform workers =
+  let rng = Cluster.Prng.create ~seed:99 in
+  let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
+  Cluster.Gen.platform Cluster.Workload.gdsdmi ~n:120 f
+
+let micro_tests () =
+  let open Bechamel in
+  let big_a = Q.of_string "123456789123456789/9876543211" in
+  let big_b = Q.of_string "987654321987654321/1234567891" in
+  let nat_a = Numeric.Natural.of_string (String.make 120 '7') in
+  let nat_b = Numeric.Natural.of_string (String.make 60 '3') in
+  let huge_a = Numeric.Natural.of_string (String.make 60000 '7') in
+  let huge_b = Numeric.Natural.of_string (String.make 60000 '3') in
+  let p4 = bench_platform 4 in
+  let p8 = bench_platform 8 in
+  let p11 = bench_platform 11 in
+  let sol11 = Dls.Fifo.optimal p11 in
+  let plan = Sim.Star.plan_of_rounded sol11 ~total:1000 in
+  let sched = Dls.Schedule.of_solved sol11 in
+  let ws = Array.init 11 (fun i -> Q.of_ints (i + 1) 7) in
+  [
+    Test.make ~name:"rational add" (Staged.stage (fun () -> Q.add big_a big_b));
+    Test.make ~name:"rational mul" (Staged.stage (fun () -> Q.mul big_a big_b));
+    Test.make ~name:"natural mul 120x60 digits"
+      (Staged.stage (fun () -> Numeric.Natural.mul nat_a nat_b));
+    Test.make ~name:"natural divmod 120/60 digits"
+      (Staged.stage (fun () -> Numeric.Natural.divmod nat_a nat_b));
+    Test.make ~name:"natural mul 60000 digits (karatsuba)"
+      (Staged.stage (fun () -> Numeric.Natural.mul huge_a huge_b));
+    Test.make ~name:"natural mul 60000 digits (schoolbook)"
+      (Staged.stage (fun () -> Numeric.Natural.mul_schoolbook huge_a huge_b));
+    Test.make ~name:"optimal FIFO LP, 4 workers"
+      (Staged.stage (fun () -> Dls.Fifo.optimal p4));
+    Test.make ~name:"optimal FIFO LP, 8 workers"
+      (Staged.stage (fun () -> Dls.Fifo.optimal p8));
+    Test.make ~name:"optimal FIFO LP, 11 workers"
+      (Staged.stage (fun () -> Dls.Fifo.optimal p11));
+    Test.make ~name:"float simplex, same 11-worker LP"
+      (Staged.stage
+         (let lp =
+            Dls.Lp_model.problem Dls.Lp_model.One_port
+              (Dls.Scenario.fifo p11 (Dls.Fifo.order p11))
+          in
+          fun () -> Simplex.Float_solver.solve lp));
+    Test.make ~name:"optimal LIFO LP, 11 workers"
+      (Staged.stage (fun () -> Dls.Lifo.optimal p11));
+    Test.make ~name:"Theorem 2 closed form, 11 workers"
+      (Staged.stage (fun () ->
+           Dls.Closed_form.fifo_throughput ~c:(Q.of_ints 1 5) ~d:(Q.of_ints 1 10) ws));
+    Test.make ~name:"schedule build + validate"
+      (Staged.stage (fun () ->
+           Dls.Schedule.validate (Dls.Schedule.of_solved sol11)));
+    Test.make ~name:"simulate 1000-item campaign"
+      (Staged.stage (fun () -> Sim.Star.execute p11 plan));
+    Test.make ~name:"gantt render"
+      (Staged.stage (fun () -> Sim.Gantt.render_schedule sched));
+    Test.make ~name:"brute force best FIFO, 4 workers"
+      (Staged.stage (fun () -> Dls.Brute.best_fifo p4));
+    Test.make ~name:"B&B search best FIFO, 8 workers"
+      (Staged.stage (fun () -> Dls.Search.best_fifo p8));
+    Test.make ~name:"multi-round LP, 4 workers x 4 rounds"
+      (Staged.stage (fun () ->
+           Dls.Multiround.solve p4
+             (Dls.Multiround.config ~rounds:4 (Dls.Fifo.order p4))));
+  ]
+
+let figure_tests () =
+  let open Bechamel in
+  [
+    Test.make ~name:"fig8 harness" (Staged.stage (fun () -> Experiments.Fig8.run ()));
+    Test.make ~name:"fig9 harness" (Staged.stage (fun () -> Experiments.Fig9.run ()));
+    Test.make ~name:"fig10 harness (quick)"
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig10));
+    Test.make ~name:"fig11 harness (quick)"
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig11));
+    Test.make ~name:"fig12 harness (quick)"
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig12));
+    Test.make ~name:"fig13a harness (quick)"
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig13a));
+    Test.make ~name:"fig13b harness (quick)"
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig13b));
+    Test.make ~name:"fig14 harness"
+      (Staged.stage (fun () -> (Experiments.Fig14.run ~x:1 (), Experiments.Fig14.run ~x:3 ())));
+  ]
+
+let run_bechamel ~name tests ~quota_s =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota_s)
+      ~stabilize:false ~compaction:false ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name tests) in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> Stdlib.compare a b) rows in
+  Printf.printf "== bechamel: %s ==\n" name;
+  Printf.printf "  %-45s %14s %8s\n" "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (k, ols_result) ->
+      let time_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> t
+        | _ -> Float.nan
+      in
+      let pretty =
+        if time_ns >= 1e9 then Printf.sprintf "%8.3f  s" (time_ns /. 1e9)
+        else if time_ns >= 1e6 then Printf.sprintf "%8.3f ms" (time_ns /. 1e6)
+        else if time_ns >= 1e3 then Printf.sprintf "%8.3f us" (time_ns /. 1e3)
+        else Printf.sprintf "%8.1f ns" time_ns
+      in
+      Printf.printf "  %-45s %14s %8s\n" k pretty
+        (match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"))
+    rows;
+  print_newline ()
+
+let () =
+  parse_args ();
+  Printf.printf
+    "One-port FIFO divisible-load scheduling - reproduction harness\n\
+     (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
+    (if !quick then " [quick mode]" else "");
+  run_experiments ();
+  if not !skip_micro then begin
+    run_bechamel ~name:"components" (micro_tests ()) ~quota_s:0.5;
+    run_bechamel ~name:"figures" (figure_tests ()) ~quota_s:1.0
+  end

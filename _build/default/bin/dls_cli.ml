@@ -1,0 +1,704 @@
+(* Command-line interface to the divisible-load scheduling library.
+
+   Subcommands:
+     solve       optimal FIFO/LIFO schedule on a platform (Theorem 1)
+     bus         Theorem 2 closed form on a bus network
+     gantt       render a schedule as an ASCII (or SVG) Gantt chart
+     simulate    execute a campaign on the simulated cluster
+     brute       exhaustive search over message orderings
+     search      branch-and-bound best FIFO order (non-uniform z)
+     multiround  multi-installment schedules, optional latencies
+     tree        divisible loads on tree networks (no-return baseline)
+     affine      optimal FIFO with per-message start-up latencies
+     sensitivity exact throughput sensitivity to each parameter
+     lp-dump     print a scheduling LP in LP-file format
+     experiment  regenerate one of the paper's figures
+     platform    generate a random matrix-product platform            *)
+
+module Q = Numeric.Rational
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Platform specifications                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* "c:w:d,c:w:d,..." with rational components ("1/2", "0.25", "3"). *)
+let parse_spec s =
+  let parse_worker i part =
+    match String.split_on_char ':' (String.trim part) with
+    | [ c; w; d ] ->
+      Dls.Platform.worker
+        ~name:(Printf.sprintf "P%d" (i + 1))
+        ~c:(Q.of_string c) ~w:(Q.of_string w) ~d:(Q.of_string d) ()
+    | _ -> failwith (Printf.sprintf "worker %d: expected c:w:d, got %S" (i + 1) part)
+  in
+  Dls.Platform.make (List.mapi parse_worker (String.split_on_char ',' s))
+
+let platform_conv =
+  let parse s =
+    match parse_spec s with
+    | p -> Ok p
+    | exception (Failure msg | Invalid_argument msg) -> Error (`Msg msg)
+  in
+  let print fmt p = Dls.Platform.pp fmt p in
+  Arg.conv (parse, print)
+
+let platform_arg =
+  let spec =
+    let doc =
+      "Platform specification: comma-separated workers, each $(b,c:w:d) with \
+       rational components, e.g. $(b,1:1:1/2,1:2:1/2)."
+    in
+    Arg.(value & opt (some platform_conv) None & info [ "p"; "platform" ] ~doc)
+  in
+  let file =
+    let doc = "Read the platform from $(docv) (one 'name c w d' line per worker)." in
+    Arg.(value & opt (some string) None & info [ "f"; "platform-file" ] ~docv:"FILE" ~doc)
+  in
+  let combine spec file =
+    match (spec, file) with
+    | Some p, None -> Ok p
+    | None, Some path -> (
+      match Dls.Platform_io.read path with
+      | Ok p -> Ok p
+      | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e)))
+    | Some _, Some _ -> Error (`Msg "give either --platform or --platform-file")
+    | None, None -> Error (`Msg "a platform is required (--platform or --platform-file)")
+  in
+  Term.(term_result (const combine $ spec $ file))
+
+let rational_conv =
+  let parse s =
+    match Q.of_string s with
+    | q -> Ok q
+    | exception _ -> Error (`Msg (Printf.sprintf "not a rational: %S" s))
+  in
+  Arg.conv (parse, fun fmt q -> Q.pp fmt q)
+
+let model_arg =
+  let doc = "Communication model: $(b,one-port) or $(b,two-port)." in
+  Arg.(
+    value
+    & opt (enum [ ("one-port", Dls.Lp_model.One_port); ("two-port", Dls.Lp_model.Two_port) ])
+        Dls.Lp_model.One_port
+    & info [ "model" ] ~doc)
+
+let discipline_arg =
+  let doc = "Message ordering discipline: $(b,fifo) or $(b,lifo)." in
+  Arg.(value & opt (enum [ ("fifo", `Fifo); ("lifo", `Lifo) ]) `Fifo & info [ "discipline" ] ~doc)
+
+let load_arg =
+  let doc = "Total load (number of items); reports the makespan for it." in
+  Arg.(value & opt (some rational_conv) None & info [ "load" ] ~doc)
+
+let print_solution ?load sol =
+  Format.printf "%a@." Dls.Lp_model.pp sol;
+  (match load with
+  | Some load ->
+    Format.printf "makespan for %s items: %s (~%.6g)@." (Q.to_string load)
+      (Q.to_string (Dls.Lp_model.time_for_load sol ~load))
+      (Q.to_float (Dls.Lp_model.time_for_load sol ~load))
+  | None -> ());
+  let sched = Dls.Schedule.of_solved sol in
+  match Dls.Schedule.validate sched with
+  | Ok () -> ()
+  | Error msgs ->
+    Format.printf "WARNING: schedule validation failed:@.";
+    List.iter (Format.printf "  %s@.") msgs
+
+(* ------------------------------------------------------------------ *)
+(* solve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let solve_cmd =
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Also report which LP constraints bind (deadlines vs port).")
+  in
+  let run platform discipline model load explain =
+    let sol =
+      match discipline with
+      | `Fifo -> Dls.Fifo.optimal ~model platform
+      | `Lifo -> Dls.Lifo.optimal ~model platform
+    in
+    print_solution ?load sol;
+    if explain then begin
+      Format.printf "constraints:@.";
+      List.iter
+        (fun st ->
+          Format.printf "  %-16s %s  slack = %s (~%.4g)@."
+            st.Dls.Lp_model.label
+            (if st.Dls.Lp_model.binding then "BINDING " else "slack   ")
+            (Q.to_string st.Dls.Lp_model.slack)
+            (Q.to_float st.Dls.Lp_model.slack))
+        (Dls.Lp_model.constraint_report sol)
+    end
+  in
+  let doc = "compute the optimal FIFO or LIFO schedule (Theorem 1)" in
+  Cmd.v
+    (Cmd.info "solve" ~doc)
+    Term.(
+      const run $ platform_arg $ discipline_arg $ model_arg $ load_arg
+      $ explain_arg)
+
+(* ------------------------------------------------------------------ *)
+(* bus                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bus_cmd =
+  let c_arg =
+    Arg.(required & opt (some rational_conv) None & info [ "c" ] ~doc:"Link cost c.")
+  in
+  let d_arg =
+    Arg.(required & opt (some rational_conv) None & info [ "d" ] ~doc:"Return cost d.")
+  in
+  let w_arg =
+    let doc = "Comma-separated worker compute costs." in
+    Arg.(required & opt (some string) None & info [ "w" ] ~doc)
+  in
+  let run c d w_spec =
+    let ws =
+      Array.of_list (List.map Q.of_string (String.split_on_char ',' w_spec))
+    in
+    let rho = Dls.Closed_form.fifo_throughput ~c ~d ws in
+    let rho2 = Dls.Closed_form.two_port_throughput ~c ~d ws in
+    Format.printf "one-port FIFO throughput (Theorem 2): %s (~%.6g)@."
+      (Q.to_string rho) (Q.to_float rho);
+    Format.printf "two-port bound rho~: %s (~%.6g)@." (Q.to_string rho2)
+      (Q.to_float rho2);
+    Format.printf "port saturation bound 1/(c+d): %s (~%.6g)@."
+      (Q.to_string (Q.inv (Q.add c d)))
+      (Q.to_float (Q.inv (Q.add c d)));
+    let p = Dls.Platform.bus ~c ~d (Array.to_list ws) in
+    let lp = Dls.Fifo.optimal p in
+    Format.printf "LP cross-check: %s (%s)@."
+      (Q.to_string lp.Dls.Lp_model.rho)
+      (if Q.equal lp.Dls.Lp_model.rho rho then "exact match" else "MISMATCH")
+  in
+  let doc = "closed-form optimal FIFO throughput on a bus (Theorem 2)" in
+  Cmd.v (Cmd.info "bus" ~doc) Term.(const run $ c_arg $ d_arg $ w_arg)
+
+(* ------------------------------------------------------------------ *)
+(* gantt                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let gantt_cmd =
+  let width_arg =
+    Arg.(value & opt int 72 & info [ "width" ] ~doc:"Chart width in columns.")
+  in
+  let svg_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE" ~doc:"Additionally write an SVG chart to $(docv).")
+  in
+  let run platform discipline model width svg =
+    let sol =
+      match discipline with
+      | `Fifo -> Dls.Fifo.optimal ~model platform
+      | `Lifo -> Dls.Lifo.optimal ~model platform
+    in
+    let sched = Dls.Schedule.of_solved sol in
+    print_string (Sim.Gantt.render_schedule ~width sched);
+    match svg with
+    | None -> ()
+    | Some file ->
+      let oc = open_out file in
+      output_string oc (Sim.Gantt.render_schedule_svg sched);
+      close_out oc;
+      Format.printf "SVG written to %s@." file
+  in
+  let doc = "render the optimal schedule as an ASCII Gantt chart" in
+  Cmd.v
+    (Cmd.info "gantt" ~doc)
+    Term.(
+      const run $ platform_arg $ discipline_arg $ model_arg $ width_arg $ svg_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let items_arg =
+    Arg.(value & opt int 1000 & info [ "items" ] ~doc:"Campaign size (items).")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Noise seed.") in
+  let noisy_arg =
+    Arg.(value & flag & info [ "noisy" ] ~doc:"Apply the calibrated noise model.")
+  in
+  let run platform discipline model items seed noisy =
+    let sol =
+      match discipline with
+      | `Fifo -> Dls.Fifo.optimal ~model platform
+      | `Lifo -> Dls.Lifo.optimal ~model platform
+    in
+    let plan = Sim.Star.plan_of_rounded sol ~total:items in
+    let noise =
+      if noisy then
+        Cluster.Noise.make (Cluster.Prng.create ~seed) ~n:100
+      else Sim.Star.no_noise
+    in
+    let trace = Sim.Star.execute ~noise platform plan in
+    let lp_time =
+      Q.to_float (Dls.Lp_model.time_for_load sol ~load:(Q.of_int items))
+    in
+    Format.printf "LP-predicted makespan: %.6g@." lp_time;
+    Format.printf "simulated makespan:    %.6g (%.2f%% above LP)@."
+      trace.Sim.Trace.makespan
+      (100.0 *. ((trace.Sim.Trace.makespan /. lp_time) -. 1.0));
+    Format.printf "trace valid: %b@." (Sim.Trace.is_valid trace);
+    print_string
+      (Sim.Gantt.render
+         ~names:(fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
+         trace)
+  in
+  let doc = "simulate a campaign on the platform (one-port master protocol)" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(
+      const run $ platform_arg $ discipline_arg $ model_arg $ items_arg
+      $ seed_arg $ noisy_arg)
+
+(* ------------------------------------------------------------------ *)
+(* brute                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let brute_cmd =
+  let general_arg =
+    Arg.(
+      value & flag
+      & info [ "general" ]
+          ~doc:"Search all (sigma1, sigma2) pairs, not only FIFO and LIFO.")
+  in
+  let run platform model general =
+    let n = Dls.Platform.size platform in
+    if n > 6 then
+      Format.printf "warning: %d! permutations, this may take a while@." n;
+    let fifo = Dls.Brute.best_fifo ~model platform in
+    let lifo = Dls.Brute.best_lifo ~model platform in
+    Format.printf "best FIFO: rho = %s (~%.6g)@."
+      (Q.to_string fifo.Dls.Lp_model.rho)
+      (Q.to_float fifo.Dls.Lp_model.rho);
+    Format.printf "best LIFO: rho = %s (~%.6g)@."
+      (Q.to_string lifo.Dls.Lp_model.rho)
+      (Q.to_float lifo.Dls.Lp_model.rho);
+    if general then begin
+      let best = Dls.Brute.best_general ~model platform in
+      Format.printf "best (sigma1, sigma2): rho = %s (~%.6g)@."
+        (Q.to_string best.Dls.Lp_model.rho)
+        (Q.to_float best.Dls.Lp_model.rho);
+      Format.printf "%a@." Dls.Lp_model.pp best
+    end
+  in
+  let doc = "exhaustive search over message orderings (small platforms)" in
+  Cmd.v
+    (Cmd.info "brute" ~doc)
+    Term.(const run $ platform_arg $ model_arg $ general_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc =
+      Printf.sprintf "Experiment id; one of: %s, or $(b,all)."
+        (String.concat ", " (Experiments.Registry.ids ()))
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Shrink sweeps for a fast run.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of tables.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write each table as $(docv)/<id>.csv.")
+  in
+  let run id quick csv json out =
+    let entries =
+      if id = "all" then Experiments.Registry.all
+      else
+        match Experiments.Registry.find id with
+        | e -> [ e ]
+        | exception Not_found ->
+          Printf.eprintf "unknown experiment %S; known: %s\n" id
+            (String.concat ", " (Experiments.Registry.ids ()));
+          exit 2
+    in
+    (match out with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
+    List.iter
+      (fun e ->
+        List.iter
+          (fun report ->
+            if json then print_endline (Experiments.Report.to_json report)
+            else if csv then print_string (Experiments.Report.to_csv report)
+            else Experiments.Report.print report;
+            match out with
+            | None -> ()
+            | Some dir ->
+              let path =
+                Filename.concat dir (report.Experiments.Report.id ^ ".csv")
+              in
+              let oc = open_out path in
+              output_string oc (Experiments.Report.to_csv report);
+              close_out oc)
+          (e.Experiments.Registry.run ~quick))
+      entries
+  in
+  let doc = "regenerate one of the paper's figures (or 'all')" in
+  Cmd.v
+    (Cmd.info "experiment" ~doc)
+    Term.(const run $ id_arg $ quick_arg $ csv_arg $ json_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+(* platform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let platform_cmd =
+  let scenario_arg =
+    let doc = "Heterogeneity family: $(b,hom), $(b,homcomm) or $(b,het)." in
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("hom", Cluster.Gen.Homogeneous);
+               ("homcomm", Cluster.Gen.Hom_comm_het_comp);
+               ("het", Cluster.Gen.Heterogeneous);
+             ])
+          Cluster.Gen.Heterogeneous
+      & info [ "scenario" ] ~doc)
+  in
+  let workers_arg =
+    Arg.(value & opt int 11 & info [ "workers" ] ~doc:"Number of workers.")
+  in
+  let n_arg = Arg.(value & opt int 100 & info [ "n" ] ~doc:"Matrix size.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.") in
+  let run scenario workers n seed =
+    let rng = Cluster.Prng.create ~seed in
+    let f = Cluster.Gen.factors rng scenario ~workers in
+    let p = Cluster.Gen.platform Cluster.Workload.gdsdmi ~n f in
+    Format.printf "%a@." Dls.Platform.pp p;
+    (* Also print the spec string, ready to feed back into `solve -p`. *)
+    let spec =
+      String.concat ","
+        (List.init workers (fun i ->
+             let wk = Dls.Platform.get p i in
+             Printf.sprintf "%s:%s:%s"
+               (Q.to_string wk.Dls.Platform.c)
+               (Q.to_string wk.Dls.Platform.w)
+               (Q.to_string wk.Dls.Platform.d)))
+    in
+    Format.printf "spec: %s@." spec
+  in
+  let doc = "generate a random matrix-product platform" in
+  Cmd.v
+    (Cmd.info "platform" ~doc)
+    Term.(const run $ scenario_arg $ workers_arg $ n_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* search                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let search_cmd =
+  let run platform discipline model =
+    let sol, stats =
+      match discipline with
+      | `Fifo -> Dls.Search.best_fifo ~model platform
+      | `Lifo -> Dls.Search.best_lifo ~model platform
+    in
+    Format.printf "%a@." Dls.Lp_model.pp sol;
+    Format.printf "search: %d nodes, %d pruned subtrees, %d exact LPs solved@."
+      stats.Dls.Search.nodes stats.Dls.Search.pruned stats.Dls.Search.lps;
+    let heuristic =
+      match discipline with
+      | `Fifo -> Dls.Fifo.optimal ~model platform
+      | `Lifo -> Dls.Lifo.optimal ~model platform
+    in
+    if Q.equal heuristic.Dls.Lp_model.rho sol.Dls.Lp_model.rho then
+      Format.printf
+        "the ascending-c heuristic order is certified optimal for this platform@."
+    else
+      Format.printf
+        "the ascending-c heuristic is NOT optimal here (heuristic %s < optimum %s)@."
+        (Q.to_string heuristic.Dls.Lp_model.rho)
+        (Q.to_string sol.Dls.Lp_model.rho)
+  in
+  let doc =
+    "branch-and-bound: exact best FIFO or LIFO order (works outside Theorem \
+     1's uniform-ratio hypothesis)"
+  in
+  Cmd.v
+    (Cmd.info "search" ~doc)
+    Term.(const run $ platform_arg $ discipline_arg $ model_arg)
+
+(* ------------------------------------------------------------------ *)
+(* multiround                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let multiround_cmd =
+  let rounds_arg =
+    Arg.(value & opt int 1 & info [ "rounds" ] ~doc:"Number of rounds.")
+  in
+  let max_rounds_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sweep" ] ~docv:"R"
+          ~doc:"Sweep round counts 1..$(docv) and print the throughputs.")
+  in
+  let latency_arg =
+    Arg.(
+      value
+      & opt rational_conv Q.zero
+      & info [ "latency" ] ~doc:"Per-message start-up latency (affine model).")
+  in
+  let run platform rounds max_rounds latency =
+    let order = Dls.Fifo.order platform in
+    match max_rounds with
+    | Some max_rounds ->
+      let sweep =
+        Dls.Multiround.sweep_rounds platform ~send_latency:latency
+          ~return_latency:latency ~order ~max_rounds ()
+      in
+      Format.printf "rounds  throughput@.";
+      List.iter
+        (fun (r, rho) -> Format.printf "%6d  %s (~%.6g)@." r (Q.to_string rho) (Q.to_float rho))
+        sweep
+    | None -> (
+      let cfg =
+        Dls.Multiround.config ~send_latency:latency ~return_latency:latency
+          ~rounds order
+      in
+      match Dls.Multiround.solve platform cfg with
+      | Dls.Multiround.Too_slow ->
+        Format.printf "infeasible: the latencies alone exceed the deadline@."
+      | Dls.Multiround.Solved s ->
+        Format.printf "throughput with %d round(s): %s (~%.6g)@." rounds
+          (Q.to_string s.Dls.Multiround.rho)
+          (Q.to_float s.Dls.Multiround.rho);
+        Array.iteri
+          (fun r per_round ->
+            Format.printf "  round %d chunks: %s@." (r + 1)
+              (String.concat " "
+                 (Array.to_list (Array.map Q.to_string per_round))))
+          s.Dls.Multiround.chunks)
+  in
+  let doc = "multi-round (multi-installment) schedules" in
+  Cmd.v
+    (Cmd.info "multiround" ~doc)
+    Term.(const run $ platform_arg $ rounds_arg $ max_rounds_arg $ latency_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tree                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let tree_cmd =
+  let spec_arg =
+    let doc =
+      "Tree specification, e.g. $(b,\"(node (1 (leaf 2)) (2 (node 1 (1 (leaf 1)))))\")."
+    in
+    Arg.(value & opt (some string) None & info [ "t"; "tree" ] ~doc)
+  in
+  let file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tree-file" ] ~docv:"FILE" ~doc:"Read the tree from $(docv).")
+  in
+  let run spec file =
+    let text =
+      match (spec, file) with
+      | Some s, None -> s
+      | None, Some path ->
+        let ic = open_in path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      | _ ->
+        prerr_endline "give exactly one of --tree or --tree-file";
+        exit 2
+    in
+    match Dls.Tree_syntax.of_string text with
+    | Error e ->
+      prerr_endline ("parse error: " ^ e);
+      exit 2
+    | Ok tree ->
+      Format.printf "%a@." Dls.Tree.pp tree;
+      let rho = Dls.Tree.throughput tree in
+      Format.printf "throughput: %s (~%.6g)@." (Q.to_string rho) (Q.to_float rho);
+      (match Dls.Tree.validate tree with
+      | Ok () -> Format.printf "schedule validates@."
+      | Error msgs -> List.iter (Format.printf "INVALID: %s@.") msgs);
+      List.iter
+        (fun a ->
+          if Q.sign a.Dls.Tree.load > 0 then
+            Format.printf "  %-8s computes %-12s (recv [%s, %s])@."
+              a.Dls.Tree.node_name
+              (Q.to_string a.Dls.Tree.load)
+              (Q.to_string a.Dls.Tree.receive_start)
+              (Q.to_string a.Dls.Tree.receive_finish))
+        (Dls.Tree.schedule tree)
+  in
+  let doc = "divisible loads on tree networks (no-return baseline)" in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const run $ spec_arg $ file_arg)
+
+(* ------------------------------------------------------------------ *)
+(* affine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let affine_cmd =
+  let latency_arg =
+    Arg.(
+      value
+      & opt rational_conv Q.zero
+      & info [ "latency" ] ~doc:"Start-up latency of every message.")
+  in
+  let return_latency_arg =
+    Arg.(
+      value
+      & opt (some rational_conv) None
+      & info [ "return-latency" ]
+          ~doc:"Start-up latency of return messages (defaults to --latency).")
+  in
+  let run platform latency return_latency =
+    if Dls.Platform.size platform > 5 then
+      Format.printf
+        "warning: exhaustive subset+order search, %d workers may take a while@."
+        (Dls.Platform.size platform);
+    let a =
+      Dls.Affine.of_platform ~send_latency:latency
+        ~return_latency:(Option.value return_latency ~default:latency)
+        platform
+    in
+    match Dls.Affine.best_fifo a with
+    | Dls.Affine.Too_slow ->
+      Format.printf "infeasible: latencies alone exceed the deadline@."
+    | Dls.Affine.Solved s ->
+      Format.printf "best FIFO throughput: %s (~%.6g)@."
+        (Q.to_string s.Dls.Affine.rho)
+        (Q.to_float s.Dls.Affine.rho);
+      Format.printf "enrolled (%d of %d): %s@."
+        (Array.length s.Dls.Affine.sigma1)
+        (Dls.Platform.size platform)
+        (String.concat " "
+           (Array.to_list
+              (Array.map
+                 (fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
+                 s.Dls.Affine.sigma1)));
+      Array.iteri
+        (fun i alpha ->
+          if Q.sign alpha > 0 then
+            Format.printf "  %-6s alpha = %s@."
+              (Dls.Platform.get platform i).Dls.Platform.name
+              (Q.to_string alpha))
+        s.Dls.Affine.alpha
+  in
+  let doc = "optimal FIFO under the affine cost model (start-up latencies)" in
+  Cmd.v
+    (Cmd.info "affine" ~doc)
+    Term.(const run $ platform_arg $ latency_arg $ return_latency_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sensitivity_cmd =
+  let factor_arg =
+    Arg.(
+      value
+      & opt rational_conv (Q.of_ints 11 10)
+      & info [ "factor" ] ~doc:"Scaling applied to each parameter (default 11/10).")
+  in
+  let run platform model factor =
+    let rho = (Dls.Fifo.optimal ~model platform).Dls.Lp_model.rho in
+    Format.printf "optimal FIFO throughput: %s (~%.6g)@." (Q.to_string rho)
+      (Q.to_float rho);
+    Format.printf "relative throughput change when scaling by %s:@."
+      (Q.to_string factor);
+    List.iter
+      (fun (param, rel) ->
+        Format.printf "  %-12s %+.4f%%@."
+          (Dls.Sensitivity.parameter_to_string platform param)
+          (100.0 *. Q.to_float rel))
+      (Dls.Sensitivity.table ~model platform ~factor)
+  in
+  let doc = "exact sensitivity of the throughput to each platform parameter" in
+  Cmd.v
+    (Cmd.info "sensitivity" ~doc)
+    Term.(const run $ platform_arg $ model_arg $ factor_arg)
+
+(* ------------------------------------------------------------------ *)
+(* lp-dump                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let lp_dump_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let run platform discipline model out =
+    let order =
+      match discipline with
+      | `Fifo -> Dls.Fifo.order platform
+      | `Lifo -> Dls.Lifo.order platform
+    in
+    let scenario =
+      match discipline with
+      | `Fifo -> Dls.Scenario.fifo platform order
+      | `Lifo -> Dls.Scenario.lifo platform order
+    in
+    let text = Simplex.Lp_file.to_string (Dls.Lp_model.problem model scenario) in
+    match out with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Format.printf "LP written to %s@." path
+  in
+  let doc = "dump the scheduling linear program in LP-file format" in
+  Cmd.v
+    (Cmd.info "lp-dump" ~doc)
+    Term.(const run $ platform_arg $ discipline_arg $ model_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc =
+    "divisible-load scheduling with return messages under the one-port model"
+  in
+  let info = Cmd.info "dls" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            solve_cmd;
+            bus_cmd;
+            gantt_cmd;
+            simulate_cmd;
+            brute_cmd;
+            search_cmd;
+            multiround_cmd;
+            tree_cmd;
+            affine_cmd;
+            sensitivity_cmd;
+            lp_dump_cmd;
+            experiment_cmd;
+            platform_cmd;
+          ]))

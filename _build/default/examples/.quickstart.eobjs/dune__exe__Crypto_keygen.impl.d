@@ -1,0 +1,1 @@
+examples/crypto_keygen.ml: Array Dls Format List Numeric Sim String

@@ -1,0 +1,1 @@
+examples/hierarchical_grid.ml: Dls Format List Numeric

@@ -1,0 +1,1 @@
+examples/matrix_campaign.ml: Array Cluster Dls Experiments Format List Numeric String

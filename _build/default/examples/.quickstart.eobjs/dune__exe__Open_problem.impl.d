@@ -1,0 +1,1 @@
+examples/open_problem.ml: Array Cluster Dls Format List Numeric Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dls Format List Numeric Sim

@@ -1,0 +1,1 @@
+examples/resource_selection.ml: Array Cluster Dls Format List Numeric

@@ -1,0 +1,1 @@
+lib/cluster/gen.ml: Array Prng Workload

@@ -1,0 +1,1 @@
+lib/cluster/gen.mli: Dls Prng Workload

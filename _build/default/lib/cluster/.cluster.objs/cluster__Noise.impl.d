@@ -1,0 +1,1 @@
+lib/cluster/noise.ml: Prng Sim

@@ -1,0 +1,1 @@
+lib/cluster/noise.mli: Prng Sim

@@ -1,0 +1,1 @@
+lib/cluster/prng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/cluster/workload.ml: Array Dls List Numeric

@@ -1,0 +1,1 @@
+lib/cluster/workload.mli: Dls Numeric

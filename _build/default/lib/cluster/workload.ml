@@ -1,0 +1,30 @@
+module Q = Numeric.Rational
+
+type machine = { flops_per_sec : int; bytes_per_sec : int }
+
+(* Calibrated against the paper's Figure 14: a baseline node multiplies
+   400x400 matrices at naive-loop speed (~750 MFLOPS on a P4) over a
+   gigabit link.  With these rates the one-worker campaign of Fig. 14
+   takes ~22 s and resource selection flips exactly as in the paper
+   (worker 4 dropped at x=1, marginally enrolled at x=3). *)
+let gdsdmi = { flops_per_sec = 750_000_000; bytes_per_sec = 125_000_000 }
+let input_bytes ~n = 16 * n * n
+let output_bytes ~n = 8 * n * n
+let flops ~n = 2 * n * n * n
+
+let costs machine ~n ~comm_factor ~comp_factor =
+  if n <= 0 then invalid_arg "Workload.costs: matrix size must be positive";
+  if comm_factor <= 0 || comp_factor <= 0 then
+    invalid_arg "Workload.costs: speed factors must be positive";
+  let c = Q.of_ints (input_bytes ~n) (machine.bytes_per_sec * comm_factor) in
+  let d = Q.of_ints (output_bytes ~n) (machine.bytes_per_sec * comm_factor) in
+  let w = Q.of_ints (flops ~n) (machine.flops_per_sec * comp_factor) in
+  (c, w, d)
+
+let platform machine ~n ~comm ~comp =
+  if Array.length comm <> Array.length comp then
+    invalid_arg "Workload.platform: factor arrays differ in length";
+  Dls.Platform.make
+    (List.init (Array.length comm) (fun i ->
+         let c, w, d = costs machine ~n ~comm_factor:comm.(i) ~comp_factor:comp.(i) in
+         Dls.Platform.worker ~c ~w ~d ()))

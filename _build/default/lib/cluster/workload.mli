@@ -1,0 +1,45 @@
+(** The paper's target application: a campaign of [M] independent
+    matrix products on a master/worker cluster.
+
+    Multiplying two [n x n] matrices of doubles moves [2 * 8n²] bytes to
+    the worker, [8n²] bytes back (hence the paper's return ratio
+    [z = 1/2]) and costs [2n³] floating-point operations.  The paper ran
+    on the {e gdsdmi} cluster (P4 2.4 GHz nodes, switched Ethernet) and
+    {e simulated} heterogeneity with integer speed-up factors 1-10: a
+    factor-[f] link/processor is [f] times faster than the baseline.
+
+    We do the same on a simulated cluster.  The baseline rates below
+    were calibrated so that campaign makespans land in the same
+    seconds-range as the paper's Figure 14 and so that the
+    communication/computation balance crosses over inside the paper's
+    matrix-size sweep (40-200), which is what makes the heuristics'
+    ranking visible. *)
+
+module Q = Numeric.Rational
+
+type machine = {
+  flops_per_sec : int;  (** baseline effective DGEMM rate *)
+  bytes_per_sec : int;  (** baseline link throughput *)
+}
+
+(** The calibrated baseline node of the simulated gdsdmi cluster. *)
+val gdsdmi : machine
+
+(** [input_bytes ~n] = [16 n²]: the two operand matrices. *)
+val input_bytes : n:int -> int
+
+(** [output_bytes ~n] = [8 n²]: the product matrix. *)
+val output_bytes : n:int -> int
+
+(** [flops ~n] = [2 n³]. *)
+val flops : n:int -> int
+
+(** [costs machine ~n ~comm_factor ~comp_factor] is the exact per-matrix
+    [(c, w, d)] in seconds for a worker whose link (resp. CPU) is
+    [comm_factor] (resp. [comp_factor]) times faster than baseline. *)
+val costs : machine -> n:int -> comm_factor:int -> comp_factor:int -> Q.t * Q.t * Q.t
+
+(** [platform machine ~n ~comm ~comp] builds the star platform for one
+    worker per entry of the factor arrays.
+    @raise Invalid_argument on length mismatch. *)
+val platform : machine -> n:int -> comm:int array -> comp:int array -> Dls.Platform.t

@@ -1,0 +1,1 @@
+lib/core/affine.ml: Array Brute List Lp_model Numeric Platform Printf Scenario Simplex String

@@ -1,0 +1,1 @@
+lib/core/fifo.ml: Array List Lp_model Numeric Platform Scenario Schedule

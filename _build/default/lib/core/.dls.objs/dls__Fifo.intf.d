@@ -1,0 +1,1 @@
+lib/core/fifo.mli: Lp_model Numeric Platform Schedule

@@ -1,0 +1,1 @@
+lib/core/heuristics.ml: Fifo Lifo Platform

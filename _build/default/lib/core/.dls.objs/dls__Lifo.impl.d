@@ -1,0 +1,1 @@
+lib/core/lifo.ml: Fifo Lp_model Scenario

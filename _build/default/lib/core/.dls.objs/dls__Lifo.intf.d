@@ -1,0 +1,1 @@
+lib/core/lifo.mli: Lp_model Platform

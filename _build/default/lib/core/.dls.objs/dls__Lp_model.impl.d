@@ -1,0 +1,1 @@
+lib/core/lp_model.ml: Array Format List Numeric Platform Printf Scenario Simplex String

@@ -1,0 +1,1 @@
+lib/core/lp_model.mli: Format Numeric Scenario Simplex

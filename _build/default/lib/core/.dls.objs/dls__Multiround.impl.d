@@ -1,0 +1,1 @@
+lib/core/multiround.ml: Array List Numeric Platform Scenario Simplex String

@@ -1,0 +1,1 @@
+lib/core/multiround.mli: Numeric Platform

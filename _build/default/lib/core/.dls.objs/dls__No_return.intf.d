@@ -1,0 +1,1 @@
+lib/core/no_return.mli: Numeric Platform

@@ -1,0 +1,1 @@
+lib/core/platform.ml: Array Format Fun List Numeric Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/core/platform_io.ml: Buffer List Numeric Platform Printf String

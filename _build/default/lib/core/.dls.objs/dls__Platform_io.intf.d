@@ -1,0 +1,1 @@
+lib/core/platform_io.mli: Platform

@@ -1,0 +1,1 @@
+lib/core/rounding.ml: Array List Lp_model Numeric Scenario

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Format Fun Platform Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Hashtbl List Lp_model Numeric Platform Printf Scenario

@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Fifo Float List Lp_model Numeric Platform Scenario Simplex

@@ -1,0 +1,1 @@
+lib/core/search.mli: Lp_model Numeric Platform

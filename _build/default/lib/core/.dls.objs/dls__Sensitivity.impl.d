@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Fifo Fun List Lp_model Numeric Platform Printf

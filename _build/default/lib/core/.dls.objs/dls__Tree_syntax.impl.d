@@ -1,0 +1,1 @@
+lib/core/tree_syntax.ml: List Numeric Printf String Tree

@@ -1,0 +1,153 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type worker = {
+  base : Platform.worker;
+  send_latency : Q.t;
+  return_latency : Q.t;
+}
+
+type t = { workers : worker array }
+
+let worker ?(send_latency = Q.zero) ?(return_latency = Q.zero) base =
+  if Q.sign send_latency < 0 || Q.sign return_latency < 0 then
+    invalid_arg "Affine.worker: negative latency";
+  { base; send_latency; return_latency }
+
+let make workers =
+  if workers = [] then invalid_arg "Affine.make: no workers";
+  { workers = Array.of_list workers }
+
+let of_platform ?send_latency ?return_latency p =
+  make
+    (List.init (Platform.size p) (fun i ->
+         worker ?send_latency ?return_latency (Platform.get p i)))
+
+let size t = Array.length t.workers
+let get t i = t.workers.(i)
+
+let linear_platform t =
+  Platform.make (Array.to_list (Array.map (fun wk -> wk.base) t.workers))
+
+type solved = {
+  affine : t;
+  sigma1 : int array;
+  sigma2 : int array;
+  model : Lp_model.model;
+  rho : Q.t;
+  alpha : Q.t array;
+}
+
+type outcome = Solved of solved | Too_slow
+
+(* Same structure as the linear scenario LP (Lp_model.problem), with the
+   per-message latencies accumulated as constants and moved to the
+   right-hand sides. *)
+let problem model t ~sigma1 ~sigma2 =
+  (* Reuse Scenario's validation of the order pair. *)
+  let scenario = Scenario.make (linear_platform t) ~sigma1 ~sigma2 in
+  let q = Array.length sigma1 in
+  let wk k = t.workers.(sigma1.(k)) in
+  let return_pos =
+    Array.init q (fun k -> Scenario.return_position scenario sigma1.(k))
+  in
+  let nvars = 2 * q in
+  let names =
+    Array.init nvars (fun v ->
+        if v < q then Printf.sprintf "alpha_%s" (wk v).base.Platform.name
+        else Printf.sprintf "x_%s" (wk (v - q)).base.Platform.name)
+  in
+  let objective = Array.init nvars (fun v -> if v < q then Q.one else Q.zero) in
+  let deadline k =
+    let coeffs = Array.make nvars Q.zero in
+    let latency = ref Q.zero in
+    for j = 0 to q - 1 do
+      let contrib = ref Q.zero in
+      if j <= k then begin
+        contrib := !contrib +/ (wk j).base.Platform.c;
+        latency := !latency +/ (wk j).send_latency
+      end;
+      if return_pos.(j) >= return_pos.(k) then begin
+        contrib := !contrib +/ (wk j).base.Platform.d;
+        latency := !latency +/ (wk j).return_latency
+      end;
+      if j = k then contrib := !contrib +/ (wk j).base.Platform.w;
+      coeffs.(j) <- !contrib
+    done;
+    coeffs.(q + k) <- Q.one;
+    Simplex.Problem.constr coeffs Simplex.Problem.Le (Q.one -/ !latency)
+  in
+  let constraints = List.init q deadline in
+  let constraints =
+    match model with
+    | Lp_model.Two_port -> constraints
+    | Lp_model.One_port ->
+      let coeffs = Array.make nvars Q.zero in
+      let latency = ref Q.zero in
+      for j = 0 to q - 1 do
+        coeffs.(j) <- (wk j).base.Platform.c +/ (wk j).base.Platform.d;
+        latency := !latency +/ (wk j).send_latency +/ (wk j).return_latency
+      done;
+      constraints
+      @ [ Simplex.Problem.constr coeffs Simplex.Problem.Le (Q.one -/ !latency) ]
+  in
+  Simplex.Problem.make ~names Simplex.Problem.Maximize objective constraints
+
+let solve ?(model = Lp_model.One_port) t ~sigma1 ~sigma2 =
+  let p = problem model t ~sigma1 ~sigma2 in
+  match Simplex.Solver.solve p with
+  | Simplex.Solver.Infeasible -> Too_slow
+  | Simplex.Solver.Unbounded -> failwith "Affine.solve: unbounded (invalid platform?)"
+  | Simplex.Solver.Optimal sol ->
+    (match Simplex.Certify.check p sol with
+    | Ok () -> ()
+    | Error msgs ->
+      failwith ("Affine.solve: certification failed: " ^ String.concat "; " msgs));
+    let alpha = Array.make (size t) Q.zero in
+    Array.iteri (fun k i -> alpha.(i) <- sol.Simplex.Solver.point.(k)) sigma1;
+    Solved
+      { affine = t; sigma1; sigma2; model; rho = sol.Simplex.Solver.value; alpha }
+
+(* Non-empty subsets of 0..n-1. *)
+let subsets n =
+  let rec go i =
+    if i = n then [ [] ]
+    else begin
+      let rest = go (i + 1) in
+      List.map (fun s -> i :: s) rest @ rest
+    end
+  in
+  List.filter (fun s -> s <> []) (go 0)
+
+let orderings_of subset =
+  let arr = Array.of_list subset in
+  List.map
+    (fun perm -> Array.map (fun i -> arr.(i)) perm)
+    (Brute.permutations (Array.length arr))
+
+let best_outcome a b =
+  match (a, b) with
+  | Too_slow, x | x, Too_slow -> x
+  | Solved sa, Solved sb -> if sb.rho >/ sa.rho then b else a
+
+let best_over_scenarios ?model t scenarios =
+  List.fold_left
+    (fun acc (sigma1, sigma2) -> best_outcome acc (solve ?model t ~sigma1 ~sigma2))
+    Too_slow scenarios
+
+let best_fifo ?model t =
+  best_over_scenarios ?model t
+    (List.concat_map
+       (fun subset ->
+         List.map (fun ord -> (ord, Array.copy ord)) (orderings_of subset))
+       (subsets (size t)))
+
+let best_general ?model t =
+  best_over_scenarios ?model t
+    (List.concat_map
+       (fun subset ->
+         let orders = orderings_of subset in
+         List.concat_map
+           (fun sigma1 -> List.map (fun sigma2 -> (sigma1, sigma2)) orders)
+           orders)
+       (subsets (size t)))

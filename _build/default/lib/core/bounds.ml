@@ -1,0 +1,26 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+let fold_workers p f init =
+  let acc = ref init in
+  for i = 0 to Platform.size p - 1 do
+    acc := f !acc (Platform.get p i)
+  done;
+  !acc
+
+let port_bound p =
+  let best =
+    fold_workers p
+      (fun acc wk ->
+        let cd = wk.Platform.c +/ wk.Platform.d in
+        match acc with Some m when m <=/ cd -> acc | _ -> Some cd)
+      None
+  in
+  match best with Some m -> Q.inv m | None -> assert false
+
+let chain_time wk = wk.Platform.c +/ wk.Platform.w +/ wk.Platform.d
+let chain_bound p = fold_workers p (fun acc wk -> acc +/ Q.inv (chain_time wk)) Q.zero
+let upper p = Q.min (port_bound p) (chain_bound p)
+
+let lower p =
+  fold_workers p (fun acc wk -> Q.max acc (Q.inv (chain_time wk))) Q.zero

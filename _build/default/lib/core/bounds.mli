@@ -1,0 +1,30 @@
+(** Cheap analytic bounds on the optimal one-port throughput — no LP
+    required.
+
+    Useful as sanity envelopes around solver output and as first-cut
+    estimates on very large platforms:
+
+    - {e port bound}: every processed unit crosses the master's port
+      twice (data + results), so [rho <= 1 / min_i (c_i + d_i)];
+    - {e chain bound}: worker [i]'s own chain occupies
+      [alpha_i (c_i + w_i + d_i) <= 1], so
+      [rho <= Σ 1/(c_i + w_i + d_i)];
+    - {e single-worker lower bound}: serving only the best worker
+      achieves [max_i 1/(c_i + w_i + d_i)].
+
+    The test suite checks [lower <= rho_opt <= upper] exactly on random
+    platforms. *)
+
+module Q = Numeric.Rational
+
+(** [port_bound p] is [1 / min (c_i + d_i)]. *)
+val port_bound : Platform.t -> Q.t
+
+(** [chain_bound p] is [Σ 1/(c_i + w_i + d_i)]. *)
+val chain_bound : Platform.t -> Q.t
+
+(** [upper p] is the tighter of the two upper bounds. *)
+val upper : Platform.t -> Q.t
+
+(** [lower p] is the best single-worker throughput. *)
+val lower : Platform.t -> Q.t

@@ -1,0 +1,45 @@
+module Q = Numeric.Rational
+
+let permutations n =
+  let rec insert_everywhere x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as l ->
+      (x :: l) :: List.map (fun r -> y :: r) (insert_everywhere x rest)
+  in
+  let rec perms = function
+    | [] -> [ [] ]
+    | x :: rest -> List.concat_map (insert_everywhere x) (perms rest)
+  in
+  List.map Array.of_list (perms (List.init n Fun.id))
+
+let best_over scenarios =
+  match scenarios with
+  | [] -> invalid_arg "Brute.best_over: empty scenario list"
+  | first :: rest ->
+    List.fold_left
+      (fun best s ->
+        if Q.compare s.Lp_model.rho best.Lp_model.rho > 0 then s else best)
+      first rest
+
+let best_fifo ?model platform =
+  best_over
+    (List.map
+       (fun ord -> Lp_model.solve ?model (Scenario.fifo platform ord))
+       (permutations (Platform.size platform)))
+
+let best_lifo ?model platform =
+  best_over
+    (List.map
+       (fun ord -> Lp_model.solve ?model (Scenario.lifo platform ord))
+       (permutations (Platform.size platform)))
+
+let best_general ?model platform =
+  let perms = permutations (Platform.size platform) in
+  best_over
+    (List.concat_map
+       (fun sigma1 ->
+         List.map
+           (fun sigma2 ->
+             Lp_model.solve ?model (Scenario.make platform ~sigma1 ~sigma2))
+           perms)
+       perms)

@@ -1,0 +1,25 @@
+(** Exhaustive search over message orderings.
+
+    The complexity of the general problem (free permutation pair) is
+    open — the paper conjectures NP-hardness.  For small platforms we
+    can brute-force it: every ordering of the full worker set is tried
+    (subsets are covered automatically, since the LP may assign zero
+    load), for FIFO, LIFO, or arbitrary [(sigma1, sigma2)] pairs.  Used
+    by the test suite to verify Theorem 1 and by the ablation benchmarks
+    to measure how far FIFO/LIFO sit from the best-known schedule. *)
+
+module Q = Numeric.Rational
+
+(** [permutations n] lists all permutations of [0..n-1].  [n! ] entries:
+    keep [n] small. *)
+val permutations : int -> int array list
+
+(** [best_fifo ?model platform] is the optimum over all FIFO scenarios. *)
+val best_fifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+
+(** [best_lifo ?model platform] is the optimum over all LIFO scenarios. *)
+val best_lifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+
+(** [best_general ?model platform] is the optimum over all
+    [(sigma1, sigma2)] pairs — [ (n!)² ] LPs. *)
+val best_general : ?model:Lp_model.model -> Platform.t -> Lp_model.solved

@@ -1,0 +1,24 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+let bus_u ~c ~d ws =
+  let prefix = ref Q.one in
+  Array.map
+    (fun w ->
+      prefix := !prefix */ ((d +/ w) // (c +/ w));
+      !prefix // (d +/ w))
+    ws
+
+let two_port_throughput ~c ~d ws =
+  let su = Q.sum_array (bus_u ~c ~d ws) in
+  su // (Q.one +/ (d */ su))
+
+let fifo_throughput ~c ~d ws =
+  Q.min (Q.inv (c +/ d)) (two_port_throughput ~c ~d ws)
+
+let fifo_throughput_of_platform p =
+  if not (Platform.is_bus p) then
+    invalid_arg "Closed_form.fifo_throughput_of_platform: not a bus network";
+  let w0 = Platform.get p 0 in
+  let ws = Array.init (Platform.size p) (fun i -> (Platform.get p i).Platform.w) in
+  fifo_throughput ~c:w0.Platform.c ~d:w0.Platform.d ws

@@ -1,0 +1,25 @@
+(** Closed-form throughputs on bus networks (Theorem 2 of the paper and
+    the two-port bound it builds on).
+
+    On a bus ([ci = c], [di = d]) the optimal FIFO one-port throughput is
+
+    {v rho_opt = min( 1/(c+d) , Σ u_i / (1 + d Σ u_i) ) v}
+
+    where [u_i = 1/(d + w_i) * Π_{j<=i} (d + w_j)/(c + w_j)].  The second
+    term [ρ̃] is the optimal {e two-port} FIFO throughput from the
+    companion paper; all workers participate in the optimal solution. *)
+
+module Q = Numeric.Rational
+
+(** [bus_u ~c ~d ws] is the vector [u] above, in worker order. *)
+val bus_u : c:Q.t -> d:Q.t -> Q.t array -> Q.t array
+
+(** [two_port_throughput ~c ~d ws] is [ρ̃ = Σu / (1 + d Σu)]. *)
+val two_port_throughput : c:Q.t -> d:Q.t -> Q.t array -> Q.t
+
+(** [fifo_throughput ~c ~d ws] is Theorem 2's [rho_opt]. *)
+val fifo_throughput : c:Q.t -> d:Q.t -> Q.t array -> Q.t
+
+(** [fifo_throughput_of_platform p] applies Theorem 2 to a platform.
+    @raise Invalid_argument when [p] is not a bus. *)
+val fifo_throughput_of_platform : Platform.t -> Q.t

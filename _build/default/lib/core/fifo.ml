@@ -1,0 +1,31 @@
+module Q = Numeric.Rational
+
+let order platform =
+  let ascending =
+    Platform.sorted_indices_by platform (fun wk -> wk.Platform.c)
+  in
+  match Platform.z_ratio platform with
+  | Some z when Q.compare z Q.one > 0 ->
+    let n = Array.length ascending in
+    Array.init n (fun i -> ascending.(n - 1 - i))
+  | Some _ | None -> ascending
+
+let solve_order ?model platform ord =
+  Lp_model.solve ?model (Scenario.fifo platform ord)
+
+let optimal ?model platform = solve_order ?model platform (order platform)
+
+let optimal_via_mirror platform =
+  let p = Platform.size platform in
+  let swapped =
+    Platform.make
+      (List.init p (fun i ->
+           let wk = Platform.get platform i in
+           if Q.is_zero wk.Platform.d then
+             invalid_arg "Fifo.optimal_via_mirror: worker with d = 0";
+           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.d
+             ~w:wk.Platform.w ~d:wk.Platform.c ()))
+  in
+  let solved = optimal swapped in
+  let sched = Schedule.mirror (Schedule.of_solved solved) in
+  (solved.Lp_model.rho, sched)

@@ -1,0 +1,35 @@
+(** Optimal FIFO schedules on star platforms (Theorem 1 / Proposition 1).
+
+    Theorem 1: when [d_i = z c_i] with [z < 1], there is an optimal
+    one-port FIFO schedule serving workers by {e non-decreasing} [c_i],
+    in which only the last enrolled worker may idle.  For [z > 1] the
+    mirror argument flips the order to non-increasing [c_i]; for [z = 1]
+    the order is irrelevant.  Resource selection is automatic: the LP
+    assigns zero load to workers not worth enrolling.
+
+    Proposition 1's polynomial algorithm is exactly {!optimal}: sort,
+    then solve one LP enrolling everybody. *)
+
+module Q = Numeric.Rational
+
+(** [order platform] is the sending order prescribed by Theorem 1:
+    workers sorted by non-decreasing [c] when the platform's uniform
+    return ratio satisfies [z <= 1], non-increasing when [z > 1].  On
+    platforms without a uniform ratio (outside the theorem's hypotheses)
+    the [z <= 1] order is used as a heuristic. *)
+val order : Platform.t -> int array
+
+(** [optimal ?model platform] is the optimal FIFO schedule
+    (default: one-port). *)
+val optimal : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+
+(** [optimal_via_mirror platform] solves a [z > 1] instance by the
+    explicit mirror construction of the paper (swap [c] and [d], solve,
+    flip time): used to cross-check that {!optimal} and the mirror
+    argument agree.
+    @raise Invalid_argument when some [d_i = 0]. *)
+val optimal_via_mirror : Platform.t -> Q.t * Schedule.t
+
+(** [solve_order ?model platform order] is the best FIFO schedule for a
+    {e fixed} sending order (all listed workers offered to the LP). *)
+val solve_order : ?model:Lp_model.model -> Platform.t -> int array -> Lp_model.solved

@@ -1,0 +1,12 @@
+type t = Inc_c | Inc_w | Lifo
+
+let all = [ Inc_c; Inc_w; Lifo ]
+let name = function Inc_c -> "INC_C" | Inc_w -> "INC_W" | Lifo -> "LIFO"
+
+let solve ?model heuristic platform =
+  match heuristic with
+  | Inc_c -> Fifo.solve_order ?model platform (Fifo.order platform)
+  | Inc_w ->
+    Fifo.solve_order ?model platform
+      (Platform.sorted_indices_by platform (fun wk -> wk.Platform.w))
+  | Lifo -> Lifo.optimal ?model platform

@@ -1,0 +1,21 @@
+(** The three scheduling heuristics compared in the paper's experiments
+    (Section 5):
+
+    - [Inc_c]: FIFO over all workers sorted by non-decreasing [c_i]
+      (fastest-communicating first) — the optimal FIFO order of
+      Theorem 1;
+    - [Inc_w]: FIFO over all workers sorted by non-decreasing [w_i]
+      (fastest-computing first) — the natural but suboptimal order;
+    - [Lifo]: the optimal one-port LIFO solution.
+
+    Each heuristic fixes the permutations; the loads come from the
+    scenario LP, exactly as in the paper's MPI programs. *)
+
+type t = Inc_c | Inc_w | Lifo
+
+val all : t list
+val name : t -> string
+
+(** [solve ?model heuristic platform] dimensions the heuristic's
+    schedule with the scenario LP. *)
+val solve : ?model:Lp_model.model -> t -> Platform.t -> Lp_model.solved

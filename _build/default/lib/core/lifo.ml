@@ -1,0 +1,6 @@
+let order = Fifo.order
+
+let solve_order ?model platform ord =
+  Lp_model.solve ?model (Scenario.lifo platform ord)
+
+let optimal ?model platform = solve_order ?model platform (order platform)

@@ -1,0 +1,22 @@
+(** Optimal LIFO schedules ([sigma2] is the reverse of [sigma1]).
+
+    The paper (Section 5, building on the companion papers [7,8]) uses
+    the optimal LIFO solution as its strongest heuristic: the optimal
+    two-port LIFO schedule serves all workers by non-decreasing [c_i]
+    and is, by construction, a valid one-port schedule.  We solve the
+    one-port LIFO LP directly for that order; the test suite checks both
+    the order optimality (by brute force on small platforms) and the
+    equality with the two-port LIFO optimum. *)
+
+(** [order platform] is non-decreasing [c] for [z <= 1], non-increasing
+    for [z > 1] (mirror argument — the mirror of a LIFO schedule is
+    again LIFO). *)
+val order : Platform.t -> int array
+
+(** [optimal ?model platform] is the optimal LIFO schedule
+    (default: one-port). *)
+val optimal : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+
+(** [solve_order ?model platform order] is the best LIFO schedule with
+    the given sending order. *)
+val solve_order : ?model:Lp_model.model -> Platform.t -> int array -> Lp_model.solved

@@ -1,0 +1,156 @@
+module Q = Numeric.Rational
+
+type model = One_port | Two_port
+
+type solved = {
+  scenario : Scenario.t;
+  model : model;
+  rho : Q.t;
+  alpha : Q.t array;
+  idle : Q.t array;
+  pivots : int;
+}
+
+let problem model (s : Scenario.t) =
+  let q = Scenario.num_enrolled s in
+  let wk k = Platform.get s.Scenario.platform s.Scenario.sigma1.(k) in
+  (* Position of each enrolled worker (by sigma1 slot) in sigma2. *)
+  let return_pos =
+    Array.init q (fun k -> Scenario.return_position s s.Scenario.sigma1.(k))
+  in
+  (* Variables: alpha_0..alpha_{q-1} then x_0..x_{q-1}, sigma1 order. *)
+  let nvars = 2 * q in
+  let names =
+    Array.init nvars (fun v ->
+        if v < q then Printf.sprintf "alpha_%s" (wk v).Platform.name
+        else Printf.sprintf "x_%s" (wk (v - q)).Platform.name)
+  in
+  let objective =
+    Array.init nvars (fun v -> if v < q then Q.one else Q.zero)
+  in
+  let deadline k =
+    let coeffs = Array.make nvars Q.zero in
+    for j = 0 to q - 1 do
+      let contrib = ref Q.zero in
+      (* data transfers the master performs no later than P_{sigma1(k)}'s *)
+      if j <= k then contrib := Q.add !contrib (wk j).Platform.c;
+      (* result transfers no earlier than P's in sigma2 order *)
+      if return_pos.(j) >= return_pos.(k) then
+        contrib := Q.add !contrib (wk j).Platform.d;
+      if j = k then contrib := Q.add !contrib (wk j).Platform.w;
+      coeffs.(j) <- !contrib
+    done;
+    coeffs.(q + k) <- Q.one;
+    Simplex.Problem.constr coeffs Simplex.Problem.Le Q.one
+  in
+  let constraints = List.init q deadline in
+  let constraints =
+    match model with
+    | Two_port -> constraints
+    | One_port ->
+      let coeffs = Array.make nvars Q.zero in
+      for j = 0 to q - 1 do
+        coeffs.(j) <- Q.add (wk j).Platform.c (wk j).Platform.d
+      done;
+      constraints @ [ Simplex.Problem.constr coeffs Simplex.Problem.Le Q.one ]
+  in
+  Simplex.Problem.make ~names Simplex.Problem.Maximize objective constraints
+
+let solve ?(model = One_port) (s : Scenario.t) =
+  let p = problem model s in
+  match Simplex.Solver.solve p with
+  | Simplex.Solver.Unbounded -> failwith "Lp_model.solve: unbounded (invalid platform?)"
+  | Simplex.Solver.Infeasible -> failwith "Lp_model.solve: infeasible (invalid platform?)"
+  | Simplex.Solver.Optimal sol ->
+    (match Simplex.Certify.check p sol with
+    | Ok () -> ()
+    | Error msgs ->
+      failwith ("Lp_model.solve: certification failed: " ^ String.concat "; " msgs));
+    let q = Scenario.num_enrolled s in
+    let n = Platform.size s.Scenario.platform in
+    let alpha = Array.make n Q.zero in
+    let idle = Array.make n Q.zero in
+    Array.iteri
+      (fun k i ->
+        alpha.(i) <- sol.Simplex.Solver.point.(k);
+        idle.(i) <- sol.Simplex.Solver.point.(q + k))
+      s.Scenario.sigma1;
+    {
+      scenario = s;
+      model;
+      rho = sol.Simplex.Solver.value;
+      alpha;
+      idle;
+      pivots = sol.Simplex.Solver.pivots;
+    }
+
+let estimate_rho ?(model = One_port) s =
+  match Simplex.Float_solver.solve (problem model s) with
+  | Simplex.Float_solver.Optimal sol -> Some sol.Simplex.Float_solver.value
+  | Simplex.Float_solver.Unbounded | Simplex.Float_solver.Infeasible
+  | Simplex.Float_solver.Stalled ->
+    None
+
+let enrolled_workers sol =
+  let out = ref [] in
+  Array.iteri (fun i a -> if Q.sign a > 0 then out := i :: !out) sol.alpha;
+  List.rev !out
+
+type constraint_status = { label : string; slack : Q.t; binding : bool }
+
+let constraint_report sol =
+  let s = sol.scenario in
+  let platform = s.Scenario.platform in
+  let wk i = Platform.get platform i in
+  let status label slack = { label; slack; binding = Q.is_zero slack } in
+  let deadline i =
+    (* the worker's whole chain: wait + receive + compute + gap + return
+       block; the gap is the LP idle variable plus the row's own slack,
+       i.e. 1 - (chain without idle) *)
+    let spos = Scenario.send_position s i in
+    let rpos = Scenario.return_position s i in
+    let chain = ref Q.zero in
+    Array.iter
+      (fun j ->
+        let w = wk j in
+        if Scenario.send_position s j <= spos then
+          chain := Q.add !chain (Q.mul sol.alpha.(j) w.Platform.c);
+        if Scenario.return_position s j >= rpos then
+          chain := Q.add !chain (Q.mul sol.alpha.(j) w.Platform.d);
+        if j = i then chain := Q.add !chain (Q.mul sol.alpha.(j) w.Platform.w))
+      s.Scenario.sigma1;
+    status
+      (Printf.sprintf "deadline(%s)" (wk i).Platform.name)
+      (Q.sub Q.one !chain)
+  in
+  let rows = List.map deadline (Array.to_list s.Scenario.sigma1) in
+  match sol.model with
+  | Two_port -> rows
+  | One_port ->
+    let used =
+      Q.sum_array
+        (Array.map
+           (fun i ->
+             Q.mul sol.alpha.(i)
+               (Q.add (wk i).Platform.c (wk i).Platform.d))
+           s.Scenario.sigma1)
+    in
+    rows @ [ status "one-port" (Q.sub Q.one used) ]
+
+let time_for_load sol ~load =
+  if Q.sign sol.rho <= 0 then invalid_arg "Lp_model.time_for_load: zero throughput";
+  Q.div load sol.rho
+
+let pp fmt sol =
+  Format.fprintf fmt "@[<v>%s model, rho = %s (~%.6g)@,%a@,loads:@,"
+    (match sol.model with One_port -> "one-port" | Two_port -> "two-port")
+    (Q.to_string sol.rho) (Q.to_float sol.rho) Scenario.pp sol.scenario;
+  Array.iteri
+    (fun i a ->
+      if Q.sign a > 0 then
+        Format.fprintf fmt "  %-6s alpha=%-12s idle=%s@,"
+          (Platform.get sol.scenario.Scenario.platform i).Platform.name
+          (Q.to_string a)
+          (Q.to_string sol.idle.(i)))
+    sol.alpha;
+  Format.fprintf fmt "@]"

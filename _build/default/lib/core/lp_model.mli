@@ -1,0 +1,77 @@
+(** The scheduling linear program of Section 2.3 of the paper,
+    generalized to an arbitrary permutation pair (the paper notes the
+    extension is immediate; FIFO is the special case [sigma2 = sigma1]).
+
+    For a scenario enrolling workers [P_{σ1(1)}, ..., P_{σ1(q)}], the
+    maximal number of load units processable within [T = 1] is
+
+    {v
+      maximize   rho = Σ α_i
+      subject to, for every enrolled worker i:
+        Σ_{j sent no later than i} α_j c_j            (wait for + receive data)
+        + α_i w_i + x_i                               (compute, then idle)
+        + Σ_{j returned no earlier than i} α_j d_j    (send results, wait)
+        <= 1
+      and (one-port)  Σ α_i c_i + Σ α_i d_i <= 1
+      with α_i >= 0, x_i >= 0.
+    v}
+
+    Under the two-port model of the companion paper (master may send and
+    receive simultaneously) the one-port constraint is dropped; both
+    variants are provided, the two-port one serving as baseline and as
+    the cross-check for Theorem 2 (whose bound [ρ̃] is the two-port bus
+    optimum). *)
+
+module Q = Numeric.Rational
+
+type model = One_port | Two_port
+
+type solved = private {
+  scenario : Scenario.t;
+  model : model;
+  rho : Q.t;  (** optimal throughput (load processed within T = 1) *)
+  alpha : Q.t array;  (** per-worker load, indexed like the platform *)
+  idle : Q.t array;  (** per-worker idle time [x_i], same indexing *)
+  pivots : int;  (** simplex pivots, for diagnostics *)
+}
+
+(** [problem model scenario] builds the LP. Variables are laid out as
+    [α] in [sigma1] order followed by [x] in [sigma1] order. *)
+val problem : model -> Scenario.t -> Simplex.Problem.t
+
+(** [solve ?model scenario] solves the LP exactly (default [One_port]).
+    The solution is validated with {!Simplex.Certify} before being
+    returned.
+    @raise Failure if the LP is not optimal-solvable (impossible for a
+    well-formed platform) or fails certification. *)
+val solve : ?model:model -> Scenario.t -> solved
+
+(** [estimate_rho ?model scenario] solves the same LP in floating-point
+    arithmetic: ~10x faster, accurate to ~1e-9 relative on the library's
+    scheduling programs, but carrying no exactness guarantee — use for
+    large sweeps and dashboards, never to build a schedule.  Returns
+    [None] when the float solver stalls on a degenerate instance. *)
+val estimate_rho : ?model:model -> Scenario.t -> float option
+
+(** [enrolled_workers s] lists indices with strictly positive load. *)
+val enrolled_workers : solved -> int list
+
+(** One row of {!constraint_report}. *)
+type constraint_status = {
+  label : string;  (** e.g. ["deadline(P2)"] or ["one-port"] *)
+  slack : Q.t;  (** non-negative; zero means the constraint binds *)
+  binding : bool;
+}
+
+(** [constraint_report s] evaluates every LP constraint at the solution:
+    per-worker deadline slacks (with the idle variable folded in, i.e.
+    the worker's true schedule gap) and the one-port port-capacity
+    slack.  Lemma 1's structure shows up directly: when every worker is
+    enrolled, at most one row is non-binding. *)
+val constraint_report : solved -> constraint_status list
+
+(** [time_for_load s ~load] is the optimal makespan for processing
+    [load] units under this scenario: by linearity, [load / rho]. *)
+val time_for_load : solved -> load:Q.t -> Q.t
+
+val pp : Format.formatter -> solved -> unit

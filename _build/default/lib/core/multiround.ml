@@ -1,0 +1,158 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type config = {
+  rounds : int;
+  order : int array;
+  with_returns : bool;
+  send_latency : Q.t;
+  return_latency : Q.t;
+}
+
+let config ?(with_returns = true) ?(send_latency = Q.zero)
+    ?(return_latency = Q.zero) ~rounds order =
+  if rounds < 1 then invalid_arg "Multiround.config: rounds must be >= 1";
+  if Array.length order = 0 then invalid_arg "Multiround.config: empty order";
+  if Q.sign send_latency < 0 || Q.sign return_latency < 0 then
+    invalid_arg "Multiround.config: negative latency";
+  { rounds; order; with_returns; send_latency; return_latency }
+
+type solved = {
+  platform : Platform.t;
+  config : config;
+  rho : Q.t;
+  chunks : Q.t array array;
+  alpha : Q.t array;
+}
+
+type outcome = Solved of solved | Too_slow
+
+(* Variable layout: for q = |order| slots and R rounds,
+     alpha_{r,k} at r*q + k                  (chunk sizes)
+     s_{r,k}     at R*q + r*q + k            (computation starts)
+     t_{r,k}     at 2*R*q + r*q + k          (return starts, if any). *)
+let solve platform cfg =
+  (* Validate the order as a scenario over the platform. *)
+  let scenario_check = Scenario.fifo platform cfg.order in
+  ignore scenario_check;
+  let q = Array.length cfg.order in
+  let r_count = cfg.rounds in
+  let nchunks = r_count * q in
+  let nvars = if cfg.with_returns then 3 * nchunks else 2 * nchunks in
+  let a_var r k = (r * q) + k in
+  let s_var r k = nchunks + (r * q) + k in
+  let t_var r k = (2 * nchunks) + (r * q) + k in
+  let wk k = Platform.get platform cfg.order.(k) in
+  let constraints = ref [] in
+  let add coeffs rhs =
+    constraints := Simplex.Problem.constr coeffs Simplex.Problem.Le rhs :: !constraints
+  in
+  let row () = Array.make nvars Q.zero in
+  (* Send end of chunk (r, k): sum over lexicographically earlier-or-
+     equal chunks of (alpha c + send latency). *)
+  let add_send_prefix coeffs r k =
+    for r' = 0 to r do
+      let kmax = if r' = r then k else q - 1 in
+      for k' = 0 to kmax do
+        coeffs.(a_var r' k') <- coeffs.(a_var r' k') +/ (wk k').Platform.c
+      done
+    done;
+    Q.of_int ((r * q) + k + 1) */ cfg.send_latency
+  in
+  for r = 0 to r_count - 1 do
+    for k = 0 to q - 1 do
+      (* computation starts after reception: E_{r,k} - s_{r,k} <= -lat *)
+      let coeffs = row () in
+      let latency = add_send_prefix coeffs r k in
+      coeffs.(s_var r k) <- coeffs.(s_var r k) -/ Q.one;
+      add coeffs (Q.neg latency);
+      (* computation starts after the previous chunk's computation *)
+      if r > 0 then begin
+        let coeffs = row () in
+        coeffs.(s_var (r - 1) k) <- Q.one;
+        coeffs.(a_var (r - 1) k) <- (wk k).Platform.w;
+        coeffs.(s_var r k) <- Q.minus_one;
+        add coeffs Q.zero
+      end
+    done
+  done;
+  if cfg.with_returns then begin
+    (* the first return waits for every send to complete *)
+    let coeffs = row () in
+    let latency = add_send_prefix coeffs (r_count - 1) (q - 1) in
+    coeffs.(t_var 0 0) <- Q.minus_one;
+    add coeffs (Q.neg latency);
+    for r = 0 to r_count - 1 do
+      for k = 0 to q - 1 do
+        (* the return waits for its chunk's computation *)
+        let coeffs = row () in
+        coeffs.(s_var r k) <- Q.one;
+        coeffs.(a_var r k) <- (wk k).Platform.w;
+        coeffs.(t_var r k) <- Q.minus_one;
+        add coeffs Q.zero;
+        (* one-port chain between consecutive returns *)
+        let prev = if k > 0 then Some (r, k - 1) else if r > 0 then Some (r - 1, q - 1) else None in
+        (match prev with
+        | None -> ()
+        | Some (pr, pk) ->
+          let coeffs = row () in
+          coeffs.(t_var pr pk) <- Q.one;
+          coeffs.(a_var pr pk) <- (wk pk).Platform.d;
+          coeffs.(t_var r k) <- Q.minus_one;
+          add coeffs (Q.neg cfg.return_latency));
+        (* the last return meets the horizon *)
+        if r = r_count - 1 && k = q - 1 then begin
+          let coeffs = row () in
+          coeffs.(t_var r k) <- Q.one;
+          coeffs.(a_var r k) <- (wk k).Platform.d;
+          add coeffs (Q.one -/ cfg.return_latency)
+        end
+      done
+    done
+  end
+  else
+    (* without returns, each worker's last computation meets the horizon *)
+    for k = 0 to q - 1 do
+      let coeffs = row () in
+      coeffs.(s_var (r_count - 1) k) <- Q.one;
+      coeffs.(a_var (r_count - 1) k) <- (wk k).Platform.w;
+      add coeffs Q.one
+    done;
+  let objective =
+    Array.init nvars (fun v -> if v < nchunks then Q.one else Q.zero)
+  in
+  let problem =
+    Simplex.Problem.make Simplex.Problem.Maximize objective (List.rev !constraints)
+  in
+  match Simplex.Solver.solve problem with
+  | Simplex.Solver.Infeasible -> Too_slow
+  | Simplex.Solver.Unbounded ->
+    failwith "Multiround.solve: unbounded (invalid platform?)"
+  | Simplex.Solver.Optimal sol ->
+    (match Simplex.Certify.check problem sol with
+    | Ok () -> ()
+    | Error msgs ->
+      failwith
+        ("Multiround.solve: certification failed: " ^ String.concat "; " msgs));
+    let point = sol.Simplex.Solver.point in
+    let chunks =
+      Array.init r_count (fun r -> Array.init q (fun k -> point.(a_var r k)))
+    in
+    let alpha = Array.make (Platform.size platform) Q.zero in
+    Array.iteri
+      (fun k i ->
+        alpha.(i) <-
+          Q.sum (List.init r_count (fun r -> chunks.(r).(k))))
+      cfg.order;
+    Solved
+      { platform; config = cfg; rho = sol.Simplex.Solver.value; chunks; alpha }
+
+let sweep_rounds platform ?with_returns ?send_latency ?return_latency ~order
+    ~max_rounds () =
+  List.filter_map
+    (fun rounds ->
+      let cfg = config ?with_returns ?send_latency ?return_latency ~rounds order in
+      match solve platform cfg with
+      | Too_slow -> None
+      | Solved s -> Some (rounds, s.rho))
+    (List.init max_rounds (fun i -> i + 1))

@@ -1,0 +1,76 @@
+(** Extension: multi-round (multi-installment) schedules.
+
+    The paper is single-round by design, and its related-work section
+    explains the trade-off: multi-round strategies pipeline better
+    (workers start computing after receiving only their first small
+    chunk), but under a {e linear} cost model the optimizer degenerates
+    — more rounds are always at least as good, favouring infinitely
+    many infinitely small messages — so multi-round study requires the
+    {e affine} model, whose latencies penalize extra messages.
+
+    This module makes that discussion executable.  For a fixed
+    {e activation structure} — [R] rounds of sends to the enrolled
+    workers in a fixed order, followed (in the with-returns variant) by
+    the result messages in the same FIFO chunk order — the optimal chunk
+    sizes are computed by a linear program with explicit event-time
+    variables:
+
+    - sends are packed back-to-back in round-major order;
+    - a chunk's computation starts after both its reception and the
+      previous chunk's computation;
+    - result transfers form a one-port chain after all sends, each no
+      earlier than its chunk's computation end, the last ending at the
+      horizon.
+
+    Properties recovered by the test suite: with one round this LP
+    equals the paper's scenario LP exactly; with zero latencies the
+    throughput is non-decreasing in [R]; with latencies an optimal
+    finite [R] emerges. *)
+
+module Q = Numeric.Rational
+
+type config = {
+  rounds : int;  (** [R >= 1] *)
+  order : int array;  (** enrolled workers, sending order (per round) *)
+  with_returns : bool;  (** include result messages (the paper's setting) *)
+  send_latency : Q.t;  (** per-message start-up cost (affine model) *)
+  return_latency : Q.t;
+}
+
+(** [config ?with_returns ?send_latency ?return_latency ~rounds order]
+    builds a configuration (defaults: returns on, zero latencies).
+    @raise Invalid_argument if [rounds < 1] or [order] is empty. *)
+val config :
+  ?with_returns:bool ->
+  ?send_latency:Q.t ->
+  ?return_latency:Q.t ->
+  rounds:int ->
+  int array ->
+  config
+
+type solved = private {
+  platform : Platform.t;
+  config : config;
+  rho : Q.t;  (** total load processed within [T = 1] *)
+  chunks : Q.t array array;  (** [chunks.(r).(k)]: round [r], order slot [k] *)
+  alpha : Q.t array;  (** per-worker totals, platform indexing *)
+}
+
+type outcome = Solved of solved | Too_slow
+
+(** [solve platform config] optimizes the chunk sizes. [Too_slow] only
+    occurs with latencies exceeding the deadline. *)
+val solve : Platform.t -> config -> outcome
+
+(** [sweep_rounds platform ?with_returns ?send_latency ?return_latency
+    ~order ~max_rounds ()] lists [(r, throughput)] for [r = 1..max_rounds]
+    (omitting infeasible round counts). *)
+val sweep_rounds :
+  Platform.t ->
+  ?with_returns:bool ->
+  ?send_latency:Q.t ->
+  ?return_latency:Q.t ->
+  order:int array ->
+  max_rounds:int ->
+  unit ->
+  (int * Q.t) list

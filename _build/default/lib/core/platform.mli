@@ -1,0 +1,68 @@
+(** Star-shaped master/worker platforms with the linear cost model.
+
+    A platform is a master [P0] (no processing capability, as in the
+    paper) plus [p] workers.  Worker [Pi] is described by three positive
+    rationals: sending [X] load units from the master to [Pi] takes
+    [X.ci] time units, processing them takes [X.wi], and returning the
+    results takes [X.di].  A {e bus} is a star whose links are all
+    identical ([ci = c], [di = d]).
+
+    The paper's analysis assumes a uniform return ratio [di = z.ci];
+    {!z_ratio} detects it. *)
+
+module Q = Numeric.Rational
+
+type worker = private {
+  name : string;
+  c : Q.t;  (** forward communication time per load unit *)
+  w : Q.t;  (** computation time per load unit *)
+  d : Q.t;  (** return communication time per load unit *)
+}
+
+type t = private { workers : worker array }
+
+(** [worker ?name ~c ~w ~d ()] builds a worker description.
+    @raise Invalid_argument unless [c > 0], [w > 0] and [d >= 0]. *)
+val worker : ?name:string -> c:Q.t -> w:Q.t -> d:Q.t -> unit -> worker
+
+(** [make workers] builds a platform.
+    @raise Invalid_argument when [workers] is empty. *)
+val make : worker list -> t
+
+(** [of_floats specs] builds a platform from [(c, w, d)] float triples
+    (converted exactly). *)
+val of_floats : (float * float * float) list -> t
+
+(** [bus ~c ~d ws] builds a bus platform: uniform link costs, per-worker
+    compute costs [ws]. *)
+val bus : c:Q.t -> d:Q.t -> Q.t list -> t
+
+(** [with_return_ratio ~z specs] builds a star from [(c, w)] pairs with
+    [d = z*c]. *)
+val with_return_ratio : z:Q.t -> (Q.t * Q.t) list -> t
+
+val size : t -> int
+val get : t -> int -> worker
+
+(** [z_ratio p] is [Some z] when every worker satisfies [d = z*c]. *)
+val z_ratio : t -> Q.t option
+
+(** [is_bus p] holds when all links are identical. *)
+val is_bus : t -> bool
+
+(** [scale_comm k p] multiplies every [c] and [d] by [k] (k > 0);
+    [scale_comp k p] multiplies every [w].  Speeding a worker up by a
+    factor [f] is scaling by [1/f]. *)
+val scale_comm : Q.t -> t -> t
+
+val scale_comp : Q.t -> t -> t
+
+(** [restrict p keep] is the sub-platform with the workers whose indices
+    are listed in [keep], in that order. *)
+val restrict : t -> int array -> t
+
+(** [sorted_indices_by p f] is the worker indices sorted by [f] in
+    non-decreasing order, stable w.r.t. the original order. *)
+val sorted_indices_by : t -> (worker -> Q.t) -> int array
+
+val pp : Format.formatter -> t -> unit

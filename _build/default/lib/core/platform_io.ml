@@ -1,0 +1,65 @@
+module Q = Numeric.Rational
+
+let to_string p =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# name c w d (rationals; per load unit)\n";
+  for i = 0 to Platform.size p - 1 do
+    let wk = Platform.get p i in
+    Buffer.add_string buf
+      (Printf.sprintf "%s %s %s %s\n" wk.Platform.name (Q.to_string wk.Platform.c)
+         (Q.to_string wk.Platform.w) (Q.to_string wk.Platform.d))
+  done;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
+          |> List.filter (fun s -> s <> "")
+    with
+    | [] -> Ok None
+    | [ name; c; w; d ] -> (
+      try
+        Ok
+          (Some
+             (Platform.worker ~name ~c:(Q.of_string c) ~w:(Q.of_string w)
+                ~d:(Q.of_string d) ()))
+      with Invalid_argument msg | Failure msg ->
+        Error (Printf.sprintf "line %d: %s" lineno msg))
+    | fields ->
+      Error
+        (Printf.sprintf "line %d: expected 'name c w d', found %d fields" lineno
+           (List.length fields))
+  in
+  let rec collect lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok None -> collect (lineno + 1) acc rest
+      | Ok (Some w) -> collect (lineno + 1) (w :: acc) rest
+      | Error e -> Error e)
+  in
+  match collect 1 [] lines with
+  | Error e -> Error e
+  | Ok [] -> Error "no workers"
+  | Ok workers -> (
+    try Ok (Platform.make workers) with Invalid_argument msg -> Error msg)
+
+let write path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    of_string content

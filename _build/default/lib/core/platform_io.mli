@@ -1,0 +1,22 @@
+(** Text serialization of platforms.
+
+    One worker per line: [name c w d], whitespace-separated, rational
+    components; blank lines and [#] comments ignored.
+
+    {v
+    # the paper's Figure 14 platform at x = 1, matrix size 400
+    P1  32/1250  512/27000  16/1250
+    P2  2/625    512/27000  1/625
+    v} *)
+
+(** [to_string p] serializes the platform. *)
+val to_string : Platform.t -> string
+
+(** [of_string s] parses a platform; [Error message] on malformed
+    input. *)
+val of_string : string -> (Platform.t, string) result
+
+(** [write path p] / [read path]: file variants. *)
+val write : string -> Platform.t -> unit
+
+val read : string -> (Platform.t, string) result

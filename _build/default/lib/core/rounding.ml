@@ -1,0 +1,49 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+let scaled_weights ~weights ~total =
+  if total < 0 then invalid_arg "Rounding: negative total";
+  Array.iter
+    (fun w -> if Q.sign w < 0 then invalid_arg "Rounding: negative weight")
+    weights;
+  let sum = Q.sum_array weights in
+  if Q.sign sum <= 0 then invalid_arg "Rounding: all weights zero";
+  let scale = Q.of_int total // sum in
+  Array.map (fun w -> w */ scale) weights
+
+let share_out ~weights ~order ~total =
+  let exact = scaled_weights ~weights ~total in
+  let loads = Array.map Q.floor_int exact in
+  let assigned = Array.fold_left ( + ) 0 loads in
+  let leftover = ref (total - assigned) in
+  (* Hand the K leftover items to the first K positive-weight entries in
+     [order], cycling in the (impossible in theory, cheap to guard)
+     event of more leftovers than entries. *)
+  let positive =
+    Array.of_list
+      (List.filter (fun i -> Q.sign weights.(i) > 0) (Array.to_list order))
+  in
+  let k = ref 0 in
+  while !leftover > 0 && Array.length positive > 0 do
+    let i = positive.(!k mod Array.length positive) in
+    loads.(i) <- loads.(i) + 1;
+    decr leftover;
+    incr k
+  done;
+  loads
+
+let integer_loads (sol : Lp_model.solved) ~total =
+  if Q.sign sol.Lp_model.rho <= 0 then invalid_arg "Rounding: zero throughput";
+  share_out ~weights:sol.Lp_model.alpha
+    ~order:sol.Lp_model.scenario.Scenario.sigma1 ~total
+
+let imbalance sol ~total =
+  let exact = scaled_weights ~weights:sol.Lp_model.alpha ~total in
+  let rounded = integer_loads sol ~total in
+  let worst = ref Q.zero in
+  Array.iteri
+    (fun i e ->
+      let dev = Q.abs (Q.of_int rounded.(i) -/ e) in
+      if dev >/ !worst then worst := dev)
+    exact;
+  !worst

@@ -1,0 +1,30 @@
+(** Integer rounding of rational LP loads (Section 5 of the paper).
+
+    The LP expresses loads in rational numbers, but a real campaign
+    processes an integer number of items (matrices, in the paper).  The
+    paper's policy: scale the [alpha] vector to the requested total,
+    round every load down, then give one extra item to each of the first
+    [K] enrolled workers in the sending order, where [K] is the number
+    of leftover items. *)
+
+module Q = Numeric.Rational
+
+(** [share_out ~weights ~order ~total] scales the non-negative [weights]
+    vector so it sums to [total], floors every entry, then gives one
+    leftover item to each of the first [K] positive-weight entries in
+    [order].  This is the paper's policy in isolation; the returned
+    array sums exactly to [total].
+    @raise Invalid_argument if [total < 0], weights are negative or all
+    zero. *)
+val share_out : weights:Q.t array -> order:int array -> total:int -> int array
+
+(** [integer_loads solved ~total] is the per-worker item count, indexed
+    like the platform, summing exactly to [total].
+    @raise Invalid_argument if [total < 0] or the solution has zero
+    throughput. *)
+val integer_loads : Lp_model.solved -> total:int -> int array
+
+(** [imbalance solved ~total] is the largest absolute deviation between
+    the rounded loads and the exact rational loads, as a rational — a
+    measure of the rounding-induced load imbalance. *)
+val imbalance : Lp_model.solved -> total:int -> Q.t

@@ -1,0 +1,55 @@
+type t = { platform : Platform.t; sigma1 : int array; sigma2 : int array }
+
+let validate_order platform order =
+  let p = Platform.size platform in
+  let seen = Array.make p false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= p then
+        invalid_arg (Printf.sprintf "Scenario: worker index %d out of range" i);
+      if seen.(i) then
+        invalid_arg (Printf.sprintf "Scenario: worker %d appears twice" i);
+      seen.(i) <- true)
+    order
+
+let make platform ~sigma1 ~sigma2 =
+  if Array.length sigma1 = 0 then invalid_arg "Scenario: no enrolled workers";
+  validate_order platform sigma1;
+  validate_order platform sigma2;
+  let sorted a =
+    let a = Array.copy a in
+    Array.sort Stdlib.compare a;
+    a
+  in
+  if sorted sigma1 <> sorted sigma2 then
+    invalid_arg "Scenario: sigma1 and sigma2 enroll different workers";
+  { platform; sigma1; sigma2 }
+
+let reverse a = Array.init (Array.length a) (fun i -> a.(Array.length a - 1 - i))
+let fifo platform order = make platform ~sigma1:order ~sigma2:(Array.copy order)
+let lifo platform order = make platform ~sigma1:order ~sigma2:(reverse order)
+
+let all_workers_fifo platform =
+  fifo platform (Array.init (Platform.size platform) Fun.id)
+
+let num_enrolled s = Array.length s.sigma1
+let is_fifo s = s.sigma1 = s.sigma2
+let is_lifo s = s.sigma1 = reverse s.sigma2
+
+let position order i =
+  let rec scan k =
+    if k >= Array.length order then raise Not_found
+    else if order.(k) = i then k
+    else scan (k + 1)
+  in
+  scan 0
+
+let send_position s i = position s.sigma1 i
+let return_position s i = position s.sigma2 i
+
+let pp fmt s =
+  let names order =
+    String.concat " "
+      (Array.to_list (Array.map (fun i -> (Platform.get s.platform i).Platform.name) order))
+  in
+  Format.fprintf fmt "sends: %s; returns: %s" (names s.sigma1) (names s.sigma2)

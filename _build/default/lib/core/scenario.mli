@@ -1,0 +1,43 @@
+(** Communication scenarios: which workers participate and in which
+    orders the master talks to them.
+
+    Following Section 2.2 of the paper, a schedule is characterized by a
+    permutation [sigma1] (order of the initial messages, master to
+    workers), a permutation [sigma2] (order of the result messages,
+    workers to master), plus the per-worker loads and idle times that the
+    linear program determines.  A scenario fixes the combinatorial part:
+    the enrolled set and the two orders. *)
+
+type t = private {
+  platform : Platform.t;
+  sigma1 : int array;  (** enrolled worker indices, in sending order *)
+  sigma2 : int array;  (** the same indices, in result-return order *)
+}
+
+(** [make platform ~sigma1 ~sigma2] validates that the two orders range
+    over the same duplicate-free set of valid worker indices.
+    @raise Invalid_argument otherwise. *)
+val make : Platform.t -> sigma1:int array -> sigma2:int array -> t
+
+(** [fifo platform order] is the FIFO scenario [sigma2 = sigma1 = order]. *)
+val fifo : Platform.t -> int array -> t
+
+(** [lifo platform order] is the LIFO scenario [sigma2 = reverse order]. *)
+val lifo : Platform.t -> int array -> t
+
+(** [all_workers_fifo platform] enrolls every worker in index order,
+    FIFO. *)
+val all_workers_fifo : Platform.t -> t
+
+val num_enrolled : t -> int
+val is_fifo : t -> bool
+val is_lifo : t -> bool
+
+(** [send_position s i] is the position of worker [i] in [sigma1].
+    @raise Not_found if [i] is not enrolled. *)
+val send_position : t -> int -> int
+
+(** [return_position s i] is the position of worker [i] in [sigma2]. *)
+val return_position : t -> int -> int
+
+val pp : Format.formatter -> t -> unit

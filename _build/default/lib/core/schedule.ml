@@ -1,0 +1,157 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type phase = { start : Q.t; finish : Q.t }
+
+type entry = {
+  worker : int;
+  alpha : Q.t;
+  send : phase;
+  compute : phase;
+  return_ : phase;
+}
+
+type t = { platform : Platform.t; horizon : Q.t; entries : entry array }
+
+let of_solved (sol : Lp_model.solved) =
+  let s = sol.Lp_model.scenario in
+  let platform = s.Scenario.platform in
+  let alpha i = sol.Lp_model.alpha.(i) in
+  let active order = Array.of_list (List.filter (fun i -> Q.sign (alpha i) > 0) (Array.to_list order)) in
+  let sends = active s.Scenario.sigma1 in
+  let returns = active s.Scenario.sigma2 in
+  (* Return transfers are packed to end exactly at the horizon. *)
+  let return_start = Hashtbl.create 8 in
+  let horizon = Q.one in
+  let cursor = ref horizon in
+  for k = Array.length returns - 1 downto 0 do
+    let i = returns.(k) in
+    let d = (Platform.get platform i).Platform.d in
+    let finish = !cursor in
+    let start = finish -/ (alpha i */ d) in
+    Hashtbl.add return_start i (start, finish);
+    cursor := start
+  done;
+  let entries = ref [] in
+  let clock = ref Q.zero in
+  Array.iter
+    (fun i ->
+      let wk = Platform.get platform i in
+      let a = alpha i in
+      let send = { start = !clock; finish = !clock +/ (a */ wk.Platform.c) } in
+      clock := send.finish;
+      let compute = { start = send.finish; finish = send.finish +/ (a */ wk.Platform.w) } in
+      let rs, rf = Hashtbl.find return_start i in
+      let return_ = { start = rs; finish = rf } in
+      entries := { worker = i; alpha = a; send; compute; return_ } :: !entries)
+    sends;
+  { platform; horizon; entries = Array.of_list (List.rev !entries) }
+
+let scale k sched =
+  if Q.sign k <= 0 then invalid_arg "Schedule.scale: factor must be positive";
+  let ph p = { start = k */ p.start; finish = k */ p.finish } in
+  {
+    sched with
+    horizon = k */ sched.horizon;
+    entries =
+      Array.map
+        (fun e ->
+          {
+            e with
+            alpha = k */ e.alpha;
+            send = ph e.send;
+            compute = ph e.compute;
+            return_ = ph e.return_;
+          })
+        sched.entries;
+  }
+
+let for_load sol ~load = scale (Lp_model.time_for_load sol ~load) (of_solved sol)
+let total_load sched = Q.sum_array (Array.map (fun e -> e.alpha) sched.entries)
+let makespan sched = sched.horizon
+
+let idle_times sched =
+  Array.to_list
+    (Array.map (fun e -> (e.worker, e.return_.start -/ e.compute.finish)) sched.entries)
+
+let mirror sched =
+  let swapped =
+    Platform.make
+      (List.map
+         (fun wk ->
+           if Q.is_zero wk.Platform.d then
+             invalid_arg "Schedule.mirror: worker with d = 0 cannot be mirrored";
+           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.d
+             ~w:wk.Platform.w ~d:wk.Platform.c ())
+         (Array.to_list
+            (Array.init (Platform.size sched.platform) (Platform.get sched.platform))))
+  in
+  let flip p = { start = sched.horizon -/ p.finish; finish = sched.horizon -/ p.start } in
+  let entries =
+    Array.map
+      (fun e ->
+        { e with send = flip e.return_; compute = flip e.compute; return_ = flip e.send })
+      sched.entries
+  in
+  (* Reverse so entries appear in the new send order. *)
+  let n = Array.length entries in
+  let entries = Array.init n (fun i -> entries.(n - 1 - i)) in
+  { platform = swapped; horizon = sched.horizon; entries }
+
+let validate sched =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let name i = (Platform.get sched.platform i).Platform.name in
+  Array.iter
+    (fun e ->
+      let wk = Platform.get sched.platform e.worker in
+      let dur p = p.finish -/ p.start in
+      if Q.sign e.alpha <= 0 then add "%s: non-positive load" (name e.worker);
+      if dur e.send <>/ (e.alpha */ wk.Platform.c) then
+        add "%s: send duration mismatch" (name e.worker);
+      if dur e.compute <>/ (e.alpha */ wk.Platform.w) then
+        add "%s: compute duration mismatch" (name e.worker);
+      if dur e.return_ <>/ (e.alpha */ wk.Platform.d) then
+        add "%s: return duration mismatch" (name e.worker);
+      if e.send.finish >/ e.compute.start then
+        add "%s: computes before data fully received" (name e.worker);
+      if e.compute.finish >/ e.return_.start then
+        add "%s: returns results before computation ends" (name e.worker);
+      if Q.sign e.send.start < 0 || e.return_.finish >/ sched.horizon then
+        add "%s: activity outside [0, horizon]" (name e.worker))
+    sched.entries;
+  (* One-port: the master's transfer phases must not overlap. *)
+  let master_phases =
+    List.concat_map
+      (fun e -> [ (e.send, "send", e.worker); (e.return_, "return", e.worker) ])
+      (Array.to_list sched.entries)
+  in
+  let overlap a b = a.start </ b.finish && b.start </ a.finish in
+  let rec pairs = function
+    | [] -> ()
+    | (p, kind, i) :: rest ->
+      List.iter
+        (fun (p', kind', i') ->
+          if overlap p p' then
+            add "one-port violation: %s(%s) overlaps %s(%s)" kind (name i) kind'
+              (name i'))
+        rest;
+      pairs rest
+  in
+  pairs master_phases;
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let pp fmt sched =
+  Format.fprintf fmt "@[<v>horizon = %s (~%.6g), load = %s (~%.6g)@,"
+    (Q.to_string sched.horizon)
+    (Q.to_float sched.horizon)
+    (Q.to_string (total_load sched))
+    (Q.to_float (total_load sched));
+  Array.iter
+    (fun e ->
+      let f p = Printf.sprintf "[%.4g, %.4g]" (Q.to_float p.start) (Q.to_float p.finish) in
+      Format.fprintf fmt "  %-6s alpha=%-10.6g send=%s compute=%s return=%s@,"
+        (Platform.get sched.platform e.worker).Platform.name
+        (Q.to_float e.alpha) (f e.send) (f e.compute) (f e.return_))
+    sched.entries;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,61 @@
+(** Explicit schedules: concrete start/finish dates for every transfer
+    and computation, built from an LP solution.
+
+    Construction follows the paper's canonical form: initial messages
+    are packed back-to-back from time 0 in [sigma1] order; return
+    messages are packed back-to-back ending at the horizon in [sigma2]
+    order ("as late as possible").  The LP constraints guarantee the
+    result is a valid one-port schedule; {!validate} re-checks every
+    invariant from scratch. *)
+
+module Q = Numeric.Rational
+
+type phase = { start : Q.t; finish : Q.t }
+
+type entry = {
+  worker : int;  (** platform worker index *)
+  alpha : Q.t;  (** load processed by this worker *)
+  send : phase;  (** master-to-worker data transfer *)
+  compute : phase;
+  return_ : phase;  (** worker-to-master result transfer *)
+}
+
+type t = {
+  platform : Platform.t;
+  horizon : Q.t;  (** total schedule duration *)
+  entries : entry array;  (** in [sigma1] order; zero-load workers omitted *)
+}
+
+(** [of_solved s] realizes the LP solution as a schedule with horizon 1. *)
+val of_solved : Lp_model.solved -> t
+
+(** [for_load s ~load] scales the unit schedule so that the total
+    processed load is [load]; the horizon becomes [load / rho]. *)
+val for_load : Lp_model.solved -> load:Q.t -> t
+
+(** [scale k sched] multiplies every date and every load by [k > 0]. *)
+val scale : Q.t -> t -> t
+
+(** [mirror sched] reverses time: sends become returns and vice versa.
+    The mirror of a valid schedule on platform [(c, w, d)] is a valid
+    schedule on the platform [(d, w, c)] — the paper's argument for the
+    [z > 1] case.  The returned schedule lives on that swapped
+    platform. *)
+val mirror : t -> t
+
+(** [total_load sched] is [Σ alpha]. *)
+val total_load : t -> Q.t
+
+val makespan : t -> Q.t
+
+(** [idle_times sched] is the per-entry gap between the end of the
+    computation and the start of the return transfer. *)
+val idle_times : t -> (int * Q.t) list
+
+(** [validate sched] re-derives every invariant: phase durations match
+    [alpha * c / w / d], precedence (receive before compute before
+    return), the one-port property (no two master transfers overlap),
+    and containment in [0, horizon].  Returns all violations. *)
+val validate : t -> (unit, string list) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,135 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type stats = { nodes : int; pruned : int; lps : int }
+
+(* Relaxation bound for a fixed FIFO prefix (ordered) and a set of
+   unplaced workers.  Exact deadline rows for the prefix; optimistic
+   rows for the unplaced; the full one-port row.  The paper's idle
+   variables are omitted: in a pure-[<=] program [chain + x <= 1, x >= 0]
+   is equivalent to [chain <= 1], and halving the variable count speeds
+   every pivot up. *)
+let bound_problem discipline model platform prefix remaining =
+  let qp = Array.length prefix and qr = Array.length remaining in
+  let n = qp + qr in
+  let wk slot = Platform.get platform slot in
+  let all = Array.append prefix remaining in
+  let constraints = ref [] in
+  let add coeffs rhs =
+    constraints := Simplex.Problem.constr coeffs Simplex.Problem.Le rhs :: !constraints
+  in
+  (* prefix deadlines: exact under any completion.  FIFO: position k
+     waits for sends up to k and for the returns of positions >= k,
+     which include every unplaced worker.  LIFO: position k's sends and
+     returns both range over positions <= k only, all in the prefix. *)
+  for k = 0 to qp - 1 do
+    let coeffs = Array.make n Q.zero in
+    for j = 0 to n - 1 do
+      let w = wk all.(j) in
+      let contrib = ref Q.zero in
+      (match discipline with
+      | `Fifo ->
+        if j <= k && j < qp then contrib := !contrib +/ w.Platform.c;
+        if j >= k || j >= qp then contrib := !contrib +/ w.Platform.d
+      | `Lifo ->
+        if j <= k then contrib := !contrib +/ (w.Platform.c +/ w.Platform.d));
+      if j = k then contrib := !contrib +/ w.Platform.w;
+      coeffs.(j) <- !contrib
+    done;
+    add coeffs Q.one
+  done;
+  (* unplaced workers: optimistic completion.  FIFO: the prefix sends
+     precede its own chain.  LIFO: additionally, every prefix worker
+     returns after it, so the whole prefix return block is in its way. *)
+  for k = qp to n - 1 do
+    let coeffs = Array.make n Q.zero in
+    for j = 0 to qp - 1 do
+      let w = wk all.(j) in
+      coeffs.(j) <-
+        (match discipline with
+        | `Fifo -> w.Platform.c
+        | `Lifo -> w.Platform.c +/ w.Platform.d)
+    done;
+    let w = wk all.(k) in
+    coeffs.(k) <- w.Platform.c +/ w.Platform.w +/ w.Platform.d;
+    add coeffs Q.one
+  done;
+  (match model with
+  | Lp_model.Two_port -> ()
+  | Lp_model.One_port ->
+    let coeffs = Array.make n Q.zero in
+    for j = 0 to n - 1 do
+      let w = wk all.(j) in
+      coeffs.(j) <- w.Platform.c +/ w.Platform.d
+    done;
+    add coeffs Q.one);
+  let objective = Array.make n Q.one in
+  Simplex.Problem.make Simplex.Problem.Maximize objective (List.rev !constraints)
+
+(* Two-tier bound test: a float solve first — if it says the node cannot
+   be pruned (bound clearly above the incumbent) we skip the exact LP
+   entirely; only when pruning looks possible do we confirm with exact
+   arithmetic, so no subtree is ever cut on floating-point evidence. *)
+let prunable discipline model platform prefix remaining ~incumbent ~count_lp =
+  let problem = bound_problem discipline model platform prefix remaining in
+  let inc = Q.to_float incumbent in
+  let clearly_unprunable =
+    match Simplex.Float_solver.solve problem with
+    | Simplex.Float_solver.Optimal s ->
+      s.Simplex.Float_solver.value > inc +. (1e-6 *. Float.max 1.0 (Float.abs inc))
+    | _ -> false
+  in
+  if clearly_unprunable then false
+  else begin
+    count_lp ();
+    let bound = (Simplex.Solver.solve_exn problem).Simplex.Solver.value in
+    Q.compare bound incumbent <= 0
+  end
+
+let search discipline model platform =
+  let n = Platform.size platform in
+  let nodes = ref 0 and pruned = ref 0 and lps = ref 0 in
+  let scenario_of order =
+    match discipline with
+    | `Fifo -> Scenario.fifo platform order
+    | `Lifo -> Scenario.lifo platform order
+  in
+  let solve_order order =
+    incr lps;
+    Lp_model.solve ~model (scenario_of order)
+  in
+  (* Incumbent: the Theorem 1 heuristic order (also the optimal LIFO
+     order under uniform z, per the companion paper). *)
+  let incumbent = ref (solve_order (Fifo.order platform)) in
+  (* Branch in ascending-c order, which tends to find improvements
+     early. *)
+  let candidates = Fifo.order platform in
+  let rec dfs prefix used =
+    incr nodes;
+    let remaining =
+      Array.of_list
+        (List.filter (fun i -> not used.(i)) (Array.to_list candidates))
+    in
+    if Array.length remaining = 0 then begin
+      let sol = solve_order (Array.of_list (List.rev prefix)) in
+      if sol.Lp_model.rho >/ !incumbent.Lp_model.rho then incumbent := sol
+    end
+    else if
+      prunable discipline model platform
+        (Array.of_list (List.rev prefix))
+        remaining ~incumbent:!incumbent.Lp_model.rho
+        ~count_lp:(fun () -> incr lps)
+    then incr pruned
+    else
+      Array.iter
+        (fun i ->
+          used.(i) <- true;
+          dfs (i :: prefix) used;
+          used.(i) <- false)
+        remaining
+  in
+  dfs [] (Array.make n false);
+  (!incumbent, { nodes = !nodes; pruned = !pruned; lps = !lps })
+
+let best_fifo ?(model = Lp_model.One_port) platform = search `Fifo model platform
+let best_lifo ?(model = Lp_model.One_port) platform = search `Lifo model platform

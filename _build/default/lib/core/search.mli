@@ -1,0 +1,43 @@
+(** Branch-and-bound search for the best FIFO sending order.
+
+    Theorem 1 solves the FIFO problem when every worker has the same
+    return ratio [d_i / c_i].  Outside that hypothesis (mixed
+    applications, asymmetric links) no ordering rule is known, and
+    {!Brute.best_fifo} costs [p!] LPs.  This module searches the
+    permutation tree with an admissible LP relaxation:
+
+    - a {e prefix} of the order is fixed; its deadline constraints are
+      exact (every unplaced worker provably returns after the whole
+      prefix under FIFO);
+    - each unplaced worker is given its most optimistic completion
+      (served immediately after the prefix, returning first among the
+      unplaced), which can only overestimate the achievable throughput;
+    - the one-port constraint is kept in full.
+
+    A node is pruned when its relaxation bound cannot beat the
+    incumbent (seeded with the Theorem 1 order, which is usually
+    optimal and makes the search mostly a proof of optimality).  The
+    bound uses a two-tier solve: a floating-point simplex first, and an
+    exact confirmation only when pruning looks possible — so no subtree
+    is ever cut on floating-point evidence, but most nodes skip the
+    exact LP. *)
+
+module Q = Numeric.Rational
+
+type stats = {
+  nodes : int;  (** search-tree nodes visited *)
+  pruned : int;  (** subtrees cut by the bound *)
+  lps : int;  (** linear programs solved (bounds + leaves) *)
+}
+
+(** [best_fifo ?model platform] is the exact optimal FIFO solution (over
+    all sending orders; participation is still decided by the LP) and
+    the search statistics. *)
+val best_fifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved * stats
+
+(** [best_lifo ?model platform] is the exact optimal LIFO solution.  The
+    relaxation adapts: a LIFO prefix's workers return {e last} (after
+    every unplaced worker), so their deadline rows only involve the
+    prefix, while each unplaced worker optimistically pays the prefix
+    sends, its own chain, and the whole prefix return block. *)
+val best_lifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved * stats

@@ -1,0 +1,48 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type parameter = Comm of int | Comp of int
+
+let perturb platform param ~factor =
+  if Q.sign factor <= 0 then invalid_arg "Sensitivity.perturb: factor must be positive";
+  let n = Platform.size platform in
+  let target, scale_comm =
+    match param with Comm i -> (i, true) | Comp i -> (i, false)
+  in
+  if target < 0 || target >= n then
+    invalid_arg "Sensitivity.perturb: worker index out of range";
+  Platform.make
+    (List.init n (fun i ->
+         let wk = Platform.get platform i in
+         if i <> target then
+           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.c
+             ~w:wk.Platform.w ~d:wk.Platform.d ()
+         else if scale_comm then
+           Platform.worker ~name:wk.Platform.name
+             ~c:(factor */ wk.Platform.c)
+             ~w:wk.Platform.w
+             ~d:(factor */ wk.Platform.d)
+             ()
+         else
+           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.c
+             ~w:(factor */ wk.Platform.w)
+             ~d:wk.Platform.d ()))
+
+let throughput_delta ?model platform param ~factor =
+  let before = (Fifo.optimal ?model platform).Lp_model.rho in
+  let after = (Fifo.optimal ?model (perturb platform param ~factor)).Lp_model.rho in
+  after -/ before
+
+let table ?model platform ~factor =
+  let n = Platform.size platform in
+  let rho = (Fifo.optimal ?model platform).Lp_model.rho in
+  List.concat_map
+    (fun i ->
+      List.map
+        (fun param -> (param, throughput_delta ?model platform param ~factor // rho))
+        [ Comm i; Comp i ])
+    (List.init n Fun.id)
+
+let parameter_to_string platform = function
+  | Comm i -> Printf.sprintf "comm(%s)" (Platform.get platform i).Platform.name
+  | Comp i -> Printf.sprintf "comp(%s)" (Platform.get platform i).Platform.name

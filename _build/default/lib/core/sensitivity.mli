@@ -1,0 +1,37 @@
+(** Exact sensitivity analysis of the optimal throughput.
+
+    How much does a schedule's throughput move when one platform
+    parameter drifts?  Because the solver is exact, we can answer with
+    exact finite differences — no numerical noise, arbitrary step sizes.
+    The sign structure is itself a (machine-checked) theorem: slowing
+    any resource can only reduce the optimal FIFO throughput, and
+    perturbing a worker that optimal resource selection already dropped
+    changes nothing. *)
+
+module Q = Numeric.Rational
+
+type parameter =
+  | Comm of int  (** [c] (and proportionally [d]) of one worker *)
+  | Comp of int  (** [w] of one worker *)
+
+(** [perturb platform param ~factor] scales the parameter by
+    [factor > 0]; [Comm] scales both [c] and [d], preserving the
+    platform's return ratio [z] (the paper's hypothesis). *)
+val perturb : Platform.t -> parameter -> factor:Q.t -> Platform.t
+
+(** [throughput_delta ?model platform param ~factor] is
+    [rho(perturbed) - rho(original)] for the optimal FIFO schedule,
+    exactly. *)
+val throughput_delta :
+  ?model:Lp_model.model -> Platform.t -> parameter -> factor:Q.t -> Q.t
+
+(** [table ?model platform ~factor] lists, for every worker and both
+    parameters, the exact relative throughput change
+    [(rho' - rho) / rho] when that parameter is scaled by [factor]. *)
+val table :
+  ?model:Lp_model.model ->
+  Platform.t ->
+  factor:Q.t ->
+  (parameter * Q.t) list
+
+val parameter_to_string : Platform.t -> parameter -> string

@@ -1,0 +1,208 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type t = { name : string; w : Q.t option; children : (Q.t * t) list }
+
+let counter = ref 0
+
+let fresh_name prefix =
+  incr counter;
+  Printf.sprintf "%s%d" prefix !counter
+
+let leaf ?name w =
+  if Q.sign w <= 0 then invalid_arg "Tree.leaf: w must be positive";
+  { name = Option.value name ~default:(fresh_name "L"); w = Some w; children = [] }
+
+let node ?name ?w children =
+  (match w with
+  | Some w when Q.sign w <= 0 -> invalid_arg "Tree.node: w must be positive"
+  | _ -> ());
+  if w = None && children = [] then
+    invalid_arg "Tree.node: a relay node needs children";
+  List.iter
+    (fun (c, _) -> if Q.sign c <= 0 then invalid_arg "Tree.node: link cost must be positive")
+    children;
+  { name = Option.value name ~default:(fresh_name "N"); w; children }
+
+let root children = node ~name:"root" children
+
+let rec size t =
+  1 + List.fold_left (fun acc (_, child) -> acc + size child) 0 t.children
+
+(* The local star of a node acting as a worker: itself as a zero-cost
+   pseudo-child (front-end overlap) plus every child summarized by its
+   equivalent cost.  Entries are (link cost, per-unit cost), sorted
+   bandwidth-first; [include_self] is dropped for the root (the master
+   does not compute). *)
+let rec local_star ~include_self t =
+  let children =
+    List.map (fun (c, child) -> (c, equivalent_w child)) t.children
+  in
+  let entries =
+    match (include_self, t.w) with
+    | true, Some w -> (Q.zero, w) :: children
+    | _ -> children
+  in
+  List.stable_sort (fun (c1, _) (c2, _) -> Q.compare c1 c2) entries
+
+(* Closed-form loads of [6] on a (c, w) list, unit horizon. *)
+and star_loads entries =
+  let previous = ref None in
+  List.map
+    (fun (c, w) ->
+      let alpha =
+        match !previous with
+        | None -> Q.inv (c +/ w)
+        | Some (alpha, w_prev) -> alpha */ w_prev // (c +/ w)
+      in
+      previous := Some (alpha, w);
+      alpha)
+    entries
+
+and throughput_as_worker t = Q.sum (star_loads (local_star ~include_self:true t))
+
+and equivalent_w t =
+  match (t.w, t.children) with
+  | Some w, [] -> w
+  | _ -> Q.inv (throughput_as_worker t)
+
+let throughput t =
+  if t.children = [] then invalid_arg "Tree.throughput: the root has no workers";
+  Q.sum (star_loads (local_star ~include_self:false t))
+
+type assignment = {
+  node_name : string;
+  load : Q.t;
+  subtree_load : Q.t;
+  receive_start : Q.t;
+  receive_finish : Q.t;
+  compute_finish : Q.t;
+}
+
+(* Lay the timeline out recursively.  [total] units enter the subtree
+   during [recv_start, recv_finish] and every computation must end by
+   [deadline]; the closed form guarantees an exact fit. *)
+let schedule t =
+  let out = ref [] in
+  let rec layout node ~recv_start ~recv_finish ~deadline ~total ~is_root =
+    let include_self = (not is_root) && node.w <> None in
+    let entries = local_star ~include_self node in
+    let unit_loads = star_loads entries in
+    let rho = Q.sum unit_loads in
+    let window = deadline -/ recv_finish in
+    assert (Q.equal total (window */ rho));
+    let scale = window in
+    (* Split the scaled loads back between "self" and the children: the
+       self pseudo-entry, when present, is the unique zero-c entry. *)
+    let own_load = ref Q.zero in
+    let child_loads = ref [] in
+    List.iter2
+      (fun (c, _) alpha ->
+        let load = alpha */ scale in
+        if include_self && Q.is_zero c then own_load := load
+        else child_loads := load :: !child_loads)
+      entries unit_loads;
+    let child_loads = List.rev !child_loads in
+    (* Computing nodes end exactly at the deadline (simultaneous
+       completion); relays and the root do not compute. *)
+    let compute_finish = if include_self then deadline else recv_finish in
+    out :=
+      {
+        node_name = node.name;
+        load = !own_load;
+        subtree_load = total;
+        receive_start = recv_start;
+        receive_finish = recv_finish;
+        compute_finish;
+      }
+      :: !out;
+    (* children sorted bandwidth-first, served back-to-back *)
+    let sorted_children =
+      List.stable_sort (fun (c1, _) (c2, _) -> Q.compare c1 c2) node.children
+    in
+    let clock = ref recv_finish in
+    List.iter2
+      (fun (c, child) load ->
+        let start = !clock in
+        let finish = start +/ (load */ c) in
+        clock := finish;
+        layout child ~recv_start:start ~recv_finish:finish ~deadline
+          ~total:load ~is_root:false)
+      sorted_children child_loads
+  in
+  let total = throughput t in
+  layout t ~recv_start:Q.zero ~recv_finish:Q.zero ~deadline:Q.one ~total
+    ~is_root:true;
+  List.rev !out
+
+let validate t =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let assignments = schedule t in
+  let names = List.map (fun a -> a.node_name) assignments in
+  if List.length (List.sort_uniq Stdlib.compare names) <> List.length names then
+    add "duplicate node names: validation needs unique names";
+  let find name =
+    match List.find_opt (fun a -> a.node_name = name) assignments with
+    | Some a -> a
+    | None ->
+      add "node %s missing from the schedule" name;
+      raise Exit
+  in
+  (try
+     let rec walk node ~is_root =
+       let a = find node.name in
+       (* conservation *)
+       let children_total =
+         Q.sum (List.map (fun (_, child) -> (find child.name).subtree_load) node.children)
+       in
+       if a.subtree_load <>/ (a.load +/ children_total) then
+         add "%s: subtree load %s <> own %s + children %s" node.name
+           (Q.to_string a.subtree_load) (Q.to_string a.load)
+           (Q.to_string children_total);
+       (* reception window duration *)
+       if not is_root then begin
+         if Q.sign a.subtree_load <= 0 then add "%s: no load" node.name
+       end;
+       (* own computation fits and uses the whole window *)
+       (match node.w with
+       | Some w when not is_root ->
+         let start = a.receive_finish in
+         if start +/ (a.load */ w) <>/ a.compute_finish then
+           add "%s: compute duration mismatch" node.name;
+         if a.compute_finish <>/ Q.one then
+           add "%s: does not finish at the horizon (%s)" node.name
+             (Q.to_string a.compute_finish)
+       | _ -> if Q.sign a.load <> 0 then add "%s: relay with load" node.name);
+       (* children: bandwidth-first, consecutive sends after reception *)
+       let sorted_children =
+         List.stable_sort
+           (fun ((c1 : Q.t), _) (c2, _) -> Q.compare c1 c2)
+           node.children
+       in
+       let clock = ref a.receive_finish in
+       List.iter
+         (fun (c, child) ->
+           let ca = find child.name in
+           if ca.receive_start <>/ !clock then
+             add "%s -> %s: transfer does not chain (starts %s, expected %s)"
+               node.name child.name
+               (Q.to_string ca.receive_start)
+               (Q.to_string !clock);
+           if ca.receive_finish <>/ (ca.receive_start +/ (ca.subtree_load */ c))
+           then add "%s -> %s: transfer duration mismatch" node.name child.name;
+           clock := ca.receive_finish;
+           walk child ~is_root:false)
+         sorted_children
+     in
+     walk t ~is_root:true
+   with Exit -> ());
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let rec pp fmt t =
+  let w_str = match t.w with Some w -> Q.to_string w | None -> "-" in
+  Format.fprintf fmt "@[<v 2>%s (w=%s)" t.name w_str;
+  List.iter
+    (fun (c, child) -> Format.fprintf fmt "@,--%s--> %a" (Q.to_string c) pp child)
+    t.children;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,78 @@
+(** Baseline: divisible loads on tree networks (no return messages).
+
+    The DLS literature the paper builds on ([10], Barlas [4], the
+    surveys) treats multi-level trees by the {e equivalent processor}
+    technique: a whole subtree is summarized as a single worker whose
+    speed is the subtree's throughput, then the parent's star problem is
+    solved with the results of [6] (bandwidth-first order, closed-form
+    loads — see {!No_return}).
+
+    Model (linear costs, no return messages):
+    - the root holds the load and does not compute;
+    - every other node has a computation cost [w] per unit and is
+      reached from its parent through a link of cost [c] per unit;
+    - store-and-forward: a node receives its whole subtree share before
+      redistributing;
+    - one-port sends: a node serves its children sequentially,
+      bandwidth-first;
+    - with front-end: a node's own computation overlaps its sends (it is
+      modelled as a zero-[c] extra child in its own star).
+
+    {!validate} rebuilds the explicit timeline from scratch and checks
+    every one of these rules, so the algebraic reduction is
+    machine-checked against the operational model. *)
+
+module Q = Numeric.Rational
+
+type t = private {
+  name : string;
+  w : Q.t option;  (** computation cost per unit; [None]: pure relay *)
+  children : (Q.t * t) list;  (** (link cost, subtree) *)
+}
+
+(** [leaf ?name w] is a computing leaf.
+    @raise Invalid_argument unless [w > 0]. *)
+val leaf : ?name:string -> Q.t -> t
+
+(** [node ?name ?w children] is an internal node ([w = None] relays
+    only).  @raise Invalid_argument on empty children with no [w], or
+    non-positive costs. *)
+val node : ?name:string -> ?w:Q.t -> (Q.t * t) list -> t
+
+(** [root children] is the master: no computation of its own. *)
+val root : (Q.t * t) list -> t
+
+val size : t -> int
+
+(** [throughput tree] is the load processed within [T = 1] when the
+    {e root} of [tree] holds the load (its own [w] is then ignored,
+    matching the paper's master convention). *)
+val throughput : t -> Q.t
+
+(** [equivalent_w tree] is the equivalent-processor cost of the tree
+    acting as a worker: time per load unit once its input has arrived
+    (computation included).  [1 / throughput] with the node's own [w]
+    participating. *)
+val equivalent_w : t -> Q.t
+
+type assignment = {
+  node_name : string;
+  load : Q.t;  (** units computed by this node itself *)
+  subtree_load : Q.t;  (** units entering this node's subtree *)
+  receive_start : Q.t;
+  receive_finish : Q.t;
+  compute_finish : Q.t;
+}
+
+(** [schedule tree] lays out the full timeline for the unit-horizon
+    optimal distribution (one entry per node, preorder). *)
+val schedule : t -> assignment list
+
+(** [validate tree] re-derives the timeline and checks: load
+    conservation at every node, sequential one-port sends, children
+    served bandwidth-first after full reception, and completion within
+    the horizon (all computing nodes finish exactly at 1 — the classic
+    simultaneous-completion property). *)
+val validate : t -> (unit, string list) result
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+module Q = Numeric.Rational
+
+type sexp = Atom of string | List of sexp list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let tokenize text =
+  let tokens = ref [] in
+  let n = String.length text in
+  let i = ref 0 in
+  while !i < n do
+    match text.[!i] with
+    | '(' ->
+      tokens := "(" :: !tokens;
+      incr i
+    | ')' ->
+      tokens := ")" :: !tokens;
+      incr i
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    | _ ->
+      let start = !i in
+      while
+        !i < n
+        && not (List.mem text.[!i] [ '('; ')'; ' '; '\t'; '\n'; '\r'; ';' ])
+      do
+        incr i
+      done;
+      tokens := String.sub text start (!i - start) :: !tokens
+  done;
+  List.rev !tokens
+
+let parse_sexp tokens =
+  let rec one = function
+    | [] -> fail "unexpected end of input"
+    | "(" :: rest ->
+      let items, rest = many [] rest in
+      (List items, rest)
+    | ")" :: _ -> fail "unexpected ')'"
+    | atom :: rest -> (Atom atom, rest)
+  and many acc = function
+    | ")" :: rest -> (List.rev acc, rest)
+    | [] -> fail "missing ')'"
+    | tokens ->
+      let item, rest = one tokens in
+      many (item :: acc) rest
+  in
+  match one tokens with
+  | sexp, [] -> sexp
+  | _, _ :: _ -> fail "trailing tokens after the tree"
+
+let rational_of_atom s =
+  match Q.of_string s with
+  | q ->
+    if Q.sign q <= 0 then fail "costs must be positive, got %s" s;
+    q
+  | exception _ -> fail "expected a rational, got %S" s
+
+let rec tree_of_sexp = function
+  | Atom a -> fail "expected a tree, got atom %S" a
+  | List (Atom "leaf" :: [ Atom w ]) -> Tree.leaf (rational_of_atom w)
+  | List (Atom "leaf" :: _) -> fail "leaf takes exactly one cost"
+  | List (Atom "relay" :: children) -> Tree.node (List.map child_of_sexp children)
+  | List (Atom "node" :: Atom w :: children) ->
+    Tree.node ~w:(rational_of_atom w) (List.map child_of_sexp children)
+  | List (Atom "node" :: children) -> Tree.node (List.map child_of_sexp children)
+  | List _ -> fail "expected (leaf W), (node [W] ...) or (relay ...)"
+
+and child_of_sexp = function
+  | List [ Atom c; sub ] -> (rational_of_atom c, tree_of_sexp sub)
+  | _ -> fail "expected a (link-cost tree) pair"
+
+let of_string text =
+  match parse_sexp (tokenize text) with
+  | exception Parse_error e -> Error e
+  | sexp -> (
+    match tree_of_sexp sexp with
+    | tree -> Ok tree
+    | exception Parse_error e -> Error e
+    | exception Invalid_argument e -> Error e)
+
+let rec to_string (t : Tree.t) =
+  match (t.Tree.w, t.Tree.children) with
+  | Some w, [] -> Printf.sprintf "(leaf %s)" (Q.to_string w)
+  | Some w, children ->
+    Printf.sprintf "(node %s %s)" (Q.to_string w) (children_to_string children)
+  | None, children -> Printf.sprintf "(relay %s)" (children_to_string children)
+
+and children_to_string children =
+  String.concat " "
+    (List.map
+       (fun (c, sub) -> Printf.sprintf "(%s %s)" (Q.to_string c) (to_string sub))
+       children)

@@ -1,0 +1,23 @@
+(** A small s-expression syntax for tree platforms.
+
+    {v
+    tree  ::= (leaf W) | (node [W] child ...) | (relay child ...)
+    child ::= (C tree)
+    v}
+
+    where [W] and [C] are rationals: [W] the node's per-unit computation
+    cost, [C] the cost of the link from its parent.  The outermost tree
+    is the master (its own [W], if any, is ignored — the paper's master
+    does not compute).
+
+    {v
+    (node (1 (leaf 2))
+          (1/2 (node 3 (2 (leaf 1))))
+          (2 (relay (1 (leaf 1/2)))))
+    v} *)
+
+(** [of_string s] parses a tree. *)
+val of_string : string -> (Tree.t, string) result
+
+(** [to_string t] prints a tree back in the same syntax. *)
+val to_string : Tree.t -> string

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Campaign Cluster Dls Float Fun List Numeric Printf Report Sim Stats Unix

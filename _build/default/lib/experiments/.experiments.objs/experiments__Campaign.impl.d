@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Array Cluster Dls Numeric Sim

@@ -1,0 +1,1 @@
+lib/experiments/fig14.ml: Array Campaign Cluster Dls List Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/fig23.ml: Array Dls Fun List Numeric Printf Report Sim String

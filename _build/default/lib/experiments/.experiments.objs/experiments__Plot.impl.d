@@ -1,0 +1,1 @@
+lib/experiments/plot.ml: Array Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Ablations Fig14 Fig23 Fig8 Fig9 List Report Sweep

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Buffer Char Float Format List Printf String

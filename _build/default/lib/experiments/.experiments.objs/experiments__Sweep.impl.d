@@ -1,0 +1,1 @@
+lib/experiments/sweep.ml: Campaign Cluster Dls Hashtbl List Option Plot Printf Report Stats String

@@ -1,0 +1,26 @@
+module Q = Numeric.Rational
+
+type measurement = {
+  heuristic : Dls.Heuristics.t;
+  lp_time : float;
+  real_time : float;
+  workers_used : int;
+}
+
+let measure_platform ?noise_params ~rng ~n ~total platform heuristic =
+  let sol = Dls.Heuristics.solve heuristic platform in
+  let lp_time =
+    Q.to_float (Dls.Lp_model.time_for_load sol ~load:(Q.of_int total))
+  in
+  let plan = Sim.Star.plan_of_rounded sol ~total in
+  let noise = Cluster.Noise.make ?params:noise_params rng ~n in
+  let trace = Sim.Star.execute ~noise platform plan in
+  let workers_used =
+    Array.fold_left (fun acc l -> if l > 0.0 then acc + 1 else acc) 0
+      plan.Sim.Star.loads
+  in
+  { heuristic; lp_time; real_time = trace.Sim.Trace.makespan; workers_used }
+
+let measure ?noise_params ~rng ~machine ~n ~total factors heuristic =
+  let platform = Cluster.Gen.platform machine ~n factors in
+  measure_platform ?noise_params ~rng ~n ~total platform heuristic

@@ -1,0 +1,49 @@
+module Q = Numeric.Rational
+
+(* A fixed, moderately heterogeneous 4-worker platform with z = 1/2 —
+   enough asymmetry that the three disciplines differ visibly. *)
+let platform () =
+  Dls.Platform.with_return_ratio ~z:Q.half
+    [
+      (Q.of_ints 1 4, Q.of_ints 3 4);
+      (Q.of_ints 1 3, Q.of_ints 1 2);
+      (Q.of_ints 1 2, Q.of_ints 2 5);
+      (Q.of_ints 2 3, Q.of_ints 1 4);
+    ]
+
+let report_of ~width ~id ~title sol =
+  let sched = Dls.Schedule.of_solved sol in
+  let gantt = Sim.Gantt.render_schedule ~width sched in
+  let s = sol.Dls.Lp_model.scenario in
+  let name i = (Dls.Platform.get s.Dls.Scenario.platform i).Dls.Platform.name in
+  let order a = String.concat " " (Array.to_list (Array.map name a)) in
+  let rows =
+    List.filter_map
+      (fun i ->
+        let alpha = sol.Dls.Lp_model.alpha.(i) in
+        if Q.sign alpha > 0 then
+          Some [ Report.Str (name i); Report.Float (Q.to_float alpha) ]
+        else None)
+      (List.init (Dls.Platform.size s.Dls.Scenario.platform) Fun.id)
+  in
+  Report.make ~id ~title
+    ~columns:[ "worker"; "alpha" ]
+    ~notes:
+      (Printf.sprintf "rho = %s (~%.5f); sends: %s; returns: %s"
+         (Q.to_string sol.Dls.Lp_model.rho)
+         (Q.to_float sol.Dls.Lp_model.rho)
+         (order s.Dls.Scenario.sigma1)
+         (order s.Dls.Scenario.sigma2)
+      :: String.split_on_char '\n' gantt)
+    rows
+
+let run ?(width = 72) () =
+  let p = platform () in
+  [
+    report_of ~width ~id:"fig2" ~title:"a general schedule (best permutation pair)"
+      (Dls.Brute.best_general p);
+    report_of ~width ~id:"fig3a" ~title:"the optimal FIFO schedule"
+      (Dls.Fifo.optimal p);
+    report_of ~width ~id:"fig3b" ~title:"the optimal LIFO schedule"
+      (Dls.Lifo.optimal p);
+  ]

@@ -1,0 +1,12 @@
+(** Figures 2 and 3 of the paper: the shape of general, FIFO and LIFO
+    schedules.
+
+    These are illustrative figures, not measurements — we regenerate
+    them by solving a fixed 4-worker platform under each discipline and
+    rendering the exact schedules as Gantt charts (the general
+    permutation pair of Figure 2 is the best one found by exhaustive
+    search). *)
+
+(** [run ()] returns one report per discipline, each carrying its chart
+    in the notes. *)
+val run : ?width:int -> unit -> Report.t list

@@ -1,0 +1,51 @@
+module Q = Numeric.Rational
+
+let find_selective_platform ~workers ~wanted ~n =
+  let machine = Cluster.Workload.gdsdmi in
+  let rec search seed =
+    if seed > 10_000 then failwith "Fig9: no selective platform found"
+    else begin
+      let rng = Cluster.Prng.create ~seed in
+      let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
+      let p = Cluster.Gen.platform machine ~n f in
+      let sol = Dls.Heuristics.solve Dls.Heuristics.Inc_c p in
+      if List.length (Dls.Lp_model.enrolled_workers sol) = wanted then
+        (seed, f, p, sol)
+      else search (seed + 1)
+    end
+  in
+  search 0
+
+let run ?(width = 72) () =
+  let n = 300 and total = 200 and workers = 5 in
+  let seed, f, platform, sol = find_selective_platform ~workers ~wanted:3 ~n in
+  let rng = Cluster.Prng.create ~seed:(seed + 77) in
+  let plan = Sim.Star.plan_of_rounded sol ~total in
+  let noise = Cluster.Noise.make rng ~n in
+  let trace = Sim.Star.execute ~noise platform plan in
+  let rows =
+    List.init workers (fun i ->
+        [
+          Report.Str (Dls.Platform.get platform i).Dls.Platform.name;
+          Report.Int f.Cluster.Gen.comm.(i);
+          Report.Int f.Cluster.Gen.comp.(i);
+          Report.Float (Q.to_float sol.Dls.Lp_model.alpha.(i));
+          Report.Int (int_of_float plan.Sim.Star.loads.(i));
+        ])
+  in
+  let gantt =
+    Sim.Gantt.render ~width
+      ~names:(fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
+      trace
+  in
+  let notes =
+    Printf.sprintf "platform seed %d, matrix size %d, %d items, makespan %.3f s"
+      seed n total trace.Sim.Trace.makespan
+    :: Printf.sprintf "one-port violations: %d; trace valid: %b"
+         (List.length (Sim.Trace.one_port_violations trace))
+         (Sim.Trace.is_valid trace)
+    :: String.split_on_char '\n' gantt
+  in
+  Report.make ~id:"fig9" ~title:"execution trace, heterogeneous platform (INC_C)"
+    ~columns:[ "worker"; "comm x"; "comp x"; "alpha"; "items" ]
+    ~notes rows

@@ -1,0 +1,13 @@
+(** Figure 9: trace visualization of one campaign on a heterogeneous
+    platform.
+
+    As in the paper, a 5-worker heterogeneous platform is scheduled with
+    the FIFO INC_C heuristic; because of resource selection only three
+    of the five workers actually compute.  The report carries the
+    per-worker loads and an ASCII Gantt chart of the simulated
+    execution (data transfers, computations, result transfers). *)
+
+(** [run ()] deterministically searches platform seeds until resource
+    selection drops exactly two of the five workers, then simulates and
+    renders that campaign. *)
+val run : ?width:int -> unit -> Report.t

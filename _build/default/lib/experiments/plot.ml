@@ -1,0 +1,62 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '~' |]
+
+let render ?(width = 64) ?(height = 16) ?y_min ?y_max series =
+  if List.length series > Array.length markers then
+    invalid_arg "Plot.render: too many series";
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(no data)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_lo = List.fold_left Float.min infinity xs in
+    let x_hi = List.fold_left Float.max neg_infinity xs in
+    let y_lo =
+      match y_min with Some v -> v | None -> List.fold_left Float.min infinity ys
+    in
+    let y_hi =
+      match y_max with Some v -> v | None -> List.fold_left Float.max neg_infinity ys
+    in
+    (* Avoid a degenerate scale when all values coincide. *)
+    let x_hi = if x_hi > x_lo then x_hi else x_lo +. 1.0 in
+    let y_hi = if y_hi > y_lo then y_hi else y_lo +. 1.0 in
+    let grid = Array.make_matrix height width ' ' in
+    let col x =
+      let c =
+        int_of_float ((x -. x_lo) /. (x_hi -. x_lo) *. float_of_int (width - 1))
+      in
+      max 0 (min (width - 1) c)
+    in
+    let row y =
+      let r =
+        int_of_float ((y -. y_lo) /. (y_hi -. y_lo) *. float_of_int (height - 1))
+      in
+      height - 1 - max 0 (min (height - 1) r)
+    in
+    List.iteri
+      (fun si s ->
+        let marker = markers.(si) in
+        List.iter (fun (x, y) -> grid.(row y).(col x) <- marker) s.points)
+      series;
+    let buf = Buffer.create ((height + 4) * (width + 16)) in
+    Array.iteri
+      (fun r line ->
+        let y_label =
+          if r = 0 then Printf.sprintf "%10.4g" y_hi
+          else if r = height - 1 then Printf.sprintf "%10.4g" y_lo
+          else String.make 10 ' '
+        in
+        Buffer.add_string buf (Printf.sprintf "%s |%s|\n" y_label (String.init width (fun c -> line.(c)))))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "%10s +%s+\n" "" (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %-*.4g%*.4g\n" "" (width / 2) x_lo (width - (width / 2))
+         x_hi);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "%10s  %c %s\n" "" markers.(si) s.label))
+      series;
+    Buffer.contents buf
+  end

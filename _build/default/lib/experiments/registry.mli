@@ -1,0 +1,16 @@
+(** Registry of every reproducible experiment, keyed by the paper's
+    figure ids.  The bench harness and the CLI both drive this list. *)
+
+type entry = {
+  id : string;
+  description : string;
+  run : quick:bool -> Report.t list;
+}
+
+val all : entry list
+
+(** [find id] looks an experiment up by id (e.g. "fig12").
+    @raise Not_found for unknown ids. *)
+val find : string -> entry
+
+val ids : unit -> string list

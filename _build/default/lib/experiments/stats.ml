@@ -1,0 +1,25 @@
+let mean = function
+  | [] -> invalid_arg "Stats.mean: empty list"
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  let m = mean xs in
+  let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+  sqrt var
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+let linear_fit points =
+  if List.length points < 2 then invalid_arg "Stats.linear_fit: need >= 2 points";
+  let xs = List.map fst points and ys = List.map snd points in
+  let mx = mean xs and my = mean ys in
+  let sxy =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 points
+  in
+  let sxx = List.fold_left (fun acc x -> acc +. ((x -. mx) ** 2.0)) 0.0 xs in
+  let syy = List.fold_left (fun acc y -> acc +. ((y -. my) ** 2.0)) 0.0 ys in
+  if sxx = 0.0 then invalid_arg "Stats.linear_fit: degenerate x values";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2 }

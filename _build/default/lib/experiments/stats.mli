@@ -1,0 +1,14 @@
+(** Small statistics helpers for the experiment harnesses. *)
+
+(** [mean xs]. @raise Invalid_argument on an empty list. *)
+val mean : float list -> float
+
+(** [stddev xs] is the population standard deviation. *)
+val stddev : float list -> float
+
+type fit = { slope : float; intercept : float; r2 : float }
+
+(** [linear_fit points] is the least-squares line through
+    [(x, y)] pairs — used by the Figure 8 linearity check.
+    @raise Invalid_argument with fewer than 2 points. *)
+val linear_fit : (float * float) list -> fit

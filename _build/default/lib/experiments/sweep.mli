@@ -1,0 +1,42 @@
+(** Figures 10-13: heuristic comparison over random platforms.
+
+    The paper draws 50 random platforms per family, schedules a campaign
+    of 1000 matrix products with each heuristic for matrix sizes 40-200,
+    and plots execution times normalized by the INC_C LP prediction.
+    The five published variants:
+
+    - Fig. 10: homogeneous platforms (INC_C and LIFO only — all FIFO
+      orders coincide);
+    - Fig. 11: homogeneous communication, heterogeneous computation
+      (the bus platforms of Theorem 2);
+    - Fig. 12: fully heterogeneous platforms;
+    - Fig. 13a: Fig. 12 with all computations 10x faster;
+    - Fig. 13b: Fig. 12 with all communications 10x faster. *)
+
+type config = {
+  id : string;
+  title : string;
+  scenario : Cluster.Gen.scenario;
+  comm_times : int;  (** global communication speed multiplier *)
+  comp_times : int;  (** global computation speed multiplier *)
+  heuristics : Dls.Heuristics.t list;
+  platforms : int;
+  workers : int;
+  sizes : int list;
+  total : int;
+  seed : int;
+}
+
+val fig10 : config
+val fig11 : config
+val fig12 : config
+val fig13a : config
+val fig13b : config
+val all : config list
+
+(** [run ?quick config] produces one row per matrix size with the mean
+    INC_C LP time and, for every heuristic, the mean ratios
+    [lp / INC_C lp] and [real / INC_C lp] over the random platforms.
+    [quick] shrinks the sweep (fewer platforms and sizes) for smoke
+    tests. *)
+val run : ?quick:bool -> config -> Report.t

@@ -1,0 +1,1 @@
+lib/numeric/integer.ml: Format Natural Stdlib String

@@ -1,0 +1,1 @@
+lib/numeric/integer.mli: Format Natural

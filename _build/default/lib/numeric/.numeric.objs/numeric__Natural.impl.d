@@ -1,0 +1,1 @@
+lib/numeric/natural.ml: Array Buffer Format List Printf Stdlib String

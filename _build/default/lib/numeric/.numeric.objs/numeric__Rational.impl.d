@@ -1,0 +1,1 @@
+lib/numeric/rational.ml: Array Float Format Int64 Integer List Natural String

@@ -1,0 +1,90 @@
+type t = { sign : int; mag : Natural.t }
+
+let make sign mag =
+  if sign < -1 || sign > 1 then invalid_arg "Integer.make: sign not in {-1,0,1}";
+  if Natural.is_zero mag then { sign = 0; mag = Natural.zero }
+  else if sign = 0 then invalid_arg "Integer.make: zero sign, non-zero magnitude"
+  else { sign; mag }
+
+let zero = { sign = 0; mag = Natural.zero }
+let of_natural mag = if Natural.is_zero mag then zero else { sign = 1; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n > 0 then { sign = 1; mag = Natural.of_int n }
+  else if n = min_int then
+    (* [-min_int] overflows; build |min_int| = 2^62 directly. *)
+    { sign = -1; mag = Natural.shift_left Natural.one 62 }
+  else { sign = -1; mag = Natural.of_int (-n) }
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let sign a = a.sign
+let magnitude a = a.mag
+let is_zero a = a.sign = 0
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+let abs a = if a.sign < 0 then neg a else a
+
+let to_int_opt a =
+  match Natural.to_int_opt a.mag with
+  | Some m -> Some (a.sign * m)
+  | None ->
+    (* |min_int| = 2^62 exceeds max_int but -2^62 is representable. *)
+    if a.sign < 0 && Natural.equal a.mag (Natural.shift_left Natural.one 62)
+    then Some min_int
+    else None
+
+let to_float a = float_of_int a.sign *. Natural.to_float a.mag
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else a.sign * Natural.compare a.mag b.mag
+
+let equal a b = compare a b = 0
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then { a with mag = Natural.add a.mag b.mag }
+  else begin
+    let cmp = Natural.compare a.mag b.mag in
+    if cmp = 0 then zero
+    else if cmp > 0 then { a with mag = Natural.sub a.mag b.mag }
+    else { b with mag = Natural.sub b.mag a.mag }
+  end
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else { sign = a.sign * b.sign; mag = Natural.mul a.mag b.mag }
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  let q, r = Natural.divmod a.mag b.mag in
+  let quotient =
+    if Natural.is_zero q then zero else { sign = a.sign * b.sign; mag = q }
+  in
+  let remainder = if Natural.is_zero r then zero else { sign = a.sign; mag = r } in
+  (quotient, remainder)
+
+let gcd a b = Natural.gcd a.mag b.mag
+
+let pow a k =
+  if k < 0 then invalid_arg "Integer.pow: negative exponent";
+  let mag = Natural.pow a.mag k in
+  if Natural.is_zero mag then zero
+  else { sign = (if a.sign < 0 && k land 1 = 1 then -1 else 1); mag }
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Integer.of_string: empty string";
+  match s.[0] with
+  | '-' -> neg (of_natural (Natural.of_string (String.sub s 1 (len - 1))))
+  | '+' -> of_natural (Natural.of_string (String.sub s 1 (len - 1)))
+  | _ -> of_natural (Natural.of_string s)
+
+let to_string a =
+  if a.sign < 0 then "-" ^ Natural.to_string a.mag else Natural.to_string a.mag
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

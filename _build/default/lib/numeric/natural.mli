@@ -1,0 +1,85 @@
+(** Arbitrary-precision natural numbers (non-negative integers).
+
+    Numbers are stored as little-endian arrays of 30-bit limbs.  All
+    operations are purely functional; the underlying arrays are never
+    shared with the caller in a mutable way.  This module is the base of
+    the exact rational arithmetic used by the simplex solver: schedules
+    computed by the library are exact, with no floating-point drift. *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val ten : t
+
+(** {1 Construction and conversion} *)
+
+(** [of_int n] converts a non-negative OCaml integer.
+    @raise Invalid_argument if [n < 0]. *)
+val of_int : int -> t
+
+(** [to_int_opt a] is [Some n] when [a] fits in an OCaml [int]. *)
+val to_int_opt : t -> int option
+
+(** [to_float a] is the nearest-ish float; loses precision beyond 53 bits
+    and overflows to [infinity] for huge values. *)
+val to_float : t -> float
+
+(** [of_string s] parses a decimal numeral (digits only, optional leading
+    zeros, ['_'] separators allowed).
+    @raise Invalid_argument on empty or non-numeric input. *)
+val of_string : string -> t
+
+(** [to_string a] is the decimal representation of [a]. *)
+val to_string : t -> string
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** {1 Arithmetic} *)
+
+val add : t -> t -> t
+
+(** [sub a b] is [a - b].
+    @raise Invalid_argument if [b > a]. *)
+val sub : t -> t -> t
+
+(** [mul a b] multiplies: schoolbook below 32 limbs, Karatsuba above. *)
+val mul : t -> t -> t
+
+(** [mul_schoolbook a b] is the O(n²) reference multiplication, exposed
+    so the test suite can cross-check {!mul}'s Karatsuba path and the
+    benchmarks can measure the crossover. *)
+val mul_schoolbook : t -> t -> t
+
+(** [divmod a b] is [(a / b, a mod b)] (Euclidean).
+    @raise Division_by_zero if [b] is zero. *)
+val divmod : t -> t -> t * t
+
+(** [gcd a b] is the greatest common divisor; [gcd 0 b = b]. *)
+val gcd : t -> t -> t
+
+(** [pow a k] is [a]{^ [k]} for [k >= 0]. *)
+val pow : t -> int -> t
+
+(** {1 Bit operations} *)
+
+(** [shift_left a k] multiplies [a] by 2{^ [k]} ([k >= 0]). *)
+val shift_left : t -> int -> t
+
+(** [shift_right a k] divides [a] by 2{^ [k]}, rounding down. *)
+val shift_right : t -> int -> t
+
+(** [num_bits a] is the position of the highest set bit plus one
+    (0 for zero). *)
+val num_bits : t -> int
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,140 @@
+type t = { num : Integer.t; den : Integer.t }
+(* Invariant: den > 0, gcd(|num|, den) = 1, zero is 0/1. *)
+
+let make num den =
+  if Integer.is_zero den then raise Division_by_zero;
+  if Integer.is_zero num then { num = Integer.zero; den = Integer.one }
+  else begin
+    let num = if Integer.sign den < 0 then Integer.neg num else num in
+    let den = Integer.abs den in
+    let g = Integer.of_natural (Integer.gcd num den) in
+    let num, _ = Integer.divmod num g in
+    let den, _ = Integer.divmod den g in
+    { num; den }
+  end
+
+let of_integer n = { num = n; den = Integer.one }
+let of_int n = of_integer (Integer.of_int n)
+let of_ints num den = make (Integer.of_int num) (Integer.of_int den)
+let zero = of_int 0
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+let half = of_ints 1 2
+let num a = a.num
+let den a = a.den
+let sign a = Integer.sign a.num
+let is_zero a = Integer.is_zero a.num
+let is_integer a = Integer.equal a.den Integer.one
+let neg a = { a with num = Integer.neg a.num }
+let abs a = { a with num = Integer.abs a.num }
+
+let add a b =
+  make
+    (Integer.add (Integer.mul a.num b.den) (Integer.mul b.num a.den))
+    (Integer.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Integer.mul a.num b.num) (Integer.mul a.den b.den)
+let div a b = make (Integer.mul a.num b.den) (Integer.mul a.den b.num)
+let inv a = div one a
+
+let compare a b =
+  Integer.compare (Integer.mul a.num b.den) (Integer.mul b.num a.den)
+
+let equal a b = Integer.equal a.num b.num && Integer.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let pow a k =
+  if k >= 0 then { num = Integer.pow a.num k; den = Integer.pow a.den k }
+  else inv { num = Integer.pow a.num (-k); den = Integer.pow a.den (-k) }
+
+let floor a =
+  let q, r = Integer.divmod a.num a.den in
+  (* Truncated division rounds toward zero; fix up for negatives. *)
+  if Integer.sign r < 0 then Integer.sub q Integer.one else q
+
+let ceil a = Integer.neg (floor (neg a))
+
+let to_int_exn name n =
+  match Integer.to_int_opt n with
+  | Some v -> v
+  | None -> invalid_arg (name ^ ": result exceeds native int range")
+
+let floor_int a = to_int_exn "Rational.floor_int" (floor a)
+let ceil_int a = to_int_exn "Rational.ceil_int" (ceil a)
+let to_float a = Integer.to_float a.num /. Integer.to_float a.den
+
+let of_float f =
+  if not (Float.is_finite f) then invalid_arg "Rational.of_float: not finite"
+  else if f = 0.0 then zero
+  else begin
+    let mant, exp = Float.frexp f in
+    (* mant * 2^53 is an exact integer for any finite float. *)
+    let scaled = Int64.to_int (Int64.of_float (Float.ldexp mant 53)) in
+    let num = Integer.of_int scaled in
+    let e = exp - 53 in
+    if e >= 0 then of_integer (Integer.mul num (Integer.pow (Integer.of_int 2) e))
+    else make num (Integer.pow (Integer.of_int 2) (-e))
+  end
+
+let sum l = List.fold_left add zero l
+let sum_array a = Array.fold_left add zero a
+
+let to_string a =
+  if is_integer a then Integer.to_string a.num
+  else Integer.to_string a.num ^ "/" ^ Integer.to_string a.den
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let of_string_decimal s =
+  (* [sign] [digits] [. digits] [e|E [sign] digits] *)
+  let len = String.length s in
+  if len = 0 then invalid_arg "Rational.of_string: empty string";
+  let sgn, pos = match s.[0] with '-' -> (-1, 1) | '+' -> (1, 1) | _ -> (1, 0) in
+  let mantissa_end =
+    match String.index_from_opt s pos 'e' with
+    | Some i -> i
+    | None -> ( match String.index_from_opt s pos 'E' with Some i -> i | None -> len)
+  in
+  let mantissa = String.sub s pos (mantissa_end - pos) in
+  let exponent =
+    if mantissa_end = len then 0
+    else int_of_string (String.sub s (mantissa_end + 1) (len - mantissa_end - 1))
+  in
+  let int_part, frac_part =
+    match String.index_opt mantissa '.' with
+    | None -> (mantissa, "")
+    | Some i ->
+      (String.sub mantissa 0 i, String.sub mantissa (i + 1) (String.length mantissa - i - 1))
+  in
+  let digits = int_part ^ frac_part in
+  if digits = "" then invalid_arg "Rational.of_string: no digits";
+  let n = Integer.of_natural (Natural.of_string digits) in
+  let n = if sgn < 0 then Integer.neg n else n in
+  let e = exponent - String.length frac_part in
+  let ten = Integer.of_int 10 in
+  if e >= 0 then of_integer (Integer.mul n (Integer.pow ten e))
+  else make n (Integer.pow ten (-e))
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let p = Integer.of_string (String.sub s 0 i) in
+    let q = Integer.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make p q
+  | None -> of_string_decimal s
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) = equal
+  let ( <>/ ) a b = not (equal a b)
+  let ( </ ) a b = compare a b < 0
+  let ( <=/ ) a b = compare a b <= 0
+  let ( >/ ) a b = compare a b > 0
+  let ( >=/ ) a b = compare a b >= 0
+end

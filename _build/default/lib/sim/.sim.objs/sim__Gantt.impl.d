@@ -1,0 +1,1 @@
+lib/sim/gantt.ml: Buffer Dls Float List Option Printf String Trace

@@ -1,0 +1,1 @@
+lib/sim/star.ml: Array Dls Engine Float Hashtbl List Numeric Queue Trace

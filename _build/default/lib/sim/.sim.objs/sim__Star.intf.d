@@ -1,0 +1,1 @@
+lib/sim/star.mli: Dls Trace

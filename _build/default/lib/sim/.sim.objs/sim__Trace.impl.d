@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Array Dls Float Format List Numeric Printf Stdlib

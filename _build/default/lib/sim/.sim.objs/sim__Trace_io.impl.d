@@ -1,0 +1,1 @@
+lib/sim/trace_io.ml: Buffer List Printf String Trace

@@ -1,0 +1,30 @@
+type t = {
+  queue : (t -> unit) Heap.t;
+  mutable clock : float;
+  mutable processed : int;
+}
+
+let create () = { queue = Heap.create (); clock = 0.0; processed = 0 }
+let now e = e.clock
+
+let schedule_at e ~time f =
+  if time < e.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: %g is before current time %g" time
+         e.clock);
+  Heap.add e.queue ~priority:time f
+
+let schedule e ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at e ~time:(e.clock +. delay) f
+
+let rec run e =
+  match Heap.pop e.queue with
+  | None -> e.clock
+  | Some (time, f) ->
+    e.clock <- time;
+    e.processed <- e.processed + 1;
+    f e;
+    run e
+
+let events_processed e = e.processed

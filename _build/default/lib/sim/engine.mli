@@ -1,0 +1,26 @@
+(** Minimal discrete-event simulation engine.
+
+    Callbacks are scheduled at absolute or relative simulated times and
+    executed in time order (ties broken by scheduling order).  The clock
+    only moves forward. *)
+
+type t
+
+val create : unit -> t
+
+(** [now e] is the current simulated time. *)
+val now : t -> float
+
+(** [schedule_at e ~time f] runs [f e] when the clock reaches [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+
+(** [schedule e ~delay f] runs [f e] after [delay >= 0] time units. *)
+val schedule : t -> delay:float -> (t -> unit) -> unit
+
+(** [run e] processes events until none remain; returns the final
+    clock. *)
+val run : t -> float
+
+(** [events_processed e] counts callbacks executed so far. *)
+val events_processed : t -> int

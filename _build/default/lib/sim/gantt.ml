@@ -1,0 +1,118 @@
+let symbol = function Trace.Send -> '>' | Trace.Compute -> '#' | Trace.Return -> '<'
+
+let render ?(width = 72) ?(names = fun i -> Printf.sprintf "P%d" i) trace =
+  let makespan = trace.Trace.makespan in
+  let buf = Buffer.create 1024 in
+  if makespan <= 0.0 then Buffer.add_string buf "(empty trace)\n"
+  else begin
+    let scale = makespan /. float_of_int width in
+    let column_time col = (float_of_int col +. 0.5) *. scale in
+    let lane events =
+      String.init width (fun col ->
+          let t = column_time col in
+          match
+            List.find_opt (fun e -> e.Trace.start <= t && t < e.Trace.finish) events
+          with
+          | Some e -> symbol e.Trace.kind
+          | None ->
+            let busy_span =
+              List.exists (fun e -> e.Trace.start <= t) events
+              && List.exists (fun e -> t < e.Trace.finish) events
+            in
+            if busy_span then '.' else ' ')
+    in
+    let label_width =
+      List.fold_left
+        (fun acc i -> max acc (String.length (names i)))
+        6 (Trace.workers trace)
+    in
+    let line label s =
+      Buffer.add_string buf (Printf.sprintf "%-*s |%s|\n" label_width label s)
+    in
+    (* Master lane: every transfer, in either direction. *)
+    let transfers = List.filter (fun e -> e.Trace.kind <> Trace.Compute) trace.Trace.events in
+    line "master" (lane transfers);
+    List.iter (fun i -> line (names i) (lane (Trace.events_of trace i))) (Trace.workers trace);
+    Buffer.add_string buf
+      (Printf.sprintf "%-*s  0%*s%.4g\n" label_width "time" (width - 1) "" makespan);
+    Buffer.add_string buf "legend: '>' data to worker, '#' compute, '<' results to master, '.' idle\n"
+  end;
+  Buffer.contents buf
+
+let render_schedule ?width sched =
+  let names i = (Dls.Platform.get sched.Dls.Schedule.platform i).Dls.Platform.name in
+  render ?width ~names (Trace.of_schedule sched)
+
+(* SVG rendering, in the style of the paper's Figure 9: white = data
+   transfer, dark gray = computation, pale gray = result transfer. *)
+
+let svg_fill = function
+  | Trace.Send -> "#ffffff"
+  | Trace.Compute -> "#555555"
+  | Trace.Return -> "#c8c8c8"
+
+let render_svg ?(width = 720) ?(row_height = 26) ?(names = fun i -> Printf.sprintf "P%d" i)
+    trace =
+  let makespan = trace.Trace.makespan in
+  let label_w = 70 and pad = 10 and axis_h = 30 in
+  let lanes = (None : int option) :: List.map Option.some (Trace.workers trace) in
+  let total_w = label_w + width + (2 * pad) in
+  let total_h = (List.length lanes * row_height) + axis_h + (2 * pad) in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\" font-family=\"monospace\" font-size=\"12\">\n"
+    total_w total_h total_w total_h;
+  out "<rect width=\"%d\" height=\"%d\" fill=\"#fafafa\"/>\n" total_w total_h;
+  if makespan > 0.0 then begin
+    let xscale = float_of_int width /. makespan in
+    let x t = float_of_int (label_w + pad) +. (t *. xscale) in
+    let draw_event row e =
+      let y = pad + (row * row_height) + 3 in
+      let h = row_height - 6 in
+      let x0 = x e.Trace.start in
+      let w = Float.max 0.75 ((e.Trace.finish -. e.Trace.start) *. xscale) in
+      out
+        "<rect x=\"%.2f\" y=\"%d\" width=\"%.2f\" height=\"%d\" fill=\"%s\" \
+         stroke=\"#333333\" stroke-width=\"0.6\"><title>%s %s load=%.4g \
+         [%.5g, %.5g]</title></rect>\n"
+        x0 y w h (svg_fill e.Trace.kind) (names e.Trace.worker)
+        (Trace.kind_to_string e.Trace.kind)
+        e.Trace.load e.Trace.start e.Trace.finish
+    in
+    List.iteri
+      (fun row lane ->
+        let label, events =
+          match lane with
+          | None ->
+            ("master", List.filter (fun e -> e.Trace.kind <> Trace.Compute) trace.Trace.events)
+          | Some i -> (names i, Trace.events_of trace i)
+        in
+        out "<text x=\"%d\" y=\"%d\" fill=\"#222222\">%s</text>\n" pad
+          (pad + (row * row_height) + (row_height / 2) + 4)
+          label;
+        List.iter (draw_event row) events)
+      lanes;
+    (* time axis with 5 ticks *)
+    let axis_y = pad + (List.length lanes * row_height) + 12 in
+    out
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#222222\" \
+       stroke-width=\"1\"/>\n"
+      (label_w + pad) axis_y (label_w + pad + width) axis_y;
+    for k = 0 to 5 do
+      let t = makespan *. float_of_int k /. 5.0 in
+      out
+        "<line x1=\"%.2f\" y1=\"%d\" x2=\"%.2f\" y2=\"%d\" stroke=\"#222222\"/>\n"
+        (x t) (axis_y - 3) (x t) (axis_y + 3);
+      out "<text x=\"%.2f\" y=\"%d\" fill=\"#222222\" text-anchor=\"middle\">%.3g</text>\n"
+        (x t) (axis_y + 16) t
+    done
+  end
+  else out "<text x=\"10\" y=\"20\">(empty trace)</text>\n";
+  out "</svg>\n";
+  Buffer.contents buf
+
+let render_schedule_svg ?width ?row_height sched =
+  let names i = (Dls.Platform.get sched.Dls.Schedule.platform i).Dls.Platform.name in
+  render_svg ?width ?row_height ~names (Trace.of_schedule sched)

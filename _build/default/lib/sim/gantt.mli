@@ -1,0 +1,26 @@
+(** ASCII Gantt charts of execution traces — the textual equivalent of
+    the paper's Figure 9 trace visualization.
+
+    One lane per worker plus a master lane.  Legend: ['>'] data transfer
+    from the master, ['#'] computation, ['<'] result transfer back to the
+    master, ['.'] enrolled but idle. *)
+
+(** [render ?width ?names trace] draws the chart, [width] columns of
+    timeline (default 72). [names] maps worker indices to labels. *)
+val render : ?width:int -> ?names:(int -> string) -> Trace.t -> string
+
+(** [render_schedule ?width sched] renders an exact schedule, with
+    worker names taken from the platform. *)
+val render_schedule : ?width:int -> Dls.Schedule.t -> string
+
+(** [render_svg ?width ?row_height ?names trace] renders the trace as a
+    standalone SVG document, in the visual style of the paper's
+    Figure 9: white boxes for data transfers, dark gray for
+    computations, pale gray for result transfers, one lane per worker
+    plus a master lane. *)
+val render_svg :
+  ?width:int -> ?row_height:int -> ?names:(int -> string) -> Trace.t -> string
+
+(** [render_schedule_svg ?width ?row_height sched]: same, for an exact
+    schedule. *)
+val render_schedule_svg : ?width:int -> ?row_height:int -> Dls.Schedule.t -> string

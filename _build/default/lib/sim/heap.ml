@@ -1,0 +1,71 @@
+type 'a entry = { priority : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let size h = h.size
+let is_empty h = h.size = 0
+
+let before a b =
+  a.priority < b.priority || (a.priority = b.priority && a.seq < b.seq)
+
+let swap h i j =
+  let t = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- t
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && before h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && before h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let add h ~priority value =
+  let entry = { priority; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  let cap = Array.length h.data in
+  if h.size = cap then begin
+    let grown = Array.make (max 16 (2 * cap)) entry in
+    Array.blit h.data 0 grown 0 h.size;
+    h.data <- grown
+  end;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else Some (h.data.(0).priority, h.data.(0).value)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.priority, top.value)
+  end
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by float priority, with FIFO tie-breaking.
+
+    Elements inserted with equal priorities are popped in insertion
+    order, which makes the event engine deterministic — simultaneous
+    simulation events fire in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add h ~priority v] inserts [v]. *)
+val add : 'a t -> priority:float -> 'a -> unit
+
+(** [peek h] is the minimal element without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+(** [pop h] removes and returns the minimal element. *)
+val pop : 'a t -> (float * 'a) option
+
+(** [clear h] removes every element. *)
+val clear : 'a t -> unit

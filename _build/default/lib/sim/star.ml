@@ -1,0 +1,188 @@
+type noise = {
+  comm : worker:int -> float -> float;
+  comp : worker:int -> float -> float;
+}
+
+let no_noise = { comm = (fun ~worker:_ x -> x); comp = (fun ~worker:_ x -> x) }
+
+type protocol = Sends_first | Eager_returns
+
+type plan = { sigma1 : int array; sigma2 : int array; loads : float array }
+
+let plan_of_solved (sol : Dls.Lp_model.solved) =
+  let s = sol.Dls.Lp_model.scenario in
+  {
+    sigma1 = Array.copy s.Dls.Scenario.sigma1;
+    sigma2 = Array.copy s.Dls.Scenario.sigma2;
+    loads = Array.map Numeric.Rational.to_float sol.Dls.Lp_model.alpha;
+  }
+
+let plan_of_rounded (sol : Dls.Lp_model.solved) ~total =
+  let s = sol.Dls.Lp_model.scenario in
+  {
+    sigma1 = Array.copy s.Dls.Scenario.sigma1;
+    sigma2 = Array.copy s.Dls.Scenario.sigma2;
+    loads = Array.map float_of_int (Dls.Rounding.integer_loads sol ~total);
+  }
+
+(* The master is a single resource running one decision procedure: when
+   idle, it performs the next return of [sigma2] if that worker is ready
+   (immediately under [Eager_returns]; only once all sends are posted
+   under [Sends_first], which is what the paper's MPI program did), else
+   the next send of [sigma1], else it waits for a computation to end. *)
+let execute ?(noise = no_noise) ?(protocol = Sends_first) platform plan =
+  let qf = Numeric.Rational.to_float in
+  let cost i =
+    let wk = Dls.Platform.get platform i in
+    (qf wk.Dls.Platform.c, qf wk.Dls.Platform.w, qf wk.Dls.Platform.d)
+  in
+  let active order =
+    Array.of_list
+      (List.filter (fun i -> plan.loads.(i) > 0.0) (Array.to_list order))
+  in
+  let sends = active plan.sigma1 and returns = active plan.sigma2 in
+  let eng = Engine.create () in
+  let events = ref [] in
+  let record worker kind start finish load =
+    events := { Trace.worker; kind; start; finish; load } :: !events
+  in
+  let compute_done = Array.make (Dls.Platform.size platform) false in
+  let master_busy = ref false in
+  let send_idx = ref 0 in
+  let ret_idx = ref 0 in
+  let rec master_step eng =
+    if not !master_busy then begin
+      let sends_left = !send_idx < Array.length sends in
+      let return_ready =
+        !ret_idx < Array.length returns && compute_done.(returns.(!ret_idx))
+      in
+      let do_return =
+        return_ready && ((protocol = Eager_returns) || not sends_left)
+      in
+      if do_return then begin
+        let i = returns.(!ret_idx) in
+        incr ret_idx;
+        let _, _, d = cost i in
+        let load = plan.loads.(i) in
+        let dur = noise.comm ~worker:i (load *. d) in
+        let start = Engine.now eng in
+        record i Trace.Return start (start +. dur) load;
+        master_busy := true;
+        Engine.schedule eng ~delay:dur (fun eng ->
+            master_busy := false;
+            master_step eng)
+      end
+      else if sends_left then begin
+        let i = sends.(!send_idx) in
+        incr send_idx;
+        let c, w, _ = cost i in
+        let load = plan.loads.(i) in
+        let dur = noise.comm ~worker:i (load *. c) in
+        let start = Engine.now eng in
+        record i Trace.Send start (start +. dur) load;
+        master_busy := true;
+        Engine.schedule eng ~delay:dur (fun eng ->
+            master_busy := false;
+            let wdur = noise.comp ~worker:i (load *. w) in
+            let wstart = Engine.now eng in
+            record i Trace.Compute wstart (wstart +. wdur) load;
+            Engine.schedule eng ~delay:wdur (fun eng ->
+                compute_done.(i) <- true;
+                master_step eng);
+            master_step eng)
+      end
+      (* else: idle until some computation completes *)
+    end
+  in
+  master_step eng;
+  let _ = Engine.run eng in
+  Trace.make !events
+
+let makespan ?noise ?protocol platform plan =
+  (execute ?noise ?protocol platform plan).Trace.makespan
+
+(* ------------------------------------------------------------------ *)
+(* Chunked (multi-round) campaigns                                     *)
+(* ------------------------------------------------------------------ *)
+
+type chunked_plan = {
+  chunk_sends : (int * float) list;
+  chunk_returns : (int * float) list;
+}
+
+let plan_of_multiround (s : Dls.Multiround.solved) =
+  let cfg = s.Dls.Multiround.config in
+  if
+    not
+      (Numeric.Rational.is_zero cfg.Dls.Multiround.send_latency
+      && Numeric.Rational.is_zero cfg.Dls.Multiround.return_latency)
+  then
+    invalid_arg
+      "Star.plan_of_multiround: the simulator implements the linear model \
+       (zero latencies)";
+  let order = cfg.Dls.Multiround.order in
+  let chunks_in_order =
+    List.concat_map
+      (fun per_round ->
+        List.mapi
+          (fun k a -> (order.(k), Numeric.Rational.to_float a))
+          (Array.to_list per_round))
+      (Array.to_list s.Dls.Multiround.chunks)
+  in
+  let nonzero = List.filter (fun (_, a) -> a > 0.0) chunks_in_order in
+  {
+    chunk_sends = nonzero;
+    chunk_returns = (if cfg.Dls.Multiround.with_returns then nonzero else []);
+  }
+
+let execute_chunked ?(noise = no_noise) platform plan =
+  let qf = Numeric.Rational.to_float in
+  let cost i =
+    let wk = Dls.Platform.get platform i in
+    (qf wk.Dls.Platform.c, qf wk.Dls.Platform.w, qf wk.Dls.Platform.d)
+  in
+  let events = ref [] in
+  let record worker kind start finish load =
+    events := { Trace.worker; kind; start; finish; load } :: !events
+  in
+  let n = Dls.Platform.size platform in
+  (* Sends back-to-back; each worker computes its chunks in order. *)
+  let worker_ready = Array.make n 0.0 in
+  let compute_ends : (int, float Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let clock = ref 0.0 in
+  List.iter
+    (fun (i, load) ->
+      let c, w, _ = cost i in
+      let dur = noise.comm ~worker:i (load *. c) in
+      record i Trace.Send !clock (!clock +. dur) load;
+      clock := !clock +. dur;
+      let start = Float.max !clock worker_ready.(i) in
+      let wdur = noise.comp ~worker:i (load *. w) in
+      record i Trace.Compute start (start +. wdur) load;
+      worker_ready.(i) <- start +. wdur;
+      let q =
+        match Hashtbl.find_opt compute_ends i with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.add compute_ends i q;
+          q
+      in
+      Queue.add (start +. wdur) q)
+    plan.chunk_sends;
+  (* One-port return chain, in the prescribed order. *)
+  let master_free = ref !clock in
+  List.iter
+    (fun (i, load) ->
+      let _, _, d = cost i in
+      let computed =
+        match Hashtbl.find_opt compute_ends i with
+        | Some q when not (Queue.is_empty q) -> Queue.pop q
+        | _ -> invalid_arg "Star.execute_chunked: return without a sent chunk"
+      in
+      let start = Float.max !master_free computed in
+      let dur = noise.comm ~worker:i (load *. d) in
+      record i Trace.Return start (start +. dur) load;
+      master_free := start +. dur)
+    plan.chunk_returns;
+  Trace.make !events

@@ -1,0 +1,76 @@
+(** Discrete-event execution of a master/worker campaign on a star
+    platform under the one-port model.
+
+    The simulated master runs the same eager protocol as the paper's
+    MPI program: it posts the initial messages back-to-back in [sigma1]
+    order, then receives the result messages in [sigma2] order, each
+    reception starting as soon as both the master is free and the worker
+    has finished computing.  Per-event noise hooks model the gap between
+    the linear cost model and a real cluster. *)
+
+type noise = {
+  comm : worker:int -> float -> float;
+      (** maps a nominal transfer duration to an observed one *)
+  comp : worker:int -> float -> float;  (** same, for computations *)
+}
+
+(** [no_noise] is the identity: the simulation reproduces the linear
+    model exactly. *)
+val no_noise : noise
+
+(** Master decision policy.
+
+    - [Sends_first]: post every initial message, then receive results in
+      [sigma2] order — the paper's canonical structure and what its MPI
+      program did;
+    - [Eager_returns]: whenever the master is free and the next worker
+      in [sigma2] has finished computing, receive its results before the
+      remaining sends.  Still one-port and still order-respecting, but a
+      different (sometimes better, sometimes worse) interleaving — an
+      execution-policy ablation the model fixes by assumption. *)
+type protocol = Sends_first | Eager_returns
+
+type plan = {
+  sigma1 : int array;  (** sending order (worker indices) *)
+  sigma2 : int array;  (** return order *)
+  loads : float array;  (** per-worker load, indexed like the platform *)
+}
+
+(** [plan_of_solved s] uses the exact rational loads (converted to
+    float). *)
+val plan_of_solved : Dls.Lp_model.solved -> plan
+
+(** [plan_of_rounded s ~total] uses the paper's integer rounding for a
+    campaign of [total] items. *)
+val plan_of_rounded : Dls.Lp_model.solved -> total:int -> plan
+
+(** [execute ?noise ?protocol platform plan] runs the campaign and
+    returns the trace (default protocol: [Sends_first]).  Workers with
+    zero load produce no events. *)
+val execute : ?noise:noise -> ?protocol:protocol -> Dls.Platform.t -> plan -> Trace.t
+
+(** [makespan ?noise ?protocol platform plan] is the trace's makespan. *)
+val makespan : ?noise:noise -> ?protocol:protocol -> Dls.Platform.t -> plan -> float
+
+(** {1 Chunked (multi-round) campaigns} *)
+
+type chunked_plan = {
+  chunk_sends : (int * float) list;
+      (** (worker, load) in the master's sending order *)
+  chunk_returns : (int * float) list;
+      (** (worker, load) in return order; the j-th return of a worker
+          carries its j-th received chunk's results *)
+}
+
+(** [plan_of_multiround s] extracts the chunk structure of a multi-round
+    LP solution (zero-size chunks are dropped).
+    @raise Invalid_argument when the solution uses latencies — the
+    simulator implements the linear cost model. *)
+val plan_of_multiround : Dls.Multiround.solved -> chunked_plan
+
+(** [execute_chunked ?noise platform plan] runs a multi-round campaign:
+    sends back-to-back in order, per-worker in-order chunk processing,
+    then the one-port return chain.  Used to cross-validate
+    {!Dls.Multiround} — without noise the makespan equals the LP
+    horizon. *)
+val execute_chunked : ?noise:noise -> Dls.Platform.t -> chunked_plan -> Trace.t

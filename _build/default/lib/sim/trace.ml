@@ -1,0 +1,105 @@
+type kind = Send | Compute | Return
+
+type event = {
+  worker : int;
+  kind : kind;
+  start : float;
+  finish : float;
+  load : float;
+}
+
+type t = { events : event list; makespan : float }
+
+let kind_to_string = function
+  | Send -> "send"
+  | Compute -> "compute"
+  | Return -> "return"
+
+let make events =
+  let events =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.start b.start in
+        if c <> 0 then c else Float.compare a.finish b.finish)
+      events
+  in
+  let makespan = List.fold_left (fun acc e -> Float.max acc e.finish) 0.0 events in
+  { events; makespan }
+
+let of_schedule (sched : Dls.Schedule.t) =
+  let open Dls.Schedule in
+  let f = Numeric.Rational.to_float in
+  make
+    (List.concat_map
+       (fun e ->
+         let load = f e.alpha in
+         [
+           { worker = e.worker; kind = Send; start = f e.send.start; finish = f e.send.finish; load };
+           {
+             worker = e.worker;
+             kind = Compute;
+             start = f e.compute.start;
+             finish = f e.compute.finish;
+             load;
+           };
+           {
+             worker = e.worker;
+             kind = Return;
+             start = f e.return_.start;
+             finish = f e.return_.finish;
+             load;
+           };
+         ])
+       (Array.to_list sched.entries))
+
+let workers t =
+  List.sort_uniq Stdlib.compare (List.map (fun e -> e.worker) t.events)
+
+let events_of t i = List.filter (fun e -> e.worker = i) t.events
+
+let one_port_violations ?(eps = 1e-9) t =
+  let transfers = List.filter (fun e -> e.kind <> Compute) t.events in
+  let overlap a b = a.start < b.finish -. eps && b.start < a.finish -. eps in
+  let rec scan acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      let acc =
+        List.fold_left
+          (fun acc e' -> if overlap e e' then (e, e') :: acc else acc)
+          acc rest
+      in
+      scan acc rest
+  in
+  scan [] transfers
+
+let precedence_violations ?(eps = 1e-9) t =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  List.iter
+    (fun i ->
+      let evs = events_of t i in
+      let find k = List.find_opt (fun e -> e.kind = k) evs in
+      match (find Send, find Compute, find Return) with
+      | Some s, Some c, r ->
+        if s.finish > c.start +. eps then
+          add "worker %d computes before reception ends" i;
+        (match r with
+        | Some r ->
+          if c.finish > r.start +. eps then
+            add "worker %d returns before computation ends" i
+        | None -> ())
+      | _ -> add "worker %d has an incomplete event set" i)
+    (workers t);
+  List.rev !errs
+
+let is_valid ?eps t =
+  one_port_violations ?eps t = [] && precedence_violations ?eps t = []
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>makespan = %.6g@," t.makespan;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "  t=%-10.4g %-8s worker %d (%.4g -> %.4g, load %.4g)@,"
+        e.start (kind_to_string e.kind) e.worker e.start e.finish e.load)
+    t.events;
+  Format.fprintf fmt "@]"

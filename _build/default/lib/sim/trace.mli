@@ -1,0 +1,42 @@
+(** Execution traces: the timestamped record of what every processor did
+    during a (simulated) run, with the same structure as the paper's
+    Figure 9 visualization. *)
+
+type kind = Send | Compute | Return
+
+type event = {
+  worker : int;  (** platform worker index *)
+  kind : kind;
+  start : float;
+  finish : float;
+  load : float;  (** load units moved or processed *)
+}
+
+type t = private { events : event list; makespan : float }
+
+(** [make events] sorts the events by start date and computes the
+    makespan. *)
+val make : event list -> t
+
+(** [of_schedule sched] converts an exact schedule into a float trace
+    (e.g. to render it). *)
+val of_schedule : Dls.Schedule.t -> t
+
+val workers : t -> int list
+
+(** [events_of t i] lists worker [i]'s events in time order. *)
+val events_of : t -> int -> event list
+
+(** [one_port_violations ?eps t] lists pairs of master transfers
+    (sends/returns) overlapping by more than [eps]. *)
+val one_port_violations : ?eps:float -> t -> (event * event) list
+
+(** [precedence_violations ?eps t] checks that each worker receives,
+    computes, then returns, in that order without overlap. *)
+val precedence_violations : ?eps:float -> t -> string list
+
+(** [is_valid ?eps t] holds when no violations of either kind exist. *)
+val is_valid : ?eps:float -> t -> bool
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit

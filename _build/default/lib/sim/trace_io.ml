@@ -1,0 +1,64 @@
+let kind_of_string = function
+  | "send" -> Some Trace.Send
+  | "compute" -> Some Trace.Compute
+  | "return" -> Some Trace.Return
+  | _ -> None
+
+let to_string (t : Trace.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "worker,kind,start,finish,load\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%.17g,%.17g,%.17g\n" e.Trace.worker
+           (Trace.kind_to_string e.Trace.kind)
+           e.Trace.start e.Trace.finish e.Trace.load))
+    t.Trace.events;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let parse_line lineno line =
+    if String.trim line = "" then Ok None
+    else
+      match String.split_on_char ',' line with
+      | [ "worker"; "kind"; "start"; "finish"; "load" ] -> Ok None (* header *)
+      | [ worker; kind; start; finish; load ] -> (
+        match
+          ( int_of_string_opt worker,
+            kind_of_string kind,
+            float_of_string_opt start,
+            float_of_string_opt finish,
+            float_of_string_opt load )
+        with
+        | Some worker, Some kind, Some start, Some finish, Some load ->
+          if worker < 0 then Error (Printf.sprintf "line %d: negative worker" lineno)
+          else if finish < start then
+            Error (Printf.sprintf "line %d: finish before start" lineno)
+          else Ok (Some { Trace.worker; kind; start; finish; load })
+        | _ -> Error (Printf.sprintf "line %d: malformed fields" lineno))
+      | _ -> Error (Printf.sprintf "line %d: expected 5 comma-separated fields" lineno)
+  in
+  let rec collect lineno acc = function
+    | [] -> Ok (Trace.make (List.rev acc))
+    | line :: rest -> (
+      match parse_line lineno line with
+      | Ok None -> collect (lineno + 1) acc rest
+      | Ok (Some e) -> collect (lineno + 1) (e :: acc) rest
+      | Error e -> Error e)
+  in
+  collect 1 [] lines
+
+let write path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc
+
+let read path =
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let len = in_channel_length ic in
+    let content = really_input_string ic len in
+    close_in ic;
+    of_string content

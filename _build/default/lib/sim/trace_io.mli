@@ -1,0 +1,18 @@
+(** CSV serialization of execution traces.
+
+    Lets experiment artifacts (the simulated equivalents of the paper's
+    MPI trace files) be stored, reloaded and re-validated.  Floats are
+    printed with 17 significant digits, so a round trip is lossless. *)
+
+(** [to_string t] renders one [worker,kind,start,finish,load] line per
+    event, with a header. *)
+val to_string : Trace.t -> string
+
+(** [of_string s] parses a trace back; [Error message] on malformed
+    input. *)
+val of_string : string -> (Trace.t, string) result
+
+(** [write path t] / [read path]: file variants. *)
+val write : string -> Trace.t -> unit
+
+val read : string -> (Trace.t, string) result

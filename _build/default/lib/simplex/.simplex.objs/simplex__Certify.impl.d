@@ -1,0 +1,1 @@
+lib/simplex/certify.ml: Array List Numeric Printf Problem Solver

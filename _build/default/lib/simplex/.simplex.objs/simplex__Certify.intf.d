@@ -1,0 +1,1 @@
+lib/simplex/certify.mli: Numeric Problem Solver

@@ -1,0 +1,1 @@
+lib/simplex/field.ml: Fun Numeric

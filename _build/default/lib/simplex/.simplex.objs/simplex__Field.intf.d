@@ -1,0 +1,1 @@
+lib/simplex/field.mli: Numeric

@@ -1,0 +1,1 @@
+lib/simplex/float_solver.ml: Field Solver_core

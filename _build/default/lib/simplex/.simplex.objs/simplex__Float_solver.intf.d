@@ -1,0 +1,1 @@
+lib/simplex/float_solver.mli: Problem

@@ -1,0 +1,1 @@
+lib/simplex/linear.ml: Array List Numeric

@@ -1,0 +1,1 @@
+lib/simplex/linear.mli: Numeric

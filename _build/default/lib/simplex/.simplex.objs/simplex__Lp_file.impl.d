@@ -1,0 +1,1 @@
+lib/simplex/lp_file.ml: Array Buffer Hashtbl List Numeric Printf Problem String

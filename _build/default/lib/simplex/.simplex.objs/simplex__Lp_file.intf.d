@@ -1,0 +1,1 @@
+lib/simplex/lp_file.mli: Problem

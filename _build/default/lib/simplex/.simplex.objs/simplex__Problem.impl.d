@@ -1,0 +1,1 @@
+lib/simplex/problem.ml: Array Format Linear List Numeric Printf String

@@ -1,0 +1,1 @@
+lib/simplex/problem.mli: Format Numeric

@@ -1,0 +1,1 @@
+lib/simplex/solver.ml: Field Format Numeric Solver_core

@@ -1,0 +1,1 @@
+lib/simplex/solver.mli: Format Numeric Problem

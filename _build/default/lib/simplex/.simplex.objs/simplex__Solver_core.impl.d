@@ -1,0 +1,1 @@
+lib/simplex/solver_core.ml: Array Field Numeric Problem

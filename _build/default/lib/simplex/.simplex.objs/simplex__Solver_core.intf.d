@@ -1,0 +1,1 @@
+lib/simplex/solver_core.mli: Field Problem

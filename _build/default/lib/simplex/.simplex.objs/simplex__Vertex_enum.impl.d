@@ -1,0 +1,1 @@
+lib/simplex/vertex_enum.ml: Array Certify Linear List Numeric Problem

@@ -1,0 +1,1 @@
+lib/simplex/vertex_enum.mli: Numeric Problem

@@ -1,0 +1,43 @@
+module Q = Numeric.Rational
+
+let feasibility_violations (p : Problem.t) x =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  if Array.length x <> Problem.num_vars p then
+    add "point has %d coordinates, expected %d" (Array.length x)
+      (Problem.num_vars p)
+  else begin
+    Array.iteri
+      (fun j v ->
+        if Q.sign v < 0 then
+          add "variable %s = %s is negative" p.Problem.names.(j) (Q.to_string v))
+      x;
+    Array.iteri
+      (fun i c ->
+        if not (Problem.holds c x) then
+          add "constraint %d violated: lhs = %s, rhs = %s" i
+            (Q.to_string (Problem.eval_constraint c x))
+            (Q.to_string c.Problem.rhs))
+      p.Problem.constraints
+  end;
+  List.rev !violations
+
+let is_feasible p x = feasibility_violations p x = []
+
+let check p (s : Solver.solution) =
+  let errs = feasibility_violations p s.Solver.point in
+  let errs =
+    (* The objective is only evaluable when the point has the right
+       dimension (otherwise the violation is already reported above). *)
+    if Array.length s.Solver.point <> Problem.num_vars p then errs
+    else if Q.equal (Problem.objective_value p s.Solver.point) s.Solver.value
+    then errs
+    else
+      errs
+      @ [
+          Printf.sprintf "claimed value %s but point evaluates to %s"
+            (Q.to_string s.Solver.value)
+            (Q.to_string (Problem.objective_value p s.Solver.point));
+        ]
+  in
+  if errs = [] then Ok () else Error errs

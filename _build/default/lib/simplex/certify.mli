@@ -1,0 +1,20 @@
+(** Independent validation of LP solutions.
+
+    The checker re-evaluates every constraint with exact arithmetic, so a
+    bug in the tableau machinery cannot silently corrupt a schedule: the
+    scheduling layer validates each solved program before trusting it. *)
+
+module Q = Numeric.Rational
+
+(** [feasibility_violations p x] lists human-readable descriptions of
+    every constraint of [p] (including non-negativity) violated by [x].
+    An empty list means [x] is feasible. *)
+val feasibility_violations : Problem.t -> Q.t array -> string list
+
+(** [is_feasible p x] is [feasibility_violations p x = []]. *)
+val is_feasible : Problem.t -> Q.t array -> bool
+
+(** [check p s] validates a solver result against problem [p]:
+    feasibility of the point and agreement of the claimed objective
+    value. Returns [Error messages] on any discrepancy. *)
+val check : Problem.t -> Solver.solution -> (unit, string list) result

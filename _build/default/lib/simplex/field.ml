@@ -1,0 +1,44 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val minus_one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val inv : t -> t
+  val sign : t -> int
+  val compare : t -> t -> int
+  val of_rational : Numeric.Rational.t -> t
+  val to_float : t -> float
+  val to_string : t -> string
+end
+
+module Rational : S with type t = Numeric.Rational.t = struct
+  include Numeric.Rational
+
+  let of_rational = Fun.id
+end
+
+module Float : S with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let minus_one = -1.0
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let inv x = 1.0 /. x
+  let sign x = if x > eps then 1 else if x < -.eps then -1 else 0
+  let compare a b = sign (a -. b)
+  let of_rational = Numeric.Rational.to_float
+  let to_float = Fun.id
+  let to_string = string_of_float
+end

@@ -1,0 +1,36 @@
+(** The scalar interface the simplex core is generic over.
+
+    Two instances ship with the library: exact rationals (the default —
+    schedules are exact) and IEEE floats with an epsilon-tolerant sign
+    (fast, for throughput estimation at scale where exactness is not
+    required).  See {!Solver_core.Make}. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val minus_one : t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val inv : t -> t
+
+  (** [sign x] decides pivot eligibility; a float instance applies a
+      tolerance here, which is the single point where robustness
+      enters. *)
+  val sign : t -> int
+
+  val compare : t -> t -> int
+  val of_rational : Numeric.Rational.t -> t
+  val to_float : t -> float
+  val to_string : t -> string
+end
+
+(** Exact rationals: [sign] is exact, the solver is exact. *)
+module Rational : S with type t = Numeric.Rational.t
+
+(** IEEE doubles with [sign] tolerance [1e-9]. *)
+module Float : S with type t = float

@@ -1,0 +1,15 @@
+(** Floating-point simplex: {!Solver_core.Make} over IEEE doubles.
+
+    Roughly an order of magnitude faster than the exact solver on the
+    scheduling LPs of this library, at the price of [1e-9]-tolerance
+    pivoting: use it for large-scale throughput {e estimation}
+    (dashboards, sweeps) and keep the exact solver for anything a
+    schedule is built from.  Degenerate problems may [Stalled] out of
+    the pivot cap instead of terminating. *)
+
+type solution = { value : float; point : float array; pivots : int }
+type outcome = Optimal of solution | Unbounded | Infeasible | Stalled
+
+(** [solve ?max_pivots p] solves with float arithmetic (the problem
+    statement itself stays exact). *)
+val solve : ?max_pivots:int -> Problem.t -> outcome

@@ -1,0 +1,18 @@
+(** Small exact linear-algebra helpers over rationals: dense matrices and
+    Gaussian elimination.  Used by the brute-force vertex enumerator that
+    cross-checks the simplex solver in the test suite. *)
+
+module Q = Numeric.Rational
+
+(** [solve a b] solves the square system [a x = b] by Gaussian
+    elimination with partial (first non-zero) pivoting.  Returns [None]
+    when [a] is singular.  [a] is an array of rows; neither input is
+    mutated. *)
+val solve : Q.t array array -> Q.t array -> Q.t array option
+
+(** [dot u v] is the inner product.  @raise Invalid_argument on length
+    mismatch. *)
+val dot : Q.t array -> Q.t array -> Q.t
+
+(** [rank a] is the rank of the (possibly rectangular) matrix [a]. *)
+val rank : Q.t array array -> int

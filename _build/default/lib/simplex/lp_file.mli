@@ -1,0 +1,30 @@
+(** Plain-text serialization of linear programs, in a CPLEX-LP-style
+    dialect.
+
+    Lets you dump any scheduling LP the library builds (e.g. to inspect
+    a surprising schedule, or to feed an external solver) and read one
+    back.  Extensions over the classical format: coefficients may be
+    exact rationals ([3/4]); every variable appears in the objective
+    (zero coefficients included) so that parsing reconstructs the exact
+    variable order.
+
+    {v
+    \ one-port FIFO scheduling LP
+    Maximize
+     obj: 1 alpha_P1 + 1 alpha_P2 + 0 x_P1 + 0 x_P2
+    Subject To
+     c0: 5/2 alpha_P1 + 1/2 alpha_P2 + 1 x_P1 <= 1
+    End
+    v} *)
+
+(** [to_string p] serializes the problem. *)
+val to_string : Problem.t -> string
+
+(** [of_string s] parses a problem back; [Error message] on malformed
+    input. *)
+val of_string : string -> (Problem.t, string) result
+
+(** [write path p] / [read path]: file variants. *)
+val write : string -> Problem.t -> unit
+
+val read : string -> (Problem.t, string) result

@@ -1,0 +1,31 @@
+module Q = Numeric.Rational
+module Exact = Solver_core.Make (Field.Rational)
+
+type solution = { value : Q.t; point : Q.t array; pivots : int }
+type outcome = Optimal of solution | Unbounded | Infeasible
+
+let solve p =
+  (* With exact arithmetic Bland's rule terminates: the cap is a pure
+     formality, set far beyond any reachable pivot count. *)
+  match Exact.solve ~max_pivots:max_int p with
+  | Exact.Optimal s ->
+    Optimal { value = s.Exact.value; point = s.Exact.point; pivots = s.Exact.pivots }
+  | Exact.Unbounded -> Unbounded
+  | Exact.Infeasible -> Infeasible
+  | Exact.Stalled -> assert false
+
+let solve_exn p =
+  match solve p with
+  | Optimal s -> s
+  | Unbounded -> failwith "Solver.solve_exn: unbounded problem"
+  | Infeasible -> failwith "Solver.solve_exn: infeasible problem"
+
+let pp_outcome fmt = function
+  | Unbounded -> Format.pp_print_string fmt "unbounded"
+  | Infeasible -> Format.pp_print_string fmt "infeasible"
+  | Optimal s ->
+    Format.fprintf fmt "@[optimal %a at (%a) in %d pivots@]" Q.pp s.value
+      (Format.pp_print_array
+         ~pp_sep:(fun f () -> Format.pp_print_string f ", ")
+         Q.pp)
+      s.point s.pivots

@@ -1,0 +1,28 @@
+(** Exact two-phase primal simplex over arbitrary-precision rationals.
+
+    Pivoting uses Bland's smallest-index rule, which guarantees
+    termination even on degenerate problems (the scheduling LPs of the
+    paper are routinely degenerate: several workers finish
+    simultaneously).  Because the arithmetic is exact, the returned
+    optimum is a true vertex of the feasible polyhedron — the structural
+    arguments of the paper (Lemma 1: "at most one constraint slack")
+    apply to it literally. *)
+
+module Q = Numeric.Rational
+
+type solution = {
+  value : Q.t;  (** optimal objective value, in the problem's direction *)
+  point : Q.t array;  (** one optimal assignment of the decision variables *)
+  pivots : int;  (** number of simplex pivots performed (both phases) *)
+}
+
+type outcome = Optimal of solution | Unbounded | Infeasible
+
+(** [solve p] solves the linear program exactly. *)
+val solve : Problem.t -> outcome
+
+(** [solve_exn p] extracts the optimal solution.
+    @raise Failure when the problem is unbounded or infeasible. *)
+val solve_exn : Problem.t -> solution
+
+val pp_outcome : Format.formatter -> outcome -> unit

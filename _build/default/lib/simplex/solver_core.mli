@@ -1,0 +1,24 @@
+(** The simplex algorithm, generic over the scalar {!Field.S}.
+
+    {!Solver} instantiates it with exact rationals (and re-exports a
+    rational-typed API — use that one by default); {!Float_solver} with
+    IEEE doubles.  The algorithm is the classical two-phase primal
+    simplex with Bland's smallest-index rule; with exact arithmetic
+    Bland's rule guarantees termination, with floats an iteration cap
+    backstops tolerance-induced cycling. *)
+
+module Make (F : Field.S) : sig
+  type solution = { value : F.t; point : F.t array; pivots : int }
+
+  type outcome =
+    | Optimal of solution
+    | Unbounded
+    | Infeasible
+    | Stalled
+        (** the pivot cap was reached — only reachable with inexact
+            arithmetic *)
+
+  (** [solve ?max_pivots p] solves the (rational-typed) problem with
+      this field's arithmetic. Default cap: 100000 pivots. *)
+  val solve : ?max_pivots:int -> Problem.t -> outcome
+end

@@ -1,0 +1,49 @@
+module Q = Numeric.Rational
+
+(* All hyperplanes whose intersections can define vertices: constraint
+   rows taken at equality, plus the axes x_j = 0. *)
+let hyperplanes (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let axes =
+    List.init n (fun j ->
+        (Array.init n (fun k -> if k = j then Q.one else Q.zero), Q.zero))
+  in
+  let rows =
+    Array.to_list
+      (Array.map (fun c -> (c.Problem.coeffs, c.Problem.rhs)) p.Problem.constraints)
+  in
+  Array.of_list (rows @ axes)
+
+let rec subsets k lo upper =
+  if k = 0 then [ [] ]
+  else if lo >= upper then []
+  else
+    List.map (fun rest -> lo :: rest) (subsets (k - 1) (lo + 1) upper)
+    @ subsets k (lo + 1) upper
+
+let vertices (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let planes = hyperplanes p in
+  let candidates = subsets n 0 (Array.length planes) in
+  List.filter_map
+    (fun subset ->
+      let a = Array.of_list (List.map (fun i -> fst planes.(i)) subset) in
+      let b = Array.of_list (List.map (fun i -> snd planes.(i)) subset) in
+      match Linear.solve a b with
+      | None -> None
+      | Some x -> if Certify.is_feasible p x then Some x else None)
+    candidates
+
+let best (p : Problem.t) =
+  let better =
+    match p.Problem.direction with
+    | Problem.Maximize -> fun a b -> Q.compare a b > 0
+    | Problem.Minimize -> fun a b -> Q.compare a b < 0
+  in
+  List.fold_left
+    (fun acc x ->
+      let v = Problem.objective_value p x in
+      match acc with
+      | Some (best_v, _) when not (better v best_v) -> acc
+      | _ -> Some (v, x))
+    None (vertices p)

@@ -1,0 +1,20 @@
+(** Brute-force LP optimum by vertex enumeration.
+
+    Since every feasible LP with [x >= 0] bounds has a pointed feasible
+    region, a bounded optimum is attained at a vertex, i.e. at the
+    intersection of [n] linearly independent tight constraints (drawn
+    from the constraint rows and the axes [x_j = 0]).  Enumerating all
+    [n]-subsets is exponential but exact — the test suite uses it as an
+    oracle to cross-check the simplex solver on small problems. *)
+
+module Q = Numeric.Rational
+
+(** [best p] is [Some (value, point)] for the optimal vertex of [p], or
+    [None] when no feasible vertex exists.  Unbounded problems return the
+    best {e vertex} value (callers compare only against [Solver.Optimal]
+    results). *)
+val best : Problem.t -> (Q.t * Q.t array) option
+
+(** [vertices p] lists all feasible vertices (may contain duplicates
+    when several bases describe the same degenerate vertex). *)
+val vertices : Problem.t -> Q.t array list

@@ -1,0 +1,1318 @@
+(* Tests for the divisible-load scheduling core: the scenario LP,
+   Theorem 1 (optimal FIFO ordering), Theorem 2 (bus closed form), LIFO,
+   schedules and rounding. *)
+
+module Q = Numeric.Rational
+open Q.Infix
+
+let rat = Alcotest.testable Q.pp Q.equal
+let q = Q.of_int
+let qq = Q.of_ints
+
+let worker ?name c w d =
+  Dls.Platform.worker ?name ~c:(qq (fst c) (snd c)) ~w:(qq (fst w) (snd w))
+    ~d:(qq (fst d) (snd d)) ()
+
+(* The running two-worker example, z = 1/2:
+   P1 (c=1, w=1, d=1/2), P2 (c=1, w=2, d=1/2). *)
+let two_worker_platform () =
+  Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (2, 1) (1, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let gen_pos_rational =
+  let open QCheck2.Gen in
+  let* n = int_range 1 10 in
+  let* d = int_range 1 10 in
+  return (qq n d)
+
+(* A platform with uniform return ratio [z]. *)
+let gen_platform ?z ~min_size ~max_size () =
+  let open QCheck2.Gen in
+  let* n = int_range min_size max_size in
+  let* z = match z with Some z -> return z | None -> gen_pos_rational in
+  let* specs = list_size (return n) (pair gen_pos_rational gen_pos_rational) in
+  return (Dls.Platform.with_return_ratio ~z specs)
+
+let gen_small_z =
+  let open QCheck2.Gen in
+  let* n = int_range 1 9 in
+  let* d = int_range (n + 1) 12 in
+  return (qq n d)
+
+let gen_big_z =
+  let open QCheck2.Gen in
+  let* n = int_range 2 12 in
+  let* d = int_range 1 (n - 1) in
+  return (qq n d)
+
+let prop ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Platform                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Platform.make: no workers")
+    (fun () -> ignore (Dls.Platform.make []));
+  Alcotest.check_raises "zero c"
+    (Invalid_argument "Platform.worker: c must be positive") (fun () ->
+      ignore (Dls.Platform.worker ~c:Q.zero ~w:Q.one ~d:Q.one ()));
+  Alcotest.check_raises "negative d"
+    (Invalid_argument "Platform.worker: d must be non-negative") (fun () ->
+      ignore (Dls.Platform.worker ~c:Q.one ~w:Q.one ~d:Q.minus_one ()))
+
+let test_platform_z_ratio () =
+  let p = two_worker_platform () in
+  Alcotest.(check (option rat)) "z = 1/2" (Some Q.half) (Dls.Platform.z_ratio p);
+  let p2 =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (1, 1) (1, 3) ]
+  in
+  Alcotest.(check (option rat)) "non-uniform" None (Dls.Platform.z_ratio p2)
+
+let test_platform_is_bus () =
+  Alcotest.(check bool) "bus" true (Dls.Platform.is_bus (two_worker_platform ()));
+  let p =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (2, 1) (1, 1) (1, 1) ]
+  in
+  Alcotest.(check bool) "star" false (Dls.Platform.is_bus p)
+
+let test_platform_scaling () =
+  let p = Dls.Platform.scale_comm Q.two (two_worker_platform ()) in
+  Alcotest.check rat "c doubled" Q.two (Dls.Platform.get p 0).Dls.Platform.c;
+  Alcotest.check rat "d doubled" Q.one (Dls.Platform.get p 0).Dls.Platform.d;
+  Alcotest.check rat "w kept" Q.one (Dls.Platform.get p 0).Dls.Platform.w;
+  let p = Dls.Platform.scale_comp Q.half (two_worker_platform ()) in
+  Alcotest.check rat "w halved" Q.half (Dls.Platform.get p 0).Dls.Platform.w
+
+let test_platform_sorted_stable () =
+  (* Equal keys keep the original order: sorting by c here is stable. *)
+  let p =
+    Dls.Platform.make
+      [ worker (2, 1) (1, 1) (1, 1); worker (1, 1) (9, 1) (1, 2); worker (1, 1) (1, 1) (1, 2) ]
+  in
+  let idx = Dls.Platform.sorted_indices_by p (fun wk -> wk.Dls.Platform.c) in
+  Alcotest.(check (array int)) "stable sort" [| 1; 2; 0 |] idx
+
+let test_platform_restrict () =
+  let p = Dls.Platform.restrict (two_worker_platform ()) [| 1 |] in
+  Alcotest.(check int) "size 1" 1 (Dls.Platform.size p);
+  Alcotest.check rat "kept worker" Q.two (Dls.Platform.get p 0).Dls.Platform.w
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_scenario_validation () =
+  let p = two_worker_platform () in
+  (try
+     ignore (Dls.Scenario.make p ~sigma1:[| 0; 0 |] ~sigma2:[| 0; 1 |]);
+     Alcotest.fail "duplicate accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dls.Scenario.make p ~sigma1:[| 0; 2 |] ~sigma2:[| 0; 2 |]);
+     Alcotest.fail "out of range accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dls.Scenario.make p ~sigma1:[| 0 |] ~sigma2:[| 1 |]);
+     Alcotest.fail "different sets accepted"
+   with Invalid_argument _ -> ())
+
+let test_scenario_kinds () =
+  let p = two_worker_platform () in
+  let f = Dls.Scenario.fifo p [| 1; 0 |] in
+  Alcotest.(check bool) "fifo is fifo" true (Dls.Scenario.is_fifo f);
+  let l = Dls.Scenario.lifo p [| 1; 0 |] in
+  Alcotest.(check bool) "lifo is lifo" true (Dls.Scenario.is_lifo l);
+  Alcotest.(check bool) "lifo not fifo" false (Dls.Scenario.is_fifo l);
+  Alcotest.(check int) "send pos" 0 (Dls.Scenario.send_position l 1);
+  Alcotest.(check int) "return pos" 1 (Dls.Scenario.return_position l 1)
+
+(* ------------------------------------------------------------------ *)
+(* LP model: hand-computed instances                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_lp_single_worker () =
+  (* One worker: rho = 1 / (c + w + d). *)
+  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (1, 1) ] in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.all_workers_fifo p) in
+  Alcotest.check rat "rho" (qq 1 6) sol.Dls.Lp_model.rho
+
+let test_lp_two_workers_fifo () =
+  (* Hand-solved above: alpha = (4/11, 2/11), rho = 6/11. *)
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  Alcotest.check rat "rho" (qq 6 11) sol.Dls.Lp_model.rho;
+  Alcotest.check rat "alpha1" (qq 4 11) sol.Dls.Lp_model.alpha.(0);
+  Alcotest.check rat "alpha2" (qq 2 11) sol.Dls.Lp_model.alpha.(1)
+
+let test_lp_two_workers_lifo () =
+  (* Hand-solved above: rho = 18/35 with alpha = (2/5, 4/35). *)
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.lifo p [| 0; 1 |]) in
+  Alcotest.check rat "rho" (qq 18 35) sol.Dls.Lp_model.rho;
+  Alcotest.check rat "alpha1" (qq 2 5) sol.Dls.Lp_model.alpha.(0);
+  Alcotest.check rat "alpha2" (qq 4 35) sol.Dls.Lp_model.alpha.(1)
+
+let test_lp_two_port_relaxation () =
+  (* Dropping the one-port constraint can only help. *)
+  let p = two_worker_platform () in
+  let s = Dls.Scenario.fifo p [| 0; 1 |] in
+  let one = Dls.Lp_model.solve ~model:Dls.Lp_model.One_port s in
+  let two = Dls.Lp_model.solve ~model:Dls.Lp_model.Two_port s in
+  Alcotest.(check bool) "two-port >= one-port" true
+    (two.Dls.Lp_model.rho >=/ one.Dls.Lp_model.rho)
+
+let test_lp_time_for_load () =
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  Alcotest.check rat "time for 6 loads" (q 11)
+    (Dls.Lp_model.time_for_load sol ~load:(q 6))
+
+let prop_constraint_report_lemma1 =
+  prop ~count:60 "constraint report: slacks >= 0, Lemma 1 structure"
+    (gen_platform ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let sol = Dls.Fifo.optimal p in
+      let report = Dls.Lp_model.constraint_report sol in
+      let all_nonneg =
+        List.for_all (fun st -> Q.sign st.Dls.Lp_model.slack >= 0) report
+      in
+      let everyone_enrolled =
+        Array.for_all (fun a -> Q.sign a > 0) sol.Dls.Lp_model.alpha
+      in
+      let non_binding =
+        List.length (List.filter (fun st -> not st.Dls.Lp_model.binding) report)
+      in
+      all_nonneg && ((not everyone_enrolled) || non_binding <= 1))
+
+let test_constraint_report_shape () =
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let report = Dls.Lp_model.constraint_report sol in
+  Alcotest.(check int) "2 deadlines + port" 3 (List.length report);
+  Alcotest.(check bool) "port row present" true
+    (List.exists (fun st -> st.Dls.Lp_model.label = "one-port") report);
+  (* hand-computed instance: both deadlines bind, the port is slack
+     (1.5 * 6/11 = 9/11 < 1). *)
+  List.iter
+    (fun st ->
+      if st.Dls.Lp_model.label = "one-port" then begin
+        Alcotest.(check bool) "port slack" false st.Dls.Lp_model.binding;
+        Alcotest.check rat "port slack value" (qq 2 11) st.Dls.Lp_model.slack
+      end
+      else Alcotest.(check bool) "deadline binds" true st.Dls.Lp_model.binding)
+    report
+
+let prop_estimate_rho_accurate =
+  prop ~count:60 "float estimate tracks the exact rho"
+    (gen_platform ~min_size:1 ~max_size:6 ())
+    (fun p ->
+      let s = Dls.Scenario.fifo p (Dls.Fifo.order p) in
+      let exact = Q.to_float (Dls.Lp_model.solve s).Dls.Lp_model.rho in
+      match Dls.Lp_model.estimate_rho s with
+      | None -> QCheck2.Test.fail_reportf "float solver stalled"
+      | Some approx ->
+        if Float.abs (approx -. exact) > 1e-6 *. Float.max 1.0 exact then
+          QCheck2.Test.fail_reportf "exact %.12g vs estimate %.12g" exact approx
+        else true)
+
+let test_lp_enrolled_subset () =
+  (* Enrolling only worker 1 leaves worker 0 with zero load. *)
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 1 |]) in
+  Alcotest.check rat "alpha0 = 0" Q.zero sol.Dls.Lp_model.alpha.(0);
+  Alcotest.check rat "rho = 1/(c2+w2+d2)" (qq 2 7) sol.Dls.Lp_model.rho;
+  Alcotest.(check (list int)) "enrolled" [ 1 ] (Dls.Lp_model.enrolled_workers sol)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 1: optimal FIFO                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_fifo_order_small_z () =
+  (* z = 1/2 < 1: non-decreasing c. *)
+  let p =
+    Dls.Platform.make
+      [ worker (3, 1) (1, 1) (3, 2); worker (1, 1) (1, 1) (1, 2); worker (2, 1) (1, 1) (1, 1) ]
+  in
+  Alcotest.(check (array int)) "ascending c" [| 1; 2; 0 |] (Dls.Fifo.order p)
+
+let test_fifo_order_big_z () =
+  (* z = 2 > 1: non-increasing c (mirror argument). *)
+  let p =
+    Dls.Platform.make
+      [ worker (3, 1) (1, 1) (6, 1); worker (1, 1) (1, 1) (2, 1); worker (2, 1) (1, 1) (4, 1) ]
+  in
+  Alcotest.(check (array int)) "descending c" [| 0; 2; 1 |] (Dls.Fifo.order p)
+
+let test_fifo_drops_slow_worker () =
+  (* The best FIFO schedule may not enroll all workers (Section 1). *)
+  let p =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
+  in
+  let best = Dls.Brute.best_fifo p in
+  Alcotest.check rat "slow worker dropped" Q.zero best.Dls.Lp_model.alpha.(1);
+  Alcotest.check rat "rho = 2/5" (qq 2 5) best.Dls.Lp_model.rho
+
+let prop_theorem1_small_z =
+  prop ~count:60 "Theorem 1: sorted FIFO is optimal (z < 1)"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:4 ())
+    (fun p ->
+      let brute = Dls.Brute.best_fifo p in
+      let smart = Dls.Fifo.optimal p in
+      Q.equal brute.Dls.Lp_model.rho smart.Dls.Lp_model.rho)
+
+let prop_theorem1_big_z =
+  prop ~count:40 "Theorem 1 mirrored: sorted FIFO is optimal (z > 1)"
+    QCheck2.Gen.(gen_big_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:4 ())
+    (fun p ->
+      let brute = Dls.Brute.best_fifo p in
+      let smart = Dls.Fifo.optimal p in
+      Q.equal brute.Dls.Lp_model.rho smart.Dls.Lp_model.rho)
+
+let prop_mirror_agrees =
+  prop ~count:60 "mirror construction matches direct solve (z > 1)"
+    QCheck2.Gen.(gen_big_z >>= fun z -> gen_platform ~z ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let direct = Dls.Fifo.optimal p in
+      let rho, sched = Dls.Fifo.optimal_via_mirror p in
+      Q.equal rho direct.Dls.Lp_model.rho
+      &&
+      match Dls.Schedule.validate sched with
+      | Ok () -> Q.equal (Dls.Schedule.total_load sched) rho
+      | Error msgs -> QCheck2.Test.fail_reportf "%s" (String.concat "; " msgs))
+
+let prop_monotone_in_workers =
+  prop ~count:60 "adding a worker never hurts"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
+    (fun p ->
+      let n = Dls.Platform.size p in
+      let sub = Dls.Platform.restrict p (Array.init (n - 1) Fun.id) in
+      (Dls.Fifo.optimal p).Dls.Lp_model.rho
+      >=/ (Dls.Fifo.optimal sub).Dls.Lp_model.rho)
+
+let prop_idle_structure =
+  prop ~count:80 "all workers enrolled => at most one idle gap"
+    (gen_platform ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let sol = Dls.Fifo.optimal p in
+      if Array.exists Q.is_zero sol.Dls.Lp_model.alpha then
+        QCheck2.assume_fail ()
+      else begin
+        let sched = Dls.Schedule.of_solved sol in
+        let gaps =
+          List.filter (fun (_, g) -> Q.sign g > 0) (Dls.Schedule.idle_times sched)
+        in
+        List.length gaps <= 1
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Theorem 2: bus closed form                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_closed_form_single () =
+  (* One worker, c = d = w = 1: u = 1/2, rho~ = 1/3 = 1/(c+w+d). *)
+  Alcotest.check rat "u" Q.half (Dls.Closed_form.bus_u ~c:Q.one ~d:Q.one [| Q.one |]).(0);
+  Alcotest.check rat "rho" (qq 1 3)
+    (Dls.Closed_form.fifo_throughput ~c:Q.one ~d:Q.one [| Q.one |])
+
+let test_closed_form_saturated () =
+  (* Many fast workers saturate the port: rho = 1/(c+d). *)
+  let ws = Array.make 6 (qq 1 100) in
+  Alcotest.check rat "saturated" (qq 2 3)
+    (Dls.Closed_form.fifo_throughput ~c:Q.one ~d:Q.half ws)
+
+let prop_theorem2_matches_lp =
+  prop ~count:60 "Theorem 2 closed form = FIFO LP on a bus"
+    (let open QCheck2.Gen in
+     let* c = gen_pos_rational in
+     let* dnum = int_range 1 9 in
+     let* n = int_range 1 5 in
+     let* ws = list_size (return n) gen_pos_rational in
+     return (c, Q.mul (qq dnum 10) c, ws))
+    (fun (c, d, ws) ->
+      let formula = Dls.Closed_form.fifo_throughput ~c ~d (Array.of_list ws) in
+      let p = Dls.Platform.bus ~c ~d ws in
+      let lp = Dls.Fifo.optimal p in
+      Q.equal formula lp.Dls.Lp_model.rho)
+
+let prop_theorem2_two_port =
+  prop ~count:60 "rho~ = two-port FIFO LP on a bus"
+    (let open QCheck2.Gen in
+     let* c = gen_pos_rational in
+     let* dnum = int_range 1 9 in
+     let* n = int_range 1 4 in
+     let* ws = list_size (return n) gen_pos_rational in
+     return (c, Q.mul (qq dnum 10) c, ws))
+    (fun (c, d, ws) ->
+      let formula = Dls.Closed_form.two_port_throughput ~c ~d (Array.of_list ws) in
+      let p = Dls.Platform.bus ~c ~d ws in
+      let lp = Dls.Fifo.optimal ~model:Dls.Lp_model.Two_port p in
+      Q.equal formula lp.Dls.Lp_model.rho)
+
+let prop_theorem2_order_invariant =
+  prop ~count:80 "bus throughput is order-invariant (Adler et al.)"
+    (let open QCheck2.Gen in
+     let* c = gen_pos_rational in
+     let* dnum = int_range 1 9 in
+     let* ws = list_size (int_range 2 5) gen_pos_rational in
+     let* seed = int_range 0 1000 in
+     return (c, Q.mul (qq dnum 10) c, ws, seed))
+    (fun (c, d, ws, seed) ->
+      let a = Array.of_list ws in
+      let shuffled = Array.copy a in
+      (* deterministic Fisher-Yates from the seed *)
+      let state = ref seed in
+      let next bound =
+        state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+        !state mod bound
+      in
+      for i = Array.length shuffled - 1 downto 1 do
+        let j = next (i + 1) in
+        let t = shuffled.(i) in
+        shuffled.(i) <- shuffled.(j);
+        shuffled.(j) <- t
+      done;
+      Q.equal
+        (Dls.Closed_form.fifo_throughput ~c ~d a)
+        (Dls.Closed_form.fifo_throughput ~c ~d shuffled))
+
+(* ------------------------------------------------------------------ *)
+(* LIFO                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let prop_lifo_order_optimal =
+  prop ~count:50 "LIFO: non-decreasing c order is optimal (z < 1)"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:4 ())
+    (fun p ->
+      let brute = Dls.Brute.best_lifo p in
+      let smart = Dls.Lifo.optimal p in
+      Q.equal brute.Dls.Lp_model.rho smart.Dls.Lp_model.rho)
+
+let prop_lifo_oneport_equals_twoport =
+  prop ~count:80 "LIFO one-port LP = two-port LP (deadline row dominates)"
+    (gen_platform ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let ord = Dls.Lifo.order p in
+      let one = Dls.Lifo.solve_order ~model:Dls.Lp_model.One_port p ord in
+      let two = Dls.Lifo.solve_order ~model:Dls.Lp_model.Two_port p ord in
+      Q.equal one.Dls.Lp_model.rho two.Dls.Lp_model.rho)
+
+(* ------------------------------------------------------------------ *)
+(* Heuristics and brute force                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_inc_c_beats_inc_w =
+  prop ~count:60 "INC_C >= INC_W (z < 1)"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
+    (fun p ->
+      (Dls.Heuristics.solve Dls.Heuristics.Inc_c p).Dls.Lp_model.rho
+      >=/ (Dls.Heuristics.solve Dls.Heuristics.Inc_w p).Dls.Lp_model.rho)
+
+let prop_general_at_least_fifo_lifo =
+  prop ~count:12 "best general >= best FIFO, best LIFO"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:3 ())
+    (fun p ->
+      let general = (Dls.Brute.best_general p).Dls.Lp_model.rho in
+      general >=/ (Dls.Brute.best_fifo p).Dls.Lp_model.rho
+      && general >=/ (Dls.Brute.best_lifo p).Dls.Lp_model.rho)
+
+let test_permutations_count () =
+  Alcotest.(check int) "4! = 24" 24 (List.length (Dls.Brute.permutations 4));
+  Alcotest.(check int) "0! = 1" 1 (List.length (Dls.Brute.permutations 0));
+  (* all distinct *)
+  let perms = List.map (fun a -> Array.to_list a) (Dls.Brute.permutations 4) in
+  Alcotest.(check int) "distinct" 24
+    (List.length (List.sort_uniq Stdlib.compare perms))
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_scenario =
+  let open QCheck2.Gen in
+  let* p = gen_platform ~min_size:1 ~max_size:5 () in
+  let n = Dls.Platform.size p in
+  let* seed1 = int_range 0 10000 in
+  let* seed2 = int_range 0 10000 in
+  let shuffle seed =
+    let a = Array.init n Fun.id in
+    let state = ref (seed + 1) in
+    let next bound =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      !state mod bound
+    in
+    for i = n - 1 downto 1 do
+      let j = next (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  return (Dls.Scenario.make p ~sigma1:(shuffle seed1) ~sigma2:(shuffle seed2))
+
+let prop_schedule_valid =
+  prop ~count:120 "LP schedules satisfy every one-port invariant" gen_scenario
+    (fun s ->
+      let sol = Dls.Lp_model.solve s in
+      let sched = Dls.Schedule.of_solved sol in
+      match Dls.Schedule.validate sched with
+      | Ok () ->
+        Q.equal (Dls.Schedule.total_load sched) sol.Dls.Lp_model.rho
+        && Q.equal (Dls.Schedule.makespan sched) Q.one
+      | Error msgs -> QCheck2.Test.fail_reportf "%s" (String.concat "; " msgs))
+
+let prop_schedule_scaling =
+  prop ~count:60 "for_load scales makespan and load linearly" gen_scenario
+    (fun s ->
+      let sol = Dls.Lp_model.solve s in
+      let load = q 1000 in
+      let sched = Dls.Schedule.for_load sol ~load in
+      Q.equal (Dls.Schedule.total_load sched) load
+      && Q.equal (Dls.Schedule.makespan sched)
+           (load // sol.Dls.Lp_model.rho)
+      && Dls.Schedule.validate sched = Ok ())
+
+let test_schedule_mirror_roundtrip () =
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sched = Dls.Schedule.of_solved sol in
+  let mirrored = Dls.Schedule.mirror sched in
+  (match Dls.Schedule.validate mirrored with
+  | Ok () -> ()
+  | Error msgs -> Alcotest.fail (String.concat "; " msgs));
+  let back = Dls.Schedule.mirror mirrored in
+  Alcotest.check rat "load preserved" (Dls.Schedule.total_load sched)
+    (Dls.Schedule.total_load back)
+
+(* ------------------------------------------------------------------ *)
+(* Rounding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_rounding_paper_example () =
+  (* Section 5: alpha = (200.4, 300.2, 139.8, 359.6), M = 1000
+     -> (201, 301, 139, 359). *)
+  let weights = [| qq 1002 5; qq 1501 5; qq 699 5; qq 1798 5 |] in
+  let loads =
+    Dls.Rounding.share_out ~weights ~order:[| 0; 1; 2; 3 |] ~total:1000
+  in
+  Alcotest.(check (array int)) "paper example" [| 201; 301; 139; 359 |] loads
+
+let test_rounding_zero_total () =
+  let loads =
+    Dls.Rounding.share_out ~weights:[| Q.one; Q.two |] ~order:[| 0; 1 |] ~total:0
+  in
+  Alcotest.(check (array int)) "all zero" [| 0; 0 |] loads
+
+let prop_rounding_conserves =
+  prop ~count:100 "rounded loads sum to the total"
+    (QCheck2.Gen.pair (gen_platform ~min_size:1 ~max_size:6 ())
+       (QCheck2.Gen.int_range 0 5000))
+    (fun (p, total) ->
+      let sol = Dls.Fifo.optimal p in
+      let loads = Dls.Rounding.integer_loads sol ~total in
+      Array.fold_left ( + ) 0 loads = total
+      && Dls.Rounding.imbalance sol ~total <=/ Q.one)
+
+let prop_rounding_respects_selection =
+  prop ~count:80 "workers with zero load stay at zero"
+    (gen_platform ~min_size:2 ~max_size:5 ())
+    (fun p ->
+      let sol = Dls.Fifo.optimal p in
+      let loads = Dls.Rounding.integer_loads sol ~total:997 in
+      Array.for_all2
+        (fun l a -> Q.sign a > 0 || l = 0)
+        loads sol.Dls.Lp_model.alpha)
+
+(* ------------------------------------------------------------------ *)
+(* No-return baseline (classical DLT results)                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_no_return_single () =
+  (* One worker: alpha = 1/(c+w). *)
+  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (0, 1) ] in
+  Alcotest.check rat "1/(c+w)" (qq 1 5) (Dls.No_return.throughput p)
+
+let test_no_return_recursion () =
+  (* Two identical workers, c = w = 1: alpha1 = 1/2, alpha2 = 1/4. *)
+  let p =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
+  in
+  let alpha = Dls.No_return.loads p ~order:[| 0; 1 |] in
+  Alcotest.check rat "alpha1" Q.half alpha.(0);
+  Alcotest.check rat "alpha2" (qq 1 4) alpha.(1);
+  Alcotest.check rat "rho" (qq 3 4) (Dls.No_return.throughput p)
+
+let prop_no_return_matches_lp =
+  prop ~count:60 "no-return closed form = scenario LP with d = 0"
+    (gen_platform ~min_size:1 ~max_size:6 ())
+    (fun p ->
+      let p = Dls.No_return.strip_returns p in
+      let formula = Dls.No_return.throughput p in
+      let lp =
+        Dls.Lp_model.solve (Dls.Scenario.fifo p (Dls.No_return.optimal_order p))
+      in
+      Q.equal formula lp.Dls.Lp_model.rho)
+
+let prop_no_return_bandwidth_order_optimal =
+  prop ~count:30 "no-return: bandwidth-first beats every order (brute force)"
+    (gen_platform ~min_size:2 ~max_size:4 ())
+    (fun p ->
+      let p = Dls.No_return.strip_returns p in
+      let brute = Dls.Brute.best_fifo p in
+      Q.equal brute.Dls.Lp_model.rho (Dls.No_return.throughput p))
+
+let prop_no_return_all_participate =
+  prop ~count:40 "no-return: every worker gets positive load"
+    (gen_platform ~min_size:1 ~max_size:8 ())
+    (fun p ->
+      let alpha = Dls.No_return.loads p ~order:(Dls.No_return.optimal_order p) in
+      Array.for_all (fun a -> Q.sign a > 0) alpha)
+
+let prop_returns_only_hurt =
+  prop ~count:40 "adding return messages can only reduce throughput"
+    (gen_platform ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let with_returns = (Dls.Fifo.optimal p).Dls.Lp_model.rho in
+      let without = Dls.No_return.throughput (Dls.No_return.strip_returns p) in
+      with_returns <=/ without)
+
+(* ------------------------------------------------------------------ *)
+(* Affine extension                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let affine_rho = function
+  | Dls.Affine.Solved s -> s.Dls.Affine.rho
+  | Dls.Affine.Too_slow -> Alcotest.fail "unexpectedly Too_slow"
+
+let test_affine_zero_latency_matches_linear () =
+  let p = two_worker_platform () in
+  let a = Dls.Affine.of_platform p in
+  let order = [| 0; 1 |] in
+  let affine = affine_rho (Dls.Affine.solve a ~sigma1:order ~sigma2:order) in
+  let linear = (Dls.Lp_model.solve (Dls.Scenario.fifo p order)).Dls.Lp_model.rho in
+  Alcotest.check rat "same rho" linear affine
+
+let test_affine_too_slow () =
+  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let a = Dls.Affine.of_platform ~send_latency:(q 2) p in
+  (match Dls.Affine.solve a ~sigma1:[| 0 |] ~sigma2:[| 0 |] with
+  | Dls.Affine.Too_slow -> ()
+  | Dls.Affine.Solved _ -> Alcotest.fail "latency 2 > deadline 1 accepted");
+  match Dls.Affine.best_fifo a with
+  | Dls.Affine.Too_slow -> ()
+  | Dls.Affine.Solved _ -> Alcotest.fail "best_fifo should be Too_slow"
+
+let test_affine_latency_forces_selection () =
+  (* Without latency both workers help; a large start-up cost on the
+     second message makes a single-worker schedule optimal. *)
+  let p = two_worker_platform () in
+  let expensive =
+    Dls.Affine.make
+      [
+        Dls.Affine.worker (Dls.Platform.get p 0);
+        Dls.Affine.worker ~send_latency:(qq 9 10) (Dls.Platform.get p 1);
+      ]
+  in
+  match Dls.Affine.best_fifo expensive with
+  | Dls.Affine.Too_slow -> Alcotest.fail "feasible schedules exist"
+  | Dls.Affine.Solved s ->
+    Alcotest.(check int) "only one worker" 1 (Array.length s.Dls.Affine.sigma1);
+    (* worker 1 alone: rho = 1/(c+w+d) = 2/5 *)
+    Alcotest.check rat "P1 alone" (qq 2 5) s.Dls.Affine.rho
+
+let prop_affine_zero_latency_best =
+  prop ~count:25 "affine best_fifo with zero latencies = linear brute force"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:3 ())
+    (fun p ->
+      let a = Dls.Affine.of_platform p in
+      Q.equal
+        (affine_rho (Dls.Affine.best_fifo a))
+        (Dls.Brute.best_fifo p).Dls.Lp_model.rho)
+
+let prop_affine_latency_monotone =
+  prop ~count:30 "latencies only reduce throughput"
+    (QCheck2.Gen.pair
+       (gen_platform ~min_size:1 ~max_size:3 ())
+       (QCheck2.Gen.int_range 1 20))
+    (fun (p, lat) ->
+      let latency = qq lat 100 in
+      let free = affine_rho (Dls.Affine.best_fifo (Dls.Affine.of_platform p)) in
+      match
+        Dls.Affine.best_fifo
+          (Dls.Affine.of_platform ~send_latency:latency ~return_latency:latency p)
+      with
+      | Dls.Affine.Too_slow -> true
+      | Dls.Affine.Solved s -> s.Dls.Affine.rho <=/ free)
+
+let prop_affine_general_at_least_fifo =
+  prop ~count:10 "affine general search >= FIFO search"
+    (gen_platform ~min_size:2 ~max_size:3 ())
+    (fun p ->
+      let a = Dls.Affine.of_platform ~send_latency:(qq 1 20) p in
+      match (Dls.Affine.best_fifo a, Dls.Affine.best_general a) with
+      | Dls.Affine.Too_slow, Dls.Affine.Too_slow -> true
+      | Dls.Affine.Too_slow, Dls.Affine.Solved _ -> true
+      | Dls.Affine.Solved _, Dls.Affine.Too_slow -> false
+      | Dls.Affine.Solved f, Dls.Affine.Solved g ->
+        g.Dls.Affine.rho >=/ f.Dls.Affine.rho)
+
+(* ------------------------------------------------------------------ *)
+(* Tree networks (no-return baseline)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tree =
+  let open QCheck2.Gen in
+  let rec build depth =
+    if depth = 0 then map (fun w -> Dls.Tree.leaf w) gen_pos_rational
+    else
+      let* n_children = int_range 0 3 in
+      if n_children = 0 then map (fun w -> Dls.Tree.leaf w) gen_pos_rational
+      else
+        let* children =
+          list_size (return n_children) (pair gen_pos_rational (build (depth - 1)))
+        in
+        let* own = option gen_pos_rational in
+        return
+          (match own with
+          | Some w -> Dls.Tree.node ~w children
+          | None -> Dls.Tree.node children)
+  in
+  let* n_top = int_range 1 3 in
+  let* top = list_size (return n_top) (pair gen_pos_rational (build 2)) in
+  return (Dls.Tree.root top)
+
+let test_tree_flat_equals_star () =
+  let specs = [ (qq 1 2, q 1); (q 1, q 2); (q 2, qq 1 3) ] in
+  let tree = Dls.Tree.root (List.map (fun (c, w) -> (c, Dls.Tree.leaf w)) specs) in
+  let star =
+    Dls.Platform.make
+      (List.map (fun (c, w) -> Dls.Platform.worker ~c ~w ~d:Q.zero ()) specs)
+  in
+  Alcotest.check rat "flat tree = star" (Dls.No_return.throughput star)
+    (Dls.Tree.throughput tree)
+
+let test_tree_single_chain () =
+  (* root -1-> leaf(w=2): rho = 1/3 *)
+  let tree = Dls.Tree.root [ (q 1, Dls.Tree.leaf (q 2)) ] in
+  Alcotest.check rat "chain" (qq 1 3) (Dls.Tree.throughput tree)
+
+let test_tree_relay_chain () =
+  (* root -1-> relay -1-> leaf(w=1): store-and-forward, rho = 1/3 *)
+  let tree =
+    Dls.Tree.root [ (q 1, Dls.Tree.node [ (q 1, Dls.Tree.leaf (q 1)) ]) ]
+  in
+  Alcotest.check rat "relay chain" (qq 1 3) (Dls.Tree.throughput tree)
+
+let test_tree_computing_internal_node () =
+  (* root -1-> node(w=1){ -1-> leaf(w=1) }:
+     node as worker: 1/w + 1/(c+w) = 3/2, w_eq = 2/3, rho = 1/(1+2/3) = 3/5. *)
+  let tree =
+    Dls.Tree.root
+      [ (q 1, Dls.Tree.node ~w:(q 1) [ (q 1, Dls.Tree.leaf (q 1)) ]) ]
+  in
+  Alcotest.check rat "computing internal" (qq 3 5) (Dls.Tree.throughput tree)
+
+let test_tree_equivalent_leaf () =
+  Alcotest.check rat "leaf equivalent" (q 7) (Dls.Tree.equivalent_w (Dls.Tree.leaf (q 7)))
+
+let test_tree_constructors () =
+  (try
+     ignore (Dls.Tree.leaf Q.zero);
+     Alcotest.fail "leaf w=0 accepted"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Dls.Tree.node []);
+     Alcotest.fail "childless relay accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dls.Tree.node [ (Q.zero, Dls.Tree.leaf Q.one) ]);
+    Alcotest.fail "zero link cost accepted"
+  with Invalid_argument _ -> ()
+
+let prop_tree_validates =
+  prop ~count:80 "tree schedules pass the operational validator" gen_tree
+    (fun tree ->
+      match Dls.Tree.validate tree with
+      | Ok () -> true
+      | Error msgs -> QCheck2.Test.fail_reportf "%s" (String.concat "; " msgs))
+
+let prop_tree_load_conservation =
+  prop ~count:60 "tree: computed loads sum to the throughput" gen_tree
+    (fun tree ->
+      let total =
+        Q.sum (List.map (fun a -> a.Dls.Tree.load) (Dls.Tree.schedule tree))
+      in
+      Q.equal total (Dls.Tree.throughput tree))
+
+let prop_tree_extra_leaf_helps =
+  prop ~count:50 "tree: adding a worker never hurts"
+    (QCheck2.Gen.pair gen_tree (QCheck2.Gen.pair gen_pos_rational gen_pos_rational))
+    (fun (tree, (c, w)) ->
+      let bigger =
+        Dls.Tree.node ~name:(Printf.sprintf "root+%d" (Dls.Tree.size tree))
+          ((c, Dls.Tree.leaf w) :: tree.Dls.Tree.children)
+      in
+      Dls.Tree.throughput bigger >=/ Dls.Tree.throughput tree)
+
+let prop_tree_relay_costs =
+  prop ~count:50 "tree: inserting a relay never helps"
+    (QCheck2.Gen.pair gen_pos_rational (QCheck2.Gen.pair gen_pos_rational gen_pos_rational))
+    (fun (c_extra, (c, w)) ->
+      let direct = Dls.Tree.root [ (c, Dls.Tree.leaf w) ] in
+      let relayed =
+        Dls.Tree.root [ (c, Dls.Tree.node [ (c_extra, Dls.Tree.leaf w) ]) ]
+      in
+      Dls.Tree.throughput relayed <=/ Dls.Tree.throughput direct)
+
+(* ------------------------------------------------------------------ *)
+(* Analytic bounds                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_bounds_sandwich_optimum =
+  prop ~count:80 "analytic bounds sandwich the optimum"
+    (gen_platform ~min_size:1 ~max_size:6 ())
+    (fun p ->
+      let rho = (Dls.Fifo.optimal p).Dls.Lp_model.rho in
+      Dls.Bounds.lower p <=/ rho && rho <=/ Dls.Bounds.upper p)
+
+let prop_bounds_general_upper =
+  prop ~count:20 "upper bound also caps arbitrary permutation pairs"
+    (gen_platform ~min_size:2 ~max_size:3 ())
+    (fun p ->
+      (Dls.Brute.best_general p).Dls.Lp_model.rho <=/ Dls.Bounds.upper p)
+
+let test_bounds_single_worker_tight () =
+  (* One worker: all three quantities coincide with the optimum. *)
+  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (1, 1) ] in
+  let rho = (Dls.Fifo.optimal p).Dls.Lp_model.rho in
+  Alcotest.check rat "lower tight" rho (Dls.Bounds.lower p);
+  Alcotest.check rat "chain tight" rho (Dls.Bounds.chain_bound p)
+
+(* ------------------------------------------------------------------ *)
+(* Small API surfaces                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_heuristics_names () =
+  Alcotest.(check (list string)) "names" [ "INC_C"; "INC_W"; "LIFO" ]
+    (List.map Dls.Heuristics.name Dls.Heuristics.all)
+
+let test_schedule_idle_times () =
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sched = Dls.Schedule.of_solved sol in
+  let idles = Dls.Schedule.idle_times sched in
+  Alcotest.(check int) "one entry per enrolled worker" 2 (List.length idles);
+  List.iter
+    (fun (_, gap) ->
+      Alcotest.(check bool) "non-negative" true (Q.sign gap >= 0))
+    idles
+
+let test_schedule_scale_validation () =
+  let p = two_worker_platform () in
+  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |])) in
+  (try
+     ignore (Dls.Schedule.scale Q.zero sched);
+     Alcotest.fail "zero scale accepted"
+   with Invalid_argument _ -> ());
+  let doubled = Dls.Schedule.scale Q.two sched in
+  Alcotest.check rat "horizon doubled" Q.two (Dls.Schedule.makespan doubled);
+  Alcotest.(check bool) "still valid" true (Dls.Schedule.validate doubled = Ok ())
+
+let test_schedule_mirror_rejects_no_return () =
+  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1) ] in
+  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0 |])) in
+  try
+    ignore (Dls.Schedule.mirror sched);
+    Alcotest.fail "mirror of d=0 accepted"
+  with Invalid_argument _ -> ()
+
+let test_pp_smoke () =
+  let p = two_worker_platform () in
+  let sol = Dls.Lp_model.solve (Dls.Scenario.lifo p [| 0; 1 |]) in
+  let s1 = Format.asprintf "%a" Dls.Platform.pp p in
+  let s2 = Format.asprintf "%a" Dls.Scenario.pp sol.Dls.Lp_model.scenario in
+  let s3 = Format.asprintf "%a" Dls.Lp_model.pp sol in
+  let s4 = Format.asprintf "%a" Dls.Schedule.pp (Dls.Schedule.of_solved sol) in
+  List.iter
+    (fun s -> Alcotest.(check bool) "non-empty" true (String.length s > 0))
+    [ s1; s2; s3; s4 ]
+
+let test_fifo_order_z_equal_one () =
+  (* z = 1: Theorem 1 says order is irrelevant; the library picks the
+     ascending-c order and must still match the brute force. *)
+  let p =
+    Dls.Platform.make
+      [ worker (2, 1) (1, 1) (2, 1); worker (1, 1) (3, 1) (1, 1) ]
+  in
+  let brute = Dls.Brute.best_fifo p in
+  let smart = Dls.Fifo.optimal p in
+  Alcotest.check rat "z=1 optimal" brute.Dls.Lp_model.rho smart.Dls.Lp_model.rho
+
+(* ------------------------------------------------------------------ *)
+(* Sensitivity                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_slowing_never_helps =
+  prop ~count:50 "slowing any resource never raises the throughput"
+    (let open QCheck2.Gen in
+     let* p = gen_small_z >>= fun z -> gen_platform ~z ~min_size:1 ~max_size:5 () in
+     let* target = int_range 0 (Dls.Platform.size p - 1) in
+     let* comm = bool in
+     let* slow_num = int_range 11 30 in
+     return (p, (if comm then Dls.Sensitivity.Comm target else Dls.Sensitivity.Comp target), qq slow_num 10))
+    (fun (p, param, factor) ->
+      Q.sign (Dls.Sensitivity.throughput_delta p param ~factor) <= 0)
+
+let prop_speeding_never_hurts =
+  prop ~count:50 "speeding any resource never lowers the throughput"
+    (let open QCheck2.Gen in
+     let* p = gen_small_z >>= fun z -> gen_platform ~z ~min_size:1 ~max_size:5 () in
+     let* target = int_range 0 (Dls.Platform.size p - 1) in
+     let* comm = bool in
+     let* fast_den = int_range 11 30 in
+     return (p, (if comm then Dls.Sensitivity.Comm target else Dls.Sensitivity.Comp target), qq 10 fast_den))
+    (fun (p, param, factor) ->
+      Q.sign (Dls.Sensitivity.throughput_delta p param ~factor) >= 0)
+
+let test_sensitivity_dropped_worker_is_flat () =
+  (* Slowing the compute of a worker that resource selection already
+     dropped changes nothing. *)
+  let p =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
+  in
+  let sol = Dls.Fifo.optimal p in
+  Alcotest.check rat "worker 2 dropped" Q.zero sol.Dls.Lp_model.alpha.(1);
+  Alcotest.check rat "no effect" Q.zero
+    (Dls.Sensitivity.throughput_delta p (Dls.Sensitivity.Comp 1) ~factor:(q 5))
+
+let test_sensitivity_table_shape () =
+  let p = two_worker_platform () in
+  let entries = Dls.Sensitivity.table p ~factor:(qq 11 10) in
+  Alcotest.(check int) "2 workers x 2 params" 4 (List.length entries);
+  List.iter
+    (fun (param, rel) ->
+      if Q.sign rel > 0 then
+        Alcotest.failf "slowdown helped via %s"
+          (Dls.Sensitivity.parameter_to_string p param))
+    entries
+
+let test_sensitivity_perturb_validation () =
+  let p = two_worker_platform () in
+  (try
+     ignore (Dls.Sensitivity.perturb p (Dls.Sensitivity.Comm 5) ~factor:Q.one);
+     Alcotest.fail "out-of-range worker accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dls.Sensitivity.perturb p (Dls.Sensitivity.Comm 0) ~factor:Q.zero);
+    Alcotest.fail "zero factor accepted"
+  with Invalid_argument _ -> ()
+
+let test_sensitivity_preserves_z () =
+  let p = two_worker_platform () in
+  let p' = Dls.Sensitivity.perturb p (Dls.Sensitivity.Comm 0) ~factor:(q 3) in
+  Alcotest.(check (option rat)) "z preserved" (Some Q.half) (Dls.Platform.z_ratio p')
+
+(* ------------------------------------------------------------------ *)
+(* Platform and tree text formats                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_io_roundtrip () =
+  let p = two_worker_platform () in
+  match Dls.Platform_io.of_string (Dls.Platform_io.to_string p) with
+  | Error e -> Alcotest.fail e
+  | Ok p' ->
+    Alcotest.(check int) "size" (Dls.Platform.size p) (Dls.Platform.size p');
+    for i = 0 to Dls.Platform.size p - 1 do
+      let a = Dls.Platform.get p i and b = Dls.Platform.get p' i in
+      Alcotest.check rat "c" a.Dls.Platform.c b.Dls.Platform.c;
+      Alcotest.check rat "w" a.Dls.Platform.w b.Dls.Platform.w;
+      Alcotest.check rat "d" a.Dls.Platform.d b.Dls.Platform.d
+    done
+
+let test_platform_io_comments () =
+  let text = "# header\n\nP1 1 2 1/2  # trailing comment\n" in
+  match Dls.Platform_io.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+    Alcotest.(check int) "one worker" 1 (Dls.Platform.size p);
+    Alcotest.check rat "w" Q.two (Dls.Platform.get p 0).Dls.Platform.w
+
+let test_platform_io_errors () =
+  List.iter
+    (fun text ->
+      match Dls.Platform_io.of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [ ""; "# only comments\n"; "P1 1 2\n"; "P1 1 x 2\n"; "P1 0 1 1\n" ]
+
+let test_tree_syntax_roundtrip () =
+  let text = "(node (1 (leaf 2)) (1/2 (node 3 (2 (leaf 1)))) (2 (relay (1 (leaf 1/2)))))" in
+  match Dls.Tree_syntax.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok tree -> (
+    let printed = Dls.Tree_syntax.to_string tree in
+    match Dls.Tree_syntax.of_string printed with
+    | Error e -> Alcotest.fail ("reparse: " ^ e)
+    | Ok tree' ->
+      Alcotest.check rat "same throughput" (Dls.Tree.throughput tree)
+        (Dls.Tree.throughput tree');
+      Alcotest.(check int) "same size" (Dls.Tree.size tree) (Dls.Tree.size tree'))
+
+let test_tree_syntax_comments_and_errors () =
+  (match Dls.Tree_syntax.of_string "; comment\n(node (1 (leaf 2)))" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun text ->
+      match Dls.Tree_syntax.of_string text with
+      | Ok _ -> Alcotest.failf "accepted %S" text
+      | Error _ -> ())
+    [
+      "";
+      "(leaf)";
+      "(leaf 0)";
+      "(node (1 (leaf 2)) trailing";
+      "(node (0 (leaf 1)))";
+      "(frob (1 (leaf 1)))";
+      "(node (1 (leaf 2))) extra";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Branch-and-bound FIFO search                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Platforms with fully independent (c, w, d): outside Theorem 1's
+   uniform-ratio hypothesis, where only search can certify optimality. *)
+let gen_wild_platform ~min_size ~max_size =
+  let open QCheck2.Gen in
+  let* n = int_range min_size max_size in
+  let* specs =
+    list_size (return n) (triple gen_pos_rational gen_pos_rational gen_pos_rational)
+  in
+  return
+    (Dls.Platform.make
+       (List.map
+          (fun (c, w, d) -> Dls.Platform.worker ~c ~w ~d ())
+          specs))
+
+let prop_search_matches_brute =
+  prop ~count:40 "B&B search = brute force (non-uniform z)"
+    (gen_wild_platform ~min_size:2 ~max_size:4)
+    (fun p ->
+      let brute = Dls.Brute.best_fifo p in
+      let found, stats = Dls.Search.best_fifo p in
+      Q.equal brute.Dls.Lp_model.rho found.Dls.Lp_model.rho
+      && stats.Dls.Search.pruned <= stats.Dls.Search.nodes
+      && stats.Dls.Search.lps >= 1)
+
+let prop_search_never_below_heuristic =
+  prop ~count:40 "B&B search >= Theorem 1 heuristic order"
+    (gen_wild_platform ~min_size:1 ~max_size:5)
+    (fun p ->
+      let heuristic = Dls.Fifo.optimal p in
+      let found, _ = Dls.Search.best_fifo p in
+      found.Dls.Lp_model.rho >=/ heuristic.Dls.Lp_model.rho)
+
+let prop_search_proves_theorem1 =
+  prop ~count:30 "B&B search confirms Theorem 1 on uniform-z platforms"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
+    (fun p ->
+      let found, _ = Dls.Search.best_fifo p in
+      Q.equal found.Dls.Lp_model.rho (Dls.Fifo.optimal p).Dls.Lp_model.rho)
+
+let prop_search_lifo_matches_brute =
+  prop ~count:30 "B&B LIFO search = brute force (non-uniform z)"
+    (gen_wild_platform ~min_size:2 ~max_size:4)
+    (fun p ->
+      let brute = Dls.Brute.best_lifo p in
+      let found, _ = Dls.Search.best_lifo p in
+      Q.equal brute.Dls.Lp_model.rho found.Dls.Lp_model.rho)
+
+let prop_search_lifo_confirms_order =
+  prop ~count:25 "B&B LIFO confirms ascending-c order (z < 1)"
+    QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
+    (fun p ->
+      let found, _ = Dls.Search.best_lifo p in
+      Q.equal found.Dls.Lp_model.rho (Dls.Lifo.optimal p).Dls.Lp_model.rho)
+
+let test_search_two_port () =
+  let p = two_worker_platform () in
+  let found, _ = Dls.Search.best_fifo ~model:Dls.Lp_model.Two_port p in
+  let brute = Dls.Brute.best_fifo ~model:Dls.Lp_model.Two_port p in
+  Alcotest.check rat "two-port agrees" brute.Dls.Lp_model.rho found.Dls.Lp_model.rho
+
+(* ------------------------------------------------------------------ *)
+(* Multi-round extension                                               *)
+(* ------------------------------------------------------------------ *)
+
+let multiround_rho = function
+  | Dls.Multiround.Solved s -> s.Dls.Multiround.rho
+  | Dls.Multiround.Too_slow -> Alcotest.fail "unexpectedly Too_slow"
+
+let test_multiround_one_round_equals_scenario_lp () =
+  let p = two_worker_platform () in
+  let order = [| 0; 1 |] in
+  let single =
+    multiround_rho
+      (Dls.Multiround.solve p (Dls.Multiround.config ~rounds:1 order))
+  in
+  Alcotest.check rat "R=1 = paper LP" (qq 6 11) single
+
+let test_multiround_no_returns_one_round () =
+  let p =
+    Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
+  in
+  let rho =
+    multiround_rho
+      (Dls.Multiround.solve p
+         (Dls.Multiround.config ~with_returns:false ~rounds:1 [| 0; 1 |]))
+  in
+  Alcotest.check rat "matches closed form" (qq 3 4) rho
+
+let test_multiround_too_slow () =
+  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  match
+    Dls.Multiround.solve p
+      (Dls.Multiround.config ~send_latency:(q 1) ~rounds:2 [| 0 |])
+  with
+  | Dls.Multiround.Too_slow -> ()
+  | Dls.Multiround.Solved _ -> Alcotest.fail "two send latencies exceed T"
+
+let test_multiround_validation () =
+  (try
+     ignore (Dls.Multiround.config ~rounds:0 [| 0 |]);
+     Alcotest.fail "rounds = 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Dls.Multiround.config ~rounds:1 [||]);
+    Alcotest.fail "empty order accepted"
+  with Invalid_argument _ -> ()
+
+let prop_multiround_one_round_matches_lp =
+  prop ~count:40 "multiround R=1 = scenario LP (any platform)"
+    (gen_platform ~min_size:1 ~max_size:5 ())
+    (fun p ->
+      let order = Dls.Fifo.order p in
+      let lp = Dls.Fifo.solve_order p order in
+      let mr =
+        multiround_rho (Dls.Multiround.solve p (Dls.Multiround.config ~rounds:1 order))
+      in
+      Q.equal lp.Dls.Lp_model.rho mr)
+
+let prop_multiround_monotone_in_rounds =
+  prop ~count:25 "linear model: more rounds never hurt"
+    (QCheck2.Gen.pair
+       (gen_platform ~min_size:1 ~max_size:3 ())
+       (QCheck2.Gen.int_range 1 3))
+    (fun (p, r) ->
+      let order = Dls.Fifo.order p in
+      let rho rounds =
+        multiround_rho (Dls.Multiround.solve p (Dls.Multiround.config ~rounds order))
+      in
+      rho (r + 1) >=/ rho r)
+
+let prop_multiround_totals_consistent =
+  prop ~count:25 "chunk totals equal per-worker loads"
+    (gen_platform ~min_size:1 ~max_size:4 ())
+    (fun p ->
+      let order = Dls.Fifo.order p in
+      match Dls.Multiround.solve p (Dls.Multiround.config ~rounds:3 order) with
+      | Dls.Multiround.Too_slow -> false
+      | Dls.Multiround.Solved s ->
+        Q.equal (Q.sum_array s.Dls.Multiround.alpha) s.Dls.Multiround.rho
+        && Array.for_all
+             (fun per_round -> Array.for_all (fun a -> Q.sign a >= 0) per_round)
+             s.Dls.Multiround.chunks)
+
+let test_multiround_latency_finite_optimum () =
+  (* With per-message latencies the best round count is finite: the
+     throughput first rises with pipelining, then falls as latencies
+     accumulate. *)
+  let p =
+    Dls.Platform.make
+      [ worker (1, 4) (2, 1) (1, 8); worker (1, 4) (2, 1) (1, 8) ]
+  in
+  let sweep =
+    Dls.Multiround.sweep_rounds p ~send_latency:(qq 1 25) ~return_latency:(qq 1 25)
+      ~order:[| 0; 1 |] ~max_rounds:8 ()
+  in
+  let rhos = List.map snd sweep in
+  let best = List.fold_left Q.max Q.zero rhos in
+  let last = List.nth rhos (List.length rhos - 1) in
+  let first = List.hd rhos in
+  Alcotest.(check bool) "pipelining helps at first" true (Q.compare best first > 0);
+  Alcotest.(check bool) "latencies eventually dominate" true
+    (Q.compare last best < 0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "dls"
+    [
+      ( "platform",
+        [
+          Alcotest.test_case "validation" `Quick test_platform_validation;
+          Alcotest.test_case "z ratio" `Quick test_platform_z_ratio;
+          Alcotest.test_case "is_bus" `Quick test_platform_is_bus;
+          Alcotest.test_case "scaling" `Quick test_platform_scaling;
+          Alcotest.test_case "stable sort" `Quick test_platform_sorted_stable;
+          Alcotest.test_case "restrict" `Quick test_platform_restrict;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "validation" `Quick test_scenario_validation;
+          Alcotest.test_case "kinds" `Quick test_scenario_kinds;
+        ] );
+      ( "lp_model",
+        [
+          Alcotest.test_case "single worker" `Quick test_lp_single_worker;
+          Alcotest.test_case "two workers FIFO" `Quick test_lp_two_workers_fifo;
+          Alcotest.test_case "two workers LIFO" `Quick test_lp_two_workers_lifo;
+          Alcotest.test_case "two-port relaxation" `Quick test_lp_two_port_relaxation;
+          Alcotest.test_case "time for load" `Quick test_lp_time_for_load;
+          Alcotest.test_case "enrolled subset" `Quick test_lp_enrolled_subset;
+          prop_estimate_rho_accurate;
+          prop_constraint_report_lemma1;
+          Alcotest.test_case "constraint report" `Quick test_constraint_report_shape;
+        ] );
+      ( "theorem1",
+        [
+          Alcotest.test_case "order z<1" `Quick test_fifo_order_small_z;
+          Alcotest.test_case "order z>1" `Quick test_fifo_order_big_z;
+          Alcotest.test_case "resource selection" `Quick test_fifo_drops_slow_worker;
+          prop_theorem1_small_z;
+          prop_theorem1_big_z;
+          prop_mirror_agrees;
+          prop_monotone_in_workers;
+          prop_idle_structure;
+        ] );
+      ( "theorem2",
+        [
+          Alcotest.test_case "single worker" `Quick test_closed_form_single;
+          Alcotest.test_case "saturated port" `Quick test_closed_form_saturated;
+          prop_theorem2_matches_lp;
+          prop_theorem2_two_port;
+          prop_theorem2_order_invariant;
+        ] );
+      ("lifo", [ prop_lifo_order_optimal; prop_lifo_oneport_equals_twoport ]);
+      ( "heuristics",
+        [
+          prop_inc_c_beats_inc_w;
+          prop_general_at_least_fifo_lifo;
+          Alcotest.test_case "permutations" `Quick test_permutations_count;
+        ] );
+      ( "schedule",
+        [
+          prop_schedule_valid;
+          prop_schedule_scaling;
+          Alcotest.test_case "mirror roundtrip" `Quick test_schedule_mirror_roundtrip;
+        ] );
+      ( "rounding",
+        [
+          Alcotest.test_case "paper example" `Quick test_rounding_paper_example;
+          Alcotest.test_case "zero total" `Quick test_rounding_zero_total;
+          prop_rounding_conserves;
+          prop_rounding_respects_selection;
+        ] );
+      ( "no_return",
+        [
+          Alcotest.test_case "single worker" `Quick test_no_return_single;
+          Alcotest.test_case "recursion" `Quick test_no_return_recursion;
+          prop_no_return_matches_lp;
+          prop_no_return_bandwidth_order_optimal;
+          prop_no_return_all_participate;
+          prop_returns_only_hurt;
+        ] );
+      ( "bounds",
+        [
+          prop_bounds_sandwich_optimum;
+          prop_bounds_general_upper;
+          Alcotest.test_case "single worker tight" `Quick
+            test_bounds_single_worker_tight;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "heuristic names" `Quick test_heuristics_names;
+          Alcotest.test_case "idle times" `Quick test_schedule_idle_times;
+          Alcotest.test_case "scale validation" `Quick test_schedule_scale_validation;
+          Alcotest.test_case "mirror rejects d=0" `Quick
+            test_schedule_mirror_rejects_no_return;
+          Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+          Alcotest.test_case "z=1 order" `Quick test_fifo_order_z_equal_one;
+        ] );
+      ( "sensitivity",
+        [
+          prop_slowing_never_helps;
+          prop_speeding_never_hurts;
+          Alcotest.test_case "dropped worker flat" `Quick
+            test_sensitivity_dropped_worker_is_flat;
+          Alcotest.test_case "table shape" `Quick test_sensitivity_table_shape;
+          Alcotest.test_case "validation" `Quick test_sensitivity_perturb_validation;
+          Alcotest.test_case "z preserved" `Quick test_sensitivity_preserves_z;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "platform roundtrip" `Quick test_platform_io_roundtrip;
+          Alcotest.test_case "platform comments" `Quick test_platform_io_comments;
+          Alcotest.test_case "platform errors" `Quick test_platform_io_errors;
+          Alcotest.test_case "tree roundtrip" `Quick test_tree_syntax_roundtrip;
+          Alcotest.test_case "tree errors" `Quick test_tree_syntax_comments_and_errors;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "flat = star" `Quick test_tree_flat_equals_star;
+          Alcotest.test_case "single chain" `Quick test_tree_single_chain;
+          Alcotest.test_case "relay chain" `Quick test_tree_relay_chain;
+          Alcotest.test_case "computing internal" `Quick
+            test_tree_computing_internal_node;
+          Alcotest.test_case "leaf equivalent" `Quick test_tree_equivalent_leaf;
+          Alcotest.test_case "constructors" `Quick test_tree_constructors;
+          Alcotest.test_case "leaf master rejected" `Quick (fun () ->
+              try
+                ignore (Dls.Tree.throughput (Dls.Tree.leaf Q.one));
+                Alcotest.fail "leaf root accepted"
+              with Invalid_argument _ -> ());
+          prop_tree_validates;
+          prop_tree_load_conservation;
+          prop_tree_extra_leaf_helps;
+          prop_tree_relay_costs;
+        ] );
+      ( "search",
+        [
+          prop_search_matches_brute;
+          prop_search_never_below_heuristic;
+          prop_search_proves_theorem1;
+          prop_search_lifo_matches_brute;
+          prop_search_lifo_confirms_order;
+          Alcotest.test_case "two-port model" `Quick test_search_two_port;
+        ] );
+      ( "multiround",
+        [
+          Alcotest.test_case "R=1 equals paper LP" `Quick
+            test_multiround_one_round_equals_scenario_lp;
+          Alcotest.test_case "R=1 no returns" `Quick test_multiround_no_returns_one_round;
+          Alcotest.test_case "too slow" `Quick test_multiround_too_slow;
+          Alcotest.test_case "validation" `Quick test_multiround_validation;
+          Alcotest.test_case "finite optimum with latency" `Quick
+            test_multiround_latency_finite_optimum;
+          prop_multiround_one_round_matches_lp;
+          prop_multiround_monotone_in_rounds;
+          prop_multiround_totals_consistent;
+        ] );
+      ( "affine",
+        [
+          Alcotest.test_case "zero latency = linear" `Quick
+            test_affine_zero_latency_matches_linear;
+          Alcotest.test_case "too slow" `Quick test_affine_too_slow;
+          Alcotest.test_case "latency forces selection" `Quick
+            test_affine_latency_forces_selection;
+          prop_affine_zero_latency_best;
+          prop_affine_latency_monotone;
+          prop_affine_general_at_least_fifo;
+        ] );
+    ]
