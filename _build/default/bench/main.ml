@@ -6,51 +6,32 @@
    building blocks with Bechamel (one Test.make per figure on top of the
    micro-benchmarks).
 
-   Usage: main.exe [--quick] [--skip-micro] [--only ID]           *)
+   Usage: main.exe [--quick] [--skip-micro] [--only ID] [--jobs N]    *)
 
 module Q = Numeric.Rational
-
-let quick = ref false
-let skip_micro = ref false
-let only : string option ref = ref None
-
-let parse_args () =
-  let rec go = function
-    | [] -> ()
-    | "--quick" :: rest ->
-      quick := true;
-      go rest
-    | "--skip-micro" :: rest ->
-      skip_micro := true;
-      go rest
-    | "--only" :: id :: rest ->
-      only := Some id;
-      go rest
-    | arg :: _ ->
-      Printf.eprintf "unknown argument %S\n" arg;
-      Printf.eprintf "usage: %s [--quick] [--skip-micro] [--only ID]\n"
-        Sys.executable_name;
-      Printf.eprintf "known ids: %s\n"
-        (String.concat ", " (Experiments.Registry.ids ()));
-      exit 2
-  in
-  go (List.tl (Array.to_list Sys.argv))
+open Cmdliner
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: regenerate every figure                                     *)
 (* ------------------------------------------------------------------ *)
 
-let run_experiments () =
+let run_experiments ~quick ~jobs ~only =
   let entries =
-    match !only with
-    | Some id -> [ Experiments.Registry.find id ]
+    match only with
+    | Some id -> (
+      match Experiments.Registry.find id with
+      | e -> [ e ]
+      | exception Not_found ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" id
+          (String.concat ", " (Experiments.Registry.ids ()));
+        exit 2)
     | None -> Experiments.Registry.all
   in
   List.iter
     (fun e ->
       let t0 = Unix.gettimeofday () in
       List.iter Experiments.Report.print
-        (e.Experiments.Registry.run ~quick:!quick);
+        (e.Experiments.Registry.run ~quick ~jobs);
       Printf.printf "(%s finished in %.1f s)\n\n%!" e.Experiments.Registry.id
         (Unix.gettimeofday () -. t0))
     entries
@@ -64,7 +45,7 @@ let bench_platform workers =
   let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
   Cluster.Gen.platform Cluster.Workload.gdsdmi ~n:120 f
 
-let micro_tests () =
+let micro_tests ~jobs =
   let open Bechamel in
   let big_a = Q.of_string "123456789123456789/9876543211" in
   let big_b = Q.of_string "987654321987654321/1234567891" in
@@ -96,11 +77,14 @@ let micro_tests () =
       (Staged.stage (fun () -> Dls.Fifo.optimal p8));
     Test.make ~name:"optimal FIFO LP, 11 workers"
       (Staged.stage (fun () -> Dls.Fifo.optimal p11));
+    Test.make ~name:"cached FIFO LP, 11 workers"
+      (Staged.stage (fun () ->
+           Dls.Lp_model.solve_cached (Dls.Scenario.fifo_exn p11 (Dls.Fifo.order p11))));
     Test.make ~name:"float simplex, same 11-worker LP"
       (Staged.stage
          (let lp =
             Dls.Lp_model.problem Dls.Lp_model.One_port
-              (Dls.Scenario.fifo p11 (Dls.Fifo.order p11))
+              (Dls.Scenario.fifo_exn p11 (Dls.Fifo.order p11))
           in
           fun () -> Simplex.Float_solver.solve lp));
     Test.make ~name:"optimal LIFO LP, 11 workers"
@@ -117,29 +101,35 @@ let micro_tests () =
       (Staged.stage (fun () -> Sim.Gantt.render_schedule sched));
     Test.make ~name:"brute force best FIFO, 4 workers"
       (Staged.stage (fun () -> Dls.Brute.best_fifo p4));
+    Test.make
+      ~name:(Printf.sprintf "brute force best FIFO, 4 workers, %d jobs" jobs)
+      (Staged.stage (fun () -> Dls.Brute.best_fifo ~jobs p4));
     Test.make ~name:"B&B search best FIFO, 8 workers"
       (Staged.stage (fun () -> Dls.Search.best_fifo p8));
+    Test.make
+      ~name:(Printf.sprintf "B&B search best FIFO, 8 workers, %d jobs" jobs)
+      (Staged.stage (fun () -> Dls.Search.best_fifo ~jobs p8));
     Test.make ~name:"multi-round LP, 4 workers x 4 rounds"
       (Staged.stage (fun () ->
            Dls.Multiround.solve p4
              (Dls.Multiround.config ~rounds:4 (Dls.Fifo.order p4))));
   ]
 
-let figure_tests () =
+let figure_tests ~jobs =
   let open Bechamel in
   [
     Test.make ~name:"fig8 harness" (Staged.stage (fun () -> Experiments.Fig8.run ()));
-    Test.make ~name:"fig9 harness" (Staged.stage (fun () -> Experiments.Fig9.run ()));
+    Test.make ~name:"fig9 harness" (Staged.stage (fun () -> Experiments.Fig9.run ~jobs ()));
     Test.make ~name:"fig10 harness (quick)"
-      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig10));
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true ~jobs Experiments.Sweep.fig10));
     Test.make ~name:"fig11 harness (quick)"
-      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig11));
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true ~jobs Experiments.Sweep.fig11));
     Test.make ~name:"fig12 harness (quick)"
-      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig12));
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true ~jobs Experiments.Sweep.fig12));
     Test.make ~name:"fig13a harness (quick)"
-      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig13a));
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true ~jobs Experiments.Sweep.fig13a));
     Test.make ~name:"fig13b harness (quick)"
-      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true Experiments.Sweep.fig13b));
+      (Staged.stage (fun () -> Experiments.Sweep.run ~quick:true ~jobs Experiments.Sweep.fig13b));
     Test.make ~name:"fig14 harness"
       (Staged.stage (fun () -> (Experiments.Fig14.run ~x:1 (), Experiments.Fig14.run ~x:3 ())));
   ]
@@ -181,14 +171,53 @@ let run_bechamel ~name tests ~quota_s =
     rows;
   print_newline ()
 
-let () =
-  parse_args ();
+(* ------------------------------------------------------------------ *)
+(* Command line                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let main quick skip_micro only jobs =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
-    (if !quick then " [quick mode]" else "");
-  run_experiments ();
-  if not !skip_micro then begin
-    run_bechamel ~name:"components" (micro_tests ()) ~quota_s:0.5;
-    run_bechamel ~name:"figures" (figure_tests ()) ~quota_s:1.0
+    (if quick then " [quick mode]" else "");
+  run_experiments ~quick ~jobs ~only;
+  if not skip_micro then begin
+    run_bechamel ~name:"components" (micro_tests ~jobs) ~quota_s:0.5;
+    run_bechamel ~name:"figures" (figure_tests ~jobs) ~quota_s:1.0
   end
+
+let () =
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Shrink every sweep for a fast smoke run.")
+  in
+  let skip_micro_arg =
+    Arg.(
+      value & flag
+      & info [ "skip-micro" ] ~doc:"Skip the Bechamel micro-benchmarks.")
+  in
+  let only_arg =
+    let doc =
+      Printf.sprintf "Run a single experiment; one of: %s."
+        (String.concat ", " (Experiments.Registry.ids ()))
+    in
+    Arg.(value & opt (some string) None & info [ "only" ] ~docv:"ID" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for parallel evaluation (default: number of cores). \
+       Figure output is bit-identical to $(b,--jobs=1)."
+    in
+    Arg.(
+      value
+      & opt int (Parallel.Pool.default_jobs ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let doc = "reproduce the paper's figures and benchmark the library" in
+  let cmd =
+    Cmd.v
+      (Cmd.info "bench" ~doc)
+      Term.(const main $ quick_arg $ skip_micro_arg $ only_arg $ jobs_arg)
+  in
+  exit (Cmd.eval cmd)

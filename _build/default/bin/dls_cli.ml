@@ -32,7 +32,7 @@ let parse_spec s =
         ~c:(Q.of_string c) ~w:(Q.of_string w) ~d:(Q.of_string d) ()
     | _ -> failwith (Printf.sprintf "worker %d: expected c:w:d, got %S" (i + 1) part)
   in
-  Dls.Platform.make (List.mapi parse_worker (String.split_on_char ',' s))
+  Dls.Platform.make_exn (List.mapi parse_worker (String.split_on_char ',' s))
 
 let platform_conv =
   let parse s =
@@ -86,6 +86,16 @@ let model_arg =
 let discipline_arg =
   let doc = "Message ordering discipline: $(b,fifo) or $(b,lifo)." in
   Arg.(value & opt (enum [ ("fifo", `Fifo); ("lifo", `Lifo) ]) `Fifo & info [ "discipline" ] ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel evaluation (default: number of cores). \
+     Results are bit-identical to $(b,--jobs=1)."
+  in
+  Arg.(
+    value
+    & opt int (Parallel.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
 let load_arg =
   let doc = "Total load (number of items); reports the makespan for it." in
@@ -272,12 +282,12 @@ let brute_cmd =
       & info [ "general" ]
           ~doc:"Search all (sigma1, sigma2) pairs, not only FIFO and LIFO.")
   in
-  let run platform model general =
+  let run platform model general jobs =
     let n = Dls.Platform.size platform in
     if n > 6 then
       Format.printf "warning: %d! permutations, this may take a while@." n;
-    let fifo = Dls.Brute.best_fifo ~model platform in
-    let lifo = Dls.Brute.best_lifo ~model platform in
+    let fifo = Dls.Brute.best_fifo ~model ~jobs platform in
+    let lifo = Dls.Brute.best_lifo ~model ~jobs platform in
     Format.printf "best FIFO: rho = %s (~%.6g)@."
       (Q.to_string fifo.Dls.Lp_model.rho)
       (Q.to_float fifo.Dls.Lp_model.rho);
@@ -285,7 +295,7 @@ let brute_cmd =
       (Q.to_string lifo.Dls.Lp_model.rho)
       (Q.to_float lifo.Dls.Lp_model.rho);
     if general then begin
-      let best = Dls.Brute.best_general ~model platform in
+      let best = Dls.Brute.best_general ~model ~jobs platform in
       Format.printf "best (sigma1, sigma2): rho = %s (~%.6g)@."
         (Q.to_string best.Dls.Lp_model.rho)
         (Q.to_float best.Dls.Lp_model.rho);
@@ -295,7 +305,7 @@ let brute_cmd =
   let doc = "exhaustive search over message orderings (small platforms)" in
   Cmd.v
     (Cmd.info "brute" ~doc)
-    Term.(const run $ platform_arg $ model_arg $ general_arg)
+    Term.(const run $ platform_arg $ model_arg $ general_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -325,7 +335,7 @@ let experiment_cmd =
       & info [ "out" ] ~docv:"DIR"
           ~doc:"Also write each table as $(docv)/<id>.csv.")
   in
-  let run id quick csv json out =
+  let run id quick jobs csv json out =
     let entries =
       if id = "all" then Experiments.Registry.all
       else
@@ -355,13 +365,13 @@ let experiment_cmd =
               let oc = open_out path in
               output_string oc (Experiments.Report.to_csv report);
               close_out oc)
-          (e.Experiments.Registry.run ~quick))
+          (e.Experiments.Registry.run ~quick ~jobs))
       entries
   in
   let doc = "regenerate one of the paper's figures (or 'all')" in
   Cmd.v
     (Cmd.info "experiment" ~doc)
-    Term.(const run $ id_arg $ quick_arg $ csv_arg $ json_arg $ out_arg)
+    Term.(const run $ id_arg $ quick_arg $ jobs_arg $ csv_arg $ json_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
 (* platform                                                            *)
@@ -414,11 +424,11 @@ let platform_cmd =
 (* ------------------------------------------------------------------ *)
 
 let search_cmd =
-  let run platform discipline model =
-    let sol, stats =
+  let run platform discipline model jobs =
+    let { Dls.Search.solved = sol; stats } =
       match discipline with
-      | `Fifo -> Dls.Search.best_fifo ~model platform
-      | `Lifo -> Dls.Search.best_lifo ~model platform
+      | `Fifo -> Dls.Search.best_fifo ~model ~jobs platform
+      | `Lifo -> Dls.Search.best_lifo ~model ~jobs platform
     in
     Format.printf "%a@." Dls.Lp_model.pp sol;
     Format.printf "search: %d nodes, %d pruned subtrees, %d exact LPs solved@."
@@ -443,7 +453,7 @@ let search_cmd =
   in
   Cmd.v
     (Cmd.info "search" ~doc)
-    Term.(const run $ platform_arg $ discipline_arg $ model_arg)
+    Term.(const run $ platform_arg $ discipline_arg $ model_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* multiround                                                          *)
@@ -660,8 +670,8 @@ let lp_dump_cmd =
     in
     let scenario =
       match discipline with
-      | `Fifo -> Dls.Scenario.fifo platform order
-      | `Lifo -> Dls.Scenario.lifo platform order
+      | `Fifo -> Dls.Scenario.fifo_exn platform order
+      | `Lifo -> Dls.Scenario.lifo_exn platform order
     in
     let text = Simplex.Lp_file.to_string (Dls.Lp_model.problem model scenario) in
     match out with

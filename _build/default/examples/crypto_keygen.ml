@@ -40,7 +40,10 @@ let () =
 
   (* Cross-check via the explicit mirror construction: solve the swapped
      platform (c <-> d, so z' = 1/8 < 1) and flip the schedule in time. *)
-  let rho_mirror, mirrored_schedule = Dls.Fifo.optimal_via_mirror platform in
+  let { Dls.Fifo.solved = mirror_solved; schedule = mirrored_schedule } =
+    Dls.Fifo.optimal_via_mirror_exn platform
+  in
+  let rho_mirror = mirror_solved.Dls.Lp_model.rho in
   Format.printf "mirror construction agrees: %b@."
     (Q.equal rho_mirror sol.Dls.Lp_model.rho);
   (match Dls.Schedule.validate mirrored_schedule with

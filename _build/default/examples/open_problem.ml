@@ -70,7 +70,7 @@ let () =
        combinatorial freedom the paper could not tame analytically.@.");
   (* A concrete hand-analyzable micro-instance. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [
         Dls.Platform.worker ~name:"fastC" ~c:Q.one ~w:(Q.of_int 4) ~d:Q.half ();
         Dls.Platform.worker ~name:"slowC" ~c:(Q.of_int 2) ~w:Q.one ~d:Q.one ();
@@ -82,7 +82,7 @@ let () =
     (fun sigma1 ->
       List.iter
         (fun sigma2 ->
-          let sol = Dls.Lp_model.solve (Dls.Scenario.make p ~sigma1 ~sigma2) in
+          let sol = Dls.Lp_model.solve_exn (Dls.Scenario.make_exn p ~sigma1 ~sigma2) in
           Format.printf "  %-44s rho = %s (~%.5f)@." (describe p sol)
             (Q.to_string sol.Dls.Lp_model.rho)
             (Q.to_float sol.Dls.Lp_model.rho))

@@ -24,7 +24,7 @@ let costs machine ~n ~comm_factor ~comp_factor =
 let platform machine ~n ~comm ~comp =
   if Array.length comm <> Array.length comp then
     invalid_arg "Workload.platform: factor arrays differ in length";
-  Dls.Platform.make
+  Dls.Platform.make_exn
     (List.init (Array.length comm) (fun i ->
          let c, w, d = costs machine ~n ~comm_factor:comm.(i) ~comp_factor:comp.(i) in
          Dls.Platform.worker ~c ~w ~d ()))

@@ -1,1 +1,1 @@
-lib/core/affine.ml: Array Brute List Lp_model Numeric Platform Printf Scenario Simplex String
+lib/core/affine.ml: Array Brute Errors List Lp_model Numeric Platform Printf Scenario Simplex String

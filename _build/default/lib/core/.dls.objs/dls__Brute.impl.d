@@ -1,1 +1,1 @@
-lib/core/brute.ml: Array Fun List Lp_model Numeric Platform Scenario
+lib/core/brute.ml: Array Fun List Lp_model Numeric Parallel Platform Scenario

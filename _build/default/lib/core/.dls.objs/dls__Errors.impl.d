@@ -1,0 +1,1 @@
+lib/core/errors.ml: Format Printexc Printf Result Simplex

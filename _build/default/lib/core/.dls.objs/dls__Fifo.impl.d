@@ -1,1 +1,1 @@
-lib/core/fifo.ml: Array List Lp_model Numeric Platform Scenario Schedule
+lib/core/fifo.ml: Array Errors List Lp_model Numeric Platform Scenario Schedule

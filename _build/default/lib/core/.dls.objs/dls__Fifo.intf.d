@@ -1,1 +1,1 @@
-lib/core/fifo.mli: Lp_model Numeric Platform Schedule
+lib/core/fifo.mli: Errors Lp_model Numeric Platform Schedule

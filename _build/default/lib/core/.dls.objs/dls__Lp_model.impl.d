@@ -1,1 +1,1 @@
-lib/core/lp_model.ml: Array Format List Numeric Platform Printf Scenario Simplex String
+lib/core/lp_model.ml: Array Buffer Errors Format List Numeric Option Parallel Platform Printf Scenario Simplex String

@@ -1,1 +1,1 @@
-lib/core/lp_model.mli: Format Numeric Scenario Simplex
+lib/core/lp_model.mli: Errors Format Numeric Parallel Scenario Simplex

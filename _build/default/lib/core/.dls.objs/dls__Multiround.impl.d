@@ -1,1 +1,1 @@
-lib/core/multiround.ml: Array List Numeric Platform Scenario Simplex String
+lib/core/multiround.ml: Array Errors List Numeric Platform Scenario Simplex String

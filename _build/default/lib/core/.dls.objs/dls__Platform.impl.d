@@ -1,1 +1,1 @@
-lib/core/platform.ml: Array Format Fun List Numeric Option Printf Stdlib
+lib/core/platform.ml: Array Errors Format Fun List Numeric Option Printf Stdlib

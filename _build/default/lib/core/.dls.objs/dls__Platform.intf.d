@@ -1,1 +1,1 @@
-lib/core/platform.mli: Format Numeric
+lib/core/platform.mli: Errors Format Numeric

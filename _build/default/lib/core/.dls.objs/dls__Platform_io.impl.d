@@ -1,1 +1,1 @@
-lib/core/platform_io.ml: Buffer List Numeric Platform Printf String
+lib/core/platform_io.ml: Buffer Errors List Numeric Platform Printf String

@@ -1,1 +1,1 @@
-lib/core/scenario.ml: Array Format Fun Platform Printf Stdlib String
+lib/core/scenario.ml: Array Errors Format Fun Platform Result Stdlib String

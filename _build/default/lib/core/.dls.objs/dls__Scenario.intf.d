@@ -1,1 +1,1 @@
-lib/core/scenario.mli: Format Platform
+lib/core/scenario.mli: Errors Format Platform

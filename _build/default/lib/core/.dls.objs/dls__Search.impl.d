@@ -1,1 +1,1 @@
-lib/core/search.ml: Array Fifo Float List Lp_model Numeric Platform Scenario Simplex
+lib/core/search.ml: Array Atomic Fifo Float List Lp_model Numeric Parallel Platform Scenario Simplex

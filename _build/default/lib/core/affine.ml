@@ -27,7 +27,7 @@ let size t = Array.length t.workers
 let get t i = t.workers.(i)
 
 let linear_platform t =
-  Platform.make (Array.to_list (Array.map (fun wk -> wk.base) t.workers))
+  Platform.make_exn (Array.to_list (Array.map (fun wk -> wk.base) t.workers))
 
 type solved = {
   affine : t;
@@ -45,7 +45,7 @@ type outcome = Solved of solved | Too_slow
    right-hand sides. *)
 let problem model t ~sigma1 ~sigma2 =
   (* Reuse Scenario's validation of the order pair. *)
-  let scenario = Scenario.make (linear_platform t) ~sigma1 ~sigma2 in
+  let scenario = Scenario.make_exn (linear_platform t) ~sigma1 ~sigma2 in
   let q = Array.length sigma1 in
   let wk k = t.workers.(sigma1.(k)) in
   let return_pos =
@@ -97,12 +97,15 @@ let solve ?(model = Lp_model.One_port) t ~sigma1 ~sigma2 =
   let p = problem model t ~sigma1 ~sigma2 in
   match Simplex.Solver.solve p with
   | Simplex.Solver.Infeasible -> Too_slow
-  | Simplex.Solver.Unbounded -> failwith "Affine.solve: unbounded (invalid platform?)"
+  | Simplex.Solver.Unbounded -> raise (Errors.Error Errors.Unbounded)
   | Simplex.Solver.Optimal sol ->
     (match Simplex.Certify.check p sol with
     | Ok () -> ()
     | Error msgs ->
-      failwith ("Affine.solve: certification failed: " ^ String.concat "; " msgs));
+      raise
+        (Errors.Error
+           (Errors.Invalid_scenario
+              ("Affine.solve: certification failed: " ^ String.concat "; " msgs))));
     let alpha = Array.make (size t) Q.zero in
     Array.iteri (fun k i -> alpha.(i) <- sol.Simplex.Solver.point.(k)) sigma1;
     Solved

@@ -21,25 +21,37 @@ let best_over scenarios =
         if Q.compare s.Lp_model.rho best.Lp_model.rho > 0 then s else best)
       first rest
 
-let best_fifo ?model platform =
-  best_over
+(* Solve every scenario (optionally across domains), then reduce
+   sequentially in enumeration order — the strict [>] of [best_over]
+   keeps the first maximizer, so the winner is independent of [jobs]. *)
+let best_solved ?model ?(jobs = 1) scenarios =
+  if scenarios = [] then invalid_arg "Brute.best_over: empty scenario list";
+  let solve s = Lp_model.solve_cached ?model s in
+  let solved =
+    if jobs <= 1 then List.map solve scenarios
+    else
+      Array.to_list (Parallel.Pool.run ~jobs solve (Array.of_list scenarios))
+  in
+  best_over solved
+
+let best_fifo ?model ?jobs platform =
+  best_solved ?model ?jobs
     (List.map
-       (fun ord -> Lp_model.solve ?model (Scenario.fifo platform ord))
+       (fun ord -> Scenario.fifo_exn platform ord)
        (permutations (Platform.size platform)))
 
-let best_lifo ?model platform =
-  best_over
+let best_lifo ?model ?jobs platform =
+  best_solved ?model ?jobs
     (List.map
-       (fun ord -> Lp_model.solve ?model (Scenario.lifo platform ord))
+       (fun ord -> Scenario.lifo_exn platform ord)
        (permutations (Platform.size platform)))
 
-let best_general ?model platform =
+let best_general ?model ?jobs platform =
   let perms = permutations (Platform.size platform) in
-  best_over
+  best_solved ?model ?jobs
     (List.concat_map
        (fun sigma1 ->
          List.map
-           (fun sigma2 ->
-             Lp_model.solve ?model (Scenario.make platform ~sigma1 ~sigma2))
+           (fun sigma2 -> Scenario.make_exn platform ~sigma1 ~sigma2)
            perms)
        perms)

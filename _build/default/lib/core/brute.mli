@@ -6,7 +6,14 @@
     (subsets are covered automatically, since the LP may assign zero
     load), for FIFO, LIFO, or arbitrary [(sigma1, sigma2)] pairs.  Used
     by the test suite to verify Theorem 1 and by the ablation benchmarks
-    to measure how far FIFO/LIFO sit from the best-known schedule. *)
+    to measure how far FIFO/LIFO sit from the best-known schedule.
+
+    All entry points accept [?jobs] (default 1): the independent LPs are
+    fanned out over a domain pool, and the reduction runs sequentially
+    in enumeration order with a strict comparison, so the returned
+    solution is {e bit-identical} for every [jobs] value — parallelism
+    only changes wall-clock time.  Solves go through
+    {!Lp_model.solve_cached}. *)
 
 module Q = Numeric.Rational
 
@@ -14,12 +21,14 @@ module Q = Numeric.Rational
     keep [n] small. *)
 val permutations : int -> int array list
 
-(** [best_fifo ?model platform] is the optimum over all FIFO scenarios. *)
-val best_fifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+(** [best_fifo ?model ?jobs platform] is the optimum over all FIFO
+    scenarios. *)
+val best_fifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved
 
-(** [best_lifo ?model platform] is the optimum over all LIFO scenarios. *)
-val best_lifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+(** [best_lifo ?model ?jobs platform] is the optimum over all LIFO
+    scenarios. *)
+val best_lifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved
 
-(** [best_general ?model platform] is the optimum over all
+(** [best_general ?model ?jobs platform] is the optimum over all
     [(sigma1, sigma2)] pairs — [ (n!)² ] LPs. *)
-val best_general : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
+val best_general : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved

@@ -1,0 +1,24 @@
+type t = Unbounded | Infeasible | Invalid_scenario of string
+
+exception Error of t
+
+let to_string = function
+  | Unbounded -> "unbounded scheduling LP"
+  | Infeasible -> "infeasible scheduling LP"
+  | Invalid_scenario msg -> "invalid scenario: " ^ msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let of_solver = function
+  | Simplex.Solver.Error_unbounded -> Unbounded
+  | Simplex.Solver.Error_infeasible -> Infeasible
+
+let get_exn = function Ok v -> v | Error e -> raise (Error e)
+let invalid fmt =
+  Printf.ksprintf (fun msg -> Result.Error (Invalid_scenario msg)) fmt
+
+(* Render the payload in [Printexc] backtraces and alcotest failures. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Dls.Errors.Error: " ^ to_string e)
+    | _ -> None)

@@ -11,21 +11,29 @@ let order platform =
   | Some _ | None -> ascending
 
 let solve_order ?model platform ord =
-  Lp_model.solve ?model (Scenario.fifo platform ord)
+  Lp_model.solve_exn ?model (Scenario.fifo_exn platform ord)
 
 let optimal ?model platform = solve_order ?model platform (order platform)
 
+type mirrored = { solved : Lp_model.solved; schedule : Schedule.t }
+
 let optimal_via_mirror platform =
   let p = Platform.size platform in
-  let swapped =
-    Platform.make
+  let exception Zero_d of string in
+  match
+    Platform.make_exn
       (List.init p (fun i ->
            let wk = Platform.get platform i in
            if Q.is_zero wk.Platform.d then
-             invalid_arg "Fifo.optimal_via_mirror: worker with d = 0";
+             raise (Zero_d wk.Platform.name);
            Platform.worker ~name:wk.Platform.name ~c:wk.Platform.d
              ~w:wk.Platform.w ~d:wk.Platform.c ()))
-  in
-  let solved = optimal swapped in
-  let sched = Schedule.mirror (Schedule.of_solved solved) in
-  (solved.Lp_model.rho, sched)
+  with
+  | exception Zero_d name ->
+    Errors.invalid "Fifo.optimal_via_mirror: worker %s has d = 0" name
+  | swapped ->
+    let solved = optimal swapped in
+    let schedule = Schedule.mirror (Schedule.of_solved solved) in
+    Ok { solved; schedule }
+
+let optimal_via_mirror_exn platform = Errors.get_exn (optimal_via_mirror platform)

@@ -23,13 +23,24 @@ val order : Platform.t -> int array
     (default: one-port). *)
 val optimal : ?model:Lp_model.model -> Platform.t -> Lp_model.solved
 
+(** The result of the mirror construction: the LP solution on the
+    swapped [(d, w, c)] platform, and the mirrored schedule, which lives
+    on the {e original} platform.  [solved.rho] is the throughput of
+    both. *)
+type mirrored = { solved : Lp_model.solved; schedule : Schedule.t }
+
 (** [optimal_via_mirror platform] solves a [z > 1] instance by the
     explicit mirror construction of the paper (swap [c] and [d], solve,
     flip time): used to cross-check that {!optimal} and the mirror
-    argument agree.
-    @raise Invalid_argument when some [d_i = 0]. *)
-val optimal_via_mirror : Platform.t -> Q.t * Schedule.t
+    argument agree.  Errors with [Invalid_scenario] when some
+    [d_i = 0]. *)
+val optimal_via_mirror : Platform.t -> (mirrored, Errors.t) result
+
+(** [optimal_via_mirror_exn platform] is {!optimal_via_mirror}.
+    @raise Errors.Error when some [d_i = 0]. *)
+val optimal_via_mirror_exn : Platform.t -> mirrored
 
 (** [solve_order ?model platform order] is the best FIFO schedule for a
-    {e fixed} sending order (all listed workers offered to the LP). *)
+    {e fixed} sending order (all listed workers offered to the LP).
+    @raise Errors.Error when [order] is not a valid enrollment. *)
 val solve_order : ?model:Lp_model.model -> Platform.t -> int array -> Lp_model.solved

@@ -1,6 +1,6 @@
 let order = Fifo.order
 
 let solve_order ?model platform ord =
-  Lp_model.solve ?model (Scenario.lifo platform ord)
+  Lp_model.solve_exn ?model (Scenario.lifo_exn platform ord)
 
 let optimal ?model platform = solve_order ?model platform (order platform)

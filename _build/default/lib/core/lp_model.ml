@@ -58,31 +58,86 @@ let problem model (s : Scenario.t) =
 
 let solve ?(model = One_port) (s : Scenario.t) =
   let p = problem model s in
-  match Simplex.Solver.solve p with
-  | Simplex.Solver.Unbounded -> failwith "Lp_model.solve: unbounded (invalid platform?)"
-  | Simplex.Solver.Infeasible -> failwith "Lp_model.solve: infeasible (invalid platform?)"
-  | Simplex.Solver.Optimal sol ->
-    (match Simplex.Certify.check p sol with
-    | Ok () -> ()
+  match Simplex.Solver.solve_result p with
+  | Error e -> Error (Errors.of_solver e)
+  | Ok sol -> (
+    match Simplex.Certify.check p sol with
     | Error msgs ->
-      failwith ("Lp_model.solve: certification failed: " ^ String.concat "; " msgs));
-    let q = Scenario.num_enrolled s in
-    let n = Platform.size s.Scenario.platform in
-    let alpha = Array.make n Q.zero in
-    let idle = Array.make n Q.zero in
-    Array.iteri
-      (fun k i ->
-        alpha.(i) <- sol.Simplex.Solver.point.(k);
-        idle.(i) <- sol.Simplex.Solver.point.(q + k))
-      s.Scenario.sigma1;
-    {
-      scenario = s;
-      model;
-      rho = sol.Simplex.Solver.value;
-      alpha;
-      idle;
-      pivots = sol.Simplex.Solver.pivots;
-    }
+      (* Unreachable unless the solver itself is wrong; surfaced as a
+         typed error rather than an assertion so callers can log it. *)
+      Errors.invalid "LP certification failed: %s" (String.concat "; " msgs)
+    | Ok () ->
+      let q = Scenario.num_enrolled s in
+      let n = Platform.size s.Scenario.platform in
+      let alpha = Array.make n Q.zero in
+      let idle = Array.make n Q.zero in
+      Array.iteri
+        (fun k i ->
+          alpha.(i) <- sol.Simplex.Solver.point.(k);
+          idle.(i) <- sol.Simplex.Solver.point.(q + k))
+        s.Scenario.sigma1;
+      Ok
+        {
+          scenario = s;
+          model;
+          rho = sol.Simplex.Solver.value;
+          alpha;
+          idle;
+          pivots = sol.Simplex.Solver.pivots;
+        })
+
+let solve_exn ?model s = Errors.get_exn (solve ?model s)
+
+(* ------------------------------------------------------------------ *)
+(* LRU-memoized solving.                                              *)
+
+(* Canonical fingerprint of everything [solve] depends on.  Rationals
+   print in lowest terms with positive denominator ([Q.to_string] is
+   injective on the normalized representation), so structural equality
+   of scenarios coincides with string equality of keys. *)
+let scenario_key model (s : Scenario.t) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (match model with One_port -> "1p|" | Two_port -> "2p|");
+  Array.iter
+    (fun (wk : Platform.worker) ->
+      Buffer.add_string buf wk.Platform.name;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Q.to_string wk.Platform.c);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Q.to_string wk.Platform.w);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Q.to_string wk.Platform.d);
+      Buffer.add_char buf ';')
+    s.Scenario.platform.Platform.workers;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ',')
+    s.Scenario.sigma1;
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (string_of_int i);
+      Buffer.add_char buf ',')
+    s.Scenario.sigma2;
+  Buffer.contents buf
+
+let default_cache_capacity = 4096
+let cache : (string, solved) Parallel.Lru.t ref =
+  ref (Parallel.Lru.create ~capacity:default_cache_capacity ())
+
+let solve_cached ?model s =
+  Parallel.Lru.find_or_add !cache
+    (scenario_key (Option.value model ~default:One_port) s)
+    (fun () -> solve_exn ?model s)
+
+let cache_stats () = Parallel.Lru.stats !cache
+
+let reset_cache ?(capacity = default_cache_capacity) () =
+  cache := Parallel.Lru.create ~capacity ()
+
+(* ------------------------------------------------------------------ *)
 
 let estimate_rho ?(model = One_port) s =
   match Simplex.Float_solver.solve (problem model s) with

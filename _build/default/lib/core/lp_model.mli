@@ -41,10 +41,34 @@ val problem : model -> Scenario.t -> Simplex.Problem.t
 
 (** [solve ?model scenario] solves the LP exactly (default [One_port]).
     The solution is validated with {!Simplex.Certify} before being
-    returned.
-    @raise Failure if the LP is not optimal-solvable (impossible for a
-    well-formed platform) or fails certification. *)
-val solve : ?model:model -> Scenario.t -> solved
+    returned.  [Error Unbounded]/[Error Infeasible] are impossible for a
+    well-formed platform but reported faithfully when they occur. *)
+val solve : ?model:model -> Scenario.t -> (solved, Errors.t) result
+
+(** [solve_exn ?model scenario] is {!solve}.
+    @raise Errors.Error on a degenerate LP. *)
+val solve_exn : ?model:model -> Scenario.t -> solved
+
+(** [solve_cached ?model scenario] is {!solve_exn} memoized through a
+    process-wide, size-bounded LRU cache keyed by {!scenario_key}.
+    Because solving is deterministic and exact, a cache hit returns a
+    value structurally identical to a cold solve.  Safe to call from
+    several domains concurrently. *)
+val solve_cached : ?model:model -> Scenario.t -> solved
+
+(** [scenario_key model scenario] is the canonical cache fingerprint:
+    model tag, every worker's [name:c:w:d] (rationals in lowest terms),
+    and the two permutations.  Scenarios are structurally equal iff
+    their keys are equal. *)
+val scenario_key : model -> Scenario.t -> string
+
+(** [cache_stats ()] is a snapshot of the solve cache's hit/miss/eviction
+    counters. *)
+val cache_stats : unit -> Parallel.Lru.stats
+
+(** [reset_cache ?capacity ()] empties the solve cache (default capacity
+    4096 entries; [capacity <= 0] disables caching). *)
+val reset_cache : ?capacity:int -> unit -> unit
 
 (** [estimate_rho ?model scenario] solves the same LP in floating-point
     arithmetic: ~10x faster, accurate to ~1e-9 relative on the library's

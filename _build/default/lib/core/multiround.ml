@@ -33,8 +33,7 @@ type outcome = Solved of solved | Too_slow
      t_{r,k}     at 2*R*q + r*q + k          (return starts, if any). *)
 let solve platform cfg =
   (* Validate the order as a scenario over the platform. *)
-  let scenario_check = Scenario.fifo platform cfg.order in
-  ignore scenario_check;
+  ignore (Scenario.fifo_exn platform cfg.order);
   let q = Array.length cfg.order in
   let r_count = cfg.rounds in
   let nchunks = r_count * q in
@@ -126,14 +125,16 @@ let solve platform cfg =
   in
   match Simplex.Solver.solve problem with
   | Simplex.Solver.Infeasible -> Too_slow
-  | Simplex.Solver.Unbounded ->
-    failwith "Multiround.solve: unbounded (invalid platform?)"
+  | Simplex.Solver.Unbounded -> raise (Errors.Error Errors.Unbounded)
   | Simplex.Solver.Optimal sol ->
     (match Simplex.Certify.check problem sol with
     | Ok () -> ()
     | Error msgs ->
-      failwith
-        ("Multiround.solve: certification failed: " ^ String.concat "; " msgs));
+      raise
+        (Errors.Error
+           (Errors.Invalid_scenario
+              ("Multiround.solve: certification failed: "
+             ^ String.concat "; " msgs))));
     let point = sol.Simplex.Solver.point in
     let chunks =
       Array.init r_count (fun r -> Array.init q (fun k -> point.(a_var r k)))

@@ -59,7 +59,9 @@ type solved = private {
 type outcome = Solved of solved | Too_slow
 
 (** [solve platform config] optimizes the chunk sizes. [Too_slow] only
-    occurs with latencies exceeding the deadline. *)
+    occurs with latencies exceeding the deadline.
+    @raise Errors.Error on a degenerate LP (cannot happen for a
+    well-formed platform). *)
 val solve : Platform.t -> config -> outcome
 
 (** [sweep_rounds platform ?with_returns ?send_latency ?return_latency

@@ -30,7 +30,7 @@ let bus_throughput ~c ws =
   throughput p
 
 let strip_returns p =
-  Platform.make
+  Platform.make_exn
     (List.init (Platform.size p) (fun i ->
          let wk = Platform.get p i in
          Platform.worker ~name:wk.Platform.name ~c:wk.Platform.c ~w:wk.Platform.w

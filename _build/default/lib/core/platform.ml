@@ -10,27 +10,31 @@ let worker ?name ~c ~w ~d () =
   { name = Option.value name ~default:""; c; w; d }
 
 let make workers =
-  if workers = [] then invalid_arg "Platform.make: no workers";
-  let named =
-    List.mapi
-      (fun i wk ->
-        if wk.name = "" then { wk with name = Printf.sprintf "P%d" (i + 1) }
-        else wk)
-      workers
-  in
-  { workers = Array.of_list named }
+  if workers = [] then Errors.invalid "Platform.make: no workers"
+  else begin
+    let named =
+      List.mapi
+        (fun i wk ->
+          if wk.name = "" then { wk with name = Printf.sprintf "P%d" (i + 1) }
+          else wk)
+        workers
+    in
+    Ok { workers = Array.of_list named }
+  end
+
+let make_exn workers = Errors.get_exn (make workers)
 
 let of_floats specs =
-  make
+  make_exn
     (List.map
        (fun (c, w, d) ->
          worker ~c:(Q.of_float c) ~w:(Q.of_float w) ~d:(Q.of_float d) ())
        specs)
 
-let bus ~c ~d ws = make (List.map (fun w -> worker ~c ~w ~d ()) ws)
+let bus ~c ~d ws = make_exn (List.map (fun w -> worker ~c ~w ~d ()) ws)
 
 let with_return_ratio ~z specs =
-  make (List.map (fun (c, w) -> worker ~c ~w ~d:(Q.mul z c) ()) specs)
+  make_exn (List.map (fun (c, w) -> worker ~c ~w ~d:(Q.mul z c) ()) specs)
 
 let size p = Array.length p.workers
 let get p i = p.workers.(i)

@@ -25,9 +25,12 @@ type t = private { workers : worker array }
     @raise Invalid_argument unless [c > 0], [w > 0] and [d >= 0]. *)
 val worker : ?name:string -> c:Q.t -> w:Q.t -> d:Q.t -> unit -> worker
 
-(** [make workers] builds a platform.
-    @raise Invalid_argument when [workers] is empty. *)
-val make : worker list -> t
+(** [make workers] builds a platform; [Error (Invalid_scenario _)] when
+    [workers] is empty. *)
+val make : worker list -> (t, Errors.t) result
+
+(** [make_exn workers] is {!make}. @raise Errors.Error accordingly. *)
+val make_exn : worker list -> t
 
 (** [of_floats specs] builds a platform from [(c, w, d)] float triples
     (converted exactly). *)

@@ -48,7 +48,9 @@ let of_string text =
   | Error e -> Error e
   | Ok [] -> Error "no workers"
   | Ok workers -> (
-    try Ok (Platform.make workers) with Invalid_argument msg -> Error msg)
+    match Platform.make workers with
+    | Ok p -> Ok p
+    | Error e -> Error (Errors.to_string e))
 
 let write path p =
   let oc = open_out path in

@@ -1,36 +1,48 @@
 type t = { platform : Platform.t; sigma1 : int array; sigma2 : int array }
 
+let ( let* ) = Result.bind
+
 let validate_order platform order =
   let p = Platform.size platform in
   let seen = Array.make p false in
-  Array.iter
-    (fun i ->
-      if i < 0 || i >= p then
-        invalid_arg (Printf.sprintf "Scenario: worker index %d out of range" i);
-      if seen.(i) then
-        invalid_arg (Printf.sprintf "Scenario: worker %d appears twice" i);
-      seen.(i) <- true)
-    order
+  let rec scan k =
+    if k >= Array.length order then Ok ()
+    else
+      let i = order.(k) in
+      if i < 0 || i >= p then Errors.invalid "worker index %d out of range" i
+      else if seen.(i) then Errors.invalid "worker %d appears twice" i
+      else begin
+        seen.(i) <- true;
+        scan (k + 1)
+      end
+  in
+  scan 0
 
 let make platform ~sigma1 ~sigma2 =
-  if Array.length sigma1 = 0 then invalid_arg "Scenario: no enrolled workers";
-  validate_order platform sigma1;
-  validate_order platform sigma2;
-  let sorted a =
-    let a = Array.copy a in
-    Array.sort Stdlib.compare a;
-    a
-  in
-  if sorted sigma1 <> sorted sigma2 then
-    invalid_arg "Scenario: sigma1 and sigma2 enroll different workers";
-  { platform; sigma1; sigma2 }
+  if Array.length sigma1 = 0 then Errors.invalid "no enrolled workers"
+  else
+    let* () = validate_order platform sigma1 in
+    let* () = validate_order platform sigma2 in
+    let sorted a =
+      let a = Array.copy a in
+      Array.sort Stdlib.compare a;
+      a
+    in
+    if sorted sigma1 <> sorted sigma2 then
+      Errors.invalid "sigma1 and sigma2 enroll different workers"
+    else Ok { platform; sigma1; sigma2 }
 
 let reverse a = Array.init (Array.length a) (fun i -> a.(Array.length a - 1 - i))
 let fifo platform order = make platform ~sigma1:order ~sigma2:(Array.copy order)
 let lifo platform order = make platform ~sigma1:order ~sigma2:(reverse order)
+let make_exn platform ~sigma1 ~sigma2 = Errors.get_exn (make platform ~sigma1 ~sigma2)
+let fifo_exn platform order = Errors.get_exn (fifo platform order)
+let lifo_exn platform order = Errors.get_exn (lifo platform order)
 
 let all_workers_fifo platform =
-  fifo platform (Array.init (Platform.size platform) Fun.id)
+  (* Total: a platform always has >= 1 worker and the identity order is
+     trivially valid. *)
+  fifo_exn platform (Array.init (Platform.size platform) Fun.id)
 
 let num_enrolled s = Array.length s.sigma1
 let is_fifo s = s.sigma1 = s.sigma2

@@ -76,7 +76,7 @@ let idle_times sched =
 
 let mirror sched =
   let swapped =
-    Platform.make
+    Platform.make_exn
       (List.map
          (fun wk ->
            if Q.is_zero wk.Platform.d then

@@ -2,6 +2,7 @@ module Q = Numeric.Rational
 open Q.Infix
 
 type stats = { nodes : int; pruned : int; lps : int }
+type outcome = { solved : Lp_model.solved; stats : stats }
 
 (* Relaxation bound for a fixed FIFO prefix (ordered) and a set of
    unplaced workers.  Exact deadline rows for the prefix; optimistic
@@ -69,10 +70,21 @@ let bound_problem discipline model platform prefix remaining =
 (* Two-tier bound test: a float solve first — if it says the node cannot
    be pruned (bound clearly above the incumbent) we skip the exact LP
    entirely; only when pruning looks possible do we confirm with exact
-   arithmetic, so no subtree is ever cut on floating-point evidence. *)
-let prunable discipline model platform prefix remaining ~incumbent ~count_lp =
+   arithmetic, so no subtree is ever cut on floating-point evidence.
+
+   Two thresholds keep the parallel search canonical:
+   - [local] is the task's own incumbent; pruning is NON-strict
+     ([bound <= local]), exactly as in the sequential search;
+   - [shared] is the best throughput any concurrent task has published;
+     pruning against it is STRICT ([bound < shared]).  An optimal
+     subtree has [bound >= rho*] and [shared <= rho*] at all times, so
+     strict cross-task pruning can never cut the subtree holding the
+     canonical optimum, whereas non-strict pruning could.
+   A sequential caller passes [shared = local], making the combined test
+   collapse to the classic [bound <= incumbent]. *)
+let prunable discipline model platform prefix remaining ~local ~shared ~count_lp =
   let problem = bound_problem discipline model platform prefix remaining in
-  let inc = Q.to_float incumbent in
+  let inc = Q.to_float (Q.max local shared) in
   let clearly_unprunable =
     match Simplex.Float_solver.solve problem with
     | Simplex.Float_solver.Optimal s ->
@@ -83,53 +95,142 @@ let prunable discipline model platform prefix remaining ~incumbent ~count_lp =
   else begin
     count_lp ();
     let bound = (Simplex.Solver.solve_exn problem).Simplex.Solver.value in
-    Q.compare bound incumbent <= 0
+    Q.compare bound local <= 0 || Q.compare bound shared < 0
   end
 
-let search discipline model platform =
+(* The canonical result — returned for every [jobs] — is the one of the
+   sequential search: the heuristic seed if it already achieves the
+   optimal throughput, otherwise the first leaf in DFS order (children
+   in ascending-[c] candidate order) that does.  The parallel search
+   reproduces it by (a) giving every root subtree its own task with a
+   private incumbent seeded at the heuristic throughput, (b) only
+   pruning strictly against the shared cross-task bound, and (c)
+   reducing task results in subtree order with a strict comparison. *)
+let search ?(jobs = 1) discipline model platform =
   let n = Platform.size platform in
-  let nodes = ref 0 and pruned = ref 0 and lps = ref 0 in
   let scenario_of order =
     match discipline with
-    | `Fifo -> Scenario.fifo platform order
-    | `Lifo -> Scenario.lifo platform order
-  in
-  let solve_order order =
-    incr lps;
-    Lp_model.solve ~model (scenario_of order)
+    | `Fifo -> Scenario.fifo_exn platform order
+    | `Lifo -> Scenario.lifo_exn platform order
   in
   (* Incumbent: the Theorem 1 heuristic order (also the optimal LIFO
      order under uniform z, per the companion paper). *)
-  let incumbent = ref (solve_order (Fifo.order platform)) in
+  let heuristic = Lp_model.solve_cached ~model (scenario_of (Fifo.order platform)) in
   (* Branch in ascending-c order, which tends to find improvements
      early. *)
   let candidates = Fifo.order platform in
-  let rec dfs prefix used =
-    incr nodes;
-    let remaining =
-      Array.of_list
-        (List.filter (fun i -> not used.(i)) (Array.to_list candidates))
+  if jobs <= 1 then begin
+    let nodes = ref 0 and pruned = ref 0 and lps = ref 1 in
+    let solve_order order =
+      incr lps;
+      Lp_model.solve_cached ~model (scenario_of order)
     in
-    if Array.length remaining = 0 then begin
-      let sol = solve_order (Array.of_list (List.rev prefix)) in
-      if sol.Lp_model.rho >/ !incumbent.Lp_model.rho then incumbent := sol
-    end
-    else if
-      prunable discipline model platform
-        (Array.of_list (List.rev prefix))
-        remaining ~incumbent:!incumbent.Lp_model.rho
-        ~count_lp:(fun () -> incr lps)
-    then incr pruned
-    else
+    let incumbent = ref heuristic in
+    let rec dfs prefix used =
+      incr nodes;
+      let remaining =
+        Array.of_list
+          (List.filter (fun i -> not used.(i)) (Array.to_list candidates))
+      in
+      if Array.length remaining = 0 then begin
+        let sol = solve_order (Array.of_list (List.rev prefix)) in
+        if sol.Lp_model.rho >/ !incumbent.Lp_model.rho then incumbent := sol
+      end
+      else if
+        prunable discipline model platform
+          (Array.of_list (List.rev prefix))
+          remaining ~local:!incumbent.Lp_model.rho ~shared:!incumbent.Lp_model.rho
+          ~count_lp:(fun () -> incr lps)
+      then incr pruned
+      else
+        Array.iter
+          (fun i ->
+            used.(i) <- true;
+            dfs (i :: prefix) used;
+            used.(i) <- false)
+          remaining
+    in
+    dfs [] (Array.make n false);
+    { solved = !incumbent; stats = { nodes = !nodes; pruned = !pruned; lps = !lps } }
+  end
+  else begin
+    let root_lps = ref 0 in
+    (* Root node: same prune check the sequential search performs before
+       descending. *)
+    if
+      prunable discipline model platform [||] candidates
+        ~local:heuristic.Lp_model.rho ~shared:heuristic.Lp_model.rho
+        ~count_lp:(fun () -> incr root_lps)
+    then
+      { solved = heuristic; stats = { nodes = 1; pruned = 1; lps = 1 + !root_lps } }
+    else begin
+      let shared = Atomic.make heuristic.Lp_model.rho in
+      let rec publish r =
+        let cur = Atomic.get shared in
+        if Q.compare r cur > 0 && not (Atomic.compare_and_set shared cur r) then
+          publish r
+      in
+      let task root =
+        let nodes = ref 0 and pruned = ref 0 and lps = ref 0 in
+        let solve_order order =
+          incr lps;
+          Lp_model.solve_cached ~model (scenario_of order)
+        in
+        let local = ref heuristic.Lp_model.rho in
+        let best = ref None in
+        let used = Array.make n false in
+        let rec dfs prefix =
+          incr nodes;
+          let remaining =
+            Array.of_list
+              (List.filter (fun i -> not used.(i)) (Array.to_list candidates))
+          in
+          if Array.length remaining = 0 then begin
+            let sol = solve_order (Array.of_list (List.rev prefix)) in
+            if sol.Lp_model.rho >/ !local then begin
+              local := sol.Lp_model.rho;
+              best := Some sol;
+              publish sol.Lp_model.rho
+            end
+          end
+          else if
+            prunable discipline model platform
+              (Array.of_list (List.rev prefix))
+              remaining ~local:!local ~shared:(Atomic.get shared)
+              ~count_lp:(fun () -> incr lps)
+          then incr pruned
+          else
+            Array.iter
+              (fun i ->
+                used.(i) <- true;
+                dfs (i :: prefix);
+                used.(i) <- false)
+              remaining
+        in
+        used.(root) <- true;
+        dfs [ root ];
+        (!best, !nodes, !pruned, !lps)
+      in
+      (* One task per root subtree; chunk 1 so each domain claims whole
+         subtrees. *)
+      let results = Parallel.Pool.run ~jobs ~chunk:1 task candidates in
+      let best = ref heuristic in
+      let nodes = ref 1 and pruned = ref 0 and lps = ref (1 + !root_lps) in
       Array.iter
-        (fun i ->
-          used.(i) <- true;
-          dfs (i :: prefix) used;
-          used.(i) <- false)
-        remaining
-  in
-  dfs [] (Array.make n false);
-  (!incumbent, { nodes = !nodes; pruned = !pruned; lps = !lps })
+        (fun (b, tn, tp, tl) ->
+          (match b with
+          | Some sol when sol.Lp_model.rho >/ !best.Lp_model.rho -> best := sol
+          | Some _ | None -> ());
+          nodes := !nodes + tn;
+          pruned := !pruned + tp;
+          lps := !lps + tl)
+        results;
+      { solved = !best; stats = { nodes = !nodes; pruned = !pruned; lps = !lps } }
+    end
+  end
 
-let best_fifo ?(model = Lp_model.One_port) platform = search `Fifo model platform
-let best_lifo ?(model = Lp_model.One_port) platform = search `Lifo model platform
+let best_fifo ?(model = Lp_model.One_port) ?jobs platform =
+  search ?jobs `Fifo model platform
+
+let best_lifo ?(model = Lp_model.One_port) ?jobs platform =
+  search ?jobs `Lifo model platform

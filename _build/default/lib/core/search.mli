@@ -20,24 +20,37 @@
     bound uses a two-tier solve: a floating-point simplex first, and an
     exact confirmation only when pruning looks possible — so no subtree
     is ever cut on floating-point evidence, but most nodes skip the
-    exact LP. *)
+    exact LP.
+
+    With [?jobs > 1] the root subtrees are searched by a domain pool.
+    The returned {e solution} is bit-identical for every [jobs] value:
+    cross-task pruning is strict and the reduction follows subtree
+    order, so the canonical optimum of the sequential search always
+    survives.  The {e statistics} are not part of that guarantee — a
+    parallel run prunes differently, so [nodes]/[pruned]/[lps] may vary
+    with [jobs] (and leaf solves may be answered by the LP cache). *)
 
 module Q = Numeric.Rational
 
 type stats = {
   nodes : int;  (** search-tree nodes visited *)
   pruned : int;  (** subtrees cut by the bound *)
-  lps : int;  (** linear programs solved (bounds + leaves) *)
+  lps : int;  (** exact LPs requested (bounds + leaves; cache hits included) *)
 }
 
-(** [best_fifo ?model platform] is the exact optimal FIFO solution (over
-    all sending orders; participation is still decided by the LP) and
-    the search statistics. *)
-val best_fifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved * stats
+(** A search result: the optimal solution plus the statistics of the run
+    that found it. *)
+type outcome = { solved : Lp_model.solved; stats : stats }
 
-(** [best_lifo ?model platform] is the exact optimal LIFO solution.  The
-    relaxation adapts: a LIFO prefix's workers return {e last} (after
-    every unplaced worker), so their deadline rows only involve the
-    prefix, while each unplaced worker optimistically pays the prefix
-    sends, its own chain, and the whole prefix return block. *)
-val best_lifo : ?model:Lp_model.model -> Platform.t -> Lp_model.solved * stats
+(** [best_fifo ?model ?jobs platform] is the exact optimal FIFO solution
+    (over all sending orders; participation is still decided by the LP)
+    and the search statistics.  [jobs] defaults to [1] (sequential). *)
+val best_fifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> outcome
+
+(** [best_lifo ?model ?jobs platform] is the exact optimal LIFO
+    solution.  The relaxation adapts: a LIFO prefix's workers return
+    {e last} (after every unplaced worker), so their deadline rows only
+    involve the prefix, while each unplaced worker optimistically pays
+    the prefix sends, its own chain, and the whole prefix return
+    block. *)
+val best_lifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> outcome

@@ -11,7 +11,7 @@ let perturb platform param ~factor =
   in
   if target < 0 || target >= n then
     invalid_arg "Sensitivity.perturb: worker index out of range";
-  Platform.make
+  Platform.make_exn
     (List.init n (fun i ->
          let wk = Platform.get platform i in
          if i <> target then

@@ -1,1 +1,1 @@
-lib/experiments/fig9.ml: Array Cluster Dls List Numeric Printf Report Sim String
+lib/experiments/fig9.ml: Array Cluster Dls List Numeric Parallel Printf Report Sim String

@@ -1,1 +1,1 @@
-lib/experiments/sweep.ml: Campaign Cluster Dls Hashtbl List Option Plot Printf Report Stats String
+lib/experiments/sweep.ml: Array Campaign Cluster Dls Hashtbl List Option Parallel Plot Printf Report Stats String

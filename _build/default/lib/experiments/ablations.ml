@@ -37,13 +37,13 @@ let one_port_cost ?(quick = false) ?(seed = 21) () =
       ]
     rows
 
-let permutation_gap ?(quick = false) ?(seed = 22) () =
+let permutation_gap ?(quick = false) ?(seed = 22) ?jobs () =
   let reps = if quick then 4 else 25 in
   let rng = Cluster.Prng.create ~seed in
   let fifo_gaps = ref [] and lifo_gaps = ref [] and fifo_hits = ref 0 in
   for _ = 1 to reps do
     let p = random_platform rng ~workers:4 ~n:120 in
-    let best = (Dls.Brute.best_general p).Dls.Lp_model.rho in
+    let best = (Dls.Brute.best_general ?jobs p).Dls.Lp_model.rho in
     let fifo = (Dls.Fifo.optimal p).Dls.Lp_model.rho in
     let lifo = (Dls.Lifo.optimal p).Dls.Lp_model.rho in
     fifo_gaps := (Q.to_float fifo /. Q.to_float best) :: !fifo_gaps;
@@ -286,8 +286,8 @@ let scaling ?(quick = false) ?(seed = 30) () =
       (fun workers ->
         let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
         let p = Cluster.Gen.platform machine ~n:120 f in
-        let scenario = Dls.Scenario.fifo p (Dls.Fifo.order p) in
-        let t_exact, sol = time (fun () -> Dls.Lp_model.solve scenario) in
+        let scenario = Dls.Scenario.fifo_exn p (Dls.Fifo.order p) in
+        let t_exact, sol = time (fun () -> Dls.Lp_model.solve_exn scenario) in
         let t_float, estimate = time (fun () -> Dls.Lp_model.estimate_rho scenario) in
         let exact = Q.to_float sol.Dls.Lp_model.rho in
         let err =

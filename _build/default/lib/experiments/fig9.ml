@@ -1,24 +1,54 @@
 module Q = Numeric.Rational
 
-let find_selective_platform ~workers ~wanted ~n =
-  let machine = Cluster.Workload.gdsdmi in
-  let rec search seed =
-    if seed > 10_000 then failwith "Fig9: no selective platform found"
-    else begin
-      let rng = Cluster.Prng.create ~seed in
-      let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
-      let p = Cluster.Gen.platform machine ~n f in
-      let sol = Dls.Heuristics.solve Dls.Heuristics.Inc_c p in
-      if List.length (Dls.Lp_model.enrolled_workers sol) = wanted then
-        (seed, f, p, sol)
-      else search (seed + 1)
-    end
-  in
-  search 0
+let seed_limit = 10_000
 
-let run ?(width = 72) () =
+let find_selective_platform ?(jobs = 1) ~workers ~wanted ~n () =
+  let machine = Cluster.Workload.gdsdmi in
+  (* Pure in [seed]: each candidate builds its platform from a fresh
+     PRNG, so seeds can be probed in any order or in parallel. *)
+  let eval seed =
+    let rng = Cluster.Prng.create ~seed in
+    let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
+    let p = Cluster.Gen.platform machine ~n f in
+    let sol = Dls.Heuristics.solve Dls.Heuristics.Inc_c p in
+    if List.length (Dls.Lp_model.enrolled_workers sol) = wanted then
+      Some (seed, f, p, sol)
+    else None
+  in
+  let first_match results =
+    let rec scan i =
+      if i >= Array.length results then None
+      else match results.(i) with Some _ as r -> r | None -> scan (i + 1)
+    in
+    scan 0
+  in
+  if jobs <= 1 then begin
+    let rec search seed =
+      if seed > seed_limit then failwith "Fig9: no selective platform found"
+      else match eval seed with Some r -> r | None -> search (seed + 1)
+    in
+    search 0
+  end
+  else
+    Parallel.Pool.with_pool ~jobs (fun pool ->
+        (* Probe seeds block by block and keep the lowest match, so the
+           chosen platform is the sequential one regardless of [jobs]. *)
+        let block = 16 * jobs in
+        let rec scan lo =
+          if lo > seed_limit then failwith "Fig9: no selective platform found"
+          else begin
+            let size = min block (seed_limit - lo + 1) in
+            let seeds = Array.init size (fun i -> lo + i) in
+            match first_match (Parallel.Pool.map pool eval seeds) with
+            | Some r -> r
+            | None -> scan (lo + size)
+          end
+        in
+        scan 0)
+
+let run ?(width = 72) ?jobs () =
   let n = 300 and total = 200 and workers = 5 in
-  let seed, f, platform, sol = find_selective_platform ~workers ~wanted:3 ~n in
+  let seed, f, platform, sol = find_selective_platform ?jobs ~workers ~wanted:3 ~n () in
   let rng = Cluster.Prng.create ~seed:(seed + 77) in
   let plan = Sim.Star.plan_of_rounded sol ~total in
   let noise = Cluster.Noise.make rng ~n in

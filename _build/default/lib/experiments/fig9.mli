@@ -7,7 +7,9 @@
     per-worker loads and an ASCII Gantt chart of the simulated
     execution (data transfers, computations, result transfers). *)
 
-(** [run ()] deterministically searches platform seeds until resource
-    selection drops exactly two of the five workers, then simulates and
-    renders that campaign. *)
-val run : ?width:int -> unit -> Report.t
+(** [run ?jobs ()] deterministically searches platform seeds until
+    resource selection drops exactly two of the five workers, then
+    simulates and renders that campaign.  [jobs] (default 1) probes
+    candidate seeds on a domain pool; the lowest matching seed is kept,
+    so the report is identical for every [jobs] value. *)
+val run : ?width:int -> ?jobs:int -> unit -> Report.t

@@ -1,14 +1,14 @@
 type entry = {
   id : string;
   description : string;
-  run : quick:bool -> Report.t list;
+  run : quick:bool -> jobs:int -> Report.t list;
 }
 
 let sweep_entry config =
   {
     id = config.Sweep.id;
     description = config.Sweep.title;
-    run = (fun ~quick -> [ Sweep.run ~quick config ]);
+    run = (fun ~quick ~jobs -> [ Sweep.run ~quick ~jobs config ]);
   }
 
 let all =
@@ -16,17 +16,17 @@ let all =
     {
       id = "fig2-3";
       description = "schedule-shape diagrams (general / FIFO / LIFO)";
-      run = (fun ~quick:_ -> Fig23.run ());
+      run = (fun ~quick:_ ~jobs:_ -> Fig23.run ());
     };
     {
       id = "fig8";
       description = "linearity test of the communication cost model";
-      run = (fun ~quick:_ -> [ Fig8.run () ]);
+      run = (fun ~quick:_ ~jobs:_ -> [ Fig8.run () ]);
     };
     {
       id = "fig9";
       description = "execution trace with resource selection (Gantt)";
-      run = (fun ~quick:_ -> [ Fig9.run () ]);
+      run = (fun ~quick:_ ~jobs -> [ Fig9.run ~jobs () ]);
     };
   ]
   @ List.map sweep_entry Sweep.all
@@ -35,58 +35,58 @@ let all =
         id = "fig14";
         description = "participating workers on the 4-worker platform";
         run =
-          (fun ~quick:_ ->
+          (fun ~quick:_ ~jobs:_ ->
             [ Fig14.worker_table ~x:1; Fig14.run ~x:1 (); Fig14.run ~x:3 () ]);
       };
       {
         id = "theorem2";
         description = "closed form vs LP cross-check";
-        run = (fun ~quick:_ -> [ Ablations.theorem2_check () ]);
+        run = (fun ~quick:_ ~jobs:_ -> [ Ablations.theorem2_check () ]);
       };
       {
         id = "ablation-oneport";
         description = "cost of the one-port constraint vs two-port";
-        run = (fun ~quick -> [ Ablations.one_port_cost ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.one_port_cost ~quick () ]);
       };
       {
         id = "ablation-permutations";
         description = "FIFO/LIFO vs exhaustive permutation search";
-        run = (fun ~quick -> [ Ablations.permutation_gap ~quick () ]);
+        run = (fun ~quick ~jobs -> [ Ablations.permutation_gap ~quick ~jobs () ]);
       };
       {
         id = "ablation-ordering";
         description = "alternative FIFO sending orders";
-        run = (fun ~quick -> [ Ablations.ordering ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.ordering ~quick () ]);
       };
       {
         id = "ablation-lifo-regime";
         description = "LIFO vs FIFO across compute/communication balances";
-        run = (fun ~quick -> [ Ablations.lifo_regime ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.lifo_regime ~quick () ]);
       };
       {
         id = "ablation-affine";
         description = "affine model: latency vs enrollment";
-        run = (fun ~quick -> [ Ablations.affine_latency ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.affine_latency ~quick () ]);
       };
       {
         id = "ablation-multiround";
         description = "multi-round throughput, linear vs affine costs";
-        run = (fun ~quick -> [ Ablations.multiround ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.multiround ~quick () ]);
       };
       {
         id = "ablation-protocol";
         description = "eager-return vs sends-first master policy";
-        run = (fun ~quick -> [ Ablations.protocol ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.protocol ~quick () ]);
       };
       {
         id = "ablation-sensitivity";
         description = "jitter sensitivity of INC_C vs LIFO plans";
-        run = (fun ~quick -> [ Ablations.sensitivity ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.sensitivity ~quick () ]);
       };
       {
         id = "ablation-scaling";
         description = "exact vs float solver scaling with worker count";
-        run = (fun ~quick -> [ Ablations.scaling ~quick () ]);
+        run = (fun ~quick ~jobs:_ -> [ Ablations.scaling ~quick () ]);
       };
     ]
 

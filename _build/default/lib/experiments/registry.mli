@@ -4,7 +4,7 @@
 type entry = {
   id : string;
   description : string;
-  run : quick:bool -> Report.t list;
+  run : quick:bool -> jobs:int -> Report.t list;
 }
 
 val all : entry list

@@ -72,7 +72,40 @@ let fig13b =
 
 let all = [ fig10; fig11; fig12; fig13a; fig13b ]
 
-let run ?(quick = false) config =
+(* Everything one (size, platform) point contributes to the report.
+   Measuring a point only touches its own pre-split PRNG, so points are
+   independent and can be computed on any domain. *)
+type point = {
+  incc_lp : float;
+  incc_ratio : float;
+  others : (string * float * float) list;  (* heuristic, lp and real ratios *)
+}
+
+let measure_point config machine n factors rng =
+  let baseline =
+    Campaign.measure ~rng ~machine ~n ~total:config.total factors
+      Dls.Heuristics.Inc_c
+  in
+  let others =
+    List.filter_map
+      (fun h ->
+        if h = Dls.Heuristics.Inc_c then None
+        else begin
+          let m = Campaign.measure ~rng ~machine ~n ~total:config.total factors h in
+          Some
+            ( Dls.Heuristics.name h,
+              m.Campaign.lp_time /. baseline.Campaign.lp_time,
+              m.Campaign.real_time /. baseline.Campaign.lp_time )
+        end)
+      config.heuristics
+  in
+  {
+    incc_lp = baseline.Campaign.lp_time;
+    incc_ratio = baseline.Campaign.real_time /. baseline.Campaign.lp_time;
+    others;
+  }
+
+let run ?(quick = false) ?(jobs = 1) config =
   let platforms = if quick then min 8 config.platforms else config.platforms in
   let sizes =
     if quick then List.filteri (fun i _ -> i mod 2 = 0) config.sizes
@@ -87,6 +120,22 @@ let run ?(quick = false) config =
           (Cluster.Gen.factors root config.scenario ~workers:config.workers))
   in
   let sim_rng = Cluster.Prng.split root in
+  (* Pre-split one PRNG per point in the exact order the sequential loop
+     would, then measure the points (possibly in parallel: results are
+     bit-identical because each point owns its stream and the reduction
+     below walks them back in sequential order). *)
+  let tasks =
+    Array.of_list
+      (List.concat_map
+         (fun n ->
+           List.map (fun factors -> (n, factors, Cluster.Prng.split sim_rng)) factor_sets)
+         sizes)
+  in
+  let measure (n, factors, rng) = measure_point config machine n factors rng in
+  let points =
+    if jobs <= 1 then Array.map measure tasks
+    else Parallel.Pool.run ~jobs measure tasks
+  in
   let columns =
     "n" :: "INC_C lp (s)"
     :: List.concat_map
@@ -110,34 +159,26 @@ let run ?(quick = false) config =
     | None -> ()
   in
   let rows =
-    List.map
-      (fun n ->
-        (* per-heuristic accumulated ratios across platforms *)
+    List.mapi
+      (fun si n ->
+        (* per-heuristic accumulated ratios across platforms; pushes
+           happen in platform order, exactly as the sequential loop's,
+           so the float summation order inside [Stats.mean] (and hence
+           the report) is independent of [jobs] *)
         let acc = Hashtbl.create 8 in
         let push key v =
           Hashtbl.replace acc key (v :: Option.value ~default:[] (Hashtbl.find_opt acc key))
         in
-        List.iter
-          (fun factors ->
-            let rng = Cluster.Prng.split sim_rng in
-            let baseline =
-              Campaign.measure ~rng ~machine ~n ~total:config.total factors
-                Dls.Heuristics.Inc_c
-            in
-            push "incc_lp" baseline.Campaign.lp_time;
-            push "incc_ratio" (baseline.Campaign.real_time /. baseline.Campaign.lp_time);
+        List.iteri
+          (fun pi _factors ->
+            let pt = points.((si * platforms) + pi) in
+            push "incc_lp" pt.incc_lp;
+            push "incc_ratio" pt.incc_ratio;
             List.iter
-              (fun h ->
-                if h <> Dls.Heuristics.Inc_c then begin
-                  let m =
-                    Campaign.measure ~rng ~machine ~n ~total:config.total factors h
-                  in
-                  let name = Dls.Heuristics.name h in
-                  push (name ^ "_lp") (m.Campaign.lp_time /. baseline.Campaign.lp_time);
-                  push (name ^ "_real")
-                    (m.Campaign.real_time /. baseline.Campaign.lp_time)
-                end)
-              config.heuristics)
+              (fun (name, lp_ratio, real_ratio) ->
+                push (name ^ "_lp") lp_ratio;
+                push (name ^ "_real") real_ratio)
+              pt.others)
           factor_sets;
         let mean key = Stats.mean (Hashtbl.find acc key) in
         push_chart "INC_C real/lp" n (mean "incc_ratio");

@@ -34,9 +34,12 @@ val fig13a : config
 val fig13b : config
 val all : config list
 
-(** [run ?quick config] produces one row per matrix size with the mean
-    INC_C LP time and, for every heuristic, the mean ratios
+(** [run ?quick ?jobs config] produces one row per matrix size with the
+    mean INC_C LP time and, for every heuristic, the mean ratios
     [lp / INC_C lp] and [real / INC_C lp] over the random platforms.
     [quick] shrinks the sweep (fewer platforms and sizes) for smoke
-    tests. *)
-val run : ?quick:bool -> config -> Report.t
+    tests.  [jobs] (default 1) measures the (size, platform) points on a
+    domain pool; every PRNG stream is pre-split in sequential order and
+    the means are reduced in platform order, so the report is
+    bit-identical for every [jobs] value. *)
+val run : ?quick:bool -> ?jobs:int -> config -> Report.t

@@ -1,0 +1,1 @@
+lib/parallel/lru.ml: Hashtbl Mutex

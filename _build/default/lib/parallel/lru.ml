@@ -1,0 +1,142 @@
+(* Classic Hashtbl + doubly-linked recency list.  [head] is the
+   most-recently-used end, [tail] the eviction end. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  m : Mutex.t;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 1024) () =
+  {
+    m = Mutex.create ();
+    table = Hashtbl.create (max 16 (min capacity 4096));
+    cap = capacity;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* List surgery below runs with [t.m] held. *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  if t.head != Some n then begin
+    unlink t n;
+    push_front t n
+  end
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      t.evictions <- t.evictions + 1
+
+let find_locked t k =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      touch t n;
+      Some n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let add_locked t k v =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.table k with
+    | Some n ->
+        unlink t n;
+        Hashtbl.remove t.table k
+    | None -> ());
+    if Hashtbl.length t.table >= t.cap then evict_lru t;
+    let n = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k n;
+    push_front t n
+  end
+
+let with_lock t f =
+  Mutex.lock t.m;
+  match f () with
+  | x ->
+      Mutex.unlock t.m;
+      x
+  | exception e ->
+      Mutex.unlock t.m;
+      raise e
+
+let find t k = with_lock t (fun () -> find_locked t k)
+let add t k v = with_lock t (fun () -> add_locked t k v)
+
+let find_or_add t k compute =
+  match find t k with
+  | Some v -> v
+  | None -> (
+      let v = compute () in
+      (* Another domain may have stored [k] while we computed; keep the
+         existing entry so every caller sees one canonical value. *)
+      with_lock t (fun () ->
+          match Hashtbl.find_opt t.table k with
+          | Some n ->
+              touch t n;
+              n.value
+          | None ->
+              add_locked t k v;
+              v))
+
+let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+let capacity t = t.cap
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        size = Hashtbl.length t.table;
+        capacity = t.cap;
+      })
+
+let clear t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

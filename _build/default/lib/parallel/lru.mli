@@ -1,0 +1,47 @@
+(** Size-bounded LRU memo cache, safe for concurrent use from multiple
+    domains (a single {!Mutex} guards the table; the expensive compute
+    in {!find_or_add} runs {e outside} the lock).
+
+    Intended for memoising pure functions whose results are structurally
+    identical whenever the keys are equal — e.g. exact LP solutions
+    keyed by a canonical scenario fingerprint.  Under that assumption a
+    racy double-compute is harmless: both domains produce the same
+    value and the first insertion wins. *)
+
+type ('k, 'v) t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** current number of entries *)
+  capacity : int;
+}
+
+(** [create ~capacity ()] is an empty cache holding at most [capacity]
+    entries (least-recently-used evicted first).  [capacity <= 0]
+    disables caching: every lookup misses and nothing is stored. *)
+val create : ?capacity:int -> unit -> ('k, 'v) t
+
+(** [find t k] is the cached value for [k], refreshing its recency. *)
+val find : ('k, 'v) t -> 'k -> 'v option
+
+(** [add t k v] inserts (or refreshes) [k -> v], evicting the
+    least-recently-used entry if the cache is full. *)
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+
+(** [find_or_add t k compute] returns the cached value for [k], or runs
+    [compute ()] (outside the cache lock), stores and returns it.  If
+    another domain raced us to the same key, the already-stored value is
+    returned so all callers observe one canonical entry. *)
+val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val mem : ('k, 'v) t -> 'k -> bool
+val length : ('k, 'v) t -> int
+val capacity : ('k, 'v) t -> int
+
+(** [stats t] is a snapshot of hit/miss/eviction counters. *)
+val stats : ('k, 'v) t -> stats
+
+(** [clear t] drops all entries and resets the counters. *)
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,52 @@
+(** Domain pool: deterministic data-parallel maps over OCaml 5 domains.
+
+    A pool owns [jobs - 1] worker domains blocked on a {!Mutex}/{!Condition}
+    work queue; the caller of {!map} participates as the [jobs]-th worker.
+    Work items are claimed in index order (in chunks, to limit lock
+    traffic) and results are written into a slot array by index, so the
+    output of [map pool f arr] is {e exactly} [Array.map f arr] — same
+    values, same order — independently of [jobs], scheduling, or chunk
+    size.  Parallelism only changes wall-clock time.
+
+    Exceptions raised by [f] are caught per item; after the batch
+    completes, the exception of the {e smallest} failing index is
+    re-raised in the caller (again deterministic).
+
+    Pools are not reentrant: calling {!map} from inside a task of the
+    same pool deadlocks.  Distinct pools may run concurrently. *)
+
+type t
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()]: the
+    parallelism the hardware is expected to sustain. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] spawns [max 0 (jobs - 1)] worker domains
+    (default [default_jobs ()]).  [jobs <= 1] builds a pool that runs
+    everything in the calling domain. *)
+val create : ?jobs:int -> unit -> t
+
+(** [jobs pool] is the parallelism the pool was created with. *)
+val jobs : t -> int
+
+(** [shutdown pool] terminates the worker domains and joins them.
+    Idempotent.  Any later {!map} on the pool runs sequentially. *)
+val shutdown : t -> unit
+
+(** [with_pool ?jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards (also on exception). *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+(** [map ?chunk pool f arr] is [Array.map f arr], computed by all pool
+    members.  [chunk] is the number of consecutive indices claimed per
+    queue round-trip (default: a heuristic balancing lock traffic
+    against load imbalance). *)
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ?chunk pool f l] is [List.map f l] via {!map}. *)
+val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [run ?jobs ?chunk f arr] is a one-shot {!map} on a temporary pool:
+    [with_pool ?jobs (fun p -> map ?chunk p f arr)].  [jobs <= 1] is a
+    plain [Array.map] with no domain spawned. *)
+val run : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array

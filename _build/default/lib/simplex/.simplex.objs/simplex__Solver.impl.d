@@ -1,1 +1,1 @@
-lib/simplex/solver.ml: Field Format Numeric Solver_core
+lib/simplex/solver.ml: Field Format Numeric Result Solver_core

@@ -3,6 +3,15 @@ module Exact = Solver_core.Make (Field.Rational)
 
 type solution = { value : Q.t; point : Q.t array; pivots : int }
 type outcome = Optimal of solution | Unbounded | Infeasible
+type error = Error_unbounded | Error_infeasible
+
+exception Error of error
+
+let string_of_error = function
+  | Error_unbounded -> "unbounded problem"
+  | Error_infeasible -> "infeasible problem"
+
+let pp_error fmt e = Format.pp_print_string fmt (string_of_error e)
 
 let solve p =
   (* With exact arithmetic Bland's rule terminates: the cap is a pure
@@ -14,11 +23,14 @@ let solve p =
   | Exact.Infeasible -> Infeasible
   | Exact.Stalled -> assert false
 
-let solve_exn p =
+let solve_result p =
   match solve p with
-  | Optimal s -> s
-  | Unbounded -> failwith "Solver.solve_exn: unbounded problem"
-  | Infeasible -> failwith "Solver.solve_exn: infeasible problem"
+  | Optimal s -> Ok s
+  | Unbounded -> Result.Error Error_unbounded
+  | Infeasible -> Result.Error Error_infeasible
+
+let solve_exn p =
+  match solve_result p with Ok s -> s | Result.Error e -> raise (Error e)
 
 let pp_outcome fmt = function
   | Unbounded -> Format.pp_print_string fmt "unbounded"

@@ -18,11 +18,26 @@ type solution = {
 
 type outcome = Optimal of solution | Unbounded | Infeasible
 
+(** The two ways a linear program can fail to have an optimum.  (The
+    [Error_] prefix keeps the constructors from clashing with
+    {!outcome}'s.) *)
+type error = Error_unbounded | Error_infeasible
+
+(** Raised by {!solve_exn}; carries the typed failure instead of a
+    [Failure] string. *)
+exception Error of error
+
+val string_of_error : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 (** [solve p] solves the linear program exactly. *)
 val solve : Problem.t -> outcome
 
+(** [solve_result p] is {!solve} in [result] form. *)
+val solve_result : Problem.t -> (solution, error) result
+
 (** [solve_exn p] extracts the optimal solution.
-    @raise Failure when the problem is unbounded or infeasible. *)
+    @raise Error when the problem is unbounded or infeasible. *)
 val solve_exn : Problem.t -> solution
 
 val pp_outcome : Format.formatter -> outcome -> unit

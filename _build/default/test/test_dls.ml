@@ -16,7 +16,7 @@ let worker ?name c w d =
 (* The running two-worker example, z = 1/2:
    P1 (c=1, w=1, d=1/2), P2 (c=1, w=2, d=1/2). *)
 let two_worker_platform () =
-  Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (2, 1) (1, 2) ]
+  Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (2, 1) (1, 2) ]
 
 (* ------------------------------------------------------------------ *)
 (* Generators                                                          *)
@@ -56,8 +56,13 @@ let prop ?(count = 100) name gen f =
 (* ------------------------------------------------------------------ *)
 
 let test_platform_validation () =
-  Alcotest.check_raises "empty" (Invalid_argument "Platform.make: no workers")
-    (fun () -> ignore (Dls.Platform.make []));
+  (match Dls.Platform.make [] with
+  | Error (Dls.Errors.Invalid_scenario _) -> ()
+  | Ok _ -> Alcotest.fail "empty platform accepted"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Dls.Errors.to_string e));
+  Alcotest.check_raises "empty (exn)"
+    (Dls.Errors.Error (Dls.Errors.Invalid_scenario "Platform.make: no workers"))
+    (fun () -> ignore (Dls.Platform.make_exn []));
   Alcotest.check_raises "zero c"
     (Invalid_argument "Platform.worker: c must be positive") (fun () ->
       ignore (Dls.Platform.worker ~c:Q.zero ~w:Q.one ~d:Q.one ()));
@@ -69,14 +74,14 @@ let test_platform_z_ratio () =
   let p = two_worker_platform () in
   Alcotest.(check (option rat)) "z = 1/2" (Some Q.half) (Dls.Platform.z_ratio p);
   let p2 =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (1, 1) (1, 3) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (1, 1) (1, 3) ]
   in
   Alcotest.(check (option rat)) "non-uniform" None (Dls.Platform.z_ratio p2)
 
 let test_platform_is_bus () =
   Alcotest.(check bool) "bus" true (Dls.Platform.is_bus (two_worker_platform ()));
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (2, 1) (1, 1) (1, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (2, 1) (1, 1) (1, 1) ]
   in
   Alcotest.(check bool) "star" false (Dls.Platform.is_bus p)
 
@@ -91,7 +96,7 @@ let test_platform_scaling () =
 let test_platform_sorted_stable () =
   (* Equal keys keep the original order: sorting by c here is stable. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [ worker (2, 1) (1, 1) (1, 1); worker (1, 1) (9, 1) (1, 2); worker (1, 1) (1, 1) (1, 2) ]
   in
   let idx = Dls.Platform.sorted_indices_by p (fun wk -> wk.Dls.Platform.c) in
@@ -108,24 +113,30 @@ let test_platform_restrict () =
 
 let test_scenario_validation () =
   let p = two_worker_platform () in
+  let expect_invalid label r =
+    match r with
+    | Ok _ -> Alcotest.fail (label ^ " accepted")
+    | Error (Dls.Errors.Invalid_scenario _) -> ()
+    | Error e -> Alcotest.fail (label ^ ": wrong error " ^ Dls.Errors.to_string e)
+  in
+  expect_invalid "duplicate"
+    (Dls.Scenario.make p ~sigma1:[| 0; 0 |] ~sigma2:[| 0; 1 |]);
+  expect_invalid "out of range"
+    (Dls.Scenario.make p ~sigma1:[| 0; 2 |] ~sigma2:[| 0; 2 |]);
+  expect_invalid "different sets"
+    (Dls.Scenario.make p ~sigma1:[| 0 |] ~sigma2:[| 1 |]);
+  expect_invalid "empty" (Dls.Scenario.make p ~sigma1:[||] ~sigma2:[||]);
+  (* The _exn wrapper raises the typed exception, not Invalid_argument. *)
   (try
-     ignore (Dls.Scenario.make p ~sigma1:[| 0; 0 |] ~sigma2:[| 0; 1 |]);
-     Alcotest.fail "duplicate accepted"
-   with Invalid_argument _ -> ());
-  (try
-     ignore (Dls.Scenario.make p ~sigma1:[| 0; 2 |] ~sigma2:[| 0; 2 |]);
-     Alcotest.fail "out of range accepted"
-   with Invalid_argument _ -> ());
-  (try
-     ignore (Dls.Scenario.make p ~sigma1:[| 0 |] ~sigma2:[| 1 |]);
-     Alcotest.fail "different sets accepted"
-   with Invalid_argument _ -> ())
+     ignore (Dls.Scenario.make_exn p ~sigma1:[| 0; 0 |] ~sigma2:[| 0; 1 |]);
+     Alcotest.fail "duplicate accepted by make_exn"
+   with Dls.Errors.Error (Dls.Errors.Invalid_scenario _) -> ())
 
 let test_scenario_kinds () =
   let p = two_worker_platform () in
-  let f = Dls.Scenario.fifo p [| 1; 0 |] in
+  let f = Dls.Scenario.fifo_exn p [| 1; 0 |] in
   Alcotest.(check bool) "fifo is fifo" true (Dls.Scenario.is_fifo f);
-  let l = Dls.Scenario.lifo p [| 1; 0 |] in
+  let l = Dls.Scenario.lifo_exn p [| 1; 0 |] in
   Alcotest.(check bool) "lifo is lifo" true (Dls.Scenario.is_lifo l);
   Alcotest.(check bool) "lifo not fifo" false (Dls.Scenario.is_fifo l);
   Alcotest.(check int) "send pos" 0 (Dls.Scenario.send_position l 1);
@@ -137,14 +148,14 @@ let test_scenario_kinds () =
 
 let test_lp_single_worker () =
   (* One worker: rho = 1 / (c + w + d). *)
-  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (1, 1) ] in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.all_workers_fifo p) in
+  let p = Dls.Platform.make_exn [ worker (2, 1) (3, 1) (1, 1) ] in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.all_workers_fifo p) in
   Alcotest.check rat "rho" (qq 1 6) sol.Dls.Lp_model.rho
 
 let test_lp_two_workers_fifo () =
   (* Hand-solved above: alpha = (4/11, 2/11), rho = 6/11. *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "rho" (qq 6 11) sol.Dls.Lp_model.rho;
   Alcotest.check rat "alpha1" (qq 4 11) sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "alpha2" (qq 2 11) sol.Dls.Lp_model.alpha.(1)
@@ -152,7 +163,7 @@ let test_lp_two_workers_fifo () =
 let test_lp_two_workers_lifo () =
   (* Hand-solved above: rho = 18/35 with alpha = (2/5, 4/35). *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.lifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "rho" (qq 18 35) sol.Dls.Lp_model.rho;
   Alcotest.check rat "alpha1" (qq 2 5) sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "alpha2" (qq 4 35) sol.Dls.Lp_model.alpha.(1)
@@ -160,15 +171,15 @@ let test_lp_two_workers_lifo () =
 let test_lp_two_port_relaxation () =
   (* Dropping the one-port constraint can only help. *)
   let p = two_worker_platform () in
-  let s = Dls.Scenario.fifo p [| 0; 1 |] in
-  let one = Dls.Lp_model.solve ~model:Dls.Lp_model.One_port s in
-  let two = Dls.Lp_model.solve ~model:Dls.Lp_model.Two_port s in
+  let s = Dls.Scenario.fifo_exn p [| 0; 1 |] in
+  let one = Dls.Lp_model.solve_exn ~model:Dls.Lp_model.One_port s in
+  let two = Dls.Lp_model.solve_exn ~model:Dls.Lp_model.Two_port s in
   Alcotest.(check bool) "two-port >= one-port" true
     (two.Dls.Lp_model.rho >=/ one.Dls.Lp_model.rho)
 
 let test_lp_time_for_load () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "time for 6 loads" (q 11)
     (Dls.Lp_model.time_for_load sol ~load:(q 6))
 
@@ -191,7 +202,7 @@ let prop_constraint_report_lemma1 =
 
 let test_constraint_report_shape () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let report = Dls.Lp_model.constraint_report sol in
   Alcotest.(check int) "2 deadlines + port" 3 (List.length report);
   Alcotest.(check bool) "port row present" true
@@ -211,8 +222,8 @@ let prop_estimate_rho_accurate =
   prop ~count:60 "float estimate tracks the exact rho"
     (gen_platform ~min_size:1 ~max_size:6 ())
     (fun p ->
-      let s = Dls.Scenario.fifo p (Dls.Fifo.order p) in
-      let exact = Q.to_float (Dls.Lp_model.solve s).Dls.Lp_model.rho in
+      let s = Dls.Scenario.fifo_exn p (Dls.Fifo.order p) in
+      let exact = Q.to_float (Dls.Lp_model.solve_exn s).Dls.Lp_model.rho in
       match Dls.Lp_model.estimate_rho s with
       | None -> QCheck2.Test.fail_reportf "float solver stalled"
       | Some approx ->
@@ -223,7 +234,7 @@ let prop_estimate_rho_accurate =
 let test_lp_enrolled_subset () =
   (* Enrolling only worker 1 leaves worker 0 with zero load. *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 1 |]) in
   Alcotest.check rat "alpha0 = 0" Q.zero sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "rho = 1/(c2+w2+d2)" (qq 2 7) sol.Dls.Lp_model.rho;
   Alcotest.(check (list int)) "enrolled" [ 1 ] (Dls.Lp_model.enrolled_workers sol)
@@ -235,7 +246,7 @@ let test_lp_enrolled_subset () =
 let test_fifo_order_small_z () =
   (* z = 1/2 < 1: non-decreasing c. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [ worker (3, 1) (1, 1) (3, 2); worker (1, 1) (1, 1) (1, 2); worker (2, 1) (1, 1) (1, 1) ]
   in
   Alcotest.(check (array int)) "ascending c" [| 1; 2; 0 |] (Dls.Fifo.order p)
@@ -243,7 +254,7 @@ let test_fifo_order_small_z () =
 let test_fifo_order_big_z () =
   (* z = 2 > 1: non-increasing c (mirror argument). *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [ worker (3, 1) (1, 1) (6, 1); worker (1, 1) (1, 1) (2, 1); worker (2, 1) (1, 1) (4, 1) ]
   in
   Alcotest.(check (array int)) "descending c" [| 0; 2; 1 |] (Dls.Fifo.order p)
@@ -251,7 +262,7 @@ let test_fifo_order_big_z () =
 let test_fifo_drops_slow_worker () =
   (* The best FIFO schedule may not enroll all workers (Section 1). *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
   in
   let best = Dls.Brute.best_fifo p in
   Alcotest.check rat "slow worker dropped" Q.zero best.Dls.Lp_model.alpha.(1);
@@ -278,11 +289,12 @@ let prop_mirror_agrees =
     QCheck2.Gen.(gen_big_z >>= fun z -> gen_platform ~z ~min_size:1 ~max_size:5 ())
     (fun p ->
       let direct = Dls.Fifo.optimal p in
-      let rho, sched = Dls.Fifo.optimal_via_mirror p in
+      let m = Dls.Fifo.optimal_via_mirror_exn p in
+      let rho = m.Dls.Fifo.solved.Dls.Lp_model.rho in
       Q.equal rho direct.Dls.Lp_model.rho
       &&
-      match Dls.Schedule.validate sched with
-      | Ok () -> Q.equal (Dls.Schedule.total_load sched) rho
+      match Dls.Schedule.validate m.Dls.Fifo.schedule with
+      | Ok () -> Q.equal (Dls.Schedule.total_load m.Dls.Fifo.schedule) rho
       | Error msgs -> QCheck2.Test.fail_reportf "%s" (String.concat "; " msgs))
 
 let prop_monotone_in_workers =
@@ -453,12 +465,12 @@ let gen_scenario =
     done;
     a
   in
-  return (Dls.Scenario.make p ~sigma1:(shuffle seed1) ~sigma2:(shuffle seed2))
+  return (Dls.Scenario.make_exn p ~sigma1:(shuffle seed1) ~sigma2:(shuffle seed2))
 
 let prop_schedule_valid =
   prop ~count:120 "LP schedules satisfy every one-port invariant" gen_scenario
     (fun s ->
-      let sol = Dls.Lp_model.solve s in
+      let sol = Dls.Lp_model.solve_exn s in
       let sched = Dls.Schedule.of_solved sol in
       match Dls.Schedule.validate sched with
       | Ok () ->
@@ -469,7 +481,7 @@ let prop_schedule_valid =
 let prop_schedule_scaling =
   prop ~count:60 "for_load scales makespan and load linearly" gen_scenario
     (fun s ->
-      let sol = Dls.Lp_model.solve s in
+      let sol = Dls.Lp_model.solve_exn s in
       let load = q 1000 in
       let sched = Dls.Schedule.for_load sol ~load in
       Q.equal (Dls.Schedule.total_load sched) load
@@ -479,7 +491,7 @@ let prop_schedule_scaling =
 
 let test_schedule_mirror_roundtrip () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let mirrored = Dls.Schedule.mirror sched in
   (match Dls.Schedule.validate mirrored with
@@ -534,13 +546,13 @@ let prop_rounding_respects_selection =
 
 let test_no_return_single () =
   (* One worker: alpha = 1/(c+w). *)
-  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (0, 1) ] in
+  let p = Dls.Platform.make_exn [ worker (2, 1) (3, 1) (0, 1) ] in
   Alcotest.check rat "1/(c+w)" (qq 1 5) (Dls.No_return.throughput p)
 
 let test_no_return_recursion () =
   (* Two identical workers, c = w = 1: alpha1 = 1/2, alpha2 = 1/4. *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
   in
   let alpha = Dls.No_return.loads p ~order:[| 0; 1 |] in
   Alcotest.check rat "alpha1" Q.half alpha.(0);
@@ -554,7 +566,7 @@ let prop_no_return_matches_lp =
       let p = Dls.No_return.strip_returns p in
       let formula = Dls.No_return.throughput p in
       let lp =
-        Dls.Lp_model.solve (Dls.Scenario.fifo p (Dls.No_return.optimal_order p))
+        Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p (Dls.No_return.optimal_order p))
       in
       Q.equal formula lp.Dls.Lp_model.rho)
 
@@ -594,11 +606,11 @@ let test_affine_zero_latency_matches_linear () =
   let a = Dls.Affine.of_platform p in
   let order = [| 0; 1 |] in
   let affine = affine_rho (Dls.Affine.solve a ~sigma1:order ~sigma2:order) in
-  let linear = (Dls.Lp_model.solve (Dls.Scenario.fifo p order)).Dls.Lp_model.rho in
+  let linear = (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p order)).Dls.Lp_model.rho in
   Alcotest.check rat "same rho" linear affine
 
 let test_affine_too_slow () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2) ] in
   let a = Dls.Affine.of_platform ~send_latency:(q 2) p in
   (match Dls.Affine.solve a ~sigma1:[| 0 |] ~sigma2:[| 0 |] with
   | Dls.Affine.Too_slow -> ()
@@ -690,7 +702,7 @@ let test_tree_flat_equals_star () =
   let specs = [ (qq 1 2, q 1); (q 1, q 2); (q 2, qq 1 3) ] in
   let tree = Dls.Tree.root (List.map (fun (c, w) -> (c, Dls.Tree.leaf w)) specs) in
   let star =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       (List.map (fun (c, w) -> Dls.Platform.worker ~c ~w ~d:Q.zero ()) specs)
   in
   Alcotest.check rat "flat tree = star" (Dls.No_return.throughput star)
@@ -788,7 +800,7 @@ let prop_bounds_general_upper =
 
 let test_bounds_single_worker_tight () =
   (* One worker: all three quantities coincide with the optimum. *)
-  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (1, 1) ] in
+  let p = Dls.Platform.make_exn [ worker (2, 1) (3, 1) (1, 1) ] in
   let rho = (Dls.Fifo.optimal p).Dls.Lp_model.rho in
   Alcotest.check rat "lower tight" rho (Dls.Bounds.lower p);
   Alcotest.check rat "chain tight" rho (Dls.Bounds.chain_bound p)
@@ -803,7 +815,7 @@ let test_heuristics_names () =
 
 let test_schedule_idle_times () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let idles = Dls.Schedule.idle_times sched in
   Alcotest.(check int) "one entry per enrolled worker" 2 (List.length idles);
@@ -814,7 +826,7 @@ let test_schedule_idle_times () =
 
 let test_schedule_scale_validation () =
   let p = two_worker_platform () in
-  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |])) in
+  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |])) in
   (try
      ignore (Dls.Schedule.scale Q.zero sched);
      Alcotest.fail "zero scale accepted"
@@ -824,8 +836,8 @@ let test_schedule_scale_validation () =
   Alcotest.(check bool) "still valid" true (Dls.Schedule.validate doubled = Ok ())
 
 let test_schedule_mirror_rejects_no_return () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1) ] in
-  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0 |])) in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (0, 1) ] in
+  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0 |])) in
   try
     ignore (Dls.Schedule.mirror sched);
     Alcotest.fail "mirror of d=0 accepted"
@@ -833,7 +845,7 @@ let test_schedule_mirror_rejects_no_return () =
 
 let test_pp_smoke () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.lifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
   let s1 = Format.asprintf "%a" Dls.Platform.pp p in
   let s2 = Format.asprintf "%a" Dls.Scenario.pp sol.Dls.Lp_model.scenario in
   let s3 = Format.asprintf "%a" Dls.Lp_model.pp sol in
@@ -846,7 +858,7 @@ let test_fifo_order_z_equal_one () =
   (* z = 1: Theorem 1 says order is irrelevant; the library picks the
      ascending-c order and must still match the brute force. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [ worker (2, 1) (1, 1) (2, 1); worker (1, 1) (3, 1) (1, 1) ]
   in
   let brute = Dls.Brute.best_fifo p in
@@ -883,7 +895,7 @@ let test_sensitivity_dropped_worker_is_flat () =
   (* Slowing the compute of a worker that resource selection already
      dropped changes nothing. *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (100, 1) (1, 1) (50, 1) ]
   in
   let sol = Dls.Fifo.optimal p in
   Alcotest.check rat "worker 2 dropped" Q.zero sol.Dls.Lp_model.alpha.(1);
@@ -995,7 +1007,7 @@ let gen_wild_platform ~min_size ~max_size =
     list_size (return n) (triple gen_pos_rational gen_pos_rational gen_pos_rational)
   in
   return
-    (Dls.Platform.make
+    (Dls.Platform.make_exn
        (List.map
           (fun (c, w, d) -> Dls.Platform.worker ~c ~w ~d ())
           specs))
@@ -1005,7 +1017,7 @@ let prop_search_matches_brute =
     (gen_wild_platform ~min_size:2 ~max_size:4)
     (fun p ->
       let brute = Dls.Brute.best_fifo p in
-      let found, stats = Dls.Search.best_fifo p in
+      let { Dls.Search.solved = found; stats } = Dls.Search.best_fifo p in
       Q.equal brute.Dls.Lp_model.rho found.Dls.Lp_model.rho
       && stats.Dls.Search.pruned <= stats.Dls.Search.nodes
       && stats.Dls.Search.lps >= 1)
@@ -1015,14 +1027,14 @@ let prop_search_never_below_heuristic =
     (gen_wild_platform ~min_size:1 ~max_size:5)
     (fun p ->
       let heuristic = Dls.Fifo.optimal p in
-      let found, _ = Dls.Search.best_fifo p in
+      let found = (Dls.Search.best_fifo p).Dls.Search.solved in
       found.Dls.Lp_model.rho >=/ heuristic.Dls.Lp_model.rho)
 
 let prop_search_proves_theorem1 =
   prop ~count:30 "B&B search confirms Theorem 1 on uniform-z platforms"
     QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
     (fun p ->
-      let found, _ = Dls.Search.best_fifo p in
+      let found = (Dls.Search.best_fifo p).Dls.Search.solved in
       Q.equal found.Dls.Lp_model.rho (Dls.Fifo.optimal p).Dls.Lp_model.rho)
 
 let prop_search_lifo_matches_brute =
@@ -1030,19 +1042,19 @@ let prop_search_lifo_matches_brute =
     (gen_wild_platform ~min_size:2 ~max_size:4)
     (fun p ->
       let brute = Dls.Brute.best_lifo p in
-      let found, _ = Dls.Search.best_lifo p in
+      let found = (Dls.Search.best_lifo p).Dls.Search.solved in
       Q.equal brute.Dls.Lp_model.rho found.Dls.Lp_model.rho)
 
 let prop_search_lifo_confirms_order =
   prop ~count:25 "B&B LIFO confirms ascending-c order (z < 1)"
     QCheck2.Gen.(gen_small_z >>= fun z -> gen_platform ~z ~min_size:2 ~max_size:5 ())
     (fun p ->
-      let found, _ = Dls.Search.best_lifo p in
+      let found = (Dls.Search.best_lifo p).Dls.Search.solved in
       Q.equal found.Dls.Lp_model.rho (Dls.Lifo.optimal p).Dls.Lp_model.rho)
 
 let test_search_two_port () =
   let p = two_worker_platform () in
-  let found, _ = Dls.Search.best_fifo ~model:Dls.Lp_model.Two_port p in
+  let found = (Dls.Search.best_fifo ~model:Dls.Lp_model.Two_port p).Dls.Search.solved in
   let brute = Dls.Brute.best_fifo ~model:Dls.Lp_model.Two_port p in
   Alcotest.check rat "two-port agrees" brute.Dls.Lp_model.rho found.Dls.Lp_model.rho
 
@@ -1065,7 +1077,7 @@ let test_multiround_one_round_equals_scenario_lp () =
 
 let test_multiround_no_returns_one_round () =
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 1) (0, 1); worker (1, 1) (1, 1) (0, 1) ]
   in
   let rho =
     multiround_rho
@@ -1075,7 +1087,7 @@ let test_multiround_no_returns_one_round () =
   Alcotest.check rat "matches closed form" (qq 3 4) rho
 
 let test_multiround_too_slow () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2) ] in
   match
     Dls.Multiround.solve p
       (Dls.Multiround.config ~send_latency:(q 1) ~rounds:2 [| 0 |])
@@ -1134,7 +1146,7 @@ let test_multiround_latency_finite_optimum () =
      throughput first rises with pipelining, then falls as latencies
      accumulate. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [ worker (1, 4) (2, 1) (1, 8); worker (1, 4) (2, 1) (1, 8) ]
   in
   let sweep =

@@ -87,7 +87,9 @@ let prop_mirror_end_to_end =
      return (Dls.Platform.with_return_ratio ~z:(Q.of_int 3) specs))
     (fun platform ->
       let direct = Dls.Fifo.optimal platform in
-      let rho, sched = Dls.Fifo.optimal_via_mirror platform in
+      let m = Dls.Fifo.optimal_via_mirror_exn platform in
+      let rho = m.Dls.Fifo.solved.Dls.Lp_model.rho in
+      let sched = m.Dls.Fifo.schedule in
       rho =/ direct.Dls.Lp_model.rho
       && Dls.Schedule.validate sched = Ok ()
       && Q.abs (Dls.Schedule.total_load sched -/ rho) =/ Q.zero)
@@ -110,7 +112,7 @@ let prop_sim_respects_orders =
         a
       in
       let sigma1 = shuffle () and sigma2 = shuffle () in
-      let sol = Dls.Lp_model.solve (Dls.Scenario.make platform ~sigma1 ~sigma2) in
+      let sol = Dls.Lp_model.solve_exn (Dls.Scenario.make_exn platform ~sigma1 ~sigma2) in
       let plan = Sim.Star.plan_of_solved sol in
       let trace = Sim.Star.execute platform plan in
       let starts kind order =

@@ -1,0 +1,349 @@
+(* Tests for the parallel evaluation layer: the domain pool, the LRU
+   memo cache, and the headline guarantee that every parallel entry
+   point (Brute, Search, Sweep) returns results bit-identical to its
+   sequential counterpart. *)
+
+module Q = Numeric.Rational
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_matches_array_map () =
+  let f x = (x * x) + 1 in
+  List.iter
+    (fun n ->
+      let arr = Array.init n (fun i -> i - 3) in
+      let expected = Array.map f arr in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "n=%d jobs=%d" n jobs)
+            expected
+            (Parallel.Pool.run ~jobs f arr))
+        [ 1; 2; 3; 8 ])
+    [ 0; 1; 2; 7; 64; 1000 ]
+
+let test_pool_chunk_sizes () =
+  let arr = Array.init 137 string_of_int in
+  let expected = Array.map String.length arr in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "chunk=%d" chunk)
+        expected
+        (Parallel.Pool.run ~jobs:3 ~chunk String.length arr))
+    [ 1; 2; 16; 200 ]
+
+let test_pool_reuse () =
+  Parallel.Pool.with_pool ~jobs:2 (fun pool ->
+      check_int "jobs accessor" 2 (Parallel.Pool.jobs pool);
+      let a = Parallel.Pool.map pool (fun x -> x + 1) [| 1; 2; 3 |] in
+      let b = Parallel.Pool.map pool (fun x -> x * 2) [| 4; 5 |] in
+      Alcotest.(check (array int)) "first batch" [| 2; 3; 4 |] a;
+      Alcotest.(check (array int)) "second batch" [| 8; 10 |] b;
+      Alcotest.(check (list int))
+        "map_list" [ 2; 4; 6 ]
+        (Parallel.Pool.map_list pool (fun x -> 2 * x) [ 1; 2; 3 ]))
+
+let test_pool_shutdown_degrades () =
+  let pool = Parallel.Pool.create ~jobs:2 () in
+  Parallel.Pool.shutdown pool;
+  Parallel.Pool.shutdown pool (* idempotent *);
+  Alcotest.(check (array int))
+    "map after shutdown runs sequentially" [| 1; 4; 9 |]
+    (Parallel.Pool.map pool (fun x -> x * x) [| 1; 2; 3 |])
+
+exception Boom of int
+
+let test_pool_first_failure_wins () =
+  let f i = if i mod 5 = 3 then raise (Boom i) else i in
+  List.iter
+    (fun jobs ->
+      match Parallel.Pool.run ~jobs f (Array.init 40 Fun.id) with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom i ->
+        check_int (Printf.sprintf "smallest failing index, jobs=%d" jobs) 3 i)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_lru_basics () =
+  let c = Parallel.Lru.create ~capacity:8 () in
+  check "miss on empty" true (Parallel.Lru.find c "a" = None);
+  Parallel.Lru.add c "a" 1;
+  Parallel.Lru.add c "b" 2;
+  check "hit" true (Parallel.Lru.find c "a" = Some 1);
+  check_int "length" 2 (Parallel.Lru.length c);
+  check_int "capacity" 8 (Parallel.Lru.capacity c);
+  Parallel.Lru.clear c;
+  check_int "cleared" 0 (Parallel.Lru.length c);
+  check "miss after clear" true (Parallel.Lru.find c "a" = None)
+
+let test_lru_eviction_order () =
+  let c = Parallel.Lru.create ~capacity:2 () in
+  Parallel.Lru.add c "a" 1;
+  Parallel.Lru.add c "b" 2;
+  (* Touch "a" so "b" becomes the least recently used entry. *)
+  ignore (Parallel.Lru.find c "a");
+  Parallel.Lru.add c "c" 3;
+  check "b evicted" false (Parallel.Lru.mem c "b");
+  check "a kept" true (Parallel.Lru.mem c "a");
+  check "c kept" true (Parallel.Lru.mem c "c");
+  let s = Parallel.Lru.stats c in
+  check_int "one eviction" 1 s.Parallel.Lru.evictions
+
+let test_lru_find_or_add () =
+  let c = Parallel.Lru.create ~capacity:4 () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  check_int "computed" 42 (Parallel.Lru.find_or_add c "k" compute);
+  check_int "cached" 42 (Parallel.Lru.find_or_add c "k" compute);
+  check_int "compute ran once" 1 !calls;
+  let s = Parallel.Lru.stats c in
+  check_int "one miss" 1 s.Parallel.Lru.misses;
+  check_int "one hit" 1 s.Parallel.Lru.hits
+
+let test_lru_disabled () =
+  let c = Parallel.Lru.create ~capacity:0 () in
+  Parallel.Lru.add c "a" 1;
+  check "nothing stored" true (Parallel.Lru.find c "a" = None);
+  let calls = ref 0 in
+  let compute () = incr calls; 7 in
+  ignore (Parallel.Lru.find_or_add c "a" compute);
+  ignore (Parallel.Lru.find_or_add c "a" compute);
+  check_int "always recomputes" 2 !calls;
+  check_int "stays empty" 0 (Parallel.Lru.length c)
+
+let test_lru_concurrent_hammer () =
+  (* Many domains hitting overlapping keys: no crash, and every lookup
+     observes the canonical value for its key. *)
+  let c = Parallel.Lru.create ~capacity:16 () in
+  let f i =
+    let k = i mod 24 in
+    Parallel.Lru.find_or_add c k (fun () -> 2 * k)
+  in
+  let results = Parallel.Pool.run ~jobs:4 f (Array.init 480 Fun.id) in
+  Array.iteri
+    (fun i v ->
+      if v <> 2 * (i mod 24) then
+        Alcotest.failf "index %d: got %d, want %d" i v (2 * (i mod 24)))
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Platform generators                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Random platforms in both return-message regimes: d < c (z < 1,
+   results smaller than inputs) and d > c (z > 1). *)
+let gen_platform ~z_gt_1 ~max_workers =
+  QCheck2.Gen.(
+    let* n = int_range 2 max_workers in
+    let* specs =
+      list_repeat n (triple (int_range 1 5) (int_range 1 6) (int_range 1 5))
+    in
+    return
+      (Dls.Platform.make_exn
+         (List.mapi
+            (fun i (c, w, d) ->
+              let c = Q.of_ints c 4 in
+              let w = Q.of_int w in
+              (* force the regime while keeping d heterogeneous *)
+              let d =
+                if z_gt_1 then Q.add c (Q.of_ints d 4) else Q.of_ints d 24
+              in
+              Dls.Platform.worker
+                ~name:(Printf.sprintf "P%d" (i + 1))
+                ~c ~w ~d ())
+            specs)))
+
+let same_solution label (a : Dls.Lp_model.solved) (b : Dls.Lp_model.solved) =
+  if not (Q.equal a.Dls.Lp_model.rho b.Dls.Lp_model.rho) then
+    Alcotest.failf "%s: rho %s <> %s" label
+      (Q.to_string a.Dls.Lp_model.rho)
+      (Q.to_string b.Dls.Lp_model.rho);
+  if
+    a.Dls.Lp_model.scenario.Dls.Scenario.sigma1
+    <> b.Dls.Lp_model.scenario.Dls.Scenario.sigma1
+    || a.Dls.Lp_model.scenario.Dls.Scenario.sigma2
+       <> b.Dls.Lp_model.scenario.Dls.Scenario.sigma2
+  then Alcotest.failf "%s: selected scenarios differ" label;
+  Array.iteri
+    (fun i ai ->
+      if not (Q.equal ai b.Dls.Lp_model.alpha.(i)) then
+        Alcotest.failf "%s: alpha.(%d) differs" label i)
+    a.Dls.Lp_model.alpha;
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Parallel = sequential, bit for bit                                  *)
+(* ------------------------------------------------------------------ *)
+
+let brute_determinism ~z_gt_1 name =
+  QCheck2.Test.make ~count:12 ~name
+    (gen_platform ~z_gt_1 ~max_workers:4)
+    (fun p ->
+      same_solution "best_fifo"
+        (Dls.Brute.best_fifo ~jobs:1 p)
+        (Dls.Brute.best_fifo ~jobs:2 p)
+      && same_solution "best_lifo"
+           (Dls.Brute.best_lifo ~jobs:1 p)
+           (Dls.Brute.best_lifo ~jobs:2 p))
+
+let search_determinism ~z_gt_1 name =
+  QCheck2.Test.make ~count:10 ~name
+    (gen_platform ~z_gt_1 ~max_workers:5)
+    (fun p ->
+      let seq = Dls.Search.best_fifo ~jobs:1 p in
+      let par = Dls.Search.best_fifo ~jobs:3 p in
+      same_solution "best_fifo" seq.Dls.Search.solved par.Dls.Search.solved)
+
+let test_brute_general_determinism () =
+  let p =
+    Dls.Platform.make_exn
+      [
+        Dls.Platform.worker ~name:"P1" ~c:(Q.of_ints 1 2) ~w:(Q.of_int 2)
+          ~d:(Q.of_ints 1 3) ();
+        Dls.Platform.worker ~name:"P2" ~c:(Q.of_ints 1 3) ~w:(Q.of_int 1)
+          ~d:(Q.of_ints 1 2) ();
+        Dls.Platform.worker ~name:"P3" ~c:(Q.of_ints 1 4) ~w:(Q.of_int 3)
+          ~d:(Q.of_ints 1 5) ();
+      ]
+  in
+  ignore
+    (same_solution "best_general"
+       (Dls.Brute.best_general ~jobs:1 p)
+       (Dls.Brute.best_general ~jobs:2 p))
+
+let test_sweep_determinism () =
+  let config =
+    {
+      Experiments.Sweep.fig12 with
+      Experiments.Sweep.id = "test";
+      platforms = 3;
+      workers = 4;
+      sizes = [ 40; 80 ];
+      total = 100;
+      seed = 7;
+    }
+  in
+  let seq = Experiments.Sweep.run ~jobs:1 config in
+  let par = Experiments.Sweep.run ~jobs:2 config in
+  check "sweep report identical under jobs=2" true (seq = par);
+  let par3 = Experiments.Sweep.run ~jobs:3 config in
+  check "sweep report identical under jobs=3" true (seq = par3)
+
+(* ------------------------------------------------------------------ *)
+(* LP cache                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let small_platform =
+  Dls.Platform.make_exn
+    [
+      Dls.Platform.worker ~name:"P1" ~c:(Q.of_ints 1 2) ~w:(Q.of_int 2)
+        ~d:(Q.of_ints 1 4) ();
+      Dls.Platform.worker ~name:"P2" ~c:(Q.of_ints 1 3) ~w:(Q.of_int 1)
+        ~d:(Q.of_ints 1 6) ();
+      Dls.Platform.worker ~name:"P3" ~c:(Q.of_ints 2 5) ~w:(Q.of_int 3)
+        ~d:(Q.of_ints 1 5) ();
+    ]
+
+let test_cache_hit_identical () =
+  Dls.Lp_model.reset_cache ();
+  let scenario =
+    Dls.Scenario.fifo_exn small_platform (Dls.Fifo.order small_platform)
+  in
+  let cold = Dls.Lp_model.solve_exn scenario in
+  let first = Dls.Lp_model.solve_cached scenario in
+  let second = Dls.Lp_model.solve_cached scenario in
+  ignore (same_solution "cached vs cold" cold first);
+  ignore (same_solution "hit vs cold" cold second);
+  check "hit returns the stored value" true (first == second);
+  check "idle identical" true
+    (Array.for_all2 Q.equal cold.Dls.Lp_model.idle second.Dls.Lp_model.idle);
+  let s = Dls.Lp_model.cache_stats () in
+  check_int "one miss" 1 s.Parallel.Lru.misses;
+  check_int "one hit" 1 s.Parallel.Lru.hits
+
+let test_cache_key_separates () =
+  let order = Dls.Fifo.order small_platform in
+  let fifo = Dls.Scenario.fifo_exn small_platform order in
+  let lifo = Dls.Scenario.lifo_exn small_platform order in
+  let key = Dls.Lp_model.scenario_key Dls.Lp_model.One_port in
+  check "fifo key stable" true (key fifo = key fifo);
+  check "fifo/lifo keys differ" true (key fifo <> key lifo);
+  check "model is part of the key" true
+    (key fifo <> Dls.Lp_model.scenario_key Dls.Lp_model.Two_port fifo)
+
+let test_cache_capacity_zero () =
+  Dls.Lp_model.reset_cache ~capacity:0 ();
+  let scenario =
+    Dls.Scenario.fifo_exn small_platform (Dls.Fifo.order small_platform)
+  in
+  let a = Dls.Lp_model.solve_cached scenario in
+  let b = Dls.Lp_model.solve_cached scenario in
+  ignore (same_solution "uncached solves agree" a b);
+  let s = Dls.Lp_model.cache_stats () in
+  check_int "nothing retained" 0 s.Parallel.Lru.size;
+  check_int "two misses" 2 s.Parallel.Lru.misses;
+  Dls.Lp_model.reset_cache ()
+
+let test_cached_brute_parallel () =
+  (* The brute-force scan funnels every LP through the shared cache from
+     several domains at once; the winner must still match sequential. *)
+  Dls.Lp_model.reset_cache ();
+  let p = small_platform in
+  let seq = Dls.Brute.best_fifo ~jobs:1 p in
+  Dls.Lp_model.reset_cache ();
+  let par = Dls.Brute.best_fifo ~jobs:4 p in
+  ignore (same_solution "cached parallel brute" seq par)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map = Array.map" `Quick test_pool_matches_array_map;
+          Alcotest.test_case "chunk sizes" `Quick test_pool_chunk_sizes;
+          Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "shutdown degrades" `Quick test_pool_shutdown_degrades;
+          Alcotest.test_case "first failure wins" `Quick test_pool_first_failure_wins;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
+          Alcotest.test_case "capacity 0 disables" `Quick test_lru_disabled;
+          Alcotest.test_case "concurrent hammer" `Quick test_lru_concurrent_hammer;
+        ] );
+      ( "determinism",
+        qsuite
+          [
+            brute_determinism ~z_gt_1:false "brute fifo/lifo, z < 1";
+            brute_determinism ~z_gt_1:true "brute fifo/lifo, z > 1";
+            search_determinism ~z_gt_1:false "search B&B, z < 1";
+            search_determinism ~z_gt_1:true "search B&B, z > 1";
+          ]
+        @ [
+            Alcotest.test_case "brute general" `Quick test_brute_general_determinism;
+            Alcotest.test_case "sweep report" `Quick test_sweep_determinism;
+          ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit identical to cold" `Quick test_cache_hit_identical;
+          Alcotest.test_case "key separates scenarios" `Quick test_cache_key_separates;
+          Alcotest.test_case "capacity 0" `Quick test_cache_capacity_zero;
+          Alcotest.test_case "parallel brute through cache" `Quick
+            test_cached_brute_parallel;
+        ] );
+    ]

@@ -122,11 +122,11 @@ let worker c w d =
     ~d:(qq (fst d) (snd d)) ()
 
 let platform_2 () =
-  Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (2, 1) (1, 2) ]
+  Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2); worker (1, 1) (2, 1) (1, 2) ]
 
 let test_star_single_worker_exact () =
   (* One worker, load 1: makespan = c + w + d. *)
-  let p = Dls.Platform.make [ worker (2, 1) (3, 1) (1, 1) ] in
+  let p = Dls.Platform.make_exn [ worker (2, 1) (3, 1) (1, 1) ] in
   let plan = { Star.sigma1 = [| 0 |]; sigma2 = [| 0 |]; loads = [| 1.0 |] } in
   let trace = Star.execute p plan in
   Alcotest.(check (float 1e-12)) "makespan" 6.0 trace.Trace.makespan;
@@ -136,7 +136,7 @@ let test_star_matches_lp_schedule () =
   (* Without noise the simulator must reproduce the LP makespan exactly
      (here: rho = 6/11 processed in unit time, so load 6 takes 11). *)
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   (* rho = 6/11: six load units need 11 time units, i.e. loads x11. *)
   let scale = 11.0 in
   let loads = Array.map (fun a -> Q.to_float a *. scale) sol.Dls.Lp_model.alpha in
@@ -147,7 +147,7 @@ let test_star_matches_lp_schedule () =
 let test_star_master_serializes () =
   (* Two instant-compute workers: returns must queue behind each other. *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (1, 100) (1, 1); worker (1, 1) (1, 100) (1, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (1, 100) (1, 1); worker (1, 1) (1, 100) (1, 1) ]
   in
   let plan = { Star.sigma1 = [| 0; 1 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] } in
   let trace = Star.execute p plan in
@@ -204,7 +204,7 @@ let prop_sim_matches_lp =
         return (specs, flip))
        (fun (specs, flip) ->
          let platform =
-           Dls.Platform.make
+           Dls.Platform.make_exn
              (List.map
                 (fun ((cn, cd), wn) ->
                   worker (cn, cd) (wn, 1) (cn, 2 * cd) (* z = 1/2 *))
@@ -236,7 +236,7 @@ let prop_sim_never_beats_lp =
         return (specs, total))
        (fun (specs, total) ->
          let platform =
-           Dls.Platform.make
+           Dls.Platform.make_exn
              (List.map (fun ((cn, cd), wn) -> worker (cn, cd) (wn, 1) (cn, 2 * cd)) specs)
          in
          let sol = Dls.Fifo.optimal platform in
@@ -253,7 +253,7 @@ let test_star_eager_returns_earlier () =
      Eager_returns they come back before worker 2's data goes out;
      under Sends_first they wait for all three sends. *)
   let p =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [
         worker (1, 1) (1, 100) (1, 1);
         worker (1, 1) (1, 100) (1, 1);
@@ -277,7 +277,7 @@ let test_star_eager_respects_sigma2 () =
   (* Even under Eager_returns, worker 1 cannot return before worker 0
      (sigma2 order), although it finishes computing first. *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (10, 1) (1, 1); worker (1, 1) (1, 100) (1, 1) ]
+    Dls.Platform.make_exn [ worker (1, 1) (10, 1) (1, 1); worker (1, 1) (1, 100) (1, 1) ]
   in
   let plan = { Star.sigma1 = [| 0; 1 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] } in
   let trace = Star.execute ~protocol:Star.Eager_returns p plan in
@@ -297,7 +297,7 @@ let prop_eager_protocol_valid =
           (pair (pair (int_range 1 10) (int_range 1 10)) (int_range 1 10)))
        (fun specs ->
          let platform =
-           Dls.Platform.make
+           Dls.Platform.make_exn
              (List.map (fun ((cn, cd), wn) -> worker (cn, cd) (wn, 1) (cn, 2 * cd)) specs)
          in
          let sol = Dls.Fifo.optimal platform in
@@ -318,7 +318,7 @@ let test_chunked_two_chunks_one_worker () =
   (* Worker (c=1, w=2, d=1/2); chunks of 1 and 2 units.
      sends: [0,1], [1,3]; compute: [1,3], [3,7];
      returns after sends: chunk1 at max(3, 3)=3..3.5, chunk2 at 7..8. *)
-  let p = Dls.Platform.make [ worker (1, 1) (2, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (2, 1) (1, 2) ] in
   let plan =
     {
       Star.chunk_sends = [ (0, 1.0); (0, 2.0) ];
@@ -338,7 +338,7 @@ let test_chunked_interleaves_compute () =
   (* Two workers, one chunk each: second worker's compute overlaps the
      first worker's, classic pipelining. *)
   let p =
-    Dls.Platform.make [ worker (1, 1) (3, 1) (1, 2); worker (1, 1) (3, 1) (1, 2) ]
+    Dls.Platform.make_exn [ worker (1, 1) (3, 1) (1, 2); worker (1, 1) (3, 1) (1, 2) ]
   in
   let plan =
     {
@@ -352,7 +352,7 @@ let test_chunked_interleaves_compute () =
   Alcotest.(check bool) "one-port ok" true (Trace.one_port_violations trace = [])
 
 let test_chunked_return_without_send () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2) ] in
   let plan = { Star.chunk_sends = []; chunk_returns = [ (0, 1.0) ] } in
   try
     ignore (Star.execute_chunked p plan);
@@ -360,7 +360,7 @@ let test_chunked_return_without_send () =
   with Invalid_argument _ -> ()
 
 let test_chunked_noise_applies () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2) ] in
   let plan = { Star.chunk_sends = [ (0, 1.0) ]; chunk_returns = [ (0, 1.0) ] } in
   let noise =
     { Star.comm = (fun ~worker:_ x -> 2.0 *. x); comp = (fun ~worker:_ x -> x) }
@@ -371,7 +371,7 @@ let test_chunked_noise_applies () =
   Alcotest.(check (float 1e-9)) "slowed comm" 4.0 slow.Trace.makespan
 
 let test_plan_of_multiround_rejects_latency () =
-  let p = Dls.Platform.make [ worker (1, 1) (1, 1) (1, 2) ] in
+  let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (1, 2) ] in
   match
     Dls.Multiround.solve p
       (Dls.Multiround.config ~send_latency:(qq 1 100) ~rounds:2 [| 0 |])
@@ -413,7 +413,7 @@ let test_trace_detects_precedence () =
 
 let test_trace_of_schedule () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let trace = Trace.of_schedule (Dls.Schedule.of_solved sol) in
   Alcotest.(check bool) "valid" true (Trace.is_valid trace);
   Alcotest.(check (float 1e-9)) "horizon 1" 1.0 trace.Trace.makespan
@@ -424,7 +424,7 @@ let test_trace_of_schedule () =
 
 let test_trace_io_roundtrip () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let trace = Star.execute p (Star.plan_of_solved sol) in
   match Trace_io.of_string (Trace_io.to_string trace) with
   | Error e -> Alcotest.fail e
@@ -467,7 +467,7 @@ let test_trace_io_empty () =
 
 let test_gantt_renders () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let art = Gantt.render_schedule (Dls.Schedule.of_solved sol) in
   Alcotest.(check bool) "has master lane" true
     (String.length art > 0
@@ -495,7 +495,7 @@ let count_substring hay needle =
 
 let test_gantt_svg_structure () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve (Dls.Scenario.fifo p [| 0; 1 |]) in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let svg = Gantt.render_schedule_svg sched in
   Alcotest.(check bool) "opens svg" true

@@ -10,7 +10,7 @@ let () =
      unit to P1 takes 1 time unit, computing it takes 1, returning the
      (half-sized, z = 1/2) result takes 1/2. *)
   let platform =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [
         Dls.Platform.worker ~name:"P1" ~c:Q.one ~w:Q.one ~d:Q.half ();
         Dls.Platform.worker ~name:"P2" ~c:(Q.of_int 2) ~w:Q.one ~d:Q.one ();

@@ -16,7 +16,7 @@ let () =
      the horizon).  The LP discovers that enrolling P2 at all lowers
      total throughput. *)
   let platform =
-    Dls.Platform.make
+    Dls.Platform.make_exn
       [
         Dls.Platform.worker ~name:"P1" ~c:Q.one ~w:Q.one ~d:Q.half ();
         Dls.Platform.worker ~name:"P2" ~c:(Q.of_int 100) ~w:Q.one ~d:(Q.of_int 50) ();

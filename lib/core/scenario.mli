@@ -6,7 +6,11 @@
     workers), a permutation [sigma2] (order of the result messages,
     workers to master), plus the per-worker loads and idle times that the
     linear program determines.  A scenario fixes the combinatorial part:
-    the enrolled set and the two orders. *)
+    the enrolled set and the two orders.
+
+    Constructors validate their input and return a [result] carrying
+    {!Errors.t}; the [_exn] variants raise {!Errors.Error} instead for
+    callers that know their orders are well-formed. *)
 
 type t = private {
   platform : Platform.t;
@@ -15,18 +19,25 @@ type t = private {
 }
 
 (** [make platform ~sigma1 ~sigma2] validates that the two orders range
-    over the same duplicate-free set of valid worker indices.
-    @raise Invalid_argument otherwise. *)
-val make : Platform.t -> sigma1:int array -> sigma2:int array -> t
+    over the same duplicate-free non-empty set of valid worker
+    indices. *)
+val make : Platform.t -> sigma1:int array -> sigma2:int array -> (t, Errors.t) result
 
 (** [fifo platform order] is the FIFO scenario [sigma2 = sigma1 = order]. *)
-val fifo : Platform.t -> int array -> t
+val fifo : Platform.t -> int array -> (t, Errors.t) result
 
 (** [lifo platform order] is the LIFO scenario [sigma2 = reverse order]. *)
-val lifo : Platform.t -> int array -> t
+val lifo : Platform.t -> int array -> (t, Errors.t) result
+
+(** [make_exn], [fifo_exn], [lifo_exn]: as above.
+    @raise Errors.Error on invalid orders. *)
+val make_exn : Platform.t -> sigma1:int array -> sigma2:int array -> t
+
+val fifo_exn : Platform.t -> int array -> t
+val lifo_exn : Platform.t -> int array -> t
 
 (** [all_workers_fifo platform] enrolls every worker in index order,
-    FIFO. *)
+    FIFO.  Total: every platform has at least one worker. *)
 val all_workers_fifo : Platform.t -> t
 
 val num_enrolled : t -> int

@@ -15,7 +15,7 @@ val one_port_cost : ?quick:bool -> ?seed:int -> unit -> Report.t
 
 (** [permutation_gap ()] measures FIFO and LIFO against the brute-force
     best [(sigma1, sigma2)] pair on small random platforms. *)
-val permutation_gap : ?quick:bool -> ?seed:int -> unit -> Report.t
+val permutation_gap : ?quick:bool -> ?seed:int -> ?jobs:int -> unit -> Report.t
 
 (** [ordering ()] compares FIFO orderings (INC_C, INC_W, DEC_C, platform
     order) on random heterogeneous platforms. *)
