@@ -11,6 +11,7 @@
      tree        divisible loads on tree networks (no-return baseline)
      affine      optimal FIFO with per-message start-up latencies
      sensitivity exact throughput sensitivity to each parameter
+     check       exact validation: schedules, traces, differential fuzzing
      lp-dump     print a scheduling LP in LP-file format
      experiment  regenerate one of the paper's figures
      platform    generate a random matrix-product platform            *)
@@ -127,13 +128,27 @@ let solve_cmd =
       & info [ "explain" ]
           ~doc:"Also report which LP constraints bind (deadlines vs port).")
   in
-  let run platform discipline model load explain =
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-schedule" ] ~docv:"FILE"
+          ~doc:
+            "Write the schedule to $(docv) in the exact text format of \
+             $(b,dls check --schedule).")
+  in
+  let run platform discipline model load explain dump =
     let sol =
       match discipline with
       | `Fifo -> Dls.Fifo.optimal ~model platform
       | `Lifo -> Dls.Lifo.optimal ~model platform
     in
     print_solution ?load sol;
+    (match dump with
+    | None -> ()
+    | Some file ->
+      Dls.Schedule_io.write file (Dls.Schedule.of_solved sol);
+      Format.printf "schedule written to %s@." file);
     if explain then begin
       Format.printf "constraints:@.";
       List.iter
@@ -151,7 +166,7 @@ let solve_cmd =
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ platform_arg $ discipline_arg $ model_arg $ load_arg
-      $ explain_arg)
+      $ explain_arg $ dump_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bus                                                                 *)
@@ -652,6 +667,189 @@ let sensitivity_cmd =
     Term.(const run $ platform_arg $ model_arg $ factor_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let schedule_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "schedule" ] ~docv:"FILE"
+          ~doc:
+            "Validate the dumped schedule in $(docv) (exact rational \
+             arithmetic, every paper invariant).")
+  in
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Validate the CSV execution trace in $(docv).")
+  in
+  let eps_arg =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "eps" ]
+          ~doc:
+            "Overlap tolerance for $(b,--trace) input (floats).  The \
+             default 0 is exact: touching intervals do not overlap.  Use \
+             a positive tolerance only for noisy measured traces.")
+  in
+  let fuzz_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz" ] ~docv:"N"
+          ~doc:
+            "Differentially fuzz $(docv) random platforms per regime: all \
+             solver paths must agree and every schedule must validate.")
+  in
+  let regime_arg =
+    let regime =
+      Arg.conv
+        ( (fun s ->
+            match Check.Fuzz.regime_of_string s with
+            | Some r -> Ok r
+            | None -> Error (`Msg (Printf.sprintf "unknown regime %S" s))),
+          fun fmt r -> Format.pp_print_string fmt (Check.Fuzz.regime_to_string r) )
+    in
+    Arg.(
+      value
+      & opt (some regime) None
+      & info [ "regime" ] ~docv:"Z"
+          ~doc:
+            "Restrict $(b,--fuzz) to one return-ratio regime: $(b,z<1), \
+             $(b,z=1) or $(b,z>1) (default: all three).")
+  in
+  let platform_opt_arg =
+    let doc =
+      "Self-check a platform: solve FIFO and LIFO, validate both schedules \
+       and re-check the LP certificates."
+    in
+    Arg.(value & opt (some platform_conv) None & info [ "p"; "platform" ] ~doc)
+  in
+  let report label = function
+    | Ok () ->
+      Format.printf "%s: OK@." label;
+      true
+    | Error msgs ->
+      Format.printf "%s: %d violation(s)@." label (List.length msgs);
+      List.iter (Format.printf "  %s@.") msgs;
+      false
+  in
+  let check_schedule path =
+    match Dls.Schedule_io.read path with
+    | Error msg ->
+      Format.printf "%s: unreadable schedule: %s@." path msg;
+      false
+    | Ok sched ->
+      report path
+        (Check.Validator.errors_of_result sched.Dls.Schedule.platform
+           (Check.Validator.validate sched))
+  in
+  let check_trace eps path =
+    match Sim.Trace_io.read path with
+    | Error msg ->
+      Format.printf "%s: unreadable trace: %s@." path msg;
+      false
+    | Ok trace ->
+      let overlaps = Sim.Trace.one_port_violations ~eps trace in
+      let precedence = Sim.Trace.precedence_violations ~eps trace in
+      let msgs =
+        List.map
+          (fun ((a : Sim.Trace.event), (b : Sim.Trace.event)) ->
+            Printf.sprintf "one-port violation: %s(worker %d) overlaps %s(worker %d)"
+              (Sim.Trace.kind_to_string a.Sim.Trace.kind)
+              a.Sim.Trace.worker
+              (Sim.Trace.kind_to_string b.Sim.Trace.kind)
+              b.Sim.Trace.worker)
+          overlaps
+        @ precedence
+      in
+      report path (if msgs = [] then Ok () else Error msgs)
+  in
+  let check_fuzz jobs count regime =
+    let regimes =
+      match regime with Some r -> [ r ] | None -> Check.Fuzz.all_regimes
+    in
+    List.for_all
+      (fun r ->
+        let failures = Check.Fuzz.run_matrix ~jobs ~count r in
+        let label =
+          Printf.sprintf "fuzz %s (%d platforms)" (Check.Fuzz.regime_to_string r)
+            count
+        in
+        report label
+          (match failures with
+          | [] -> Ok ()
+          | fs ->
+            Error
+              (List.concat_map
+                 (fun f ->
+                   Printf.sprintf "platform %d:" f.Check.Fuzz.index
+                   :: List.map (fun m -> "  " ^ m) f.Check.Fuzz.messages
+                   @ [ "  spec:" ]
+                   @ List.map
+                       (fun l -> "    " ^ l)
+                       (String.split_on_char '\n'
+                          (String.trim f.Check.Fuzz.platform)))
+                 fs)))
+      regimes
+  in
+  let check_platform platform =
+    List.for_all
+      (fun (label, sol) ->
+        let schedule_ok =
+          report (label ^ " schedule")
+            (Check.Validator.errors_of_result platform
+               (Check.Validator.validate_solved sol))
+        in
+        let certificate_ok =
+          report (label ^ " LP certificate") (Check.Certificate.check sol)
+        in
+        schedule_ok && certificate_ok)
+      [ ("fifo", Dls.Fifo.optimal platform); ("lifo", Dls.Lifo.optimal platform) ]
+  in
+  let run schedule trace eps fuzz regime platform jobs =
+    let checks =
+      List.concat
+        [
+          (match schedule with
+          | Some path -> [ (fun () -> check_schedule path) ]
+          | None -> []);
+          (match trace with
+          | Some path -> [ (fun () -> check_trace eps path) ]
+          | None -> []);
+          (match fuzz with
+          | Some count -> [ (fun () -> check_fuzz jobs count regime) ]
+          | None -> []);
+          (match platform with
+          | Some p -> [ (fun () -> check_platform p) ]
+          | None -> []);
+        ]
+    in
+    if checks = [] then begin
+      prerr_endline
+        "nothing to check: give --schedule, --trace, --fuzz and/or --platform";
+      exit 2
+    end;
+    (* Run every requested check before deciding the exit code. *)
+    let ok = List.fold_left (fun acc f -> f () && acc) true checks in
+    if not ok then exit 1
+  in
+  let doc =
+    "validate schedules exactly: dumped schedules and traces, solver \
+     self-checks, differential fuzzing of all solver paths"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run $ schedule_arg $ trace_arg $ eps_arg $ fuzz_arg $ regime_arg
+      $ platform_opt_arg $ jobs_arg)
+
+(* ------------------------------------------------------------------ *)
 (* lp-dump                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -708,6 +906,7 @@ let () =
             tree_cmd;
             affine_cmd;
             sensitivity_cmd;
+            check_cmd;
             lp_dump_cmd;
             experiment_cmd;
             platform_cmd;

@@ -1,0 +1,69 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+let check (sol : Dls.Lp_model.solved) =
+  let s = sol.Dls.Lp_model.scenario in
+  let platform = s.Dls.Scenario.platform in
+  let sigma1 = s.Dls.Scenario.sigma1 and sigma2 = s.Dls.Scenario.sigma2 in
+  let n = Dls.Platform.size platform in
+  let wk i = Dls.Platform.get platform i in
+  let name i = (wk i).Dls.Platform.name in
+  let alpha i = sol.Dls.Lp_model.alpha.(i) in
+  let idle i = sol.Dls.Lp_model.idle.(i) in
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (* Positions straight off the permutation arrays — no Scenario helper,
+     no Lp_model code. *)
+  let pos order =
+    let t = Array.make n (-1) in
+    Array.iteri (fun k i -> t.(i) <- k) order;
+    t
+  in
+  let send_pos = pos sigma1 and return_pos = pos sigma2 in
+  let enrolled i = send_pos.(i) >= 0 in
+  for i = 0 to n - 1 do
+    if enrolled i then begin
+      if Q.sign (alpha i) < 0 then add "alpha(%s) is negative" (name i);
+      if Q.sign (idle i) < 0 then add "idle(%s) is negative" (name i)
+    end
+    else begin
+      if not (Q.is_zero (alpha i)) then
+        add "%s is not enrolled but carries load %s" (name i) (Q.to_string (alpha i));
+      if not (Q.is_zero (idle i)) then
+        add "%s is not enrolled but has idle time %s" (name i) (Q.to_string (idle i))
+    end
+  done;
+  let total = Q.sum_array sol.Dls.Lp_model.alpha in
+  if total <>/ sol.Dls.Lp_model.rho then
+    add "rho = %s but the loads sum to %s"
+      (Q.to_string sol.Dls.Lp_model.rho)
+      (Q.to_string total);
+  (* Deadline row of LP (2) for each enrolled worker. *)
+  Array.iter
+    (fun i ->
+      let lhs = ref (idle i) in
+      Array.iter
+        (fun j ->
+          if send_pos.(j) <= send_pos.(i) then
+            lhs := !lhs +/ (alpha j */ (wk j).Dls.Platform.c);
+          if return_pos.(j) >= return_pos.(i) then
+            lhs := !lhs +/ (alpha j */ (wk j).Dls.Platform.d))
+        sigma1;
+      lhs := !lhs +/ (alpha i */ (wk i).Dls.Platform.w);
+      if !lhs >/ Q.one then
+        add "deadline(%s) violated: chain %s > 1" (name i) (Q.to_string !lhs))
+    sigma1;
+  (match sol.Dls.Lp_model.model with
+  | Dls.Lp_model.Two_port -> ()
+  | Dls.Lp_model.One_port ->
+    let used =
+      Q.sum_array
+        (Array.map
+           (fun i -> alpha i */ ((wk i).Dls.Platform.c +/ (wk i).Dls.Platform.d))
+           sigma1)
+    in
+    if used >/ Q.one then
+      add "one-port capacity violated: %s > 1" (Q.to_string used));
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let holds sol = check sol = Ok ()

@@ -1,0 +1,177 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type regime = Small_z | Unit_z | Big_z
+
+let all_regimes = [ Small_z; Unit_z; Big_z ]
+
+let regime_to_string = function
+  | Small_z -> "z<1"
+  | Unit_z -> "z=1"
+  | Big_z -> "z>1"
+
+let regime_of_string = function
+  | "z<1" -> Some Small_z
+  | "z=1" -> Some Unit_z
+  | "z>1" -> Some Big_z
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Platform generation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let gen_rational rng =
+  (* num/den in [1/4, 8]: small numerators keep the exact LPs cheap. *)
+  Q.of_ints (1 + Random.State.int rng 8) (1 + Random.State.int rng 4)
+
+let gen_z rng = function
+  | Unit_z -> Q.one
+  | Small_z ->
+    let den = 2 + Random.State.int rng 8 in
+    Q.of_ints (1 + Random.State.int rng (den - 1)) den
+  | Big_z ->
+    let num = 2 + Random.State.int rng 8 in
+    Q.of_ints num (1 + Random.State.int rng (num - 1))
+
+let gen_platform rng regime =
+  let n = 2 + Random.State.int rng 3 in
+  let z = gen_z rng regime in
+  let bus = Random.State.int rng 4 = 0 in
+  let bus_c = gen_rational rng in
+  Dls.Platform.with_return_ratio ~z
+    (List.init n (fun _ ->
+         let c = if bus then bus_c else gen_rational rng in
+         (c, gen_rational rng)))
+
+(* ------------------------------------------------------------------ *)
+(* The differential matrix                                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_platform platform =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let expect_valid label sol =
+    (match Validator.validate_solved sol with
+    | Ok () -> ()
+    | Error vs ->
+      List.iter
+        (fun v -> add "%s: %s" label (Validator.violation_to_string platform v))
+        vs);
+    match Certificate.check sol with
+    | Ok () -> ()
+    | Error msgs -> List.iter (fun m -> add "%s: certificate: %s" label m) msgs
+  in
+  let rho (sol : Dls.Lp_model.solved) = sol.Dls.Lp_model.rho in
+  let fifo = Dls.Fifo.optimal platform in
+  let lifo = Dls.Lifo.optimal platform in
+  expect_valid "fifo" fifo;
+  expect_valid "lifo" lifo;
+  (* Two-port relaxes the port constraint: it can only do better. *)
+  let two_port = Dls.Fifo.optimal ~model:Dls.Lp_model.Two_port platform in
+  if rho two_port </ rho fifo then
+    add "two-port optimum %s below one-port optimum %s"
+      (Q.to_string (rho two_port)) (Q.to_string (rho fifo));
+  (* Heuristic FIFO orders never beat the Theorem 1 order. *)
+  List.iter
+    (fun h ->
+      let sol = Dls.Heuristics.solve h platform in
+      expect_valid (Dls.Heuristics.name h) sol;
+      match h with
+      | Dls.Heuristics.Inc_c | Dls.Heuristics.Inc_w ->
+        if rho sol >/ rho fifo then
+          add "heuristic %s throughput %s beats the FIFO optimum %s"
+            (Dls.Heuristics.name h) (Q.to_string (rho sol)) (Q.to_string (rho fifo))
+      | Dls.Heuristics.Lifo ->
+        if rho sol <>/ rho lifo then
+          add "LIFO heuristic %s disagrees with Lifo.optimal %s"
+            (Q.to_string (rho sol)) (Q.to_string (rho lifo)))
+    Dls.Heuristics.all;
+  (* Exhaustive search over orders: Theorem 1's sorted order must win. *)
+  let brute_fifo = Dls.Brute.best_fifo platform in
+  if rho brute_fifo <>/ rho fifo then
+    add "brute-force FIFO %s differs from Theorem 1 optimum %s"
+      (Q.to_string (rho brute_fifo)) (Q.to_string (rho fifo));
+  let brute_lifo = Dls.Brute.best_lifo platform in
+  if rho brute_lifo <>/ rho lifo then
+    add "brute-force LIFO %s differs from sorted LIFO %s"
+      (Q.to_string (rho brute_lifo)) (Q.to_string (rho lifo));
+  (* Branch-and-bound agrees with brute force. *)
+  let search = Dls.Search.best_fifo platform in
+  if rho search.Dls.Search.solved <>/ rho brute_fifo then
+    add "branch-and-bound FIFO %s differs from brute force %s"
+      (Q.to_string (rho search.Dls.Search.solved))
+      (Q.to_string (rho brute_fifo));
+  (* Regime-specific relations. *)
+  (match Dls.Platform.z_ratio platform with
+  | None -> add "generator emitted a platform without a uniform return ratio"
+  | Some z ->
+    if Q.compare z Q.one > 0 then begin
+      (* Mirror consistency (the paper's z > 1 argument). *)
+      match Dls.Fifo.optimal_via_mirror platform with
+      | Error e -> add "mirror construction failed: %s" (Dls.Errors.to_string e)
+      | Ok m ->
+        if rho m.Dls.Fifo.solved <>/ rho fifo then
+          add "mirror throughput %s differs from direct solve %s"
+            (Q.to_string (rho m.Dls.Fifo.solved)) (Q.to_string (rho fifo));
+        (match Validator.validate m.Dls.Fifo.schedule with
+        | Ok () -> ()
+        | Error vs ->
+          List.iter
+            (fun v ->
+              add "mirrored schedule: %s" (Validator.violation_to_string platform v))
+            vs);
+        let total = Dls.Schedule.total_load m.Dls.Fifo.schedule in
+        if total <>/ rho fifo then
+          add "mirrored schedule carries %s load, expected %s" (Q.to_string total)
+            (Q.to_string (rho fifo))
+    end
+    else if Q.equal z Q.one then begin
+      (* z = 1: the sending order is irrelevant. *)
+      let identity = Array.init (Dls.Platform.size platform) (fun i -> i) in
+      let sol = Dls.Fifo.solve_order platform identity in
+      if rho sol <>/ rho fifo then
+        add "z = 1 but enrollment order gives %s, sorted order %s"
+          (Q.to_string (rho sol)) (Q.to_string (rho fifo))
+    end);
+  (* Bus platforms: Theorem 2 and the companion two-port closed form. *)
+  if Dls.Platform.is_bus platform then begin
+    let wk i = Dls.Platform.get platform i in
+    let c = (wk 0).Dls.Platform.c and d = (wk 0).Dls.Platform.d in
+    let ws =
+      Array.init (Dls.Platform.size platform) (fun i -> (wk i).Dls.Platform.w)
+    in
+    let closed = Dls.Closed_form.fifo_throughput ~c ~d ws in
+    if closed <>/ rho fifo then
+      add "Theorem 2 closed form %s differs from the LP optimum %s"
+        (Q.to_string closed) (Q.to_string (rho fifo));
+    let closed2 = Dls.Closed_form.two_port_throughput ~c ~d ws in
+    if closed2 <>/ rho two_port then
+      add "two-port closed form %s differs from the two-port LP %s"
+        (Q.to_string closed2) (Q.to_string (rho two_port))
+  end;
+  List.rev !errs
+
+(* ------------------------------------------------------------------ *)
+(* The matrix driver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type failure = { index : int; platform : string; messages : string list }
+
+let regime_tag = function Small_z -> 1 | Unit_z -> 2 | Big_z -> 3
+
+let run_matrix ?jobs ?(count = 200) ?(seed = 7) regime =
+  (* One PRNG per platform, seeded by (seed, regime, index): the matrix
+     is reproducible and independent of [jobs]. *)
+  let platform_of_index i =
+    let rng = Random.State.make [| seed; regime_tag regime; i |] in
+    gen_platform rng regime
+  in
+  let check i =
+    let platform = platform_of_index i in
+    match check_platform platform with
+    | [] -> None
+    | messages ->
+      Some { index = i; platform = Dls.Platform_io.to_string platform; messages }
+  in
+  let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
+  List.filter_map Fun.id (Array.to_list results)

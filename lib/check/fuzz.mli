@@ -1,0 +1,60 @@
+(** Differential fuzzing of the solver stack.
+
+    Five independent paths compute (pieces of) the same mathematical
+    objects: {!Dls.Fifo} / {!Dls.Lifo} (Theorem 1 + sort), {!Dls.Brute}
+    (exhaustive permutation search), {!Dls.Search} (branch-and-bound),
+    and {!Dls.Closed_form} (Theorem 2 on bus platforms).  This module
+    generates random platforms — deterministically, from an explicit
+    seed — across the three return-ratio regimes and asserts every
+    consistency relation the theory guarantees:
+
+    - every emitted schedule passes the exact {!Validator}, and every LP
+      solution passes the independent {!Certificate};
+    - the heuristic FIFO orders (INC_C, INC_W) never beat the Theorem 1
+      optimum, and exhaustive search never finds a better FIFO or LIFO
+      order than the sorted one (uniform [z] — Theorem 1's hypothesis);
+    - branch-and-bound agrees with brute force;
+    - the two-port relaxation dominates the one-port optimum;
+    - [z > 1]: the explicit mirror construction reproduces the direct
+      solution and its flipped schedule validates on the original
+      platform ({!Dls.Fifo.optimal_via_mirror});
+    - [z = 1]: the sending order is irrelevant (enrollment order gives
+      the same throughput as the sorted order);
+    - bus platforms: Theorem 2's closed form equals the LP optimum, and
+      the companion two-port closed form equals the two-port LP.
+
+    All generated platforms keep the worker count small enough for brute
+    force ([p!] LPs), so every relation is checked exhaustively. *)
+
+module Q = Numeric.Rational
+
+type regime = Small_z  (** [z < 1] *) | Unit_z  (** [z = 1] *) | Big_z  (** [z > 1] *)
+
+val all_regimes : regime list
+val regime_to_string : regime -> string
+
+(** [regime_of_string s] parses ["z<1"], ["z=1"], ["z>1"]. *)
+val regime_of_string : string -> regime option
+
+(** [gen_platform rng regime] draws a random platform with a uniform
+    return ratio in the regime: 2-4 workers, [c] and [w] rational in
+    [[1/4, 8]]; every fourth draw is a bus (uniform links), so the
+    closed-form path is exercised too. *)
+val gen_platform : Random.State.t -> regime -> Dls.Platform.t
+
+(** [check_platform platform] runs every consistency relation above;
+    returns the list of discrepancies (empty = all solver paths agree
+    and every schedule validates exactly). *)
+val check_platform : Dls.Platform.t -> string list
+
+(** One fuzzed platform that failed: its index in the run, the platform
+    (serialized, for reproduction), and the discrepancies. *)
+type failure = { index : int; platform : string; messages : string list }
+
+(** [run_matrix ?jobs ?count ?seed regime] fuzzes [count] (default 200)
+    random platforms of the regime, fanning the checks out over a
+    {!Parallel.Pool} of [jobs] domains (default: core count).  The
+    platform drawn for index [i] depends only on [(seed, regime, i)], so
+    results are independent of [jobs] and reproducible.  Returns the
+    failures, in index order (empty = the matrix passes). *)
+val run_matrix : ?jobs:int -> ?count:int -> ?seed:int -> regime -> failure list

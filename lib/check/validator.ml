@@ -1,0 +1,151 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type violation =
+  | Nonpositive_load of { worker : int }
+  | Duplicate_worker of { worker : int }
+  | Bad_phase of { worker : int; phase : string }
+  | Duration_mismatch of {
+      worker : int;
+      phase : string;
+      expected : Q.t;
+      actual : Q.t;
+    }
+  | Compute_before_receive of { worker : int }
+  | Return_before_compute of { worker : int }
+  | Outside_horizon of { worker : int; finish : Q.t; horizon : Q.t }
+  | One_port_overlap of {
+      worker1 : int;
+      phase1 : string;
+      worker2 : int;
+      phase2 : string;
+    }
+  | Load_sum_mismatch of { claimed : Q.t; actual : Q.t }
+
+let violation_to_string platform v =
+  let name i = (Dls.Platform.get platform i).Dls.Platform.name in
+  match v with
+  | Nonpositive_load { worker } -> Printf.sprintf "%s: non-positive load" (name worker)
+  | Duplicate_worker { worker } ->
+    Printf.sprintf "%s: appears in several entries" (name worker)
+  | Bad_phase { worker; phase } ->
+    Printf.sprintf "%s: %s phase is ill-formed (negative start or length)"
+      (name worker) phase
+  | Duration_mismatch { worker; phase; expected; actual } ->
+    Printf.sprintf "%s: %s duration is %s, expected %s" (name worker) phase
+      (Q.to_string actual) (Q.to_string expected)
+  | Compute_before_receive { worker } ->
+    Printf.sprintf "%s: computes before data fully received" (name worker)
+  | Return_before_compute { worker } ->
+    Printf.sprintf "%s: returns results before computation ends" (name worker)
+  | Outside_horizon { worker; finish; horizon } ->
+    Printf.sprintf "%s: finishes at %s, after the horizon %s" (name worker)
+      (Q.to_string finish) (Q.to_string horizon)
+  | One_port_overlap { worker1; phase1; worker2; phase2 } ->
+    Printf.sprintf "one-port violation: %s(%s) overlaps %s(%s)" phase1
+      (name worker1) phase2 (name worker2)
+  | Load_sum_mismatch { claimed; actual } ->
+    Printf.sprintf "claimed throughput %s but validated loads sum to %s"
+      (Q.to_string claimed) (Q.to_string actual)
+
+let pp_violation platform fmt v =
+  Format.pp_print_string fmt (violation_to_string platform v)
+
+(* A master transfer, for the one-port sweep. *)
+type transfer = { t_worker : int; t_phase : string; t_start : Q.t; t_finish : Q.t }
+
+let validate (sched : Dls.Schedule.t) =
+  let open Dls.Schedule in
+  let errs = ref [] in
+  let add v = errs := v :: !errs in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun e ->
+      let wk = Dls.Platform.get sched.platform e.worker in
+      if Hashtbl.mem seen e.worker then add (Duplicate_worker { worker = e.worker })
+      else Hashtbl.add seen e.worker ();
+      if Q.sign e.alpha <= 0 then add (Nonpositive_load { worker = e.worker });
+      let phase name p cost =
+        if Q.sign p.start < 0 || p.finish </ p.start then
+          add (Bad_phase { worker = e.worker; phase = name })
+        else begin
+          let actual = p.finish -/ p.start and expected = e.alpha */ cost in
+          if actual <>/ expected then
+            add (Duration_mismatch { worker = e.worker; phase = name; expected; actual })
+        end
+      in
+      phase "send" e.send wk.Dls.Platform.c;
+      phase "compute" e.compute wk.Dls.Platform.w;
+      phase "return" e.return_ wk.Dls.Platform.d;
+      if e.send.finish >/ e.compute.start then
+        add (Compute_before_receive { worker = e.worker });
+      if e.compute.finish >/ e.return_.start then
+        add (Return_before_compute { worker = e.worker });
+      List.iter
+        (fun p ->
+          if p.finish >/ sched.horizon then
+            add
+              (Outside_horizon
+                 { worker = e.worker; finish = p.finish; horizon = sched.horizon }))
+        [ e.send; e.compute; e.return_ ])
+    sched.entries;
+  (* One-port: sort the master's transfers by start date and sweep with
+     the furthest finish seen so far.  Touching intervals (finish of one
+     equal to start of the next) are explicitly NOT overlapping; only a
+     strict crossing is reported. *)
+  let transfers =
+    List.concat_map
+      (fun e ->
+        [
+          { t_worker = e.worker; t_phase = "send"; t_start = e.send.start; t_finish = e.send.finish };
+          {
+            t_worker = e.worker;
+            t_phase = "return";
+            t_start = e.return_.start;
+            t_finish = e.return_.finish;
+          };
+        ])
+      (Array.to_list sched.entries)
+  in
+  let transfers =
+    List.sort
+      (fun a b ->
+        let c = Q.compare a.t_start b.t_start in
+        if c <> 0 then c else Q.compare a.t_finish b.t_finish)
+      transfers
+  in
+  (match transfers with
+  | [] -> ()
+  | first :: rest ->
+    ignore
+      (List.fold_left
+         (fun frontier t ->
+           if t.t_start </ frontier.t_finish then
+             add
+               (One_port_overlap
+                  {
+                    worker1 = frontier.t_worker;
+                    phase1 = frontier.t_phase;
+                    worker2 = t.t_worker;
+                    phase2 = t.t_phase;
+                  });
+           if t.t_finish >/ frontier.t_finish then t else frontier)
+         first rest));
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let validate_solved (sol : Dls.Lp_model.solved) =
+  let sched = Dls.Schedule.of_solved sol in
+  let base = match validate sched with Ok () -> [] | Error vs -> vs in
+  (* The schedule omits zero-load workers, so the sum of its entries must
+     reproduce the claimed throughput on its own. *)
+  let total = Dls.Schedule.total_load sched in
+  let errs =
+    if total <>/ sol.Dls.Lp_model.rho then
+      base @ [ Load_sum_mismatch { claimed = sol.Dls.Lp_model.rho; actual = total } ]
+    else base
+  in
+  if errs = [] then Ok () else Error errs
+
+let errors_of_result platform = function
+  | Ok () -> Ok ()
+  | Error vs -> Error (List.map (violation_to_string platform) vs)

@@ -1,0 +1,70 @@
+(** Exact schedule validation — every paper invariant, no epsilons.
+
+    The solver stack is exact-rational end to end, so its output can be
+    held to exact standards: this module re-derives every invariant of a
+    {!Dls.Schedule.t} from scratch, with {!Numeric.Rational} comparisons
+    only.  It shares no code with the schedule builder or the simplex
+    solver, so it can serve as an independent oracle for differential
+    testing ({!Fuzz}) and as the regression gate for every future
+    performance PR.
+
+    Invariants checked, mirroring Section 2 of the paper:
+
+    - every load is strictly positive (zero-load workers must be omitted);
+    - each phase lasts exactly [alpha * c], [alpha * w], [alpha * d];
+    - phases are well-formed ([start <= finish], nothing before time 0);
+    - precedence per worker: the computation starts no earlier than the
+      send completes, the return starts no earlier than the computation
+      completes (results are returned only after the {e whole}
+      computation, as the paper requires);
+    - one-port: no two master transfers (sends and returns together)
+      overlap.  Boundary semantics are exact and explicit: {e touching}
+      intervals — one finishing exactly when the next starts — do NOT
+      overlap;
+    - every activity fits in [[0, horizon]] (with [of_solved] schedules,
+      [horizon = T = 1], the paper's deadline);
+    - no worker appears twice. *)
+
+module Q = Numeric.Rational
+
+type violation =
+  | Nonpositive_load of { worker : int }
+  | Duplicate_worker of { worker : int }
+  | Bad_phase of { worker : int; phase : string }
+      (** [finish < start] or [start < 0] *)
+  | Duration_mismatch of {
+      worker : int;
+      phase : string;
+      expected : Q.t;
+      actual : Q.t;
+    }  (** phase length differs from [alpha * {c,w,d}] *)
+  | Compute_before_receive of { worker : int }
+  | Return_before_compute of { worker : int }
+  | Outside_horizon of { worker : int; finish : Q.t; horizon : Q.t }
+  | One_port_overlap of {
+      worker1 : int;
+      phase1 : string;
+      worker2 : int;
+      phase2 : string;
+    }  (** two master transfers strictly overlap *)
+  | Load_sum_mismatch of { claimed : Q.t; actual : Q.t }
+      (** the claimed throughput is not the sum of the validated loads *)
+
+val violation_to_string : Dls.Platform.t -> violation -> string
+val pp_violation : Dls.Platform.t -> Format.formatter -> violation -> unit
+
+(** [validate sched] checks every invariant above against
+    [sched.horizon].  Returns all violations, in a deterministic
+    order. *)
+val validate : Dls.Schedule.t -> (unit, violation list) result
+
+(** [validate_solved sol] realizes the LP solution as a schedule
+    ({!Dls.Schedule.of_solved}), validates it against the paper's
+    deadline [T = 1], and additionally checks that the claimed [rho]
+    equals the sum of the validated [alpha]s. *)
+val validate_solved : Dls.Lp_model.solved -> (unit, violation list) result
+
+(** [errors_of_result platform r] renders a validation result as
+    strings, for reporting. *)
+val errors_of_result :
+  Dls.Platform.t -> (unit, violation list) result -> (unit, string list) result

@@ -8,9 +8,13 @@
     the order optimality (by brute force on small platforms) and the
     equality with the two-port LIFO optimum. *)
 
-(** [order platform] is non-decreasing [c] for [z <= 1], non-increasing
-    for [z > 1] (mirror argument — the mirror of a LIFO schedule is
-    again LIFO). *)
+(** [order platform] is non-decreasing [c], for {e every} return ratio:
+    the mirror of a LIFO schedule is the LIFO schedule with the {e same}
+    sending order on the swapped [(d, w, c)] platform, so — unlike
+    {!Fifo.order} — the [z > 1] mirror argument does not reverse the
+    order.  (An earlier revision flipped it; the differential fuzzer
+    showed the flipped order strictly suboptimal on [z > 1]
+    platforms.) *)
 val order : Platform.t -> int array
 
 (** [optimal ?model platform] is the optimal LIFO schedule

@@ -1,0 +1,117 @@
+module Q = Numeric.Rational
+
+let to_string (sched : Schedule.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# dls schedule v1\n";
+  Buffer.add_string buf (Printf.sprintf "horizon %s\n" (Q.to_string sched.Schedule.horizon));
+  for i = 0 to Platform.size sched.Schedule.platform - 1 do
+    let wk = Platform.get sched.Schedule.platform i in
+    Buffer.add_string buf
+      (Printf.sprintf "worker %s %s %s %s\n" wk.Platform.name
+         (Q.to_string wk.Platform.c) (Q.to_string wk.Platform.w)
+         (Q.to_string wk.Platform.d))
+  done;
+  Array.iter
+    (fun e ->
+      let ph p = Printf.sprintf "%s %s" (Q.to_string p.Schedule.start) (Q.to_string p.Schedule.finish) in
+      Buffer.add_string buf
+        (Printf.sprintf "entry %d %s %s %s %s\n" e.Schedule.worker
+           (Q.to_string e.Schedule.alpha)
+           (ph e.Schedule.send) (ph e.Schedule.compute) (ph e.Schedule.return_)))
+    sched.Schedule.entries;
+  Buffer.contents buf
+
+let of_string text =
+  let exception Bad of string in
+  let fail lineno fmt =
+    Printf.ksprintf (fun s -> raise (Bad (Printf.sprintf "line %d: %s" lineno s))) fmt
+  in
+  let rational lineno s =
+    match Q.of_string s with
+    | q -> q
+    | exception _ -> fail lineno "not a rational: %S" s
+  in
+  let horizon = ref None in
+  let workers = ref [] in
+  let entries = ref [] in
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun s -> s <> "")
+    with
+    | [] -> ()
+    | [ "horizon"; h ] ->
+      if !horizon <> None then fail lineno "duplicate horizon";
+      horizon := Some (rational lineno h)
+    | "horizon" :: _ -> fail lineno "horizon takes one rational"
+    | [ "worker"; name; c; w; d ] -> (
+      match
+        Platform.worker ~name ~c:(rational lineno c) ~w:(rational lineno w)
+          ~d:(rational lineno d) ()
+      with
+      | wk -> workers := wk :: !workers
+      | exception Invalid_argument msg -> fail lineno "%s" msg)
+    | "worker" :: _ -> fail lineno "worker takes: name c w d"
+    | [ "entry"; i; alpha; s0; s1; c0; c1; r0; r1 ] ->
+      let index =
+        match int_of_string_opt i with
+        | Some i -> i
+        | None -> fail lineno "not a worker index: %S" i
+      in
+      let r = rational lineno in
+      let phase a b = { Schedule.start = r a; finish = r b } in
+      entries :=
+        {
+          Schedule.worker = index;
+          alpha = r alpha;
+          send = phase s0 s1;
+          compute = phase c0 c1;
+          return_ = phase r0 r1;
+        }
+        :: !entries
+    | "entry" :: _ ->
+      fail lineno "entry takes: index alpha send.start send.finish \
+                   compute.start compute.finish return.start return.finish"
+    | directive :: _ -> fail lineno "unknown directive %S" directive
+  in
+  match List.iteri (fun i l -> parse_line (i + 1) l) (String.split_on_char '\n' text) with
+  | exception Bad msg -> Error msg
+  | () -> (
+    match (!horizon, List.rev !workers) with
+    | None, _ -> Error "missing horizon line"
+    | _, [] -> Error "no worker lines"
+    | Some horizon, workers -> (
+      match Platform.make workers with
+      | Error e -> Error (Errors.to_string e)
+      | Ok platform ->
+        let n = Platform.size platform in
+        let entries = Array.of_list (List.rev !entries) in
+        let bad =
+          Array.find_opt
+            (fun e -> e.Schedule.worker < 0 || e.Schedule.worker >= n)
+            entries
+        in
+        (match bad with
+        | Some e ->
+          Error
+            (Printf.sprintf "entry refers to worker %d, platform has %d workers"
+               e.Schedule.worker n)
+        | None -> Ok { Schedule.platform; horizon; entries })))
+
+let write path sched =
+  let oc = open_out path in
+  output_string oc (to_string sched);
+  close_out oc
+
+let read path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    of_string text

@@ -1,0 +1,34 @@
+(** Text serialization of explicit schedules.
+
+    The format is self-contained — it embeds the platform — so a dumped
+    schedule can be re-validated later ([dls check --schedule FILE])
+    without any side channel.  All quantities are exact rationals; a
+    round trip is lossless.
+
+    {v
+    # dls schedule v1
+    horizon 1
+    worker P1 1 1 1/2
+    worker P2 1 2 1/2
+    entry 0 2/5 0 2/5 2/5 4/5 4/5 1
+    entry 1 1/5 2/5 3/5 3/5 1/5 ...
+    v}
+
+    [worker] lines describe the platform in index order ([name c w d]);
+    [entry] lines carry
+    [index alpha send.start send.finish compute.start compute.finish
+    return.start return.finish] in schedule order.  Blank lines and [#]
+    comments are ignored. *)
+
+(** [to_string sched] serializes the schedule. *)
+val to_string : Schedule.t -> string
+
+(** [of_string s] parses a schedule back; [Error message] on malformed
+    input (unknown directive, bad arity, out-of-range worker index,
+    non-rational field, missing horizon ...). *)
+val of_string : string -> (Schedule.t, string) result
+
+(** [write path sched] / [read path]: file variants. *)
+val write : string -> Schedule.t -> unit
+
+val read : string -> (Schedule.t, string) result

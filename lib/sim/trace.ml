@@ -57,7 +57,15 @@ let workers t =
 
 let events_of t i = List.filter (fun e -> e.worker = i) t.events
 
-let one_port_violations ?(eps = 1e-9) t =
+(* Boundary semantics are exact by default ([eps = 0]): two intervals
+   overlap only when each one STRICTLY crosses into the other, so
+   touching intervals — one finishing exactly when the next starts, the
+   normal case in a packed one-port schedule — are NOT overlapping.
+   Float comparisons are exact, so no tolerance is needed for traces
+   derived from rational schedules or from the noise-free simulator; a
+   positive [eps] additionally forgives overlaps up to [eps] and is only
+   meant for measured (noisy) float traces. *)
+let one_port_violations ?(eps = 0.) t =
   let transfers = List.filter (fun e -> e.kind <> Compute) t.events in
   let overlap a b = a.start < b.finish -. eps && b.start < a.finish -. eps in
   let rec scan acc = function
@@ -72,7 +80,7 @@ let one_port_violations ?(eps = 1e-9) t =
   in
   scan [] transfers
 
-let precedence_violations ?(eps = 1e-9) t =
+let precedence_violations ?(eps = 0.) t =
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   List.iter
@@ -94,6 +102,12 @@ let precedence_violations ?(eps = 1e-9) t =
 
 let is_valid ?eps t =
   one_port_violations ?eps t = [] && precedence_violations ?eps t = []
+
+(* When the rational data is still around, don't check its float shadow:
+   validate the schedule itself, exactly. *)
+let validate_schedule sched =
+  Check.Validator.errors_of_result sched.Dls.Schedule.platform
+    (Check.Validator.validate sched)
 
 let pp fmt t =
   Format.fprintf fmt "@[<v>makespan = %.6g@," t.makespan;

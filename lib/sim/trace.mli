@@ -28,15 +28,30 @@ val workers : t -> int list
 val events_of : t -> int -> event list
 
 (** [one_port_violations ?eps t] lists pairs of master transfers
-    (sends/returns) overlapping by more than [eps]. *)
+    (sends/returns) overlapping by more than [eps].
+
+    The default [eps = 0] is exact, with explicit boundary semantics:
+    {e touching} intervals (one finishing exactly when the next starts)
+    are NOT overlapping; only a strict crossing is a violation.  Traces
+    derived from rational schedules or from the noise-free simulator
+    need no tolerance — pass a positive [eps] only for measured (noisy)
+    float traces. *)
 val one_port_violations : ?eps:float -> t -> (event * event) list
 
 (** [precedence_violations ?eps t] checks that each worker receives,
-    computes, then returns, in that order without overlap. *)
+    computes, then returns, in that order without overlap.  Boundary
+    semantics as in {!one_port_violations}: back-to-back phases are
+    valid, [eps] (default [0], exact) only forgives noisy input. *)
 val precedence_violations : ?eps:float -> t -> string list
 
 (** [is_valid ?eps t] holds when no violations of either kind exist. *)
 val is_valid : ?eps:float -> t -> bool
+
+(** [validate_schedule sched] checks the {e rational} schedule with the
+    exact validator ({!Check.Validator}) — no floats, no epsilons.
+    Prefer this over [is_valid (of_schedule sched)] whenever the exact
+    data is available: the float shadow can only lose information. *)
+val validate_schedule : Dls.Schedule.t -> (unit, string list) result
 
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit

@@ -520,6 +520,61 @@ let test_rounding_zero_total () =
   in
   Alcotest.(check (array int)) "all zero" [| 0; 0 |] loads
 
+let test_rounding_all_on_one_worker () =
+  (* All the weight on one worker: it takes everything, the zero-weight
+     workers get none of the leftovers either. *)
+  let loads =
+    Dls.Rounding.share_out
+      ~weights:[| Q.zero; qq 7 3; Q.zero |]
+      ~order:[| 2; 1; 0 |] ~total:7
+  in
+  Alcotest.(check (array int)) "single carrier" [| 0; 7; 0 |] loads
+
+let test_rounding_leftovers_cycle_in_order () =
+  (* Three equal weights, total 2: every floor is 0, K = 2 leftovers go
+     one each to the first two POSITIVE-weight entries of [order] —
+     order decides, not index. *)
+  let w = qq 1 3 in
+  let loads =
+    Dls.Rounding.share_out ~weights:[| w; w; w |] ~order:[| 2; 0; 1 |] ~total:2
+  in
+  Alcotest.(check (array int)) "order-directed leftovers" [| 1; 0; 1 |] loads;
+  (* Zero-weight entries are skipped when cycling. *)
+  let loads =
+    Dls.Rounding.share_out
+      ~weights:[| Q.zero; w; w |]
+      ~order:[| 0; 1; 2 |] ~total:3
+  in
+  Alcotest.(check (array int)) "zero-weight skipped" [| 0; 2; 1 |] loads
+
+let test_rounding_guard_when_leftovers_exceed_entries () =
+  (* K > positive entries is impossible for genuine floors (each of the
+     [p] floors loses strictly less than one item, so K <= p - 1); the
+     cycling guard in [share_out] is for defense in depth.  Exercise the
+     largest reachable leftover count, K = p - 1. *)
+  let w = qq 1 2 in
+  let loads =
+    Dls.Rounding.share_out ~weights:[| w; w |] ~order:[| 1; 0 |] ~total:3
+  in
+  (* exact = (3/2, 3/2): floors (1, 1), K = 1 -> first in order. *)
+  Alcotest.(check (array int)) "boundary leftover" [| 1; 2 |] loads;
+  Alcotest.(check int) "conserved" 3 (Array.fold_left ( + ) 0 loads)
+
+let test_rounding_rejects_bad_input () =
+  Alcotest.check_raises "negative total"
+    (Invalid_argument "Rounding: negative total") (fun () ->
+      ignore
+        (Dls.Rounding.share_out ~weights:[| Q.one |] ~order:[| 0 |] ~total:(-1)));
+  Alcotest.check_raises "all weights zero"
+    (Invalid_argument "Rounding: all weights zero") (fun () ->
+      ignore
+        (Dls.Rounding.share_out ~weights:[| Q.zero; Q.zero |] ~order:[| 0; 1 |]
+           ~total:5));
+  Alcotest.check_raises "negative weight"
+    (Invalid_argument "Rounding: negative weight") (fun () ->
+      ignore
+        (Dls.Rounding.share_out ~weights:[| Q.minus_one |] ~order:[| 0 |] ~total:5))
+
 let prop_rounding_conserves =
   prop ~count:100 "rounded loads sum to the total"
     (QCheck2.Gen.pair (gen_platform ~min_size:1 ~max_size:6 ())
@@ -1228,6 +1283,14 @@ let () =
         [
           Alcotest.test_case "paper example" `Quick test_rounding_paper_example;
           Alcotest.test_case "zero total" `Quick test_rounding_zero_total;
+          Alcotest.test_case "all on one worker" `Quick
+            test_rounding_all_on_one_worker;
+          Alcotest.test_case "leftovers cycle in order" `Quick
+            test_rounding_leftovers_cycle_in_order;
+          Alcotest.test_case "leftover guard boundary" `Quick
+            test_rounding_guard_when_leftovers_exceed_entries;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_rounding_rejects_bad_input;
           prop_rounding_conserves;
           prop_rounding_respects_selection;
         ] );

@@ -51,6 +51,33 @@ let test_heap_sizes () =
   Heap.clear h;
   Alcotest.(check int) "cleared" 0 (Heap.size h)
 
+let test_heap_fifo_ties_at_scale () =
+  (* Equal priorities must pop in insertion order even once the heap
+     has grown past its initial capacity (the backing array doubles as
+     it fills), and the stability must survive interleaving with other
+     priority classes. *)
+  let h = Heap.create () in
+  for i = 0 to 99 do
+    Heap.add h ~priority:(if i mod 3 = 0 then 1.0 else 2.0) i
+  done;
+  let rec drain acc =
+    match Heap.pop h with None -> List.rev acc | Some (p, v) -> drain ((p, v) :: acc)
+  in
+  let popped = drain [] in
+  Alcotest.(check int) "all popped" 100 (List.length popped);
+  let firsts = List.filter (fun (p, _) -> p = 1.0) popped in
+  let seconds = List.filter (fun (p, _) -> p = 2.0) popped in
+  let expect pr = List.filter (fun i -> (i mod 3 = 0) = (pr = 1.0)) (List.init 100 Fun.id) in
+  Alcotest.(check (list int))
+    "priority-1 class in insertion order" (expect 1.0) (List.map snd firsts);
+  Alcotest.(check (list int))
+    "priority-2 class in insertion order" (expect 2.0) (List.map snd seconds);
+  (* And the classes themselves come out priority-sorted. *)
+  Alcotest.(check (list (float 0.0)))
+    "classes ordered"
+    (List.sort Float.compare (List.map fst popped))
+    (List.map fst popped)
+
 let prop_heap_sorts =
   QCheck_alcotest.to_alcotest
     (QCheck2.Test.make ~count:200 ~name:"heap drains in priority order"
@@ -418,6 +445,69 @@ let test_trace_of_schedule () =
   Alcotest.(check bool) "valid" true (Trace.is_valid trace);
   Alcotest.(check (float 1e-9)) "horizon 1" 1.0 trace.Trace.makespan
 
+let test_trace_boundary_semantics () =
+  (* Touching intervals are NOT overlapping: a transfer ending exactly
+     when the next one starts is legal under the one-port model, and
+     with the exact default (eps = 0) it must NOT be reported. *)
+  let e k w s f = { Trace.worker = w; kind = k; start = s; finish = f; load = 1.0 } in
+  let touching =
+    Trace.make
+      [
+        e Trace.Send 0 0.0 2.0;
+        e Trace.Compute 0 2.0 3.0;
+        e Trace.Return 0 3.0 4.0;
+        e Trace.Send 1 2.0 3.0 (* starts the instant worker 0's send ends *);
+        e Trace.Compute 1 3.0 4.0;
+        e Trace.Return 1 4.0 5.0 (* starts the instant worker 0's return ends *);
+      ]
+  in
+  Alcotest.(check int) "touching is legal at eps=0" 0
+    (List.length (Trace.one_port_violations touching));
+  (* A strict crossing, however small, IS a violation at the default. *)
+  let crossing =
+    Trace.make
+      [
+        e Trace.Send 0 0.0 2.0;
+        e Trace.Compute 0 2.0 3.0;
+        e Trace.Return 0 3.0 4.0;
+        e Trace.Send 1 (2.0 -. 1e-12) 3.0;
+        e Trace.Compute 1 3.0 4.0;
+        e Trace.Return 1 4.0 5.0;
+      ]
+  in
+  Alcotest.(check int) "strict crossing caught at eps=0" 1
+    (List.length (Trace.one_port_violations crossing));
+  (* An explicit positive eps forgives crossings up to that tolerance —
+     for noisy float traces only; exact data should use eps = 0. *)
+  Alcotest.(check int) "eps forgives small crossing" 0
+    (List.length (Trace.one_port_violations ~eps:1e-9 crossing));
+  (* Back-to-back send/compute/return on one worker is exact precedence,
+     not a violation. *)
+  Alcotest.(check int) "touching precedence legal" 0
+    (List.length (Trace.precedence_violations touching))
+
+let test_trace_validate_schedule () =
+  (* Exact rational schedules route through Check.Validator: the
+     solver's own output passes, and a tampered copy is rejected with
+     a human-readable message. *)
+  let p = platform_2 () in
+  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sched = Dls.Schedule.of_solved sol in
+  (match Trace.validate_schedule sched with
+  | Ok () -> ()
+  | Error msgs ->
+    Alcotest.failf "solver schedule rejected: %s" (String.concat "; " msgs));
+  let entries = Array.copy sched.Dls.Schedule.entries in
+  let e = entries.(1) in
+  entries.(1) <-
+    { e with
+      Dls.Schedule.return_ = { e.Dls.Schedule.return_ with Dls.Schedule.start = qq 9 11 }
+    };
+  let bad = { sched with Dls.Schedule.entries } in
+  match Trace.validate_schedule bad with
+  | Ok () -> Alcotest.fail "tampered schedule accepted"
+  | Error msgs -> Alcotest.(check bool) "has messages" true (msgs <> [])
+
 (* ------------------------------------------------------------------ *)
 (* Trace serialization                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -519,6 +609,7 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_heap_order;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "fifo ties at scale" `Quick test_heap_fifo_ties_at_scale;
           Alcotest.test_case "sizes" `Quick test_heap_sizes;
           prop_heap_sorts;
         ] );
@@ -561,6 +652,8 @@ let () =
           Alcotest.test_case "detects overlap" `Quick test_trace_detects_overlap;
           Alcotest.test_case "detects precedence" `Quick test_trace_detects_precedence;
           Alcotest.test_case "of_schedule" `Quick test_trace_of_schedule;
+          Alcotest.test_case "boundary semantics" `Quick test_trace_boundary_semantics;
+          Alcotest.test_case "validate_schedule" `Quick test_trace_validate_schedule;
         ] );
       ( "trace_io",
         [
