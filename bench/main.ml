@@ -172,19 +172,194 @@ let run_bechamel ~name tests ~quota_s =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 3: solver-pipeline regression benchmark (BENCH_solvers.json)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact-baseline vs certified-fast enumeration on deterministic
+   platforms, p in {5,6,7} (quick: {4,5}), all three z regimes.  Timing
+   is warmup + median-of-k; each measured run starts from a cold LP
+   cache so both arms do the same work.  Results land in a
+   machine-readable JSON file so later PRs can regress against it. *)
+
+let solver_platform ~p ~regime ~z =
+  let rng = Cluster.Prng.create ~seed:(7901 + (97 * p) + regime) in
+  let specs =
+    List.init p (fun _ ->
+        let c = Q.of_ints (Cluster.Prng.int_range rng ~lo:2 ~hi:9) 4 in
+        let w = Q.of_ints (Cluster.Prng.int_range rng ~lo:4 ~hi:20) 2 in
+        (c, w))
+  in
+  Dls.Platform.with_return_ratio ~z specs
+
+type solver_arm = {
+  median_s : float;
+  rho : Q.t;
+  lps : int;
+  cache_hits : int;
+  float_wins : int;
+  warm_wins : int;
+  fallbacks : int;
+  pruned : int;
+  float_pivots : int;
+  exact_pivots : int;
+}
+
+let median samples =
+  let s = Array.copy samples in
+  Array.sort compare s;
+  s.(Array.length s / 2)
+
+(* [f] must be a pure solve; the cache is reset around it here so every
+   run is cold. *)
+let run_solver_arm ~k ~warmup f =
+  let once () =
+    Dls.Lp_model.reset_cache ();
+    f ()
+  in
+  for _ = 1 to warmup do
+    ignore (once ())
+  done;
+  let samples =
+    Array.init k (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (once ());
+        Unix.gettimeofday () -. t0)
+  in
+  (* One more instrumented run for the counters (the run is
+     deterministic, so it does exactly what the timed ones did). *)
+  Dls.Lp_model.reset_pipeline_stats ();
+  let sol = once () in
+  let ps = Dls.Lp_model.pipeline_stats () in
+  let cs = Dls.Lp_model.cache_stats () in
+  Dls.Lp_model.reset_pipeline_stats ();
+  {
+    median_s = median samples;
+    rho = sol.Dls.Lp_model.rho;
+    lps = cs.Parallel.Lru.misses;
+    cache_hits = cs.Parallel.Lru.hits;
+    float_wins = ps.Dls.Lp_model.float_wins;
+    warm_wins = ps.Dls.Lp_model.warm_wins;
+    fallbacks = ps.Dls.Lp_model.exact_fallbacks;
+    pruned = ps.Dls.Lp_model.pruned;
+    float_pivots = ps.Dls.Lp_model.float_pivots;
+    exact_pivots = ps.Dls.Lp_model.exact_pivots;
+  }
+
+let solver_arm_json a =
+  Printf.sprintf
+    "{\"median_s\": %.6f, \"lps\": %d, \"cache_hits\": %d, \"float_wins\": %d, \
+     \"warm_wins\": %d, \"exact_fallbacks\": %d, \"pruned\": %d, \
+     \"float_pivots\": %d, \"exact_pivots\": %d}"
+    a.median_s a.lps a.cache_hits a.float_wins a.warm_wins a.fallbacks a.pruned
+    a.float_pivots a.exact_pivots
+
+let run_solver_bench ~quick ~k ~warmup ~json_path ~gate =
+  let ps = if quick then [ 4; 5 ] else [ 5; 6; 7 ] in
+  let regimes = [ ("z<1", Q.of_ints 1 2); ("z=1", Q.one); ("z>1", Q.of_int 2) ] in
+  Printf.printf "== solver pipeline: exact baseline vs certified fast ==\n";
+  Printf.printf "  (best_fifo over all p! orders; median of %d after %d warmup)\n"
+    k warmup;
+  Printf.printf "  %-4s %-4s %12s %12s %9s %9s %9s %9s\n" "p" "z" "exact" "fast"
+    "speedup" "fallback%" "pruned" "warm";
+  let points = ref [] in
+  List.iter
+    (fun p ->
+      List.iteri
+        (fun ri (rname, z) ->
+          let platform = solver_platform ~p ~regime:ri ~z in
+          let exact =
+            run_solver_arm ~k ~warmup (fun () ->
+                Dls.Brute.best_fifo ~fast:false ~prune:false platform)
+          in
+          let fast =
+            run_solver_arm ~k ~warmup (fun () -> Dls.Brute.best_fifo platform)
+          in
+          if not (Q.equal exact.rho fast.rho) then begin
+            Printf.eprintf
+              "FATAL: fast pipeline diverged from exact baseline (p=%d, %s)\n"
+              p rname;
+            exit 3
+          end;
+          let speedup = exact.median_s /. Float.max 1e-9 fast.median_s in
+          let solves = fast.float_wins + fast.warm_wins + fast.fallbacks in
+          Printf.printf
+            "  %-4d %-4s %9.1f ms %9.1f ms %8.2fx %8.1f%% %9d %9d\n%!" p rname
+            (exact.median_s *. 1e3) (fast.median_s *. 1e3) speedup
+            (100.0 *. float fast.fallbacks /. float (max 1 solves))
+            fast.pruned fast.warm_wins;
+          points :=
+            Printf.sprintf
+              "    {\"case\": \"best_fifo\", \"p\": %d, \"regime\": \"%s\", \
+               \"speedup\": %.3f,\n\
+              \     \"exact\": %s,\n\
+              \     \"fast\": %s}"
+              p rname speedup (solver_arm_json exact) (solver_arm_json fast)
+            :: !points)
+        regimes)
+    ps;
+  let gate_pass = ref true in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-solvers/1\",\n\
+      \  \"k\": %d,\n\
+      \  \"warmup\": %d,\n\
+      \  \"quick\": %b,\n\
+      \  \"points\": [\n%s\n  ]\n}\n"
+      k warmup quick
+      (String.concat ",\n" (List.rev !points))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path;
+  if gate then begin
+    (* Regression gate: remeasure the smallest case (the most stable one
+       on shared CI hardware) and require the fast pipeline to win. *)
+    let p = List.hd ps in
+    let platform = solver_platform ~p ~regime:0 ~z:(Q.of_ints 1 2) in
+    let exact =
+      run_solver_arm ~k ~warmup (fun () ->
+          Dls.Brute.best_fifo ~fast:false ~prune:false platform)
+    in
+    let fast =
+      run_solver_arm ~k ~warmup (fun () -> Dls.Brute.best_fifo platform)
+    in
+    if fast.median_s > exact.median_s then begin
+      Printf.eprintf
+        "GATE FAILED: fast pipeline slower than exact baseline on smoke case \
+         (p=%d: %.1f ms vs %.1f ms)\n"
+        p (fast.median_s *. 1e3) (exact.median_s *. 1e3);
+      gate_pass := false
+    end
+    else
+      Printf.printf "  gate: fast %.1f ms <= exact %.1f ms on p=%d smoke case\n%!"
+        (fast.median_s *. 1e3) (exact.median_s *. 1e3) p
+  end;
+  !gate_pass
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let main quick skip_micro only jobs =
+let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
+    solvers_gate =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
     (if quick then " [quick mode]" else "");
-  run_experiments ~quick ~jobs ~only;
-  if not skip_micro then begin
-    run_bechamel ~name:"components" (micro_tests ~jobs) ~quota_s:0.5;
-    run_bechamel ~name:"figures" (figure_tests ~jobs) ~quota_s:1.0
-  end
+  if not solvers_only then begin
+    run_experiments ~quick ~jobs ~only;
+    if not skip_micro then begin
+      run_bechamel ~name:"components" (micro_tests ~jobs) ~quota_s:0.5;
+      run_bechamel ~name:"figures" (figure_tests ~jobs) ~quota_s:1.0
+    end
+  end;
+  let gate_pass =
+    run_solver_bench ~quick ~k:bench_k ~warmup ~json_path:solvers_json
+      ~gate:solvers_gate
+  in
+  if not gate_pass then exit 1
 
 let () =
   let quick_arg =
@@ -214,10 +389,46 @@ let () =
       & opt int (Parallel.Pool.default_jobs ())
       & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let solvers_only_arg =
+    Arg.(
+      value & flag
+      & info [ "solvers-only" ]
+          ~doc:"Run only the solver-pipeline benchmark (Part 3).")
+  in
+  let solvers_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_solvers.json"
+      & info [ "solvers-json" ] ~docv:"FILE"
+          ~doc:"Where to write the solver-pipeline benchmark JSON.")
+  in
+  let bench_k_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "bench-k" ] ~docv:"K"
+          ~doc:"Timed repetitions per solver-benchmark point (median is kept).")
+  in
+  let warmup_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "warmup" ] ~docv:"N"
+          ~doc:"Untimed warmup runs before each solver-benchmark point.")
+  in
+  let solvers_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "solvers-gate" ]
+          ~doc:
+            "Exit non-zero if the certified fast pipeline is slower than the \
+             exact baseline on the smoke case.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
       (Cmd.info "bench" ~doc)
-      Term.(const main $ quick_arg $ skip_micro_arg $ only_arg $ jobs_arg)
+      Term.(
+        const main $ quick_arg $ skip_micro_arg $ only_arg $ jobs_arg
+        $ solvers_only_arg $ solvers_json_arg $ bench_k_arg $ warmup_arg
+        $ solvers_gate_arg)
   in
   exit (Cmd.eval cmd)

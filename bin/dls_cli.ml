@@ -137,13 +137,29 @@ let solve_cmd =
             "Write the schedule to $(docv) in the exact text format of \
              $(b,dls check --schedule).")
   in
-  let run platform discipline model load explain dump =
+  let run platform discipline model load explain dump fast stats =
+    if stats then Dls.Lp_model.reset_pipeline_stats ();
     let sol =
-      match discipline with
-      | `Fifo -> Dls.Fifo.optimal ~model platform
-      | `Lifo -> Dls.Lifo.optimal ~model platform
+      if fast then
+        let scenario =
+          match discipline with
+          | `Fifo -> Dls.Scenario.fifo_exn platform (Dls.Fifo.order platform)
+          | `Lifo -> Dls.Scenario.lifo_exn platform (Dls.Lifo.order platform)
+        in
+        Dls.Lp_model.solve_fast_exn ~model scenario
+      else
+        match discipline with
+        | `Fifo -> Dls.Fifo.optimal ~model platform
+        | `Lifo -> Dls.Lifo.optimal ~model platform
     in
     print_solution ?load sol;
+    if stats then begin
+      Format.printf "pipeline:@.%a@." Dls.Lp_model.pp_pipeline_stats
+        (Dls.Lp_model.pipeline_stats ());
+      let cs = Dls.Lp_model.cache_stats () in
+      Format.printf "cache: %d hits, %d misses, %d evictions@." cs.Parallel.Lru.hits
+        cs.Parallel.Lru.misses cs.Parallel.Lru.evictions
+    end;
     (match dump with
     | None -> ()
     | Some file ->
@@ -161,12 +177,29 @@ let solve_cmd =
         (Dls.Lp_model.constraint_report sol)
     end
   in
+  let fast_arg =
+    Arg.(
+      value & flag
+      & info [ "fast" ]
+          ~doc:
+            "Solve through the certified fast LP pipeline (float simplex + \
+             one exact basis factorization, exact fallback).  Bit-identical \
+             to the default exact solve.")
+  in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print fast-pipeline counters (float-path wins, warm-start wins, \
+             exact fallbacks, pruned nodes) and solve-cache statistics.")
+  in
   let doc = "compute the optimal FIFO or LIFO schedule (Theorem 1)" in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ platform_arg $ discipline_arg $ model_arg $ load_arg
-      $ explain_arg $ dump_arg)
+      $ explain_arg $ dump_arg $ fast_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bus                                                                 *)

@@ -47,7 +47,7 @@ let gen_platform rng regime =
 (* The differential matrix                                             *)
 (* ------------------------------------------------------------------ *)
 
-let check_platform platform =
+let check_platform ?(fast = false) platform =
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   let expect_valid label sol =
@@ -149,6 +149,39 @@ let check_platform platform =
       add "two-port closed form %s differs from the two-port LP %s"
         (Q.to_string closed2) (Q.to_string (rho two_port))
   end;
+  (* Certified fast pipeline: bit-identical to the exact solver on every
+     FIFO order, with the previous optimal basis threaded through as a
+     warm start (exactly the way [Brute] uses it), and each fast answer
+     passed through the independent certificate again. *)
+  if fast then begin
+    let warm = ref None in
+    List.iter
+      (fun order ->
+        let s = Dls.Scenario.fifo_exn platform order in
+        let cold = Dls.Lp_model.solve_exn s in
+        let quick = Dls.Lp_model.solve_fast_exn ?warm:!warm s in
+        warm := Some quick.Dls.Lp_model.basis;
+        let order_str =
+          String.concat ";" (List.map string_of_int (Array.to_list order))
+        in
+        let arrays_equal a b =
+          Array.length a = Array.length b && Array.for_all2 Q.equal a b
+        in
+        if rho quick <>/ rho cold then
+          add "fast pipeline rho %s differs from exact %s on order [%s]"
+            (Q.to_string (rho quick)) (Q.to_string (rho cold)) order_str;
+        if not (arrays_equal quick.Dls.Lp_model.alpha cold.Dls.Lp_model.alpha)
+        then add "fast pipeline loads differ from exact on order [%s]" order_str;
+        if not (arrays_equal quick.Dls.Lp_model.idle cold.Dls.Lp_model.idle)
+        then
+          add "fast pipeline idle times differ from exact on order [%s]"
+            order_str;
+        match Certificate.check quick with
+        | Ok () -> ()
+        | Error msgs ->
+          List.iter (fun m -> add "fast [%s]: certificate: %s" order_str m) msgs)
+      (Dls.Brute.permutations (Dls.Platform.size platform))
+  end;
   List.rev !errs
 
 (* ------------------------------------------------------------------ *)
@@ -159,7 +192,7 @@ type failure = { index : int; platform : string; messages : string list }
 
 let regime_tag = function Small_z -> 1 | Unit_z -> 2 | Big_z -> 3
 
-let run_matrix ?jobs ?(count = 200) ?(seed = 7) regime =
+let run_matrix ?jobs ?(count = 200) ?(seed = 7) ?(fast = false) regime =
   (* One PRNG per platform, seeded by (seed, regime, index): the matrix
      is reproducible and independent of [jobs]. *)
   let platform_of_index i =
@@ -168,7 +201,7 @@ let run_matrix ?jobs ?(count = 200) ?(seed = 7) regime =
   in
   let check i =
     let platform = platform_of_index i in
-    match check_platform platform with
+    match check_platform ~fast platform with
     | [] -> None
     | messages ->
       Some { index = i; platform = Dls.Platform_io.to_string platform; messages }

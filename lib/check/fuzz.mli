@@ -42,19 +42,27 @@ val regime_of_string : string -> regime option
     closed-form path is exercised too. *)
 val gen_platform : Random.State.t -> regime -> Dls.Platform.t
 
-(** [check_platform platform] runs every consistency relation above;
-    returns the list of discrepancies (empty = all solver paths agree
-    and every schedule validates exactly). *)
-val check_platform : Dls.Platform.t -> string list
+(** [check_platform ?fast platform] runs every consistency relation
+    above; returns the list of discrepancies (empty = all solver paths
+    agree and every schedule validates exactly).  With [~fast:true] it
+    additionally solves {e every} FIFO order of the platform through
+    both pipelines — [Dls.Lp_model.solve] and the certified
+    [Dls.Lp_model.solve_fast], warm bases threaded as [Dls.Brute] does —
+    and demands bit-identical [rho]/[alpha]/[idle] plus a passing
+    {!Certificate} on each fast answer. *)
+val check_platform : ?fast:bool -> Dls.Platform.t -> string list
 
 (** One fuzzed platform that failed: its index in the run, the platform
     (serialized, for reproduction), and the discrepancies. *)
 type failure = { index : int; platform : string; messages : string list }
 
-(** [run_matrix ?jobs ?count ?seed regime] fuzzes [count] (default 200)
-    random platforms of the regime, fanning the checks out over a
+(** [run_matrix ?jobs ?count ?seed ?fast regime] fuzzes [count] (default
+    200) random platforms of the regime, fanning the checks out over a
     {!Parallel.Pool} of [jobs] domains (default: core count).  The
     platform drawn for index [i] depends only on [(seed, regime, i)], so
-    results are independent of [jobs] and reproducible.  Returns the
-    failures, in index order (empty = the matrix passes). *)
-val run_matrix : ?jobs:int -> ?count:int -> ?seed:int -> regime -> failure list
+    results are independent of [jobs] and reproducible.  [~fast:true]
+    adds the exact-vs-fast bit-identity check of {!check_platform} to
+    every platform.  Returns the failures, in index order (empty = the
+    matrix passes). *)
+val run_matrix :
+  ?jobs:int -> ?count:int -> ?seed:int -> ?fast:bool -> regime -> failure list

@@ -28,3 +28,36 @@ val upper : Platform.t -> Q.t
 
 (** [lower p] is the best single-worker throughput. *)
 val lower : Platform.t -> Q.t
+
+(** [scenario_bound ?model s] is a cheap exact upper bound on the LP
+    optimum of scenario [s] — no simplex run.  Every LP row together
+    with the chain caps [α_i <= 1/(c_i + w_i + d_i)] is a fractional
+    knapsack; the bound is the minimum over rows (plus the one-port row
+    unless [model] is [Two_port]).  Used by [Brute] to skip LPs that
+    cannot beat the incumbent. *)
+val scenario_bound : ?model:Lp_model.model -> Scenario.t -> Q.t
+
+(** [scenario_bound_float ?model s] is the floating-point mirror of
+    {!scenario_bound}, for use as a pre-screen: compute the exact bound
+    (the only one allowed to make a pruning decision) only when this one
+    says pruning is plausible.  Not a certified bound — callers must
+    confirm with {!scenario_bound} before skipping anything. *)
+val scenario_bound_float : ?model:Lp_model.model -> Scenario.t -> float
+
+(** [prefix_bound ?model ~discipline platform ~prefix ~remaining] bounds
+    the throughput of {e every} completion of the ordered send [prefix]
+    by the [remaining] workers: exact rows for the prefix, optimistic
+    rows for the unplaced, same knapsack relaxation as
+    {!scenario_bound}.  [`Fifo]/[`Lifo] fix [sigma2] to the
+    corresponding permutation of [sigma1]; [`Free] assumes nothing about
+    the return order (only each worker's own return is counted).  The
+    result always dominates the LP relaxation bound of
+    [Search.bound_problem] on the same node, so using it as a pre-filter
+    never changes which nodes get pruned. *)
+val prefix_bound :
+  ?model:Lp_model.model ->
+  discipline:[ `Fifo | `Lifo | `Free ] ->
+  Platform.t ->
+  prefix:int array ->
+  remaining:int array ->
+  Q.t

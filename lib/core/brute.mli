@@ -8,27 +8,61 @@
     by the test suite to verify Theorem 1 and by the ablation benchmarks
     to measure how far FIFO/LIFO sit from the best-known schedule.
 
+    Since PR 3 the enumeration is a branch-and-bound: each candidate is
+    first measured against the incumbent with the exact knapsack bound
+    of {!Bounds.scenario_bound} (for [best_general], whole [sigma1]
+    blocks are measured with {!Bounds.prefix_bound}), LPs that cannot
+    win are skipped, and the surviving solves run through the certified
+    fast pipeline ({!Lp_model.solve_cached} with [fast], threading the
+    previous optimal basis as a warm start).  Pruning is non-strict
+    against the sequential incumbent and strict against the shared
+    parallel incumbent, so the returned optimum stays {e bit-identical}
+    to the unpruned exhaustive scan — and identical for every [jobs]
+    value.  [~fast:false ~prune:false] restores the plain exact scan
+    (benchmark baseline).
+
     All entry points accept [?jobs] (default 1): the independent LPs are
     fanned out over a domain pool, and the reduction runs sequentially
-    in enumeration order with a strict comparison, so the returned
-    solution is {e bit-identical} for every [jobs] value — parallelism
-    only changes wall-clock time.  Solves go through
-    {!Lp_model.solve_cached}. *)
+    in enumeration order with a strict comparison. *)
 
 module Q = Numeric.Rational
 
+(** [permutations_seq n] enumerates all permutations of [0..n-1] lazily,
+    in the same order {!permutations} lists them; constant live memory. *)
+val permutations_seq : int -> int array Seq.t
+
 (** [permutations n] lists all permutations of [0..n-1].  [n! ] entries:
-    keep [n] small. *)
+    keep [n] small (thin eager wrapper over {!permutations_seq}). *)
 val permutations : int -> int array list
 
-(** [best_fifo ?model ?jobs platform] is the optimum over all FIFO
-    scenarios. *)
-val best_fifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved
+(** [best_fifo ?model ?jobs ?fast ?prune platform] is the optimum over
+    all FIFO scenarios ([fast] and [prune] default [true]; disabling
+    both gives the plain exact scan, bit-identical results either
+    way). *)
+val best_fifo :
+  ?model:Lp_model.model ->
+  ?jobs:int ->
+  ?fast:bool ->
+  ?prune:bool ->
+  Platform.t ->
+  Lp_model.solved
 
-(** [best_lifo ?model ?jobs platform] is the optimum over all LIFO
-    scenarios. *)
-val best_lifo : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved
+(** [best_lifo ?model ?jobs ?fast ?prune platform] is the optimum over
+    all LIFO scenarios. *)
+val best_lifo :
+  ?model:Lp_model.model ->
+  ?jobs:int ->
+  ?fast:bool ->
+  ?prune:bool ->
+  Platform.t ->
+  Lp_model.solved
 
-(** [best_general ?model ?jobs platform] is the optimum over all
-    [(sigma1, sigma2)] pairs — [ (n!)² ] LPs. *)
-val best_general : ?model:Lp_model.model -> ?jobs:int -> Platform.t -> Lp_model.solved
+(** [best_general ?model ?jobs ?fast ?prune platform] is the optimum
+    over all [(sigma1, sigma2)] pairs — [ (n!)² ] LPs before pruning. *)
+val best_general :
+  ?model:Lp_model.model ->
+  ?jobs:int ->
+  ?fast:bool ->
+  ?prune:bool ->
+  Platform.t ->
+  Lp_model.solved

@@ -9,7 +9,57 @@ type solved = {
   alpha : Q.t array;
   idle : Q.t array;
   pivots : int;
+  basis : int array;
 }
+
+(* ------------------------------------------------------------------ *)
+(* Fast-pipeline counters.  Process-wide atomics: enumeration runs across
+   domains, and the numbers are diagnostics, so relaxed increments are
+   fine. *)
+
+type pipeline_stats = {
+  float_wins : int;
+  warm_wins : int;
+  exact_fallbacks : int;
+  pruned : int;
+  float_pivots : int;
+  exact_pivots : int;
+}
+
+let float_wins = Atomic.make 0
+let warm_wins = Atomic.make 0
+let exact_fallbacks = Atomic.make 0
+let pruned_nodes = Atomic.make 0
+let float_pivots = Atomic.make 0
+let exact_pivots = Atomic.make 0
+let bump counter n = ignore (Atomic.fetch_and_add counter n)
+
+let pipeline_stats () =
+  {
+    float_wins = Atomic.get float_wins;
+    warm_wins = Atomic.get warm_wins;
+    exact_fallbacks = Atomic.get exact_fallbacks;
+    pruned = Atomic.get pruned_nodes;
+    float_pivots = Atomic.get float_pivots;
+    exact_pivots = Atomic.get exact_pivots;
+  }
+
+let reset_pipeline_stats () =
+  Atomic.set float_wins 0;
+  Atomic.set warm_wins 0;
+  Atomic.set exact_fallbacks 0;
+  Atomic.set pruned_nodes 0;
+  Atomic.set float_pivots 0;
+  Atomic.set exact_pivots 0
+
+let note_pruned n = bump pruned_nodes n
+
+let pp_pipeline_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>float-path wins:  %d@,warm-start wins:  %d@,exact fallbacks:  %d@,\
+     pruned nodes:     %d@,float pivots:     %d@,exact pivots:     %d@]"
+    s.float_wins s.warm_wins s.exact_fallbacks s.pruned s.float_pivots
+    s.exact_pivots
 
 let problem model (s : Scenario.t) =
   let q = Scenario.num_enrolled s in
@@ -56,37 +106,121 @@ let problem model (s : Scenario.t) =
   in
   Simplex.Problem.make ~names Simplex.Problem.Maximize objective constraints
 
+(* Certify [sol] independently and repackage it as a [solved] record. *)
+let accept model (s : Scenario.t) p (sol : Simplex.Solver.solution) =
+  match Simplex.Certify.check p sol with
+  | Error msgs ->
+    (* Unreachable unless the solver itself is wrong; surfaced as a
+       typed error rather than an assertion so callers can log it. *)
+    Errors.invalid "LP certification failed: %s" (String.concat "; " msgs)
+  | Ok () ->
+    let n = Platform.size s.Scenario.platform in
+    let alpha = Array.make n Q.zero in
+    Array.iteri
+      (fun k i -> alpha.(i) <- sol.Simplex.Solver.point.(k))
+      s.Scenario.sigma1;
+    (* [idle] is canonical, not read off the simplex point: it is the gap
+       between the worker's compute finish and its return start in the
+       canonical packed timeline (sends packed from 0, returns packed
+       against the horizon — exactly [Schedule.of_solved]'s layout).  The
+       LP's own idle variable duplicates its row's slack column, so the
+       split between them depends on the pivot path; the gap depends only
+       on [alpha], which keeps the two solver pipelines bit-identical. *)
+    let idle = Array.make n Q.zero in
+    let ret_pos =
+      Array.map (fun i -> Scenario.return_position s i) s.Scenario.sigma1
+    in
+    Array.iteri
+      (fun k i ->
+        if Q.sign alpha.(i) > 0 then begin
+          let gap = ref Q.one in
+          Array.iteri
+            (fun j ij ->
+              let w = Platform.get s.Scenario.platform ij in
+              if j <= k then gap := Q.sub !gap (Q.mul alpha.(ij) w.Platform.c);
+              if ret_pos.(j) >= ret_pos.(k) then
+                gap := Q.sub !gap (Q.mul alpha.(ij) w.Platform.d))
+            s.Scenario.sigma1;
+          let w = Platform.get s.Scenario.platform i in
+          idle.(i) <- Q.sub !gap (Q.mul alpha.(i) w.Platform.w)
+        end)
+      s.Scenario.sigma1;
+    Ok
+      {
+        scenario = s;
+        model;
+        rho = sol.Simplex.Solver.value;
+        alpha;
+        idle;
+        pivots = sol.Simplex.Solver.pivots;
+        basis = sol.Simplex.Solver.basis;
+      }
+
 let solve ?(model = One_port) (s : Scenario.t) =
   let p = problem model s in
   match Simplex.Solver.solve_result p with
   | Error e -> Error (Errors.of_solver e)
-  | Ok sol -> (
-    match Simplex.Certify.check p sol with
-    | Error msgs ->
-      (* Unreachable unless the solver itself is wrong; surfaced as a
-         typed error rather than an assertion so callers can log it. *)
-      Errors.invalid "LP certification failed: %s" (String.concat "; " msgs)
-    | Ok () ->
-      let q = Scenario.num_enrolled s in
-      let n = Platform.size s.Scenario.platform in
-      let alpha = Array.make n Q.zero in
-      let idle = Array.make n Q.zero in
-      Array.iteri
-        (fun k i ->
-          alpha.(i) <- sol.Simplex.Solver.point.(k);
-          idle.(i) <- sol.Simplex.Solver.point.(q + k))
-        s.Scenario.sigma1;
-      Ok
-        {
-          scenario = s;
-          model;
-          rho = sol.Simplex.Solver.value;
-          alpha;
-          idle;
-          pivots = sol.Simplex.Solver.pivots;
-        })
+  | Ok sol ->
+    bump exact_pivots sol.Simplex.Solver.pivots;
+    accept model s p sol
 
 let solve_exn ?model s = Errors.get_exn (solve ?model s)
+
+(* The certified fast pipeline.  A candidate basis (the caller's warm
+   start, else the float solver's terminal basis) is handed to
+   {!Simplex.Solver.certify_basis}, which runs one exact factorization
+   restricted to the basis columns and accepts only when every
+   non-basic reduced cost is strictly negative — proving the optimal
+   point unique, and therefore equal to the cold solve's.  Anything
+   else (defective basis, float stall, alternate optima, integer
+   overflow in the certificate) falls back to the canonical exact
+   solve, so the result is bit-identical to {!solve} by
+   construction. *)
+let solve_fast ?(model = One_port) ?warm ?(max_float_pivots = 100_000)
+    (s : Scenario.t) =
+  let p = problem model s in
+  let certified =
+    match warm with
+    | None -> None
+    | Some basis -> (
+      match Simplex.Solver.certify_basis p ~basis with
+      | Some sol ->
+        bump warm_wins 1;
+        Some sol
+      | None -> None)
+  in
+  let certified =
+    match certified with
+    | Some _ -> certified
+    | None -> (
+      match Simplex.Float_solver.solve ~max_pivots:max_float_pivots p with
+      | Simplex.Float_solver.Optimal fsol -> (
+        bump float_pivots fsol.Simplex.Float_solver.pivots;
+        (* The certificate is deterministic in (problem, basis): when the
+           float solver lands on the warm basis that was just rejected,
+           re-certifying it can only fail again. *)
+        let fbasis = fsol.Simplex.Float_solver.basis in
+        if warm = Some fbasis then None
+        else
+          match Simplex.Solver.certify_basis p ~basis:fbasis with
+          | Some sol ->
+            bump float_wins 1;
+            Some sol
+          | None -> None)
+      | Simplex.Float_solver.Unbounded | Simplex.Float_solver.Infeasible
+      | Simplex.Float_solver.Stalled ->
+        None)
+  in
+  match certified with
+  | Some sol ->
+    bump exact_pivots sol.Simplex.Solver.pivots;
+    accept model s p sol
+  | None ->
+    bump exact_fallbacks 1;
+    solve ~model s
+
+let solve_fast_exn ?model ?warm ?max_float_pivots s =
+  Errors.get_exn (solve_fast ?model ?warm ?max_float_pivots s)
 
 (* ------------------------------------------------------------------ *)
 (* LRU-memoized solving.                                              *)
@@ -127,10 +261,15 @@ let default_cache_capacity = 4096
 let cache : (string, solved) Parallel.Lru.t ref =
   ref (Parallel.Lru.create ~capacity:default_cache_capacity ())
 
-let solve_cached ?model s =
+(* Both branches produce the same record bit-for-bit (see [solve_fast]),
+   so the cache key does not need to distinguish them and a hit may have
+   been computed by either pipeline.  [warm] is a hint, not an input: it
+   never changes the answer, only the pivot count. *)
+let solve_cached ?model ?(fast = true) ?warm s =
   Parallel.Lru.find_or_add !cache
     (scenario_key (Option.value model ~default:One_port) s)
-    (fun () -> solve_exn ?model s)
+    (fun () ->
+      if fast then solve_fast_exn ?model ?warm s else solve_exn ?model s)
 
 let cache_stats () = Parallel.Lru.stats !cache
 

@@ -31,8 +31,18 @@ type solved = private {
   model : model;
   rho : Q.t;  (** optimal throughput (load processed within T = 1) *)
   alpha : Q.t array;  (** per-worker load, indexed like the platform *)
-  idle : Q.t array;  (** per-worker idle time [x_i], same indexing *)
+  idle : Q.t array;
+      (** per-worker idle time, same indexing: the gap between the
+          worker's compute finish and its return start in the canonical
+          packed timeline (sends packed from time 0, returns packed
+          against the horizon — {!Schedule.of_solved}'s layout).  This is
+          a function of [alpha] alone, not the simplex point's own idle
+          variable, whose split against the row slack depends on the
+          pivot path. *)
   pivots : int;  (** simplex pivots, for diagnostics *)
+  basis : int array;
+      (** terminal simplex basis — diagnostics, and the warm-start seed
+          threaded through enumeration (see {!solve_fast}) *)
 }
 
 (** [problem model scenario] builds the LP. Variables are laid out as
@@ -49,12 +59,47 @@ val solve : ?model:model -> Scenario.t -> (solved, Errors.t) result
     @raise Errors.Error on a degenerate LP. *)
 val solve_exn : ?model:model -> Scenario.t -> solved
 
-(** [solve_cached ?model scenario] is {!solve_exn} memoized through a
+(** [solve_fast ?model ?warm ?max_float_pivots scenario] is the certified
+    fast pipeline, {e bit-identical} to {!solve} by construction:
+
+    + if [warm] (the optimal basis of a neighbouring scenario) is given,
+      it is factorized exactly and re-optimized with Bland's rule;
+    + else the float simplex runs first and its terminal basis is lifted
+      into a single exact factorization;
+    + a lifted/warmed answer is {e accepted} only when the exact re-solve
+      shows strictly negative reduced costs on every non-basic column —
+      that proves the optimum unique, hence equal to the cold solve's
+      point — and it is then certified with {!Simplex.Certify} exactly
+      like {!solve}'s answer;
+    + every other case (rejected basis, float stall after
+      [max_float_pivots], alternate optima) falls back to the full exact
+      {!solve}.
+
+    Correctness therefore never depends on float tolerances; the floats
+    only pick which exact computation runs.  The [pivots] field of the
+    result reflects the work of whichever path produced it.  Counter
+    movements are visible in {!pipeline_stats}. *)
+val solve_fast :
+  ?model:model ->
+  ?warm:int array ->
+  ?max_float_pivots:int ->
+  Scenario.t ->
+  (solved, Errors.t) result
+
+(** [solve_fast_exn] is {!solve_fast}.
+    @raise Errors.Error on a degenerate LP. *)
+val solve_fast_exn :
+  ?model:model -> ?warm:int array -> ?max_float_pivots:int -> Scenario.t -> solved
+
+(** [solve_cached ?model ?fast ?warm scenario] is {!solve_fast_exn}
+    (default) or {!solve_exn} (when [fast] is [false]) memoized through a
     process-wide, size-bounded LRU cache keyed by {!scenario_key}.
-    Because solving is deterministic and exact, a cache hit returns a
-    value structurally identical to a cold solve.  Safe to call from
-    several domains concurrently. *)
-val solve_cached : ?model:model -> Scenario.t -> solved
+    Because both pipelines return bit-identical records, the key does not
+    encode the pipeline and a hit may serve either caller.  [warm] is a
+    performance hint only.  Safe to call from several domains
+    concurrently. *)
+val solve_cached :
+  ?model:model -> ?fast:bool -> ?warm:int array -> Scenario.t -> solved
 
 (** [scenario_key model scenario] is the canonical cache fingerprint:
     model tag, every worker's [name:c:w:d] (rationals in lowest terms),
@@ -65,6 +110,30 @@ val scenario_key : model -> Scenario.t -> string
 (** [cache_stats ()] is a snapshot of the solve cache's hit/miss/eviction
     counters. *)
 val cache_stats : unit -> Parallel.Lru.stats
+
+(** Process-wide counters of the certified fast pipeline; all increments
+    are atomic, so the numbers are meaningful under [?jobs] parallelism. *)
+type pipeline_stats = {
+  float_wins : int;
+      (** solves certified from the float solver's lifted basis *)
+  warm_wins : int;  (** solves certified from a caller-supplied warm basis *)
+  exact_fallbacks : int;  (** solves that needed the full exact simplex *)
+  pruned : int;  (** enumeration nodes skipped on {!Bounds} evidence *)
+  float_pivots : int;  (** cumulative float-simplex pivots *)
+  exact_pivots : int;  (** cumulative exact-simplex pivots (all paths) *)
+}
+
+(** [pipeline_stats ()] is a snapshot of the fast-pipeline counters. *)
+val pipeline_stats : unit -> pipeline_stats
+
+(** [reset_pipeline_stats ()] zeroes them (benchmark bookkeeping). *)
+val reset_pipeline_stats : unit -> unit
+
+(** [note_pruned n] records [n] enumeration nodes skipped via a cheap
+    bound — called by [Brute]/[Search], surfaced in {!pipeline_stats}. *)
+val note_pruned : int -> unit
+
+val pp_pipeline_stats : Format.formatter -> pipeline_stats -> unit
 
 (** [reset_cache ?capacity ()] empties the solve cache (default capacity
     4096 entries; [capacity <= 0] disables caching). *)

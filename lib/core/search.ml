@@ -83,6 +83,19 @@ let bound_problem discipline model platform prefix remaining =
    A sequential caller passes [shared = local], making the combined test
    collapse to the classic [bound <= incumbent]. *)
 let prunable discipline model platform prefix remaining ~local ~shared ~count_lp =
+  (* Cheapest test first: the knapsack bound of [Bounds.prefix_bound]
+     dominates the LP relaxation bound below (its rows are a subset of
+     the LP's constraints, relaxed one at a time), so whenever it already
+     fails to beat the incumbent the LP bound would have failed too.  The
+     pruning decision — and hence the canonical answer — is unchanged;
+     the node just skips both LP solves. *)
+  let cheap =
+    Bounds.prefix_bound ~model
+      ~discipline:(discipline :> [ `Fifo | `Lifo | `Free ])
+      platform ~prefix ~remaining
+  in
+  if Q.compare cheap local <= 0 || Q.compare cheap shared < 0 then true
+  else
   let problem = bound_problem discipline model platform prefix remaining in
   let inc = Q.to_float (Q.max local shared) in
   let clearly_unprunable =
@@ -121,9 +134,14 @@ let search ?(jobs = 1) discipline model platform =
   let candidates = Fifo.order platform in
   if jobs <= 1 then begin
     let nodes = ref 0 and pruned = ref 0 and lps = ref 1 in
+    (* Leaf solves thread the previous optimal basis through as a warm
+       start; a hint only, so the canonical-answer contract is intact. *)
+    let warm = ref None in
     let solve_order order =
       incr lps;
-      Lp_model.solve_cached ~model (scenario_of order)
+      let sol = Lp_model.solve_cached ~model ?warm:!warm (scenario_of order) in
+      warm := Some sol.Lp_model.basis;
+      sol
     in
     let incumbent = ref heuristic in
     let rec dfs prefix used =
@@ -172,9 +190,12 @@ let search ?(jobs = 1) discipline model platform =
       in
       let task root =
         let nodes = ref 0 and pruned = ref 0 and lps = ref 0 in
+        let warm = ref None in
         let solve_order order =
           incr lps;
-          Lp_model.solve_cached ~model (scenario_of order)
+          let sol = Lp_model.solve_cached ~model ?warm:!warm (scenario_of order) in
+          warm := Some sol.Lp_model.basis;
+          sol
         in
         let local = ref heuristic.Lp_model.rho in
         let best = ref None in

@@ -17,10 +17,14 @@
     A node is pruned when its relaxation bound cannot beat the
     incumbent (seeded with the Theorem 1 order, which is usually
     optimal and makes the search mostly a proof of optimality).  The
-    bound uses a two-tier solve: a floating-point simplex first, and an
-    exact confirmation only when pruning looks possible — so no subtree
-    is ever cut on floating-point evidence, but most nodes skip the
-    exact LP.
+    bound test is three-tier: the exact knapsack bound of
+    {!Bounds.prefix_bound} first (it dominates the LP bound, so pruning
+    on it never changes a decision — it just skips both LP solves), then
+    a floating-point simplex, then an exact confirmation only when
+    pruning looks possible — so no subtree is ever cut on floating-point
+    evidence, but most nodes skip the exact LP.  Leaf solves run through
+    the certified fast pipeline ({!Lp_model.solve_cached}), threading
+    the previous optimal basis as a warm start.
 
     With [?jobs > 1] the root subtrees are searched by a domain pool.
     The returned {e solution} is bit-identical for every [jobs] value:

@@ -130,3 +130,17 @@ let run ?jobs ?chunk f arr =
   let n_jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
   if n_jobs <= 1 || Array.length arr <= 1 then Array.map f arr
   else with_pool ~jobs:n_jobs (fun t -> map ?chunk t f arr)
+
+let run_local ?jobs ?chunk ~init f arr =
+  let n_jobs = max 1 (Option.value jobs ~default:(default_jobs ())) in
+  if n_jobs <= 1 || Array.length arr <= 1 then begin
+    let state = init () in
+    Array.map (f state) arr
+  end
+  else
+    with_pool ~jobs:n_jobs (fun t ->
+        (* One scratch state per participating domain, created lazily on
+           the domain's first claim.  The key is fresh per call, so
+           states never leak between batches. *)
+        let key = Domain.DLS.new_key init in
+        map ?chunk t (fun x -> f (Domain.DLS.get key) x) arr)

@@ -50,3 +50,15 @@ val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
     [with_pool ?jobs (fun p -> map ?chunk p f arr)].  [jobs <= 1] is a
     plain [Array.map] with no domain spawned. *)
 val run : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run_local ?jobs ?chunk ~init f arr] is {!run} where [f] additionally
+    receives a mutable scratch state, created by [init] once per
+    participating domain ([jobs <= 1]: a single state for the whole
+    array).  Intended for performance hints that survive between items
+    claimed by the same domain — e.g. the previous item's optimal simplex
+    basis as a warm start.  The determinism guarantee of {!run} only
+    extends to [run_local] if [f]'s {e result} does not depend on the
+    state (the state may freely change how fast the result is
+    computed). *)
+val run_local :
+  ?jobs:int -> ?chunk:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array

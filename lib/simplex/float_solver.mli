@@ -3,11 +3,22 @@
     Roughly an order of magnitude faster than the exact solver on the
     scheduling LPs of this library, at the price of [1e-9]-tolerance
     pivoting: use it for large-scale throughput {e estimation}
-    (dashboards, sweeps) and keep the exact solver for anything a
-    schedule is built from.  Degenerate problems may [Stalled] out of
-    the pivot cap instead of terminating. *)
+    (dashboards, sweeps), or as the scout of the certified fast path —
+    its terminal {!solution.basis} is lifted into the exact solver by
+    [Lp_model.solve_fast], which accepts the answer only after an exact
+    re-derivation.  Keep the exact solver for anything a schedule is
+    built from.  Degenerate problems may [Stalled] out of the pivot cap
+    instead of terminating. *)
 
-type solution = { value : float; point : float array; pivots : int }
+type solution = {
+  value : float;
+  point : float array;
+  pivots : int;
+  basis : int array;
+      (** terminal basis, suitable for exact lifting via
+          {!Solver.solve_with_basis} *)
+}
+
 type outcome = Optimal of solution | Unbounded | Infeasible | Stalled
 
 (** [solve ?max_pivots p] solves with float arithmetic (the problem

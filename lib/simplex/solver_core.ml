@@ -1,6 +1,18 @@
 module Make (F : Field.S) = struct
-  type solution = { value : F.t; point : F.t array; pivots : int }
+  type solution = {
+    value : F.t;
+    point : F.t array;
+    pivots : int;
+    basis : int array;
+  }
+
   type outcome = Optimal of solution | Unbounded | Infeasible | Stalled
+
+  type warm_outcome =
+    | Warm_optimal of solution * bool
+    | Warm_unbounded
+    | Warm_rejected
+    | Warm_stalled
 
   exception Pivot_cap
 
@@ -89,7 +101,16 @@ module Make (F : Field.S) = struct
         end)
       t.basis
 
-  let solve ?(max_pivots = 100_000) (p : Problem.t) =
+  (* Standard-form tableau shared by the cold and warm entry points. *)
+  type prepared = {
+    t : tableau;
+    n : int;  (* original variables *)
+    n_slack : int;
+    n_art : int;
+    maximize_sign : F.t;
+  }
+
+  let prepare ~max_pivots (p : Problem.t) =
     let n = Problem.num_vars p in
     let m = Problem.num_constraints p in
     let module Q = Numeric.Rational in
@@ -161,22 +182,34 @@ module Make (F : Field.S) = struct
       | Problem.Maximize -> F.one
       | Problem.Minimize -> F.minus_one
     in
-    let finish () =
-      let point = Array.make n F.zero in
-      Array.iteri
-        (fun i bv -> if bv < n then point.(bv) <- t.rows.(i).(total))
-        t.basis;
-      let value = F.mul maximize_sign (F.neg t.obj.(total)) in
-      Optimal { value; point; pivots = t.pivots }
-    in
+    { t; n; n_slack; n_art; maximize_sign }
+
+  let phase2_objective pr (p : Problem.t) =
+    let c = Array.make (pr.t.total + 1) F.zero in
+    Array.iteri
+      (fun j v -> c.(j) <- F.mul pr.maximize_sign (F.of_rational v))
+      p.Problem.objective;
+    c
+
+  let finish pr =
+    let t = pr.t in
+    let point = Array.make pr.n F.zero in
+    Array.iteri
+      (fun i bv -> if bv < pr.n then point.(bv) <- t.rows.(i).(t.total))
+      t.basis;
+    let value = F.mul pr.maximize_sign (F.neg t.obj.(t.total)) in
+    Optimal
+      { value; point; pivots = t.pivots; basis = Array.copy t.basis }
+
+  let solve ?(max_pivots = 100_000) (p : Problem.t) =
+    let pr = prepare ~max_pivots p in
+    let t = pr.t in
+    let n = pr.n and n_slack = pr.n_slack and n_art = pr.n_art in
+    let total = t.total in
     try
       if n_art = 0 then begin
-        let c = Array.make (total + 1) F.zero in
-        Array.iteri
-          (fun j v -> c.(j) <- F.mul maximize_sign (F.of_rational v))
-          p.Problem.objective;
-        install_objective t c;
-        match optimize t with `Optimal -> finish () | `Unbounded -> Unbounded
+        install_objective t (phase2_objective pr p);
+        match optimize t with `Optimal -> finish pr | `Unbounded -> Unbounded
       end
       else begin
         let c1 = Array.make (total + 1) F.zero in
@@ -207,13 +240,110 @@ module Make (F : Field.S) = struct
           for j = n + n_slack to total - 1 do
             t.allowed.(j) <- false
           done;
-          let c2 = Array.make (total + 1) F.zero in
-          Array.iteri
-            (fun j v -> c2.(j) <- F.mul maximize_sign (F.of_rational v))
-            p.Problem.objective;
-          install_objective t c2;
-          match optimize t with `Optimal -> finish () | `Unbounded -> Unbounded
+          install_objective t (phase2_objective pr p);
+          match optimize t with `Optimal -> finish pr | `Unbounded -> Unbounded
         end
       end
     with Pivot_cap -> Stalled
+
+  (* Bring the columns of [target] into the basis with plain Gauss-Jordan
+     pivots.  Rows whose initial basic column already belongs to the
+     target keep it; every remaining target column is pivoted onto the
+     first free row where its coefficient is nonzero.  Returns [false]
+     when the columns are linearly dependent (no such row exists). *)
+  let install_basis t target =
+    let m = Array.length t.rows in
+    let in_target = Array.make t.total false in
+    Array.iter (fun c -> in_target.(c) <- true) target;
+    let claimed = Array.make m false in
+    let placed = Array.make t.total false in
+    Array.iteri
+      (fun i bv ->
+        if in_target.(bv) && not placed.(bv) then begin
+          claimed.(i) <- true;
+          placed.(bv) <- true
+        end)
+      t.basis;
+    try
+      Array.iter
+        (fun col ->
+          if not placed.(col) then begin
+            let row = ref (-1) in
+            (try
+               for i = 0 to m - 1 do
+                 if (not claimed.(i)) && F.sign t.rows.(i).(col) <> 0 then begin
+                   row := i;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            if !row < 0 then raise Not_found;
+            pivot t ~row:!row ~col;
+            claimed.(!row) <- true;
+            placed.(col) <- true
+          end)
+        target;
+      true
+    with Not_found -> false
+
+  let solve_with_basis ?(max_pivots = 100_000) (p : Problem.t) ~basis =
+    let pr = prepare ~max_pivots p in
+    let t = pr.t in
+    let m = Array.length t.rows in
+    let structural = pr.n + pr.n_slack in
+    (* The candidate basis must name [m] distinct structural (original or
+       slack) columns: artificial columns never appear in a feasible
+       basis of the real problem. *)
+    let ok =
+      Array.length basis = m
+      &&
+      let seen = Array.make t.total false in
+      Array.for_all
+        (fun c ->
+          c >= 0 && c < structural
+          &&
+          if seen.(c) then false
+          else begin
+            seen.(c) <- true;
+            true
+          end)
+        basis
+    in
+    if not ok then Warm_rejected
+    else
+      try
+        if not (install_basis t basis) then Warm_rejected
+        else begin
+          (* Exact primal feasibility of the candidate basis. *)
+          let feasible = ref true in
+          for i = 0 to m - 1 do
+            if F.sign t.rows.(i).(t.total) < 0 then feasible := false
+          done;
+          if not !feasible then Warm_rejected
+          else begin
+            for j = structural to t.total - 1 do
+              t.allowed.(j) <- false
+            done;
+            install_objective t (phase2_objective pr p);
+            match optimize t with
+            | `Unbounded -> Warm_unbounded
+            | `Optimal ->
+              (* Strict dual feasibility: every allowed non-basic column
+                 must have a strictly negative reduced cost.  This proves
+                 the optimal point is unique, hence equal to whatever the
+                 cold solve would return — the caller may then substitute
+                 this solution for the canonical one. *)
+              let basic = Array.make t.total false in
+              Array.iter (fun bv -> basic.(bv) <- true) t.basis;
+              let unique = ref true in
+              for j = 0 to t.total - 1 do
+                if t.allowed.(j) && (not basic.(j)) && F.sign t.obj.(j) = 0
+                then unique := false
+              done;
+              (match finish pr with
+              | Optimal s -> Warm_optimal (s, !unique)
+              | _ -> assert false)
+          end
+        end
+      with Pivot_cap -> Warm_stalled
 end

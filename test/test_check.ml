@@ -270,6 +270,25 @@ let matrix_case regime =
   in
   Alcotest.test_case name `Slow run
 
+(* The full fuzz corpus through both LP pipelines: every FIFO order of
+   every platform must solve bit-identically fast and exact, with each
+   fast answer re-certified (see [Fuzz.check_platform ~fast:true]). *)
+let fast_matrix_case regime =
+  let name =
+    Printf.sprintf "fast-pipeline matrix %s (60 platforms)"
+      (Fuzz.regime_to_string regime)
+  in
+  let run () =
+    match Fuzz.run_matrix ~fast:true ~count:60 regime with
+    | [] -> ()
+    | f :: _ as fs ->
+      Alcotest.failf "%d platform(s) failed; first (index %d, %s): %s"
+        (List.length fs) f.Fuzz.index
+        (String.concat " | " (String.split_on_char '\n' (String.trim f.Fuzz.platform)))
+        (String.concat "; " f.Fuzz.messages)
+  in
+  Alcotest.test_case name `Slow run
+
 (* An independent QCheck generator (different distribution than
    [Fuzz.gen_platform]) feeding the same differential matrix. *)
 let gen_qcheck_platform regime =
@@ -302,6 +321,26 @@ let prop_case regime =
          match Fuzz.check_platform p with
          | [] -> true
          | msgs -> QCheck2.Test.fail_report (String.concat "; " msgs)))
+
+(* A float-simplex stall (forced here with a zero pivot budget) must
+   route through the exact fallback and still produce the bit-identical
+   answer — the pipeline's safety net, pinned. *)
+let test_fast_stall_fallback () =
+  let p = two_worker_platform () in
+  let s = Dls.Scenario.fifo_exn p [| 0; 1 |] in
+  Dls.Lp_model.reset_pipeline_stats ();
+  let cold = Dls.Lp_model.solve_exn s in
+  let fast = Dls.Lp_model.solve_fast_exn ~max_float_pivots:0 s in
+  Alcotest.(check bool) "identical rho" true
+    (Q.equal fast.Dls.Lp_model.rho cold.Dls.Lp_model.rho);
+  Alcotest.(check bool) "identical loads" true
+    (Array.for_all2 Q.equal fast.Dls.Lp_model.alpha cold.Dls.Lp_model.alpha);
+  Alcotest.(check bool) "identical idle times" true
+    (Array.for_all2 Q.equal fast.Dls.Lp_model.idle cold.Dls.Lp_model.idle);
+  let st = Dls.Lp_model.pipeline_stats () in
+  Alcotest.(check bool) "took the exact fallback" true
+    (st.Dls.Lp_model.exact_fallbacks >= 1);
+  check_ok "fallback result certifies" (Certificate.check fast)
 
 let test_matrix_reproducible () =
   (* Same seed, same failures (here: none) for any [jobs]. *)
@@ -358,11 +397,16 @@ let () =
           matrix_case Fuzz.Small_z;
           matrix_case Fuzz.Unit_z;
           matrix_case Fuzz.Big_z;
+          fast_matrix_case Fuzz.Small_z;
+          fast_matrix_case Fuzz.Unit_z;
+          fast_matrix_case Fuzz.Big_z;
           prop_case Fuzz.Small_z;
           prop_case Fuzz.Unit_z;
           prop_case Fuzz.Big_z;
           Alcotest.test_case "matrix jobs-reproducible" `Quick
             test_matrix_reproducible;
+          Alcotest.test_case "fast stall falls back exactly" `Quick
+            test_fast_stall_fallback;
           Alcotest.test_case "lifo z>1 regression" `Quick
             test_lifo_z_gt_1_regression;
         ] );

@@ -440,6 +440,30 @@ let test_permutations_count () =
   Alcotest.(check int) "distinct" 24
     (List.length (List.sort_uniq Stdlib.compare perms))
 
+let test_permutations_seq_agrees () =
+  (* the eager list is a thin wrapper over the lazy iterator: same
+     permutations, same order *)
+  List.iter
+    (fun n ->
+      let eager = Dls.Brute.permutations n in
+      let lazy_ = List.of_seq (Dls.Brute.permutations_seq n) in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d" n)
+        true
+        (List.length eager = List.length lazy_
+        && List.for_all2 (fun a b -> a = b) eager lazy_))
+    [ 0; 1; 2; 3; 5 ];
+  (* the iterator yields fresh arrays: mutating one must not corrupt
+     later elements *)
+  let seq = Dls.Brute.permutations_seq 3 in
+  (match seq () with
+  | Seq.Cons (first, _) -> Array.fill first 0 3 99
+  | Seq.Nil -> Alcotest.fail "empty sequence");
+  let again = List.of_seq seq in
+  Alcotest.(check bool)
+    "re-traversal unaffected by mutation" true
+    (again = Dls.Brute.permutations 3)
+
 (* ------------------------------------------------------------------ *)
 (* Schedules                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -1272,6 +1296,8 @@ let () =
           prop_inc_c_beats_inc_w;
           prop_general_at_least_fifo_lifo;
           Alcotest.test_case "permutations" `Quick test_permutations_count;
+          Alcotest.test_case "permutations_seq agrees" `Quick
+            test_permutations_seq_agrees;
         ] );
       ( "schedule",
         [

@@ -57,6 +57,26 @@ let test_pool_shutdown_degrades () =
     "map after shutdown runs sequentially" [| 1; 4; 9 |]
     (Parallel.Pool.map pool (fun x -> x * x) [| 1; 2; 3 |])
 
+let test_pool_run_local_matches_map () =
+  let f x = (2 * x) - 5 in
+  let arr = Array.init 97 Fun.id in
+  let expected = Array.map f arr in
+  List.iter
+    (fun jobs ->
+      (* the scratch state (a counter here) must not leak into results *)
+      let got =
+        Parallel.Pool.run_local ~jobs
+          ~init:(fun () -> ref 0)
+          (fun seen x ->
+            incr seen;
+            f x)
+          arr
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "run_local jobs=%d" jobs)
+        expected got)
+    [ 1; 2; 4 ]
+
 exception Boom of int
 
 let test_pool_first_failure_wins () =
@@ -195,6 +215,27 @@ let brute_determinism ~z_gt_1 name =
            (Dls.Brute.best_lifo ~jobs:1 p)
            (Dls.Brute.best_lifo ~jobs:2 p))
 
+(* The certified fast path and the dominance pruner are pure
+   accelerations: switching both off must reproduce the default scan bit
+   for bit, including the idle vector. *)
+let fast_prune_transparency ~z_gt_1 name =
+  QCheck2.Test.make ~count:10 ~name
+    (gen_platform ~z_gt_1 ~max_workers:4)
+    (fun p ->
+      let plain = Dls.Brute.best_fifo ~fast:false ~prune:false p in
+      let accel = Dls.Brute.best_fifo p in
+      ignore (same_solution "best_fifo fast+prune" plain accel);
+      if
+        not
+          (Array.for_all2 Q.equal plain.Dls.Lp_model.idle
+             accel.Dls.Lp_model.idle)
+      then Alcotest.fail "best_fifo fast+prune: idle differs";
+      let plain = Dls.Brute.best_lifo ~fast:false ~prune:false p in
+      let accel = Dls.Brute.best_lifo p in
+      same_solution "best_lifo fast+prune" plain accel
+      && Array.for_all2 Q.equal plain.Dls.Lp_model.idle
+           accel.Dls.Lp_model.idle)
+
 let search_determinism ~z_gt_1 name =
   QCheck2.Test.make ~count:10 ~name
     (gen_platform ~z_gt_1 ~max_workers:5)
@@ -317,6 +358,8 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "shutdown degrades" `Quick test_pool_shutdown_degrades;
           Alcotest.test_case "first failure wins" `Quick test_pool_first_failure_wins;
+          Alcotest.test_case "run_local = map" `Quick
+            test_pool_run_local_matches_map;
         ] );
       ( "lru",
         [
@@ -331,6 +374,8 @@ let () =
           [
             brute_determinism ~z_gt_1:false "brute fifo/lifo, z < 1";
             brute_determinism ~z_gt_1:true "brute fifo/lifo, z > 1";
+            fast_prune_transparency ~z_gt_1:false "fast+prune off = on, z < 1";
+            fast_prune_transparency ~z_gt_1:true "fast+prune off = on, z > 1";
             search_determinism ~z_gt_1:false "search B&B, z < 1";
             search_determinism ~z_gt_1:true "search B&B, z > 1";
           ]

@@ -330,28 +330,21 @@ let test_problem_bad_names () =
 
 let test_certify_rejects_bad_solutions () =
   let p = lp P.Maximize [| 1 |] [ ([| 1 |], P.Le, 2) ] in
+  let sol value point = { S.value; point; pivots = 0; basis = [||] } in
   (* wrong dimension *)
-  (match
-     Simplex.Certify.check p { S.value = q 2; point = [| q 2; q 0 |]; pivots = 0 }
-   with
+  (match Simplex.Certify.check p (sol (q 2) [| q 2; q 0 |]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "dimension mismatch accepted");
   (* infeasible point *)
-  (match
-     Simplex.Certify.check p { S.value = q 3; point = [| q 3 |]; pivots = 0 }
-   with
+  (match Simplex.Certify.check p (sol (q 3) [| q 3 |]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "infeasible point accepted");
   (* negative variable *)
-  (match
-     Simplex.Certify.check p { S.value = q (-1); point = [| q (-1) |]; pivots = 0 }
-   with
+  (match Simplex.Certify.check p (sol (q (-1)) [| q (-1) |]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "negative point accepted");
   (* value mismatch *)
-  match
-    Simplex.Certify.check p { S.value = q 2; point = [| q 1 |]; pivots = 0 }
-  with
+  match Simplex.Certify.check p (sol (q 2) [| q 1 |]) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "wrong value accepted"
 
@@ -408,6 +401,204 @@ let prop_float_matches_exact =
            | S.Optimal e -> Float.abs (Q.to_float e.S.value) < 1e-6
            | _ -> false)))
 
+(* ------------------------------------------------------------------ *)
+(* Warm starts and basis lifting                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_warm_start_own_basis () =
+  (* Re-feeding a solve's own terminal basis must certify it with zero
+     extra pivots beyond the factorization, and flag uniqueness on this
+     non-degenerate problem. *)
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  let s = S.solve_exn p in
+  match S.solve_with_basis p ~basis:s.S.basis with
+  | S.Warm_optimal (s', unique) ->
+    Alcotest.check rat "value" s.S.value s'.S.value;
+    Alcotest.(check bool) "point" true (Array.for_all2 Q.equal s.S.point s'.S.point);
+    Alcotest.(check bool) "unique" true unique
+  | _ -> Alcotest.fail "expected warm optimal"
+
+let test_warm_start_rejections () =
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  let reject basis name =
+    match S.solve_with_basis p ~basis with
+    | S.Warm_rejected -> ()
+    | _ -> Alcotest.fail name
+  in
+  reject [| 0 |] "wrong length accepted";
+  reject [| 0; 0 |] "duplicate column accepted";
+  reject [| 0; 7 |] "out-of-range column accepted";
+  (* {x, slack_0}: the nonbasic choice forces x = 5 from row 1, driving
+     row 0's slack to -7 — a primally infeasible vertex. *)
+  reject [| 0; 2 |] "infeasible basis accepted"
+
+let test_warm_start_alternate_optima () =
+  (* max x + y on x + y <= 1: the whole edge is optimal, so even the
+     solver's own terminal basis must come back with [unique = false] —
+     the fast pipeline then falls back to the canonical cold solve. *)
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 1; 1 |], P.Le, 1) ] in
+  let s = S.solve_exn p in
+  match S.solve_with_basis p ~basis:s.S.basis with
+  | S.Warm_optimal (_, unique) ->
+    Alcotest.(check bool) "not unique" false unique
+  | _ -> Alcotest.fail "expected warm optimal"
+
+let test_warm_start_recovers_from_suboptimal_basis () =
+  (* Start from the all-slack basis (the origin): installation is a
+     no-op and Bland's rule must walk to the optimum. *)
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  match S.solve_with_basis p ~basis:[| 2; 3 |] with
+  | S.Warm_optimal (s', _) -> Alcotest.check rat "value" (qq 11 5) s'.S.value
+  | _ -> Alcotest.fail "expected warm optimal"
+
+let test_float_stall_cap () =
+  (* A one-pivot cap stalls the float solver on a problem needing more;
+     the fast pipeline turns this into an exact fallback. *)
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  match Simplex.Float_solver.solve ~max_pivots:1 p with
+  | Simplex.Float_solver.Stalled -> ()
+  | _ -> Alcotest.fail "expected stall under a 1-pivot cap"
+
+let prop_lifted_basis_certifies =
+  (* The fast pipeline's core step: lift the float solver's terminal
+     basis into the exact solver.  Whenever the lift certifies with the
+     uniqueness flag, the solution must be bit-identical to the cold
+     exact solve. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"float basis lift is exact when certified"
+       gen_problem (fun p ->
+         match Simplex.Float_solver.solve p with
+         | Simplex.Float_solver.Optimal f -> (
+           match S.solve_with_basis p ~basis:f.Simplex.Float_solver.basis with
+           | S.Warm_optimal (s', true) -> (
+             match S.solve p with
+             | S.Optimal s ->
+               Q.equal s.S.value s'.S.value
+               && Array.for_all2 Q.equal s.S.point s'.S.point
+             | _ -> false)
+           | S.Warm_optimal (_, false) | S.Warm_rejected -> true
+           | S.Warm_unbounded -> (
+             match S.solve p with S.Unbounded -> true | _ -> false))
+         | _ -> true))
+
+let prop_warm_start_any_valid_basis =
+  (* From any installable basis the warm solve must reach the same
+     optimal value as the cold solve (the point may differ only when
+     alternate optima exist, i.e. when [unique] is false). *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"warm start reaches the cold optimum"
+       gen_problem (fun p ->
+         match S.solve p with
+         | S.Optimal s -> (
+           match S.solve_with_basis p ~basis:s.S.basis with
+           | S.Warm_optimal (s', unique) ->
+             Q.equal s.S.value s'.S.value
+             && ((not unique) || Array.for_all2 Q.equal s.S.point s'.S.point)
+           | S.Warm_rejected -> false (* its own terminal basis must install *)
+           | S.Warm_unbounded -> false)
+         | S.Unbounded | S.Infeasible -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Restricted factorization certificate                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_certify_own_basis () =
+  (* Certifying the cold solve's own terminal basis must reproduce its
+     value and point with zero pivots — the fast pipeline's core step. *)
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  let s = S.solve_exn p in
+  match S.certify_basis p ~basis:s.S.basis with
+  | Some s' ->
+    Alcotest.check rat "value" s.S.value s'.S.value;
+    Alcotest.(check bool) "point" true (Array.for_all2 Q.equal s.S.point s'.S.point);
+    Alcotest.(check int) "no pivots" 0 s'.S.pivots
+  | None -> Alcotest.fail "expected a certificate"
+
+let test_certify_rejects () =
+  let p = lp P.Maximize [| 1; 1 |] [ ([| 2; 1 |], P.Le, 3); ([| 1; 3 |], P.Le, 5) ] in
+  let reject prob basis name =
+    match S.certify_basis prob ~basis with
+    | None -> ()
+    | Some _ -> Alcotest.fail name
+  in
+  reject p [| 0 |] "wrong length certified";
+  reject p [| 0; 0 |] "duplicate column certified";
+  reject p [| 0; 7 |] "out-of-range column certified";
+  reject p [| 0; 2 |] "infeasible basis certified";
+  reject p [| 2; 3 |] "suboptimal slack basis certified";
+  (* Unsupported shape: a >= row must fall back, never certify. *)
+  let ge = lp P.Minimize [| 1; 1 |] [ ([| 1; 2 |], P.Ge, 4) ] in
+  reject ge [| 0 |] ">= constraint certified";
+  (* Genuine alternate optima (the whole edge x + y = 1 is optimal):
+     the zero reduced cost sits on an objective column, which is never
+     twin-tolerable, so no certificate exists for any basis. *)
+  let edge = lp P.Maximize [| 1; 1 |] [ ([| 1; 1 |], P.Le, 1) ] in
+  let s = S.solve_exn edge in
+  reject edge s.S.basis "alternate optimum certified"
+
+let test_certify_twin_tolerance () =
+  (* [z] (zero objective) appears only in the slack row 1, so its column
+     duplicates that row's slack: the reduced cost of the nonbasic twin
+     is structurally zero, yet the optimum is unique in [x] — the
+     certificate must tolerate the pair and still succeed. *)
+  let p =
+    P.make P.Maximize
+      [| Q.one; Q.zero |]
+      [
+        P.constr [| Q.one; Q.zero |] P.Le Q.one;
+        P.constr [| Q.half; Q.one |] P.Le Q.one;
+      ]
+  in
+  let s = S.solve_exn p in
+  match S.certify_basis p ~basis:s.S.basis with
+  | Some s' ->
+    Alcotest.check rat "value" s.S.value s'.S.value;
+    Alcotest.check rat "x" s.S.point.(0) s'.S.point.(0)
+  | None -> Alcotest.fail "twin pair rejected"
+
+let prop_certify_matches_cold =
+  (* Whenever the certificate accepts the cold solve's own basis, it
+     must agree with the cold solve on the value and on every objective
+     coordinate of the point (twin pairs carry zero objective, so the
+     guarantee covers everything callers read). *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"certify_basis agrees with the cold solve"
+       gen_problem (fun p ->
+         match S.solve p with
+         | S.Optimal s -> (
+           match S.certify_basis p ~basis:s.S.basis with
+           | None -> true
+           | Some s' ->
+             Q.equal s.S.value s'.S.value
+             && Array.for_all
+                  (fun j ->
+                    Q.sign p.P.objective.(j) = 0
+                    || Q.equal s.S.point.(j) s'.S.point.(j))
+                  (Array.init (P.num_vars p) Fun.id))
+         | S.Unbounded | S.Infeasible -> true))
+
+let prop_certify_float_basis =
+  (* The full fast-pipeline step: certify the float solver's terminal
+     basis.  Certified answers must match the cold solve exactly. *)
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:300 ~name:"certified float basis is exact"
+       gen_problem (fun p ->
+         match Simplex.Float_solver.solve p with
+         | Simplex.Float_solver.Optimal f -> (
+           match S.certify_basis p ~basis:f.Simplex.Float_solver.basis with
+           | None -> true
+           | Some s' -> (
+             match S.solve p with
+             | S.Optimal s ->
+               Q.equal s.S.value s'.S.value
+               && Array.for_all
+                    (fun j ->
+                      Q.sign p.P.objective.(j) = 0
+                      || Q.equal s.S.point.(j) s'.S.point.(j))
+                    (Array.init (P.num_vars p) Fun.id)
+             | _ -> false))
+         | _ -> true))
+
 let () =
   Alcotest.run "simplex"
     [
@@ -449,6 +640,26 @@ let () =
           Alcotest.test_case "basic" `Quick test_float_solver_basic;
           Alcotest.test_case "infeasible" `Quick test_float_solver_infeasible;
           prop_float_matches_exact;
+        ] );
+      ( "warm_start",
+        [
+          Alcotest.test_case "own basis certifies" `Quick test_warm_start_own_basis;
+          Alcotest.test_case "rejections" `Quick test_warm_start_rejections;
+          Alcotest.test_case "alternate optima" `Quick
+            test_warm_start_alternate_optima;
+          Alcotest.test_case "suboptimal basis" `Quick
+            test_warm_start_recovers_from_suboptimal_basis;
+          Alcotest.test_case "float stall cap" `Quick test_float_stall_cap;
+          prop_lifted_basis_certifies;
+          prop_warm_start_any_valid_basis;
+        ] );
+      ( "certify_basis",
+        [
+          Alcotest.test_case "own basis" `Quick test_certify_own_basis;
+          Alcotest.test_case "rejections" `Quick test_certify_rejects;
+          Alcotest.test_case "twin tolerance" `Quick test_certify_twin_tolerance;
+          prop_certify_matches_cold;
+          prop_certify_float_basis;
         ] );
       ( "lp_file",
         [
