@@ -339,27 +339,149 @@ let run_solver_bench ~quick ~k ~warmup ~json_path ~gate =
   !gate_pass
 
 (* ------------------------------------------------------------------ *)
+(* Part 4: robustness benchmark (BENCH_robustness.json)                *)
+(* ------------------------------------------------------------------ *)
+
+(* Recovered vs unrecovered completion under seeded fault plans: the
+   fault-case generator of [Check.Fuzz] drives the online re-planner
+   across a severity sweep and all three return-ratio regimes, and we
+   record how much of the campaign the no-recovery continuation lands by
+   the deadline versus the hedged decision of [Dls.Replan.respond].
+   Everything depends only on the seed, so the JSON is reproducible. *)
+
+module R = Dls.Replan
+
+type robustness_cell = {
+  severity : float;
+  regime : string;
+  r_cases : int;
+  unrecovered : float;  (** mean fraction of load done by deadline, no recovery *)
+  recovered : float;  (** same, under the chosen decision *)
+  unrecovered_tp : float;  (** mean throughput (load/deadline) by deadline *)
+  recovered_tp : float;
+  recoveries : int;  (** cases where a recovery schedule was spliced *)
+}
+
+let robustness_cell ~seed ~severity ~cases regime =
+  let rname = Check.Fuzz.regime_to_string regime in
+  let sum_u = ref 0.0 and sum_r = ref 0.0 in
+  let sum_utp = ref 0.0 and sum_rtp = ref 0.0 in
+  let recoveries = ref 0 in
+  for i = 0 to cases - 1 do
+    let platform, plan, load = Check.Fuzz.fault_case ~seed ~severity regime i in
+    let sol = Dls.Fifo.optimal platform in
+    let o = R.respond_exn plan sol ~load in
+    let frac (r : R.report) = Q.to_float (Q.div r.R.done_by_deadline r.R.total) in
+    let tp (r : R.report) =
+      Q.to_float (Q.div r.R.done_by_deadline r.R.deadline)
+    in
+    (* Sanity: the hedged decision must never lose to the baseline. *)
+    if Q.sign (Q.sub o.R.achieved.R.done_by_deadline
+                 o.R.baseline.R.done_by_deadline) < 0 then begin
+      Printf.eprintf
+        "FATAL: re-planner lost to no-recovery (severity %.2f, %s, case %d)\n"
+        severity rname i;
+      exit 3
+    end;
+    sum_u := !sum_u +. frac o.R.baseline;
+    sum_r := !sum_r +. frac o.R.achieved;
+    sum_utp := !sum_utp +. tp o.R.baseline;
+    sum_rtp := !sum_rtp +. tp o.R.achieved;
+    match o.R.decision with
+    | R.Recover _ -> incr recoveries
+    | R.Keep_original -> ()
+  done;
+  let n = float (max 1 cases) in
+  {
+    severity;
+    regime = rname;
+    r_cases = cases;
+    unrecovered = !sum_u /. n;
+    recovered = !sum_r /. n;
+    unrecovered_tp = !sum_utp /. n;
+    recovered_tp = !sum_rtp /. n;
+    recoveries = !recoveries;
+  }
+
+let robustness_cell_json c =
+  Printf.sprintf
+    "    {\"severity\": %.2f, \"regime\": \"%s\", \"cases\": %d,\n\
+    \     \"unrecovered_frac\": %.6f, \"recovered_frac\": %.6f,\n\
+    \     \"unrecovered_throughput\": %.6f, \"recovered_throughput\": %.6f,\n\
+    \     \"recoveries\": %d}"
+    c.severity c.regime c.r_cases c.unrecovered c.recovered c.unrecovered_tp
+    c.recovered_tp c.recoveries
+
+let run_robustness_bench ~quick ~cases ~seed ~json_path =
+  let severities = [ 0.25; 0.5; 0.75; 1.0 ] in
+  let cases = if quick then min cases 6 else cases in
+  Printf.printf "== robustness: recovered vs unrecovered under faults ==\n";
+  Printf.printf
+    "  (%d seeded fault cases per severity x regime, seed %d; fractions are\n\
+    \   mean load completed by the fault-free deadline)\n"
+    cases seed;
+  Printf.printf "  %-9s %-4s %12s %12s %10s %10s\n" "severity" "z" "unrecovered"
+    "recovered" "gain" "recovered%";
+  let cells =
+    List.concat_map
+      (fun severity ->
+        List.map
+          (fun regime ->
+            let c = robustness_cell ~seed ~severity ~cases regime in
+            Printf.printf "  %-9.2f %-4s %11.1f%% %11.1f%% %9.1f%% %9.0f%%\n%!"
+              c.severity c.regime (100.0 *. c.unrecovered)
+              (100.0 *. c.recovered)
+              (100.0 *. (c.recovered -. c.unrecovered))
+              (100.0 *. float c.recoveries /. float (max 1 c.r_cases));
+            c)
+          Check.Fuzz.all_regimes)
+      severities
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-robustness/1\",\n\
+      \  \"seed\": %d,\n\
+      \  \"cases_per_cell\": %d,\n\
+      \  \"quick\": %b,\n\
+      \  \"points\": [\n%s\n  ]\n}\n"
+      seed cases quick
+      (String.concat ",\n" (List.map robustness_cell_json cells))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
-    solvers_gate =
+    solvers_gate robustness_only robustness_json robustness_cases =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
     (if quick then " [quick mode]" else "");
-  if not solvers_only then begin
-    run_experiments ~quick ~jobs ~only;
-    if not skip_micro then begin
-      run_bechamel ~name:"components" (micro_tests ~jobs) ~quota_s:0.5;
-      run_bechamel ~name:"figures" (figure_tests ~jobs) ~quota_s:1.0
-    end
-  end;
-  let gate_pass =
-    run_solver_bench ~quick ~k:bench_k ~warmup ~json_path:solvers_json
-      ~gate:solvers_gate
-  in
-  if not gate_pass then exit 1
+  if robustness_only then
+    run_robustness_bench ~quick ~cases:robustness_cases ~seed:2026
+      ~json_path:robustness_json
+  else begin
+    if not solvers_only then begin
+      run_experiments ~quick ~jobs ~only;
+      if not skip_micro then begin
+        run_bechamel ~name:"components" (micro_tests ~jobs) ~quota_s:0.5;
+        run_bechamel ~name:"figures" (figure_tests ~jobs) ~quota_s:1.0
+      end
+    end;
+    let gate_pass =
+      run_solver_bench ~quick ~k:bench_k ~warmup ~json_path:solvers_json
+        ~gate:solvers_gate
+    in
+    run_robustness_bench ~quick ~cases:robustness_cases ~seed:2026
+      ~json_path:robustness_json;
+    if not gate_pass then exit 1
+  end
 
 let () =
   let quick_arg =
@@ -422,6 +544,27 @@ let () =
             "Exit non-zero if the certified fast pipeline is slower than the \
              exact baseline on the smoke case.")
   in
+  let robustness_only_arg =
+    Arg.(
+      value & flag
+      & info [ "robustness-only" ]
+          ~doc:"Run only the fault-recovery robustness benchmark (Part 4).")
+  in
+  let robustness_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_robustness.json"
+      & info [ "robustness-json" ] ~docv:"FILE"
+          ~doc:"Where to write the robustness benchmark JSON.")
+  in
+  let robustness_cases_arg =
+    Arg.(
+      value & opt int 18
+      & info [ "robustness-cases" ] ~docv:"N"
+          ~doc:
+            "Seeded fault cases per severity x regime cell of the robustness \
+             benchmark.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
@@ -429,6 +572,7 @@ let () =
       Term.(
         const main $ quick_arg $ skip_micro_arg $ only_arg $ jobs_arg
         $ solvers_only_arg $ solvers_json_arg $ bench_k_arg $ warmup_arg
-        $ solvers_gate_arg)
+        $ solvers_gate_arg $ robustness_only_arg $ robustness_json_arg
+        $ robustness_cases_arg)
   in
   exit (Cmd.eval cmd)

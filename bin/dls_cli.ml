@@ -11,6 +11,7 @@
      tree        divisible loads on tree networks (no-return baseline)
      affine      optimal FIFO with per-message start-up latencies
      sensitivity exact throughput sensitivity to each parameter
+     faults      generate/validate deterministic fault-injection plans
      check       exact validation: schedules, traces, differential fuzzing
      lp-dump     print a scheduling LP in LP-file format
      experiment  regenerate one of the paper's figures
@@ -62,7 +63,7 @@ let platform_arg =
     | None, Some path -> (
       match Dls.Platform_io.read path with
       | Ok p -> Ok p
-      | Error e -> Error (`Msg (Printf.sprintf "%s: %s" path e)))
+      | Error e -> Error (`Msg (Dls.Errors.to_string e)))
     | Some _, Some _ -> Error (`Msg "give either --platform or --platform-file")
     | None, None -> Error (`Msg "a platform is required (--platform or --platform-file)")
   in
@@ -286,38 +287,110 @@ let simulate_cmd =
   let noisy_arg =
     Arg.(value & flag & info [ "noisy" ] ~doc:"Apply the calibrated noise model.")
   in
-  let run platform discipline model items seed noisy =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"FILE"
+          ~doc:
+            "Inject the fault plan in $(docv) (see $(b,dls faults)) and \
+             report the perturbed execution: achieved load, deadline slack, \
+             per-worker lateness.")
+  in
+  let replan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replan" ] ~docv:"POLICY"
+          ~doc:
+            "React to $(b,--faults) online with one recovery policy: \
+             $(b,resolve), $(b,drop-faulty), $(b,margin[:M]), or $(b,none) \
+             to measure the unrecovered baseline.  Default: try every \
+             policy and keep the best outcome (never worse than \
+             $(b,none)).")
+  in
+  let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
+  let run_faulted platform sol items path replan =
+    let plan =
+      match Dls.Faults.read path with
+      | Ok plan -> plan
+      | Error e -> die "%s" (Dls.Errors.to_string e)
+    in
+    (match Dls.Faults.validate_for platform plan with
+    | Ok () -> ()
+    | Error e -> die "%s: %s" path (Dls.Errors.to_string e));
+    let policies =
+      match replan with
+      | None -> Dls.Replan.default_policies
+      | Some "none" -> []
+      | Some s -> (
+        match Dls.Replan.policy_of_string s with
+        | Some p -> [ p ]
+        | None -> die "unknown recovery policy %S" s)
+    in
+    let load = Q.of_int items in
+    let outcome =
+      match Dls.Replan.respond ~policies plan sol ~load with
+      | Ok o -> o
+      | Error e -> die "%s" (Dls.Errors.to_string e)
+    in
+    Format.printf "%a@." Dls.Replan.pp_outcome outcome;
+    let original = Dls.Schedule.for_load sol ~load in
+    match
+      Sim.Faults.execute_decision platform plan ~original
+        ~decision:outcome.Dls.Replan.decision
+    with
+    | Error e -> die "%s" (Dls.Errors.to_string e)
+    | Ok trace ->
+      let m =
+        Sim.Faults.metrics
+          ~deadline:(Q.to_float outcome.Dls.Replan.deadline)
+          ~total:(Q.to_float load) trace
+      in
+      Format.printf "simulated execution:@.  @[%a@]@." Sim.Faults.pp_metrics m;
+      print_string
+        (Sim.Gantt.render
+           ~names:(fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
+           trace)
+  in
+  let run platform discipline model items seed noisy faults replan =
     let sol =
       match discipline with
       | `Fifo -> Dls.Fifo.optimal ~model platform
       | `Lifo -> Dls.Lifo.optimal ~model platform
     in
-    let plan = Sim.Star.plan_of_rounded sol ~total:items in
-    let noise =
+    match faults with
+    | Some path ->
       if noisy then
-        Cluster.Noise.make (Cluster.Prng.create ~seed) ~n:100
-      else Sim.Star.no_noise
-    in
-    let trace = Sim.Star.execute ~noise platform plan in
-    let lp_time =
-      Q.to_float (Dls.Lp_model.time_for_load sol ~load:(Q.of_int items))
-    in
-    Format.printf "LP-predicted makespan: %.6g@." lp_time;
-    Format.printf "simulated makespan:    %.6g (%.2f%% above LP)@."
-      trace.Sim.Trace.makespan
-      (100.0 *. ((trace.Sim.Trace.makespan /. lp_time) -. 1.0));
-    Format.printf "trace valid: %b@." (Sim.Trace.is_valid trace);
-    print_string
-      (Sim.Gantt.render
-         ~names:(fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
-         trace)
+        prerr_endline "dls: note: --noisy is ignored when injecting faults";
+      run_faulted platform sol items path replan
+    | None ->
+      let plan = Sim.Star.plan_of_rounded sol ~total:items in
+      let noise =
+        if noisy then
+          Cluster.Noise.make (Cluster.Prng.create ~seed) ~n:100
+        else Sim.Star.no_noise
+      in
+      let trace = Sim.Star.execute ~noise platform plan in
+      let lp_time =
+        Q.to_float (Dls.Lp_model.time_for_load sol ~load:(Q.of_int items))
+      in
+      Format.printf "LP-predicted makespan: %.6g@." lp_time;
+      Format.printf "simulated makespan:    %.6g (%.2f%% above LP)@."
+        trace.Sim.Trace.makespan
+        (100.0 *. ((trace.Sim.Trace.makespan /. lp_time) -. 1.0));
+      Format.printf "trace valid: %b@." (Sim.Trace.is_valid trace);
+      print_string
+        (Sim.Gantt.render
+           ~names:(fun i -> (Dls.Platform.get platform i).Dls.Platform.name)
+           trace)
   in
   let doc = "simulate a campaign on the platform (one-port master protocol)" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(
       const run $ platform_arg $ discipline_arg $ model_arg $ items_arg
-      $ seed_arg $ noisy_arg)
+      $ seed_arg $ noisy_arg $ faults_arg $ replan_arg)
 
 (* ------------------------------------------------------------------ *)
 (* brute                                                               *)
@@ -700,6 +773,101 @@ let sensitivity_cmd =
     Term.(const run $ platform_arg $ model_arg $ factor_arg)
 
 (* ------------------------------------------------------------------ *)
+(* faults                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let faults_cmd =
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Validate the fault plan in $(docv) against the platform and \
+             report the degraded throughput, instead of generating one.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Generator seed.")
+  in
+  let severity_arg =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "severity" ] ~docv:"X"
+          ~doc:"Fault severity in [0, 1]: scales fault count and factor amplitudes.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt rational_conv Q.one
+      & info [ "deadline" ] ~docv:"T"
+          ~doc:"Campaign deadline the generated onsets are scaled to.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the plan to $(docv) instead of stdout.")
+  in
+  let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
+  let summarize platform plan =
+    let nominal = (Dls.Fifo.optimal platform).Dls.Lp_model.rho in
+    let survivors = Dls.Faults.survivors platform plan in
+    Format.printf "%d fault(s), %d of %d workers survive@."
+      (List.length (Dls.Faults.faults plan))
+      (List.length survivors) (Dls.Platform.size platform);
+    if survivors = [] then Format.printf "degraded throughput: 0 (no survivors)@."
+    else begin
+      let degraded =
+        Dls.Platform.restrict
+          (Dls.Faults.degraded_platform platform plan)
+          (Array.of_list survivors)
+      in
+      let rho' = (Dls.Fifo.optimal degraded).Dls.Lp_model.rho in
+      Format.printf "nominal throughput:  %s (~%.6g)@." (Q.to_string nominal)
+        (Q.to_float nominal);
+      Format.printf "degraded throughput: %s (~%.6g, %.1f%% of nominal)@."
+        (Q.to_string rho') (Q.to_float rho')
+        (100.0 *. Q.to_float (Q.div rho' nominal))
+    end
+  in
+  let run platform plan seed severity deadline out =
+    match plan with
+    | Some path -> (
+      match Dls.Faults.read path with
+      | Error e -> die "%s" (Dls.Errors.to_string e)
+      | Ok plan -> (
+        match Dls.Faults.validate_for platform plan with
+        | Error e -> die "%s: %s" path (Dls.Errors.to_string e)
+        | Ok () ->
+          Format.printf "%s: OK@." path;
+          summarize platform plan))
+    | None -> (
+      let rng = Numeric.Prng.create ~seed in
+      let plan =
+        Dls.Faults.gen rng
+          ~workers:(Dls.Platform.size platform)
+          ~deadline ~severity
+      in
+      match out with
+      | None ->
+        print_string (Dls.Faults.to_string plan);
+        summarize platform plan
+      | Some path ->
+        Dls.Faults.write path plan;
+        Format.printf "fault plan written to %s@." path;
+        summarize platform plan)
+  in
+  let doc =
+    "generate or validate deterministic fault plans for $(b,dls simulate --faults)"
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ platform_arg $ plan_arg $ seed_arg $ severity_arg
+      $ deadline_arg $ out_arg)
+
+(* ------------------------------------------------------------------ *)
 (* check                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -739,6 +907,23 @@ let check_cmd =
             "Differentially fuzz $(docv) random platforms per regime: all \
              solver paths must agree and every schedule must validate.")
   in
+  let fuzz_faults_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz-faults" ] ~docv:"N"
+          ~doc:
+            "Fuzz $(docv) random fault plans per regime through the online \
+             re-planner: every recovery schedule must validate exactly on \
+             the degraded platform and never do worse than no recovery.")
+  in
+  let severity_arg =
+    Arg.(
+      value
+      & opt float 0.6
+      & info [ "severity" ] ~docv:"X"
+          ~doc:"Fault severity for $(b,--fuzz-faults), in [0, 1].")
+  in
   let regime_arg =
     let regime =
       Arg.conv
@@ -753,8 +938,8 @@ let check_cmd =
       & opt (some regime) None
       & info [ "regime" ] ~docv:"Z"
           ~doc:
-            "Restrict $(b,--fuzz) to one return-ratio regime: $(b,z<1), \
-             $(b,z=1) or $(b,z>1) (default: all three).")
+            "Restrict $(b,--fuzz) / $(b,--fuzz-faults) to one return-ratio \
+             regime: $(b,z<1), $(b,z=1) or $(b,z>1) (default: all three).")
   in
   let platform_opt_arg =
     let doc =
@@ -774,8 +959,8 @@ let check_cmd =
   in
   let check_schedule path =
     match Dls.Schedule_io.read path with
-    | Error msg ->
-      Format.printf "%s: unreadable schedule: %s@." path msg;
+    | Error e ->
+      Format.printf "%s: unreadable schedule: %s@." path (Dls.Errors.to_string e);
       false
     | Ok sched ->
       report path
@@ -831,6 +1016,39 @@ let check_cmd =
                  fs)))
       regimes
   in
+  let check_fuzz_faults jobs count severity regime =
+    let regimes =
+      match regime with Some r -> [ r ] | None -> Check.Fuzz.all_regimes
+    in
+    List.for_all
+      (fun r ->
+        let failures = Check.Fuzz.run_fault_matrix ~jobs ~count ~severity r in
+        let label =
+          Printf.sprintf "fuzz-faults %s (%d cases, severity %.2f)"
+            (Check.Fuzz.regime_to_string r) count severity
+        in
+        report label
+          (match failures with
+          | [] -> Ok ()
+          | fs ->
+            Error
+              (List.concat_map
+                 (fun f ->
+                   Printf.sprintf "case %d:" f.Check.Fuzz.f_index
+                   :: List.map (fun m -> "  " ^ m) f.Check.Fuzz.f_messages
+                   @ [ "  platform:" ]
+                   @ List.map
+                       (fun l -> "    " ^ l)
+                       (String.split_on_char '\n'
+                          (String.trim f.Check.Fuzz.f_platform))
+                   @ [ "  faults:" ]
+                   @ List.map
+                       (fun l -> "    " ^ l)
+                       (String.split_on_char '\n'
+                          (String.trim f.Check.Fuzz.f_faults)))
+                 fs)))
+      regimes
+  in
   let check_platform platform =
     List.for_all
       (fun (label, sol) ->
@@ -845,7 +1063,7 @@ let check_cmd =
         schedule_ok && certificate_ok)
       [ ("fifo", Dls.Fifo.optimal platform); ("lifo", Dls.Lifo.optimal platform) ]
   in
-  let run schedule trace eps fuzz regime platform jobs =
+  let run schedule trace eps fuzz fuzz_faults severity regime platform jobs =
     let checks =
       List.concat
         [
@@ -858,6 +1076,10 @@ let check_cmd =
           (match fuzz with
           | Some count -> [ (fun () -> check_fuzz jobs count regime) ]
           | None -> []);
+          (match fuzz_faults with
+          | Some count ->
+            [ (fun () -> check_fuzz_faults jobs count severity regime) ]
+          | None -> []);
           (match platform with
           | Some p -> [ (fun () -> check_platform p) ]
           | None -> []);
@@ -865,7 +1087,8 @@ let check_cmd =
     in
     if checks = [] then begin
       prerr_endline
-        "nothing to check: give --schedule, --trace, --fuzz and/or --platform";
+        "nothing to check: give --schedule, --trace, --fuzz, --fuzz-faults \
+         and/or --platform";
       exit 2
     end;
     (* Run every requested check before deciding the exit code. *)
@@ -879,8 +1102,9 @@ let check_cmd =
   Cmd.v
     (Cmd.info "check" ~doc)
     Term.(
-      const run $ schedule_arg $ trace_arg $ eps_arg $ fuzz_arg $ regime_arg
-      $ platform_opt_arg $ jobs_arg)
+      const run $ schedule_arg $ trace_arg $ eps_arg $ fuzz_arg
+      $ fuzz_faults_arg $ severity_arg $ regime_arg $ platform_opt_arg
+      $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lp-dump                                                             *)
@@ -939,6 +1163,7 @@ let () =
             tree_cmd;
             affine_cmd;
             sensitivity_cmd;
+            faults_cmd;
             check_cmd;
             lp_dump_cmd;
             experiment_cmd;

@@ -208,3 +208,102 @@ let run_matrix ?jobs ?(count = 200) ?(seed = 7) ?(fast = false) regime =
   in
   let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
   List.filter_map Fun.id (Array.to_list results)
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection matrix                                              *)
+(* ------------------------------------------------------------------ *)
+
+type fault_failure = {
+  f_index : int;
+  f_platform : string;
+  f_faults : string;
+  f_messages : string list;
+}
+
+let check_faulted platform plan ~load =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let sol = Dls.Fifo.optimal platform in
+  (match Dls.Replan.respond plan sol ~load with
+  | Error e -> add "respond failed: %s" (Dls.Errors.to_string e)
+  | Ok outcome ->
+    let open Dls.Replan in
+    (* The baseline must be exactly the independent no-recovery replay. *)
+    let original = Dls.Schedule.for_load sol ~load in
+    let naive =
+      report_of ~deadline:outcome.deadline ~total:load
+        (replay_seq platform plan (seq_of_schedule original ~start:Q.zero))
+    in
+    if naive.done_by_deadline <>/ outcome.baseline.done_by_deadline then
+      add "baseline %s disagrees with an independent replay %s"
+        (Q.to_string outcome.baseline.done_by_deadline)
+        (Q.to_string naive.done_by_deadline);
+    (* Never worse than doing nothing. *)
+    if outcome.achieved.done_by_deadline </ naive.done_by_deadline then
+      add "re-planner achieved %s, worse than the no-recovery baseline %s"
+        (Q.to_string outcome.achieved.done_by_deadline)
+        (Q.to_string naive.done_by_deadline);
+    (* A no-fault plan never triggers a recovery and completes fully. *)
+    if Dls.Faults.is_empty plan then begin
+      (match outcome.decision with
+      | Keep_original -> ()
+      | Recover _ -> add "re-planned with an empty fault plan");
+      if outcome.achieved.done_by_deadline <>/ load then
+        add "no faults, yet only %s of %s done by the deadline"
+          (Q.to_string outcome.achieved.done_by_deadline) (Q.to_string load)
+    end;
+    (match outcome.decision with
+    | Keep_original -> ()
+    | Recover r -> (
+      (* Accounting ties the recovery to the campaign it splices into. *)
+      if r.banked +/ r.residual <>/ load then
+        add "banked %s + residual %s <> load %s" (Q.to_string r.banked)
+          (Q.to_string r.residual) (Q.to_string load);
+      (* The spliced schedule must validate exactly against the degraded
+         platform — the one-port model holds even while recovering. *)
+      match Validator.validate_recovery ~deadline:outcome.deadline r with
+      | Ok () -> ()
+      | Error vs ->
+        List.iter
+          (fun v -> add "recovery: %s" (Validator.violation_to_string r.degraded v))
+          vs));
+    (* Same inputs, same answer: respond is a pure function. *)
+    match Dls.Replan.respond plan sol ~load with
+    | Error e -> add "second respond failed: %s" (Dls.Errors.to_string e)
+    | Ok outcome' ->
+      let render o = Format.asprintf "%a" pp_outcome o in
+      if render outcome <> render outcome' then
+        add "respond is not deterministic on identical inputs");
+  List.rev !errs
+
+let fault_case ~seed ~severity regime i =
+  let rng = Random.State.make [| seed; 16 + regime_tag regime; i |] in
+  let platform = gen_platform rng regime in
+  let sol = Dls.Fifo.optimal platform in
+  (* Deadlines of 1/2, 1 or 2 time units, so onsets and durations drawn
+     by the generator exercise different scales. *)
+  let scale = Q.of_ints (1 + Random.State.int rng 4) 2 in
+  let load = Q.mul sol.Dls.Lp_model.rho scale in
+  let deadline = Dls.Lp_model.time_for_load sol ~load in
+  let prng = Numeric.Prng.create ~seed:((seed * 1_000_003) + (regime_tag regime * 4096) + i) in
+  let plan =
+    Dls.Faults.gen prng ~workers:(Dls.Platform.size platform) ~deadline ~severity
+  in
+  (platform, plan, load)
+
+let run_fault_matrix ?jobs ?(count = 200) ?(seed = 11) ?(severity = 0.6) regime =
+  let check i =
+    let platform, plan, load = fault_case ~seed ~severity regime i in
+    match check_faulted platform plan ~load with
+    | [] -> None
+    | messages ->
+      Some
+        {
+          f_index = i;
+          f_platform = Dls.Platform_io.to_string platform;
+          f_faults = Dls.Faults.to_string plan;
+          f_messages = messages;
+        }
+  in
+  let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
+  List.filter_map Fun.id (Array.to_list results)

@@ -66,3 +66,49 @@ type failure = { index : int; platform : string; messages : string list }
     matrix passes). *)
 val run_matrix :
   ?jobs:int -> ?count:int -> ?seed:int -> ?fast:bool -> regime -> failure list
+
+(** {1 Fault-injection matrix}
+
+    The robustness analogue of {!run_matrix}: random platforms paired
+    with random seeded fault plans ({!Dls.Faults.gen}), each fed to the
+    online re-planner ({!Dls.Replan.respond}), asserting that
+
+    - the re-planner's no-recovery baseline equals an independent exact
+      replay of the original schedule under the faults;
+    - the chosen decision never completes less load by the deadline than
+      that baseline (re-planning never hurts);
+    - when it recovers, the spliced schedule passes
+      {!Validator.validate_recovery} — exact one-port validity on the
+      degraded platform, deadline respected, accounting consistent;
+    - an empty fault plan yields [Keep_original] with full completion;
+    - [respond] is deterministic on identical inputs. *)
+
+type fault_failure = {
+  f_index : int;
+  f_platform : string;  (** serialized, for reproduction *)
+  f_faults : string;  (** serialized fault plan *)
+  f_messages : string list;
+}
+
+(** [check_faulted platform plan ~load] runs every assertion above for
+    one case; returns the discrepancies (empty = pass). *)
+val check_faulted : Dls.Platform.t -> Dls.Faults.plan -> load:Q.t -> string list
+
+(** [fault_case ~seed ~severity regime i] draws case [i] of the matrix:
+    a platform of the regime, a fault plan whose onsets and factors
+    scale with [severity] in [[0, 1]], and a campaign load sized to a
+    deadline of 1/2 to 2 time units.  Depends only on the arguments —
+    never on scheduling or [jobs]. *)
+val fault_case :
+  seed:int -> severity:float -> regime -> int -> Dls.Platform.t * Dls.Faults.plan * Q.t
+
+(** [run_fault_matrix ?jobs ?count ?seed ?severity regime] fuzzes
+    [count] (default 200) fault cases over a {!Parallel.Pool}; failures
+    come back in index order (empty = the matrix passes). *)
+val run_fault_matrix :
+  ?jobs:int ->
+  ?count:int ->
+  ?seed:int ->
+  ?severity:float ->
+  regime ->
+  fault_failure list

@@ -21,6 +21,8 @@ type violation =
       phase2 : string;
     }
   | Load_sum_mismatch of { claimed : Q.t; actual : Q.t }
+  | Recovery_misses_deadline of { finish : Q.t; deadline : Q.t }
+  | Recovery_accounting of { msg : string }
 
 let violation_to_string platform v =
   let name i = (Dls.Platform.get platform i).Dls.Platform.name in
@@ -47,6 +49,10 @@ let violation_to_string platform v =
   | Load_sum_mismatch { claimed; actual } ->
     Printf.sprintf "claimed throughput %s but validated loads sum to %s"
       (Q.to_string claimed) (Q.to_string actual)
+  | Recovery_misses_deadline { finish; deadline } ->
+    Printf.sprintf "recovery schedule ends at %s, after the deadline %s"
+      (Q.to_string finish) (Q.to_string deadline)
+  | Recovery_accounting { msg } -> Printf.sprintf "recovery accounting: %s" msg
 
 let pp_violation platform fmt v =
   Format.pp_print_string fmt (violation_to_string platform v)
@@ -145,6 +151,35 @@ let validate_solved (sol : Dls.Lp_model.solved) =
     else base
   in
   if errs = [] then Ok () else Error errs
+
+let validate_recovery ~deadline (r : Dls.Replan.recovery) =
+  let open Dls.Replan in
+  (* The spliced schedule's dates are relative to the splice point
+     [r.at]; it must validate {e exactly} on the degraded platform it
+     embeds, carry exactly the load it claims, keep the residual
+     accounting consistent, and land before the campaign deadline. *)
+  let base = match validate r.schedule with Ok () -> [] | Error vs -> vs in
+  let errs = ref (List.rev base) in
+  let add v = errs := v :: !errs in
+  let total = Dls.Schedule.total_load r.schedule in
+  if total <>/ r.planned then
+    add (Load_sum_mismatch { claimed = r.planned; actual = total });
+  let finish = r.at +/ Dls.Schedule.makespan r.schedule in
+  if finish >/ deadline then add (Recovery_misses_deadline { finish; deadline });
+  if Q.sign r.banked < 0 then
+    add (Recovery_accounting { msg = "negative banked load" });
+  if Q.sign r.unscheduled < 0 then
+    add (Recovery_accounting { msg = "negative unscheduled load" });
+  if r.planned +/ r.unscheduled <>/ r.residual then
+    add
+      (Recovery_accounting
+         {
+           msg =
+             Printf.sprintf "planned %s + unscheduled %s <> residual %s"
+               (Q.to_string r.planned) (Q.to_string r.unscheduled)
+               (Q.to_string r.residual);
+         });
+  match List.rev !errs with [] -> Ok () | vs -> Error vs
 
 let errors_of_result platform = function
   | Ok () -> Ok ()

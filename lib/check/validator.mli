@@ -49,6 +49,10 @@ type violation =
     }  (** two master transfers strictly overlap *)
   | Load_sum_mismatch of { claimed : Q.t; actual : Q.t }
       (** the claimed throughput is not the sum of the validated loads *)
+  | Recovery_misses_deadline of { finish : Q.t; deadline : Q.t }
+      (** the spliced recovery schedule ends after the campaign deadline *)
+  | Recovery_accounting of { msg : string }
+      (** banked/residual/planned/unscheduled bookkeeping inconsistent *)
 
 val violation_to_string : Dls.Platform.t -> violation -> string
 val pp_violation : Dls.Platform.t -> Format.formatter -> violation -> unit
@@ -63,6 +67,15 @@ val validate : Dls.Schedule.t -> (unit, violation list) result
     deadline [T = 1], and additionally checks that the claimed [rho]
     equals the sum of the validated [alpha]s. *)
 val validate_solved : Dls.Lp_model.solved -> (unit, violation list) result
+
+(** [validate_recovery ~deadline r] checks a re-planning recovery: the
+    spliced schedule validates {e exactly} against the degraded platform
+    it embeds ({!validate}), carries exactly [r.planned] load, finishes
+    by [deadline] (its dates being relative to the splice point [r.at]),
+    and the [banked]/[residual]/[planned]/[unscheduled] accounting is
+    consistent. *)
+val validate_recovery :
+  deadline:Q.t -> Dls.Replan.recovery -> (unit, violation list) result
 
 (** [errors_of_result platform r] renders a validation result as
     strings, for reporting. *)

@@ -1,35 +1,11 @@
 (** Deterministic pseudo-random numbers (xoshiro256++, seeded through
     SplitMix64).
 
-    Self-contained so that every experiment in the repository is exactly
-    reproducible from its seed, independent of the OCaml stdlib's
-    generator version. *)
+    This is an alias of {!Numeric.Prng} — the implementation moved down
+    so that fault-plan generation ({!Dls.Faults}) and the fault fuzzer
+    ({!Check.Fuzz}) can share the exact same stream; [Cluster.Prng.t]
+    and [Numeric.Prng.t] are the same type. *)
 
-type t
-
-(** [create ~seed] initializes a generator. Any seed is fine, including
-    0. *)
-val create : seed:int -> t
-
-(** [split rng] derives an independently-seeded generator (for giving
-    each experiment repetition its own stream). *)
-val split : t -> t
-
-(** [bits64 rng] is the next raw 64-bit output. *)
-val bits64 : t -> int64
-
-(** [float rng] is uniform in [0, 1) with 53-bit resolution. *)
-val float : t -> float
-
-(** [uniform rng ~lo ~hi] is uniform in [lo, hi). *)
-val uniform : t -> lo:float -> hi:float -> float
-
-(** [int_range rng ~lo ~hi] is uniform over the inclusive range. *)
-val int_range : t -> lo:int -> hi:int -> int
-
-(** [gaussian rng] is a standard normal deviate (Box-Muller). *)
-val gaussian : t -> float
-
-(** [lognormal rng ~sigma] is [exp (sigma * gaussian)] — a
-    multiplicative jitter factor with median 1. *)
-val lognormal : t -> sigma:float -> float
+include module type of struct
+  include Numeric.Prng
+end

@@ -1,4 +1,9 @@
-type t = Unbounded | Infeasible | Invalid_scenario of string
+type t =
+  | Unbounded
+  | Infeasible
+  | Invalid_scenario of string
+  | Parse_error of { file : string option; line : int; col : int; msg : string }
+  | Io_error of string
 
 exception Error of t
 
@@ -6,6 +11,12 @@ let to_string = function
   | Unbounded -> "unbounded scheduling LP"
   | Infeasible -> "infeasible scheduling LP"
   | Invalid_scenario msg -> "invalid scenario: " ^ msg
+  | Parse_error { file; line; col; msg } ->
+    let where =
+      match file with Some f -> Printf.sprintf "%s:%d:%d" f line col | None -> Printf.sprintf "line %d, column %d" line col
+    in
+    Printf.sprintf "parse error at %s: %s" where msg
+  | Io_error msg -> "i/o error: " ^ msg
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 
@@ -16,6 +27,15 @@ let of_solver = function
 let get_exn = function Ok v -> v | Error e -> raise (Error e)
 let invalid fmt =
   Printf.ksprintf (fun msg -> Result.Error (Invalid_scenario msg)) fmt
+
+let parse_error ?file ~line ~col fmt =
+  Printf.ksprintf
+    (fun msg -> Result.Error (Parse_error { file; line; col; msg }))
+    fmt
+
+let in_file file = function
+  | Parse_error p -> Parse_error { p with file = Some file }
+  | e -> e
 
 (* Render the payload in [Printexc] backtraces and alcotest failures. *)
 let () =

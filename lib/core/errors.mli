@@ -12,6 +12,10 @@ type t =
   | Invalid_scenario of string
       (** malformed combinatorial input: bad permutation pair, empty
           enrollment, out-of-range worker index, unusable platform ... *)
+  | Parse_error of { file : string option; line : int; col : int; msg : string }
+      (** malformed textual input ({!Platform_io}, {!Schedule_io},
+          {!Faults}): 1-based line and column of the offending token *)
+  | Io_error of string  (** the underlying file could not be read/written *)
 
 (** Raised by the [_exn] wrappers. *)
 exception Error of t
@@ -27,3 +31,12 @@ val get_exn : ('a, t) result -> 'a
 
 (** [invalid fmt ...] builds an [Error (Invalid_scenario msg)] result. *)
 val invalid : ('a, unit, string, ('b, t) result) format4 -> 'a
+
+(** [parse_error ?file ~line ~col fmt ...] builds an
+    [Error (Parse_error _)] result (1-based positions). *)
+val parse_error :
+  ?file:string -> line:int -> col:int -> ('a, unit, string, ('b, t) result) format4 -> 'a
+
+(** [in_file path e] attaches the file name to a {!Parse_error}
+    (identity on every other constructor). *)
+val in_file : string -> t -> t

@@ -1,0 +1,324 @@
+module Q = Numeric.Rational
+open Q.Infix
+
+type fault =
+  | Slowdown of { worker : int; factor : Q.t; from_ : Q.t }
+  | Degrade of { worker : int; factor : Q.t; from_ : Q.t }
+  | Crash of { worker : int; at : Q.t }
+  | Stall of { worker : int; at : Q.t; duration : Q.t }
+
+type plan = fault list (* sorted by onset, stable *)
+
+let onset = function
+  | Slowdown { from_; _ } | Degrade { from_; _ } -> from_
+  | Crash { at; _ } | Stall { at; _ } -> at
+
+let worker_of = function
+  | Slowdown { worker; _ } | Degrade { worker; _ } | Crash { worker; _ }
+  | Stall { worker; _ } ->
+    worker
+
+let fault_to_string f =
+  let q = Q.to_string in
+  match f with
+  | Slowdown { worker; factor; from_ } ->
+    Printf.sprintf "slowdown %d %s %s" worker (q factor) (q from_)
+  | Degrade { worker; factor; from_ } ->
+    Printf.sprintf "degrade %d %s %s" worker (q factor) (q from_)
+  | Crash { worker; at } -> Printf.sprintf "crash %d %s" worker (q at)
+  | Stall { worker; at; duration } ->
+    Printf.sprintf "stall %d %s %s" worker (q at) (q duration)
+
+let check_fault f =
+  let err fmt = Errors.invalid fmt in
+  if worker_of f < 0 then err "fault %s: negative worker index" (fault_to_string f)
+  else if Q.sign (onset f) < 0 then
+    err "fault %s: negative onset time" (fault_to_string f)
+  else
+    match f with
+    | Slowdown { factor; _ } | Degrade { factor; _ } ->
+      if Q.sign factor <= 0 then
+        err "fault %s: factor must be positive" (fault_to_string f)
+      else if factor </ Q.one then
+        err "fault %s: factor below 1 would be a speed-up, not a fault"
+          (fault_to_string f)
+      else Ok ()
+    | Stall { duration; _ } ->
+      if Q.sign duration <= 0 then
+        err "fault %s: stall duration must be positive" (fault_to_string f)
+      else Ok ()
+    | Crash _ -> Ok ()
+
+let ( let* ) = Result.bind
+
+let make faults =
+  let rec check = function
+    | [] -> Ok ()
+    | f :: rest ->
+      let* () = check_fault f in
+      check rest
+  in
+  let* () = check faults in
+  Ok (List.stable_sort (fun a b -> Q.compare (onset a) (onset b)) faults)
+
+let make_exn faults = Errors.get_exn (make faults)
+let empty : plan = []
+let is_empty (p : plan) = p = []
+let faults (p : plan) = p
+let first_onset = function [] -> None | f :: _ -> Some (onset f)
+
+let validate_for platform (p : plan) =
+  let n = Platform.size platform in
+  let rec go = function
+    | [] -> Ok ()
+    | f :: rest ->
+      if worker_of f >= n then
+        Errors.invalid "fault %s: worker index out of range (platform has %d)"
+          (fault_to_string f) n
+      else go rest
+  in
+  go p
+
+let sorted_unique l = List.sort_uniq compare l
+
+let crashed (p : plan) =
+  sorted_unique (List.filter_map (function Crash { worker; _ } -> Some worker | _ -> None) p)
+
+let faulty_workers (p : plan) = sorted_unique (List.map worker_of p)
+
+let survivors platform (p : plan) =
+  let dead = crashed p in
+  List.filter
+    (fun i -> not (List.mem i dead))
+    (List.init (Platform.size platform) Fun.id)
+
+(* The steady-state worst case: every slowdown/degradation applied in
+   full, whatever its onset.  This is the platform the re-planner plans
+   against and the one recovery schedules validate under; execution can
+   only be (weakly) faster before late onsets, except for transient
+   stalls, which the hedged replay accounts for separately. *)
+let degraded_platform platform (p : plan) =
+  let n = Platform.size platform in
+  let comm = Array.make n Q.one and comp = Array.make n Q.one in
+  List.iter
+    (function
+      | Slowdown { worker; factor; _ } -> comp.(worker) <- comp.(worker) */ factor
+      | Degrade { worker; factor; _ } -> comm.(worker) <- comm.(worker) */ factor
+      | Crash _ | Stall _ -> ())
+    p;
+  Platform.make_exn
+    (List.init n (fun i ->
+         let wk = Platform.get platform i in
+         Platform.worker ~name:wk.Platform.name
+           ~c:(wk.Platform.c */ comm.(i))
+           ~w:(wk.Platform.w */ comp.(i))
+           ~d:(wk.Platform.d */ comm.(i))
+           ()))
+
+(* ------------------------------------------------------------------ *)
+(* Exact piecewise-rate progress integration                           *)
+(* ------------------------------------------------------------------ *)
+
+type activity = Send_to of int | Compute_on of int | Return_from of int
+
+let activity_worker = function
+  | Send_to i | Compute_on i | Return_from i -> i
+
+(* Which faults bear on an activity:
+   - [Slowdown] stretches computations;
+   - [Degrade] stretches transfers in both directions (c and d);
+   - [Stall] freezes transfers during its window;
+   - [Crash] freezes the worker's computation and its result transfer
+     forever.  A send {e towards} a crashed worker still occupies the
+     port at nominal speed: the one-port master pushes the data without
+     an acknowledgement, which is the pessimistic (and simple) model. *)
+let relevant plan act =
+  let j = activity_worker act in
+  let is_comm = match act with Compute_on _ -> false | _ -> true in
+  List.filter_map
+    (fun f ->
+      if worker_of f <> j then None
+      else
+        match (f, act) with
+        | Slowdown { factor; from_; _ }, Compute_on _ -> Some (`Factor (from_, factor))
+        | Slowdown _, _ -> None
+        | Degrade { factor; from_; _ }, _ when is_comm -> Some (`Factor (from_, factor))
+        | Degrade _, _ -> None
+        | Stall { at; duration; _ }, _ when is_comm -> Some (`Window (at, at +/ duration))
+        | Stall _, _ -> None
+        | Crash { at; _ }, (Compute_on _ | Return_from _) -> Some (`Forever at)
+        | Crash _, Send_to _ -> None)
+    plan
+
+let finish_time platform plan act ~start ~load =
+  if Q.sign load < 0 then invalid_arg "Faults.finish_time: negative load";
+  let wk = Platform.get platform (activity_worker act) in
+  let unit_cost =
+    match act with
+    | Send_to _ -> wk.Platform.c
+    | Compute_on _ -> wk.Platform.w
+    | Return_from _ -> wk.Platform.d
+  in
+  let need = load */ unit_cost in
+  if Q.is_zero need then Some start
+  else begin
+    let events = relevant plan act in
+    (* Every instant where the effective rate may change. *)
+    let breakpoints =
+      List.sort_uniq Q.compare
+        (List.concat_map
+           (function
+             | `Factor (t, _) -> [ t ]
+             | `Window (t0, t1) -> [ t0; t1 ]
+             | `Forever t -> [ t ])
+           events)
+    in
+    let factor_at t =
+      (* [None] = no progress at time [t]. *)
+      let blocked =
+        List.exists
+          (function
+            | `Window (t0, t1) -> t0 <=/ t && t </ t1
+            | `Forever t0 -> t0 <=/ t
+            | `Factor _ -> false)
+          events
+      in
+      if blocked then None
+      else
+        Some
+          (List.fold_left
+             (fun acc -> function
+               | `Factor (t0, f) when t0 <=/ t -> acc */ f
+               | _ -> acc)
+             Q.one events)
+    in
+    let next_bp t =
+      List.find_opt (fun b -> b >/ t) breakpoints
+    in
+    (* March interval by interval; [need] is measured in nominal time
+       units (load times unit cost), an active factor [f] makes one
+       nominal unit take [f] wall-clock units. *)
+    let rec go t need =
+      match factor_at t with
+      | None -> (
+        match next_bp t with
+        | Some nb -> go nb need
+        | None -> None (* permanently blocked: crash *))
+      | Some f -> (
+        match next_bp t with
+        | None -> Some (t +/ (need */ f))
+        | Some nb ->
+          let span = nb -/ t in
+          let doable = span // f in
+          if doable >=/ need then Some (t +/ (need */ f)) else go nb (need -/ doable))
+    in
+    go start need
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Text format                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let to_string (p : plan) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# dls faults v1\n";
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (fault_to_string f);
+      Buffer.add_char buf '\n')
+    p;
+  Buffer.contents buf
+
+module T = Text_format
+
+let of_string text =
+  let parse_line lineno line =
+    let rat = T.rational ~line:lineno in
+    match T.tokens line with
+    | [] -> Ok None
+    | { T.text = "slowdown"; col } :: rest -> (
+      match rest with
+      | [ w; factor; from_ ] ->
+        let* worker = T.int ~line:lineno w in
+        let* factor = rat factor in
+        let* from_ = rat from_ in
+        Ok (Some (Slowdown { worker; factor; from_ }))
+      | _ -> Errors.parse_error ~line:lineno ~col "slowdown takes: worker factor from")
+    | { T.text = "degrade"; col } :: rest -> (
+      match rest with
+      | [ w; factor; from_ ] ->
+        let* worker = T.int ~line:lineno w in
+        let* factor = rat factor in
+        let* from_ = rat from_ in
+        Ok (Some (Degrade { worker; factor; from_ }))
+      | _ -> Errors.parse_error ~line:lineno ~col "degrade takes: worker factor from")
+    | { T.text = "crash"; col } :: rest -> (
+      match rest with
+      | [ w; at ] ->
+        let* worker = T.int ~line:lineno w in
+        let* at = rat at in
+        Ok (Some (Crash { worker; at }))
+      | _ -> Errors.parse_error ~line:lineno ~col "crash takes: worker at")
+    | { T.text = "stall"; col } :: rest -> (
+      match rest with
+      | [ w; at; duration ] ->
+        let* worker = T.int ~line:lineno w in
+        let* at = rat at in
+        let* duration = rat duration in
+        Ok (Some (Stall { worker; at; duration }))
+      | _ -> Errors.parse_error ~line:lineno ~col "stall takes: worker at duration")
+    | directive :: _ ->
+      Errors.parse_error ~line:lineno ~col:directive.T.col
+        "unknown fault %S (expected slowdown, degrade, crash or stall)"
+        directive.T.text
+  in
+  let rec collect lineno acc = function
+    | [] -> make (List.rev acc)
+    | line :: rest ->
+      let* parsed = parse_line lineno line in
+      collect (lineno + 1)
+        (match parsed with Some f -> f :: acc | None -> acc)
+        rest
+  in
+  collect 1 [] (String.split_on_char '\n' text)
+
+let write path p =
+  match T.write_file path (to_string p) with
+  | Ok () -> ()
+  | Error e -> raise (Errors.Error e)
+
+let read path =
+  let* content = T.read_file path in
+  Result.map_error (Errors.in_file path) (of_string content)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded generation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen rng ~workers ~deadline ~severity =
+  if workers <= 0 then invalid_arg "Faults.gen: empty platform";
+  if Q.sign deadline <= 0 then invalid_arg "Faults.gen: non-positive deadline";
+  let severity = Float.max 0.0 (Float.min 1.0 severity) in
+  let amplitude = 1 + int_of_float (Float.round (8.0 *. severity)) in
+  let count = 1 + Numeric.Prng.int_range rng ~lo:0 ~hi:(1 + int_of_float (Float.round (2.0 *. severity))) in
+  let crashes = ref 0 in
+  let draw () =
+    let worker = Numeric.Prng.int_range rng ~lo:0 ~hi:(workers - 1) in
+    (* Onsets land in the first three quarters of the horizon, on a
+       16th-of-deadline grid, so the plan stays exactly rational. *)
+    let tick = Numeric.Prng.int_range rng ~lo:0 ~hi:12 in
+    let at = deadline */ Q.of_ints tick 16 in
+    let factor () =
+      Q.one +/ Q.of_ints (1 + Numeric.Prng.int_range rng ~lo:0 ~hi:amplitude) 4
+    in
+    match Numeric.Prng.int_range rng ~lo:0 ~hi:19 with
+    | 0 | 1 | 2 when !crashes < workers - 1 ->
+      incr crashes;
+      Crash { worker; at }
+    | k when k <= 6 ->
+      let ticks = 1 + Numeric.Prng.int_range rng ~lo:0 ~hi:amplitude in
+      Stall { worker; at; duration = deadline */ Q.of_ints ticks 32 }
+    | k when k <= 13 -> Slowdown { worker; factor = factor (); from_ = at }
+    | _ -> Degrade { worker; factor = factor (); from_ = at }
+  in
+  make_exn (List.init count (fun _ -> draw ()))

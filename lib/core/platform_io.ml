@@ -1,4 +1,5 @@
 module Q = Numeric.Rational
+module T = Text_format
 
 let to_string p =
   let buf = Buffer.create 256 in
@@ -11,57 +12,42 @@ let to_string p =
   done;
   Buffer.contents buf
 
+let ( let* ) = Result.bind
+
 let of_string text =
-  let lines = String.split_on_char '\n' text in
   let parse_line lineno line =
-    let line =
-      match String.index_opt line '#' with
-      | Some i -> String.sub line 0 i
-      | None -> line
-    in
-    match String.split_on_char ' ' line |> List.concat_map (String.split_on_char '\t')
-          |> List.filter (fun s -> s <> "")
-    with
+    match T.tokens line with
     | [] -> Ok None
-    | [ name; c; w; d ] -> (
-      try
-        Ok
-          (Some
-             (Platform.worker ~name ~c:(Q.of_string c) ~w:(Q.of_string w)
-                ~d:(Q.of_string d) ()))
-      with Invalid_argument msg | Failure msg ->
-        Error (Printf.sprintf "line %d: %s" lineno msg))
-    | fields ->
-      Error
-        (Printf.sprintf "line %d: expected 'name c w d', found %d fields" lineno
-           (List.length fields))
+    | [ name; c; w; d ] ->
+      let* c = T.rational ~line:lineno c in
+      let* w = T.rational ~line:lineno w in
+      let* d = T.rational ~line:lineno d in
+      (match Platform.worker ~name:name.T.text ~c ~w ~d () with
+      | wk -> Ok (Some wk)
+      | exception Invalid_argument msg ->
+        Errors.parse_error ~line:lineno ~col:name.T.col "%s" msg)
+    | tok :: _ as fields ->
+      Errors.parse_error ~line:lineno ~col:tok.T.col
+        "expected 'name c w d', found %d fields" (List.length fields)
   in
   let rec collect lineno acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest -> (
-      match parse_line lineno line with
-      | Ok None -> collect (lineno + 1) acc rest
-      | Ok (Some w) -> collect (lineno + 1) (w :: acc) rest
-      | Error e -> Error e)
+    | line :: rest ->
+      let* parsed = parse_line lineno line in
+      collect (lineno + 1)
+        (match parsed with Some w -> w :: acc | None -> acc)
+        rest
   in
-  match collect 1 [] lines with
-  | Error e -> Error e
-  | Ok [] -> Error "no workers"
-  | Ok workers -> (
-    match Platform.make workers with
-    | Ok p -> Ok p
-    | Error e -> Error (Errors.to_string e))
+  let* workers = collect 1 [] (String.split_on_char '\n' text) in
+  match workers with
+  | [] -> Error (Errors.Invalid_scenario "platform file lists no workers")
+  | workers -> Platform.make workers
 
 let write path p =
-  let oc = open_out path in
-  output_string oc (to_string p);
-  close_out oc
+  match Text_format.write_file path (to_string p) with
+  | Ok () -> ()
+  | Error e -> raise (Errors.Error e)
 
 let read path =
-  match open_in path with
-  | exception Sys_error e -> Error e
-  | ic ->
-    let len = in_channel_length ic in
-    let content = really_input_string ic len in
-    close_in ic;
-    of_string content
+  let* content = Text_format.read_file path in
+  Result.map_error (Errors.in_file path) (of_string content)

@@ -12,11 +12,17 @@
 (** [to_string p] serializes the platform. *)
 val to_string : Platform.t -> string
 
-(** [of_string s] parses a platform; [Error message] on malformed
-    input. *)
-val of_string : string -> (Platform.t, string) result
+(** [of_string s] parses a platform.  Malformed input — unparseable
+    rationals (including ["1/0"]), wrong field counts, non-positive
+    costs, an empty worker list — is reported as a typed
+    {!Errors.Parse_error} (with 1-based line/column of the offending
+    token) or {!Errors.Invalid_scenario}; no input makes this raise. *)
+val of_string : string -> (Platform.t, Errors.t) result
 
-(** [write path p] / [read path]: file variants. *)
+(** [write path p] writes the platform.
+    @raise Errors.Error ([Io_error]) when the file cannot be written. *)
 val write : string -> Platform.t -> unit
 
-val read : string -> (Platform.t, string) result
+(** [read path] parses the file; [Error (Io_error _)] when unreadable,
+    parse errors carry the file name. *)
+val read : string -> (Platform.t, Errors.t) result

@@ -1,4 +1,5 @@
 module Q = Numeric.Rational
+module T = Text_format
 
 let to_string (sched : Schedule.t) =
   let buf = Buffer.create 1024 in
@@ -21,97 +22,91 @@ let to_string (sched : Schedule.t) =
     sched.Schedule.entries;
   Buffer.contents buf
 
+let ( let* ) = Result.bind
+
 let of_string text =
-  let exception Bad of string in
-  let fail lineno fmt =
-    Printf.ksprintf (fun s -> raise (Bad (Printf.sprintf "line %d: %s" lineno s))) fmt
-  in
-  let rational lineno s =
-    match Q.of_string s with
-    | q -> q
-    | exception _ -> fail lineno "not a rational: %S" s
-  in
   let horizon = ref None in
   let workers = ref [] in
   let entries = ref [] in
   let parse_line lineno line =
-    let line =
-      match String.index_opt line '#' with
-      | Some i -> String.sub line 0 i
-      | None -> line
-    in
-    match
-      String.split_on_char ' ' (String.trim line)
-      |> List.filter (fun s -> s <> "")
-    with
-    | [] -> ()
-    | [ "horizon"; h ] ->
-      if !horizon <> None then fail lineno "duplicate horizon";
-      horizon := Some (rational lineno h)
-    | "horizon" :: _ -> fail lineno "horizon takes one rational"
-    | [ "worker"; name; c; w; d ] -> (
-      match
-        Platform.worker ~name ~c:(rational lineno c) ~w:(rational lineno w)
-          ~d:(rational lineno d) ()
-      with
-      | wk -> workers := wk :: !workers
-      | exception Invalid_argument msg -> fail lineno "%s" msg)
-    | "worker" :: _ -> fail lineno "worker takes: name c w d"
-    | [ "entry"; i; alpha; s0; s1; c0; c1; r0; r1 ] ->
-      let index =
-        match int_of_string_opt i with
-        | Some i -> i
-        | None -> fail lineno "not a worker index: %S" i
-      in
-      let r = rational lineno in
-      let phase a b = { Schedule.start = r a; finish = r b } in
-      entries :=
-        {
-          Schedule.worker = index;
-          alpha = r alpha;
-          send = phase s0 s1;
-          compute = phase c0 c1;
-          return_ = phase r0 r1;
-        }
-        :: !entries
-    | "entry" :: _ ->
-      fail lineno "entry takes: index alpha send.start send.finish \
-                   compute.start compute.finish return.start return.finish"
-    | directive :: _ -> fail lineno "unknown directive %S" directive
-  in
-  match List.iteri (fun i l -> parse_line (i + 1) l) (String.split_on_char '\n' text) with
-  | exception Bad msg -> Error msg
-  | () -> (
-    match (!horizon, List.rev !workers) with
-    | None, _ -> Error "missing horizon line"
-    | _, [] -> Error "no worker lines"
-    | Some horizon, workers -> (
-      match Platform.make workers with
-      | Error e -> Error (Errors.to_string e)
-      | Ok platform ->
-        let n = Platform.size platform in
-        let entries = Array.of_list (List.rev !entries) in
-        let bad =
-          Array.find_opt
-            (fun e -> e.Schedule.worker < 0 || e.Schedule.worker >= n)
-            entries
+    match T.tokens line with
+    | [] -> Ok ()
+    | { T.text = "horizon"; col } :: rest -> (
+      match rest with
+      | [ h ] ->
+        if !horizon <> None then
+          Errors.parse_error ~line:lineno ~col "duplicate horizon"
+        else
+          let* h = T.rational ~line:lineno h in
+          horizon := Some h;
+          Ok ()
+      | _ -> Errors.parse_error ~line:lineno ~col "horizon takes one rational")
+    | { T.text = "worker"; col } :: rest -> (
+      match rest with
+      | [ name; c; w; d ] ->
+        let* c = T.rational ~line:lineno c in
+        let* w = T.rational ~line:lineno w in
+        let* d = T.rational ~line:lineno d in
+        (match Platform.worker ~name:name.T.text ~c ~w ~d () with
+        | wk ->
+          workers := wk :: !workers;
+          Ok ()
+        | exception Invalid_argument msg ->
+          Errors.parse_error ~line:lineno ~col:name.T.col "%s" msg)
+      | _ -> Errors.parse_error ~line:lineno ~col "worker takes: name c w d")
+    | { T.text = "entry"; col } :: rest -> (
+      match rest with
+      | [ i; alpha; s0; s1; c0; c1; r0; r1 ] ->
+        let* index = T.int ~line:lineno i in
+        let* alpha = T.rational ~line:lineno alpha in
+        let phase a b =
+          let* s = T.rational ~line:lineno a in
+          let* f = T.rational ~line:lineno b in
+          Ok { Schedule.start = s; finish = f }
         in
-        (match bad with
-        | Some e ->
-          Error
-            (Printf.sprintf "entry refers to worker %d, platform has %d workers"
-               e.Schedule.worker n)
-        | None -> Ok { Schedule.platform; horizon; entries })))
+        let* send = phase s0 s1 in
+        let* compute = phase c0 c1 in
+        let* return_ = phase r0 r1 in
+        entries := { Schedule.worker = index; alpha; send; compute; return_ } :: !entries;
+        Ok ()
+      | _ ->
+        Errors.parse_error ~line:lineno ~col
+          "entry takes: index alpha send.start send.finish compute.start \
+           compute.finish return.start return.finish")
+    | directive :: _ ->
+      Errors.parse_error ~line:lineno ~col:directive.T.col
+        "unknown directive %S" directive.T.text
+  in
+  let rec walk lineno = function
+    | [] -> Ok ()
+    | line :: rest ->
+      let* () = parse_line lineno line in
+      walk (lineno + 1) rest
+  in
+  let* () = walk 1 (String.split_on_char '\n' text) in
+  match (!horizon, List.rev !workers) with
+  | None, _ -> Error (Errors.Invalid_scenario "missing horizon line")
+  | _, [] -> Error (Errors.Invalid_scenario "no worker lines")
+  | Some horizon, workers ->
+    let* platform = Platform.make workers in
+    let n = Platform.size platform in
+    let entries = Array.of_list (List.rev !entries) in
+    let bad =
+      Array.find_opt
+        (fun e -> e.Schedule.worker < 0 || e.Schedule.worker >= n)
+        entries
+    in
+    (match bad with
+    | Some e ->
+      Errors.invalid "entry refers to worker %d, platform has %d workers"
+        e.Schedule.worker n
+    | None -> Ok { Schedule.platform; horizon; entries })
 
 let write path sched =
-  let oc = open_out path in
-  output_string oc (to_string sched);
-  close_out oc
+  match Text_format.write_file path (to_string sched) with
+  | Ok () -> ()
+  | Error e -> raise (Errors.Error e)
 
 let read path =
-  match open_in path with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let text = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    of_string text
+  let* content = Text_format.read_file path in
+  Result.map_error (Errors.in_file path) (of_string content)

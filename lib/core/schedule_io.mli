@@ -23,12 +23,17 @@
 (** [to_string sched] serializes the schedule. *)
 val to_string : Schedule.t -> string
 
-(** [of_string s] parses a schedule back; [Error message] on malformed
-    input (unknown directive, bad arity, out-of-range worker index,
-    non-rational field, missing horizon ...). *)
-val of_string : string -> (Schedule.t, string) result
+(** [of_string s] parses a schedule back.  Malformed input — unknown
+    directive, bad arity, out-of-range worker index, non-rational field
+    (including ["1/0"]), missing horizon ... — is reported as a typed
+    {!Errors.Parse_error} (1-based line/column) or
+    {!Errors.Invalid_scenario}; no input makes this raise. *)
+val of_string : string -> (Schedule.t, Errors.t) result
 
-(** [write path sched] / [read path]: file variants. *)
+(** [write path sched] writes the schedule.
+    @raise Errors.Error ([Io_error]) when the file cannot be written. *)
 val write : string -> Schedule.t -> unit
 
-val read : string -> (Schedule.t, string) result
+(** [read path] parses the file; [Error (Io_error _)] when unreadable,
+    parse errors carry the file name. *)
+val read : string -> (Schedule.t, Errors.t) result

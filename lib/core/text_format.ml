@@ -1,0 +1,59 @@
+type token = { text : string; col : int }
+
+let tokens line =
+  (* Strip the '#' comment, then split on blanks, remembering where each
+     token starts (1-based column, counting raw characters). *)
+  let limit =
+    match String.index_opt line '#' with Some i -> i | None -> String.length line
+  in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < limit do
+    while !i < limit && (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r') do
+      incr i
+    done;
+    if !i < limit then begin
+      let start = !i in
+      while
+        !i < limit && not (line.[!i] = ' ' || line.[!i] = '\t' || line.[!i] = '\r')
+      do
+        incr i
+      done;
+      toks := { text = String.sub line start (!i - start); col = start + 1 } :: !toks
+    end
+  done;
+  List.rev !toks
+
+let rational ~line (tok : token) =
+  (* [Q.of_string] can raise [Failure], [Invalid_argument] or
+     [Division_by_zero] ("1/0") depending on how the input is malformed;
+     normalize all of them into a positioned parse error. *)
+  match Numeric.Rational.of_string tok.text with
+  | q -> Ok q
+  | exception (Failure _ | Invalid_argument _ | Division_by_zero) ->
+    Errors.parse_error ~line ~col:tok.col "not a rational: %S" tok.text
+
+let int ~line (tok : token) =
+  match int_of_string_opt tok.text with
+  | Some i -> Ok i
+  | None -> Errors.parse_error ~line ~col:tok.col "not an integer: %S" tok.text
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+  | ic ->
+    let finally () = close_in_noerr ic in
+    Fun.protect ~finally (fun () ->
+        match really_input_string ic (in_channel_length ic) with
+        | s -> Ok s
+        | exception Sys_error msg -> Error (Errors.Io_error msg))
+
+let write_file path content =
+  match open_out_bin path with
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+  | oc ->
+    let finally () = close_out_noerr oc in
+    Fun.protect ~finally (fun () ->
+        match output_string oc content with
+        | () -> Ok ()
+        | exception Sys_error msg -> Error (Errors.Io_error msg))

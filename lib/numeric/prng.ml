@@ -1,0 +1,77 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option;  (** cached second Box-Muller deviate *)
+}
+
+(* SplitMix64, used only to spread a seed over the xoshiro state. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create ~seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* xoshiro256++ *)
+let bits64 g =
+  let open Int64 in
+  let result = add (rotl (add g.s0 g.s3) 23) g.s0 in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let state = ref (bits64 g) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let float g =
+  let mantissa = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float mantissa *. 0x1.0p-53
+
+let uniform g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.uniform: empty range";
+  lo +. ((hi -. lo) *. float g)
+
+let int_range g ~lo ~hi =
+  if hi < lo then invalid_arg "Prng.int_range: empty range";
+  let span = hi - lo + 1 in
+  min hi (lo + int_of_float (float g *. float_of_int span))
+
+let gaussian g =
+  match g.spare with
+  | Some v ->
+    g.spare <- None;
+    v
+  | None ->
+    (* Box-Muller; u1 bounded away from 0 so log is finite. *)
+    let u1 = Float.max (float g) 1e-300 in
+    let u2 = float g in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    g.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let lognormal g ~sigma = exp (sigma *. gaussian g)

@@ -10,7 +10,9 @@
 
     Exceptions raised by [f] are caught per item; after the batch
     completes, the exception of the {e smallest} failing index is
-    re-raised in the caller (again deterministic).
+    re-raised in the caller (again deterministic).  A failed batch
+    leaves the pool fully reusable — worker domains survive and the next
+    {!map} behaves normally.
 
     Pools are not reentrant: calling {!map} from inside a task of the
     same pool deadlocks.  Distinct pools may run concurrently. *)
@@ -37,21 +39,30 @@ val shutdown : t -> unit
     afterwards (also on exception). *)
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 
-(** [map ?chunk pool f arr] is [Array.map f arr], computed by all pool
-    members.  [chunk] is the number of consecutive indices claimed per
-    queue round-trip (default: a heuristic balancing lock traffic
-    against load imbalance). *)
-val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** Raised in the caller when a task overran its [?timeout] budget.
+    Cooperative: a domain cannot be interrupted mid-task, so the budget
+    is checked when the task {e completes} — the overrunning item's
+    result is discarded and this exception takes its failure slot
+    (smallest failing index wins, as for any task exception).  A task
+    that itself raised reports its own exception, not the overrun. *)
+exception Task_timeout of { index : int; elapsed : float; budget : float }
 
-(** [map_list ?chunk pool f l] is [List.map f l] via {!map}. *)
-val map_list : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ?chunk ?timeout pool f arr] is [Array.map f arr], computed by
+    all pool members.  [chunk] is the number of consecutive indices
+    claimed per queue round-trip (default: a heuristic balancing lock
+    traffic against load imbalance); [timeout] is a per-task wall-clock
+    budget in seconds (see {!Task_timeout}). *)
+val map : ?chunk:int -> ?timeout:float -> t -> ('a -> 'b) -> 'a array -> 'b array
 
-(** [run ?jobs ?chunk f arr] is a one-shot {!map} on a temporary pool:
-    [with_pool ?jobs (fun p -> map ?chunk p f arr)].  [jobs <= 1] is a
-    plain [Array.map] with no domain spawned. *)
-val run : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_list ?chunk ?timeout pool f l] is [List.map f l] via {!map}. *)
+val map_list : ?chunk:int -> ?timeout:float -> t -> ('a -> 'b) -> 'a list -> 'b list
 
-(** [run_local ?jobs ?chunk ~init f arr] is {!run} where [f] additionally
+(** [run ?jobs ?chunk ?timeout f arr] is a one-shot {!map} on a temporary
+    pool: [with_pool ?jobs (fun p -> map ?chunk p f arr)].  [jobs <= 1]
+    is a plain [Array.map] with no domain spawned. *)
+val run : ?jobs:int -> ?chunk:int -> ?timeout:float -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run_local ?jobs ?chunk ?timeout ~init f arr] is {!run} where [f] additionally
     receives a mutable scratch state, created by [init] once per
     participating domain ([jobs <= 1]: a single state for the whole
     array).  Intended for performance hints that survive between items
@@ -61,4 +72,10 @@ val run : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
     state (the state may freely change how fast the result is
     computed). *)
 val run_local :
-  ?jobs:int -> ?chunk:int -> init:(unit -> 's) -> ('s -> 'a -> 'b) -> 'a array -> 'b array
+  ?jobs:int ->
+  ?chunk:int ->
+  ?timeout:float ->
+  init:(unit -> 's) ->
+  ('s -> 'a -> 'b) ->
+  'a array ->
+  'b array

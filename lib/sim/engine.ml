@@ -8,6 +8,7 @@ let create () = { queue = Heap.create (); clock = 0.0; processed = 0 }
 let now e = e.clock
 
 let schedule_at e ~time f =
+  if Float.is_nan time then invalid_arg "Engine.schedule_at: NaN time";
   if time < e.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: %g is before current time %g" time
@@ -26,5 +27,21 @@ let rec run e =
     e.processed <- e.processed + 1;
     f e;
     run e
+
+let rec run_until e ~horizon =
+  match Heap.peek e.queue with
+  | Some (time, _) when time <= horizon -> (
+    match Heap.pop e.queue with
+    | None -> e.clock
+    | Some (time, f) ->
+      e.clock <- time;
+      e.processed <- e.processed + 1;
+      f e;
+      run_until e ~horizon)
+  | Some _ | None ->
+    e.clock <- Float.max e.clock horizon;
+    e.clock
+
+let pending e = Heap.size e.queue
 
 let events_processed e = e.processed

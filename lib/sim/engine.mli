@@ -22,5 +22,14 @@ val schedule : t -> delay:float -> (t -> unit) -> unit
     clock. *)
 val run : t -> float
 
+(** [run_until e ~horizon] processes events up to and including
+    [horizon], leaves later ones queued, and advances the clock to (at
+    least) [horizon].  Lets a driver cut a simulation at a detection
+    date and inspect the partial state. *)
+val run_until : t -> horizon:float -> float
+
+(** [pending e] counts events still queued. *)
+val pending : t -> int
+
 (** [events_processed e] counts callbacks executed so far. *)
 val events_processed : t -> int

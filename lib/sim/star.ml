@@ -25,12 +25,72 @@ let plan_of_rounded (sol : Dls.Lp_model.solved) ~total =
     loads = Array.map float_of_int (Dls.Rounding.integer_loads sol ~total);
   }
 
+(* A malformed plan used to wedge the simulator silently: a worker
+   enrolled in [sigma2] but never sent data waits forever, so its return
+   simply vanishes from the trace and the makespan lies.  NaN loads
+   poison the event clock.  Validate up front and fail with a typed
+   error instead. *)
+let check_plan platform plan =
+  let n = Dls.Platform.size platform in
+  let ( let* ) = Result.bind in
+  let* () =
+    if Array.length plan.loads = n then Ok ()
+    else
+      Dls.Errors.invalid "plan carries %d loads for a %d-worker platform"
+        (Array.length plan.loads) n
+  in
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun i l ->
+        if !bad = None && (Float.is_nan l || l = Float.infinity || l < 0.0) then
+          bad := Some (i, l))
+      plan.loads;
+    match !bad with
+    | Some (i, l) ->
+      Dls.Errors.invalid "worker %d has invalid load %g (negative, NaN or infinite)" i l
+    | None -> Ok ()
+  in
+  let check_order name order =
+    let seen = Array.make n false in
+    let bad = ref (Ok ()) in
+    Array.iter
+      (fun i ->
+        match !bad with
+        | Error _ -> ()
+        | Ok () ->
+          if i < 0 || i >= n then
+            bad := Dls.Errors.invalid "%s refers to worker %d, platform has %d workers" name i n
+          else if seen.(i) then
+            bad := Dls.Errors.invalid "%s enrolls worker %d twice" name i
+          else seen.(i) <- true)
+      order;
+    !bad
+  in
+  let* () = check_order "sigma1" plan.sigma1 in
+  let* () = check_order "sigma2" plan.sigma2 in
+  let member order i = Array.exists (fun j -> j = i) order in
+  let missing =
+    List.filter
+      (fun i ->
+        plan.loads.(i) > 0.0
+        && (not (member plan.sigma1 i) || not (member plan.sigma2 i)))
+      (List.init n Fun.id)
+  in
+  match missing with
+  | i :: _ ->
+    Dls.Errors.invalid
+      "worker %d has load %g but is not enrolled in both orders (its results \
+       would never come back)"
+      i plan.loads.(i)
+  | [] -> Ok ()
+
 (* The master is a single resource running one decision procedure: when
    idle, it performs the next return of [sigma2] if that worker is ready
    (immediately under [Eager_returns]; only once all sends are posted
    under [Sends_first], which is what the paper's MPI program did), else
    the next send of [sigma1], else it waits for a computation to end. *)
-let execute ?(noise = no_noise) ?(protocol = Sends_first) platform plan =
+let execute_unchecked ?(noise = no_noise) ?(protocol = Sends_first) platform plan =
   let qf = Numeric.Rational.to_float in
   let cost i =
     let wk = Dls.Platform.get platform i in
@@ -97,6 +157,16 @@ let execute ?(noise = no_noise) ?(protocol = Sends_first) platform plan =
   master_step eng;
   let _ = Engine.run eng in
   Trace.make !events
+
+let execute_result ?noise ?protocol platform plan =
+  match check_plan platform plan with
+  | Error e -> Error e
+  | Ok () -> Ok (execute_unchecked ?noise ?protocol platform plan)
+
+let execute ?noise ?protocol platform plan =
+  match execute_result ?noise ?protocol platform plan with
+  | Ok trace -> trace
+  | Error e -> raise (Dls.Errors.Error e)
 
 let makespan ?noise ?protocol platform plan =
   (execute ?noise ?protocol platform plan).Trace.makespan

@@ -44,9 +44,28 @@ val plan_of_solved : Dls.Lp_model.solved -> plan
     campaign of [total] items. *)
 val plan_of_rounded : Dls.Lp_model.solved -> total:int -> plan
 
-(** [execute ?noise ?protocol platform plan] runs the campaign and
-    returns the trace (default protocol: [Sends_first]).  Workers with
-    zero load produce no events. *)
+(** [check_plan platform plan] validates a plan without running it —
+    the checks behind {!execute_result}. *)
+val check_plan : Dls.Platform.t -> plan -> (unit, Dls.Errors.t) result
+
+(** [execute_result ?noise ?protocol platform plan] runs the campaign
+    and returns the trace (default protocol: [Sends_first]).  Workers
+    with zero load produce no events.
+
+    Malformed plans — load array size mismatch, negative/NaN/infinite
+    loads, out-of-range or duplicated order entries, a loaded worker
+    missing from one of the orders (whose results would silently never
+    come back) — yield a typed [Error] instead of a wedged or lying
+    simulation. *)
+val execute_result :
+  ?noise:noise ->
+  ?protocol:protocol ->
+  Dls.Platform.t ->
+  plan ->
+  (Trace.t, Dls.Errors.t) result
+
+(** [execute ?noise ?protocol platform plan] is {!execute_result}.
+    @raise Dls.Errors.Error on a malformed plan. *)
 val execute : ?noise:noise -> ?protocol:protocol -> Dls.Platform.t -> plan -> Trace.t
 
 (** [makespan ?noise ?protocol platform plan] is the trace's makespan. *)

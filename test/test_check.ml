@@ -208,7 +208,7 @@ let test_certificate_rejects_tampering () =
 let test_schedule_io_roundtrip () =
   let sched = fifo_schedule () in
   match Dls.Schedule_io.of_string (Dls.Schedule_io.to_string sched) with
-  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+  | Error e -> Alcotest.failf "roundtrip failed: %s" (Dls.Errors.to_string e)
   | Ok sched' ->
     Alcotest.(check string) "identical dump"
       (Dls.Schedule_io.to_string sched)
@@ -244,7 +244,7 @@ let test_schedule_io_corruption_detected () =
      entry 1 2/11 4/11 6/11 6/11 10/11 9/11 1\n"
   in
   match Dls.Schedule_io.of_string text with
-  | Error msg -> Alcotest.failf "fixture should parse: %s" msg
+  | Error e -> Alcotest.failf "fixture should parse: %s" (Dls.Errors.to_string e)
   | Ok sched -> (
     match Validator.validate sched with
     | Ok () -> Alcotest.fail "corrupted schedule validated"

@@ -1015,7 +1015,7 @@ let test_sensitivity_preserves_z () =
 let test_platform_io_roundtrip () =
   let p = two_worker_platform () in
   match Dls.Platform_io.of_string (Dls.Platform_io.to_string p) with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Dls.Errors.to_string e)
   | Ok p' ->
     Alcotest.(check int) "size" (Dls.Platform.size p) (Dls.Platform.size p');
     for i = 0 to Dls.Platform.size p - 1 do
@@ -1028,7 +1028,7 @@ let test_platform_io_roundtrip () =
 let test_platform_io_comments () =
   let text = "# header\n\nP1 1 2 1/2  # trailing comment\n" in
   match Dls.Platform_io.of_string text with
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Dls.Errors.to_string e)
   | Ok p ->
     Alcotest.(check int) "one worker" 1 (Dls.Platform.size p);
     Alcotest.check rat "w" Q.two (Dls.Platform.get p 0).Dls.Platform.w

@@ -89,6 +89,53 @@ let test_pool_first_failure_wins () =
         check_int (Printf.sprintf "smallest failing index, jobs=%d" jobs) 3 i)
     [ 1; 2; 4 ]
 
+let test_pool_failure_leaves_pool_usable () =
+  (* A task raising in a worker domain must reach the caller and leave
+     the pool fully reusable — no wedged domains, no dropped results on
+     the next batch. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      (match Parallel.Pool.map pool (fun i -> if i = 17 then raise (Boom i) else i)
+               (Array.init 64 Fun.id)
+       with
+      | _ -> Alcotest.fail "expected an exception"
+      | exception Boom 17 -> ());
+      let again = Parallel.Pool.map pool (fun i -> i * i) (Array.init 64 Fun.id) in
+      check "pool reusable after failure" true
+        (again = Array.init 64 (fun i -> i * i)))
+
+let test_pool_timeout () =
+  let slow i =
+    if i = 2 then Unix.sleepf 0.05;
+    i
+  in
+  (* Overrun reported, smallest offending index, on both code paths. *)
+  List.iter
+    (fun jobs ->
+      match Parallel.Pool.run ~jobs ~timeout:0.01 slow (Array.init 8 Fun.id) with
+      | _ -> Alcotest.fail "expected Task_timeout"
+      | exception Parallel.Pool.Task_timeout { index; elapsed; budget } ->
+        check_int (Printf.sprintf "offending index, jobs=%d" jobs) 2 index;
+        check "elapsed over budget" true (elapsed > budget))
+    [ 1; 4 ];
+  (* A generous budget never fires. *)
+  let ok = Parallel.Pool.run ~jobs:4 ~timeout:60.0 (fun i -> i + 1) (Array.init 32 Fun.id) in
+  check "generous budget passes" true (ok = Array.init 32 (fun i -> i + 1));
+  (* The task's own exception wins over the overrun. *)
+  match
+    Parallel.Pool.run ~jobs:1 ~timeout:0.01
+      (fun i ->
+        if i = 0 then begin
+          Unix.sleepf 0.05;
+          raise (Boom 0)
+        end;
+        i)
+      (Array.init 2 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom 0 -> ()
+  | exception Parallel.Pool.Task_timeout _ ->
+    Alcotest.fail "timeout masked the task's own exception"
+
 (* ------------------------------------------------------------------ *)
 (* Lru                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -358,6 +405,9 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse;
           Alcotest.test_case "shutdown degrades" `Quick test_pool_shutdown_degrades;
           Alcotest.test_case "first failure wins" `Quick test_pool_first_failure_wins;
+          Alcotest.test_case "failure leaves pool usable" `Quick
+            test_pool_failure_leaves_pool_usable;
+          Alcotest.test_case "task timeout" `Quick test_pool_timeout;
           Alcotest.test_case "run_local = map" `Quick
             test_pool_run_local_matches_map;
         ] );

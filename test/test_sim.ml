@@ -602,6 +602,120 @@ let test_gantt_svg_empty () =
   Alcotest.(check bool) "mentions empty" true
     (count_substring svg "empty trace" = 1 && count_substring svg "</svg>" = 1)
 
+(* ------------------------------------------------------------------ *)
+(* Malformed plans and fault-injected execution                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_star_rejects_malformed_plans () =
+  let p = platform_2 () in
+  let expect_error label plan =
+    match Star.execute_result p plan with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: malformed plan executed" label
+  in
+  expect_error "load arity"
+    { Star.sigma1 = [| 0; 1 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0 |] };
+  expect_error "NaN load"
+    { Star.sigma1 = [| 0; 1 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; Float.nan |] };
+  expect_error "negative load"
+    { Star.sigma1 = [| 0; 1 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; -2.0 |] };
+  expect_error "index out of range"
+    { Star.sigma1 = [| 0; 7 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] };
+  expect_error "duplicate enrollment"
+    { Star.sigma1 = [| 0; 0 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] };
+  (* The historic wedge: loaded worker enrolled for returns but never
+     sent data — its results would silently never come back. *)
+  expect_error "loaded worker missing from sigma1"
+    { Star.sigma1 = [| 0 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] };
+  (match
+     Star.execute_result p
+       { Star.sigma1 = [| 0 |]; sigma2 = [| 0 |]; loads = [| 1.0; 0.0 |] }
+   with
+  | Ok _ -> ()
+  | Error e ->
+    Alcotest.failf "zero-load worker outside the orders must be fine: %s"
+      (Dls.Errors.to_string e));
+  match
+    Star.execute p
+      { Star.sigma1 = [| 0; 7 |]; sigma2 = [| 0; 1 |]; loads = [| 1.0; 1.0 |] }
+  with
+  | exception Dls.Errors.Error _ -> ()
+  | _ -> Alcotest.fail "execute should raise the typed error"
+
+let test_engine_run_until () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at eng ~time:t (fun _ -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0 ];
+  let clock = Engine.run_until eng ~horizon:2.0 in
+  Alcotest.(check (float 0.0)) "clock at horizon" 2.0 clock;
+  Alcotest.(check (list (float 0.0))) "two events fired" [ 2.0; 1.0 ] !fired;
+  Alcotest.(check int) "one pending" 1 (Engine.pending eng);
+  (match Engine.schedule_at eng ~time:Float.nan (fun _ -> ()) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "NaN time accepted");
+  ignore (Engine.run eng);
+  Alcotest.(check (list (float 0.0))) "rest fired" [ 3.0; 2.0; 1.0 ] !fired
+
+let test_sim_faults_no_fault_matches_star () =
+  let p = platform_2 () in
+  let sol = Dls.Fifo.optimal p in
+  let plan = Star.plan_of_solved sol in
+  let reference = Star.execute p plan in
+  match Sim.Faults.execute p Dls.Faults.empty plan with
+  | Error e -> Alcotest.fail (Dls.Errors.to_string e)
+  | Ok trace ->
+    Alcotest.(check (float 1e-12))
+      "same makespan" reference.Trace.makespan trace.Trace.makespan;
+    Alcotest.(check int)
+      "same event count"
+      (List.length reference.Trace.events)
+      (List.length trace.Trace.events)
+
+let test_sim_faults_crash_drops_return () =
+  let p = platform_2 () in
+  let sol = Dls.Fifo.optimal p in
+  let star_plan = Star.plan_of_solved sol in
+  let faults =
+    Dls.Faults.make_exn [ Dls.Faults.Crash { worker = 0; at = qq 1 10 } ]
+  in
+  match Sim.Faults.execute p faults star_plan with
+  | Error e -> Alcotest.fail (Dls.Errors.to_string e)
+  | Ok trace ->
+    let returns_of w =
+      List.filter
+        (fun e -> e.Trace.worker = w && e.Trace.kind = Trace.Return)
+        trace.Trace.events
+    in
+    Alcotest.(check int) "crashed worker never returns" 0
+      (List.length (returns_of 0));
+    Alcotest.(check bool) "survivor still returns" true (returns_of 1 <> []);
+    let m = Sim.Faults.metrics ~deadline:1.0 ~total:(Q.to_float sol.Dls.Lp_model.rho) trace in
+    Alcotest.(check bool) "lost worker reported" true
+      (List.mem_assoc 0 m.Sim.Faults.lateness && List.assoc 0 m.Sim.Faults.lateness = None);
+    Alcotest.(check bool) "partial achievement" true
+      (m.Sim.Faults.achieved < m.Sim.Faults.total)
+
+let test_sim_faults_decision_trace_valid () =
+  let p = platform_2 () in
+  let sol = Dls.Fifo.optimal p in
+  let load = sol.Dls.Lp_model.rho in
+  let original = Dls.Schedule.for_load sol ~load in
+  let faults =
+    Dls.Faults.make_exn
+      [ Dls.Faults.Slowdown { worker = 1; factor = Q.of_int 3; from_ = qq 1 4 } ]
+  in
+  let outcome = Dls.Replan.respond_exn faults sol ~load in
+  match
+    Sim.Faults.execute_decision p faults ~original
+      ~decision:outcome.Dls.Replan.decision
+  with
+  | Error e -> Alcotest.fail (Dls.Errors.to_string e)
+  | Ok trace ->
+    Alcotest.(check bool) "one-port and precedence hold" true
+      (Trace.is_valid ~eps:1e-9 trace)
+
 let () =
   Alcotest.run "sim"
     [
@@ -646,6 +760,18 @@ let () =
           Alcotest.test_case "noise" `Quick test_chunked_noise_applies;
           Alcotest.test_case "latency rejection" `Quick
             test_plan_of_multiround_rejects_latency;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "malformed plans rejected" `Quick
+            test_star_rejects_malformed_plans;
+          Alcotest.test_case "engine run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "no fault = star" `Quick
+            test_sim_faults_no_fault_matches_star;
+          Alcotest.test_case "crash drops return" `Quick
+            test_sim_faults_crash_drops_return;
+          Alcotest.test_case "decision trace valid" `Quick
+            test_sim_faults_decision_trace_valid;
         ] );
       ( "trace",
         [
