@@ -454,11 +454,228 @@ let run_robustness_bench ~quick ~cases ~seed ~json_path =
   Printf.printf "  wrote %s\n\n%!" json_path
 
 (* ------------------------------------------------------------------ *)
+(* Part 5: service throughput benchmark (BENCH_service.json)           *)
+(* ------------------------------------------------------------------ *)
+
+(* Two arms over the same deterministic duplicate-heavy request stream
+   (Service.Loadgen, small [distinct]):
+
+     baseline  dedup=false — every request evaluated independently,
+               no single-flight batching, no LP cache;
+     dedup     dedup=true  — the production configuration.
+
+   The acceptance criterion is that the dedup arm's served-request
+   throughput beats the baseline, and that served solve responses stay
+   bit-identical to a direct Lp_model.solve on the same scenario. *)
+
+type service_arm = {
+  v_label : string;
+  v_rps : float;
+  v_wall_s : float;
+  v_ok : int;
+  v_served : int;
+  v_collapsed : int;
+  v_cache_hits : int;
+  v_cache_misses : int;
+  v_p50_us : int;
+  v_p99_us : int;
+}
+
+let run_service_arm ~label ~dedup ~jobs ~requests ~connections ~distinct ~seed =
+  Dls.Lp_model.reset_cache ();
+  let path = Filename.temp_file "dls-bench-service" ".sock" in
+  Sys.remove path;
+  let cfg =
+    {
+      (Service.Server.default_config (Service.Server.Unix_socket path)) with
+      Service.Server.jobs;
+      queue_capacity = max 64 connections;
+      max_batch = 32;
+      dedup;
+    }
+  in
+  let server =
+    match Service.Server.start cfg with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "bench: service start failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  let outcome =
+    match
+      Service.Loadgen.run (Service.Server.address server) ~connections ~requests
+        ~seed ~distinct ()
+    with
+    | Ok o -> o
+    | Error e ->
+      Printf.eprintf "bench: loadgen failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  let stats = Service.Server.stats server in
+  Service.Server.stop server;
+  if outcome.Service.Loadgen.ok <> requests then begin
+    Printf.eprintf
+      "bench: service arm %s dropped requests (ok=%d/%d overloaded=%d \
+       timeouts=%d failed=%d)\n"
+      label outcome.Service.Loadgen.ok requests
+      outcome.Service.Loadgen.overloaded outcome.Service.Loadgen.timeouts
+      outcome.Service.Loadgen.failed;
+    exit 2
+  end;
+  {
+    v_label = label;
+    v_rps = outcome.Service.Loadgen.rps;
+    v_wall_s = outcome.Service.Loadgen.wall_s;
+    v_ok = outcome.Service.Loadgen.ok;
+    v_served = stats.Service.Protocol.served;
+    v_collapsed = stats.Service.Protocol.collapsed;
+    v_cache_hits = stats.Service.Protocol.cache_hits;
+    v_cache_misses = stats.Service.Protocol.cache_misses;
+    v_p50_us = stats.Service.Protocol.p50_us;
+    v_p99_us = stats.Service.Protocol.p99_us;
+  }
+
+(* A served solve must be byte-for-byte the direct solver answer. *)
+let check_service_bit_identity ~jobs ~seed ~distinct =
+  Dls.Lp_model.reset_cache ();
+  let path = Filename.temp_file "dls-bench-service" ".sock" in
+  Sys.remove path;
+  let cfg =
+    {
+      (Service.Server.default_config (Service.Server.Unix_socket path)) with
+      Service.Server.jobs;
+    }
+  in
+  let server =
+    match Service.Server.start cfg with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "bench: service start failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  let rec first_solve i =
+    if i >= 1000 then begin
+      Printf.eprintf "bench: no solve request in the stream\n";
+      exit 2
+    end
+    else
+      match Service.Loadgen.request ~seed ~distinct i with
+      | Service.Protocol.Solve r -> r
+      | _ -> first_solve (i + 1)
+  in
+  let r = first_solve 0 in
+  let reply =
+    match
+      Service.Client.with_client (Service.Server.address server) (fun cl ->
+          Service.Client.request cl (Service.Protocol.Solve r))
+    with
+    | Ok (Ok resp) -> resp
+    | Ok (Error e) | Error e ->
+      Printf.eprintf "bench: client failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  Service.Server.stop server;
+  let p = r.Service.Protocol.s_platform in
+  let scenario =
+    match r.Service.Protocol.s_order with
+    | Service.Protocol.Fifo -> Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
+    | Service.Protocol.Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
+  in
+  let direct = Dls.Lp_model.solve_exn ~model:r.Service.Protocol.s_model scenario in
+  match reply with
+  | Service.Protocol.Ok_solve s ->
+    let q_eq a b = Q.to_string a = Q.to_string b in
+    let identical =
+      q_eq s.Service.Protocol.rho direct.Dls.Lp_model.rho
+      && Array.length s.Service.Protocol.alpha
+         = Array.length direct.Dls.Lp_model.alpha
+      && Array.for_all2 q_eq s.Service.Protocol.alpha direct.Dls.Lp_model.alpha
+      && Array.for_all2 q_eq s.Service.Protocol.idle direct.Dls.Lp_model.idle
+    in
+    if not identical then begin
+      Printf.eprintf "bench: service response differs from direct solve\n";
+      exit 3
+    end
+  | other ->
+    Printf.eprintf "bench: expected ok solve, got %s\n"
+      (Service.Protocol.response_to_string other);
+    exit 3
+
+let service_arm_json a =
+  Printf.sprintf
+    "    { \"label\": %S, \"throughput_rps\": %.1f, \"wall_s\": %.4f, \"ok\": \
+     %d, \"served\": %d, \"collapsed\": %d, \"cache_hits\": %d, \
+     \"cache_misses\": %d, \"p50_us\": %d, \"p99_us\": %d }"
+    a.v_label a.v_rps a.v_wall_s a.v_ok a.v_served a.v_collapsed a.v_cache_hits
+    a.v_cache_misses a.v_p50_us a.v_p99_us
+
+let run_service_bench ~quick ~jobs ~json_path ~gate =
+  let requests, connections, distinct =
+    if quick then (160, 4, 5) else (600, 8, 6)
+  in
+  let seed = 2026 in
+  Printf.printf
+    "=== service throughput (single-flight batching + LP cache) ===\n\
+     (%d requests, %d connections, %d distinct scenarios, jobs=%d)\n\n%!"
+    requests connections distinct jobs;
+  check_service_bit_identity ~jobs ~seed ~distinct;
+  Printf.printf "  bit-identity vs direct solve: ok\n%!";
+  let baseline =
+    run_service_arm ~label:"no-dedup baseline" ~dedup:false ~jobs ~requests
+      ~connections ~distinct ~seed
+  in
+  let dedup =
+    run_service_arm ~label:"dedup" ~dedup:true ~jobs ~requests ~connections
+      ~distinct ~seed
+  in
+  let speedup = dedup.v_rps /. Float.max 1e-9 baseline.v_rps in
+  List.iter
+    (fun a ->
+      Printf.printf
+        "  %-18s  %8.1f req/s  wall %.3fs  collapsed %d  cache %d/%d  p50 \
+         %dus  p99 %dus\n%!"
+        a.v_label a.v_rps a.v_wall_s a.v_collapsed a.v_cache_hits
+        a.v_cache_misses a.v_p50_us a.v_p99_us)
+    [ baseline; dedup ];
+  Printf.printf "  dedup speedup: %.2fx\n%!" speedup;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-service/1\",\n\
+      \  \"quick\": %b,\n\
+      \  \"seed\": %d,\n\
+      \  \"requests\": %d,\n\
+      \  \"connections\": %d,\n\
+      \  \"distinct\": %d,\n\
+      \  \"jobs\": %d,\n\
+      \  \"bit_identical\": true,\n\
+      \  \"speedup\": %.2f,\n\
+      \  \"arms\": [\n%s\n  ]\n\
+       }\n"
+      quick seed requests connections distinct jobs speedup
+      (String.concat ",\n" (List.map service_arm_json [ baseline; dedup ]))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path;
+  let gate_pass = dedup.v_rps > baseline.v_rps in
+  if gate && not gate_pass then
+    Printf.printf
+      "  gate: FAIL - dedup %.1f req/s <= baseline %.1f req/s\n%!" dedup.v_rps
+      baseline.v_rps
+  else if gate then
+    Printf.printf "  gate: dedup %.1f req/s > baseline %.1f req/s\n%!"
+      dedup.v_rps baseline.v_rps;
+  (not gate) || gate_pass
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
-    solvers_gate robustness_only robustness_json robustness_cases =
+    solvers_gate robustness_only robustness_json robustness_cases service_only
+    service_json service_gate =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
@@ -466,6 +683,13 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
   if robustness_only then
     run_robustness_bench ~quick ~cases:robustness_cases ~seed:2026
       ~json_path:robustness_json
+  else if service_only then begin
+    if
+      not
+        (run_service_bench ~quick ~jobs ~json_path:service_json
+           ~gate:service_gate)
+    then exit 1
+  end
   else begin
     if not solvers_only then begin
       run_experiments ~quick ~jobs ~only;
@@ -480,7 +704,10 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     in
     run_robustness_bench ~quick ~cases:robustness_cases ~seed:2026
       ~json_path:robustness_json;
-    if not gate_pass then exit 1
+    let service_pass =
+      run_service_bench ~quick ~jobs ~json_path:service_json ~gate:service_gate
+    in
+    if not (gate_pass && service_pass) then exit 1
   end
 
 let () =
@@ -565,6 +792,27 @@ let () =
             "Seeded fault cases per severity x regime cell of the robustness \
              benchmark.")
   in
+  let service_only_arg =
+    Arg.(
+      value & flag
+      & info [ "service-only" ]
+          ~doc:"Run only the service throughput benchmark (Part 5).")
+  in
+  let service_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_service.json"
+      & info [ "service-json" ] ~docv:"FILE"
+          ~doc:"Where to write the service benchmark JSON.")
+  in
+  let service_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "service-gate" ]
+          ~doc:
+            "Exit non-zero unless single-flight batching beats the no-dedup \
+             baseline on served-request throughput.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
@@ -573,6 +821,7 @@ let () =
         const main $ quick_arg $ skip_micro_arg $ only_arg $ jobs_arg
         $ solvers_only_arg $ solvers_json_arg $ bench_k_arg $ warmup_arg
         $ solvers_gate_arg $ robustness_only_arg $ robustness_json_arg
-        $ robustness_cases_arg)
+        $ robustness_cases_arg $ service_only_arg $ service_json_arg
+        $ service_gate_arg)
   in
   exit (Cmd.eval cmd)

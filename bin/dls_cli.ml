@@ -1143,6 +1143,254 @@ let lp_dump_cmd =
     Term.(const run $ platform_arg $ discipline_arg $ model_arg $ out_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve / client / loadgen                                            *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Serve on the Unix-domain socket $(docv).")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"TCP host (with $(b,--port)).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "port" ] ~docv:"PORT" ~doc:"Serve on TCP $(docv) (0 picks a free port).")
+
+let address_of socket host port =
+  match (socket, port) with
+  | Some path, None -> Ok (Service.Server.Unix_socket path)
+  | None, Some p -> Ok (Service.Server.Tcp (host, p))
+  | Some _, Some _ -> Error "give either --socket or --port, not both"
+  | None, None -> Error "an address is required (--socket PATH or --port N)"
+
+let address_to_string = function
+  | Service.Server.Unix_socket path -> path
+  | Service.Server.Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let serve_cmd =
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission-queue bound; beyond it requests get $(b,overloaded).")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "max-batch" ] ~docv:"N" ~doc:"Largest dispatcher round.")
+  in
+  let timeout_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request budget (cooperative); overruns answer $(b,timeout).")
+  in
+  let no_dedup_arg =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:
+            "Disable single-flight batching and the LP cache: every request \
+             is evaluated independently (the bench baseline).")
+  in
+  let worker_delay_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "worker-delay" ] ~docv:"SECONDS"
+          ~doc:
+            "Artificial per-request work, for overload and timeout \
+             experiments.")
+  in
+  let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
+  let run socket host port jobs queue_cap max_batch timeout no_dedup worker_delay =
+    let address =
+      match address_of socket host port with
+      | Ok a -> a
+      | Error msg -> die "%s" msg
+    in
+    let cfg =
+      {
+        (Service.Server.default_config address) with
+        Service.Server.jobs;
+        queue_capacity = queue_cap;
+        max_batch;
+        timeout;
+        dedup = not no_dedup;
+        worker_delay;
+      }
+    in
+    match Service.Server.start cfg with
+    | Error e -> die "%s" (Dls.Errors.to_string e)
+    | Ok server ->
+      let stop_flag = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+      Sys.set_signal Sys.sigterm on_signal;
+      Sys.set_signal Sys.sigint on_signal;
+      Printf.printf "dls: serving on %s (jobs=%d queue=%d batch=%d dedup=%b)\n%!"
+        (address_to_string (Service.Server.address server))
+        cfg.Service.Server.jobs cfg.Service.Server.queue_capacity
+        cfg.Service.Server.max_batch cfg.Service.Server.dedup;
+      while not (Atomic.get stop_flag) do
+        (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      prerr_endline "dls: draining";
+      Service.Server.stop server;
+      print_endline
+        (Service.Protocol.response_to_string
+           (Service.Protocol.Ok_stats (Service.Server.stats server)))
+  in
+  let doc = "run the scheduling daemon (drains gracefully on SIGTERM)" in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ queue_cap_arg
+      $ max_batch_arg $ timeout_arg $ no_dedup_arg $ worker_delay_arg)
+
+let client_cmd =
+  let requests_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"REQUEST"
+          ~doc:
+            "Request lines (quote each one); with none, lines are read from \
+             standard input.")
+  in
+  let run socket host port requests =
+    let address =
+      match address_of socket host port with
+      | Ok a -> a
+      | Error msg ->
+        prerr_endline ("dls: " ^ msg);
+        exit 2
+    in
+    let lines =
+      match requests with
+      | _ :: _ -> requests
+      | [] ->
+        let rec slurp acc =
+          match input_line stdin with
+          | line -> slurp (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        slurp []
+    in
+    let outcome =
+      Service.Client.with_client address (fun client ->
+          List.fold_left
+            (fun all_ok line ->
+              if String.trim line = "" then all_ok
+              else
+                match Service.Client.request_raw client line with
+                | Ok resp ->
+                  print_endline (Service.Protocol.response_to_string resp);
+                  all_ok && Service.Protocol.is_ok resp
+                | Error e ->
+                  prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+                  false)
+            true lines)
+    in
+    match outcome with
+    | Ok true -> ()
+    | Ok false -> exit 1
+    | Error e ->
+      prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+      exit 2
+  in
+  let doc = "send request lines to a running daemon" in
+  Cmd.v
+    (Cmd.info "client" ~doc)
+    Term.(const run $ socket_arg $ host_arg $ port_arg $ requests_arg)
+
+let loadgen_cmd =
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests to send in total.")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "connections" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Stream seed.")
+  in
+  let distinct_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "distinct" ] ~docv:"N"
+          ~doc:
+            "Distinct scenarios in the stream; small values are \
+             duplicate-heavy and exercise single-flight batching.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the outcome to $(docv).")
+  in
+  let run socket host port requests connections seed distinct json =
+    let address =
+      match address_of socket host port with
+      | Ok a -> a
+      | Error msg ->
+        prerr_endline ("dls: " ^ msg);
+        exit 2
+    in
+    match
+      Service.Loadgen.run address ~connections ~requests ~seed ~distinct ()
+    with
+    | Error e ->
+      prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+      exit 2
+    | Ok o ->
+      Printf.printf
+        "sent=%d ok=%d overloaded=%d timeouts=%d failed=%d wall=%.3fs \
+         rps=%.1f\n"
+        o.Service.Loadgen.sent o.Service.Loadgen.ok o.Service.Loadgen.overloaded
+        o.Service.Loadgen.timeouts o.Service.Loadgen.failed
+        o.Service.Loadgen.wall_s o.Service.Loadgen.rps;
+      (match json with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\n\
+          \  \"schema\": \"dls-loadgen/1\",\n\
+          \  \"seed\": %d,\n\
+          \  \"distinct\": %d,\n\
+          \  \"connections\": %d,\n\
+          \  \"sent\": %d,\n\
+          \  \"ok\": %d,\n\
+          \  \"overloaded\": %d,\n\
+          \  \"timeouts\": %d,\n\
+          \  \"failed\": %d,\n\
+          \  \"wall_s\": %.6f,\n\
+          \  \"rps\": %.1f\n\
+           }\n"
+          seed distinct connections o.Service.Loadgen.sent o.Service.Loadgen.ok
+          o.Service.Loadgen.overloaded o.Service.Loadgen.timeouts
+          o.Service.Loadgen.failed o.Service.Loadgen.wall_s
+          o.Service.Loadgen.rps;
+        close_out oc);
+      if o.Service.Loadgen.failed > 0 then exit 1
+  in
+  let doc = "replay the deterministic request stream against a daemon" in
+  Cmd.v
+    (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ requests_arg
+      $ connections_arg $ seed_arg $ distinct_arg $ json_arg)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc =
@@ -1168,4 +1416,7 @@ let () =
             lp_dump_cmd;
             experiment_cmd;
             platform_cmd;
+            serve_cmd;
+            client_cmd;
+            loadgen_cmd;
           ]))

@@ -264,9 +264,12 @@ let cache : (string, solved) Parallel.Lru.t ref =
 (* Both branches produce the same record bit-for-bit (see [solve_fast]),
    so the cache key does not need to distinguish them and a hit may have
    been computed by either pipeline.  [warm] is a hint, not an input: it
-   never changes the answer, only the pivot count. *)
+   never changes the answer, only the pivot count.  Single-flight:
+   concurrent misses on one scenario (server workers fielding identical
+   requests, enumeration domains meeting on a shared prefix) run one
+   solve; the others join it. *)
 let solve_cached ?model ?(fast = true) ?warm s =
-  Parallel.Lru.find_or_add !cache
+  Parallel.Lru.find_or_compute !cache
     (scenario_key (Option.value model ~default:One_port) s)
     (fun () ->
       if fast then solve_fast_exn ?model ?warm s else solve_exn ?model s)

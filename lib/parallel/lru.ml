@@ -1,5 +1,12 @@
 (* Classic Hashtbl + doubly-linked recency list.  [head] is the
-   most-recently-used end, [tail] the eviction end. *)
+   most-recently-used end, [tail] the eviction end.
+
+   Concurrency: every structural access runs under [m]; [compute]
+   callbacks run outside it.  [find_or_add] may run the callback in
+   several domains at once (first store wins); [find_or_compute] is the
+   single-flight variant: concurrent misses on the same key collapse
+   into one callback run, the others block on [flight_done] and pick up
+   the cached value. *)
 
 type ('k, 'v) node = {
   key : 'k;
@@ -10,18 +17,22 @@ type ('k, 'v) node = {
 
 type ('k, 'v) t = {
   m : Mutex.t;
+  flight_done : Condition.t;
   table : ('k, ('k, 'v) node) Hashtbl.t;
+  inflight : ('k, unit) Hashtbl.t;
   cap : int;
   mutable head : ('k, 'v) node option;
   mutable tail : ('k, 'v) node option;
   mutable hits : int;
   mutable misses : int;
+  mutable joins : int;
   mutable evictions : int;
 }
 
 type stats = {
   hits : int;
   misses : int;
+  joins : int;
   evictions : int;
   size : int;
   capacity : int;
@@ -30,12 +41,15 @@ type stats = {
 let create ?(capacity = 1024) () =
   {
     m = Mutex.create ();
+    flight_done = Condition.create ();
     table = Hashtbl.create (max 16 (min capacity 4096));
+    inflight = Hashtbl.create 16;
     cap = capacity;
     head = None;
     tail = None;
     hits = 0;
     misses = 0;
+    joins = 0;
     evictions = 0;
   }
 
@@ -66,12 +80,20 @@ let evict_lru t =
       Hashtbl.remove t.table n.key;
       t.evictions <- t.evictions + 1
 
-let find_locked t k =
+(* Recency bump without counter movement — the single-flight path does
+   its own hit/miss/join accounting. *)
+let peek_locked t k =
   match Hashtbl.find_opt t.table k with
   | Some n ->
-      t.hits <- t.hits + 1;
       touch t n;
       Some n.value
+  | None -> None
+
+let find_locked t k =
+  match peek_locked t k with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      Some v
   | None ->
       t.misses <- t.misses + 1;
       None
@@ -118,6 +140,71 @@ let find_or_add t k compute =
               add_locked t k v;
               v))
 
+(* Single-flight: classify under the lock — cached (hit), someone is
+   computing it (join: wait for the flight and pick the value up), or
+   truly absent (miss: become the computer).  A joiner that finds the
+   value gone after the flight (failed compute, or evicted by a burst of
+   inserts) loops and re-classifies, so progress is guaranteed: every
+   round either returns or starts a compute, and computes terminate. *)
+let find_or_compute t k compute =
+  let run_compute () =
+    let finish () =
+      Mutex.lock t.m;
+      Hashtbl.remove t.inflight k;
+      Condition.broadcast t.flight_done;
+      Mutex.unlock t.m
+    in
+    match compute () with
+    | v ->
+        Mutex.lock t.m;
+        (match Hashtbl.find_opt t.table k with
+        | Some n ->
+            (* can only happen via a concurrent [add]; keep it canonical *)
+            touch t n;
+            Hashtbl.remove t.inflight k;
+            Condition.broadcast t.flight_done;
+            Mutex.unlock t.m;
+            n.value
+        | None ->
+            add_locked t k v;
+            Hashtbl.remove t.inflight k;
+            Condition.broadcast t.flight_done;
+            Mutex.unlock t.m;
+            v)
+    | exception e ->
+        finish ();
+        raise e
+  in
+  let rec classify () =
+    match peek_locked t k with
+    | Some v ->
+        t.hits <- t.hits + 1;
+        Mutex.unlock t.m;
+        v
+    | None ->
+        if Hashtbl.mem t.inflight k then begin
+          t.joins <- t.joins + 1;
+          while Hashtbl.mem t.inflight k do
+            Condition.wait t.flight_done t.m
+          done;
+          (* Usually the value is now cached; re-classify without
+             touching the hit/miss counters again for the common case. *)
+          match peek_locked t k with
+          | Some v ->
+              Mutex.unlock t.m;
+              v
+          | None -> classify ()
+        end
+        else begin
+          t.misses <- t.misses + 1;
+          Hashtbl.replace t.inflight k ();
+          Mutex.unlock t.m;
+          run_compute ()
+        end
+  in
+  Mutex.lock t.m;
+  classify ()
+
 let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
 let length t = with_lock t (fun () -> Hashtbl.length t.table)
 let capacity t = t.cap
@@ -127,6 +214,7 @@ let stats t =
       {
         hits = t.hits;
         misses = t.misses;
+        joins = t.joins;
         evictions = t.evictions;
         size = Hashtbl.length t.table;
         capacity = t.cap;
@@ -139,4 +227,5 @@ let clear t =
       t.tail <- None;
       t.hits <- 0;
       t.misses <- 0;
+      t.joins <- 0;
       t.evictions <- 0)

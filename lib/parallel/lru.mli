@@ -1,18 +1,25 @@
 (** Size-bounded LRU memo cache, safe for concurrent use from multiple
     domains (a single {!Mutex} guards the table; the expensive compute
-    in {!find_or_add} runs {e outside} the lock).
+    in {!find_or_add} and {!find_or_compute} runs {e outside} the lock).
 
     Intended for memoising pure functions whose results are structurally
     identical whenever the keys are equal — e.g. exact LP solutions
     keyed by a canonical scenario fingerprint.  Under that assumption a
     racy double-compute is harmless: both domains produce the same
-    value and the first insertion wins. *)
+    value and the first insertion wins.  When the compute is expensive
+    enough that the duplicated work matters (a server fielding many
+    concurrent identical requests), use {!find_or_compute}, which
+    additionally collapses concurrent misses on one key into a single
+    callback run. *)
 
 type ('k, 'v) t
 
 type stats = {
   hits : int;
   misses : int;
+  joins : int;
+      (** {!find_or_compute} calls that joined another domain's
+          in-flight compute instead of hitting or computing *)
   evictions : int;
   size : int;  (** current number of entries *)
   capacity : int;
@@ -33,14 +40,27 @@ val add : ('k, 'v) t -> 'k -> 'v -> unit
 (** [find_or_add t k compute] returns the cached value for [k], or runs
     [compute ()] (outside the cache lock), stores and returns it.  If
     another domain raced us to the same key, the already-stored value is
-    returned so all callers observe one canonical entry. *)
+    returned so all callers observe one canonical entry.  Concurrent
+    misses on the same key may each run [compute] (first store wins). *)
 val find_or_add : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+(** [find_or_compute t k compute] is {!find_or_add} with {e single
+    flight}: if another domain is already computing [k], the call blocks
+    until that flight lands and returns its value instead of computing
+    again (counted in [stats.joins]).  Exactly one [compute] runs per
+    key while the entry stays cached.  If the in-flight compute raises,
+    its waiters transparently retry (one of them becomes the new
+    computer); the exception propagates only to the caller whose
+    callback raised.  Single-threaded behaviour — and therefore the
+    hit/miss accounting observable sequentially — is identical to
+    {!find_or_add}. *)
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
 
 val mem : ('k, 'v) t -> 'k -> bool
 val length : ('k, 'v) t -> int
 val capacity : ('k, 'v) t -> int
 
-(** [stats t] is a snapshot of hit/miss/eviction counters. *)
+(** [stats t] is a snapshot of hit/miss/join/eviction counters. *)
 val stats : ('k, 'v) t -> stats
 
 (** [clear t] drops all entries and resets the counters. *)

@@ -47,6 +47,16 @@ val with_pool : ?jobs:int -> (t -> 'a) -> 'a
     that itself raised reports its own exception, not the overrun. *)
 exception Task_timeout of { index : int; elapsed : float; budget : float }
 
+(** [timed ?timeout ~index f x] is [f x] under the pool's cooperative
+    budget check: when [f] returns after more than [timeout] seconds of
+    wall clock, the result is discarded and {!Task_timeout} is raised
+    instead (an exception raised by [f] itself wins over the overrun).
+    This is the exact primitive {!map} applies per item, exposed so
+    other executors — e.g. a request-serving worker loop — can enforce
+    per-task deadlines with identical semantics.  [timeout = None] is
+    just [f x]. *)
+val timed : ?timeout:float -> index:int -> ('a -> 'b) -> 'a -> 'b
+
 (** [map ?chunk ?timeout pool f arr] is [Array.map f arr], computed by
     all pool members.  [chunk] is the number of consecutive indices
     claimed per queue round-trip (default: a heuristic balancing lock

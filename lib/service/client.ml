@@ -1,0 +1,69 @@
+module E = Dls.Errors
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect (address : Server.address) =
+  let mk domain addr =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd addr with
+    | () ->
+      Ok
+        {
+          fd;
+          ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          closed = false;
+        }
+    | exception Unix.Unix_error (err, fn, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (E.Io_error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+  in
+  match address with
+  | Server.Unix_socket path -> mk Unix.PF_UNIX (Unix.ADDR_UNIX path)
+  | Server.Tcp (host, port) -> (
+    match Unix.inet_addr_of_string host with
+    | addr -> mk Unix.PF_INET (Unix.ADDR_INET (addr, port))
+    | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list; _ } when Array.length h_addr_list > 0 ->
+        mk Unix.PF_INET (Unix.ADDR_INET (h_addr_list.(0), port))
+      | _ | (exception Not_found) ->
+        Error (E.Io_error (Printf.sprintf "cannot resolve host %S" host))))
+
+let request_raw t line =
+  if t.closed then Error (E.Io_error "client connection is closed")
+  else
+    match
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc;
+      input_line t.ic
+    with
+    | reply -> Protocol.parse_response reply
+    | exception End_of_file -> Error (E.Io_error "server closed the connection")
+    | exception (Sys_error msg) -> Error (E.Io_error msg)
+    | exception Unix.Unix_error (err, fn, _) ->
+      Error (E.Io_error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+
+let request t req = request_raw t (Protocol.request_to_string req)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let with_client address f =
+  match connect address with
+  | Error _ as e -> e
+  | Ok t ->
+    let r =
+      match f t with v -> Ok v | exception exn -> close t; raise exn
+    in
+    close t;
+    r

@@ -1,0 +1,28 @@
+(** Blocking client for the {!Server} wire protocol: one connection,
+    synchronous request/response, typed errors — the building block of
+    [dls client], [dls loadgen] and the service bench.
+
+    Transport failures surface as [Error (Io_error _)]; a well-formed
+    but negative server answer ([overloaded], [timeout], [error ...]) is
+    [Ok response] — the request/response cycle worked, the payload just
+    says no. *)
+
+type t
+
+(** [connect address] opens one connection. *)
+val connect : Server.address -> (t, Dls.Errors.t) result
+
+(** [request t req] sends the canonical line for [req] and reads the
+    response line. *)
+val request : t -> Protocol.request -> (Protocol.response, Dls.Errors.t) result
+
+(** [request_raw t line] sends [line] verbatim — for probing the server
+    with malformed input. *)
+val request_raw : t -> string -> (Protocol.response, Dls.Errors.t) result
+
+(** [close t] closes the connection.  Idempotent. *)
+val close : t -> unit
+
+(** [with_client address f] connects, runs [f], closes (also on
+    exception). *)
+val with_client : Server.address -> (t -> 'a) -> ('a, Dls.Errors.t) result

@@ -1,0 +1,104 @@
+module Q = Numeric.Rational
+module P = Protocol
+
+type outcome = {
+  sent : int;
+  ok : int;
+  overloaded : int;
+  timeouts : int;
+  failed : int;
+  wall_s : float;
+  rps : float;
+}
+
+let regimes = [| Check.Fuzz.Small_z; Check.Fuzz.Unit_z; Check.Fuzz.Big_z |]
+
+(* The scenario index must be a pure function of (seed, i); Hashtbl.hash
+   is deterministic on immutable ints across runs and domains. *)
+let scenario_index ~seed ~distinct i = Hashtbl.hash (seed, i) mod distinct
+
+let platform_of_scenario ~seed s =
+  let rng = Random.State.make [| seed; s; 0x10ad9e4 |] in
+  Check.Fuzz.gen_platform rng regimes.(s mod 3)
+
+let request ~seed ~distinct i =
+  if distinct <= 0 then invalid_arg "Loadgen.request: distinct must be >= 1";
+  let s = scenario_index ~seed ~distinct i in
+  let platform = platform_of_scenario ~seed s in
+  match s mod 10 with
+  | 8 -> P.Check platform
+  | 9 ->
+    P.Simulate
+      {
+        m_platform = platform;
+        m_order = P.Fifo;
+        m_items = 100;
+        m_faults = None;
+        m_replan = P.Replan_auto;
+      }
+  | k ->
+    P.Solve
+      {
+        s_platform = platform;
+        s_order = (if k mod 2 = 0 then P.Fifo else P.Lifo);
+        s_model = Dls.Lp_model.One_port;
+        s_fast = true;
+        s_load = (if k < 4 then Some (Q.of_int 1000) else None);
+      }
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_overloaded : int;
+  mutable t_timeouts : int;
+  mutable t_failed : int;
+}
+
+let run address ~connections ~requests ~seed ~distinct () =
+  if connections <= 0 || requests < 0 || distinct <= 0 then
+    Dls.Errors.invalid "Loadgen.run: bad parameters"
+  else begin
+    (* Materialize the stream up front so worker threads only do I/O. *)
+    let stream = Array.init requests (fun i -> request ~seed ~distinct i) in
+    let connections = max 1 (min connections (max requests 1)) in
+    let tallies =
+      Array.init connections (fun _ ->
+          { t_ok = 0; t_overloaded = 0; t_timeouts = 0; t_failed = 0 })
+    in
+    let conn_error = Atomic.make None in
+    let worker c =
+      match Client.connect address with
+      | Error e ->
+        if Atomic.get conn_error = None then Atomic.set conn_error (Some e)
+      | Ok client ->
+        let tally = tallies.(c) in
+        let i = ref c in
+        while !i < requests do
+          (match Client.request client stream.(!i) with
+          | Ok resp when P.is_ok resp -> tally.t_ok <- tally.t_ok + 1
+          | Ok (P.Overloaded _) -> tally.t_overloaded <- tally.t_overloaded + 1
+          | Ok (P.Timed_out _) -> tally.t_timeouts <- tally.t_timeouts + 1
+          | Ok _ | Error _ -> tally.t_failed <- tally.t_failed + 1);
+          i := !i + connections
+        done;
+        Client.close client
+    in
+    let t0 = Unix.gettimeofday () in
+    let threads = Array.init connections (fun c -> Thread.create worker c) in
+    Array.iter Thread.join threads;
+    let wall_s = Unix.gettimeofday () -. t0 in
+    match Atomic.get conn_error with
+    | Some e -> Error e
+    | None ->
+      let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let ok = sum (fun t -> t.t_ok) in
+      Ok
+        {
+          sent = requests;
+          ok;
+          overloaded = sum (fun t -> t.t_overloaded);
+          timeouts = sum (fun t -> t.t_timeouts);
+          failed = sum (fun t -> t.t_failed);
+          wall_s;
+          rps = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+        }
+  end

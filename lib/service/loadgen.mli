@@ -1,0 +1,40 @@
+(** Deterministic load generator for the daemon.
+
+    The request stream depends only on [(seed, distinct, i)]: request
+    [i] draws scenario [s = hash(seed, i) mod distinct], whose platform
+    comes from {!Check.Fuzz.gen_platform} seeded by [(seed, s)] with the
+    z-regime cycling [z<1], [z=1], [z>1] over [s] — so every run covers
+    all three regimes of the paper, and two runs with the same seed
+    issue the same multiset of requests whatever the connection count
+    (connection [c] carries the requests with [i mod connections = c]).
+    Small [distinct] values make the stream duplicate-heavy, which is
+    what exercises the server's single-flight batching and the shared
+    LP cache.
+
+    Used by the service bench (Part 5), the CI smoke job and
+    [dls loadgen]: all three see the same traffic by construction. *)
+
+type outcome = {
+  sent : int;
+  ok : int;
+  overloaded : int;
+  timeouts : int;
+  failed : int;  (** transport errors and [error] responses *)
+  wall_s : float;
+  rps : float;  (** ok responses per wall-clock second *)
+}
+
+(** [request ~seed ~distinct i] is the [i]-th request of the stream. *)
+val request : seed:int -> distinct:int -> int -> Protocol.request
+
+(** [run address ~connections ~requests ~seed ~distinct ()] replays the
+    first [requests] requests of the stream over [connections]
+    concurrent connections and aggregates the outcome. *)
+val run :
+  Server.address ->
+  connections:int ->
+  requests:int ->
+  seed:int ->
+  distinct:int ->
+  unit ->
+  (outcome, Dls.Errors.t) result

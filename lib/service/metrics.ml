@@ -1,0 +1,114 @@
+(* Buckets are [2^i, 2^(i+1)) microseconds; 40 buckets cover up to
+   ~2^40 us ≈ 12.7 days, far past any request budget. *)
+let buckets = 40
+
+type t = {
+  accepted : int Atomic.t;
+  served : int Atomic.t;
+  rejected : int Atomic.t;
+  timed_out : int Atomic.t;
+  failed : int Atomic.t;
+  malformed : int Atomic.t;
+  batches : int Atomic.t;
+  max_batch : int Atomic.t;
+  collapsed : int Atomic.t;
+  inflight : int Atomic.t;
+  histogram : int Atomic.t array;
+  max_us : int Atomic.t;
+  started : float;
+}
+
+let create () =
+  {
+    accepted = Atomic.make 0;
+    served = Atomic.make 0;
+    rejected = Atomic.make 0;
+    timed_out = Atomic.make 0;
+    failed = Atomic.make 0;
+    malformed = Atomic.make 0;
+    batches = Atomic.make 0;
+    max_batch = Atomic.make 0;
+    collapsed = Atomic.make 0;
+    inflight = Atomic.make 0;
+    histogram = Array.init buckets (fun _ -> Atomic.make 0);
+    max_us = Atomic.make 0;
+    started = Unix.gettimeofday ();
+  }
+
+let incr_accepted t = Atomic.incr t.accepted
+let incr_served t = Atomic.incr t.served
+let incr_rejected t = Atomic.incr t.rejected
+let incr_timed_out t = Atomic.incr t.timed_out
+let incr_failed t = Atomic.incr t.failed
+let incr_malformed t = Atomic.incr t.malformed
+let incr_inflight t = Atomic.incr t.inflight
+let decr_inflight t = Atomic.decr t.inflight
+let inflight t = Atomic.get t.inflight
+let accepted t = Atomic.get t.accepted
+let served t = Atomic.get t.served
+let timed_out t = Atomic.get t.timed_out
+let failed t = Atomic.get t.failed
+let rejected t = Atomic.get t.rejected
+let collapsed t = Atomic.get t.collapsed
+
+let rec atomic_max cell v =
+  let cur = Atomic.get cell in
+  if v <= cur then ()
+  else if Atomic.compare_and_set cell cur v then ()
+  else atomic_max cell v
+
+let note_batch t ~size ~unique =
+  Atomic.incr t.batches;
+  atomic_max t.max_batch size;
+  if size > unique then
+    ignore (Atomic.fetch_and_add t.collapsed (size - unique))
+
+let bucket_of_us us =
+  let rec go i bound = if us < bound || i = buckets - 1 then i else go (i + 1) (bound * 2) in
+  go 0 2
+
+let observe_latency t seconds =
+  let us = int_of_float (Float.max 0. (seconds *. 1e6)) in
+  Atomic.incr t.histogram.(bucket_of_us us);
+  atomic_max t.max_us us
+
+(* Upper bound of the bucket holding the q-th observation. *)
+let quantile counts total q =
+  if total = 0 then 0
+  else
+    let target =
+      let t = int_of_float (ceil (float_of_int total *. q)) in
+      if t < 1 then 1 else if t > total then total else t
+    in
+    let rec go i seen =
+      if i >= buckets then 1 lsl buckets
+      else
+        let seen = seen + counts.(i) in
+        if seen >= target then 1 lsl (i + 1) else go (i + 1) seen
+    in
+    go 0 0
+
+let snapshot t ~queue_depth : Protocol.stats_rep =
+  let counts = Array.map Atomic.get t.histogram in
+  let total = Array.fold_left ( + ) 0 counts in
+  let cache = Dls.Lp_model.cache_stats () in
+  {
+    accepted = Atomic.get t.accepted;
+    served = Atomic.get t.served;
+    rejected = Atomic.get t.rejected;
+    timed_out = Atomic.get t.timed_out;
+    failed = Atomic.get t.failed;
+    malformed = Atomic.get t.malformed;
+    batches = Atomic.get t.batches;
+    max_batch = Atomic.get t.max_batch;
+    collapsed = Atomic.get t.collapsed;
+    cache_hits = cache.Parallel.Lru.hits;
+    cache_misses = cache.Parallel.Lru.misses;
+    queue_depth;
+    inflight = Atomic.get t.inflight;
+    p50_us = quantile counts total 0.50;
+    p90_us = quantile counts total 0.90;
+    p99_us = quantile counts total 0.99;
+    max_us = Atomic.get t.max_us;
+    uptime_s = Unix.gettimeofday () -. t.started;
+  }

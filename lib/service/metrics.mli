@@ -1,0 +1,42 @@
+(** Lock-free serving counters and latency histogram.
+
+    Every counter is an {!Atomic}, so connection threads, the
+    dispatcher, and pool workers may record events concurrently without
+    sharing a lock with the serving path; {!snapshot} is a read-only
+    aggregation that never blocks a writer.  Latencies go into
+    power-of-two microsecond buckets — quantiles are read as the upper
+    bound of the covering bucket, which over-reports by at most 2x and
+    costs one atomic increment per observation. *)
+
+type t
+
+val create : unit -> t
+
+val incr_accepted : t -> unit
+val incr_served : t -> unit
+val incr_rejected : t -> unit
+val incr_timed_out : t -> unit
+val incr_failed : t -> unit
+val incr_malformed : t -> unit
+
+(** [note_batch m ~size ~unique] records one dispatcher round over
+    [size] admitted requests collapsed onto [unique] evaluations. *)
+val note_batch : t -> size:int -> unique:int -> unit
+
+val incr_inflight : t -> unit
+val decr_inflight : t -> unit
+val inflight : t -> int
+val accepted : t -> int
+val served : t -> int
+val timed_out : t -> int
+val failed : t -> int
+val rejected : t -> int
+val collapsed : t -> int
+
+(** [observe_latency m seconds] files one admission-to-response
+    latency. *)
+val observe_latency : t -> float -> unit
+
+(** [snapshot m ~queue_depth] assembles the wire-level stats record;
+    LP-cache counters are read from {!Dls.Lp_model.cache_stats}. *)
+val snapshot : t -> queue_depth:int -> Protocol.stats_rep

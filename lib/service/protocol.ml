@@ -1,0 +1,705 @@
+module Q = Numeric.Rational
+module T = Dls.Text_format
+module E = Dls.Errors
+
+type order = Fifo | Lifo
+
+type solve_req = {
+  s_platform : Dls.Platform.t;
+  s_order : order;
+  s_model : Dls.Lp_model.model;
+  s_fast : bool;
+  s_load : Q.t option;
+}
+
+type replan = Replan_none | Replan_auto | Replan_policy of Dls.Replan.policy
+
+type simulate_req = {
+  m_platform : Dls.Platform.t;
+  m_order : order;
+  m_items : int;
+  m_faults : Dls.Faults.plan option;
+  m_replan : replan;
+}
+
+type request =
+  | Solve of solve_req
+  | Simulate of simulate_req
+  | Check of Dls.Platform.t
+  | Stats
+  | Health
+
+type solve_rep = {
+  rho : Q.t;
+  sigma1 : int array;
+  alpha : Q.t array;
+  idle : Q.t array;
+  makespan : Q.t option;
+}
+
+type simulate_rep = {
+  sim_makespan : float;
+  lp_makespan : float;
+  sim_valid : bool;
+  achieved : float option;
+  achieved_ratio : float option;
+  replanned : string option;
+}
+
+type check_rep = { check_ok : bool; violations : int }
+
+type stats_rep = {
+  accepted : int;
+  served : int;
+  rejected : int;
+  timed_out : int;
+  failed : int;
+  malformed : int;
+  batches : int;
+  max_batch : int;
+  collapsed : int;
+  cache_hits : int;
+  cache_misses : int;
+  queue_depth : int;
+  inflight : int;
+  p50_us : int;
+  p90_us : int;
+  p99_us : int;
+  max_us : int;
+  uptime_s : float;
+}
+
+type health_rep = {
+  healthy : bool;
+  draining : bool;
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_capacity : int;
+  h_workers : int;
+}
+
+type response =
+  | Ok_solve of solve_rep
+  | Ok_simulate of simulate_rep
+  | Ok_check of check_rep
+  | Ok_stats of stats_rep
+  | Ok_health of health_rep
+  | Overloaded of { depth : int; capacity : int }
+  | Timed_out of { budget : float }
+  | Failed of E.t
+
+let ( let* ) = Result.bind
+
+(* ------------------------------------------------------------------ *)
+(* Scalar rendering                                                    *)
+
+(* Shortest decimal form that parses back to the same float, so float
+   fields survive a render/parse round trip bit-for-bit. *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let rec go p =
+      if p > 17 then Printf.sprintf "%.17g" f
+      else
+        let s = Printf.sprintf "%.*g" p f in
+        if float_of_string s = f then s else go (p + 1)
+    in
+    go 6
+
+let bool_str b = if b then "true" else "false"
+let order_to_string = function Fifo -> "fifo" | Lifo -> "lifo"
+
+let model_to_string = function
+  | Dls.Lp_model.One_port -> "one-port"
+  | Dls.Lp_model.Two_port -> "two-port"
+
+let replan_to_string = function
+  | Replan_none -> "none"
+  | Replan_auto -> "auto"
+  | Replan_policy p -> Dls.Replan.policy_to_string p
+
+let q_list qs = String.concat "," (List.map Q.to_string (Array.to_list qs))
+let int_list is = String.concat "," (List.map string_of_int (Array.to_list is))
+
+(* ------------------------------------------------------------------ *)
+(* Platform spec: c:w:d,c:w:d — the CLI's compact form, with positions *)
+
+let platform_to_spec p =
+  String.concat ","
+    (List.init (Dls.Platform.size p) (fun i ->
+         let wk = Dls.Platform.get p i in
+         Printf.sprintf "%s:%s:%s"
+           (Q.to_string wk.Dls.Platform.c)
+           (Q.to_string wk.Dls.Platform.w)
+           (Q.to_string wk.Dls.Platform.d)))
+
+(* [col] is where [s] starts on the line; sub-token error columns are
+   offsets into [s] added to it. *)
+let platform_of_spec ?file ~line ~col s =
+  let rational ~off txt =
+    match Q.of_string txt with
+    | q -> Ok q
+    | exception _ ->
+      E.parse_error ?file ~line ~col:(col + off) "not a rational: %S" txt
+  in
+  (* split keeping each part's offset in [s] *)
+  let split_offsets sep str =
+    let parts = String.split_on_char sep str in
+    let _, with_off =
+      List.fold_left
+        (fun (off, acc) part ->
+          (off + String.length part + 1, (off, part) :: acc))
+        (0, []) parts
+    in
+    List.rev with_off
+  in
+  let parse_worker i (off, part) =
+    match split_offsets ':' part with
+    | [ (oc, c); (ow, w); (od, d) ] ->
+      let* c = rational ~off:(off + oc) c in
+      let* w = rational ~off:(off + ow) w in
+      let* d = rational ~off:(off + od) d in
+      (match Dls.Platform.worker ~name:(Printf.sprintf "P%d" (i + 1)) ~c ~w ~d () with
+      | wk -> Ok wk
+      | exception Invalid_argument msg ->
+        E.parse_error ?file ~line ~col:(col + off) "%s" msg)
+    | _ ->
+      E.parse_error ?file ~line ~col:(col + off)
+        "expected c:w:d, got %S" part
+  in
+  let rec collect i acc = function
+    | [] -> Ok (List.rev acc)
+    | part :: rest ->
+      let* wk = parse_worker i part in
+      collect (i + 1) (wk :: acc) rest
+  in
+  if String.trim s = "" then
+    E.parse_error ?file ~line ~col "empty platform spec"
+  else
+    let* workers = collect 0 [] (split_offsets ',' s) in
+    match Dls.Platform.make workers with
+    | Ok p -> Ok p
+    | Error (E.Invalid_scenario msg) -> E.parse_error ?file ~line ~col "%s" msg
+    | Error e -> Error e
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+
+let split_kv (tok : T.token) =
+  match String.index_opt tok.T.text '=' with
+  | Some i ->
+    Some
+      ( String.sub tok.T.text 0 i,
+        String.sub tok.T.text (i + 1) (String.length tok.T.text - i - 1) )
+  | None -> None
+
+let parse_bool ?file ~line (tok : T.token) v =
+  match v with
+  | "true" | "1" -> Ok true
+  | "false" | "0" -> Ok false
+  | _ -> E.parse_error ?file ~line ~col:tok.T.col "expected true/false, got %S" v
+
+let parse_int ?file ~line (tok : T.token) v =
+  match int_of_string_opt v with
+  | Some n -> Ok n
+  | None -> E.parse_error ?file ~line ~col:tok.T.col "not an integer: %S" v
+
+let parse_rational ?file ~line (tok : T.token) v =
+  match Q.of_string v with
+  | q -> Ok q
+  | exception _ ->
+    E.parse_error ?file ~line ~col:tok.T.col "not a rational: %S" v
+
+(* [faults=slowdown:2:3/2:1/4;crash:0:5/8] — unpack into the Faults
+   text format ([;] = newline, [:] = space) and reuse its parser.  The
+   re-parse reports positions in the unpacked text; surface them at the
+   option token instead, keeping the original message. *)
+let parse_faults ?file ~line (tok : T.token) v =
+  let text =
+    String.map (function ';' -> '\n' | ':' -> ' ' | ch -> ch) v
+  in
+  match Dls.Faults.of_string text with
+  | Ok plan -> Ok plan
+  | Error (E.Parse_error { msg; _ }) ->
+    E.parse_error ?file ~line ~col:tok.T.col "bad fault plan: %s" msg
+  | Error e -> Error e
+
+let parse_replan ?file ~line (tok : T.token) v =
+  match v with
+  | "none" -> Ok Replan_none
+  | "auto" -> Ok Replan_auto
+  | _ -> (
+    match Dls.Replan.policy_of_string v with
+    | Some p -> Ok (Replan_policy p)
+    | None ->
+      E.parse_error ?file ~line ~col:tok.T.col "unknown recovery policy %S" v)
+
+let parse_order ?file ~line (tok : T.token) v =
+  match v with
+  | "fifo" -> Ok Fifo
+  | "lifo" -> Ok Lifo
+  | _ -> E.parse_error ?file ~line ~col:tok.T.col "expected fifo/lifo, got %S" v
+
+let parse_model ?file ~line (tok : T.token) v =
+  match v with
+  | "one-port" | "1p" -> Ok Dls.Lp_model.One_port
+  | "two-port" | "2p" -> Ok Dls.Lp_model.Two_port
+  | _ ->
+    E.parse_error ?file ~line ~col:tok.T.col "expected one-port/two-port, got %S" v
+
+let parse_request ?file ~line s =
+  match T.tokens s with
+  | [] -> E.parse_error ?file ~line ~col:1 "empty request"
+  | verb :: rest -> (
+    let spec_and_opts kind =
+      match rest with
+      | [] ->
+        E.parse_error ?file ~line ~col:(verb.T.col + String.length verb.T.text)
+          "%s needs a platform spec (c:w:d,...)" kind
+      | spec :: opts ->
+        let* p =
+          platform_of_spec ?file ~line ~col:spec.T.col spec.T.text
+        in
+        Ok (p, opts)
+    in
+    let fold_opts opts ~init ~f =
+      List.fold_left
+        (fun acc tok ->
+          let* acc = acc in
+          match split_kv tok with
+          | None ->
+            E.parse_error ?file ~line ~col:tok.T.col
+              "expected key=value, got %S" tok.T.text
+          | Some (k, v) -> f acc tok k v)
+        (Ok init) opts
+    in
+    let no_trailing kind =
+      match rest with
+      | [] -> Ok ()
+      | tok :: _ ->
+        E.parse_error ?file ~line ~col:tok.T.col "%s takes no arguments" kind
+    in
+    match verb.T.text with
+    | "solve" ->
+      let* p, opts = spec_and_opts "solve" in
+      let init =
+        {
+          s_platform = p;
+          s_order = Fifo;
+          s_model = Dls.Lp_model.One_port;
+          s_fast = true;
+          s_load = None;
+        }
+      in
+      let* r =
+        fold_opts opts ~init ~f:(fun r tok k v ->
+            match k with
+            | "order" ->
+              let* o = parse_order ?file ~line tok v in
+              Ok { r with s_order = o }
+            | "model" ->
+              let* m = parse_model ?file ~line tok v in
+              Ok { r with s_model = m }
+            | "fast" ->
+              let* b = parse_bool ?file ~line tok v in
+              Ok { r with s_fast = b }
+            | "load" ->
+              let* q = parse_rational ?file ~line tok v in
+              if Q.sign q <= 0 then
+                E.parse_error ?file ~line ~col:tok.T.col "load must be positive"
+              else Ok { r with s_load = Some q }
+            | _ ->
+              E.parse_error ?file ~line ~col:tok.T.col
+                "unknown solve option %S" k)
+      in
+      Ok (Solve r)
+    | "simulate" ->
+      let* p, opts = spec_and_opts "simulate" in
+      let init =
+        {
+          m_platform = p;
+          m_order = Fifo;
+          m_items = 1000;
+          m_faults = None;
+          m_replan = Replan_auto;
+        }
+      in
+      let* r =
+        fold_opts opts ~init ~f:(fun r tok k v ->
+            match k with
+            | "order" ->
+              let* o = parse_order ?file ~line tok v in
+              Ok { r with m_order = o }
+            | "items" ->
+              let* n = parse_int ?file ~line tok v in
+              if n <= 0 then
+                E.parse_error ?file ~line ~col:tok.T.col "items must be positive"
+              else Ok { r with m_items = n }
+            | "faults" ->
+              let* plan = parse_faults ?file ~line tok v in
+              Ok { r with m_faults = Some plan }
+            | "replan" ->
+              let* rp = parse_replan ?file ~line tok v in
+              Ok { r with m_replan = rp }
+            | _ ->
+              E.parse_error ?file ~line ~col:tok.T.col
+                "unknown simulate option %S" k)
+      in
+      Ok (Simulate r)
+    | "check" ->
+      let* p, opts = spec_and_opts "check" in
+      let* () =
+        match opts with
+        | [] -> Ok ()
+        | tok :: _ ->
+          E.parse_error ?file ~line ~col:tok.T.col "check takes no options"
+      in
+      Ok (Check p)
+    | "stats" ->
+      let* () = no_trailing "stats" in
+      Ok Stats
+    | "health" ->
+      let* () = no_trailing "health" in
+      Ok Health
+    | other ->
+      E.parse_error ?file ~line ~col:verb.T.col
+        "unknown request %S (expected solve/simulate/check/stats/health)" other)
+
+(* ------------------------------------------------------------------ *)
+(* Request rendering                                                   *)
+
+let faults_to_inline plan =
+  String.concat ";"
+    (List.map
+       (fun f ->
+         String.map
+           (function ' ' -> ':' | ch -> ch)
+           (Dls.Faults.fault_to_string f))
+       (Dls.Faults.faults plan))
+
+let request_to_string = function
+  | Solve r ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "solve ";
+    Buffer.add_string b (platform_to_spec r.s_platform);
+    Buffer.add_string b (" order=" ^ order_to_string r.s_order);
+    Buffer.add_string b (" model=" ^ model_to_string r.s_model);
+    Buffer.add_string b (" fast=" ^ bool_str r.s_fast);
+    (match r.s_load with
+    | Some q -> Buffer.add_string b (" load=" ^ Q.to_string q)
+    | None -> ());
+    Buffer.contents b
+  | Simulate r ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "simulate ";
+    Buffer.add_string b (platform_to_spec r.m_platform);
+    Buffer.add_string b (" order=" ^ order_to_string r.m_order);
+    Buffer.add_string b (Printf.sprintf " items=%d" r.m_items);
+    (match r.m_faults with
+    | Some plan when not (Dls.Faults.is_empty plan) ->
+      Buffer.add_string b (" faults=" ^ faults_to_inline plan)
+    | _ -> ());
+    Buffer.add_string b (" replan=" ^ replan_to_string r.m_replan);
+    Buffer.contents b
+  | Check p -> "check " ^ platform_to_spec p
+  | Stats -> "stats"
+  | Health -> "health"
+
+let request_key = request_to_string
+
+(* ------------------------------------------------------------------ *)
+(* Response rendering                                                  *)
+
+let one_line s = String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let error_to_string (e : E.t) =
+  match e with
+  | E.Unbounded -> "error unbounded"
+  | E.Infeasible -> "error infeasible"
+  | E.Invalid_scenario msg -> "error invalid " ^ one_line msg
+  | E.Io_error msg -> "error io " ^ one_line msg
+  | E.Parse_error { line; col; msg; file = _ } ->
+    Printf.sprintf "error parse line=%d col=%d %s" line col (one_line msg)
+
+let response_to_string = function
+  | Ok_solve r ->
+    let b = Buffer.create 128 in
+    Buffer.add_string b ("ok solve rho=" ^ Q.to_string r.rho);
+    Buffer.add_string b (" sigma1=" ^ int_list r.sigma1);
+    Buffer.add_string b (" alpha=" ^ q_list r.alpha);
+    Buffer.add_string b (" idle=" ^ q_list r.idle);
+    (match r.makespan with
+    | Some q -> Buffer.add_string b (" makespan=" ^ Q.to_string q)
+    | None -> ());
+    Buffer.contents b
+  | Ok_simulate r ->
+    let b = Buffer.create 96 in
+    Buffer.add_string b ("ok simulate makespan=" ^ float_str r.sim_makespan);
+    Buffer.add_string b (" lp=" ^ float_str r.lp_makespan);
+    Buffer.add_string b (" valid=" ^ bool_str r.sim_valid);
+    (match r.achieved with
+    | Some f -> Buffer.add_string b (" achieved=" ^ float_str f)
+    | None -> ());
+    (match r.achieved_ratio with
+    | Some f -> Buffer.add_string b (" ratio=" ^ float_str f)
+    | None -> ());
+    (match r.replanned with
+    | Some p -> Buffer.add_string b (" replan=" ^ p)
+    | None -> ());
+    Buffer.contents b
+  | Ok_check r ->
+    Printf.sprintf "ok check valid=%s violations=%d" (bool_str r.check_ok)
+      r.violations
+  | Ok_stats r ->
+    Printf.sprintf
+      "ok stats accepted=%d served=%d rejected=%d timed_out=%d failed=%d \
+       malformed=%d batches=%d max_batch=%d collapsed=%d cache_hits=%d \
+       cache_misses=%d queue_depth=%d inflight=%d p50_us=%d p90_us=%d \
+       p99_us=%d max_us=%d uptime_s=%s"
+      r.accepted r.served r.rejected r.timed_out r.failed r.malformed r.batches
+      r.max_batch r.collapsed r.cache_hits r.cache_misses r.queue_depth
+      r.inflight r.p50_us r.p90_us r.p99_us r.max_us (float_str r.uptime_s)
+  | Ok_health r ->
+    Printf.sprintf
+      "ok health healthy=%s draining=%s uptime_s=%s queue=%d capacity=%d \
+       workers=%d"
+      (bool_str r.healthy) (bool_str r.draining)
+      (float_str r.h_uptime_s)
+      r.h_queue_depth r.h_capacity r.h_workers
+  | Overloaded { depth; capacity } ->
+    Printf.sprintf "overloaded depth=%d capacity=%d" depth capacity
+  | Timed_out { budget } -> "timeout budget=" ^ float_str budget
+  | Failed e -> error_to_string e
+
+let is_ok = function
+  | Ok_solve _ | Ok_simulate _ | Ok_check _ | Ok_stats _ | Ok_health _ -> true
+  | Overloaded _ | Timed_out _ | Failed _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Response parsing                                                    *)
+
+let kv_map toks =
+  List.fold_left
+    (fun acc tok ->
+      let* acc = acc in
+      match split_kv tok with
+      | Some (k, v) -> Ok ((k, (tok, v)) :: acc)
+      | None ->
+        E.parse_error ~line:1 ~col:tok.T.col "expected key=value, got %S"
+          tok.T.text)
+    (Ok []) toks
+
+let need kvs k =
+  match List.assoc_opt k kvs with
+  | Some (tok, v) -> Ok (tok, v)
+  | None -> E.parse_error ~line:1 ~col:1 "response misses field %S" k
+
+let opt_field kvs k = Option.map snd (List.assoc_opt k kvs)
+
+let need_int kvs k =
+  let* tok, v = need kvs k in
+  parse_int ~line:1 tok v
+
+let need_float kvs k =
+  let* tok, v = need kvs k in
+  match float_of_string_opt v with
+  | Some f -> Ok f
+  | None -> E.parse_error ~line:1 ~col:tok.T.col "not a float: %S" v
+
+let need_bool kvs k =
+  let* tok, v = need kvs k in
+  parse_bool ~line:1 tok v
+
+let need_q kvs k =
+  let* tok, v = need kvs k in
+  parse_rational ~line:1 tok v
+
+let q_array ~col v =
+  if v = "" then Ok [||]
+  else
+    let parts = String.split_on_char ',' v in
+    let* qs =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match Q.of_string p with
+          | q -> Ok (q :: acc)
+          | exception _ ->
+            E.parse_error ~line:1 ~col "not a rational: %S" p)
+        (Ok []) parts
+    in
+    Ok (Array.of_list (List.rev qs))
+
+let int_array ~col v =
+  if v = "" then Ok [||]
+  else
+    let parts = String.split_on_char ',' v in
+    let* is =
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match int_of_string_opt p with
+          | Some i -> Ok (i :: acc)
+          | None -> E.parse_error ~line:1 ~col "not an integer: %S" p)
+        (Ok []) parts
+    in
+    Ok (Array.of_list (List.rev is))
+
+let opt_float kvs k =
+  match opt_field kvs k with
+  | None -> Ok None
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> Ok (Some f)
+    | None -> E.parse_error ~line:1 ~col:1 "not a float: %S" v)
+
+(* [error ...] / [ok simulate replan=...] carry a free-text tail; the
+   tokens after a fixed prefix are rejoined from their recorded columns
+   so interior spacing collapses to single blanks (the renderer never
+   emits more anyway). *)
+let rest_as_string toks = String.concat " " (List.map (fun t -> t.T.text) toks)
+
+let parse_response s =
+  match T.tokens s with
+  | [] -> E.parse_error ~line:1 ~col:1 "empty response"
+  | { T.text = "overloaded"; _ } :: rest ->
+    let* kvs = kv_map rest in
+    let* depth = need_int kvs "depth" in
+    let* capacity = need_int kvs "capacity" in
+    Ok (Overloaded { depth; capacity })
+  | { T.text = "timeout"; _ } :: rest ->
+    let* kvs = kv_map rest in
+    let* budget = need_float kvs "budget" in
+    Ok (Timed_out { budget })
+  | { T.text = "error"; _ } :: code :: rest -> (
+    match code.T.text with
+    | "unbounded" -> Ok (Failed E.Unbounded)
+    | "infeasible" -> Ok (Failed E.Infeasible)
+    | "invalid" -> Ok (Failed (E.Invalid_scenario (rest_as_string rest)))
+    | "io" -> Ok (Failed (E.Io_error (rest_as_string rest)))
+    | "parse" -> (
+      match rest with
+      | lt :: ct :: msg_toks -> (
+        match (split_kv lt, split_kv ct) with
+        | Some ("line", lv), Some ("col", cv) ->
+          let* line = parse_int ~line:1 lt lv in
+          let* col = parse_int ~line:1 ct cv in
+          Ok
+            (Failed
+               (E.Parse_error
+                  { file = None; line; col; msg = rest_as_string msg_toks }))
+        | _ ->
+          E.parse_error ~line:1 ~col:lt.T.col
+            "error parse needs line= and col=")
+      | _ ->
+        E.parse_error ~line:1 ~col:code.T.col
+          "error parse needs line= and col=")
+    | other ->
+      E.parse_error ~line:1 ~col:code.T.col "unknown error code %S" other)
+  | { T.text = "error"; col; _ } :: [] ->
+    E.parse_error ~line:1 ~col "error response misses its code"
+  | { T.text = "ok"; _ } :: kind :: rest -> (
+    match kind.T.text with
+    | "solve" ->
+      let* kvs = kv_map rest in
+      let* rho = need_q kvs "rho" in
+      let* _, s1 = need kvs "sigma1" in
+      let* sigma1 = int_array ~col:1 s1 in
+      let* _, av = need kvs "alpha" in
+      let* alpha = q_array ~col:1 av in
+      let* _, iv = need kvs "idle" in
+      let* idle = q_array ~col:1 iv in
+      let* makespan =
+        match opt_field kvs "makespan" with
+        | None -> Ok None
+        | Some v -> (
+          match Q.of_string v with
+          | q -> Ok (Some q)
+          | exception _ ->
+            E.parse_error ~line:1 ~col:1 "not a rational: %S" v)
+      in
+      Ok (Ok_solve { rho; sigma1; alpha; idle; makespan })
+    | "simulate" ->
+      let* kvs = kv_map rest in
+      let* sim_makespan = need_float kvs "makespan" in
+      let* lp_makespan = need_float kvs "lp" in
+      let* sim_valid = need_bool kvs "valid" in
+      let* achieved = opt_float kvs "achieved" in
+      let* achieved_ratio = opt_float kvs "ratio" in
+      let replanned = opt_field kvs "replan" in
+      Ok
+        (Ok_simulate
+           {
+             sim_makespan;
+             lp_makespan;
+             sim_valid;
+             achieved;
+             achieved_ratio;
+             replanned;
+           })
+    | "check" ->
+      let* kvs = kv_map rest in
+      let* check_ok = need_bool kvs "valid" in
+      let* violations = need_int kvs "violations" in
+      Ok (Ok_check { check_ok; violations })
+    | "stats" ->
+      let* kvs = kv_map rest in
+      let* accepted = need_int kvs "accepted" in
+      let* served = need_int kvs "served" in
+      let* rejected = need_int kvs "rejected" in
+      let* timed_out = need_int kvs "timed_out" in
+      let* failed = need_int kvs "failed" in
+      let* malformed = need_int kvs "malformed" in
+      let* batches = need_int kvs "batches" in
+      let* max_batch = need_int kvs "max_batch" in
+      let* collapsed = need_int kvs "collapsed" in
+      let* cache_hits = need_int kvs "cache_hits" in
+      let* cache_misses = need_int kvs "cache_misses" in
+      let* queue_depth = need_int kvs "queue_depth" in
+      let* inflight = need_int kvs "inflight" in
+      let* p50_us = need_int kvs "p50_us" in
+      let* p90_us = need_int kvs "p90_us" in
+      let* p99_us = need_int kvs "p99_us" in
+      let* max_us = need_int kvs "max_us" in
+      let* uptime_s = need_float kvs "uptime_s" in
+      Ok
+        (Ok_stats
+           {
+             accepted;
+             served;
+             rejected;
+             timed_out;
+             failed;
+             malformed;
+             batches;
+             max_batch;
+             collapsed;
+             cache_hits;
+             cache_misses;
+             queue_depth;
+             inflight;
+             p50_us;
+             p90_us;
+             p99_us;
+             max_us;
+             uptime_s;
+           })
+    | "health" ->
+      let* kvs = kv_map rest in
+      let* healthy = need_bool kvs "healthy" in
+      let* draining = need_bool kvs "draining" in
+      let* h_uptime_s = need_float kvs "uptime_s" in
+      let* h_queue_depth = need_int kvs "queue" in
+      let* h_capacity = need_int kvs "capacity" in
+      let* h_workers = need_int kvs "workers" in
+      Ok
+        (Ok_health
+           { healthy; draining; h_uptime_s; h_queue_depth; h_capacity; h_workers })
+    | other ->
+      E.parse_error ~line:1 ~col:kind.T.col "unknown response kind %S" other)
+  | { T.text = "ok"; col; _ } :: [] ->
+    E.parse_error ~line:1 ~col "ok response misses its kind"
+  | tok :: _ ->
+    E.parse_error ~line:1 ~col:tok.T.col
+      "unknown response status %S (expected ok/overloaded/timeout/error)"
+      tok.T.text

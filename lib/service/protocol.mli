@@ -1,0 +1,170 @@
+(** The scheduler-as-a-service wire protocol.
+
+    Line-oriented, in the {!Dls.Text_format} style: one request per
+    line, one response per line, whitespace-separated tokens, [#]
+    comments and blank lines ignored on the request side.  Everything is
+    plain text, so a session is scriptable with [nc]/[socat] and every
+    frame is greppable in a packet capture.
+
+    {2 Request grammar}
+
+    {v
+    request  := "solve"    spec option*
+              | "simulate" spec option*
+              | "check"    spec option*
+              | "stats"
+              | "health"
+    spec     := c:w:d[,c:w:d ...]          rational components
+    option   := key=value                  (no spaces inside a token)
+    v}
+
+    Options by request kind:
+    - [solve]: [order=fifo|lifo] (default fifo), [model=one-port|two-port],
+      [fast=true|false] (default true), [load=Q] (also report the
+      makespan for [load] items);
+    - [simulate]: [order=], [items=N] (default 1000),
+      [faults=kind:args[;kind:args ...]] — the {!Dls.Faults} text format
+      with [;] for newline and [:] for the field separator, e.g.
+      [faults=slowdown:2:3/2:1/4;crash:0:5/8] — and
+      [replan=resolve|drop|margin:M|none|auto] (default [auto]: try every
+      policy, keep the best; only meaningful with [faults]);
+    - [check]: none.
+
+    {2 Response grammar}
+
+    A response starts with a status token: [ok <kind> key=value ...],
+    [overloaded depth=N capacity=N], [timeout budget=S], or
+    [error <code> <message...>].  {!parse_response} inverts
+    {!response_to_string} exactly; rationals are rendered in lowest
+    terms, floats with enough digits to round-trip.
+
+    Parsers never raise: malformed input yields a typed
+    {!Dls.Errors.Parse_error} with 1-based line/column positions, like
+    the {!Dls.Platform_io} / {!Dls.Schedule_io} suites. *)
+
+module Q = Numeric.Rational
+
+type order = Fifo | Lifo
+
+type solve_req = {
+  s_platform : Dls.Platform.t;
+  s_order : order;
+  s_model : Dls.Lp_model.model;
+  s_fast : bool;
+  s_load : Q.t option;
+}
+
+type replan = Replan_none | Replan_auto | Replan_policy of Dls.Replan.policy
+
+type simulate_req = {
+  m_platform : Dls.Platform.t;
+  m_order : order;
+  m_items : int;
+  m_faults : Dls.Faults.plan option;
+  m_replan : replan;
+}
+
+type request =
+  | Solve of solve_req
+  | Simulate of simulate_req
+  | Check of Dls.Platform.t
+  | Stats
+  | Health
+
+(** Exact solver answer; [alpha]/[idle] are platform-indexed, [sigma1]
+    is the sending order — together with [rho] this is bit-comparable
+    to a direct {!Dls.Lp_model.solve} on the same scenario. *)
+type solve_rep = {
+  rho : Q.t;
+  sigma1 : int array;
+  alpha : Q.t array;
+  idle : Q.t array;
+  makespan : Q.t option;  (** [load / rho] when the request carried [load] *)
+}
+
+type simulate_rep = {
+  sim_makespan : float;  (** observed completion of the (perturbed) run *)
+  lp_makespan : float;  (** fault-free LP prediction *)
+  sim_valid : bool;  (** the emitted trace passes the validator *)
+  achieved : float option;  (** load returned by the deadline (faulted runs) *)
+  achieved_ratio : float option;
+  replanned : string option;  (** recovery policy spliced in, if any *)
+}
+
+type check_rep = { check_ok : bool; violations : int }
+
+(** Serving counters; the invariant after a drain (no requests in
+    flight) is [accepted = served + timed_out + failed]. *)
+type stats_rep = {
+  accepted : int;  (** admitted to the request queue *)
+  served : int;  (** answered with an [ok] response *)
+  rejected : int;  (** turned away with [overloaded] (backpressure) *)
+  timed_out : int;  (** exceeded the per-request budget *)
+  failed : int;  (** admitted but answered with [error] *)
+  malformed : int;  (** unparseable request lines (never admitted) *)
+  batches : int;  (** dispatcher rounds *)
+  max_batch : int;  (** largest round *)
+  collapsed : int;  (** requests served by another request's evaluation *)
+  cache_hits : int;  (** LP-cache hits across the whole process *)
+  cache_misses : int;
+  queue_depth : int;
+  inflight : int;  (** admitted but not yet answered *)
+  p50_us : int;  (** latency quantiles, admission to response, in us *)
+  p90_us : int;
+  p99_us : int;
+  max_us : int;
+  uptime_s : float;
+}
+
+type health_rep = {
+  healthy : bool;
+  draining : bool;
+  h_uptime_s : float;
+  h_queue_depth : int;
+  h_capacity : int;
+  h_workers : int;
+}
+
+type response =
+  | Ok_solve of solve_rep
+  | Ok_simulate of simulate_rep
+  | Ok_check of check_rep
+  | Ok_stats of stats_rep
+  | Ok_health of health_rep
+  | Overloaded of { depth : int; capacity : int }
+  | Timed_out of { budget : float }
+  | Failed of Dls.Errors.t
+
+(** [parse_request ~line s] parses one request line ([line] is the
+    1-based position used in error reports).  Never raises. *)
+val parse_request : ?file:string -> line:int -> string -> (request, Dls.Errors.t) result
+
+(** [request_to_string r] renders the canonical request line:
+    [parse_request] inverts it (worker names are positional, [P1..Pn]).
+    Two requests with equal canonical lines are semantically identical,
+    which is exactly the single-flight collapse criterion — see
+    {!request_key}. *)
+val request_to_string : request -> string
+
+(** [request_key r] is the dedup fingerprint used by the server's
+    single-flight batching: requests with equal keys receive the same
+    response and may be served by one evaluation.  Currently the
+    canonical request line. *)
+val request_key : request -> string
+
+(** [parse_response s] parses one response line.  Never raises. *)
+val parse_response : string -> (response, Dls.Errors.t) result
+
+val response_to_string : response -> string
+
+(** [is_ok r] holds on the [Ok_*] constructors. *)
+val is_ok : response -> bool
+
+val order_to_string : order -> string
+val platform_to_spec : Dls.Platform.t -> string
+
+(** [platform_of_spec ~line ~col s] parses the compact [c:w:d,...] form;
+    positions in errors are relative to [col], the column at which the
+    spec token starts. *)
+val platform_of_spec :
+  ?file:string -> line:int -> col:int -> string -> (Dls.Platform.t, Dls.Errors.t) result

@@ -1,0 +1,460 @@
+module Q = Numeric.Rational
+module P = Protocol
+module E = Dls.Errors
+
+type address = Unix_socket of string | Tcp of string * int
+
+type config = {
+  address : address;
+  jobs : int;
+  queue_capacity : int;
+  max_batch : int;
+  timeout : float option;
+  dedup : bool;
+  fast : bool;
+  worker_delay : float;
+}
+
+let default_config address =
+  {
+    address;
+    jobs = Parallel.Pool.default_jobs ();
+    queue_capacity = 64;
+    max_batch = 32;
+    timeout = None;
+    dedup = true;
+    fast = true;
+    worker_delay = 0.;
+  }
+
+type job = {
+  request : P.request;
+  key : string;
+  admitted : float;
+  jm : Mutex.t;
+  jc : Condition.t;
+  mutable reply : P.response option;
+}
+
+type t = {
+  cfg : config;
+  bound : address;
+  queue : job Queue.t;
+  metrics : Metrics.t;
+  pool : Parallel.Pool.t;
+  listen_fd : Unix.file_descr;
+  draining : bool Atomic.t;
+  mutable listener : Thread.t option;
+  mutable dispatcher : Thread.t option;
+  conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  conns_m : Mutex.t;
+  mutable next_conn : int;
+  stop_m : Mutex.t;
+  mutable stopped : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Request evaluation (dispatcher side, runs on pool workers)          *)
+
+let eval_solve cfg (r : P.solve_req) =
+  let p = r.P.s_platform in
+  let scenario =
+    match r.P.s_order with
+    | P.Fifo -> Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
+    | P.Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
+  in
+  let fast = cfg.fast && r.P.s_fast in
+  let sol =
+    if cfg.dedup then Dls.Lp_model.solve_cached ~model:r.P.s_model ~fast scenario
+    else if fast then Dls.Lp_model.solve_fast_exn ~model:r.P.s_model scenario
+    else Dls.Lp_model.solve_exn ~model:r.P.s_model scenario
+  in
+  P.Ok_solve
+    {
+      rho = sol.Dls.Lp_model.rho;
+      sigma1 = Array.copy scenario.Dls.Scenario.sigma1;
+      alpha = sol.Dls.Lp_model.alpha;
+      idle = sol.Dls.Lp_model.idle;
+      makespan =
+        Option.map (fun load -> Dls.Lp_model.time_for_load sol ~load) r.P.s_load;
+    }
+
+let eval_simulate (r : P.simulate_req) =
+  let p = r.P.m_platform in
+  let sol =
+    match r.P.m_order with
+    | P.Fifo -> Dls.Fifo.optimal p
+    | P.Lifo -> Dls.Lifo.optimal p
+  in
+  let load = Q.of_int r.P.m_items in
+  let lp_makespan = Q.to_float (Dls.Lp_model.time_for_load sol ~load) in
+  match r.P.m_faults with
+  | None ->
+    let plan = Sim.Star.plan_of_rounded sol ~total:r.P.m_items in
+    let trace = Sim.Star.execute p plan in
+    P.Ok_simulate
+      {
+        sim_makespan = trace.Sim.Trace.makespan;
+        lp_makespan;
+        sim_valid = Sim.Trace.is_valid trace;
+        achieved = None;
+        achieved_ratio = None;
+        replanned = None;
+      }
+  | Some plan ->
+    E.get_exn (Dls.Faults.validate_for p plan);
+    let policies =
+      match r.P.m_replan with
+      | P.Replan_none -> []
+      | P.Replan_auto -> Dls.Replan.default_policies
+      | P.Replan_policy pol -> [ pol ]
+    in
+    let outcome = Dls.Replan.respond_exn ~policies plan sol ~load in
+    let original = Dls.Schedule.for_load sol ~load in
+    let trace =
+      E.get_exn
+        (Sim.Faults.execute_decision p plan ~original
+           ~decision:outcome.Dls.Replan.decision)
+    in
+    let m =
+      Sim.Faults.metrics
+        ~deadline:(Q.to_float outcome.Dls.Replan.deadline)
+        ~total:(Q.to_float load) trace
+    in
+    P.Ok_simulate
+      {
+        sim_makespan = trace.Sim.Trace.makespan;
+        lp_makespan;
+        sim_valid = Sim.Trace.is_valid trace;
+        achieved = Some m.Sim.Faults.achieved;
+        achieved_ratio = Some m.Sim.Faults.achieved_ratio;
+        replanned =
+          Option.map Dls.Replan.policy_to_string outcome.Dls.Replan.policy_used;
+      }
+
+let eval_check p =
+  let count label sol acc =
+    ignore label;
+    let schedule =
+      match
+        Check.Validator.errors_of_result p (Check.Validator.validate_solved sol)
+      with
+      | Ok () -> 0
+      | Error msgs -> List.length msgs
+    in
+    let certificate =
+      match Check.Certificate.check sol with
+      | Ok () -> 0
+      | Error msgs -> List.length msgs
+    in
+    acc + schedule + certificate
+  in
+  let violations =
+    count "fifo" (Dls.Fifo.optimal p) 0 |> count "lifo" (Dls.Lifo.optimal p)
+  in
+  P.Ok_check { check_ok = violations = 0; violations }
+
+let eval_request cfg = function
+  | P.Solve r -> eval_solve cfg r
+  | P.Simulate r -> eval_simulate r
+  | P.Check p -> eval_check p
+  (* answered inline by the connection thread; kept total for safety *)
+  | P.Stats | P.Health ->
+    P.Failed (E.Invalid_scenario "stats/health are not queueable")
+
+(* Total: every exception becomes a response, so a pool batch never
+   aborts on a bad request (Pool.map would re-raise and discard the
+   whole round otherwise). *)
+let eval_job t job =
+  match
+    Parallel.Pool.timed ?timeout:t.cfg.timeout ~index:0
+      (fun () ->
+        if t.cfg.worker_delay > 0. then Unix.sleepf t.cfg.worker_delay;
+        eval_request t.cfg job.request)
+      ()
+  with
+  | resp -> resp
+  | exception Parallel.Pool.Task_timeout { budget; _ } -> P.Timed_out { budget }
+  | exception E.Error e -> P.Failed e
+  | exception exn -> P.Failed (E.Invalid_scenario (Printexc.to_string exn))
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher: batch, collapse, evaluate, distribute                   *)
+
+let deliver t job resp =
+  (match resp with
+  | P.Ok_solve _ | P.Ok_simulate _ | P.Ok_check _ | P.Ok_stats _ | P.Ok_health _
+    ->
+    Metrics.incr_served t.metrics
+  | P.Timed_out _ -> Metrics.incr_timed_out t.metrics
+  | P.Overloaded _ | P.Failed _ -> Metrics.incr_failed t.metrics);
+  Metrics.observe_latency t.metrics (Unix.gettimeofday () -. job.admitted);
+  Metrics.decr_inflight t.metrics;
+  Mutex.lock job.jm;
+  job.reply <- Some resp;
+  Condition.signal job.jc;
+  Mutex.unlock job.jm
+
+let dispatch_round t first =
+  (* Greedily drain what is already queued, up to the round bound. *)
+  let batch = ref [ first ] in
+  let n = ref 1 in
+  let continue = ref true in
+  while !continue && !n < t.cfg.max_batch do
+    match Queue.try_pop t.queue with
+    | Some j ->
+      batch := j :: !batch;
+      incr n
+    | None -> continue := false
+  done;
+  let batch = List.rev !batch in
+  (* Group by request key, first-seen order.  With dedup off every job
+     is its own group. *)
+  let groups : (string, job list ref) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      let key = if t.cfg.dedup then j.key else string_of_int (Hashtbl.length groups) in
+      match Hashtbl.find_opt groups key with
+      | Some cell -> cell := j :: !cell
+      | None ->
+        let cell = ref [ j ] in
+        Hashtbl.add groups key cell;
+        order := cell :: !order)
+    batch;
+  let uniques = Array.of_list (List.rev !order) in
+  Metrics.note_batch t.metrics ~size:!n ~unique:(Array.length uniques);
+  let responses =
+    Parallel.Pool.map t.pool (fun cell -> eval_job t (List.hd (List.rev !cell))) uniques
+  in
+  Array.iteri
+    (fun i cell -> List.iter (fun j -> deliver t j responses.(i)) (List.rev !cell))
+    uniques
+
+let dispatcher_loop t =
+  let rec loop () =
+    match Queue.pop t.queue with
+    | None -> ()
+    | Some job ->
+      dispatch_round t job;
+      loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Connection threads                                                  *)
+
+let health_of t : P.health_rep =
+  let draining = Atomic.get t.draining in
+  let s = Metrics.snapshot t.metrics ~queue_depth:(Queue.length t.queue) in
+  {
+    healthy = not draining;
+    draining;
+    h_uptime_s = s.P.uptime_s;
+    h_queue_depth = s.P.queue_depth;
+    h_capacity = t.cfg.queue_capacity;
+    h_workers = t.cfg.jobs;
+  }
+
+let stats t = Metrics.snapshot t.metrics ~queue_depth:(Queue.length t.queue)
+let health = health_of
+
+let wait_reply job =
+  Mutex.lock job.jm;
+  while job.reply = None do
+    Condition.wait job.jc job.jm
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock job.jm;
+  r
+
+let handle_line t line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' then None
+  else
+    match P.parse_request ~line:1 trimmed with
+    | Error e ->
+      Metrics.incr_malformed t.metrics;
+      Some (P.Failed e)
+    | Ok (P.Stats as r) | Ok (P.Health as r) ->
+      (* Control-plane requests bypass the queue: they must answer even
+         when the data plane is saturated — that is their whole point. *)
+      Some
+        (match r with
+        | P.Stats -> P.Ok_stats (stats t)
+        | _ -> P.Ok_health (health_of t))
+    | Ok request ->
+      let job =
+        {
+          request;
+          key = P.request_key request;
+          admitted = Unix.gettimeofday ();
+          jm = Mutex.create ();
+          jc = Condition.create ();
+          reply = None;
+        }
+      in
+      Some
+        (match Queue.try_push t.queue job with
+        | Queue.Enqueued ->
+          Metrics.incr_accepted t.metrics;
+          Metrics.incr_inflight t.metrics;
+          wait_reply job
+        | Queue.Overloaded ->
+          Metrics.incr_rejected t.metrics;
+          P.Overloaded
+            {
+              depth = Queue.length t.queue;
+              capacity = t.cfg.queue_capacity;
+            }
+        | Queue.Closed ->
+          Metrics.incr_rejected t.metrics;
+          P.Failed (E.Io_error "server is draining"))
+
+let connection_loop t id fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  (try
+     let rec loop () =
+       let line = input_line ic in
+       (match handle_line t line with
+       | None -> ()
+       | Some resp ->
+         output_string oc (P.response_to_string resp);
+         output_char oc '\n';
+         flush oc);
+       loop ()
+     in
+     loop ()
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  Hashtbl.remove t.conns id;
+  Mutex.unlock t.conns_m;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+(* Poll-accept so [stop] can end the loop with a flag instead of racing
+   a close against a blocked [accept]. *)
+let listener_loop t =
+  let rec loop () =
+    if Atomic.get t.draining then ()
+    else
+      match Unix.select [ t.listen_fd ] [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | fd, _ ->
+          Mutex.lock t.conns_m;
+          let id = t.next_conn in
+          t.next_conn <- id + 1;
+          let thread = Thread.create (fun () -> connection_loop t id fd) () in
+          Hashtbl.add t.conns id (fd, thread);
+          Mutex.unlock t.conns_m;
+          loop ()
+        | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+        | exception Unix.Unix_error _ -> loop ())
+      | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) -> ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0))
+
+let bind_socket address =
+  match address with
+  | Unix_socket path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, address)
+  | Tcp (host, port) ->
+    let addr = resolve_host host in
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 64;
+    let bound =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> Tcp (host, p)
+      | _ -> address
+    in
+    (fd, bound)
+
+let start cfg =
+  if cfg.jobs < 1 || cfg.queue_capacity < 1 || cfg.max_batch < 1 then
+    E.invalid "Server.start: jobs, queue_capacity and max_batch must be >= 1"
+  else begin
+    (* A client vanishing mid-response must not kill the daemon. *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+    match bind_socket cfg.address with
+    | exception Unix.Unix_error (err, fn, arg) ->
+      Error
+        (E.Io_error
+           (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
+    | exception Not_found -> Error (E.Io_error "cannot resolve host")
+    | listen_fd, bound ->
+      let t =
+        {
+          cfg;
+          bound;
+          queue = Queue.create ~capacity:cfg.queue_capacity;
+          metrics = Metrics.create ();
+          pool = Parallel.Pool.create ~jobs:cfg.jobs ();
+          listen_fd;
+          draining = Atomic.make false;
+          listener = None;
+          dispatcher = None;
+          conns = Hashtbl.create 16;
+          conns_m = Mutex.create ();
+          next_conn = 0;
+          stop_m = Mutex.create ();
+          stopped = false;
+        }
+      in
+      t.dispatcher <- Some (Thread.create (fun () -> dispatcher_loop t) ());
+      t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
+      Ok t
+  end
+
+let address t = t.bound
+
+let stop t =
+  Mutex.lock t.stop_m;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_m;
+  if not already then begin
+    (* 1. Stop admitting: no new connections, no new jobs. *)
+    Atomic.set t.draining true;
+    Option.iter Thread.join t.listener;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Queue.close t.queue;
+    (* 2. Drain: the dispatcher answers everything already admitted. *)
+    Option.iter Thread.join t.dispatcher;
+    Parallel.Pool.shutdown t.pool;
+    (* 3. Wake the connection threads (blocked readers see EOF) and
+       wait them out. *)
+    let conns =
+      Mutex.lock t.conns_m;
+      let l = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+      Mutex.unlock t.conns_m;
+      l
+    in
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+      conns;
+    List.iter (fun (_, thread) -> Thread.join thread) conns;
+    match t.bound with
+    | Unix_socket path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end

@@ -1,0 +1,59 @@
+(** The scheduling daemon: socket listener, admission queue, batching
+    dispatcher, worker pool.
+
+    Request path: a connection thread reads one line, parses it
+    ({!Protocol.parse_request}) and offers a job to the bounded
+    admission queue.  [stats]/[health] are answered inline; a full
+    queue answers [overloaded] immediately — that is the whole
+    backpressure story, no hidden buffering.  A single dispatcher
+    thread drains the queue in rounds of at most [max_batch] jobs,
+    collapses jobs with equal {!Protocol.request_key} onto one
+    evaluation (single-flight batching; duplicates receive the same
+    response), runs the unique requests on a {!Parallel.Pool} under the
+    pool's cooperative per-task budget, and hands every job its reply.
+
+    {!stop} drains gracefully: stop accepting, close admission, let the
+    dispatcher finish everything already admitted, shut the pool down,
+    then wake the connection threads.  After [stop] returns, no request
+    is in flight and the counters satisfy
+    [accepted = served + timed_out + failed]. *)
+
+type address =
+  | Unix_socket of string  (** path; created on start, unlinked on stop *)
+  | Tcp of string * int  (** host, port; port 0 picks a free port *)
+
+type config = {
+  address : address;
+  jobs : int;  (** worker-pool parallelism *)
+  queue_capacity : int;  (** admission bound — beyond it, [overloaded] *)
+  max_batch : int;  (** dispatcher round size *)
+  timeout : float option;  (** per-request budget, seconds (cooperative) *)
+  dedup : bool;
+      (** collapse equal requests onto one evaluation and use the LP
+          cache; [false] evaluates every request independently and
+          uncached (the bench baseline) *)
+  fast : bool;  (** serve [solve] with the certified fast pipeline *)
+  worker_delay : float;
+      (** artificial seconds of work added to every evaluation — for
+          deterministic overload and timeout experiments *)
+}
+
+val default_config : address -> config
+
+type t
+
+(** [start config] binds the socket and spawns the listener, dispatcher
+    and pool.  [Error (Io_error _)] when the address cannot be bound. *)
+val start : config -> (t, Dls.Errors.t) result
+
+(** [stop t] drains and shuts everything down; idempotent, returns only
+    once every thread is joined and the socket is closed (and, for
+    {!Unix_socket}, unlinked). *)
+val stop : t -> unit
+
+(** [address t] is the bound address — with the actual port when the
+    config said [Tcp (_, 0)]. *)
+val address : t -> address
+
+val stats : t -> Protocol.stats_rep
+val health : t -> Protocol.health_rep

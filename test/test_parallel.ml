@@ -202,6 +202,87 @@ let test_lru_concurrent_hammer () =
         Alcotest.failf "index %d: got %d, want %d" i v (2 * (i mod 24)))
     results
 
+let test_lru_find_or_compute_sequential () =
+  (* Sequentially, find_or_compute must be indistinguishable from
+     find_or_add: one miss, then hits, no joins. *)
+  let c = Parallel.Lru.create ~capacity:4 () in
+  let calls = ref 0 in
+  let compute () = incr calls; 42 in
+  check_int "computed" 42 (Parallel.Lru.find_or_compute c "k" compute);
+  check_int "cached" 42 (Parallel.Lru.find_or_compute c "k" compute);
+  check_int "compute ran once" 1 !calls;
+  let s = Parallel.Lru.stats c in
+  check_int "one miss" 1 s.Parallel.Lru.misses;
+  check_int "one hit" 1 s.Parallel.Lru.hits;
+  check_int "no join" 0 s.Parallel.Lru.joins
+
+let test_lru_find_or_compute_failure () =
+  (* A compute that raises must clean up its flight so the key stays
+     computable, and must cache nothing. *)
+  let c = Parallel.Lru.create ~capacity:4 () in
+  let boom () = failwith "boom" in
+  (match Parallel.Lru.find_or_compute c "k" boom with
+  | _ -> Alcotest.fail "expected the compute's exception"
+  | exception Failure _ -> ());
+  check "nothing cached" true (Parallel.Lru.find c "k" = None);
+  check_int "recovers" 7 (Parallel.Lru.find_or_compute c "k" (fun () -> 7))
+
+let spin () =
+  (* Widen the in-flight window without sleeping (keeps the test free of
+     unix/thread dependencies). *)
+  for _ = 1 to 50_000 do
+    ignore (Sys.opaque_identity ())
+  done
+
+let test_lru_single_flight_hammer () =
+  (* The satellite property: under multi-domain contention each key is
+     computed exactly once (single-flight), every caller observes the
+     canonical value, and the counters stay exact — misses = one per
+     key, and every other call either hit or joined a flight. *)
+  let keys = 64 and ops = 512 and jobs = 8 in
+  let c = Parallel.Lru.create ~capacity:128 () in
+  let computes = Array.init keys (fun _ -> Atomic.make 0) in
+  let f i =
+    let k = i mod keys in
+    Parallel.Lru.find_or_compute c k (fun () ->
+        Atomic.incr computes.(k);
+        spin ();
+        3 * k)
+  in
+  let results = Parallel.Pool.run ~jobs f (Array.init ops Fun.id) in
+  Array.iteri
+    (fun i v ->
+      if v <> 3 * (i mod keys) then
+        Alcotest.failf "index %d: got %d, want %d" i v (3 * (i mod keys)))
+    results;
+  Array.iteri
+    (fun k n ->
+      let n = Atomic.get n in
+      if n <> 1 then Alcotest.failf "key %d computed %d times" k n)
+    computes;
+  let s = Parallel.Lru.stats c in
+  check_int "one miss per key" keys s.Parallel.Lru.misses;
+  check_int "everything else hit or joined" (ops - keys)
+    (s.Parallel.Lru.hits + s.Parallel.Lru.joins);
+  check_int "no eviction" 0 s.Parallel.Lru.evictions
+
+let test_lru_find_or_compute_disabled () =
+  (* capacity 0: nothing is ever cached, joiners that find neither an
+     entry nor a flight must become computers themselves — recomputes
+     happen, but no call may hang. *)
+  let c = Parallel.Lru.create ~capacity:0 () in
+  let computes = Atomic.make 0 in
+  let f i =
+    ignore
+      (Parallel.Lru.find_or_compute c (i mod 4) (fun () ->
+           Atomic.incr computes;
+           i mod 4));
+    i
+  in
+  let _ = Parallel.Pool.run ~jobs:4 f (Array.init 64 Fun.id) in
+  check "recomputed at least once per key" true (Atomic.get computes >= 4);
+  check_int "stays empty" 0 (Parallel.Lru.length c)
+
 (* ------------------------------------------------------------------ *)
 (* Platform generators                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -418,6 +499,14 @@ let () =
           Alcotest.test_case "find_or_add" `Quick test_lru_find_or_add;
           Alcotest.test_case "capacity 0 disables" `Quick test_lru_disabled;
           Alcotest.test_case "concurrent hammer" `Quick test_lru_concurrent_hammer;
+          Alcotest.test_case "find_or_compute sequential" `Quick
+            test_lru_find_or_compute_sequential;
+          Alcotest.test_case "find_or_compute failure" `Quick
+            test_lru_find_or_compute_failure;
+          Alcotest.test_case "single-flight hammer" `Quick
+            test_lru_single_flight_hammer;
+          Alcotest.test_case "find_or_compute capacity 0" `Quick
+            test_lru_find_or_compute_disabled;
         ] );
       ( "determinism",
         qsuite

@@ -1,0 +1,672 @@
+(* The scheduler-as-a-service subsystem: wire protocol round trips and
+   totality, the bounded admission queue, the daemon lifecycle (serve,
+   collapse, backpressure, timeout, drain), and the deterministic load
+   generator.  Servers bind throwaway Unix sockets under the temp dir;
+   everything runs in-process. *)
+
+module Q = Numeric.Rational
+module P = Service.Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let q = Q.of_string
+
+let platform specs =
+  Dls.Platform.make_exn
+    (List.mapi
+       (fun i (c, w, d) ->
+         Dls.Platform.worker
+           ~name:(Printf.sprintf "P%d" (i + 1))
+           ~c:(q c) ~w:(q w) ~d:(q d) ())
+       specs)
+
+let p2 () = platform [ ("1", "1", "1/2"); ("1", "2", "1/2") ]
+let p3 () = platform [ ("1/2", "1", "1/4"); ("1", "2", "1/2"); ("2", "3", "1") ]
+
+let tmp_socket () =
+  let path = Filename.temp_file "dls-service" ".sock" in
+  Sys.remove path;
+  path
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_requests () =
+  [
+    P.Solve
+      {
+        s_platform = p2 ();
+        s_order = P.Fifo;
+        s_model = Dls.Lp_model.One_port;
+        s_fast = true;
+        s_load = None;
+      };
+    P.Solve
+      {
+        s_platform = p3 ();
+        s_order = P.Lifo;
+        s_model = Dls.Lp_model.Two_port;
+        s_fast = false;
+        s_load = Some (q "1000");
+      };
+    P.Simulate
+      {
+        m_platform = p2 ();
+        m_order = P.Fifo;
+        m_items = 100;
+        m_faults = None;
+        m_replan = P.Replan_auto;
+      };
+    P.Simulate
+      {
+        m_platform = p3 ();
+        m_order = P.Lifo;
+        m_items = 50;
+        m_faults =
+          Some
+            (Dls.Faults.make_exn
+               [
+                 Dls.Faults.Slowdown
+                   { worker = 1; factor = q "3/2"; from_ = q "1/4" };
+                 Dls.Faults.Crash { worker = 0; at = q "5/8" };
+               ]);
+        m_replan = P.Replan_policy Dls.Replan.Resolve;
+      };
+    P.Simulate
+      {
+        m_platform = p2 ();
+        m_order = P.Fifo;
+        m_items = 10;
+        m_faults =
+          Some
+            (Dls.Faults.make_exn
+               [
+                 Dls.Faults.Stall
+                   { worker = 1; at = q "1/8"; duration = q "1/2" };
+               ]);
+        m_replan = P.Replan_none;
+      };
+    P.Check (p3 ());
+    P.Stats;
+    P.Health;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = P.request_to_string r in
+      match P.parse_request ~line:1 line with
+      | Error e -> Alcotest.failf "%S did not re-parse: %s" line (Dls.Errors.to_string e)
+      | Ok r' ->
+        (* canonical-form equality: the rendered line is the identity *)
+        check_str "canonical line survives" line (P.request_to_string r'))
+    (sample_requests ())
+
+let sample_responses () =
+  [
+    P.Ok_solve
+      {
+        rho = q "6/11";
+        sigma1 = [| 0; 1 |];
+        alpha = [| q "4/11"; q "2/11" |];
+        idle = [| q "0"; q "0" |];
+        makespan = Some (q "550/3");
+      };
+    P.Ok_solve
+      {
+        rho = q "1/2";
+        sigma1 = [| 2; 0; 1 |];
+        alpha = [| q "1/4"; q "1/8"; q "1/8" |];
+        idle = [| q "0"; q "1/16"; q "0" |];
+        makespan = None;
+      };
+    P.Ok_simulate
+      {
+        sim_makespan = 118.;
+        lp_makespan = 116.66666666666667;
+        sim_valid = true;
+        achieved = None;
+        achieved_ratio = None;
+        replanned = None;
+      };
+    P.Ok_simulate
+      {
+        sim_makespan = 1.5;
+        lp_makespan = 1.25;
+        sim_valid = true;
+        achieved = Some 42.;
+        achieved_ratio = Some 0.84;
+        replanned = Some "margin:1/4";
+      };
+    P.Ok_check { check_ok = false; violations = 3 };
+    P.Ok_stats
+      {
+        accepted = 10;
+        served = 7;
+        rejected = 2;
+        timed_out = 1;
+        failed = 2;
+        malformed = 1;
+        batches = 4;
+        max_batch = 5;
+        collapsed = 3;
+        cache_hits = 6;
+        cache_misses = 4;
+        queue_depth = 0;
+        inflight = 0;
+        p50_us = 256;
+        p90_us = 1024;
+        p99_us = 2048;
+        max_us = 1843;
+        uptime_s = 12.5;
+      };
+    P.Ok_health
+      {
+        healthy = true;
+        draining = false;
+        h_uptime_s = 3.25;
+        h_queue_depth = 2;
+        h_capacity = 64;
+        h_workers = 4;
+      };
+    P.Overloaded { depth = 64; capacity = 64 };
+    P.Timed_out { budget = 0.005 };
+    P.Failed Dls.Errors.Unbounded;
+    P.Failed Dls.Errors.Infeasible;
+    P.Failed (Dls.Errors.Invalid_scenario "load must be positive");
+    P.Failed (Dls.Errors.Io_error "server is draining");
+    P.Failed
+      (Dls.Errors.Parse_error
+         { file = None; line = 1; col = 7; msg = "not a rational: \"x\"" });
+  ]
+
+let test_response_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = P.response_to_string r in
+      match P.parse_response line with
+      | Error e -> Alcotest.failf "%S did not re-parse: %s" line (Dls.Errors.to_string e)
+      | Ok r' -> check_str "canonical line survives" line (P.response_to_string r'))
+    (sample_responses ())
+
+let expect_parse_error ~col input =
+  match P.parse_request ~line:3 input with
+  | Ok _ -> Alcotest.failf "%S parsed" input
+  | Error (Dls.Errors.Parse_error { line; col = c; _ }) ->
+    check_int (input ^ ": line") 3 line;
+    check_int (input ^ ": col") col c
+  | Error e ->
+    Alcotest.failf "%S: expected a parse error, got %s" input
+      (Dls.Errors.to_string e)
+
+let test_request_error_positions () =
+  (* Positions point at the offending token (1-based columns), as in
+     the Platform_io/Schedule_io suites. *)
+  expect_parse_error ~col:1 "frobnicate 1:1:1";
+  expect_parse_error ~col:7 "solve 1:1";
+  (* the position lands on the offending rational inside the spec *)
+  expect_parse_error ~col:15 "solve 1:1:1,2:x:1";
+  expect_parse_error ~col:13 "solve 1:1:1 order=sideways";
+  expect_parse_error ~col:13 "solve 1:1:1 load=-3";
+  expect_parse_error ~col:13 "solve 1:1:1 banana=7";
+  expect_parse_error ~col:16 "simulate 1:1:1 items=0";
+  expect_parse_error ~col:16 "simulate 1:1:1 faults=crash:0";
+  expect_parse_error ~col:13 "check 1:1:1 extra=1";
+  expect_parse_error ~col:7 "stats now";
+  expect_parse_error ~col:1 ""
+
+let test_parser_garbage_never_raises () =
+  let rng = Random.State.make [| 2026; 8; 6; 5 |] in
+  let alphabet =
+    "0123456789/-.,:;=#solvecheckstamulathfqropidxyz overloadtimeru\t\"\\"
+  in
+  let garbage () =
+    String.init
+      (Random.State.int rng 100)
+      (fun _ -> alphabet.[Random.State.int rng (String.length alphabet)])
+  in
+  for _ = 1 to 1000 do
+    let s = garbage () in
+    (match P.parse_request ~line:1 s with Ok _ | Error _ -> ());
+    match P.parse_response s with Ok _ | Error _ -> ()
+  done;
+  (* mutations of valid lines must stay total too *)
+  let valid =
+    List.map P.request_to_string (sample_requests ())
+    @ List.map P.response_to_string (sample_responses ())
+  in
+  List.iter
+    (fun line ->
+      let n = String.length line in
+      for _ = 1 to 50 do
+        let s =
+          match Random.State.int rng 3 with
+          | 0 -> String.sub line 0 (Random.State.int rng (n + 1))
+          | 1 ->
+            String.mapi
+              (fun i ch ->
+                if i = Random.State.int rng n then
+                  alphabet.[Random.State.int rng (String.length alphabet)]
+                else ch)
+              line
+          | _ ->
+            line
+            ^ String.init 3 (fun _ ->
+                  alphabet.[Random.State.int rng (String.length alphabet)])
+        in
+        (match P.parse_request ~line:1 s with Ok _ | Error _ -> ());
+        match P.parse_response s with Ok _ | Error _ -> ()
+      done)
+    valid
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_queue_basics () =
+  let qq = Service.Queue.create ~capacity:2 in
+  check "push 1" true (Service.Queue.try_push qq 1 = Service.Queue.Enqueued);
+  check "push 2" true (Service.Queue.try_push qq 2 = Service.Queue.Enqueued);
+  check "push 3 overloads" true
+    (Service.Queue.try_push qq 3 = Service.Queue.Overloaded);
+  check_int "length" 2 (Service.Queue.length qq);
+  check "fifo pop" true (Service.Queue.pop qq = Some 1);
+  check "fifo pop 2" true (Service.Queue.try_pop qq = Some 2);
+  check "empty try_pop" true (Service.Queue.try_pop qq = None);
+  Service.Queue.close qq;
+  check "push after close" true
+    (Service.Queue.try_push qq 4 = Service.Queue.Closed);
+  check "pop after close+drain" true (Service.Queue.pop qq = None)
+
+let test_queue_close_drains () =
+  let qq = Service.Queue.create ~capacity:8 in
+  for i = 1 to 5 do
+    ignore (Service.Queue.try_push qq i)
+  done;
+  Service.Queue.close qq;
+  let drained = ref [] in
+  let rec go () =
+    match Service.Queue.pop qq with
+    | Some x -> drained := x :: !drained; go ()
+    | None -> ()
+  in
+  go ();
+  check "drained in order" true (List.rev !drained = [ 1; 2; 3; 4; 5 ])
+
+let test_queue_concurrent () =
+  (* Producer/consumer threads: every pushed item is popped exactly
+     once, blocked consumers wake on close. *)
+  let qq = Service.Queue.create ~capacity:16 in
+  let producers = 4 and per_producer = 500 in
+  let consumed = Array.make (producers * per_producer) 0 in
+  let consumer () =
+    let rec go () =
+      match Service.Queue.pop qq with
+      | Some x ->
+        consumed.(x) <- consumed.(x) + 1;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let producer p () =
+    for i = 0 to per_producer - 1 do
+      let x = (p * per_producer) + i in
+      let rec push () =
+        match Service.Queue.try_push qq x with
+        | Service.Queue.Enqueued -> ()
+        | Service.Queue.Overloaded ->
+          Thread.yield ();
+          push ()
+        | Service.Queue.Closed -> Alcotest.fail "closed during production"
+      in
+      push ()
+    done
+  in
+  let cs = Array.init 3 (fun _ -> Thread.create consumer ()) in
+  let ps = Array.init producers (fun p -> Thread.create (producer p) ()) in
+  Array.iter Thread.join ps;
+  Service.Queue.close qq;
+  Array.iter Thread.join cs;
+  Array.iteri
+    (fun x n -> if n <> 1 then Alcotest.failf "item %d consumed %d times" x n)
+    consumed
+
+(* ------------------------------------------------------------------ *)
+(* Server lifecycle                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_server cfg_of f =
+  let path = tmp_socket () in
+  let cfg = cfg_of (Service.Server.default_config (Service.Server.Unix_socket path)) in
+  match Service.Server.start cfg with
+  | Error e -> Alcotest.failf "server start: %s" (Dls.Errors.to_string e)
+  | Ok server ->
+    let r =
+      match f server with
+      | v -> v
+      | exception exn ->
+        Service.Server.stop server;
+        raise exn
+    in
+    Service.Server.stop server;
+    check "socket unlinked" false (Sys.file_exists path);
+    r
+
+let request_ok client req =
+  match Service.Client.request client req with
+  | Ok resp -> resp
+  | Error e -> Alcotest.failf "request failed: %s" (Dls.Errors.to_string e)
+
+let drain_invariant label (s : P.stats_rep) =
+  check_int (label ^ ": inflight 0") 0 s.P.inflight;
+  check_int (label ^ ": queue empty") 0 s.P.queue_depth;
+  check_int
+    (label ^ ": accepted = served + timed_out + failed")
+    s.P.accepted
+    (s.P.served + s.P.timed_out + s.P.failed)
+
+let solve_req p =
+  P.Solve
+    {
+      s_platform = p;
+      s_order = P.Fifo;
+      s_model = Dls.Lp_model.One_port;
+      s_fast = true;
+      s_load = Some (q "1000");
+    }
+
+let test_server_solve_bit_identical () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 2 })
+    (fun server ->
+      let address = Service.Server.address server in
+      let p = p3 () in
+      let resp =
+        match Service.Client.with_client address (fun cl -> request_ok cl (solve_req p)) with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e)
+      in
+      let direct =
+        Dls.Lp_model.solve_exn
+          (Dls.Scenario.fifo_exn p (Dls.Fifo.order p))
+      in
+      match resp with
+      | P.Ok_solve r ->
+        check_str "rho bit-identical" (Q.to_string direct.Dls.Lp_model.rho)
+          (Q.to_string r.P.rho);
+        Array.iteri
+          (fun i a ->
+            check_str
+              (Printf.sprintf "alpha.(%d) bit-identical" i)
+              (Q.to_string direct.Dls.Lp_model.alpha.(i))
+              (Q.to_string a))
+          r.P.alpha;
+        check_str "makespan = time_for_load"
+          (Q.to_string (Dls.Lp_model.time_for_load direct ~load:(q "1000")))
+          (Q.to_string (Option.get r.P.makespan))
+      | other ->
+        Alcotest.failf "expected ok solve, got %s" (P.response_to_string other))
+
+let test_server_single_flight_collapse () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 2;
+        queue_capacity = 32;
+        max_batch = 16;
+        worker_delay = 0.02;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let p = p2 () in
+      let clients = 10 in
+      let replies = Array.make clients "" in
+      let worker i () =
+        match
+          Service.Client.with_client address (fun cl ->
+              P.response_to_string (request_ok cl (solve_req p)))
+        with
+        | Ok s -> replies.(i) <- s
+        | Error e -> Alcotest.failf "client %d: %s" i (Dls.Errors.to_string e)
+      in
+      let ts = Array.init clients (fun i -> Thread.create (worker i) ()) in
+      Array.iter Thread.join ts;
+      Array.iter
+        (fun s ->
+          check_str "all duplicates share the canonical reply" replies.(0) s)
+        replies;
+      check "reply is ok" true (String.length replies.(0) > 2 && String.sub replies.(0) 0 2 = "ok");
+      let s = Service.Server.stats server in
+      check_int "all served" clients s.P.served;
+      check "batching collapsed duplicates" true (s.P.collapsed >= 1);
+      drain_invariant "collapse" s)
+
+let test_server_overload () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 1;
+        queue_capacity = 2;
+        max_batch = 1;
+        worker_delay = 0.05;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let p = p2 () in
+      let clients = 12 in
+      let outcomes = Array.make clients `Pending in
+      let worker i () =
+        match
+          Service.Client.with_client address (fun cl -> request_ok cl (solve_req p))
+        with
+        | Ok (P.Overloaded _) -> outcomes.(i) <- `Overloaded
+        | Ok r when P.is_ok r -> outcomes.(i) <- `Ok
+        | Ok other ->
+          Alcotest.failf "client %d: unexpected %s" i (P.response_to_string other)
+        | Error e -> Alcotest.failf "client %d: %s" i (Dls.Errors.to_string e)
+      in
+      let ts = Array.init clients (fun i -> Thread.create (worker i) ()) in
+      Array.iter Thread.join ts;
+      let count tag = Array.fold_left (fun n o -> if o = tag then n + 1 else n) 0 outcomes in
+      let ok = count `Ok and overloaded = count `Overloaded in
+      check_int "every client answered" clients (ok + overloaded);
+      check "backpressure rejected some" true (overloaded >= 1);
+      check "some were served" true (ok >= 1);
+      let s = Service.Server.stats server in
+      check_int "rejected = overloaded responses" overloaded s.P.rejected;
+      check_int "served = ok responses" ok s.P.served;
+      drain_invariant "overload" s)
+
+let test_server_timeout () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 1;
+        worker_delay = 0.03;
+        timeout = Some 0.005;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let outcome =
+        Service.Client.with_client address (fun cl ->
+            ( request_ok cl (solve_req (p2 ())),
+              request_ok cl (solve_req (p3 ())) ))
+      in
+      (match outcome with
+      | Ok (P.Timed_out { budget = b1 }, P.Timed_out { budget = b2 }) ->
+        check "budget echoed" true (b1 = 0.005 && b2 = 0.005)
+      | Ok (r1, r2) ->
+        Alcotest.failf "expected timeouts, got %s / %s"
+          (P.response_to_string r1) (P.response_to_string r2)
+      | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e));
+      let s = Service.Server.stats server in
+      check_int "both timed out" 2 s.P.timed_out;
+      drain_invariant "timeout" s)
+
+let test_server_drain_under_load () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 2;
+        queue_capacity = 32;
+        max_batch = 4;
+        worker_delay = 0.02;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let clients = 8 in
+      let answered = Atomic.make 0 in
+      let worker i () =
+        (* distinct platforms defeat dedup, keeping the queue busy *)
+        let p =
+          platform
+            [ ("1", "1", "1/2"); (Printf.sprintf "%d/7" (i + 1), "2", "1/2") ]
+        in
+        match
+          Service.Client.with_client address (fun cl -> request_ok cl (solve_req p))
+        with
+        | Ok _ -> Atomic.incr answered
+        | Error _ ->
+          (* admitted-after-drain connections may be refused: that is a
+             clean refusal, not a lost in-flight request *)
+          ()
+      in
+      let ts = Array.init clients (fun i -> Thread.create (worker i) ()) in
+      (* let some requests get in flight, then drain concurrently *)
+      Thread.delay 0.03;
+      Service.Server.stop server;
+      Array.iter Thread.join ts;
+      let s = Service.Server.stats server in
+      drain_invariant "drain" s;
+      check "every admitted request was answered" true
+        (Atomic.get answered >= s.P.served);
+      check "progress before the drain" true (s.P.served >= 1))
+
+let test_server_malformed_and_inline () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 1 })
+    (fun server ->
+      let address = Service.Server.address server in
+      let outcome =
+        Service.Client.with_client address (fun cl ->
+            let bad =
+              match Service.Client.request_raw cl "solve 1:x:1" with
+              | Ok (P.Failed (Dls.Errors.Parse_error { col; _ })) -> col
+              | Ok other ->
+                Alcotest.failf "expected parse error, got %s"
+                  (P.response_to_string other)
+              | Error e -> Alcotest.failf "transport: %s" (Dls.Errors.to_string e)
+            in
+            check_int "parse error column" 9 bad;
+            (* the connection survives the malformed line *)
+            (match request_ok cl P.Health with
+            | P.Ok_health h ->
+              check "healthy" true h.P.healthy;
+              check "not draining" false h.P.draining
+            | other ->
+              Alcotest.failf "expected health, got %s" (P.response_to_string other));
+            match request_ok cl P.Stats with
+            | P.Ok_stats s -> s
+            | other ->
+              Alcotest.failf "expected stats, got %s" (P.response_to_string other))
+      in
+      match outcome with
+      | Ok s ->
+        check_int "malformed counted" 1 s.P.malformed;
+        check_int "nothing admitted" 0 s.P.accepted
+      | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_loadgen_deterministic () =
+  let render seed =
+    Array.init 60 (fun i ->
+        P.request_to_string (Service.Loadgen.request ~seed ~distinct:5 i))
+  in
+  check "same seed, same stream" true (render 7 = render 7);
+  check "different seed, different stream" true (render 7 <> render 8);
+  (* jobs-invariant mix: the stream touches solve, and the kind of
+     request i is independent of who sends it *)
+  let kinds =
+    Array.to_list (render 7)
+    |> List.map (fun line -> List.hd (String.split_on_char ' ' line))
+    |> List.sort_uniq compare
+  in
+  check "solve present" true (List.mem "solve" kinds)
+
+let test_loadgen_against_server () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      { c with Service.Server.jobs = 2; queue_capacity = 64; max_batch = 16 })
+    (fun server ->
+      let address = Service.Server.address server in
+      match
+        Service.Loadgen.run address ~connections:3 ~requests:30 ~seed:1
+          ~distinct:5 ()
+      with
+      | Error e -> Alcotest.failf "loadgen: %s" (Dls.Errors.to_string e)
+      | Ok o ->
+        check_int "all sent" 30 o.Service.Loadgen.sent;
+        check_int "every request answered" 30
+          (o.Service.Loadgen.ok + o.Service.Loadgen.overloaded
+          + o.Service.Loadgen.timeouts + o.Service.Loadgen.failed);
+        check "mostly ok" true (o.Service.Loadgen.ok >= 25);
+        check_int "no failures" 0 o.Service.Loadgen.failed;
+        let s = Service.Server.stats server in
+        drain_invariant "loadgen" s)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request round trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "error positions" `Quick test_request_error_positions;
+          Alcotest.test_case "garbage never raises" `Quick
+            test_parser_garbage_never_raises;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "basics" `Quick test_queue_basics;
+          Alcotest.test_case "close drains" `Quick test_queue_close_drains;
+          Alcotest.test_case "concurrent" `Quick test_queue_concurrent;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "solve bit-identical" `Quick
+            test_server_solve_bit_identical;
+          Alcotest.test_case "single-flight collapse" `Quick
+            test_server_single_flight_collapse;
+          Alcotest.test_case "overload backpressure" `Quick test_server_overload;
+          Alcotest.test_case "per-request timeout" `Quick test_server_timeout;
+          Alcotest.test_case "drain under load" `Quick test_server_drain_under_load;
+          Alcotest.test_case "malformed + inline stats" `Quick
+            test_server_malformed_and_inline;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "deterministic stream" `Quick
+            test_loadgen_deterministic;
+          Alcotest.test_case "against a server" `Quick test_loadgen_against_server;
+        ] );
+    ]
