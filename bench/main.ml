@@ -79,7 +79,8 @@ let micro_tests ~jobs =
       (Staged.stage (fun () -> Dls.Fifo.optimal p11));
     Test.make ~name:"cached FIFO LP, 11 workers"
       (Staged.stage (fun () ->
-           Dls.Lp_model.solve_cached (Dls.Scenario.fifo_exn p11 (Dls.Fifo.order p11))));
+           Dls.Solve.solve ~mode:`Cached
+             (Dls.Scenario.fifo_exn p11 (Dls.Fifo.order p11))));
     Test.make ~name:"float simplex, same 11-worker LP"
       (Staged.stage
          (let lp =
@@ -581,7 +582,9 @@ let check_service_bit_identity ~jobs ~seed ~distinct =
     | Service.Protocol.Fifo -> Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
     | Service.Protocol.Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
   in
-  let direct = Dls.Lp_model.solve_exn ~model:r.Service.Protocol.s_model scenario in
+  let direct =
+    Dls.Solve.solve_exn ~mode:`Exact ~model:r.Service.Protocol.s_model scenario
+  in
   match reply with
   | Service.Protocol.Ok_solve s ->
     let q_eq a b = Q.to_string a = Q.to_string b in
@@ -670,12 +673,133 @@ let run_service_bench ~quick ~jobs ~json_path ~gate =
   (not gate) || gate_pass
 
 (* ------------------------------------------------------------------ *)
+(* Part 6: multi-load steady state vs back-to-back (BENCH_multiload.json) *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic platforms and a fixed two-load mix: the point is not
+   statistics but the structural claim that the steady-state LP
+   overlaps returns of one load with sends of the next, which the
+   back-to-back baseline cannot.  All three z-regimes, two platform
+   sizes; the batch LP on H zero-release copies sits between the two
+   (capacity squeeze), pinning the numbers down. *)
+
+type multiload_cell = {
+  ml_p : int;
+  ml_z : string;
+  ml_h : int;
+  ml_period : Q.t;
+  ml_naive : Q.t;  (* back-to-back time for one mix *)
+  ml_batch : Q.t;  (* batch makespan for H copies, best depth <= 2 *)
+  ml_steady_tp : float;  (* load units per time unit *)
+  ml_naive_tp : float;
+  ml_batch_tp : float;
+  ml_improvement : float;  (* steady over naive *)
+}
+
+let multiload_cell ~h p (ml_z, z) =
+  let cs = [| Q.one; Q.of_ints 1 2; Q.of_int 2; Q.of_ints 3 4 |] in
+  let ws = [| Q.of_int 2; Q.of_int 3; Q.of_ints 3 2; Q.of_ints 5 2 |] in
+  let platform =
+    Dls.Platform.with_return_ratio ~z
+      (List.init p (fun i -> (cs.(i), ws.(i))))
+  in
+  let workload =
+    Dls.Workload.make_exn
+      [
+        Dls.Workload.load ~size:(Q.of_int 5) ();
+        Dls.Workload.load ~size:(Q.of_int 3) ();
+      ]
+  in
+  let total = Dls.Workload.total_size workload in
+  let steady = Dls.Steady_state.solve_exn platform workload in
+  let naive =
+    Dls.Errors.get_exn (Dls.Steady_state.naive_makespan platform workload)
+  in
+  let batch =
+    Dls.Errors.get_exn
+      (Dls.Steady_state.solve_batch_best ~max_depth:2 platform
+         (Dls.Workload.repeat h workload))
+  in
+  let tp time = Q.to_float (Q.div total time) in
+  let period = steady.Dls.Steady_state.period in
+  {
+    ml_p = p;
+    ml_z;
+    ml_h = h;
+    ml_period = period;
+    ml_naive = naive;
+    ml_batch = batch.Dls.Steady_state.makespan;
+    ml_steady_tp = tp period;
+    ml_naive_tp = tp naive;
+    ml_batch_tp =
+      Q.to_float
+        (Q.div (Q.mul (Q.of_int h) total) batch.Dls.Steady_state.makespan);
+    ml_improvement = Q.to_float (Q.div naive period);
+  }
+
+let multiload_cell_json c =
+  Printf.sprintf
+    "    { \"p\": %d, \"z\": %S, \"h\": %d, \"period\": %S, \"naive\": %S, \
+     \"batch_makespan\": %S, \"steady_tp\": %.6f, \"naive_tp\": %.6f, \
+     \"batch_tp\": %.6f, \"improvement\": %.4f }"
+    c.ml_p c.ml_z c.ml_h (Q.to_string c.ml_period) (Q.to_string c.ml_naive)
+    (Q.to_string c.ml_batch) c.ml_steady_tp c.ml_naive_tp c.ml_batch_tp
+    c.ml_improvement
+
+let run_multiload_bench ~quick ~json_path ~gate =
+  let h = if quick then 2 else 3 in
+  let ps = if quick then [ 3 ] else [ 3; 4 ] in
+  let regimes = [ ("1/2", Q.of_ints 1 2); ("1", Q.one); ("2", Q.of_int 2) ] in
+  Printf.printf
+    "=== multi-load: steady state vs back-to-back (mix 5+3, H=%d) ===\n\n%!" h;
+  let cells =
+    List.concat_map
+      (fun p -> List.map (multiload_cell ~h p) regimes)
+      ps
+  in
+  Printf.printf "  %-3s %-4s %12s %12s %12s %11s\n%!" "p" "z" "steady tp"
+    "naive tp" "batch tp" "improvement";
+  List.iter
+    (fun c ->
+      Printf.printf "  %-3d %-4s %12.4f %12.4f %12.4f %10.2fx\n%!" c.ml_p
+        c.ml_z c.ml_steady_tp c.ml_naive_tp c.ml_batch_tp c.ml_improvement)
+    cells;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-multiload/1\",\n\
+      \  \"quick\": %b,\n\
+      \  \"mix\": \"5:0,3:0\",\n\
+      \  \"h\": %d,\n\
+      \  \"cells\": [\n%s\n  ]\n\
+       }\n"
+      quick h
+      (String.concat ",\n" (List.map multiload_cell_json cells))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path;
+  let gate_pass = List.exists (fun c -> c.ml_improvement > 1.0) cells in
+  if gate && not gate_pass then
+    Printf.printf
+      "  gate: FAIL - steady state never beats back-to-back on any regime\n%!"
+  else if gate then begin
+    let best =
+      List.fold_left (fun acc c -> Float.max acc c.ml_improvement) 0. cells
+    in
+    Printf.printf "  gate: steady state beats back-to-back (best %.2fx)\n%!"
+      best
+  end;
+  (not gate) || gate_pass
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     solvers_gate robustness_only robustness_json robustness_cases service_only
-    service_json service_gate =
+    service_json service_gate multiload_only multiload_json multiload_gate =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
@@ -688,6 +812,10 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
       not
         (run_service_bench ~quick ~jobs ~json_path:service_json
            ~gate:service_gate)
+    then exit 1
+  end
+  else if multiload_only then begin
+    if not (run_multiload_bench ~quick ~json_path:multiload_json ~gate:multiload_gate)
     then exit 1
   end
   else begin
@@ -707,7 +835,10 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     let service_pass =
       run_service_bench ~quick ~jobs ~json_path:service_json ~gate:service_gate
     in
-    if not (gate_pass && service_pass) then exit 1
+    let multiload_pass =
+      run_multiload_bench ~quick ~json_path:multiload_json ~gate:multiload_gate
+    in
+    if not (gate_pass && service_pass && multiload_pass) then exit 1
   end
 
 let () =
@@ -813,6 +944,27 @@ let () =
             "Exit non-zero unless single-flight batching beats the no-dedup \
              baseline on served-request throughput.")
   in
+  let multiload_only_arg =
+    Arg.(
+      value & flag
+      & info [ "multiload-only" ]
+          ~doc:"Run only the multi-load steady-state benchmark (Part 6).")
+  in
+  let multiload_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_multiload.json"
+      & info [ "multiload-json" ] ~docv:"FILE"
+          ~doc:"Where to write the multi-load benchmark JSON.")
+  in
+  let multiload_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "multiload-gate" ]
+          ~doc:
+            "Exit non-zero unless the steady-state period beats the \
+             back-to-back baseline on at least one regime.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
@@ -822,6 +974,7 @@ let () =
         $ solvers_only_arg $ solvers_json_arg $ bench_k_arg $ warmup_arg
         $ solvers_gate_arg $ robustness_only_arg $ robustness_json_arg
         $ robustness_cases_arg $ service_only_arg $ service_json_arg
-        $ service_gate_arg)
+        $ service_gate_arg $ multiload_only_arg $ multiload_json_arg
+        $ multiload_gate_arg)
   in
   exit (Cmd.eval cmd)

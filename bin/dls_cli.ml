@@ -2,6 +2,7 @@
 
    Subcommands:
      solve       optimal FIFO/LIFO schedule on a platform (Theorem 1)
+     solve-multi steady-state / batch schedules for a mix of loads
      bus         Theorem 2 closed form on a bus network
      gantt       render a schedule as an ASCII (or SVG) Gantt chart
      simulate    execute a campaign on the simulated cluster
@@ -147,7 +148,7 @@ let solve_cmd =
           | `Fifo -> Dls.Scenario.fifo_exn platform (Dls.Fifo.order platform)
           | `Lifo -> Dls.Scenario.lifo_exn platform (Dls.Lifo.order platform)
         in
-        Dls.Lp_model.solve_fast_exn ~model scenario
+        Dls.Solve.solve_exn ~mode:`Fast ~model scenario
       else
         match discipline with
         | `Fifo -> Dls.Fifo.optimal ~model platform
@@ -201,6 +202,113 @@ let solve_cmd =
     Term.(
       const run $ platform_arg $ discipline_arg $ model_arg $ load_arg
       $ explain_arg $ dump_arg $ fast_arg $ stats_arg)
+
+(* ------------------------------------------------------------------ *)
+(* solve-multi                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let solve_multi_cmd =
+  let workload_arg =
+    let workload_conv =
+      Arg.conv
+        ( (fun s ->
+            match Dls.Workload.of_spec ~line:1 ~col:1 s with
+            | Ok w -> Ok w
+            | Error e -> Error (`Msg (Dls.Errors.to_string e))),
+          fun fmt w -> Format.pp_print_string fmt (Dls.Workload.to_spec w) )
+    in
+    Arg.(
+      required
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"SPEC"
+          ~doc:
+            "Workload specification: comma-separated loads, each \
+             $(b,size:release) or $(b,size:release:z) with rational \
+             components, e.g. $(b,5:0,3:1/2:2).  A per-load $(b,z) \
+             overrides the platform's return ratio for that load.")
+  in
+  let batch_arg =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Schedule the finite batch (release dates honored) instead of \
+             computing the steady-state period.")
+  in
+  let depth_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "depth" ] ~docv:"D"
+          ~doc:
+            "Fix the batch interleave depth (with $(b,--batch); default: \
+             best over depths 0..2).")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ]
+          ~doc:
+            "Replay the batch on the simulated cluster (with $(b,--batch)) \
+             and report the observed makespan and trace validity.")
+  in
+  let run platform workload batch depth replay =
+    if batch then begin
+      let b =
+        Dls.Errors.get_exn
+          (match depth with
+          | Some depth -> Dls.Steady_state.solve_batch ~depth platform workload
+          | None -> Dls.Steady_state.solve_batch_best platform workload)
+      in
+      Format.printf "%a@." Dls.Steady_state.pp_batch b;
+      (match
+         Check.Validator.errors_of_result platform
+           (Check.Validator.validate_batch b)
+       with
+      | Ok () -> Format.printf "validation: OK@."
+      | Error msgs ->
+        Format.printf "WARNING: batch validation failed:@.";
+        List.iter (Format.printf "  %s@.") msgs);
+      if replay then begin
+        let trace = Sim.Star.execute_multi platform (Sim.Star.plan_of_batch b) in
+        Format.printf "replay: makespan %.6g (LP %.6g), trace %s@."
+          trace.Sim.Trace.makespan
+          (Q.to_float b.Dls.Steady_state.makespan)
+          (if Sim.Trace.is_valid trace then "valid" else "INVALID")
+      end
+    end
+    else begin
+      if depth <> None || replay then begin
+        prerr_endline "dls: --depth and --replay require --batch";
+        exit 2
+      end;
+      let s = Dls.Steady_state.solve_exn platform workload in
+      Format.printf "%a@." Dls.Steady_state.pp s;
+      match Dls.Steady_state.naive_makespan platform workload with
+      | Error _ -> ()
+      | Ok naive ->
+        Format.printf
+          "back-to-back baseline: one mix every %s (~%.6g); steady state \
+           saves %s per period@."
+          (Q.to_string naive) (Q.to_float naive)
+          (Q.to_string (Q.sub naive s.Dls.Steady_state.period))
+    end
+  in
+  let doc = "steady-state and batch schedules for a mix of loads" in
+  let man =
+    [
+      `S Manpage.s_examples;
+      `P "Optimal period for two loads released together:";
+      `Pre "  dls solve-multi -p 1:1:1/2,1:2:1/2 -w 5:0,3:0";
+      `P "Finite batch with a staggered release and a fixed depth, replayed:";
+      `Pre "  dls solve-multi -p 1:1:1/2,1:2:1/2 -w 5:0,3:1/2 --batch --replay";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "solve-multi" ~doc ~man)
+    Term.(
+      const run $ platform_arg $ workload_arg $ batch_arg $ depth_arg
+      $ replay_arg)
 
 (* ------------------------------------------------------------------ *)
 (* bus                                                                 *)
@@ -607,7 +715,8 @@ let multiround_cmd =
       in
       Format.printf "rounds  throughput@.";
       List.iter
-        (fun (r, rho) -> Format.printf "%6d  %s (~%.6g)@." r (Q.to_string rho) (Q.to_float rho))
+        (fun { Dls.Multiround.rounds = r; throughput = rho } ->
+          Format.printf "%6d  %s (~%.6g)@." r (Q.to_string rho) (Q.to_float rho))
         sweep
     | None -> (
       let cfg =
@@ -924,6 +1033,17 @@ let check_cmd =
       & info [ "severity" ] ~docv:"X"
           ~doc:"Fault severity for $(b,--fuzz-faults), in [0, 1].")
   in
+  let fuzz_multi_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz-multi" ] ~docv:"N"
+          ~doc:
+            "Fuzz $(docv) random multi-load workloads per regime: the \
+             steady-state period must validate, squeeze the batch LP on a \
+             long horizon from both sides, and single-load batches must \
+             reproduce the paper's LP(2) bit-exactly.")
+  in
   let regime_arg =
     let regime =
       Arg.conv
@@ -938,8 +1058,9 @@ let check_cmd =
       & opt (some regime) None
       & info [ "regime" ] ~docv:"Z"
           ~doc:
-            "Restrict $(b,--fuzz) / $(b,--fuzz-faults) to one return-ratio \
-             regime: $(b,z<1), $(b,z=1) or $(b,z>1) (default: all three).")
+            "Restrict $(b,--fuzz) / $(b,--fuzz-faults) / $(b,--fuzz-multi) \
+             to one return-ratio regime: $(b,z<1), $(b,z=1) or $(b,z>1) \
+             (default: all three).")
   in
   let platform_opt_arg =
     let doc =
@@ -977,7 +1098,7 @@ let check_cmd =
       let precedence = Sim.Trace.precedence_violations ~eps trace in
       let msgs =
         List.map
-          (fun ((a : Sim.Trace.event), (b : Sim.Trace.event)) ->
+          (fun { Sim.Trace.first = a; second = b } ->
             Printf.sprintf "one-port violation: %s(worker %d) overlaps %s(worker %d)"
               (Sim.Trace.kind_to_string a.Sim.Trace.kind)
               a.Sim.Trace.worker
@@ -1049,6 +1170,34 @@ let check_cmd =
                  fs)))
       regimes
   in
+  let check_fuzz_multi jobs count regime =
+    let regimes =
+      match regime with Some r -> [ r ] | None -> Check.Fuzz.all_regimes
+    in
+    List.for_all
+      (fun r ->
+        let failures = Check.Fuzz.run_multi_matrix ~jobs ~count r in
+        let label =
+          Printf.sprintf "fuzz-multi %s (%d workloads)"
+            (Check.Fuzz.regime_to_string r) count
+        in
+        report label
+          (match failures with
+          | [] -> Ok ()
+          | fs ->
+            Error
+              (List.concat_map
+                 (fun f ->
+                   Printf.sprintf "case %d:" f.Check.Fuzz.w_index
+                   :: List.map (fun m -> "  " ^ m) f.Check.Fuzz.w_messages
+                   @ [ "  workload: " ^ f.Check.Fuzz.w_workload; "  platform:" ]
+                   @ List.map
+                       (fun l -> "    " ^ l)
+                       (String.split_on_char '\n'
+                          (String.trim f.Check.Fuzz.w_platform)))
+                 fs)))
+      regimes
+  in
   let check_platform platform =
     List.for_all
       (fun (label, sol) ->
@@ -1063,7 +1212,8 @@ let check_cmd =
         schedule_ok && certificate_ok)
       [ ("fifo", Dls.Fifo.optimal platform); ("lifo", Dls.Lifo.optimal platform) ]
   in
-  let run schedule trace eps fuzz fuzz_faults severity regime platform jobs =
+  let run schedule trace eps fuzz fuzz_faults severity fuzz_multi regime
+      platform jobs =
     let checks =
       List.concat
         [
@@ -1080,6 +1230,9 @@ let check_cmd =
           | Some count ->
             [ (fun () -> check_fuzz_faults jobs count severity regime) ]
           | None -> []);
+          (match fuzz_multi with
+          | Some count -> [ (fun () -> check_fuzz_multi jobs count regime) ]
+          | None -> []);
           (match platform with
           | Some p -> [ (fun () -> check_platform p) ]
           | None -> []);
@@ -1087,8 +1240,8 @@ let check_cmd =
     in
     if checks = [] then begin
       prerr_endline
-        "nothing to check: give --schedule, --trace, --fuzz, --fuzz-faults \
-         and/or --platform";
+        "nothing to check: give --schedule, --trace, --fuzz, --fuzz-faults, \
+         --fuzz-multi and/or --platform";
       exit 2
     end;
     (* Run every requested check before deciding the exit code. *)
@@ -1103,8 +1256,8 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ schedule_arg $ trace_arg $ eps_arg $ fuzz_arg
-      $ fuzz_faults_arg $ severity_arg $ regime_arg $ platform_opt_arg
-      $ jobs_arg)
+      $ fuzz_faults_arg $ severity_arg $ fuzz_multi_arg $ regime_arg
+      $ platform_opt_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lp-dump                                                             *)
@@ -1331,13 +1484,21 @@ let loadgen_cmd =
             "Distinct scenarios in the stream; small values are \
              duplicate-heavy and exercise single-flight batching.")
   in
+  let multi_arg =
+    Arg.(
+      value & flag
+      & info [ "multi" ]
+          ~doc:
+            "Mix $(b,solve-multi) requests into the stream (scenario slot 7; \
+             the other slots are unchanged).")
+  in
   let json_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the outcome to $(docv).")
   in
-  let run socket host port requests connections seed distinct json =
+  let run socket host port requests connections seed distinct multi json =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1346,7 +1507,8 @@ let loadgen_cmd =
         exit 2
     in
     match
-      Service.Loadgen.run address ~connections ~requests ~seed ~distinct ()
+      Service.Loadgen.run ~multi address ~connections ~requests ~seed ~distinct
+        ()
     with
     | Error e ->
       prerr_endline ("dls: " ^ Dls.Errors.to_string e);
@@ -1388,7 +1550,7 @@ let loadgen_cmd =
     (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ requests_arg
-      $ connections_arg $ seed_arg $ distinct_arg $ json_arg)
+      $ connections_arg $ seed_arg $ distinct_arg $ multi_arg $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1402,6 +1564,7 @@ let () =
        (Cmd.group info
           [
             solve_cmd;
+            solve_multi_cmd;
             bus_cmd;
             gantt_cmd;
             simulate_cmd;

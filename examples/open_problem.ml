@@ -82,7 +82,7 @@ let () =
     (fun sigma1 ->
       List.iter
         (fun sigma2 ->
-          let sol = Dls.Lp_model.solve_exn (Dls.Scenario.make_exn p ~sigma1 ~sigma2) in
+          let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.make_exn p ~sigma1 ~sigma2) in
           Format.printf "  %-44s rho = %s (~%.5f)@." (describe p sol)
             (Q.to_string sol.Dls.Lp_model.rho)
             (Q.to_float sol.Dls.Lp_model.rho))

@@ -158,8 +158,8 @@ let check_platform ?(fast = false) platform =
     List.iter
       (fun order ->
         let s = Dls.Scenario.fifo_exn platform order in
-        let cold = Dls.Lp_model.solve_exn s in
-        let quick = Dls.Lp_model.solve_fast_exn ?warm:!warm s in
+        let cold = Dls.Solve.solve_exn ~mode:`Exact s in
+        let quick = Dls.Solve.solve_exn ~mode:`Fast ?warm:!warm s in
         warm := Some quick.Dls.Lp_model.basis;
         let order_str =
           String.concat ";" (List.map string_of_int (Array.to_list order))
@@ -205,6 +205,163 @@ let run_matrix ?jobs ?(count = 200) ?(seed = 7) ?(fast = false) regime =
     | [] -> None
     | messages ->
       Some { index = i; platform = Dls.Platform_io.to_string platform; messages }
+  in
+  let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
+  List.filter_map Fun.id (Array.to_list results)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-load differential matrix                                      *)
+(* ------------------------------------------------------------------ *)
+
+type multi_failure = {
+  w_index : int;
+  w_platform : string;
+  w_workload : string;
+  w_messages : string list;
+}
+
+(* Two loads and 2-3 workers keep the batch LPs (4 variables per chunk,
+   H copies) inside exact-simplex comfort. *)
+let gen_workload rng regime =
+  let gen_load () =
+    let size = gen_rational rng in
+    let release =
+      if Random.State.bool rng then Q.zero
+      else Q.of_ints (Random.State.int rng 3) 2
+    in
+    let z = if Random.State.bool rng then Some (gen_z rng regime) else None in
+    Dls.Workload.load ?z ~release ~size ()
+  in
+  Dls.Workload.make_exn [ gen_load (); gen_load () ]
+
+let gen_multi_platform rng regime =
+  let n = 2 + Random.State.int rng 2 in
+  let z = gen_z rng regime in
+  Dls.Platform.with_return_ratio ~z
+    (List.init n (fun _ -> (gen_rational rng, gen_rational rng)))
+
+let zero_releases workload =
+  Dls.Workload.make_exn
+    (List.map
+       (fun (l : Dls.Workload.load) ->
+         Dls.Workload.load ~name:l.Dls.Workload.name ?z:l.Dls.Workload.z
+           ~size:l.Dls.Workload.size ())
+       (Array.to_list workload.Dls.Workload.loads))
+
+let check_multi ?(h = 3) platform workload =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let report_violations label wl = function
+    | Ok () -> ()
+    | Error vs ->
+      List.iter
+        (fun v -> add "%s: %s" label (Validator.violation_to_string platform v))
+        vs;
+      ignore wl
+  in
+  (match Dls.Steady_state.solve platform workload with
+  | Error e -> add "steady-state solve failed: %s" (Dls.Errors.to_string e)
+  | Ok steady ->
+    report_violations "steady" workload (Validator.validate_steady steady);
+    let period = steady.Dls.Steady_state.period in
+    (* The naive back-to-back baseline is a periodic scheme too, so the
+       optimal period can only be shorter. *)
+    (match Dls.Steady_state.naive_makespan platform workload with
+    | Error e -> add "naive baseline failed: %s" (Dls.Errors.to_string e)
+    | Ok naive ->
+      if period >/ naive then
+        add "steady period %s exceeds the back-to-back baseline %s"
+          (Q.to_string period) (Q.to_string naive));
+    (* Two-sided squeeze against the batch LP on a long horizon (release
+       dates stripped: the steady LP has none).  Capacity gives
+       H*T <= makespan; the periodic window construction lives inside
+       the depth-2 port order, so best-over-depths <= (H+2)*T. *)
+    let order = Dls.Fifo.order platform in
+    let w0 = zero_releases workload in
+    let batch_h = Dls.Workload.repeat h w0 in
+    (match Dls.Steady_state.solve_batch_best ~max_depth:2 ~order platform batch_h with
+    | Error e -> add "batch solve (H=%d) failed: %s" h (Dls.Errors.to_string e)
+    | Ok b ->
+      report_violations "batch" batch_h (Validator.validate_batch b);
+      let m = b.Dls.Steady_state.makespan in
+      if Q.of_int h */ period >/ m then
+        add "capacity bound violated: %d * period %s > batch makespan %s" h
+          (Q.to_string period) (Q.to_string m);
+      if m >/ Q.of_int (h + 2) */ period then
+        add "batch makespan %s exceeds the periodic bound (%d+2) * %s"
+          (Q.to_string m) h (Q.to_string period));
+    (* The batch LP with release dates: valid, and never worse than
+       back-to-back with the same worker order (that schedule is in the
+       depth-0 feasible set). *)
+    match Dls.Steady_state.solve_batch_best ~order platform workload with
+    | Error e -> add "batch solve failed: %s" (Dls.Errors.to_string e)
+    | Ok b ->
+      report_violations "batch+releases" workload (Validator.validate_batch b);
+      let naive_fixed =
+        let seq = Array.to_list b.Dls.Steady_state.sequence in
+        List.fold_left
+          (fun clock k ->
+            match clock with
+            | Error _ as e -> e
+            | Ok clock ->
+              let l = Dls.Workload.get workload k in
+              let induced =
+                Dls.Workload.induced_platform workload k platform
+              in
+              let sol = Dls.Fifo.solve_order induced order in
+              let span =
+                Dls.Lp_model.time_for_load sol ~load:l.Dls.Workload.size
+              in
+              Ok (Q.max clock l.Dls.Workload.release +/ span))
+          (Ok Q.zero) seq
+      in
+      (match naive_fixed with
+      | Error _ -> ()
+      | Ok naive_fixed ->
+        if b.Dls.Steady_state.makespan >/ naive_fixed then
+          add "batch makespan %s exceeds fixed-order back-to-back %s"
+            (Q.to_string b.Dls.Steady_state.makespan)
+            (Q.to_string naive_fixed)));
+  (* Single-load agreement: a one-load batch at depth 0 is exactly the
+     paper's LP(2) schedule, makespan [size / rho]. *)
+  Array.iteri
+    (fun k (l : Dls.Workload.load) ->
+      let single =
+        Dls.Workload.make_exn
+          [ Dls.Workload.load ?z:l.Dls.Workload.z ~size:l.Dls.Workload.size () ]
+      in
+      let induced = Dls.Workload.induced_platform single 0 platform in
+      let order = Dls.Fifo.order induced in
+      match Dls.Steady_state.solve_batch ~depth:0 ~order platform single with
+      | Error e ->
+        add "single-load batch %d failed: %s" k (Dls.Errors.to_string e)
+      | Ok b ->
+        let sol = Dls.Fifo.solve_order induced order in
+        let expected =
+          Dls.Lp_model.time_for_load sol ~load:l.Dls.Workload.size
+        in
+        if b.Dls.Steady_state.makespan <>/ expected then
+          add "single-load batch makespan %s differs from LP(2)'s %s (load %d)"
+            (Q.to_string b.Dls.Steady_state.makespan)
+            (Q.to_string expected) k)
+    workload.Dls.Workload.loads;
+  List.rev !errs
+
+let run_multi_matrix ?jobs ?(count = 60) ?(seed = 23) ?(h = 3) regime =
+  let check i =
+    let rng = Random.State.make [| seed; 32 + regime_tag regime; i |] in
+    let platform = gen_multi_platform rng regime in
+    let workload = gen_workload rng regime in
+    match check_multi ~h platform workload with
+    | [] -> None
+    | messages ->
+      Some
+        {
+          w_index = i;
+          w_platform = Dls.Platform_io.to_string platform;
+          w_workload = Dls.Workload.to_spec workload;
+          w_messages = messages;
+        }
   in
   let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
   List.filter_map Fun.id (Array.to_list results)

@@ -46,8 +46,8 @@ val gen_platform : Random.State.t -> regime -> Dls.Platform.t
     above; returns the list of discrepancies (empty = all solver paths
     agree and every schedule validates exactly).  With [~fast:true] it
     additionally solves {e every} FIFO order of the platform through
-    both pipelines — [Dls.Lp_model.solve] and the certified
-    [Dls.Lp_model.solve_fast], warm bases threaded as [Dls.Brute] does —
+    both pipelines — [Dls.Solve.solve ~mode:`Exact] and the certified
+    [~mode:`Fast], warm bases threaded as [Dls.Brute] does —
     and demands bit-identical [rho]/[alpha]/[idle] plus a passing
     {!Certificate} on each fast answer. *)
 val check_platform : ?fast:bool -> Dls.Platform.t -> string list
@@ -66,6 +66,48 @@ type failure = { index : int; platform : string; messages : string list }
     matrix passes). *)
 val run_matrix :
   ?jobs:int -> ?count:int -> ?seed:int -> ?fast:bool -> regime -> failure list
+
+(** {1 Multi-load differential matrix}
+
+    The multi-load analogue of {!run_matrix}: random platforms paired
+    with random two-load workloads (sizes, release dates, optional
+    per-load return ratios), cross-checking the steady-state LP against
+    the batch LP on a long horizon:
+
+    - the steady-state solution passes {!Validator.validate_steady} and
+      its period never exceeds the naive back-to-back baseline;
+    - capacity squeeze on [h] zero-release copies of the mix:
+      [h * T <= makespan(batch, best depth <= 2) <= (h + 2) * T];
+    - the released batch passes {!Validator.validate_batch} and never
+      loses to fixed-order back-to-back (a feasible depth-0 point);
+    - a one-load batch at depth 0 reproduces the paper's LP(2) makespan
+      bit-exactly. *)
+
+type multi_failure = {
+  w_index : int;
+  w_platform : string;  (** serialized, for reproduction *)
+  w_workload : string;  (** {!Dls.Workload.to_spec} *)
+  w_messages : string list;
+}
+
+(** [gen_workload rng regime] draws a random two-load workload: sizes in
+    [[1/4, 8]], releases in [{0, 1/2, 1}], and each load keeping the
+    platform's return ratio or overriding it with a fresh draw from the
+    regime.  Also used by {!Service.Loadgen} for [solve-multi]
+    traffic. *)
+val gen_workload : Random.State.t -> regime -> Dls.Workload.t
+
+(** [check_multi ?h platform workload] runs every assertion above for
+    one case ([h] copies in the squeeze, default 3); returns the
+    discrepancies (empty = pass). *)
+val check_multi : ?h:int -> Dls.Platform.t -> Dls.Workload.t -> string list
+
+(** [run_multi_matrix ?jobs ?count ?seed ?h regime] fuzzes [count]
+    (default 60) multi-load cases over a {!Parallel.Pool}; the case at
+    index [i] depends only on [(seed, regime, i)].  Failures come back
+    in index order (empty = the matrix passes). *)
+val run_multi_matrix :
+  ?jobs:int -> ?count:int -> ?seed:int -> ?h:int -> regime -> multi_failure list
 
 (** {1 Fault-injection matrix}
 

@@ -52,7 +52,25 @@ type violation =
   | Recovery_misses_deadline of { finish : Q.t; deadline : Q.t }
       (** the spliced recovery schedule ends after the campaign deadline *)
   | Recovery_accounting of { msg : string }
-      (** banked/residual/planned/unscheduled bookkeeping inconsistent *)
+      (** banked/residual/planned/unscheduled bookkeeping inconsistent;
+          also reused for steady-state resource-accounting mismatches *)
+  | In_load of { load : string; violation : violation }
+      (** a single-load invariant violated inside one load of a batch *)
+  | Batch_size_mismatch of { load : string; expected : Q.t; actual : Q.t }
+      (** a load's chunks do not sum to its size *)
+  | Release_violated of {
+      load : string;
+      worker : int;
+      start : Q.t;
+      release : Q.t;
+    }  (** data leaves the master before the load's release date *)
+  | Worker_overlap of { worker : int; load1 : string; load2 : string }
+      (** a worker computes two chunks at once (across loads) *)
+  | Steady_negative_alloc of { load : string; worker : int }
+  | Steady_overload of { resource : string; busy : Q.t; period : Q.t }
+      (** the port or a worker is busy longer than the claimed period *)
+  | Steady_slack of { period : Q.t; busy : Q.t }
+      (** no resource is tight: the period cannot be minimal *)
 
 val violation_to_string : Dls.Platform.t -> violation -> string
 val pp_violation : Dls.Platform.t -> Format.formatter -> violation -> unit
@@ -76,6 +94,22 @@ val validate_solved : Dls.Lp_model.solved -> (unit, violation list) result
     consistent. *)
 val validate_recovery :
   deadline:Q.t -> Dls.Replan.recovery -> (unit, violation list) result
+
+(** [validate_steady s] checks a steady-state solution: non-negative
+    allocations, per-load row sums equal to the load sizes, port and
+    per-worker busy times re-derived from the allocation and bounded by
+    the period, and at least one resource tight (otherwise the period
+    is not minimal). *)
+val validate_steady :
+  Dls.Steady_state.solved -> (unit, violation list) result
+
+(** [validate_batch b] checks a multi-load batch end to end: per-load
+    chunk accounting, every single-load invariant of each load's
+    realized schedule on its induced platform ({!validate}, reported
+    under {!In_load}), release dates, the {e global} one-port property
+    across all loads' transfers, and per-worker compute exclusivity
+    across loads. *)
+val validate_batch : Dls.Steady_state.batch -> (unit, violation list) result
 
 (** [errors_of_result platform r] renders a validation result as
     strings, for reporting. *)

@@ -54,10 +54,12 @@ val problem : model -> Scenario.t -> Simplex.Problem.t
     returned.  [Error Unbounded]/[Error Infeasible] are impossible for a
     well-formed platform but reported faithfully when they occur. *)
 val solve : ?model:model -> Scenario.t -> (solved, Errors.t) result
+[@@ocaml.deprecated "use Solve.solve ~mode:`Exact"]
 
 (** [solve_exn ?model scenario] is {!solve}.
     @raise Errors.Error on a degenerate LP. *)
 val solve_exn : ?model:model -> Scenario.t -> solved
+[@@ocaml.deprecated "use Solve.solve_exn ~mode:`Exact"]
 
 (** [solve_fast ?model ?warm ?max_float_pivots scenario] is the certified
     fast pipeline, {e bit-identical} to {!solve} by construction:
@@ -85,11 +87,13 @@ val solve_fast :
   ?max_float_pivots:int ->
   Scenario.t ->
   (solved, Errors.t) result
+[@@ocaml.deprecated "use Solve.solve ~mode:`Fast"]
 
 (** [solve_fast_exn] is {!solve_fast}.
     @raise Errors.Error on a degenerate LP. *)
 val solve_fast_exn :
   ?model:model -> ?warm:int array -> ?max_float_pivots:int -> Scenario.t -> solved
+[@@ocaml.deprecated "use Solve.solve_exn ~mode:`Fast"]
 
 (** [solve_cached ?model ?fast ?warm scenario] is {!solve_fast_exn}
     (default) or {!solve_exn} (when [fast] is [false]) memoized through a
@@ -100,6 +104,7 @@ val solve_fast_exn :
     concurrently. *)
 val solve_cached :
   ?model:model -> ?fast:bool -> ?warm:int array -> Scenario.t -> solved
+[@@ocaml.deprecated "use Solve.solve ~mode:`Cached"]
 
 (** [scenario_key model scenario] is the canonical cache fingerprint:
     model tag, every worker's [name:c:w:d] (rationals in lowest terms),

@@ -148,6 +148,8 @@ let solve platform cfg =
     Solved
       { platform; config = cfg; rho = sol.Simplex.Solver.value; chunks; alpha }
 
+type round_point = { rounds : int; throughput : Q.t }
+
 let sweep_rounds platform ?with_returns ?send_latency ?return_latency ~order
     ~max_rounds () =
   List.filter_map
@@ -155,5 +157,5 @@ let sweep_rounds platform ?with_returns ?send_latency ?return_latency ~order
       let cfg = config ?with_returns ?send_latency ?return_latency ~rounds order in
       match solve platform cfg with
       | Too_slow -> None
-      | Solved s -> Some (rounds, s.rho))
+      | Solved s -> Some { rounds; throughput = s.rho })
     (List.init max_rounds (fun i -> i + 1))

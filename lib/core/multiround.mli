@@ -64,8 +64,11 @@ type outcome = Solved of solved | Too_slow
     well-formed platform). *)
 val solve : Platform.t -> config -> outcome
 
+(** One point of a {!sweep_rounds} curve. *)
+type round_point = { rounds : int; throughput : Q.t }
+
 (** [sweep_rounds platform ?with_returns ?send_latency ?return_latency
-    ~order ~max_rounds ()] lists [(r, throughput)] for [r = 1..max_rounds]
+    ~order ~max_rounds ()] lists the throughput for [r = 1..max_rounds]
     (omitting infeasible round counts). *)
 val sweep_rounds :
   Platform.t ->
@@ -75,4 +78,4 @@ val sweep_rounds :
   order:int array ->
   max_rounds:int ->
   unit ->
-  (int * Q.t) list
+  round_point list

@@ -70,9 +70,13 @@ let for_load sol ~load = scale (Lp_model.time_for_load sol ~load) (of_solved sol
 let total_load sched = Q.sum_array (Array.map (fun e -> e.alpha) sched.entries)
 let makespan sched = sched.horizon
 
+type idle_slot = { idle_worker : int; idle : Q.t }
+
 let idle_times sched =
   Array.to_list
-    (Array.map (fun e -> (e.worker, e.return_.start -/ e.compute.finish)) sched.entries)
+    (Array.map
+       (fun e -> { idle_worker = e.worker; idle = e.return_.start -/ e.compute.finish })
+       sched.entries)
 
 let mirror sched =
   let swapped =

@@ -48,9 +48,12 @@ val total_load : t -> Q.t
 
 val makespan : t -> Q.t
 
+(** One entry of {!idle_times}. *)
+type idle_slot = { idle_worker : int; idle : Q.t }
+
 (** [idle_times sched] is the per-entry gap between the end of the
     computation and the start of the return transfer. *)
-val idle_times : t -> (int * Q.t) list
+val idle_times : t -> idle_slot list
 
 (** [validate sched] re-derives every invariant: phase durations match
     [alpha * c / w / d], precedence (receive before compute before

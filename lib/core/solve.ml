@@ -1,0 +1,13 @@
+type mode = [ `Exact | `Fast | `Cached ]
+
+let solve ?(mode = `Fast) ?model ?warm ?max_float_pivots scenario =
+  match mode with
+  | `Exact -> Lp_model.solve ?model scenario
+  | `Fast -> Lp_model.solve_fast ?model ?warm ?max_float_pivots scenario
+  | `Cached -> (
+    match Lp_model.solve_cached ?model ?warm scenario with
+    | solved -> Ok solved
+    | exception Errors.Error e -> Error e)
+
+let solve_exn ?mode ?model ?warm ?max_float_pivots scenario =
+  Errors.get_exn (solve ?mode ?model ?warm ?max_float_pivots scenario)

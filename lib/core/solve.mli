@@ -1,0 +1,43 @@
+(** The one solver front door.
+
+    Historically the library grew three entry points for the same LP —
+    {!Lp_model.solve} (cold exact), {!Lp_model.solve_fast} (certified
+    float-first, PR 3) and {!Lp_model.solve_cached} (LRU-memoized,
+    PR 5) — and every caller picked one by name.  This module folds the
+    choice into a [mode] argument so call sites say {e what} guarantee
+    they need, not {e which} pipeline to run; the old names survive as
+    deprecated aliases in {!Lp_model}.
+
+    All three modes return bit-identical {!Lp_model.solved} records by
+    construction (the fast pipeline certifies or falls back; the cache
+    stores the same records), so [mode] is purely a performance
+    knob. *)
+
+(** How to run the solve:
+    - [`Exact]: the cold exact simplex, no floats anywhere — the
+      reference path;
+    - [`Fast]: certified float-first pipeline, bit-identical to
+      [`Exact] (default);
+    - [`Cached]: [`Fast] memoized through the process-wide LRU. *)
+type mode = [ `Exact | `Fast | `Cached ]
+
+(** [solve ?mode ?model ?warm ?max_float_pivots scenario] solves the
+    scenario LP (defaults: [`Fast], [One_port]).  [warm] (a
+    neighbouring scenario's terminal basis) and [max_float_pivots] only
+    affect the [`Fast] and [`Cached] modes. *)
+val solve :
+  ?mode:mode ->
+  ?model:Lp_model.model ->
+  ?warm:int array ->
+  ?max_float_pivots:int ->
+  Scenario.t ->
+  (Lp_model.solved, Errors.t) result
+
+(** [solve_exn] is {!solve}. @raise Errors.Error on a degenerate LP. *)
+val solve_exn :
+  ?mode:mode ->
+  ?model:Lp_model.model ->
+  ?warm:int array ->
+  ?max_float_pivots:int ->
+  Scenario.t ->
+  Lp_model.solved

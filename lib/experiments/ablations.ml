@@ -201,13 +201,20 @@ let multiround ?(quick = false) ?(seed = 27) () =
   in
   let rows =
     List.map
-      (fun (r, rho_linear) ->
-        let rho_affine = List.assoc_opt r affine in
+      (fun (pt : Dls.Multiround.round_point) ->
+        let rho_affine =
+          List.find_opt
+            (fun (a : Dls.Multiround.round_point) ->
+              a.Dls.Multiround.rounds = pt.Dls.Multiround.rounds)
+            affine
+        in
         [
-          Report.Int r;
-          Report.Float (Q.to_float rho_linear /. Q.to_float base);
+          Report.Int pt.Dls.Multiround.rounds;
+          Report.Float
+            (Q.to_float pt.Dls.Multiround.throughput /. Q.to_float base);
           (match rho_affine with
-          | Some rho -> Report.Float (Q.to_float rho /. Q.to_float base)
+          | Some a ->
+            Report.Float (Q.to_float a.Dls.Multiround.throughput /. Q.to_float base)
           | None -> Report.Str "infeasible");
         ])
       linear
@@ -287,7 +294,7 @@ let scaling ?(quick = false) ?(seed = 30) () =
         let f = Cluster.Gen.factors rng Cluster.Gen.Heterogeneous ~workers in
         let p = Cluster.Gen.platform machine ~n:120 f in
         let scenario = Dls.Scenario.fifo_exn p (Dls.Fifo.order p) in
-        let t_exact, sol = time (fun () -> Dls.Lp_model.solve_exn scenario) in
+        let t_exact, sol = time (fun () -> Dls.Solve.solve_exn ~mode:`Exact scenario) in
         let t_float, estimate = time (fun () -> Dls.Lp_model.estimate_rho scenario) in
         let exact = Q.to_float sol.Dls.Lp_model.rho in
         let err =

@@ -21,11 +21,23 @@ let platform_of_scenario ~seed s =
   let rng = Random.State.make [| seed; s; 0x10ad9e4 |] in
   Check.Fuzz.gen_platform rng regimes.(s mod 3)
 
-let request ~seed ~distinct i =
+let request ?(multi = false) ~seed ~distinct i =
   if distinct <= 0 then invalid_arg "Loadgen.request: distinct must be >= 1";
   let s = scenario_index ~seed ~distinct i in
   let platform = platform_of_scenario ~seed s in
   match s mod 10 with
+  | 7 when multi ->
+    (* Only scenario slot 7 changes when [multi] is on; the rest of the
+       stream is bit-identical to the classic one. *)
+    let rng = Random.State.make [| seed; s; 0x3417171 |] in
+    let workload = Check.Fuzz.gen_workload rng regimes.(s mod 3) in
+    P.Solve_multi
+      {
+        u_platform = platform;
+        u_workload = workload;
+        u_mode = (if s mod 2 = 0 then P.Steady else P.Batch);
+        u_depth = None;
+      }
   | 8 -> P.Check platform
   | 9 ->
     P.Simulate
@@ -53,12 +65,12 @@ type tally = {
   mutable t_failed : int;
 }
 
-let run address ~connections ~requests ~seed ~distinct () =
+let run ?(multi = false) address ~connections ~requests ~seed ~distinct () =
   if connections <= 0 || requests < 0 || distinct <= 0 then
     Dls.Errors.invalid "Loadgen.run: bad parameters"
   else begin
     (* Materialize the stream up front so worker threads only do I/O. *)
-    let stream = Array.init requests (fun i -> request ~seed ~distinct i) in
+    let stream = Array.init requests (fun i -> request ~multi ~seed ~distinct i) in
     let connections = max 1 (min connections (max requests 1)) in
     let tallies =
       Array.init connections (fun _ ->

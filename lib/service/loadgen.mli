@@ -24,13 +24,19 @@ type outcome = {
   rps : float;  (** ok responses per wall-clock second *)
 }
 
-(** [request ~seed ~distinct i] is the [i]-th request of the stream. *)
-val request : seed:int -> distinct:int -> int -> Protocol.request
+(** [request ~seed ~distinct i] is the [i]-th request of the stream.
+    With [~multi:true] (default false) scenario slot 7 carries a
+    [solve-multi] request (steady or batch by parity) instead of a
+    [solve]; every other slot is bit-identical to the classic stream,
+    so existing benches and smoke jobs are unaffected. *)
+val request : ?multi:bool -> seed:int -> distinct:int -> int -> Protocol.request
 
 (** [run address ~connections ~requests ~seed ~distinct ()] replays the
     first [requests] requests of the stream over [connections]
-    concurrent connections and aggregates the outcome. *)
+    concurrent connections and aggregates the outcome.  [~multi] is
+    passed to {!request}. *)
 val run :
+  ?multi:bool ->
   Server.address ->
   connections:int ->
   requests:int ->

@@ -22,12 +22,29 @@ type simulate_req = {
   m_replan : replan;
 }
 
+type multi_mode = Steady | Batch
+
+type multi_req = {
+  u_platform : Dls.Platform.t;
+  u_workload : Dls.Workload.t;
+  u_mode : multi_mode;
+  u_depth : int option;
+}
+
 type request =
   | Solve of solve_req
+  | Solve_multi of multi_req
   | Simulate of simulate_req
   | Check of Dls.Platform.t
   | Stats
   | Health
+  | Hello
+
+let version = 2
+let min_version = 1
+
+let verbs =
+  [ "solve"; "solve-multi"; "simulate"; "check"; "stats"; "health"; "hello" ]
 
 type solve_rep = {
   rho : Q.t;
@@ -46,7 +63,21 @@ type simulate_rep = {
   replanned : string option;
 }
 
+type multi_rep = {
+  mm_mode : multi_mode;
+  mm_value : Q.t;
+  mm_throughput : Q.t;
+  mm_depth : int option;
+  mm_alloc : Q.t array array;
+}
+
 type check_rep = { check_ok : bool; violations : int }
+
+type hello_rep = {
+  server_version : int;
+  server_min_version : int;
+  server_verbs : string list;
+}
 
 type stats_rep = {
   accepted : int;
@@ -80,12 +111,15 @@ type health_rep = {
 
 type response =
   | Ok_solve of solve_rep
+  | Ok_multi of multi_rep
   | Ok_simulate of simulate_rep
   | Ok_check of check_rep
   | Ok_stats of stats_rep
   | Ok_health of health_rep
+  | Ok_hello of hello_rep
   | Overloaded of { depth : int; capacity : int }
   | Timed_out of { budget : float }
+  | Unsupported of { verb : string; server_version : int }
   | Failed of E.t
 
 let ( let* ) = Result.bind
@@ -120,6 +154,11 @@ let replan_to_string = function
 
 let q_list qs = String.concat "," (List.map Q.to_string (Array.to_list qs))
 let int_list is = String.concat "," (List.map string_of_int (Array.to_list is))
+let mode_to_string = function Steady -> "steady" | Batch -> "batch"
+
+(* Load-major allocation matrix: rows comma-joined, rows joined by ';'. *)
+let alloc_list rows =
+  String.concat ";" (List.map q_list (Array.to_list rows))
 
 (* ------------------------------------------------------------------ *)
 (* Platform spec: c:w:d,c:w:d — the CLI's compact form, with positions *)
@@ -247,9 +286,17 @@ let parse_model ?file ~line (tok : T.token) v =
   | _ ->
     E.parse_error ?file ~line ~col:tok.T.col "expected one-port/two-port, got %S" v
 
-let parse_request ?file ~line s =
+let parse_mode ?file ~line (tok : T.token) v =
+  match v with
+  | "steady" -> Ok Steady
+  | "batch" -> Ok Batch
+  | _ ->
+    E.parse_error ?file ~line ~col:tok.T.col "expected steady/batch, got %S" v
+
+let parse_request_v ?file ~line s =
+  let malformed = function Ok r -> `Request r | Error e -> `Malformed e in
   match T.tokens s with
-  | [] -> E.parse_error ?file ~line ~col:1 "empty request"
+  | [] -> `Malformed (E.Parse_error { file; line; col = 1; msg = "empty request" })
   | verb :: rest -> (
     let spec_and_opts kind =
       match rest with
@@ -279,7 +326,8 @@ let parse_request ?file ~line s =
       | tok :: _ ->
         E.parse_error ?file ~line ~col:tok.T.col "%s takes no arguments" kind
     in
-    match verb.T.text with
+    let known () =
+      match verb.T.text with
     | "solve" ->
       let* p, opts = spec_and_opts "solve" in
       let init =
@@ -313,6 +361,41 @@ let parse_request ?file ~line s =
                 "unknown solve option %S" k)
       in
       Ok (Solve r)
+    | "solve-multi" ->
+      let* p, opts = spec_and_opts "solve-multi" in
+      let init = (None, Steady, None) in
+      let* workload, u_mode, u_depth =
+        fold_opts opts ~init ~f:(fun (wl, mode, depth) tok k v ->
+            match k with
+            | "workload" ->
+              (* positions inside the spec are relative to the value,
+                 which starts after "workload=" within the token *)
+              let col = tok.T.col + String.length k + 1 in
+              let* w = Dls.Workload.of_spec ?file ~line ~col v in
+              Ok (Some w, mode, depth)
+            | "mode" ->
+              let* m = parse_mode ?file ~line tok v in
+              Ok (wl, m, depth)
+            | "depth" ->
+              let* d = parse_int ?file ~line tok v in
+              if d < 0 then
+                E.parse_error ?file ~line ~col:tok.T.col
+                  "depth must be non-negative"
+              else Ok (wl, mode, Some d)
+            | _ ->
+              E.parse_error ?file ~line ~col:tok.T.col
+                "unknown solve-multi option %S" k)
+      in
+      (match workload with
+      | None ->
+        E.parse_error ?file ~line
+          ~col:(verb.T.col + String.length verb.T.text)
+          "solve-multi needs workload=size:release[:z],..."
+      | Some u_workload ->
+        if u_mode = Steady && u_depth <> None then
+          E.parse_error ?file ~line ~col:verb.T.col
+            "depth only applies to mode=batch"
+        else Ok (Solve_multi { u_platform = p; u_workload; u_mode; u_depth }))
     | "simulate" ->
       let* p, opts = spec_and_opts "simulate" in
       let init =
@@ -361,9 +444,25 @@ let parse_request ?file ~line s =
     | "health" ->
       let* () = no_trailing "health" in
       Ok Health
-    | other ->
-      E.parse_error ?file ~line ~col:verb.T.col
-        "unknown request %S (expected solve/simulate/check/stats/health)" other)
+    | "hello" ->
+      let* () = no_trailing "hello" in
+      Ok Hello
+    | _ -> assert false
+    in
+    match verb.T.text with
+    | "solve" | "solve-multi" | "simulate" | "check" | "stats" | "health"
+    | "hello" ->
+      malformed (known ())
+    | other -> `Unknown_verb other)
+
+let parse_request ?file ~line s =
+  match parse_request_v ?file ~line s with
+  | `Request r -> Ok r
+  | `Malformed e -> Error e
+  | `Unknown_verb other ->
+    let col = match T.tokens s with tok :: _ -> tok.T.col | [] -> 1 in
+    E.parse_error ?file ~line ~col "unknown request %S (expected %s)" other
+      (String.concat "/" verbs)
 
 (* ------------------------------------------------------------------ *)
 (* Request rendering                                                   *)
@@ -389,6 +488,16 @@ let request_to_string = function
     | Some q -> Buffer.add_string b (" load=" ^ Q.to_string q)
     | None -> ());
     Buffer.contents b
+  | Solve_multi r ->
+    let b = Buffer.create 64 in
+    Buffer.add_string b "solve-multi ";
+    Buffer.add_string b (platform_to_spec r.u_platform);
+    Buffer.add_string b (" workload=" ^ Dls.Workload.to_spec r.u_workload);
+    Buffer.add_string b (" mode=" ^ mode_to_string r.u_mode);
+    (match r.u_depth with
+    | Some d -> Buffer.add_string b (Printf.sprintf " depth=%d" d)
+    | None -> ());
+    Buffer.contents b
   | Simulate r ->
     let b = Buffer.create 64 in
     Buffer.add_string b "simulate ";
@@ -404,6 +513,7 @@ let request_to_string = function
   | Check p -> "check " ^ platform_to_spec p
   | Stats -> "stats"
   | Health -> "health"
+  | Hello -> "hello"
 
 let request_key = request_to_string
 
@@ -431,6 +541,18 @@ let response_to_string = function
     (match r.makespan with
     | Some q -> Buffer.add_string b (" makespan=" ^ Q.to_string q)
     | None -> ());
+    Buffer.contents b
+  | Ok_multi r ->
+    let b = Buffer.create 96 in
+    Buffer.add_string b ("ok multi mode=" ^ mode_to_string r.mm_mode);
+    let value_key = match r.mm_mode with Steady -> "period" | Batch -> "makespan" in
+    Buffer.add_string b
+      (Printf.sprintf " %s=%s" value_key (Q.to_string r.mm_value));
+    Buffer.add_string b (" throughput=" ^ Q.to_string r.mm_throughput);
+    (match r.mm_depth with
+    | Some d -> Buffer.add_string b (Printf.sprintf " depth=%d" d)
+    | None -> ());
+    Buffer.add_string b (" alloc=" ^ alloc_list r.mm_alloc);
     Buffer.contents b
   | Ok_simulate r ->
     let b = Buffer.create 96 in
@@ -466,14 +588,22 @@ let response_to_string = function
       (bool_str r.healthy) (bool_str r.draining)
       (float_str r.h_uptime_s)
       r.h_queue_depth r.h_capacity r.h_workers
+  | Ok_hello r ->
+    Printf.sprintf "ok hello version=%d min=%d verbs=%s" r.server_version
+      r.server_min_version
+      (String.concat "," r.server_verbs)
   | Overloaded { depth; capacity } ->
     Printf.sprintf "overloaded depth=%d capacity=%d" depth capacity
   | Timed_out { budget } -> "timeout budget=" ^ float_str budget
+  | Unsupported { verb; server_version } ->
+    Printf.sprintf "unsupported verb=%s version=%d" verb server_version
   | Failed e -> error_to_string e
 
 let is_ok = function
-  | Ok_solve _ | Ok_simulate _ | Ok_check _ | Ok_stats _ | Ok_health _ -> true
-  | Overloaded _ | Timed_out _ | Failed _ -> false
+  | Ok_solve _ | Ok_multi _ | Ok_simulate _ | Ok_check _ | Ok_stats _
+  | Ok_health _ | Ok_hello _ ->
+    true
+  | Overloaded _ | Timed_out _ | Unsupported _ | Failed _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Response parsing                                                    *)
@@ -571,6 +701,11 @@ let parse_response s =
     let* kvs = kv_map rest in
     let* budget = need_float kvs "budget" in
     Ok (Timed_out { budget })
+  | { T.text = "unsupported"; _ } :: rest ->
+    let* kvs = kv_map rest in
+    let* _, verb = need kvs "verb" in
+    let* server_version = need_int kvs "version" in
+    Ok (Unsupported { verb; server_version })
   | { T.text = "error"; _ } :: code :: rest -> (
     match code.T.text with
     | "unbounded" -> Ok (Failed E.Unbounded)
@@ -619,6 +754,46 @@ let parse_response s =
             E.parse_error ~line:1 ~col:1 "not a rational: %S" v)
       in
       Ok (Ok_solve { rho; sigma1; alpha; idle; makespan })
+    | "multi" ->
+      let* kvs = kv_map rest in
+      let* mode_tok, mode_v = need kvs "mode" in
+      let* mm_mode = parse_mode ~line:1 mode_tok mode_v in
+      let value_key = match mm_mode with Steady -> "period" | Batch -> "makespan" in
+      let* mm_value = need_q kvs value_key in
+      let* mm_throughput = need_q kvs "throughput" in
+      let* mm_depth =
+        match opt_field kvs "depth" with
+        | None -> Ok None
+        | Some v -> (
+          match int_of_string_opt v with
+          | Some d -> Ok (Some d)
+          | None -> E.parse_error ~line:1 ~col:1 "not an integer: %S" v)
+      in
+      let* _, av = need kvs "alloc" in
+      let* rows =
+        if av = "" then Ok [||]
+        else
+          let* rows =
+            List.fold_left
+              (fun acc row ->
+                let* acc = acc in
+                let* qs = q_array ~col:1 row in
+                Ok (qs :: acc))
+              (Ok [])
+              (String.split_on_char ';' av)
+          in
+          Ok (Array.of_list (List.rev rows))
+      in
+      Ok (Ok_multi { mm_mode; mm_value; mm_throughput; mm_depth; mm_alloc = rows })
+    | "hello" ->
+      let* kvs = kv_map rest in
+      let* server_version = need_int kvs "version" in
+      let* server_min_version = need_int kvs "min" in
+      let* _, vv = need kvs "verbs" in
+      let server_verbs =
+        if vv = "" then [] else String.split_on_char ',' vv
+      in
+      Ok (Ok_hello { server_version; server_min_version; server_verbs })
     | "simulate" ->
       let* kvs = kv_map rest in
       let* sim_makespan = need_float kvs "makespan" in

@@ -9,11 +9,13 @@
     {2 Request grammar}
 
     {v
-    request  := "solve"    spec option*
-              | "simulate" spec option*
-              | "check"    spec option*
+    request  := "solve"       spec option*
+              | "solve-multi" spec option*
+              | "simulate"    spec option*
+              | "check"       spec option*
               | "stats"
               | "health"
+              | "hello"
     spec     := c:w:d[,c:w:d ...]          rational components
     option   := key=value                  (no spaces inside a token)
     v}
@@ -22,6 +24,9 @@
     - [solve]: [order=fifo|lifo] (default fifo), [model=one-port|two-port],
       [fast=true|false] (default true), [load=Q] (also report the
       makespan for [load] items);
+    - [solve-multi]: [workload=size:release[:z],...] (required — the
+      {!Dls.Workload.of_spec} form), [mode=steady|batch] (default
+      steady), [depth=N] (batch only; omitted = best over depths 0..2);
     - [simulate]: [order=], [items=N] (default 1000),
       [faults=kind:args[;kind:args ...]] — the {!Dls.Faults} text format
       with [;] for newline and [:] for the field separator, e.g.
@@ -40,9 +45,29 @@
 
     Parsers never raise: malformed input yields a typed
     {!Dls.Errors.Parse_error} with 1-based line/column positions, like
-    the {!Dls.Platform_io} / {!Dls.Schedule_io} suites. *)
+    the {!Dls.Platform_io} / {!Dls.Schedule_io} suites.
+
+    {2 Versioning}
+
+    The protocol carries a version number ({!version}); a client opens
+    with [hello] and the server answers [ok hello version=V min=M
+    verbs=...].  Verbs the server does not know yield the typed
+    [unsupported verb=... version=V] response (never a hard parse
+    error), so an old server talking to a new client degrades
+    gracefully: the client sees which verb was refused and the version
+    the server speaks. *)
 
 module Q = Numeric.Rational
+
+(** Protocol version spoken by this build, and the oldest version whose
+    requests it still accepts. *)
+val version : int
+
+val min_version : int
+
+(** Every verb this build understands, in the canonical order rendered
+    by [hello]. *)
+val verbs : string list
 
 type order = Fifo | Lifo
 
@@ -64,12 +89,25 @@ type simulate_req = {
   m_replan : replan;
 }
 
+type multi_mode = Steady | Batch
+
+type multi_req = {
+  u_platform : Dls.Platform.t;
+  u_workload : Dls.Workload.t;
+  u_mode : multi_mode;
+  u_depth : int option;
+      (** [Batch] only: fixed interleaving depth; [None] = best over
+          depths 0..2 ({!Dls.Steady_state.solve_batch_best}) *)
+}
+
 type request =
   | Solve of solve_req
+  | Solve_multi of multi_req
   | Simulate of simulate_req
   | Check of Dls.Platform.t
   | Stats
   | Health
+  | Hello
 
 (** Exact solver answer; [alpha]/[idle] are platform-indexed, [sigma1]
     is the sending order — together with [rho] this is bit-comparable
@@ -91,7 +129,25 @@ type simulate_rep = {
   replanned : string option;  (** recovery policy spliced in, if any *)
 }
 
+(** Multi-load answer.  [mm_value] is the steady-state period or the
+    batch makespan (by [mm_mode]); [mm_throughput] is
+    [total_size / mm_value]; [mm_alloc] is the load-major allocation
+    (steady) or chunk (batch) matrix, platform-indexed columns. *)
+type multi_rep = {
+  mm_mode : multi_mode;
+  mm_value : Q.t;
+  mm_throughput : Q.t;
+  mm_depth : int option;  (** batch only: the depth that won *)
+  mm_alloc : Q.t array array;
+}
+
 type check_rep = { check_ok : bool; violations : int }
+
+type hello_rep = {
+  server_version : int;
+  server_min_version : int;
+  server_verbs : string list;
+}
 
 (** Serving counters; the invariant after a drain (no requests in
     flight) is [accepted = served + timed_out + failed]. *)
@@ -127,17 +183,31 @@ type health_rep = {
 
 type response =
   | Ok_solve of solve_rep
+  | Ok_multi of multi_rep
   | Ok_simulate of simulate_rep
   | Ok_check of check_rep
   | Ok_stats of stats_rep
   | Ok_health of health_rep
+  | Ok_hello of hello_rep
   | Overloaded of { depth : int; capacity : int }
   | Timed_out of { budget : float }
+  | Unsupported of { verb : string; server_version : int }
+      (** the verb is not in this server's {!verbs} *)
   | Failed of Dls.Errors.t
 
 (** [parse_request ~line s] parses one request line ([line] is the
     1-based position used in error reports).  Never raises. *)
 val parse_request : ?file:string -> line:int -> string -> (request, Dls.Errors.t) result
+
+(** [parse_request_v ~line s] distinguishes a verb this build does not
+    know ([`Unknown_verb]) from a malformed line: the server answers the
+    former with {!Unsupported} and only the latter with a parse error.
+    [parse_request] folds [`Unknown_verb] back into a parse error. *)
+val parse_request_v :
+  ?file:string ->
+  line:int ->
+  string ->
+  [ `Request of request | `Unknown_verb of string | `Malformed of Dls.Errors.t ]
 
 (** [request_to_string r] renders the canonical request line:
     [parse_request] inverts it (worker names are positional, [P1..Pn]).

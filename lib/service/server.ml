@@ -64,11 +64,10 @@ let eval_solve cfg (r : P.solve_req) =
     | P.Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
   in
   let fast = cfg.fast && r.P.s_fast in
-  let sol =
-    if cfg.dedup then Dls.Lp_model.solve_cached ~model:r.P.s_model ~fast scenario
-    else if fast then Dls.Lp_model.solve_fast_exn ~model:r.P.s_model scenario
-    else Dls.Lp_model.solve_exn ~model:r.P.s_model scenario
+  let mode =
+    if cfg.dedup && fast then `Cached else if fast then `Fast else `Exact
   in
+  let sol = Dls.Solve.solve_exn ~mode ~model:r.P.s_model scenario in
   P.Ok_solve
     {
       rho = sol.Dls.Lp_model.rho;
@@ -78,6 +77,37 @@ let eval_solve cfg (r : P.solve_req) =
       makespan =
         Option.map (fun load -> Dls.Lp_model.time_for_load sol ~load) r.P.s_load;
     }
+
+let eval_multi (r : P.multi_req) =
+  let p = r.P.u_platform in
+  let w = r.P.u_workload in
+  match r.P.u_mode with
+  | P.Steady ->
+    let s = E.get_exn (Dls.Steady_state.solve p w) in
+    P.Ok_multi
+      {
+        mm_mode = P.Steady;
+        mm_value = s.Dls.Steady_state.period;
+        mm_throughput = s.Dls.Steady_state.throughput;
+        mm_depth = None;
+        mm_alloc = Array.map Array.copy s.Dls.Steady_state.alloc;
+      }
+  | P.Batch ->
+    let b =
+      E.get_exn
+        (match r.P.u_depth with
+        | Some depth -> Dls.Steady_state.solve_batch ~depth p w
+        | None -> Dls.Steady_state.solve_batch_best p w)
+    in
+    let makespan = b.Dls.Steady_state.makespan in
+    P.Ok_multi
+      {
+        mm_mode = P.Batch;
+        mm_value = makespan;
+        mm_throughput = Q.div (Dls.Workload.total_size w) makespan;
+        mm_depth = Some b.Dls.Steady_state.depth;
+        mm_alloc = Array.map Array.copy b.Dls.Steady_state.chunks;
+      }
 
 let eval_simulate (r : P.simulate_req) =
   let p = r.P.m_platform in
@@ -156,11 +186,12 @@ let eval_check p =
 
 let eval_request cfg = function
   | P.Solve r -> eval_solve cfg r
+  | P.Solve_multi r -> eval_multi r
   | P.Simulate r -> eval_simulate r
   | P.Check p -> eval_check p
   (* answered inline by the connection thread; kept total for safety *)
-  | P.Stats | P.Health ->
-    P.Failed (E.Invalid_scenario "stats/health are not queueable")
+  | P.Stats | P.Health | P.Hello ->
+    P.Failed (E.Invalid_scenario "stats/health/hello are not queueable")
 
 (* Total: every exception becomes a response, so a pool batch never
    aborts on a bad request (Pool.map would re-raise and discard the
@@ -183,11 +214,12 @@ let eval_job t job =
 
 let deliver t job resp =
   (match resp with
-  | P.Ok_solve _ | P.Ok_simulate _ | P.Ok_check _ | P.Ok_stats _ | P.Ok_health _
-    ->
+  | P.Ok_solve _ | P.Ok_multi _ | P.Ok_simulate _ | P.Ok_check _ | P.Ok_stats _
+  | P.Ok_health _ | P.Ok_hello _ ->
     Metrics.incr_served t.metrics
   | P.Timed_out _ -> Metrics.incr_timed_out t.metrics
-  | P.Overloaded _ | P.Failed _ -> Metrics.incr_failed t.metrics);
+  | P.Overloaded _ | P.Unsupported _ | P.Failed _ ->
+    Metrics.incr_failed t.metrics);
   Metrics.observe_latency t.metrics (Unix.gettimeofday () -. job.admitted);
   Metrics.decr_inflight t.metrics;
   Mutex.lock job.jm;
@@ -272,18 +304,30 @@ let handle_line t line =
   let trimmed = String.trim line in
   if trimmed = "" || trimmed.[0] = '#' then None
   else
-    match P.parse_request ~line:1 trimmed with
-    | Error e ->
+    match P.parse_request_v ~line:1 trimmed with
+    | `Malformed e ->
       Metrics.incr_malformed t.metrics;
       Some (P.Failed e)
-    | Ok (P.Stats as r) | Ok (P.Health as r) ->
+    | `Unknown_verb verb ->
+      (* Version skew is not an error: tell the client which verb we
+         refused and which protocol we speak, and keep the session up. *)
+      Metrics.incr_malformed t.metrics;
+      Some (P.Unsupported { verb; server_version = P.version })
+    | `Request ((P.Stats | P.Health | P.Hello) as r) ->
       (* Control-plane requests bypass the queue: they must answer even
          when the data plane is saturated — that is their whole point. *)
       Some
         (match r with
         | P.Stats -> P.Ok_stats (stats t)
+        | P.Hello ->
+          P.Ok_hello
+            {
+              P.server_version = P.version;
+              server_min_version = P.min_version;
+              server_verbs = P.verbs;
+            }
         | _ -> P.Ok_health (health_of t))
-    | Ok request ->
+    | `Request request ->
       let job =
         {
           request;

@@ -256,3 +256,105 @@ let execute_chunked ?(noise = no_noise) platform plan =
       master_free := start +. dur)
     plan.chunk_returns;
   Trace.make !events
+
+(* ------------------------------------------------------------------ *)
+(* Multi-load batches                                                  *)
+
+type multi_op = {
+  op_load : int;
+  op_worker : int;
+  op_kind : kind;
+  op_amount : float;
+  op_release : float;
+  op_comm : float;
+  op_comp : float;
+}
+
+and kind = Op_send | Op_return
+
+type multi_plan = { ops : multi_op list }
+
+let plan_of_batch (b : Dls.Steady_state.batch) =
+  let qf = Numeric.Rational.to_float in
+  let workload = b.Dls.Steady_state.b_workload in
+  let ops =
+    List.filter_map
+      (fun (kind, k, j) ->
+        let i = b.Dls.Steady_state.order.(j) in
+        let wk = Dls.Platform.get b.Dls.Steady_state.b_platform i in
+        let a = b.Dls.Steady_state.chunks.(k).(j) in
+        if Numeric.Rational.sign a <= 0 then None
+        else
+          let a_f = qf a in
+          match kind with
+          | `Send ->
+            Some
+              {
+                op_load = k;
+                op_worker = i;
+                op_kind = Op_send;
+                op_amount = a_f;
+                op_release =
+                  qf (Dls.Workload.get workload k).Dls.Workload.release;
+                op_comm = a_f *. qf wk.Dls.Platform.c;
+                op_comp = a_f *. qf wk.Dls.Platform.w;
+              }
+          | `Return ->
+            Some
+              {
+                op_load = k;
+                op_worker = i;
+                op_kind = Op_return;
+                op_amount = a_f;
+                op_release = 0.;
+                op_comm = a_f *. qf (Dls.Workload.return_cost workload k wk);
+                op_comp = 0.;
+              })
+      (Dls.Steady_state.port_sequence b)
+  in
+  { ops }
+
+let execute_multi ?(noise = no_noise) platform plan =
+  let events = ref [] in
+  let record worker kind start finish load =
+    events := { Trace.worker; kind; start; finish; load } :: !events
+  in
+  let n = Dls.Platform.size platform in
+  let worker_ready = Array.make n 0.0 in
+  let compute_ends : (int, float Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let queue_of i =
+    match Hashtbl.find_opt compute_ends i with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add compute_ends i q;
+      q
+  in
+  let master_free = ref 0.0 in
+  List.iter
+    (fun op ->
+      let i = op.op_worker in
+      match op.op_kind with
+      | Op_send ->
+        let start = Float.max !master_free op.op_release in
+        let dur = noise.comm ~worker:i op.op_comm in
+        record i Trace.Send start (start +. dur) op.op_amount;
+        master_free := start +. dur;
+        let cstart = Float.max !master_free worker_ready.(i) in
+        let cdur = noise.comp ~worker:i op.op_comp in
+        record i Trace.Compute cstart (cstart +. cdur) op.op_amount;
+        worker_ready.(i) <- cstart +. cdur;
+        Queue.add (cstart +. cdur) (queue_of i)
+      | Op_return ->
+        let computed =
+          let q = queue_of i in
+          if Queue.is_empty q then
+            invalid_arg "Star.execute_multi: return without a sent chunk"
+          else Queue.pop q
+        in
+        let start = Float.max !master_free computed in
+        let dur = noise.comm ~worker:i op.op_comm in
+        record i Trace.Return start (start +. dur) op.op_amount;
+        master_free := start +. dur)
+    plan.ops;
+  Trace.make !events

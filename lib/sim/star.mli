@@ -93,3 +93,34 @@ val plan_of_multiround : Dls.Multiround.solved -> chunked_plan
     {!Dls.Multiround} — without noise the makespan equals the LP
     horizon. *)
 val execute_chunked : ?noise:noise -> Dls.Platform.t -> chunked_plan -> Trace.t
+
+(** {1 Multi-load batches} *)
+
+(** One master-port operation of a multi-load batch, in port order. *)
+type multi_op = {
+  op_load : int;  (** workload load index *)
+  op_worker : int;  (** platform worker index *)
+  op_kind : kind;
+  op_amount : float;  (** chunk size, load units *)
+  op_release : float;  (** sends may not start earlier; [0.] for returns *)
+  op_comm : float;  (** nominal transfer duration *)
+  op_comp : float;  (** nominal compute duration; [0.] for returns *)
+}
+
+and kind = Op_send | Op_return
+
+type multi_plan = { ops : multi_op list  (** in the port's activity order *) }
+
+(** [plan_of_batch b] linearizes a batch LP solution into its port
+    operation sequence (zero-size chunks are dropped; the LP's event
+    dates induce the order). *)
+val plan_of_batch : Dls.Steady_state.batch -> multi_plan
+
+(** [execute_multi ?noise platform plan] replays the batch eagerly:
+    each port operation starts as soon as the master is free, the data
+    is released, and (for returns) the chunk's computation — which a
+    worker runs in arrival order — has ended.  Without noise the
+    resulting makespan equals the batch LP's: the eager schedule is the
+    componentwise-earliest one compatible with the port order, and the
+    LP already minimizes over that set. *)
+val execute_multi : ?noise:noise -> Dls.Platform.t -> multi_plan -> Trace.t

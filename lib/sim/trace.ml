@@ -65,6 +65,8 @@ let events_of t i = List.filter (fun e -> e.worker = i) t.events
    derived from rational schedules or from the noise-free simulator; a
    positive [eps] additionally forgives overlaps up to [eps] and is only
    meant for measured (noisy) float traces. *)
+type clash = { first : event; second : event }
+
 let one_port_violations ?(eps = 0.) t =
   let transfers = List.filter (fun e -> e.kind <> Compute) t.events in
   let overlap a b = a.start < b.finish -. eps && b.start < a.finish -. eps in
@@ -73,30 +75,43 @@ let one_port_violations ?(eps = 0.) t =
     | e :: rest ->
       let acc =
         List.fold_left
-          (fun acc e' -> if overlap e e' then (e, e') :: acc else acc)
+          (fun acc e' ->
+            if overlap e e' then { first = e; second = e' } :: acc else acc)
           acc rest
       in
       scan acc rest
   in
   scan [] transfers
 
+(* Workers may carry several triples (multi-round chunks, multi-load
+   batches); the j-th send feeds the j-th compute, whose results leave
+   with the j-th return, all in time order. *)
 let precedence_violations ?(eps = 0.) t =
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
   List.iter
     (fun i ->
       let evs = events_of t i in
-      let find k = List.find_opt (fun e -> e.kind = k) evs in
-      match (find Send, find Compute, find Return) with
-      | Some s, Some c, r ->
-        if s.finish > c.start +. eps then
-          add "worker %d computes before reception ends" i;
-        (match r with
-        | Some r ->
-          if c.finish > r.start +. eps then
-            add "worker %d returns before computation ends" i
-        | None -> ())
-      | _ -> add "worker %d has an incomplete event set" i)
+      let all k = List.filter (fun e -> e.kind = k) evs in
+      let sends = all Send and computes = all Compute and returns = all Return in
+      if sends = [] || List.length computes <> List.length sends then
+        add "worker %d has an incomplete event set" i
+      else if List.length returns > List.length sends then
+        add "worker %d returns more chunks than it received" i
+      else begin
+        List.iteri
+          (fun j (s : event) ->
+            let c = List.nth computes j in
+            if s.finish > c.start +. eps then
+              add "worker %d computes chunk %d before reception ends" i (j + 1))
+          sends;
+        List.iteri
+          (fun j (r : event) ->
+            let c = List.nth computes j in
+            if c.finish > r.start +. eps then
+              add "worker %d returns chunk %d before computation ends" i (j + 1))
+          returns
+      end)
     (workers t);
   List.rev !errs
 

@@ -27,6 +27,9 @@ val workers : t -> int list
 (** [events_of t i] lists worker [i]'s events in time order. *)
 val events_of : t -> int -> event list
 
+(** Two master transfers claiming the port at once, in time order. *)
+type clash = { first : event; second : event }
+
 (** [one_port_violations ?eps t] lists pairs of master transfers
     (sends/returns) overlapping by more than [eps].
 
@@ -36,12 +39,17 @@ val events_of : t -> int -> event list
     derived from rational schedules or from the noise-free simulator
     need no tolerance — pass a positive [eps] only for measured (noisy)
     float traces. *)
-val one_port_violations : ?eps:float -> t -> (event * event) list
+val one_port_violations : ?eps:float -> t -> clash list
 
 (** [precedence_violations ?eps t] checks that each worker receives,
-    computes, then returns, in that order without overlap.  Boundary
-    semantics as in {!one_port_violations}: back-to-back phases are
-    valid, [eps] (default [0], exact) only forgives noisy input. *)
+    computes, then returns, in that order without overlap.  Workers may
+    carry several send/compute/return triples (multi-round and
+    multi-load traces): the [j]-th send is matched with the [j]-th
+    compute and the [j]-th return in time order, so every chunk must be
+    received before it is processed and processed before its results
+    leave.  Boundary semantics as in {!one_port_violations}:
+    back-to-back phases are valid, [eps] (default [0], exact) only
+    forgives noisy input. *)
 val precedence_violations : ?eps:float -> t -> string list
 
 (** [is_valid ?eps t] holds when no violations of either kind exist. *)

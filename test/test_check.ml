@@ -329,8 +329,8 @@ let test_fast_stall_fallback () =
   let p = two_worker_platform () in
   let s = Dls.Scenario.fifo_exn p [| 0; 1 |] in
   Dls.Lp_model.reset_pipeline_stats ();
-  let cold = Dls.Lp_model.solve_exn s in
-  let fast = Dls.Lp_model.solve_fast_exn ~max_float_pivots:0 s in
+  let cold = Dls.Solve.solve_exn ~mode:`Exact s in
+  let fast = Dls.Solve.solve_exn ~mode:`Fast ~max_float_pivots:0 s in
   Alcotest.(check bool) "identical rho" true
     (Q.equal fast.Dls.Lp_model.rho cold.Dls.Lp_model.rho);
   Alcotest.(check bool) "identical loads" true

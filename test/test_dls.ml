@@ -149,13 +149,13 @@ let test_scenario_kinds () =
 let test_lp_single_worker () =
   (* One worker: rho = 1 / (c + w + d). *)
   let p = Dls.Platform.make_exn [ worker (2, 1) (3, 1) (1, 1) ] in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.all_workers_fifo p) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.all_workers_fifo p) in
   Alcotest.check rat "rho" (qq 1 6) sol.Dls.Lp_model.rho
 
 let test_lp_two_workers_fifo () =
   (* Hand-solved above: alpha = (4/11, 2/11), rho = 6/11. *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "rho" (qq 6 11) sol.Dls.Lp_model.rho;
   Alcotest.check rat "alpha1" (qq 4 11) sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "alpha2" (qq 2 11) sol.Dls.Lp_model.alpha.(1)
@@ -163,7 +163,7 @@ let test_lp_two_workers_fifo () =
 let test_lp_two_workers_lifo () =
   (* Hand-solved above: rho = 18/35 with alpha = (2/5, 4/35). *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "rho" (qq 18 35) sol.Dls.Lp_model.rho;
   Alcotest.check rat "alpha1" (qq 2 5) sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "alpha2" (qq 4 35) sol.Dls.Lp_model.alpha.(1)
@@ -172,14 +172,14 @@ let test_lp_two_port_relaxation () =
   (* Dropping the one-port constraint can only help. *)
   let p = two_worker_platform () in
   let s = Dls.Scenario.fifo_exn p [| 0; 1 |] in
-  let one = Dls.Lp_model.solve_exn ~model:Dls.Lp_model.One_port s in
-  let two = Dls.Lp_model.solve_exn ~model:Dls.Lp_model.Two_port s in
+  let one = Dls.Solve.solve_exn ~mode:`Exact ~model:Dls.Lp_model.One_port s in
+  let two = Dls.Solve.solve_exn ~mode:`Exact ~model:Dls.Lp_model.Two_port s in
   Alcotest.(check bool) "two-port >= one-port" true
     (two.Dls.Lp_model.rho >=/ one.Dls.Lp_model.rho)
 
 let test_lp_time_for_load () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   Alcotest.check rat "time for 6 loads" (q 11)
     (Dls.Lp_model.time_for_load sol ~load:(q 6))
 
@@ -202,7 +202,7 @@ let prop_constraint_report_lemma1 =
 
 let test_constraint_report_shape () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let report = Dls.Lp_model.constraint_report sol in
   Alcotest.(check int) "2 deadlines + port" 3 (List.length report);
   Alcotest.(check bool) "port row present" true
@@ -223,7 +223,7 @@ let prop_estimate_rho_accurate =
     (gen_platform ~min_size:1 ~max_size:6 ())
     (fun p ->
       let s = Dls.Scenario.fifo_exn p (Dls.Fifo.order p) in
-      let exact = Q.to_float (Dls.Lp_model.solve_exn s).Dls.Lp_model.rho in
+      let exact = Q.to_float (Dls.Solve.solve_exn ~mode:`Exact s).Dls.Lp_model.rho in
       match Dls.Lp_model.estimate_rho s with
       | None -> QCheck2.Test.fail_reportf "float solver stalled"
       | Some approx ->
@@ -234,7 +234,7 @@ let prop_estimate_rho_accurate =
 let test_lp_enrolled_subset () =
   (* Enrolling only worker 1 leaves worker 0 with zero load. *)
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 1 |]) in
   Alcotest.check rat "alpha0 = 0" Q.zero sol.Dls.Lp_model.alpha.(0);
   Alcotest.check rat "rho = 1/(c2+w2+d2)" (qq 2 7) sol.Dls.Lp_model.rho;
   Alcotest.(check (list int)) "enrolled" [ 1 ] (Dls.Lp_model.enrolled_workers sol)
@@ -316,7 +316,9 @@ let prop_idle_structure =
       else begin
         let sched = Dls.Schedule.of_solved sol in
         let gaps =
-          List.filter (fun (_, g) -> Q.sign g > 0) (Dls.Schedule.idle_times sched)
+          List.filter
+            (fun { Dls.Schedule.idle; _ } -> Q.sign idle > 0)
+            (Dls.Schedule.idle_times sched)
         in
         List.length gaps <= 1
       end)
@@ -494,7 +496,7 @@ let gen_scenario =
 let prop_schedule_valid =
   prop ~count:120 "LP schedules satisfy every one-port invariant" gen_scenario
     (fun s ->
-      let sol = Dls.Lp_model.solve_exn s in
+      let sol = Dls.Solve.solve_exn ~mode:`Exact s in
       let sched = Dls.Schedule.of_solved sol in
       match Dls.Schedule.validate sched with
       | Ok () ->
@@ -505,7 +507,7 @@ let prop_schedule_valid =
 let prop_schedule_scaling =
   prop ~count:60 "for_load scales makespan and load linearly" gen_scenario
     (fun s ->
-      let sol = Dls.Lp_model.solve_exn s in
+      let sol = Dls.Solve.solve_exn ~mode:`Exact s in
       let load = q 1000 in
       let sched = Dls.Schedule.for_load sol ~load in
       Q.equal (Dls.Schedule.total_load sched) load
@@ -515,7 +517,7 @@ let prop_schedule_scaling =
 
 let test_schedule_mirror_roundtrip () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let mirrored = Dls.Schedule.mirror sched in
   (match Dls.Schedule.validate mirrored with
@@ -645,7 +647,7 @@ let prop_no_return_matches_lp =
       let p = Dls.No_return.strip_returns p in
       let formula = Dls.No_return.throughput p in
       let lp =
-        Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p (Dls.No_return.optimal_order p))
+        Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p (Dls.No_return.optimal_order p))
       in
       Q.equal formula lp.Dls.Lp_model.rho)
 
@@ -685,7 +687,7 @@ let test_affine_zero_latency_matches_linear () =
   let a = Dls.Affine.of_platform p in
   let order = [| 0; 1 |] in
   let affine = affine_rho (Dls.Affine.solve a ~sigma1:order ~sigma2:order) in
-  let linear = (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p order)).Dls.Lp_model.rho in
+  let linear = (Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p order)).Dls.Lp_model.rho in
   Alcotest.check rat "same rho" linear affine
 
 let test_affine_too_slow () =
@@ -894,18 +896,18 @@ let test_heuristics_names () =
 
 let test_schedule_idle_times () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let idles = Dls.Schedule.idle_times sched in
   Alcotest.(check int) "one entry per enrolled worker" 2 (List.length idles);
   List.iter
-    (fun (_, gap) ->
+    (fun { Dls.Schedule.idle = gap; _ } ->
       Alcotest.(check bool) "non-negative" true (Q.sign gap >= 0))
     idles
 
 let test_schedule_scale_validation () =
   let p = two_worker_platform () in
-  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |])) in
+  let sched = Dls.Schedule.of_solved (Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |])) in
   (try
      ignore (Dls.Schedule.scale Q.zero sched);
      Alcotest.fail "zero scale accepted"
@@ -916,7 +918,7 @@ let test_schedule_scale_validation () =
 
 let test_schedule_mirror_rejects_no_return () =
   let p = Dls.Platform.make_exn [ worker (1, 1) (1, 1) (0, 1) ] in
-  let sched = Dls.Schedule.of_solved (Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0 |])) in
+  let sched = Dls.Schedule.of_solved (Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0 |])) in
   try
     ignore (Dls.Schedule.mirror sched);
     Alcotest.fail "mirror of d=0 accepted"
@@ -924,7 +926,7 @@ let test_schedule_mirror_rejects_no_return () =
 
 let test_pp_smoke () =
   let p = two_worker_platform () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.lifo_exn p [| 0; 1 |]) in
   let s1 = Format.asprintf "%a" Dls.Platform.pp p in
   let s2 = Format.asprintf "%a" Dls.Scenario.pp sol.Dls.Lp_model.scenario in
   let s3 = Format.asprintf "%a" Dls.Lp_model.pp sol in
@@ -1232,7 +1234,7 @@ let test_multiround_latency_finite_optimum () =
     Dls.Multiround.sweep_rounds p ~send_latency:(qq 1 25) ~return_latency:(qq 1 25)
       ~order:[| 0; 1 |] ~max_rounds:8 ()
   in
-  let rhos = List.map snd sweep in
+  let rhos = List.map (fun r -> r.Dls.Multiround.throughput) sweep in
   let best = List.fold_left Q.max Q.zero rhos in
   let last = List.nth rhos (List.length rhos - 1) in
   let first = List.hd rhos in

@@ -112,7 +112,7 @@ let prop_sim_respects_orders =
         a
       in
       let sigma1 = shuffle () and sigma2 = shuffle () in
-      let sol = Dls.Lp_model.solve_exn (Dls.Scenario.make_exn platform ~sigma1 ~sigma2) in
+      let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.make_exn platform ~sigma1 ~sigma2) in
       let plan = Sim.Star.plan_of_solved sol in
       let trace = Sim.Star.execute platform plan in
       let starts kind order =

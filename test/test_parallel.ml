@@ -427,9 +427,9 @@ let test_cache_hit_identical () =
   let scenario =
     Dls.Scenario.fifo_exn small_platform (Dls.Fifo.order small_platform)
   in
-  let cold = Dls.Lp_model.solve_exn scenario in
-  let first = Dls.Lp_model.solve_cached scenario in
-  let second = Dls.Lp_model.solve_cached scenario in
+  let cold = Dls.Solve.solve_exn ~mode:`Exact scenario in
+  let first = Dls.Solve.solve_exn ~mode:`Cached scenario in
+  let second = Dls.Solve.solve_exn ~mode:`Cached scenario in
   ignore (same_solution "cached vs cold" cold first);
   ignore (same_solution "hit vs cold" cold second);
   check "hit returns the stored value" true (first == second);
@@ -454,8 +454,8 @@ let test_cache_capacity_zero () =
   let scenario =
     Dls.Scenario.fifo_exn small_platform (Dls.Fifo.order small_platform)
   in
-  let a = Dls.Lp_model.solve_cached scenario in
-  let b = Dls.Lp_model.solve_cached scenario in
+  let a = Dls.Solve.solve_exn ~mode:`Cached scenario in
+  let b = Dls.Solve.solve_exn ~mode:`Cached scenario in
   ignore (same_solution "uncached solves agree" a b);
   let s = Dls.Lp_model.cache_stats () in
   check_int "nothing retained" 0 s.Parallel.Lru.size;

@@ -392,7 +392,7 @@ let test_server_solve_bit_identical () =
         | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e)
       in
       let direct =
-        Dls.Lp_model.solve_exn
+        Dls.Solve.solve_exn ~mode:`Exact
           (Dls.Scenario.fifo_exn p (Dls.Fifo.order p))
       in
       match resp with

@@ -163,7 +163,7 @@ let test_star_matches_lp_schedule () =
   (* Without noise the simulator must reproduce the LP makespan exactly
      (here: rho = 6/11 processed in unit time, so load 6 takes 11). *)
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   (* rho = 6/11: six load units need 11 time units, i.e. loads x11. *)
   let scale = 11.0 in
   let loads = Array.map (fun a -> Q.to_float a *. scale) sol.Dls.Lp_model.alpha in
@@ -440,7 +440,7 @@ let test_trace_detects_precedence () =
 
 let test_trace_of_schedule () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let trace = Trace.of_schedule (Dls.Schedule.of_solved sol) in
   Alcotest.(check bool) "valid" true (Trace.is_valid trace);
   Alcotest.(check (float 1e-9)) "horizon 1" 1.0 trace.Trace.makespan
@@ -491,7 +491,7 @@ let test_trace_validate_schedule () =
      solver's own output passes, and a tampered copy is rejected with
      a human-readable message. *)
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   (match Trace.validate_schedule sched with
   | Ok () -> ()
@@ -514,7 +514,7 @@ let test_trace_validate_schedule () =
 
 let test_trace_io_roundtrip () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let trace = Star.execute p (Star.plan_of_solved sol) in
   match Trace_io.of_string (Trace_io.to_string trace) with
   | Error e -> Alcotest.fail e
@@ -557,7 +557,7 @@ let test_trace_io_empty () =
 
 let test_gantt_renders () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let art = Gantt.render_schedule (Dls.Schedule.of_solved sol) in
   Alcotest.(check bool) "has master lane" true
     (String.length art > 0
@@ -585,7 +585,7 @@ let count_substring hay needle =
 
 let test_gantt_svg_structure () =
   let p = platform_2 () in
-  let sol = Dls.Lp_model.solve_exn (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
+  let sol = Dls.Solve.solve_exn ~mode:`Exact (Dls.Scenario.fifo_exn p [| 0; 1 |]) in
   let sched = Dls.Schedule.of_solved sol in
   let svg = Gantt.render_schedule_svg sched in
   Alcotest.(check bool) "opens svg" true
