@@ -139,22 +139,42 @@ let solve_cmd =
             "Write the schedule to $(docv) in the exact text format of \
              $(b,dls check --schedule).")
   in
-  let run platform discipline model load explain dump fast stats =
+  let run platform discipline model load explain dump fast delta stats =
     if stats then Dls.Lp_model.reset_pipeline_stats ();
+    let scenario_of p =
+      match discipline with
+      | `Fifo -> Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
+      | `Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
+    in
     let sol =
-      if fast then
-        let scenario =
-          match discipline with
-          | `Fifo -> Dls.Scenario.fifo_exn platform (Dls.Fifo.order platform)
-          | `Lifo -> Dls.Scenario.lifo_exn platform (Dls.Lifo.order platform)
+      match delta with
+      | Some d ->
+        (* Incremental what-if: solve the base through the cache, apply
+           the delta to its scenario (sending order kept when the worker
+           count is unchanged), and re-solve through the cache so the
+           warm-repair path can start from the base's optimal basis. *)
+        Dls.Lp_model.reset_resolve_stats ();
+        let base = Dls.Solve.solve_exn ~mode:`Cached ~model (scenario_of platform) in
+        Format.printf "base rho = %s (~%.6g)@." (Q.to_string base.Dls.Lp_model.rho)
+          (Q.to_float base.Dls.Lp_model.rho);
+        Format.printf "delta: %a@." (Dls.Delta.pp platform) d;
+        let scenario' =
+          match Dls.Delta.apply_scenario base.Dls.Lp_model.scenario d with
+          | Ok s -> s
+          | Error e -> raise (Dls.Errors.Error e)
         in
-        Dls.Solve.solve_exn ~mode:`Fast ~model scenario
-      else
-        match discipline with
-        | `Fifo -> Dls.Fifo.optimal ~model platform
-        | `Lifo -> Dls.Lifo.optimal ~model platform
+        Dls.Solve.solve_exn ~mode:`Cached ~model scenario'
+      | None ->
+        if fast then Dls.Solve.solve_exn ~mode:`Fast ~model (scenario_of platform)
+        else (
+          match discipline with
+          | `Fifo -> Dls.Fifo.optimal ~model platform
+          | `Lifo -> Dls.Lifo.optimal ~model platform)
     in
     print_solution ?load sol;
+    if delta <> None then
+      Format.printf "resolve:@.%a@." Dls.Lp_model.pp_resolve_stats
+        (Dls.Lp_model.resolve_stats ());
     if stats then begin
       Format.printf "pipeline:@.%a@." Dls.Lp_model.pp_pipeline_stats
         (Dls.Lp_model.pipeline_stats ());
@@ -196,12 +216,34 @@ let solve_cmd =
             "Print fast-pipeline counters (float-path wins, warm-start wins, \
              exact fallbacks, pruned nodes) and solve-cache statistics.")
   in
+  let delta_arg =
+    let delta_conv =
+      Arg.conv
+        ( (fun s ->
+            match Dls.Delta.of_spec ~line:1 ~col:1 s with
+            | Ok d -> Ok d
+            | Error e -> Error (`Msg (Dls.Errors.to_string e))),
+          fun fmt d -> Format.pp_print_string fmt (Dls.Delta.to_spec d) )
+    in
+    Arg.(
+      value
+      & opt (some delta_conv) None
+      & info [ "delta" ] ~docv:"SPEC"
+          ~doc:
+            "Solve the platform, then re-solve it with the comma-separated \
+             changes applied: $(b,comm:I:F) / $(b,comp:I:F) scale worker \
+             $(i,I)'s link or compute speed by rational $(i,F), $(b,z:Q) \
+             sets the return ratio, $(b,add:C:W:D) appends a worker, \
+             $(b,drop:I) removes one (1-based indices).  The re-solve goes \
+             through the incremental warm-repair pipeline and reports its \
+             counters.")
+  in
   let doc = "compute the optimal FIFO or LIFO schedule (Theorem 1)" in
   Cmd.v
     (Cmd.info "solve" ~doc)
     Term.(
       const run $ platform_arg $ discipline_arg $ model_arg $ load_arg
-      $ explain_arg $ dump_arg $ fast_arg $ stats_arg)
+      $ explain_arg $ dump_arg $ fast_arg $ delta_arg $ stats_arg)
 
 (* ------------------------------------------------------------------ *)
 (* solve-multi                                                         *)
@@ -1044,6 +1086,18 @@ let check_cmd =
              long horizon from both sides, and single-load batches must \
              reproduce the paper's LP(2) bit-exactly.")
   in
+  let fuzz_resolve_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuzz-resolve" ] ~docv:"N"
+          ~doc:
+            "Fuzz $(docv) random platform deltas per regime through the \
+             incremental warm-repair pipeline: every repaired basis must be \
+             bit-identical to a cold exact solve (or decline and fall back \
+             to the equally exact fast pipeline), and shape-changing deltas \
+             must be refused.  Prints the repair counters.")
+  in
   let regime_arg =
     let regime =
       Arg.conv
@@ -1058,9 +1112,9 @@ let check_cmd =
       & opt (some regime) None
       & info [ "regime" ] ~docv:"Z"
           ~doc:
-            "Restrict $(b,--fuzz) / $(b,--fuzz-faults) / $(b,--fuzz-multi) \
-             to one return-ratio regime: $(b,z<1), $(b,z=1) or $(b,z>1) \
-             (default: all three).")
+            "Restrict $(b,--fuzz) / $(b,--fuzz-faults) / $(b,--fuzz-multi) / \
+             $(b,--fuzz-resolve) to one return-ratio regime: $(b,z<1), \
+             $(b,z=1) or $(b,z>1) (default: all three).")
   in
   let platform_opt_arg =
     let doc =
@@ -1198,6 +1252,39 @@ let check_cmd =
                  fs)))
       regimes
   in
+  let check_fuzz_resolve jobs count regime =
+    let regimes =
+      match regime with Some r -> [ r ] | None -> Check.Fuzz.all_regimes
+    in
+    let ok =
+      List.for_all
+        (fun r ->
+          let failures = Check.Fuzz.run_resolve_matrix ~jobs ~count r in
+          let label =
+            Printf.sprintf "fuzz-resolve %s (%d deltas)"
+              (Check.Fuzz.regime_to_string r) count
+          in
+          report label
+            (match failures with
+            | [] -> Ok ()
+            | fs ->
+              Error
+                (List.concat_map
+                   (fun f ->
+                     Printf.sprintf "case %d:" f.Check.Fuzz.r_index
+                     :: List.map (fun m -> "  " ^ m) f.Check.Fuzz.r_messages
+                     @ [ "  delta: " ^ f.Check.Fuzz.r_delta; "  platform:" ]
+                     @ List.map
+                         (fun l -> "    " ^ l)
+                         (String.split_on_char '\n'
+                            (String.trim f.Check.Fuzz.r_platform)))
+                   fs)))
+        regimes
+    in
+    Format.printf "resolve:@.%a@." Dls.Lp_model.pp_resolve_stats
+      (Dls.Lp_model.resolve_stats ());
+    ok
+  in
   let check_platform platform =
     List.for_all
       (fun (label, sol) ->
@@ -1212,8 +1299,8 @@ let check_cmd =
         schedule_ok && certificate_ok)
       [ ("fifo", Dls.Fifo.optimal platform); ("lifo", Dls.Lifo.optimal platform) ]
   in
-  let run schedule trace eps fuzz fuzz_faults severity fuzz_multi regime
-      platform jobs =
+  let run schedule trace eps fuzz fuzz_faults severity fuzz_multi fuzz_resolve
+      regime platform jobs =
     let checks =
       List.concat
         [
@@ -1233,6 +1320,9 @@ let check_cmd =
           (match fuzz_multi with
           | Some count -> [ (fun () -> check_fuzz_multi jobs count regime) ]
           | None -> []);
+          (match fuzz_resolve with
+          | Some count -> [ (fun () -> check_fuzz_resolve jobs count regime) ]
+          | None -> []);
           (match platform with
           | Some p -> [ (fun () -> check_platform p) ]
           | None -> []);
@@ -1241,7 +1331,7 @@ let check_cmd =
     if checks = [] then begin
       prerr_endline
         "nothing to check: give --schedule, --trace, --fuzz, --fuzz-faults, \
-         --fuzz-multi and/or --platform";
+         --fuzz-multi, --fuzz-resolve and/or --platform";
       exit 2
     end;
     (* Run every requested check before deciding the exit code. *)
@@ -1256,8 +1346,8 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run $ schedule_arg $ trace_arg $ eps_arg $ fuzz_arg
-      $ fuzz_faults_arg $ severity_arg $ fuzz_multi_arg $ regime_arg
-      $ platform_opt_arg $ jobs_arg)
+      $ fuzz_faults_arg $ severity_arg $ fuzz_multi_arg $ fuzz_resolve_arg
+      $ regime_arg $ platform_opt_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* lp-dump                                                             *)

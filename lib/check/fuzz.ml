@@ -464,3 +464,110 @@ let run_fault_matrix ?jobs ?(count = 200) ?(seed = 11) ?(severity = 0.6) regime 
   in
   let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
   List.filter_map Fun.id (Array.to_list results)
+
+(* ------------------------------------------------------------------ *)
+(* Warm-repair differential matrix                                     *)
+(* ------------------------------------------------------------------ *)
+
+type resolve_failure = {
+  r_index : int;
+  r_platform : string;
+  r_delta : string;
+  r_messages : string list;
+}
+
+let gen_delta rng regime platform =
+  let n = Dls.Platform.size platform in
+  (* Factors clustered around 1 (1/2 .. 2): the near-duplicate regime
+     the repair path is built for.  Larger kicks still certify or fall
+     back; small ones are where the pivot counts should stay tiny. *)
+  let nudge () =
+    Q.of_ints (1 + Random.State.int rng 4) (1 + Random.State.int rng 4)
+  in
+  let shape_preserving () =
+    match Random.State.int rng 5 with
+    | 0 | 1 ->
+      Dls.Delta.Scale_comm
+        { worker = Random.State.int rng n; factor = nudge () }
+    | 2 | 3 ->
+      Dls.Delta.Scale_comp
+        { worker = Random.State.int rng n; factor = nudge () }
+    | _ -> Dls.Delta.Set_z (gen_z rng regime)
+  in
+  match Random.State.int rng 8 with
+  | 0 ->
+    (* Shape change: the repair path must refuse (the cached basis has
+       the wrong dimension) and the fallback must still agree. *)
+    if n > 1 && Random.State.bool rng then
+      [ Dls.Delta.Remove_worker (Random.State.int rng n) ]
+    else
+      let c = gen_rational rng in
+      [ Dls.Delta.Add_worker
+          (Dls.Platform.worker ~c ~w:(gen_rational rng)
+             ~d:(Q.mul (gen_z rng regime) c) ())
+      ]
+  | 1 -> [ shape_preserving (); shape_preserving () ]
+  | _ -> [ shape_preserving () ]
+
+let check_resolve platform delta =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let rho (sol : Dls.Lp_model.solved) = sol.Dls.Lp_model.rho in
+  let arrays_equal a b =
+    Array.length a = Array.length b && Array.for_all2 Q.equal a b
+  in
+  let base = Dls.Fifo.optimal platform in
+  (match Dls.Delta.apply_scenario base.Dls.Lp_model.scenario delta with
+  | Error e -> add "delta rejected: %s" (Dls.Errors.to_string e)
+  | Ok scenario' -> (
+    let exact = Dls.Solve.solve_exn ~mode:`Exact scenario' in
+    match
+      Dls.Lp_model.solve_from_neighbor Dls.Lp_model.One_port scenario' base
+    with
+    | Some repaired ->
+      (* A repaired answer carries the full certified-optimum guarantee:
+         bit-identical to the exact pipeline, and independently
+         certified. *)
+      if not (Dls.Delta.preserves_shape delta) then
+        add "repair accepted a shape-changing delta";
+      if rho repaired <>/ rho exact then
+        add "repaired rho %s differs from exact %s"
+          (Q.to_string (rho repaired))
+          (Q.to_string (rho exact));
+      if not (arrays_equal repaired.Dls.Lp_model.alpha exact.Dls.Lp_model.alpha)
+      then add "repaired loads differ from exact";
+      if not (arrays_equal repaired.Dls.Lp_model.idle exact.Dls.Lp_model.idle)
+      then add "repaired idle times differ from exact";
+      (match Certificate.check repaired with
+      | Ok () -> ()
+      | Error msgs -> List.iter (fun m -> add "repaired: certificate: %s" m) msgs)
+    | None -> (
+      (* Repair declined — the fallback the cache takes must agree with
+         the exact answer (it is the certified fast pipeline). *)
+      let fast = Dls.Solve.solve_exn ~mode:`Fast scenario' in
+      if rho fast <>/ rho exact then
+        add "fallback rho %s differs from exact %s after declined repair"
+          (Q.to_string (rho fast))
+          (Q.to_string (rho exact));
+      if not (arrays_equal fast.Dls.Lp_model.alpha exact.Dls.Lp_model.alpha)
+      then add "fallback loads differ from exact after declined repair")));
+  List.rev !errs
+
+let run_resolve_matrix ?jobs ?(count = 100) ?(seed = 13) regime =
+  let check i =
+    let rng = Random.State.make [| seed; 48 + regime_tag regime; i |] in
+    let platform = gen_platform rng regime in
+    let delta = gen_delta rng regime platform in
+    match check_resolve platform delta with
+    | [] -> None
+    | messages ->
+      Some
+        {
+          r_index = i;
+          r_platform = Dls.Platform_io.to_string platform;
+          r_delta = Dls.Delta.to_spec delta;
+          r_messages = messages;
+        }
+  in
+  let results = Parallel.Pool.run ?jobs check (Array.init count (fun i -> i)) in
+  List.filter_map Fun.id (Array.to_list results)

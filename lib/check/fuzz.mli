@@ -154,3 +154,45 @@ val run_fault_matrix :
   ?severity:float ->
   regime ->
   fault_failure list
+
+(** {1 Warm-repair differential matrix}
+
+    The incremental-resolve analogue of {!run_matrix}: a random base
+    platform solved cold ({!Dls.Fifo.optimal}), then a random
+    {!Dls.Delta} applied to its scenario — mostly small [c]/[w] nudges
+    and [z] sweeps (the near-duplicate traffic the repair path is built
+    for), occasionally a worker add/drop to exercise the rejection rung
+    — and the perturbed scenario pushed through
+    {!Dls.Lp_model.solve_from_neighbor} against the base:
+
+    - when the repair {e certifies}, its [rho]/[alpha]/[idle] must be
+      bit-identical to a cold [`Exact] solve of the perturbed scenario
+      and pass the independent {!Certificate};
+    - when it declines ([None]), the fallback the cache would take
+      ([`Fast]) must still agree bit-exactly with [`Exact];
+    - a shape-changing delta must never be accepted by the repair path
+      (the cached basis has the wrong dimension). *)
+
+type resolve_failure = {
+  r_index : int;
+  r_platform : string;  (** serialized, for reproduction *)
+  r_delta : string;  (** {!Dls.Delta.to_spec} *)
+  r_messages : string list;
+}
+
+(** [gen_delta rng regime platform] draws a random delta against
+    [platform]: factors in [[1/4, 4]] clustered around 1, [z] sweeps
+    from the regime, one change in eight shape-changing and one in eight
+    a composed pair. *)
+val gen_delta : Random.State.t -> regime -> Dls.Platform.t -> Dls.Delta.t
+
+(** [check_resolve platform delta] runs every assertion above for one
+    case; returns the discrepancies (empty = pass). *)
+val check_resolve : Dls.Platform.t -> Dls.Delta.t -> string list
+
+(** [run_resolve_matrix ?jobs ?count ?seed regime] fuzzes [count]
+    (default 100) delta cases over a {!Parallel.Pool}; the case at index
+    [i] depends only on [(seed, regime, i)].  Failures come back in
+    index order (empty = the matrix passes). *)
+val run_resolve_matrix :
+  ?jobs:int -> ?count:int -> ?seed:int -> regime -> resolve_failure list

@@ -257,22 +257,134 @@ let scenario_key model (s : Scenario.t) =
     s.Scenario.sigma2;
   Buffer.contents buf
 
+(* Distance between two scenario fingerprints, for the nearest-neighbor
+   warm-repair probe: the number of differing worker [name:c:w:d]
+   fields, provided the keys describe the same model, the same worker
+   count and the same permutation pair — otherwise [None]
+   (incomparable: the LPs have different shapes or different row
+   semantics, so a cached basis cannot even be installed).  Purely
+   syntactic on the canonical key, so it never needs the scenarios
+   themselves. *)
+let scenario_key_distance a b =
+  let split4 k =
+    match String.split_on_char '|' k with
+    | [ model; workers; s1; s2 ] -> Some (model, workers, s1, s2)
+    | _ -> None
+  in
+  match (split4 a, split4 b) with
+  | Some (ma, wa, s1a, s2a), Some (mb, wb, s1b, s2b)
+    when ma = mb && s1a = s1b && s2a = s2b ->
+    let fa = String.split_on_char ';' wa in
+    let fb = String.split_on_char ';' wb in
+    if List.length fa <> List.length fb then None
+    else
+      Some (List.fold_left2 (fun d x y -> if x = y then d else d + 1) 0 fa fb)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-solve counters (same discipline as the pipeline
+   stats above: process-wide relaxed atomics, diagnostics only). *)
+
+type resolve_stats = {
+  probes : int;
+  repair_wins : int;
+  repair_fallbacks : int;
+  repair_pivots : int;
+}
+
+let neighbor_probes = Atomic.make 0
+let repair_wins = Atomic.make 0
+let repair_fallbacks = Atomic.make 0
+let repair_pivot_count = Atomic.make 0
+
+let resolve_stats () =
+  {
+    probes = Atomic.get neighbor_probes;
+    repair_wins = Atomic.get repair_wins;
+    repair_fallbacks = Atomic.get repair_fallbacks;
+    repair_pivots = Atomic.get repair_pivot_count;
+  }
+
+let reset_resolve_stats () =
+  Atomic.set neighbor_probes 0;
+  Atomic.set repair_wins 0;
+  Atomic.set repair_fallbacks 0;
+  Atomic.set repair_pivot_count 0
+
+let pp_resolve_stats fmt s =
+  Format.fprintf fmt
+    "@[<v>neighbor probes:  %d@,repair wins:      %d@,repair fallbacks: %d@,\
+     repair pivots:    %d@]"
+    s.probes s.repair_wins s.repair_fallbacks s.repair_pivots
+
+(* Warm repair from a neighbouring scenario's optimal basis.  The
+   cheapest possibility first: for a small parameter nudge the old
+   basis is very often still optimal, and [certify_basis] proves it in
+   one restricted exact factorization (zero pivots).  Otherwise a
+   bounded float dual-simplex repair walks from the old basis to a new
+   terminal basis, which must then pass the same exact certification.
+   [None] means "no certified answer this way" — never a wrong one —
+   and the caller falls back to the ordinary pipeline, which keeps
+   every cached answer bit-identical to [solve]'s by construction. *)
+let solve_from_neighbor model s (near : solved) =
+  bump neighbor_probes 1;
+  let p = problem model s in
+  let certified ~pivots basis =
+    match Simplex.Solver.certify_basis p ~basis with
+    | None -> None
+    | Some sol -> (
+      match accept model s p sol with
+      | Ok solved ->
+        bump repair_wins 1;
+        bump repair_pivot_count pivots;
+        Some solved
+      | Error _ -> None)
+  in
+  match certified ~pivots:0 near.basis with
+  | Some _ as hit -> hit
+  | None -> (
+    match Simplex.Float_solver.repair p ~basis:near.basis with
+    | None -> None
+    | Some (basis, pivots) ->
+      if basis = near.basis then None else certified ~pivots basis)
+
 let default_cache_capacity = 4096
 let cache : (string, solved) Parallel.Lru.t ref =
   ref (Parallel.Lru.create ~capacity:default_cache_capacity ())
 
-(* Both branches produce the same record bit-for-bit (see [solve_fast]),
-   so the cache key does not need to distinguish them and a hit may have
-   been computed by either pipeline.  [warm] is a hint, not an input: it
-   never changes the answer, only the pivot count.  Single-flight:
-   concurrent misses on one scenario (server workers fielding identical
-   requests, enumeration domains meeting on a shared prefix) run one
-   solve; the others join it. *)
+(* Every branch produces the same record bit-for-bit (see [solve_fast]
+   and [solve_from_neighbor]), so the cache key does not need to
+   distinguish them and a hit may have been computed by any pipeline.
+   [warm] is a hint, not an input: it never changes the answer, only
+   the pivot count.  Single-flight: concurrent misses on one scenario
+   (server workers fielding identical requests, enumeration domains
+   meeting on a shared prefix) run one solve; the others join it.
+
+   A miss first probes the cache for the nearest already solved
+   neighbor — same model, same permutations, same worker count, fewest
+   differing worker fields — and tries to repair that scenario's
+   optimal basis into this one's (certify-first, then bounded dual
+   simplex + certification).  Certification failure of any kind falls
+   back to the ordinary [fast] pipeline. *)
 let solve_cached ?model ?(fast = true) ?warm s =
-  Parallel.Lru.find_or_compute !cache
-    (scenario_key (Option.value model ~default:One_port) s)
-    (fun () ->
-      if fast then solve_fast_exn ?model ?warm s else solve_exn ?model s)
+  let model_v = Option.value model ~default:One_port in
+  let key = scenario_key model_v s in
+  Parallel.Lru.find_or_compute !cache key (fun () ->
+      let full () =
+        if fast then solve_fast_exn ?model ?warm s else solve_exn ?model s
+      in
+      if not fast then full ()
+      else
+        match
+          Parallel.Lru.find_nearest !cache ~score:(scenario_key_distance key)
+        with
+        | None -> full ()
+        | Some (_, near) -> (
+          match solve_from_neighbor model_v s near with
+          | Some solved -> solved
+          | None ->
+            bump repair_fallbacks 1;
+            full ()))
 
 let cache_stats () = Parallel.Lru.stats !cache
 

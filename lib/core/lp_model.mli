@@ -112,6 +112,33 @@ val solve_cached :
     their keys are equal. *)
 val scenario_key : model -> Scenario.t -> string
 
+(** [scenario_key_distance a b] is the distance between two canonical
+    fingerprints for the nearest-neighbor warm-repair probe: the number
+    of differing worker [name:c:w:d] fields, when the two keys agree on
+    the model, the worker count and both permutations — [None]
+    otherwise (incomparable: the LPs differ in shape or row semantics,
+    so a cached basis cannot be installed).  [Some 0] iff [a = b].
+    Purely syntactic; never inspects the scenarios themselves. *)
+val scenario_key_distance : string -> string -> int option
+
+(** [solve_from_neighbor model scenario near] attempts the incremental
+    re-solve primitive: treat [near] — a solved neighbouring scenario,
+    typically differing from [scenario] in a few worker fields (a
+    {!Delta} application) — as a warm start, and return a {e certified}
+    solution of [scenario] built from it, or [None].
+
+    Two rungs, cheapest first: (1) [near.basis] is certified directly
+    against [scenario]'s LP ({!Simplex.Solver.certify_basis}; for small
+    nudges the optimal basis rarely moves, and this is one restricted
+    exact factorization, zero pivots); (2) a bounded float dual-simplex
+    {e repair} ({!Simplex.Float_solver.repair}) pivots the stale basis
+    back to optimality, and the terminal basis must pass the same exact
+    certification.  A [Some] answer is therefore bit-identical to
+    {!solve}'s in [rho]/[alpha]/[idle]; [None] means "no certified
+    shortcut" — fall back to a full pipeline — never "no optimum".
+    Counter movements land in {!resolve_stats}. *)
+val solve_from_neighbor : model -> Scenario.t -> solved -> solved option
+
 (** [cache_stats ()] is a snapshot of the solve cache's hit/miss/eviction
     counters. *)
 val cache_stats : unit -> Parallel.Lru.stats
@@ -139,6 +166,31 @@ val reset_pipeline_stats : unit -> unit
 val note_pruned : int -> unit
 
 val pp_pipeline_stats : Format.formatter -> pipeline_stats -> unit
+
+(** Process-wide counters of the incremental re-solve (warm-repair)
+    path taken by {!solve_cached} misses; atomic like
+    {!pipeline_stats}. *)
+type resolve_stats = {
+  probes : int;
+      (** warm-repair attempts: {!solve_from_neighbor} calls, whether
+          from a cache miss that found a comparable neighbor or direct *)
+  repair_wins : int;
+      (** probes whose repaired (or directly re-certified) basis was
+          certified — the full solve was skipped *)
+  repair_fallbacks : int;
+      (** probes that did not certify and fell back to a full solve *)
+  repair_pivots : int;
+      (** cumulative dual/primal repair pivots across wins (0-pivot wins
+          are direct re-certifications of the neighbour's basis) *)
+}
+
+(** [resolve_stats ()] is a snapshot of the warm-repair counters. *)
+val resolve_stats : unit -> resolve_stats
+
+(** [reset_resolve_stats ()] zeroes them (benchmark bookkeeping). *)
+val reset_resolve_stats : unit -> unit
+
+val pp_resolve_stats : Format.formatter -> resolve_stats -> unit
 
 (** [reset_cache ?capacity ()] empties the solve cache (default capacity
     4096 entries; [capacity <= 0] disables caching). *)

@@ -3,30 +3,17 @@ open Q.Infix
 
 type parameter = Comm of int | Comp of int
 
+(* A sensitivity parameter is the single-change special case of the
+   general {!Delta} edit language. *)
+let to_delta param ~factor =
+  match param with
+  | Comm worker -> Delta.Scale_comm { worker; factor }
+  | Comp worker -> Delta.Scale_comp { worker; factor }
+
 let perturb platform param ~factor =
-  if Q.sign factor <= 0 then invalid_arg "Sensitivity.perturb: factor must be positive";
-  let n = Platform.size platform in
-  let target, scale_comm =
-    match param with Comm i -> (i, true) | Comp i -> (i, false)
-  in
-  if target < 0 || target >= n then
-    invalid_arg "Sensitivity.perturb: worker index out of range";
-  Platform.make_exn
-    (List.init n (fun i ->
-         let wk = Platform.get platform i in
-         if i <> target then
-           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.c
-             ~w:wk.Platform.w ~d:wk.Platform.d ()
-         else if scale_comm then
-           Platform.worker ~name:wk.Platform.name
-             ~c:(factor */ wk.Platform.c)
-             ~w:wk.Platform.w
-             ~d:(factor */ wk.Platform.d)
-             ()
-         else
-           Platform.worker ~name:wk.Platform.name ~c:wk.Platform.c
-             ~w:(factor */ wk.Platform.w)
-             ~d:wk.Platform.d ()))
+  match Delta.apply platform [ to_delta param ~factor ] with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Sensitivity.perturb: " ^ Errors.to_string e)
 
 let throughput_delta ?model platform param ~factor =
   let before = (Fifo.optimal ?model platform).Lp_model.rho in

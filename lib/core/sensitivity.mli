@@ -14,9 +14,16 @@ type parameter =
   | Comm of int  (** [c] (and proportionally [d]) of one worker *)
   | Comp of int  (** [w] of one worker *)
 
+(** [to_delta param ~factor] is the parameter as a {!Delta.change}: a
+    sensitivity perturbation is the single-change special case of the
+    general delta edit language. *)
+val to_delta : parameter -> factor:Q.t -> Delta.change
+
 (** [perturb platform param ~factor] scales the parameter by
     [factor > 0]; [Comm] scales both [c] and [d], preserving the
-    platform's return ratio [z] (the paper's hypothesis). *)
+    platform's return ratio [z] (the paper's hypothesis).  Equivalent to
+    {!Delta.apply} of [[to_delta param ~factor]].
+    @raise Invalid_argument on a bad index or factor. *)
 val perturb : Platform.t -> parameter -> factor:Q.t -> Platform.t
 
 (** [throughput_delta ?model platform param ~factor] is

@@ -18,7 +18,14 @@
       reference path;
     - [`Fast]: certified float-first pipeline, bit-identical to
       [`Exact] (default);
-    - [`Cached]: [`Fast] memoized through the process-wide LRU. *)
+    - [`Cached]: [`Fast] memoized through the process-wide LRU; a miss
+      additionally probes the cache for the nearest already solved
+      neighbour (same shape, few differing worker fields — e.g. a
+      {!Delta} nudge) and warm-{e repairs} its optimal basis instead of
+      solving from scratch when the repair certifies
+      ({!Lp_model.solve_from_neighbor}; counters in
+      {!Lp_model.resolve_stats}).  Still bit-identical: certification
+      failure falls back to the full pipeline. *)
 type mode = [ `Exact | `Fast | `Cached ]
 
 (** [solve ?mode ?model ?warm ?max_float_pivots scenario] solves the

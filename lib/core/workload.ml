@@ -81,6 +81,10 @@ let of_spec ?file ~line ~col s =
     | exception _ ->
       Errors.parse_error ?file ~line ~col:(col + off) "not a rational: %S" txt
   in
+  (* split keeping each part's offset in [s], surrounding blanks trimmed
+     (offsets adjusted); a part left empty by the trim is a stray
+     separator, reported at its exact position instead of as a generic
+     "not a rational" / shape error *)
   let split_offsets sep str =
     let parts = String.split_on_char sep str in
     let _, with_off =
@@ -89,7 +93,19 @@ let of_spec ?file ~line ~col s =
           (off + String.length part + 1, (off, part) :: acc))
         (0, []) parts
     in
-    List.rev with_off
+    List.rev_map
+      (fun (off, part) ->
+        let n = String.length part in
+        let i = ref 0 in
+        while !i < n && (part.[!i] = ' ' || part.[!i] = '\t') do
+          incr i
+        done;
+        let j = ref (n - 1) in
+        while !j >= !i && (part.[!j] = ' ' || part.[!j] = '\t') do
+          decr j
+        done;
+        (off + !i, String.sub part !i (!j - !i + 1)))
+      with_off
   in
   let build ~off i ~size ~release ~z =
     match load ~name:(Printf.sprintf "L%d" (i + 1)) ~release ?z ~size () with
@@ -99,18 +115,28 @@ let of_spec ?file ~line ~col s =
   in
   let parse_load i (off, part) =
     match split_offsets ':' part with
-    | [ (os, sz); (orl, rl) ] ->
+    | [ (os, sz); (orl, rl) ] when sz <> "" && rl <> "" ->
       let* size = rational ~off:(off + os) sz in
       let* release = rational ~off:(off + orl) rl in
       build ~off i ~size ~release ~z:None
-    | [ (os, sz); (orl, rl); (oz, zs) ] ->
+    | [ (os, sz); (orl, rl); (oz, zs) ] when sz <> "" && rl <> "" && zs <> ""
+      ->
       let* size = rational ~off:(off + os) sz in
       let* release = rational ~off:(off + orl) rl in
       let* z = rational ~off:(off + oz) zs in
       build ~off i ~size ~release ~z:(Some z)
-    | _ ->
-      Errors.parse_error ?file ~line ~col:(col + off)
-        "expected size:release or size:release:z, got %S" part
+    | fields ->
+      if part = "" then
+        Errors.parse_error ?file ~line ~col:(col + off)
+          "empty load spec (stray ',' separator?)"
+      else (
+        match List.find_opt (fun (_, f) -> f = "") fields with
+        | Some (o, _) ->
+          Errors.parse_error ?file ~line ~col:(col + off + o)
+            "empty field in load spec (stray ':' separator?)"
+        | None ->
+          Errors.parse_error ?file ~line ~col:(col + off)
+            "expected size:release or size:release:z, got %S" part)
   in
   let rec collect i acc = function
     | [] -> Ok (List.rev acc)

@@ -15,11 +15,20 @@ type ('k, 'v) node = {
   mutable next : ('k, 'v) node option;
 }
 
+(* One in-flight compute.  The computer pins its result here, under the
+   lock, before waking the joiners: a burst of inserts can evict the
+   freshly cached entry between the broadcast and a joiner's wake-up,
+   and the pin guarantees the joiner still receives the flight's value
+   instead of silently recomputing.  [outcome] stays [None] when the
+   compute raised — woken joiners then re-classify (one becomes the new
+   computer). *)
+type 'v flight = { mutable outcome : 'v option }
+
 type ('k, 'v) t = {
   m : Mutex.t;
   flight_done : Condition.t;
   table : ('k, ('k, 'v) node) Hashtbl.t;
-  inflight : ('k, unit) Hashtbl.t;
+  inflight : ('k, 'v flight) Hashtbl.t;
   cap : int;
   mutable head : ('k, 'v) node option;
   mutable tail : ('k, 'v) node option;
@@ -141,39 +150,44 @@ let find_or_add t k compute =
               v))
 
 (* Single-flight: classify under the lock — cached (hit), someone is
-   computing it (join: wait for the flight and pick the value up), or
-   truly absent (miss: become the computer).  A joiner that finds the
-   value gone after the flight (failed compute, or evicted by a burst of
-   inserts) loops and re-classifies, so progress is guaranteed: every
-   round either returns or starts a compute, and computes terminate. *)
+   computing it (join: wait for the flight and pick its pinned value
+   up), or truly absent (miss: become the computer).  A joiner whose
+   flight landed without a value (failed compute) loops and
+   re-classifies, so progress is guaranteed: every round either returns
+   or starts a compute, and computes terminate.  Eviction pressure
+   cannot starve a joiner: the flight record pins the computed value
+   independently of the cache table. *)
 let find_or_compute t k compute =
-  let run_compute () =
-    let finish () =
-      Mutex.lock t.m;
-      Hashtbl.remove t.inflight k;
-      Condition.broadcast t.flight_done;
-      Mutex.unlock t.m
-    in
+  let run_compute fl =
     match compute () with
     | v ->
         Mutex.lock t.m;
-        (match Hashtbl.find_opt t.table k with
-        | Some n ->
-            (* can only happen via a concurrent [add]; keep it canonical *)
-            touch t n;
-            Hashtbl.remove t.inflight k;
-            Condition.broadcast t.flight_done;
-            Mutex.unlock t.m;
-            n.value
-        | None ->
-            add_locked t k v;
-            Hashtbl.remove t.inflight k;
-            Condition.broadcast t.flight_done;
-            Mutex.unlock t.m;
-            v)
+        let canonical =
+          match Hashtbl.find_opt t.table k with
+          | Some n ->
+              (* can only happen via a concurrent [add]; keep it canonical *)
+              touch t n;
+              n.value
+          | None ->
+              add_locked t k v;
+              v
+        in
+        fl.outcome <- Some canonical;
+        Hashtbl.remove t.inflight k;
+        Condition.broadcast t.flight_done;
+        Mutex.unlock t.m;
+        canonical
     | exception e ->
-        finish ();
+        Mutex.lock t.m;
+        Hashtbl.remove t.inflight k;
+        Condition.broadcast t.flight_done;
+        Mutex.unlock t.m;
         raise e
+  in
+  let flight_of k =
+    match Hashtbl.find_opt t.inflight k with
+    | Some fl -> fl
+    | None -> assert false
   in
   let rec classify () =
     match peek_locked t k with
@@ -184,26 +198,63 @@ let find_or_compute t k compute =
     | None ->
         if Hashtbl.mem t.inflight k then begin
           t.joins <- t.joins + 1;
-          while Hashtbl.mem t.inflight k do
+          let fl = flight_of k in
+          while
+            fl.outcome = None
+            &&
+            match Hashtbl.find_opt t.inflight k with
+            | Some cur -> cur == fl
+            | None -> false
+          do
             Condition.wait t.flight_done t.m
           done;
-          (* Usually the value is now cached; re-classify without
-             touching the hit/miss counters again for the common case. *)
-          match peek_locked t k with
+          match fl.outcome with
           | Some v ->
+              (* The pinned value survives even if the entry was already
+                 evicted by an insert burst; refresh recency when it is
+                 still cached. *)
+              (match Hashtbl.find_opt t.table k with
+              | Some n -> touch t n
+              | None -> ());
               Mutex.unlock t.m;
               v
           | None -> classify ()
         end
         else begin
           t.misses <- t.misses + 1;
-          Hashtbl.replace t.inflight k ();
+          let fl = { outcome = None } in
+          Hashtbl.replace t.inflight k fl;
           Mutex.unlock t.m;
-          run_compute ()
+          run_compute fl
         end
   in
   Mutex.lock t.m;
   classify ()
+
+(* Nearest-key probe for warm starts: walk the recency list from the
+   most-recently-used end scoring each key, and return the best-scoring
+   entry.  [score k'] is a distance ([None] = incomparable); ties keep
+   the more recently used entry.  The walk is bounded by [limit] nodes
+   because it runs under the cache lock; counters and recency are left
+   untouched — this is a read-only probe, not a lookup. *)
+let find_nearest ?(limit = 32) t ~score =
+  with_lock t (fun () ->
+      let best = ref None in
+      let rec walk n visited =
+        match n with
+        | None -> ()
+        | Some _ when visited >= limit -> ()
+        | Some node -> (
+            match score node.key with
+            | Some d
+              when match !best with Some (bd, _, _) -> d < bd | None -> true
+              ->
+                best := Some (d, node.key, node.value);
+                if d > 0 then walk node.next (visited + 1)
+            | _ -> walk node.next (visited + 1))
+      in
+      walk t.head 0;
+      match !best with Some (_, k, v) -> Some (k, v) | None -> None)
 
 let mem t k = with_lock t (fun () -> Hashtbl.mem t.table k)
 let length t = with_lock t (fun () -> Hashtbl.length t.table)

@@ -72,7 +72,16 @@ let observe_latency t seconds =
   Atomic.incr t.histogram.(bucket_of_us us);
   atomic_max t.max_us us
 
-(* Upper bound of the bucket holding the q-th observation. *)
+(* The last bucket is an overflow bucket: it holds everything at or
+   past the last finite boundary, so it has no meaningful upper bound.
+   Quantiles landing there saturate at this value (read: ">= 2^39 us")
+   instead of fabricating a 2^40 us "upper bound" no observation ever
+   had. *)
+let max_tracked_us = 1 lsl (buckets - 1)
+
+(* Upper bound of the bucket holding the q-th observation; 0 on an
+   empty histogram, saturated at [max_tracked_us] for the overflow
+   bucket. *)
 let quantile counts total q =
   if total = 0 then 0
   else
@@ -81,10 +90,12 @@ let quantile counts total q =
       if t < 1 then 1 else if t > total then total else t
     in
     let rec go i seen =
-      if i >= buckets then 1 lsl buckets
+      if i >= buckets then max_tracked_us
       else
         let seen = seen + counts.(i) in
-        if seen >= target then 1 lsl (i + 1) else go (i + 1) seen
+        if seen >= target then
+          if i >= buckets - 1 then max_tracked_us else 1 lsl (i + 1)
+        else go (i + 1) seen
     in
     go 0 0
 
@@ -92,6 +103,7 @@ let snapshot t ~queue_depth : Protocol.stats_rep =
   let counts = Array.map Atomic.get t.histogram in
   let total = Array.fold_left ( + ) 0 counts in
   let cache = Dls.Lp_model.cache_stats () in
+  let resolve = Dls.Lp_model.resolve_stats () in
   {
     accepted = Atomic.get t.accepted;
     served = Atomic.get t.served;
@@ -104,6 +116,9 @@ let snapshot t ~queue_depth : Protocol.stats_rep =
     collapsed = Atomic.get t.collapsed;
     cache_hits = cache.Parallel.Lru.hits;
     cache_misses = cache.Parallel.Lru.misses;
+    repair_probes = resolve.Dls.Lp_model.probes;
+    repair_wins = resolve.Dls.Lp_model.repair_wins;
+    repair_pivots = resolve.Dls.Lp_model.repair_pivots;
     queue_depth;
     inflight = Atomic.get t.inflight;
     p50_us = quantile counts total 0.50;

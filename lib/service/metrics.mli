@@ -37,6 +37,12 @@ val collapsed : t -> int
     latency. *)
 val observe_latency : t -> float -> unit
 
+(** Quantile saturation bound: the latency histogram's last bucket is an
+    overflow bucket with no meaningful upper edge, so any quantile
+    landing there reports exactly this value — read it as
+    [">= max_tracked_us"].  Quantiles of an empty histogram are 0. *)
+val max_tracked_us : int
+
 (** [snapshot m ~queue_depth] assembles the wire-level stats record;
     LP-cache counters are read from {!Dls.Lp_model.cache_stats}. *)
 val snapshot : t -> queue_depth:int -> Protocol.stats_rep

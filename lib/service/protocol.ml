@@ -91,6 +91,9 @@ type stats_rep = {
   collapsed : int;
   cache_hits : int;
   cache_misses : int;
+  repair_probes : int;
+  repair_wins : int;
+  repair_pivots : int;
   queue_depth : int;
   inflight : int;
   p50_us : int;
@@ -128,17 +131,25 @@ let ( let* ) = Result.bind
 (* Scalar rendering                                                    *)
 
 (* Shortest decimal form that parses back to the same float, so float
-   fields survive a render/parse round trip bit-for-bit. *)
+   fields survive a render/parse round trip bit-for-bit.  Non-finite
+   values break the roundtrip test ([nan <> nan]; the integer shortcut
+   misclassifies infinities), so they get explicit canonical spellings —
+   which the parse side then rejects with a typed error, keeping
+   non-finite values out of the protocol in both directions. *)
 let float_str f =
-  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-  else
-    let rec go p =
-      if p > 17 then Printf.sprintf "%.17g" f
-      else
-        let s = Printf.sprintf "%.*g" p f in
-        if float_of_string s = f then s else go (p + 1)
-    in
-    go 6
+  match Float.classify_float f with
+  | Float.FP_nan -> "nan"
+  | Float.FP_infinite -> if f > 0.0 then "inf" else "-inf"
+  | _ ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else
+      let rec go p =
+        if p > 17 then Printf.sprintf "%.17g" f
+        else
+          let s = Printf.sprintf "%.*g" p f in
+          if float_of_string s = f then s else go (p + 1)
+      in
+      go 6
 
 let bool_str b = if b then "true" else "false"
 let order_to_string = function Fifo -> "fifo" | Lifo -> "lifo"
@@ -181,7 +192,10 @@ let platform_of_spec ?file ~line ~col s =
     | exception _ ->
       E.parse_error ?file ~line ~col:(col + off) "not a rational: %S" txt
   in
-  (* split keeping each part's offset in [s] *)
+  (* split keeping each part's offset in [s], surrounding blanks
+     trimmed (offsets adjusted) so "1:2 , 3:4:5" parses; a part left
+     empty by the trim is a stray separator, reported at its exact
+     position instead of as a generic shape error *)
   let split_offsets sep str =
     let parts = String.split_on_char sep str in
     let _, with_off =
@@ -190,11 +204,23 @@ let platform_of_spec ?file ~line ~col s =
           (off + String.length part + 1, (off, part) :: acc))
         (0, []) parts
     in
-    List.rev with_off
+    List.rev_map
+      (fun (off, part) ->
+        let n = String.length part in
+        let i = ref 0 in
+        while !i < n && (part.[!i] = ' ' || part.[!i] = '\t') do
+          incr i
+        done;
+        let j = ref (n - 1) in
+        while !j >= !i && (part.[!j] = ' ' || part.[!j] = '\t') do
+          decr j
+        done;
+        (off + !i, String.sub part !i (!j - !i + 1)))
+      with_off
   in
   let parse_worker i (off, part) =
     match split_offsets ':' part with
-    | [ (oc, c); (ow, w); (od, d) ] ->
+    | [ (oc, c); (ow, w); (od, d) ] when c <> "" && w <> "" && d <> "" ->
       let* c = rational ~off:(off + oc) c in
       let* w = rational ~off:(off + ow) w in
       let* d = rational ~off:(off + od) d in
@@ -202,9 +228,18 @@ let platform_of_spec ?file ~line ~col s =
       | wk -> Ok wk
       | exception Invalid_argument msg ->
         E.parse_error ?file ~line ~col:(col + off) "%s" msg)
-    | _ ->
-      E.parse_error ?file ~line ~col:(col + off)
-        "expected c:w:d, got %S" part
+    | fields ->
+      if part = "" then
+        E.parse_error ?file ~line ~col:(col + off)
+          "empty worker spec (stray ',' separator?)"
+      else (
+        match List.find_opt (fun (_, f) -> f = "") fields with
+        | Some (o, _) ->
+          E.parse_error ?file ~line ~col:(col + off + o)
+            "empty field in worker spec (stray ':' separator?)"
+        | None ->
+          E.parse_error ?file ~line ~col:(col + off) "expected c:w:d, got %S"
+            part)
   in
   let rec collect i acc = function
     | [] -> Ok (List.rev acc)
@@ -576,11 +611,13 @@ let response_to_string = function
     Printf.sprintf
       "ok stats accepted=%d served=%d rejected=%d timed_out=%d failed=%d \
        malformed=%d batches=%d max_batch=%d collapsed=%d cache_hits=%d \
-       cache_misses=%d queue_depth=%d inflight=%d p50_us=%d p90_us=%d \
-       p99_us=%d max_us=%d uptime_s=%s"
+       cache_misses=%d repair_probes=%d repair_wins=%d repair_pivots=%d \
+       queue_depth=%d inflight=%d p50_us=%d p90_us=%d p99_us=%d max_us=%d \
+       uptime_s=%s"
       r.accepted r.served r.rejected r.timed_out r.failed r.malformed r.batches
-      r.max_batch r.collapsed r.cache_hits r.cache_misses r.queue_depth
-      r.inflight r.p50_us r.p90_us r.p99_us r.max_us (float_str r.uptime_s)
+      r.max_batch r.collapsed r.cache_hits r.cache_misses r.repair_probes
+      r.repair_wins r.repair_pivots r.queue_depth r.inflight r.p50_us r.p90_us
+      r.p99_us r.max_us (float_str r.uptime_s)
   | Ok_health r ->
     Printf.sprintf
       "ok health healthy=%s draining=%s uptime_s=%s queue=%d capacity=%d \
@@ -630,11 +667,24 @@ let need_int kvs k =
   let* tok, v = need kvs k in
   parse_int ~line:1 tok v
 
+let opt_int ~default kvs k =
+  match List.assoc_opt k kvs with
+  | None -> Ok default
+  | Some (tok, v) -> parse_int ~line:1 tok v
+
+(* [float_of_string_opt] happily accepts "nan"/"inf"; protocol floats
+   are measurements (makespans, budgets, uptimes) for which a
+   non-finite value can only be an upstream bug, so it is rejected with
+   a typed error instead of being propagated. *)
+let finite_float ~col v =
+  match float_of_string_opt v with
+  | Some f when Float.is_finite f -> Ok f
+  | Some _ -> E.parse_error ~line:1 ~col "non-finite float: %S" v
+  | None -> E.parse_error ~line:1 ~col "not a float: %S" v
+
 let need_float kvs k =
   let* tok, v = need kvs k in
-  match float_of_string_opt v with
-  | Some f -> Ok f
-  | None -> E.parse_error ~line:1 ~col:tok.T.col "not a float: %S" v
+  finite_float ~col:tok.T.col v
 
 let need_bool kvs k =
   let* tok, v = need kvs k in
@@ -676,12 +726,11 @@ let int_array ~col v =
     Ok (Array.of_list (List.rev is))
 
 let opt_float kvs k =
-  match opt_field kvs k with
+  match List.assoc_opt k kvs with
   | None -> Ok None
-  | Some v -> (
-    match float_of_string_opt v with
-    | Some f -> Ok (Some f)
-    | None -> E.parse_error ~line:1 ~col:1 "not a float: %S" v)
+  | Some (tok, v) ->
+    let* f = finite_float ~col:tok.T.col v in
+    Ok (Some f)
 
 (* [error ...] / [ok simulate replan=...] carry a free-text tail; the
    tokens after a fixed prefix are rejoined from their recorded columns
@@ -830,6 +879,12 @@ let parse_response s =
       let* collapsed = need_int kvs "collapsed" in
       let* cache_hits = need_int kvs "cache_hits" in
       let* cache_misses = need_int kvs "cache_misses" in
+      (* Absent on pre-repair servers; default 0 so new clients keep
+         parsing old stats lines (kv_map already ignores unknown keys in
+         the other direction). *)
+      let* repair_probes = opt_int ~default:0 kvs "repair_probes" in
+      let* repair_wins = opt_int ~default:0 kvs "repair_wins" in
+      let* repair_pivots = opt_int ~default:0 kvs "repair_pivots" in
       let* queue_depth = need_int kvs "queue_depth" in
       let* inflight = need_int kvs "inflight" in
       let* p50_us = need_int kvs "p50_us" in
@@ -851,6 +906,9 @@ let parse_response s =
              collapsed;
              cache_hits;
              cache_misses;
+             repair_probes;
+             repair_wins;
+             repair_pivots;
              queue_depth;
              inflight;
              p50_us;

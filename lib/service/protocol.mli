@@ -163,6 +163,12 @@ type stats_rep = {
   collapsed : int;  (** requests served by another request's evaluation *)
   cache_hits : int;  (** LP-cache hits across the whole process *)
   cache_misses : int;
+  repair_probes : int;
+      (** cache misses that found a repairable neighbour
+          ({!Dls.Lp_model.resolve_stats}); 0 when absent on the wire
+          (pre-repair servers) *)
+  repair_wins : int;  (** probes whose repaired basis certified *)
+  repair_pivots : int;  (** cumulative repair pivots across wins *)
   queue_depth : int;
   inflight : int;  (** admitted but not yet answered *)
   p50_us : int;  (** latency quantiles, admission to response, in us *)

@@ -348,6 +348,85 @@ let test_matrix_reproducible () =
   let b = Fuzz.run_matrix ~jobs:4 ~count:20 ~seed:3 Fuzz.Big_z in
   Alcotest.(check int) "same failure count" (List.length a) (List.length b)
 
+(* The warm-repair acceptance matrix: 100 seeded deltas per regime (300
+   total), each asserting the repaired answer is bit-identical to the
+   exact solve or that the declined repair falls back to the (equally
+   bit-identical) fast pipeline. *)
+let resolve_matrix_case regime =
+  let name =
+    Printf.sprintf "resolve matrix %s (100 deltas)" (Fuzz.regime_to_string regime)
+  in
+  let run () =
+    match Fuzz.run_resolve_matrix ~count:100 regime with
+    | [] -> ()
+    | f :: _ as fs ->
+      Alcotest.failf "%d delta case(s) failed; first (index %d, %s, delta %s): %s"
+        (List.length fs) f.Fuzz.r_index
+        (String.concat " | "
+           (String.split_on_char '\n' (String.trim f.Fuzz.r_platform)))
+        f.Fuzz.r_delta
+        (String.concat "; " f.Fuzz.r_messages)
+  in
+  Alcotest.test_case name `Slow run
+
+let test_resolve_matrix_reproducible () =
+  let a = Fuzz.run_resolve_matrix ~jobs:1 ~count:20 ~seed:5 Fuzz.Small_z in
+  let b = Fuzz.run_resolve_matrix ~jobs:4 ~count:20 ~seed:5 Fuzz.Small_z in
+  Alcotest.(check int) "same failure count" (List.length a) (List.length b)
+
+(* A tiny nudge against a solved base must be answered by the repair
+   path itself — certify-first or a few dual pivots — not the fallback,
+   and bit-identically to a cold exact solve. *)
+let test_repair_wins_on_nudge () =
+  let p = two_worker_platform () in
+  let base = Dls.Fifo.optimal p in
+  let delta = [ Dls.Delta.Scale_comp { worker = 0; factor = Q.of_ints 11 10 } ] in
+  let s' = Dls.Delta.apply_scenario_exn base.Dls.Lp_model.scenario delta in
+  let exact = Dls.Solve.solve_exn ~mode:`Exact s' in
+  Dls.Lp_model.reset_resolve_stats ();
+  match Dls.Lp_model.solve_from_neighbor Dls.Lp_model.One_port s' base with
+  | None -> Alcotest.fail "repair declined a 10% compute nudge"
+  | Some repaired ->
+    Alcotest.(check bool) "identical rho" true
+      (Q.equal repaired.Dls.Lp_model.rho exact.Dls.Lp_model.rho);
+    Alcotest.(check bool) "identical loads" true
+      (Array.for_all2 Q.equal repaired.Dls.Lp_model.alpha exact.Dls.Lp_model.alpha);
+    let st = Dls.Lp_model.resolve_stats () in
+    Alcotest.(check int) "counted as a win" 1 st.Dls.Lp_model.repair_wins
+
+(* Shape-changing deltas must be refused by the repair path: the cached
+   basis indexes a different-dimension LP. *)
+let test_repair_refuses_shape_change () =
+  let p = two_worker_platform () in
+  let base = Dls.Fifo.optimal p in
+  let delta = [ Dls.Delta.Remove_worker 1 ] in
+  let s' = Dls.Delta.apply_scenario_exn base.Dls.Lp_model.scenario delta in
+  match Dls.Lp_model.solve_from_neighbor Dls.Lp_model.One_port s' base with
+  | None -> ()
+  | Some _ -> Alcotest.fail "repair accepted a basis of the wrong dimension"
+
+(* End-to-end through the cache: a cold solve followed by a nudged
+   scenario must probe the neighbour, and the cached answer must equal
+   the exact one bit-for-bit whether repair won or fell back. *)
+let test_cached_delta_probes_neighbor () =
+  let p = two_worker_platform () in
+  Dls.Lp_model.reset_cache ();
+  Dls.Lp_model.reset_resolve_stats ();
+  let s = Dls.Scenario.fifo_exn p [| 0; 1 |] in
+  let _base = Dls.Solve.solve_exn ~mode:`Cached s in
+  let p' =
+    Dls.Delta.apply_exn p [ Dls.Delta.Scale_comm { worker = 1; factor = Q.of_ints 9 8 } ]
+  in
+  let s' = Dls.Scenario.fifo_exn p' [| 0; 1 |] in
+  let cached = Dls.Solve.solve_exn ~mode:`Cached s' in
+  let exact = Dls.Solve.solve_exn ~mode:`Exact s' in
+  Alcotest.(check bool) "identical rho" true
+    (Q.equal cached.Dls.Lp_model.rho exact.Dls.Lp_model.rho);
+  Alcotest.(check bool) "identical loads" true
+    (Array.for_all2 Q.equal cached.Dls.Lp_model.alpha exact.Dls.Lp_model.alpha);
+  let st = Dls.Lp_model.resolve_stats () in
+  Alcotest.(check bool) "neighbour probed" true (st.Dls.Lp_model.probes >= 1)
+
 let test_lifo_z_gt_1_regression () =
   (* The exact platform on which the fuzzer first caught the reversed
      z > 1 LIFO order (it solved to 3/20 instead of 153/820). *)
@@ -409,5 +488,19 @@ let () =
             test_fast_stall_fallback;
           Alcotest.test_case "lifo z>1 regression" `Quick
             test_lifo_z_gt_1_regression;
+        ] );
+      ( "resolve",
+        [
+          resolve_matrix_case Fuzz.Small_z;
+          resolve_matrix_case Fuzz.Unit_z;
+          resolve_matrix_case Fuzz.Big_z;
+          Alcotest.test_case "resolve matrix jobs-reproducible" `Quick
+            test_resolve_matrix_reproducible;
+          Alcotest.test_case "repair wins on a nudge" `Quick
+            test_repair_wins_on_nudge;
+          Alcotest.test_case "repair refuses shape change" `Quick
+            test_repair_refuses_shape_change;
+          Alcotest.test_case "cached delta probes neighbour" `Quick
+            test_cached_delta_probes_neighbor;
         ] );
     ]

@@ -1011,6 +1011,139 @@ let test_sensitivity_preserves_z () =
   Alcotest.(check (option rat)) "z preserved" (Some Q.half) (Dls.Platform.z_ratio p')
 
 (* ------------------------------------------------------------------ *)
+(* Deltas                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_delta_apply () =
+  let p = two_worker_platform () in
+  let d =
+    [
+      Dls.Delta.Scale_comm { worker = 0; factor = q 2 };
+      Dls.Delta.Scale_comp { worker = 1; factor = Q.half };
+    ]
+  in
+  Alcotest.(check bool) "shape preserved" true (Dls.Delta.preserves_shape d);
+  let p' = Dls.Delta.apply_exn p d in
+  let w0 = Dls.Platform.get p 0 and w0' = Dls.Platform.get p' 0 in
+  Alcotest.(check rat) "c scaled" (Q.mul (q 2) w0.Dls.Platform.c) w0'.Dls.Platform.c;
+  Alcotest.(check rat) "d scaled with c" (Q.mul (q 2) w0.Dls.Platform.d)
+    w0'.Dls.Platform.d;
+  Alcotest.(check (option rat)) "uniform z preserved by comm scaling"
+    (Dls.Platform.z_ratio p) (Dls.Platform.z_ratio p');
+  let w1 = Dls.Platform.get p 1 and w1' = Dls.Platform.get p' 1 in
+  Alcotest.(check rat) "w scaled" (Q.mul Q.half w1.Dls.Platform.w)
+    w1'.Dls.Platform.w;
+  Alcotest.(check rat) "other fields untouched" w1.Dls.Platform.c
+    w1'.Dls.Platform.c;
+  (* add/remove change the shape and are rejected by [preserves_shape] *)
+  let grow = [ Dls.Delta.Add_worker (Dls.Platform.worker ~c:(q 1) ~w:(q 2) ~d:Q.half ()) ] in
+  Alcotest.(check bool) "add changes shape" false (Dls.Delta.preserves_shape grow);
+  Alcotest.(check int) "worker appended" 3
+    (Dls.Platform.size (Dls.Delta.apply_exn p grow));
+  Alcotest.(check int) "worker removed" 1
+    (Dls.Platform.size (Dls.Delta.apply_exn p [ Dls.Delta.Remove_worker 0 ]))
+
+let test_delta_apply_rejects () =
+  let p = two_worker_platform () in
+  let rejects label d =
+    match Dls.Delta.apply p d with
+    | Error (Dls.Errors.Invalid_scenario _) -> ()
+    | Error e -> Alcotest.failf "%s: wrong error %s" label (Dls.Errors.to_string e)
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+  in
+  rejects "out-of-range worker"
+    [ Dls.Delta.Scale_comm { worker = 9; factor = q 2 } ];
+  rejects "zero factor" [ Dls.Delta.Scale_comp { worker = 0; factor = Q.zero } ];
+  rejects "negative z" [ Dls.Delta.Set_z (q (-1)) ];
+  rejects "removing the last worker"
+    [ Dls.Delta.Remove_worker 0; Dls.Delta.Remove_worker 0 ]
+
+let test_delta_spec_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Dls.Delta.of_spec ~line:1 ~col:1 spec with
+      | Error e -> Alcotest.failf "spec %S: %s" spec (Dls.Errors.to_string e)
+      | Ok d ->
+        Alcotest.(check string)
+          (Printf.sprintf "canonical %S" spec)
+          spec (Dls.Delta.to_spec d))
+    [ "comm:1:5/4"; "comp:2:1/2"; "z:3/2"; "add:1:2:1/2"; "drop:3";
+      "comm:1:5/4,z:2,drop:1" ]
+
+let test_delta_spec_errors () =
+  List.iter
+    (fun (spec, expect_col) ->
+      match Dls.Delta.of_spec ~line:1 ~col:1 spec with
+      | Ok _ -> Alcotest.failf "spec %S: expected a parse error" spec
+      | Error (Dls.Errors.Parse_error { col; _ }) ->
+        Alcotest.(check int) (Printf.sprintf "col of %S" spec) expect_col col
+      | Error e -> Alcotest.failf "spec %S: %s" spec (Dls.Errors.to_string e))
+    [
+      ("", 1);
+      ("comm:1", 1);  (* too few fields: blamed on the change *)
+      ("comm:0:2", 6);  (* 1-based index *)
+      ("comm:1:x", 8);
+      ("z:", 3);  (* stray ':' *)
+      ("comm:1:2,", 10);  (* stray ',' *)
+      ("frob:1:2", 1);
+    ]
+
+let test_delta_scenario_keeps_order () =
+  (* A shape-preserving delta keeps the scenario's permutations; a
+     shape-changing one rebuilds the enrollment FIFO. *)
+  let p = two_worker_platform () in
+  let s = Dls.Scenario.fifo_exn p [| 1; 0 |] in
+  let s' =
+    Dls.Delta.apply_scenario_exn s
+      [ Dls.Delta.Scale_comp { worker = 0; factor = q 2 } ]
+  in
+  Alcotest.(check bool) "sigma1 kept" true (s'.Dls.Scenario.sigma1 = [| 1; 0 |]);
+  let s'' = Dls.Delta.apply_scenario_exn s [ Dls.Delta.Remove_worker 1 ] in
+  Alcotest.(check bool) "rebuilt for the new size" true
+    (s''.Dls.Scenario.sigma1 = [| 0 |])
+
+let test_sensitivity_to_delta () =
+  (* [Sensitivity.perturb] is the single-change special case of
+     [Delta.apply]. *)
+  let p = two_worker_platform () in
+  let factor = qq 11 10 in
+  List.iter
+    (fun param ->
+      let via_delta =
+        Dls.Delta.apply_exn p [ Dls.Sensitivity.to_delta param ~factor ]
+      in
+      let direct = Dls.Sensitivity.perturb p param ~factor in
+      Alcotest.(check string) "same platform"
+        (Dls.Platform_io.to_string direct)
+        (Dls.Platform_io.to_string via_delta))
+    [ Dls.Sensitivity.Comm 0; Dls.Sensitivity.Comp 1 ]
+
+let test_scenario_key_distance () =
+  let p = two_worker_platform () in
+  let key s = Dls.Lp_model.scenario_key Dls.Lp_model.One_port s
+  and fifo pl = Dls.Scenario.fifo_exn pl [| 0; 1 |] in
+  let k = key (fifo p) in
+  Alcotest.(check (option int)) "self distance 0" (Some 0)
+    (Dls.Lp_model.scenario_key_distance k k);
+  let p1 =
+    Dls.Delta.apply_exn p [ Dls.Delta.Scale_comp { worker = 0; factor = q 2 } ]
+  in
+  Alcotest.(check (option int)) "one nudged worker = distance 1" (Some 1)
+    (Dls.Lp_model.scenario_key_distance k (key (fifo p1)));
+  let p2 = Dls.Delta.apply_exn p1 [ Dls.Delta.Scale_comp { worker = 1; factor = q 2 } ] in
+  Alcotest.(check (option int)) "two nudged workers = distance 2" (Some 2)
+    (Dls.Lp_model.scenario_key_distance k (key (fifo p2)));
+  (* different permutation: incomparable *)
+  let swapped = Dls.Scenario.fifo_exn p [| 1; 0 |] in
+  Alcotest.(check (option int)) "permutation differs -> incomparable" None
+    (Dls.Lp_model.scenario_key_distance k (key swapped));
+  (* different worker count: incomparable *)
+  let p3 = Dls.Delta.apply_exn p [ Dls.Delta.Remove_worker 1 ] in
+  Alcotest.(check (option int)) "size differs -> incomparable" None
+    (Dls.Lp_model.scenario_key_distance k
+       (key (Dls.Scenario.fifo_exn p3 [| 0 |])))
+
+(* ------------------------------------------------------------------ *)
 (* Platform and tree text formats                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -1357,6 +1490,20 @@ let () =
           Alcotest.test_case "table shape" `Quick test_sensitivity_table_shape;
           Alcotest.test_case "validation" `Quick test_sensitivity_perturb_validation;
           Alcotest.test_case "z preserved" `Quick test_sensitivity_preserves_z;
+        ] );
+      ( "delta",
+        [
+          Alcotest.test_case "apply" `Quick test_delta_apply;
+          Alcotest.test_case "apply rejects" `Quick test_delta_apply_rejects;
+          Alcotest.test_case "spec round-trip" `Quick test_delta_spec_roundtrip;
+          Alcotest.test_case "spec positioned errors" `Quick
+            test_delta_spec_errors;
+          Alcotest.test_case "scenario keeps order" `Quick
+            test_delta_scenario_keeps_order;
+          Alcotest.test_case "sensitivity is the special case" `Quick
+            test_sensitivity_to_delta;
+          Alcotest.test_case "scenario key distance" `Quick
+            test_scenario_key_distance;
         ] );
       ( "formats",
         [

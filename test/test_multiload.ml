@@ -169,7 +169,33 @@ let test_workload_spec_errors () =
       ("5:0:z", 5);
       ("0:0", 1);  (* sizes must be positive *)
       ("5:-1", 1);  (* releases cannot be negative; blamed on the load *)
+      ("5:0,", 5);  (* stray ',' *)
+      (",5:0", 1);
+      ("5:0,,3:1", 5);
+      ("5::1", 3);  (* stray ':' *)
+      ("5:0:", 5);
+      (":0", 1);
     ]
+
+let test_workload_spec_whitespace () =
+  (* Blanks around separators are trimmed (offsets still point into the
+     original string), the load order is pinned left to right. *)
+  List.iter
+    (fun (spec, canonical) ->
+      match W.of_spec ~line:1 ~col:1 spec with
+      | Error e -> Alcotest.failf "spec %S: %s" spec (Dls.Errors.to_string e)
+      | Ok w -> check_str (Printf.sprintf "canonical of %S" spec) canonical (W.to_spec w))
+    [
+      (" 5:0 ,\t3:1/2 ", "5:0,3:1/2");
+      ("5:0, 3:1/2:2", "5:0,3:1/2:2");
+    ];
+  match W.of_spec ~line:1 ~col:1 "5:0,3:1/2" with
+  | Error e -> Alcotest.failf "spec: %s" (Dls.Errors.to_string e)
+  | Ok w ->
+    let l0 = W.get w 0 in
+    Alcotest.(check bool)
+      "first load is the first part" true
+      (Q.equal l0.W.size (Q.of_int 5) && Q.equal l0.W.release Q.zero)
 
 (* ------------------------------------------------------------------ *)
 (* Protocol v2                                                         *)
@@ -382,6 +408,8 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_workload_spec_roundtrip;
           Alcotest.test_case "positioned errors" `Quick
             test_workload_spec_errors;
+          Alcotest.test_case "spec whitespace + order" `Quick
+            test_workload_spec_whitespace;
         ] );
       ( "protocol",
         [

@@ -266,6 +266,66 @@ let test_lru_single_flight_hammer () =
     (s.Parallel.Lru.hits + s.Parallel.Lru.joins);
   check_int "no eviction" 0 s.Parallel.Lru.evictions
 
+let test_lru_eviction_pressure_hammer () =
+  (* Regression for the in-flight eviction race: with a capacity far
+     below the live key set, a computed entry can be evicted between the
+     computer's insert and a joiner's wake-up.  The flight record pins
+     the computed value, so every joiner must still observe the correct
+     value for its key — never a recompute of a different key's flight,
+     never a hang.  Recomputes of evicted keys are expected; wrong
+     values are not. *)
+  let keys = 32 and ops = 2048 and jobs = 8 in
+  let c = Parallel.Lru.create ~capacity:2 () in
+  let f i =
+    let k = i mod keys in
+    let v =
+      Parallel.Lru.find_or_compute c k (fun () ->
+          spin ();
+          (7 * k) + 1)
+    in
+    if v <> (7 * k) + 1 then
+      Alcotest.failf "key %d: got %d, want %d" k v ((7 * k) + 1);
+    v
+  in
+  let _ = Parallel.Pool.run ~jobs f (Array.init ops Fun.id) in
+  let s = Parallel.Lru.stats c in
+  check "evictions happened (pressure is real)" true
+    (s.Parallel.Lru.evictions > 0);
+  check_int "accounting: hits + misses + joins = ops" ops
+    (s.Parallel.Lru.hits + s.Parallel.Lru.misses + s.Parallel.Lru.joins)
+
+let test_lru_find_nearest () =
+  let c = Parallel.Lru.create ~capacity:8 () in
+  Parallel.Lru.add c 10 "a";
+  Parallel.Lru.add c 20 "b";
+  Parallel.Lru.add c 30 "c";
+  (* best finite distance wins; incomparable keys are skipped *)
+  let score k = if k = 10 then None else Some (abs (k - 21)) in
+  (match Parallel.Lru.find_nearest c ~score with
+  | Some (20, "b") -> ()
+  | Some (k, v) -> Alcotest.failf "nearest: got (%d, %S)" k v
+  | None -> Alcotest.fail "nearest: no neighbour");
+  (* all incomparable: no neighbour *)
+  check "incomparable -> None" true
+    (Parallel.Lru.find_nearest c ~score:(fun _ -> None) = None);
+  (* ties keep the more recently used entry: touch 10, tie it with 30 *)
+  ignore (Parallel.Lru.find c 10);
+  (match
+     Parallel.Lru.find_nearest c ~score:(fun k ->
+         if k = 20 then None else Some 5)
+   with
+  | Some (10, "a") -> ()
+  | Some (k, v) -> Alcotest.failf "tie: got (%d, %S)" k v
+  | None -> Alcotest.fail "tie: no neighbour");
+  (* an exact match (distance 0) short-circuits the walk *)
+  (match Parallel.Lru.find_nearest c ~score:(fun k -> Some (abs (k - 30))) with
+  | Some (30, "c") -> ()
+  | Some (k, v) -> Alcotest.failf "exact: got (%d, %S)" k v
+  | None -> Alcotest.fail "exact: no neighbour");
+  (* the probe is read-only: counters did not move beyond the one find *)
+  let s = Parallel.Lru.stats c in
+  check_int "probe moved no counters" 1 (s.Parallel.Lru.hits + s.Parallel.Lru.misses)
+
 let test_lru_find_or_compute_disabled () =
   (* capacity 0: nothing is ever cached, joiners that find neither an
      entry nor a flight must become computers themselves — recomputes
@@ -505,6 +565,9 @@ let () =
             test_lru_find_or_compute_failure;
           Alcotest.test_case "single-flight hammer" `Quick
             test_lru_single_flight_hammer;
+          Alcotest.test_case "eviction-pressure hammer" `Quick
+            test_lru_eviction_pressure_hammer;
+          Alcotest.test_case "find_nearest" `Quick test_lru_find_nearest;
           Alcotest.test_case "find_or_compute capacity 0" `Quick
             test_lru_find_or_compute_disabled;
         ] );

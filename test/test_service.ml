@@ -155,6 +155,9 @@ let sample_responses () =
         collapsed = 3;
         cache_hits = 6;
         cache_misses = 4;
+        repair_probes = 3;
+        repair_wins = 2;
+        repair_pivots = 5;
         queue_depth = 0;
         inflight = 0;
         p50_us = 256;
@@ -261,6 +264,94 @@ let test_parser_garbage_never_raises () =
         match P.parse_response s with Ok _ | Error _ -> ()
       done)
     valid
+
+(* Non-finite floats: the renderer emits the canonical [nan]/[inf]/
+   [-inf] spellings (never locale/libc-dependent garbage), and the
+   parser rejects them with a typed parse error — a non-finite value on
+   the wire can only be an upstream bug, so it must not round-trip
+   silently into a client. *)
+let test_float_nonfinite () =
+  check_str "nan renders canonically" "timeout budget=nan"
+    (P.response_to_string (P.Timed_out { budget = Float.nan }));
+  check_str "inf renders canonically" "timeout budget=inf"
+    (P.response_to_string (P.Timed_out { budget = Float.infinity }));
+  check_str "-inf renders canonically" "timeout budget=-inf"
+    (P.response_to_string (P.Timed_out { budget = Float.neg_infinity }));
+  List.iter
+    (fun line ->
+      match P.parse_response line with
+      | Ok _ -> Alcotest.failf "%S parsed" line
+      | Error (Dls.Errors.Parse_error { msg; _ }) ->
+        check (line ^ ": typed as non-finite") true
+          (String.length msg >= 10 && String.sub msg 0 10 = "non-finite")
+      | Error e ->
+        Alcotest.failf "%S: expected a parse error, got %s" line
+          (Dls.Errors.to_string e))
+    [ "timeout budget=nan"; "timeout budget=inf"; "timeout budget=-inf" ];
+  (match P.parse_response "timeout budget=banana" with
+  | Error (Dls.Errors.Parse_error _) -> ()
+  | Ok _ -> Alcotest.fail "garbage float parsed"
+  | Error e -> Alcotest.failf "expected a parse error, got %s" (Dls.Errors.to_string e));
+  (* finite values still round-trip to the shortest form *)
+  check_str "finite float round-trips" "timeout budget=0.25"
+    (P.response_to_string (P.Timed_out { budget = 0.25 }))
+
+(* Platform specs: field order is pinned (a reversal regression), blanks
+   around separators are tolerated, stray separators are rejected with
+   the position of the offending field. *)
+let test_platform_spec_hardening () =
+  (match P.platform_of_spec ~line:1 ~col:1 "1:2:1/2,2:3:1" with
+  | Error e -> Alcotest.failf "spec rejected: %s" (Dls.Errors.to_string e)
+  | Ok p ->
+    let w0 = Dls.Platform.get p 0 in
+    check "worker order pinned" true
+      (Q.equal w0.Dls.Platform.c Q.one
+      && Q.equal w0.Dls.Platform.w (Q.of_int 2)
+      && Q.equal w0.Dls.Platform.d (Q.of_ints 1 2)));
+  (match P.platform_of_spec ~line:1 ~col:1 "1:2:1/2 ,\t2:3:1" with
+  | Error e -> Alcotest.failf "blanks rejected: %s" (Dls.Errors.to_string e)
+  | Ok p ->
+    check_str "blanks trimmed, canonical spec" "1:2:1/2,2:3:1"
+      (P.platform_to_spec p));
+  List.iter
+    (fun (spec, expect_col) ->
+      match P.platform_of_spec ~line:1 ~col:1 spec with
+      | Ok _ -> Alcotest.failf "spec %S: expected a parse error" spec
+      | Error (Dls.Errors.Parse_error { col; _ }) ->
+        check_int (Printf.sprintf "col of %S" spec) expect_col col
+      | Error e ->
+        Alcotest.failf "spec %S: %s" spec (Dls.Errors.to_string e))
+    [
+      ("1:2:1/2,", 9);  (* stray ',' *)
+      (",1:2:1/2", 1);
+      ("1:2:1/2, ,2:3:1", 10);  (* whitespace-only worker *)
+      ("1::1/2", 3);  (* stray ':' *)
+      ("1:2:", 5);
+      ("1:2", 1);  (* too few fields: blamed on the worker *)
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_quantiles () =
+  let m = Service.Metrics.create () in
+  (* Empty histogram: quantiles are 0, not an invented bucket edge. *)
+  let s0 = Service.Metrics.snapshot m ~queue_depth:0 in
+  check_int "empty p50" 0 s0.P.p50_us;
+  check_int "empty p99" 0 s0.P.p99_us;
+  (* Ordinary observations report the covering bucket's upper edge. *)
+  Service.Metrics.observe_latency m 3e-6;
+  let s1 = Service.Metrics.snapshot m ~queue_depth:0 in
+  check_int "3us lands in [2,4)" 4 s1.P.p50_us;
+  (* An absurd latency lands in the overflow bucket; the quantile must
+     saturate at [max_tracked_us] instead of fabricating 2^40. *)
+  let m2 = Service.Metrics.create () in
+  Service.Metrics.observe_latency m2 1e7 (* seconds = 1e13 us *);
+  let s2 = Service.Metrics.snapshot m2 ~queue_depth:0 in
+  check_int "overflow saturates p50" Service.Metrics.max_tracked_us s2.P.p50_us;
+  check_int "overflow saturates p99" Service.Metrics.max_tracked_us s2.P.p99_us;
+  check "max_us keeps the raw value" true (s2.P.max_us > Service.Metrics.max_tracked_us)
 
 (* ------------------------------------------------------------------ *)
 (* Bounded queue                                                       *)
@@ -644,7 +735,12 @@ let () =
           Alcotest.test_case "error positions" `Quick test_request_error_positions;
           Alcotest.test_case "garbage never raises" `Quick
             test_parser_garbage_never_raises;
+          Alcotest.test_case "non-finite floats" `Quick test_float_nonfinite;
+          Alcotest.test_case "platform spec hardening" `Quick
+            test_platform_spec_hardening;
         ] );
+      ( "metrics",
+        [ Alcotest.test_case "quantile edges" `Quick test_metrics_quantiles ] );
       ( "queue",
         [
           Alcotest.test_case "basics" `Quick test_queue_basics;
