@@ -1429,6 +1429,15 @@ let serve_cmd =
       value & opt int 32
       & info [ "max-batch" ] ~docv:"N" ~doc:"Largest dispatcher round.")
   in
+  let dispatchers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "dispatchers" ] ~docv:"N"
+          ~doc:
+            "Dispatcher threads, each owning one admission shard (requests \
+             are sharded by key hash, so duplicates stay on one shard; an \
+             idle dispatcher steals from the longest backlog).")
+  in
   let timeout_arg =
     Arg.(
       value
@@ -1453,7 +1462,8 @@ let serve_cmd =
              experiments.")
   in
   let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
-  let run socket host port jobs queue_cap max_batch timeout no_dedup worker_delay =
+  let run socket host port jobs dispatchers queue_cap max_batch timeout
+      no_dedup worker_delay =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1463,6 +1473,7 @@ let serve_cmd =
       {
         (Service.Server.default_config address) with
         Service.Server.jobs;
+        dispatchers;
         queue_capacity = queue_cap;
         max_batch;
         timeout;
@@ -1477,10 +1488,14 @@ let serve_cmd =
       let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
       Sys.set_signal Sys.sigterm on_signal;
       Sys.set_signal Sys.sigint on_signal;
-      Printf.printf "dls: serving on %s (jobs=%d queue=%d batch=%d dedup=%b)\n%!"
+      Printf.printf
+        "dls: serving on %s (jobs=%d dispatchers=%d queue=%d batch=%d \
+         dedup=%b)\n\
+         %!"
         (address_to_string (Service.Server.address server))
-        cfg.Service.Server.jobs cfg.Service.Server.queue_capacity
-        cfg.Service.Server.max_batch cfg.Service.Server.dedup;
+        cfg.Service.Server.jobs cfg.Service.Server.dispatchers
+        cfg.Service.Server.queue_capacity cfg.Service.Server.max_batch
+        cfg.Service.Server.dedup;
       while not (Atomic.get stop_flag) do
         (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
       done;
@@ -1494,8 +1509,9 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
-      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg $ queue_cap_arg
-      $ max_batch_arg $ timeout_arg $ no_dedup_arg $ worker_delay_arg)
+      const run $ socket_arg $ host_arg $ port_arg $ jobs_arg
+      $ dispatchers_arg $ queue_cap_arg $ max_batch_arg $ timeout_arg
+      $ no_dedup_arg $ worker_delay_arg)
 
 let client_cmd =
   let requests_arg =
@@ -1582,13 +1598,23 @@ let loadgen_cmd =
             "Mix $(b,solve-multi) requests into the stream (scenario slot 7; \
              the other slots are unchanged).")
   in
+  let skew_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "skew" ] ~docv:"S"
+          ~doc:
+            "Key-popularity skew: 0 draws scenarios uniformly (default); \
+             $(docv) > 0 weights scenario rank r by (r+1)^-$(docv) \
+             (Zipf-like hot head), still deterministic in the seed and \
+             invariant under connection count.")
+  in
   let json_arg =
     Arg.(
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the outcome to $(docv).")
   in
-  let run socket host port requests connections seed distinct multi json =
+  let run socket host port requests connections seed distinct multi skew json =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1597,8 +1623,8 @@ let loadgen_cmd =
         exit 2
     in
     match
-      Service.Loadgen.run ~multi address ~connections ~requests ~seed ~distinct
-        ()
+      Service.Loadgen.run ~multi ~skew address ~connections ~requests ~seed
+        ~distinct ()
     with
     | Error e ->
       prerr_endline ("dls: " ^ Dls.Errors.to_string e);
@@ -1619,6 +1645,7 @@ let loadgen_cmd =
           \  \"schema\": \"dls-loadgen/1\",\n\
           \  \"seed\": %d,\n\
           \  \"distinct\": %d,\n\
+          \  \"skew\": %.3f,\n\
           \  \"connections\": %d,\n\
           \  \"sent\": %d,\n\
           \  \"ok\": %d,\n\
@@ -1628,7 +1655,8 @@ let loadgen_cmd =
           \  \"wall_s\": %.6f,\n\
           \  \"rps\": %.1f\n\
            }\n"
-          seed distinct connections o.Service.Loadgen.sent o.Service.Loadgen.ok
+          seed distinct skew connections o.Service.Loadgen.sent
+          o.Service.Loadgen.ok
           o.Service.Loadgen.overloaded o.Service.Loadgen.timeouts
           o.Service.Loadgen.failed o.Service.Loadgen.wall_s
           o.Service.Loadgen.rps;
@@ -1640,7 +1668,8 @@ let loadgen_cmd =
     (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ requests_arg
-      $ connections_arg $ seed_arg $ distinct_arg $ multi_arg $ json_arg)
+      $ connections_arg $ seed_arg $ distinct_arg $ multi_arg $ skew_arg
+      $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 

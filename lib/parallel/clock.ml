@@ -1,0 +1,6 @@
+external now_ns : unit -> (int64[@unboxed])
+  = "dls_monotonic_ns_bytecode" "dls_monotonic_ns_native"
+[@@noalloc]
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+let elapsed_s ~since = Float.max 0. (now () -. since)

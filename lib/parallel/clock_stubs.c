@@ -1,0 +1,42 @@
+/* Monotonic clock for the pool and the service metrics.
+ *
+ * CLOCK_MONOTONIC never steps with wall-clock adjustments (NTP slews,
+ * manual resets, leap smearing), so elapsed times computed from it are
+ * immune to the skew that makes gettimeofday-based timeouts fire early
+ * or latency percentiles go negative.  Falls back to the realtime
+ * clock only where no monotonic source exists.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#include <stdint.h>
+#include <time.h>
+
+#if !defined(_WIN32)
+#include <sys/time.h>
+#endif
+
+int64_t dls_monotonic_ns_native(value unit)
+{
+  (void) unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (int64_t) ts.tv_sec * INT64_C(1000000000) + (int64_t) ts.tv_nsec;
+#endif
+#if !defined(_WIN32)
+  {
+    struct timeval tv;
+    if (gettimeofday(&tv, NULL) == 0)
+      return (int64_t) tv.tv_sec * INT64_C(1000000000)
+             + (int64_t) tv.tv_usec * INT64_C(1000);
+  }
+#endif
+  return 0;
+}
+
+value dls_monotonic_ns_bytecode(value unit)
+{
+  return caml_copy_int64(dls_monotonic_ns_native(unit));
+}

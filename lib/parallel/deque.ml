@@ -1,0 +1,117 @@
+(* Chase–Lev dynamic circular work-stealing deque (Chase & Lev, SPAA'05),
+   on OCaml 5 atomics.
+
+   Layout: [top] is the steal end (only ever incremented, by a winning
+   CAS), [bottom] is the owner end (written only by the owner).  The
+   live elements are the indices [top <= i < bottom] of a circular
+   buffer.  OCaml's [Atomic] operations are sequentially consistent,
+   which is strictly stronger than the acquire/release/seq_cst mix the
+   published algorithm needs, so the classical correctness argument
+   applies unchanged; see DESIGN.md §14 for which orderings are the
+   load-bearing ones.
+
+   Cells are themselves atomics: a thief may read a cell concurrently
+   with the owner publishing a later element into a recycled slot, and
+   per-cell atomicity keeps that a well-defined race — the top CAS then
+   arbitrates who owns the value that was read.
+
+   Growth is owner-only: the owner allocates a doubled buffer, copies
+   the live window, and publishes it with a single atomic store.  A
+   thief still holding the old buffer reads the same values for every
+   index it can successfully claim (the copy preserved them), so stale
+   buffers stay valid forever. *)
+
+type 'a buffer = {
+  mask : int;  (* size - 1; size is a power of two *)
+  cells : 'a option Atomic.t array;
+}
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  buf : 'a buffer Atomic.t;
+}
+
+let make_buffer size =
+  { mask = size - 1; cells = Array.init size (fun _ -> Atomic.make None) }
+
+let create ?(capacity = 16) () =
+  let rec pow2 n = if n >= capacity then n else pow2 (n * 2) in
+  let size = pow2 8 in
+  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buffer size) }
+
+let cell buf i = Array.unsafe_get buf.cells (i land buf.mask)
+
+(* Owner only: double the buffer, copying the live window [t, b). *)
+let grow q buf ~t ~b =
+  let bigger = make_buffer (2 * (buf.mask + 1)) in
+  for i = t to b - 1 do
+    Atomic.set (cell bigger i) (Atomic.get (cell buf i))
+  done;
+  Atomic.set q.buf bigger;
+  bigger
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let buf = Atomic.get q.buf in
+  let buf = if b - t > buf.mask then grow q buf ~t ~b else buf in
+  Atomic.set (cell buf b) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  let buf = Atomic.get q.buf in
+  (* Publish the claim on index [b] before reading [top]: a thief that
+     observes the old bottom can only be targeting indices < b, and the
+     SC total order of these two operations against the thief's
+     top-read/bottom-read pair is exactly what makes the non-CAS fast
+     path below safe. *)
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* Already empty: restore the canonical empty shape. *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else if b > t then begin
+    (* More than one element: index [b] is unreachable by any thief
+       that could still win a CAS, so take it without synchronizing. *)
+    let x = Atomic.get (cell buf b) in
+    Atomic.set (cell buf b) None;
+    x
+  end
+  else begin
+    (* Exactly one element: race the thieves for it with the same CAS
+       they use. *)
+    let x = Atomic.get (cell buf b) in
+    let won = Atomic.compare_and_set q.top t (t + 1) in
+    Atomic.set q.bottom (t + 1);
+    if won then begin
+      Atomic.set (cell buf b) None;
+      x
+    end
+    else None
+  end
+
+let rec steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let x = Atomic.get (cell buf t) in
+    if Atomic.compare_and_set q.top t (t + 1) then x
+      (* The CAS succeeding proves no other claimant took index [t], and
+         the value read above is the one the owner published there: the
+         owner only recycles a slot after top has moved past it, which
+         would have failed this CAS. *)
+    else steal q (* lost to another thief or the owner; re-examine *)
+  end
+
+let length q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  max 0 (b - t)
+
+let is_empty q = length q = 0

@@ -1,0 +1,49 @@
+(** Chase–Lev work-stealing deque: single owner, many thieves.
+
+    The owner pushes and pops at the {e bottom} (LIFO, uncontended in
+    the common case); any other domain steals from the {e top} (FIFO,
+    one [compare_and_set] per claim).  Built entirely on {!Atomic} —
+    there is no lock anywhere, so a suspended thief can never block the
+    owner or another thief, and claims from different deques never
+    contend with each other at all.
+
+    Every element pushed is delivered {e exactly once}: either to the
+    owner via {!pop} or to exactly one thief via {!steal}.  This is the
+    foundation of {!Pool}'s determinism story — the deque decides only
+    {e who} runs a task, never {e what} the task computes or where its
+    result lands.
+
+    The circular buffer grows transparently (owner-side only), so
+    capacity is just a hint.  Indices are native 63-bit integers and
+    never wrap in practice.
+
+    Ownership discipline: [push] and [pop] must only ever be called by
+    one domain at a time (the owner — which may change between
+    quiescent points, as in {!Pool}'s slot reuse); [steal], [length]
+    and [is_empty] are safe from anywhere. *)
+
+type 'a t
+
+(** [create ?capacity ()] is an empty deque.  [capacity] (default 16)
+    is rounded up to a power of two and grows on demand. *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner only.  [push d x] adds [x] at the bottom. *)
+val push : 'a t -> 'a -> unit
+
+(** Owner only.  [pop d] removes the most recently pushed remaining
+    element (bottom end), or [None] if the deque is empty — including
+    when the last element was lost to a concurrent {!steal}. *)
+val pop : 'a t -> 'a option
+
+(** Any domain.  [steal d] claims the oldest remaining element (top
+    end).  Retries internally while it loses CAS races to other
+    thieves; returns [None] only once the deque is observed empty. *)
+val steal : 'a t -> 'a option
+
+(** [length d] is a snapshot of the element count — exact when
+    quiescent, a momentary approximation under concurrency (used only
+    as a victim-selection heuristic, never for correctness). *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,126 @@
+(* The PR-1 pool, frozen as the benchmark baseline for Part 8.  One
+   mutex guards a single shared batch; chunks are claimed by advancing
+   [next] under that lock; idle domains block on a condvar.  See
+   mutex_pool.mli for why this still exists. *)
+
+type batch = {
+  run : int -> unit;
+  size : int;
+  chunk : int;
+  mutable next : int;
+  mutable live : int;
+}
+
+type t = {
+  m : Mutex.t;
+  work_available : Condition.t;
+  batch_done : Condition.t;
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+  n_jobs : int;
+}
+
+let jobs t = t.n_jobs
+
+let drain t b =
+  while b.next < b.size do
+    let lo = b.next in
+    let hi = min (lo + b.chunk) b.size in
+    b.next <- hi;
+    Mutex.unlock t.m;
+    for i = lo to hi - 1 do
+      b.run i
+    done;
+    Mutex.lock t.m;
+    b.live <- b.live - (hi - lo);
+    if b.live = 0 then begin
+      t.current <- None;
+      Condition.broadcast t.batch_done
+    end
+  done
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if not t.stop then begin
+      (match t.current with
+      | Some b when b.next < b.size -> drain t b
+      | _ -> Condition.wait t.work_available t.m);
+      loop ()
+    end
+  in
+  loop ();
+  Mutex.unlock t.m
+
+let create ?jobs () =
+  let n_jobs = max 1 (Option.value jobs ~default:(Pool.default_jobs ())) in
+  let t =
+    {
+      m = Mutex.create ();
+      work_available = Condition.create ();
+      batch_done = Condition.create ();
+      current = None;
+      stop = false;
+      domains = [];
+      n_jobs;
+    }
+  in
+  t.domains <- List.init (n_jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.m;
+  let ds = t.domains in
+  t.domains <- [];
+  List.iter Domain.join ds
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let map ?chunk ?timeout t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.n_jobs <= 1 || n = 1 || t.domains = [] then
+    Array.mapi (fun i x -> Pool.timed ?timeout ~index:i f x) arr
+  else begin
+    let results = Array.make n None in
+    let failures = Array.make n None in
+    let run i =
+      match Pool.timed ?timeout ~index:i f arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> failures.(i) <- Some e
+    in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | _ -> max 1 (n / (t.n_jobs * 4))
+    in
+    let b = { run; size = n; chunk; next = 0; live = n } in
+    Mutex.lock t.m;
+    if t.current <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Mutex_pool.map: pool is busy (reentrant map?)"
+    end;
+    t.current <- Some b;
+    Condition.broadcast t.work_available;
+    drain t b;
+    while b.live > 0 do
+      Condition.wait t.batch_done t.m
+    done;
+    Mutex.unlock t.m;
+    Array.iter (function Some e -> raise e | None -> ()) failures;
+    Array.map
+      (function Some v -> v | None -> assert false)
+      results
+  end
+
+let run ?jobs ?chunk ?timeout f arr =
+  let n_jobs = max 1 (Option.value jobs ~default:(Pool.default_jobs ())) in
+  if n_jobs <= 1 || Array.length arr <= 1 then
+    Array.mapi (fun i x -> Pool.timed ?timeout ~index:i f x) arr
+  else with_pool ~jobs:n_jobs (fun t -> map ?chunk ?timeout t f arr)

@@ -1,0 +1,28 @@
+(** The original mutex/condvar domain pool, kept as a benchmark baseline.
+
+    This is the PR-1 pool verbatim: one global mutex serializes every
+    chunk claim, one batch may run at a time ([map] on a busy pool is a
+    programming error), and idle domains block on a condition variable.
+    {!Pool} replaced it with lock-free work-stealing deques; this module
+    survives solely so the pool scaling benchmark (bench Part 8,
+    [BENCH_pool.json]) can measure the replacement against the real
+    predecessor instead of a reconstruction.  Do not use it in new
+    code — its one public client is [bench/main.ml].
+
+    Semantics of [map]/[run] match {!Pool} (same determinism, same
+    first-failure-wins exceptions, same cooperative [?timeout] via
+    {!Pool.timed}), except that concurrent or reentrant [map] calls on
+    one pool raise [Invalid_argument]. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+val jobs : t -> int
+val shutdown : t -> unit
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+
+val map :
+  ?chunk:int -> ?timeout:float -> t -> ('a -> 'b) -> 'a array -> 'b array
+
+val run :
+  ?jobs:int -> ?chunk:int -> ?timeout:float -> ('a -> 'b) -> 'a array -> 'b array

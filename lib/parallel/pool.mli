@@ -1,12 +1,23 @@
-(** Domain pool: deterministic data-parallel maps over OCaml 5 domains.
+(** Domain pool: deterministic data-parallel maps over OCaml 5 domains,
+    scheduled by lock-free work stealing.
 
-    A pool owns [jobs - 1] worker domains blocked on a {!Mutex}/{!Condition}
-    work queue; the caller of {!map} participates as the [jobs]-th worker.
-    Work items are claimed in index order (in chunks, to limit lock
-    traffic) and results are written into a slot array by index, so the
-    output of [map pool f arr] is {e exactly} [Array.map f arr] — same
-    values, same order — independently of [jobs], scheduling, or chunk
-    size.  Parallelism only changes wall-clock time.
+    A pool owns [jobs - 1] worker domains; the caller of {!map}
+    participates as one more executor.  Every participant owns a
+    Chase–Lev deque ({!Deque}): a {!map} call seeds its deque with the
+    whole index range, and ranges wider than the chunk are split lazily
+    in half — the executor keeps the lower half and pushes the upper
+    half onto its {e own} deque, where idle domains steal the oldest
+    (widest) ranges.  There is no lock on the claim path, so claims from
+    different domains never contend once work has spread.
+
+    {2 Determinism}
+
+    Results are written into per-index slots, so the output of
+    [map pool f arr] is {e exactly} [Array.map f arr] — same values,
+    same order — independently of [jobs], chunk size, steal order, or
+    how many other [map] calls run at the same time.  Scheduling decides
+    only {e who} computes an item, never what the output contains.
+    Parallelism only changes wall-clock time.
 
     Exceptions raised by [f] are caught per item; after the batch
     completes, the exception of the {e smallest} failing index is
@@ -14,8 +25,26 @@
     leaves the pool fully reusable — worker domains survive and the next
     {!map} behaves normally.
 
-    Pools are not reentrant: calling {!map} from inside a task of the
-    same pool deadlocks.  Distinct pools may run concurrently. *)
+    {2 Concurrency contract}
+
+    Unlike its mutex-based predecessor (kept as {!Mutex_pool} for
+    benchmarking), a pool is safe for {e concurrent} and {e reentrant}
+    use:
+
+    - Any number of threads or domains may call {!map} on the same pool
+      at the same time; their batches interleave over the shared workers
+      and each call returns its own deterministic result.
+    - [f] may itself call {!map} on the same pool (reentrancy).  The
+      inner call executes work-first — the calling domain processes its
+      own range and keeps helping until the inner batch is complete — so
+      nesting cannot deadlock.
+    - Under pathological nesting depth (more simultaneous [map] calls
+      than internal mapper slots, ≥ [max 4 (2*jobs)]) a call silently
+      degrades to inline sequential execution, with identical results.
+
+    {!shutdown} must not race with in-flight {!map} calls: quiesce
+    callers first (the service layer does this by joining dispatchers
+    before shutting the pool down). *)
 
 type t
 
@@ -49,19 +78,25 @@ exception Task_timeout of { index : int; elapsed : float; budget : float }
 
 (** [timed ?timeout ~index f x] is [f x] under the pool's cooperative
     budget check: when [f] returns after more than [timeout] seconds of
-    wall clock, the result is discarded and {!Task_timeout} is raised
-    instead (an exception raised by [f] itself wins over the overrun).
-    This is the exact primitive {!map} applies per item, exposed so
-    other executors — e.g. a request-serving worker loop — can enforce
+    {e monotonic} clock time ({!Clock}, immune to wall-clock steps), the
+    result is discarded and {!Task_timeout} is raised instead (an
+    exception raised by [f] itself wins over the overrun).  This is the
+    exact primitive {!map} applies per item, exposed so other
+    executors — e.g. a request-serving worker loop — can enforce
     per-task deadlines with identical semantics.  [timeout = None] is
     just [f x]. *)
 val timed : ?timeout:float -> index:int -> ('a -> 'b) -> 'a -> 'b
 
 (** [map ?chunk ?timeout pool f arr] is [Array.map f arr], computed by
-    all pool members.  [chunk] is the number of consecutive indices
-    claimed per queue round-trip (default: a heuristic balancing lock
-    traffic against load imbalance); [timeout] is a per-task wall-clock
-    budget in seconds (see {!Task_timeout}). *)
+    all pool members.  [chunk] requests the widest index range executed
+    without further splitting (default: a heuristic giving each worker
+    a few leaves); the pool auto-partitions — a chunk finer than
+    [n / (8 * jobs)] is coarsened to that floor, since beyond ~8 leaves
+    per participant extra splits only add claim traffic.  Granularity
+    affects scheduling only, never the result.  [timeout] is a per-task
+    wall-clock budget in seconds (see {!Task_timeout}).  Safe to call
+    concurrently from several threads and reentrantly from within [f] —
+    see the concurrency contract above. *)
 val map : ?chunk:int -> ?timeout:float -> t -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [map_list ?chunk ?timeout pool f l] is [List.map f l] via {!map}. *)

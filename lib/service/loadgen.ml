@@ -15,15 +15,39 @@ let regimes = [| Check.Fuzz.Small_z; Check.Fuzz.Unit_z; Check.Fuzz.Big_z |]
 
 (* The scenario index must be a pure function of (seed, i); Hashtbl.hash
    is deterministic on immutable ints across runs and domains. *)
-let scenario_index ~seed ~distinct i = Hashtbl.hash (seed, i) mod distinct
+let uniform_index ~seed ~distinct i = Hashtbl.hash (seed, i) mod distinct
+
+(* Zipf-like popularity: scenario rank r (0-based) carries weight
+   (r+1)^-skew and the request's uniform draw — Hashtbl.hash is 30 bits,
+   so dividing by 2^30 yields u in [0,1) — goes through the inverse CDF.
+   Still a pure function of (seed, i), so the stream stays invariant
+   under jobs and connection count exactly like the uniform mode. *)
+let skewed_index ~skew ~seed ~distinct i =
+  let u = float_of_int (Hashtbl.hash (seed, i, 0x5e1ec7)) /. 1073741824. in
+  let weights =
+    Array.init distinct (fun r -> float_of_int (r + 1) ** -.skew)
+  in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let target = u *. total in
+  let rec go r acc =
+    if r >= distinct - 1 then distinct - 1
+    else
+      let acc = acc +. weights.(r) in
+      if target < acc then r else go (r + 1) acc
+  in
+  go 0 0.
+
+let scenario_index ?(skew = 0.) ~seed ~distinct i =
+  if skew <= 0. then uniform_index ~seed ~distinct i
+  else skewed_index ~skew ~seed ~distinct i
 
 let platform_of_scenario ~seed s =
   let rng = Random.State.make [| seed; s; 0x10ad9e4 |] in
   Check.Fuzz.gen_platform rng regimes.(s mod 3)
 
-let request ?(multi = false) ~seed ~distinct i =
+let request ?(multi = false) ?(skew = 0.) ~seed ~distinct i =
   if distinct <= 0 then invalid_arg "Loadgen.request: distinct must be >= 1";
-  let s = scenario_index ~seed ~distinct i in
+  let s = scenario_index ~skew ~seed ~distinct i in
   let platform = platform_of_scenario ~seed s in
   match s mod 10 with
   | 7 when multi ->
@@ -65,12 +89,15 @@ type tally = {
   mutable t_failed : int;
 }
 
-let run ?(multi = false) address ~connections ~requests ~seed ~distinct () =
+let run ?(multi = false) ?(skew = 0.) address ~connections ~requests ~seed
+    ~distinct () =
   if connections <= 0 || requests < 0 || distinct <= 0 then
     Dls.Errors.invalid "Loadgen.run: bad parameters"
   else begin
     (* Materialize the stream up front so worker threads only do I/O. *)
-    let stream = Array.init requests (fun i -> request ~multi ~seed ~distinct i) in
+    let stream =
+      Array.init requests (fun i -> request ~multi ~skew ~seed ~distinct i)
+    in
     let connections = max 1 (min connections (max requests 1)) in
     let tallies =
       Array.init connections (fun _ ->
@@ -94,10 +121,10 @@ let run ?(multi = false) address ~connections ~requests ~seed ~distinct () =
         done;
         Client.close client
     in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Parallel.Clock.now () in
     let threads = Array.init connections (fun c -> Thread.create worker c) in
     Array.iter Thread.join threads;
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Parallel.Clock.elapsed_s ~since:t0 in
     match Atomic.get conn_error with
     | Some e -> Error e
     | None ->

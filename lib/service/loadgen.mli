@@ -28,15 +28,29 @@ type outcome = {
     With [~multi:true] (default false) scenario slot 7 carries a
     [solve-multi] request (steady or batch by parity) instead of a
     [solve]; every other slot is bit-identical to the classic stream,
-    so existing benches and smoke jobs are unaffected. *)
-val request : ?multi:bool -> seed:int -> distinct:int -> int -> Protocol.request
+    so existing benches and smoke jobs are unaffected.
+
+    [~skew] (default 0) selects the key-popularity distribution.  [0.]
+    is the classic uniform draw over the [distinct] scenarios.  A
+    positive value makes scenario rank [r] (0-based) proportional to
+    [(r+1)^-skew] — Zipf-like, so e.g. [skew = 1.] sends a hot head of
+    traffic to scenario 0 with a long tail.  The skewed stream is still
+    a pure function of [(seed, distinct, skew, i)]: same seed, same
+    multiset of requests, independent of connection count or server
+    [jobs]/[dispatchers].  Skewed traffic concentrates request keys on
+    few dispatcher shards, which is what exercises the server's
+    steal-based rebalancing. *)
+val request :
+  ?multi:bool -> ?skew:float -> seed:int -> distinct:int -> int ->
+  Protocol.request
 
 (** [run address ~connections ~requests ~seed ~distinct ()] replays the
     first [requests] requests of the stream over [connections]
-    concurrent connections and aggregates the outcome.  [~multi] is
-    passed to {!request}. *)
+    concurrent connections and aggregates the outcome.  [~multi] and
+    [~skew] are passed to {!request}. *)
 val run :
   ?multi:bool ->
+  ?skew:float ->
   Server.address ->
   connections:int ->
   requests:int ->

@@ -13,9 +13,10 @@ type t = {
   max_batch : int Atomic.t;
   collapsed : int Atomic.t;
   inflight : int Atomic.t;
+  steals : int Atomic.t;
   histogram : int Atomic.t array;
   max_us : int Atomic.t;
-  started : float;
+  started : float;  (* monotonic (Clock.now), not wall time *)
 }
 
 let create () =
@@ -30,9 +31,10 @@ let create () =
     max_batch = Atomic.make 0;
     collapsed = Atomic.make 0;
     inflight = Atomic.make 0;
+    steals = Atomic.make 0;
     histogram = Array.init buckets (fun _ -> Atomic.make 0);
     max_us = Atomic.make 0;
-    started = Unix.gettimeofday ();
+    started = Parallel.Clock.now ();
   }
 
 let incr_accepted t = Atomic.incr t.accepted
@@ -43,6 +45,8 @@ let incr_failed t = Atomic.incr t.failed
 let incr_malformed t = Atomic.incr t.malformed
 let incr_inflight t = Atomic.incr t.inflight
 let decr_inflight t = Atomic.decr t.inflight
+let incr_steals t = Atomic.incr t.steals
+let steals t = Atomic.get t.steals
 let inflight t = Atomic.get t.inflight
 let accepted t = Atomic.get t.accepted
 let served t = Atomic.get t.served
@@ -99,7 +103,7 @@ let quantile counts total q =
     in
     go 0 0
 
-let snapshot t ~queue_depth : Protocol.stats_rep =
+let snapshot ?(dispatchers = 1) t ~queue_depth : Protocol.stats_rep =
   let counts = Array.map Atomic.get t.histogram in
   let total = Array.fold_left ( + ) 0 counts in
   let cache = Dls.Lp_model.cache_stats () in
@@ -119,11 +123,13 @@ let snapshot t ~queue_depth : Protocol.stats_rep =
     repair_probes = resolve.Dls.Lp_model.probes;
     repair_wins = resolve.Dls.Lp_model.repair_wins;
     repair_pivots = resolve.Dls.Lp_model.repair_pivots;
+    dispatchers;
+    steals = Atomic.get t.steals;
     queue_depth;
     inflight = Atomic.get t.inflight;
     p50_us = quantile counts total 0.50;
     p90_us = quantile counts total 0.90;
     p99_us = quantile counts total 0.99;
     max_us = Atomic.get t.max_us;
-    uptime_s = Unix.gettimeofday () -. t.started;
+    uptime_s = Parallel.Clock.elapsed_s ~since:t.started;
   }

@@ -25,6 +25,12 @@ val note_batch : t -> size:int -> unique:int -> unit
 
 val incr_inflight : t -> unit
 val decr_inflight : t -> unit
+
+(** [incr_steals m] records one dispatch round whose first job was
+    stolen from another dispatcher's shard. *)
+val incr_steals : t -> unit
+
+val steals : t -> int
 val inflight : t -> int
 val accepted : t -> int
 val served : t -> int
@@ -44,5 +50,7 @@ val observe_latency : t -> float -> unit
 val max_tracked_us : int
 
 (** [snapshot m ~queue_depth] assembles the wire-level stats record;
-    LP-cache counters are read from {!Dls.Lp_model.cache_stats}. *)
-val snapshot : t -> queue_depth:int -> Protocol.stats_rep
+    LP-cache counters are read from {!Dls.Lp_model.cache_stats}.
+    [dispatchers] (default 1) is configuration, not a counter — the
+    server passes its dispatcher-thread count through. *)
+val snapshot : ?dispatchers:int -> t -> queue_depth:int -> Protocol.stats_rep

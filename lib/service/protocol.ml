@@ -94,6 +94,8 @@ type stats_rep = {
   repair_probes : int;
   repair_wins : int;
   repair_pivots : int;
+  dispatchers : int;
+  steals : int;
   queue_depth : int;
   inflight : int;
   p50_us : int;
@@ -612,12 +614,12 @@ let response_to_string = function
       "ok stats accepted=%d served=%d rejected=%d timed_out=%d failed=%d \
        malformed=%d batches=%d max_batch=%d collapsed=%d cache_hits=%d \
        cache_misses=%d repair_probes=%d repair_wins=%d repair_pivots=%d \
-       queue_depth=%d inflight=%d p50_us=%d p90_us=%d p99_us=%d max_us=%d \
-       uptime_s=%s"
+       dispatchers=%d steals=%d queue_depth=%d inflight=%d p50_us=%d \
+       p90_us=%d p99_us=%d max_us=%d uptime_s=%s"
       r.accepted r.served r.rejected r.timed_out r.failed r.malformed r.batches
       r.max_batch r.collapsed r.cache_hits r.cache_misses r.repair_probes
-      r.repair_wins r.repair_pivots r.queue_depth r.inflight r.p50_us r.p90_us
-      r.p99_us r.max_us (float_str r.uptime_s)
+      r.repair_wins r.repair_pivots r.dispatchers r.steals r.queue_depth
+      r.inflight r.p50_us r.p90_us r.p99_us r.max_us (float_str r.uptime_s)
   | Ok_health r ->
     Printf.sprintf
       "ok health healthy=%s draining=%s uptime_s=%s queue=%d capacity=%d \
@@ -885,6 +887,10 @@ let parse_response s =
       let* repair_probes = opt_int ~default:0 kvs "repair_probes" in
       let* repair_wins = opt_int ~default:0 kvs "repair_wins" in
       let* repair_pivots = opt_int ~default:0 kvs "repair_pivots" in
+      (* Pre-sharding servers ran exactly one dispatcher and could not
+         steal, so those are the wire defaults. *)
+      let* dispatchers = opt_int ~default:1 kvs "dispatchers" in
+      let* steals = opt_int ~default:0 kvs "steals" in
       let* queue_depth = need_int kvs "queue_depth" in
       let* inflight = need_int kvs "inflight" in
       let* p50_us = need_int kvs "p50_us" in
@@ -909,6 +915,8 @@ let parse_response s =
              repair_probes;
              repair_wins;
              repair_pivots;
+             dispatchers;
+             steals;
              queue_depth;
              inflight;
              p50_us;

@@ -169,6 +169,12 @@ type stats_rep = {
           (pre-repair servers) *)
   repair_wins : int;  (** probes whose repaired basis certified *)
   repair_pivots : int;  (** cumulative repair pivots across wins *)
+  dispatchers : int;
+      (** dispatcher threads serving the sharded queue; 1 when absent
+          on the wire (pre-sharding servers) *)
+  steals : int;
+      (** dispatch rounds whose first job was stolen from another
+          dispatcher's shard; 0 when absent on the wire *)
   queue_depth : int;
   inflight : int;  (** admitted but not yet answered *)
   p50_us : int;  (** latency quantiles, admission to response, in us *)

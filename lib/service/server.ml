@@ -7,6 +7,7 @@ type address = Unix_socket of string | Tcp of string * int
 type config = {
   address : address;
   jobs : int;
+  dispatchers : int;
   queue_capacity : int;
   max_batch : int;
   timeout : float option;
@@ -19,6 +20,7 @@ let default_config address =
   {
     address;
     jobs = Parallel.Pool.default_jobs ();
+    dispatchers = 1;
     queue_capacity = 64;
     max_batch = 32;
     timeout = None;
@@ -39,13 +41,13 @@ type job = {
 type t = {
   cfg : config;
   bound : address;
-  queue : job Queue.t;
+  shards : job Shards.t;
   metrics : Metrics.t;
   pool : Parallel.Pool.t;
   listen_fd : Unix.file_descr;
   draining : bool Atomic.t;
   mutable listener : Thread.t option;
-  mutable dispatcher : Thread.t option;
+  mutable dispatchers : Thread.t list;
   conns : (int, Unix.file_descr * Thread.t) Hashtbl.t;
   conns_m : Mutex.t;
   mutable next_conn : int;
@@ -220,20 +222,23 @@ let deliver t job resp =
   | P.Timed_out _ -> Metrics.incr_timed_out t.metrics
   | P.Overloaded _ | P.Unsupported _ | P.Failed _ ->
     Metrics.incr_failed t.metrics);
-  Metrics.observe_latency t.metrics (Unix.gettimeofday () -. job.admitted);
+  Metrics.observe_latency t.metrics
+    (Parallel.Clock.elapsed_s ~since:job.admitted);
   Metrics.decr_inflight t.metrics;
   Mutex.lock job.jm;
   job.reply <- Some resp;
   Condition.signal job.jc;
   Mutex.unlock job.jm
 
-let dispatch_round t first =
-  (* Greedily drain what is already queued, up to the round bound. *)
+let dispatch_round t ~src first =
+  (* Greedily drain the shard the first job came from, up to the round
+     bound — after a steal that is the victim's shard, so a steal
+     rebalances a whole round, not one job. *)
   let batch = ref [ first ] in
   let n = ref 1 in
   let continue = ref true in
   while !continue && !n < t.cfg.max_batch do
-    match Queue.try_pop t.queue with
+    match Shards.try_pop_from t.shards src with
     | Some j ->
       batch := j :: !batch;
       incr n
@@ -263,12 +268,13 @@ let dispatch_round t first =
     (fun i cell -> List.iter (fun j -> deliver t j responses.(i)) (List.rev !cell))
     uniques
 
-let dispatcher_loop t =
+let dispatcher_loop t shard =
   let rec loop () =
-    match Queue.pop t.queue with
+    match Shards.pop t.shards ~shard with
     | None -> ()
-    | Some job ->
-      dispatch_round t job;
+    | Some (job, src) ->
+      if src <> shard then Metrics.incr_steals t.metrics;
+      dispatch_round t ~src job;
       loop ()
   in
   loop ()
@@ -276,19 +282,23 @@ let dispatcher_loop t =
 (* ------------------------------------------------------------------ *)
 (* Connection threads                                                  *)
 
+let snapshot t =
+  Metrics.snapshot ~dispatchers:t.cfg.dispatchers t.metrics
+    ~queue_depth:(Shards.length t.shards)
+
 let health_of t : P.health_rep =
   let draining = Atomic.get t.draining in
-  let s = Metrics.snapshot t.metrics ~queue_depth:(Queue.length t.queue) in
+  let s = snapshot t in
   {
     healthy = not draining;
     draining;
     h_uptime_s = s.P.uptime_s;
     h_queue_depth = s.P.queue_depth;
-    h_capacity = t.cfg.queue_capacity;
+    h_capacity = Shards.capacity t.shards;
     h_workers = t.cfg.jobs;
   }
 
-let stats t = Metrics.snapshot t.metrics ~queue_depth:(Queue.length t.queue)
+let stats t = snapshot t
 let health = health_of
 
 let wait_reply job =
@@ -332,14 +342,14 @@ let handle_line t line =
         {
           request;
           key = P.request_key request;
-          admitted = Unix.gettimeofday ();
+          admitted = Parallel.Clock.now ();
           jm = Mutex.create ();
           jc = Condition.create ();
           reply = None;
         }
       in
       Some
-        (match Queue.try_push t.queue job with
+        (match Shards.try_push t.shards ~key:job.key job with
         | Queue.Enqueued ->
           Metrics.incr_accepted t.metrics;
           Metrics.incr_inflight t.metrics;
@@ -348,8 +358,8 @@ let handle_line t line =
           Metrics.incr_rejected t.metrics;
           P.Overloaded
             {
-              depth = Queue.length t.queue;
-              capacity = t.cfg.queue_capacity;
+              depth = Shards.length t.shards;
+              capacity = Shards.capacity t.shards;
             }
         | Queue.Closed ->
           Metrics.incr_rejected t.metrics;
@@ -433,8 +443,13 @@ let bind_socket address =
     (fd, bound)
 
 let start cfg =
-  if cfg.jobs < 1 || cfg.queue_capacity < 1 || cfg.max_batch < 1 then
-    E.invalid "Server.start: jobs, queue_capacity and max_batch must be >= 1"
+  if
+    cfg.jobs < 1 || cfg.dispatchers < 1 || cfg.queue_capacity < 1
+    || cfg.max_batch < 1
+  then
+    E.invalid
+      "Server.start: jobs, dispatchers, queue_capacity and max_batch must be \
+       >= 1"
   else begin
     (* A client vanishing mid-response must not kill the daemon. *)
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -449,13 +464,15 @@ let start cfg =
         {
           cfg;
           bound;
-          queue = Queue.create ~capacity:cfg.queue_capacity;
+          shards =
+            Shards.create ~shards:cfg.dispatchers
+              ~capacity:cfg.queue_capacity;
           metrics = Metrics.create ();
           pool = Parallel.Pool.create ~jobs:cfg.jobs ();
           listen_fd;
           draining = Atomic.make false;
           listener = None;
-          dispatcher = None;
+          dispatchers = [];
           conns = Hashtbl.create 16;
           conns_m = Mutex.create ();
           next_conn = 0;
@@ -463,7 +480,9 @@ let start cfg =
           stopped = false;
         }
       in
-      t.dispatcher <- Some (Thread.create (fun () -> dispatcher_loop t) ());
+      t.dispatchers <-
+        List.init cfg.dispatchers (fun i ->
+            Thread.create (fun () -> dispatcher_loop t i) ());
       t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
       Ok t
   end
@@ -480,9 +499,11 @@ let stop t =
     Atomic.set t.draining true;
     Option.iter Thread.join t.listener;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    Queue.close t.queue;
-    (* 2. Drain: the dispatcher answers everything already admitted. *)
-    Option.iter Thread.join t.dispatcher;
+    Shards.close t.shards;
+    (* 2. Drain: every dispatcher answers everything already admitted
+       (its own shard or stolen) before its pop returns None. *)
+    List.iter Thread.join t.dispatchers;
+    t.dispatchers <- [];
     Parallel.Pool.shutdown t.pool;
     (* 3. Wake the connection threads (blocked readers see EOF) and
        wait them out. *)

@@ -1,21 +1,27 @@
-(** The scheduling daemon: socket listener, admission queue, batching
-    dispatcher, worker pool.
+(** The scheduling daemon: socket listener, sharded admission queue,
+    batching dispatchers, worker pool.
 
     Request path: a connection thread reads one line, parses it
     ({!Protocol.parse_request}) and offers a job to the bounded
-    admission queue.  [stats]/[health] are answered inline; a full
-    queue answers [overloaded] immediately — that is the whole
-    backpressure story, no hidden buffering.  A single dispatcher
-    thread drains the queue in rounds of at most [max_batch] jobs,
-    collapses jobs with equal {!Protocol.request_key} onto one
-    evaluation (single-flight batching; duplicates receive the same
-    response), runs the unique requests on a {!Parallel.Pool} under the
-    pool's cooperative per-task budget, and hands every job its reply.
+    admission buffer — sharded by {!Protocol.request_key} hash across
+    [dispatchers] queues ({!Shards}).  [stats]/[health] are answered
+    inline; a full shard answers [overloaded] immediately — that is the
+    whole backpressure story, no hidden buffering.  Each dispatcher
+    thread drains its own shard in rounds of at most [max_batch] jobs,
+    collapses jobs with equal request key onto one evaluation
+    (single-flight batching; duplicates receive the same response —
+    key-hash sharding guarantees duplicates meet in the same
+    dispatcher), runs the unique requests on the shared
+    {!Parallel.Pool} (whose work-stealing scheduler lets concurrent
+    rounds interleave), and hands every job its reply.  A dispatcher
+    whose shard runs dry steals a round from the longest other shard,
+    so skewed traffic cannot idle dispatchers (counted in the [steals]
+    stat).
 
-    {!stop} drains gracefully: stop accepting, close admission, let the
-    dispatcher finish everything already admitted, shut the pool down,
-    then wake the connection threads.  After [stop] returns, no request
-    is in flight and the counters satisfy
+    {!stop} drains gracefully: stop accepting, close admission, let
+    every dispatcher finish everything already admitted, shut the pool
+    down, then wake the connection threads.  After [stop] returns, no
+    request is in flight and the counters satisfy
     [accepted = served + timed_out + failed]. *)
 
 type address =
@@ -25,7 +31,13 @@ type address =
 type config = {
   address : address;
   jobs : int;  (** worker-pool parallelism *)
-  queue_capacity : int;  (** admission bound — beyond it, [overloaded] *)
+  dispatchers : int;
+      (** dispatcher threads, each owning one admission shard
+          (default 1, which behaves exactly like the pre-sharding
+          single-queue server) *)
+  queue_capacity : int;
+      (** total admission bound, split evenly across shards — beyond a
+          shard's share, [overloaded] *)
   max_batch : int;  (** dispatcher round size *)
   timeout : float option;  (** per-request budget, seconds (cooperative) *)
   dedup : bool;

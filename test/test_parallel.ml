@@ -136,6 +136,159 @@ let test_pool_timeout () =
   | exception Parallel.Pool.Task_timeout _ ->
     Alcotest.fail "timeout masked the task's own exception"
 
+let test_pool_concurrent_maps () =
+  (* Several domains mapping on one pool at once — illegal on the old
+     mutex pool, a supported part of the contract on the work-stealing
+     one.  Each call must return its own deterministic result. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let run_one k =
+        let arr = Array.init 500 (fun i -> i + (1000 * k)) in
+        let expected = Array.map (fun x -> (2 * x) + k) arr in
+        for _ = 1 to 5 do
+          let got = Parallel.Pool.map pool (fun x -> (2 * x) + k) arr in
+          if got <> expected then Alcotest.failf "concurrent map %d diverged" k
+        done
+      in
+      let ds = List.init 3 (fun k -> Domain.spawn (fun () -> run_one (k + 1))) in
+      run_one 0;
+      List.iter Domain.join ds)
+
+let test_pool_reentrant_map () =
+  (* The task function maps on the same pool it runs on; the old pool
+     raised Invalid_argument here. *)
+  Parallel.Pool.with_pool ~jobs:4 (fun pool ->
+      let inner i =
+        Parallel.Pool.map pool (fun x -> x * x) (Array.init (i + 1) Fun.id)
+      in
+      let got =
+        Parallel.Pool.map pool
+          (fun i -> Array.fold_left ( + ) 0 (inner i))
+          (Array.init 20 Fun.id)
+      in
+      let expected =
+        Array.init 20 (fun i ->
+            Array.fold_left ( + ) 0 (Array.init (i + 1) (fun x -> x * x)))
+      in
+      Alcotest.(check (array int)) "reentrant map = sequential" expected got)
+
+let pool_map_equiv_prop =
+  QCheck2.Test.make ~count:40
+    ~name:"pool: map = Array.map over random n/jobs/chunk"
+    QCheck2.Gen.(triple (int_range 0 300) (int_range 1 8) (int_range 1 40))
+    (fun (n, jobs, chunk) ->
+      let f x = (x * 7) - (x * x) in
+      let arr = Array.init n (fun i -> i - (n / 2)) in
+      Parallel.Pool.run ~jobs ~chunk f arr = Array.map f arr)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let prev = ref (Parallel.Clock.now_ns ()) in
+  for _ = 1 to 10_000 do
+    let t = Parallel.Clock.now_ns () in
+    if Int64.compare t !prev < 0 then
+      Alcotest.failf "clock stepped back: %Ld after %Ld" t !prev;
+    prev := t
+  done;
+  let t0 = Parallel.Clock.now () in
+  check "elapsed_s never negative" true
+    (Parallel.Clock.elapsed_s ~since:t0 >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Deque                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_deque_owner_order () =
+  let d = Parallel.Deque.create () in
+  check "fresh deque empty" true (Parallel.Deque.is_empty d);
+  check "pop on empty" true (Parallel.Deque.pop d = None);
+  check "steal on empty" true (Parallel.Deque.steal d = None);
+  for i = 0 to 9 do
+    Parallel.Deque.push d i
+  done;
+  check_int "length" 10 (Parallel.Deque.length d);
+  (* the owner pops newest first *)
+  for i = 9 downto 5 do
+    check_int "pop LIFO" i (Option.get (Parallel.Deque.pop d))
+  done;
+  (* thieves take the oldest *)
+  for i = 0 to 4 do
+    check_int "steal FIFO" i (Option.get (Parallel.Deque.steal d))
+  done;
+  check "drained" true
+    (Parallel.Deque.pop d = None && Parallel.Deque.steal d = None);
+  (* empty -> nonempty -> empty transitions leave the deque usable *)
+  Parallel.Deque.push d 42;
+  check_int "reusable after empty" 42 (Option.get (Parallel.Deque.pop d));
+  check "empty again" true (Parallel.Deque.pop d = None)
+
+let test_deque_growth () =
+  let d = Parallel.Deque.create ~capacity:4 () in
+  let n = 1000 in
+  for i = 0 to n - 1 do
+    Parallel.Deque.push d i
+  done;
+  check_int "all retained across growth" n (Parallel.Deque.length d);
+  let seen = Array.make n false in
+  let rec drain () =
+    match Parallel.Deque.pop d with
+    | Some v ->
+      seen.(v) <- true;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iteri (fun i s -> if not s then Alcotest.failf "lost %d in growth" i) seen
+
+let test_deque_hammer () =
+  (* One owner pushing and popping, several thieves stealing: every
+     pushed value must be claimed exactly once, across empty/nonempty
+     transitions, the pop-vs-steal last-element race, and buffer
+     growth (initial capacity far below the item count). *)
+  let n = 50_000 and thieves = 3 in
+  let d = Parallel.Deque.create ~capacity:8 () in
+  let seen = Array.init n (fun _ -> Atomic.make 0) in
+  let claimed = Atomic.make 0 in
+  let claim v =
+    Atomic.incr seen.(v);
+    Atomic.incr claimed
+  in
+  let thief () =
+    while Atomic.get claimed < n do
+      match Parallel.Deque.steal d with
+      | Some v -> claim v
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let ds = List.init thieves (fun _ -> Domain.spawn thief) in
+  for i = 0 to n - 1 do
+    Parallel.Deque.push d i;
+    (* pop a share ourselves so both ends stay hot *)
+    if i mod 3 = 0 then
+      match Parallel.Deque.pop d with Some v -> claim v | None -> ()
+  done;
+  let rec drain () =
+    match Parallel.Deque.pop d with
+    | Some v ->
+      claim v;
+      drain ()
+    | None ->
+      if Atomic.get claimed < n then begin
+        Domain.cpu_relax ();
+        drain ()
+      end
+  in
+  drain ();
+  List.iter Domain.join ds;
+  check_int "every value claimed" n (Atomic.get claimed);
+  Array.iteri
+    (fun i c ->
+      let c = Atomic.get c in
+      if c <> 1 then Alcotest.failf "value %d claimed %d times" i c)
+    seen
+
 (* ------------------------------------------------------------------ *)
 (* Lru                                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -551,7 +704,21 @@ let () =
           Alcotest.test_case "task timeout" `Quick test_pool_timeout;
           Alcotest.test_case "run_local = map" `Quick
             test_pool_run_local_matches_map;
+          Alcotest.test_case "concurrent maps on one pool" `Quick
+            test_pool_concurrent_maps;
+          Alcotest.test_case "reentrant map" `Quick test_pool_reentrant_map;
+        ]
+        @ qsuite [ pool_map_equiv_prop ] );
+      ( "deque",
+        [
+          Alcotest.test_case "owner LIFO / thief FIFO" `Quick
+            test_deque_owner_order;
+          Alcotest.test_case "growth keeps the live window" `Quick
+            test_deque_growth;
+          Alcotest.test_case "multi-domain hammer" `Quick test_deque_hammer;
         ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
       ( "lru",
         [
           Alcotest.test_case "basics" `Quick test_lru_basics;

@@ -158,6 +158,8 @@ let sample_responses () =
         repair_probes = 3;
         repair_wins = 2;
         repair_pivots = 5;
+        dispatchers = 4;
+        steals = 6;
         queue_depth = 0;
         inflight = 0;
         p50_us = 256;
@@ -425,6 +427,89 @@ let test_queue_concurrent () =
   Array.iteri
     (fun x n -> if n <> 1 then Alcotest.failf "item %d consumed %d times" x n)
     consumed
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_shards_exactly_once () =
+  let shards = 4 and items = 64 in
+  let s = Service.Shards.create ~shards ~capacity:256 in
+  for i = 0 to items - 1 do
+    match Service.Shards.try_push s ~key:(string_of_int i) i with
+    | Service.Queue.Enqueued -> ()
+    | Service.Queue.Overloaded -> Alcotest.failf "push %d overloaded" i
+    | Service.Queue.Closed -> Alcotest.failf "push %d closed" i
+  done;
+  check_int "total length" items (Service.Shards.length s);
+  Service.Shards.close s;
+  (match Service.Shards.try_push s ~key:"x" 999 with
+  | Service.Queue.Closed -> ()
+  | _ -> Alcotest.fail "push after close not rejected");
+  let seen = Array.init items (fun _ -> Atomic.make 0) in
+  let consumer shard () =
+    let rec go () =
+      match Service.Shards.pop s ~shard with
+      | None -> ()
+      | Some (v, _src) ->
+        Atomic.incr seen.(v);
+        go ()
+    in
+    go ()
+  in
+  let ts = Array.init shards (fun i -> Thread.create (consumer i) ()) in
+  Array.iter Thread.join ts;
+  Array.iteri
+    (fun i c ->
+      let c = Atomic.get c in
+      if c <> 1 then Alcotest.failf "item %d consumed %d times" i c)
+    seen;
+  check_int "fully drained" 0 (Service.Shards.length s)
+
+let test_shards_steal () =
+  let s = Service.Shards.create ~shards:2 ~capacity:8 in
+  (* Find keys that land on shard 0, then consume from shard 1 only:
+     everything it gets must be a steal. *)
+  let key_on_0 =
+    let rec find i =
+      let k = string_of_int i in
+      if Service.Shards.shard_of_key s k = 0 then k else find (i + 1)
+    in
+    find 0
+  in
+  for v = 1 to 3 do
+    match Service.Shards.try_push s ~key:key_on_0 v with
+    | Service.Queue.Enqueued -> ()
+    | _ -> Alcotest.fail "push rejected"
+  done;
+  check_int "all on shard 0" 3 (Service.Shards.shard_length s 0);
+  check_int "shard 1 empty" 0 (Service.Shards.shard_length s 1);
+  (match Service.Shards.pop s ~shard:1 with
+  | Some (_, src) -> check_int "claim was a steal from shard 0" 0 src
+  | None -> Alcotest.fail "steal found nothing");
+  Service.Shards.close s;
+  let rec drain n =
+    match Service.Shards.pop s ~shard:1 with
+    | Some _ -> drain (n + 1)
+    | None -> n
+  in
+  check_int "rest drained after close" 2 (drain 0)
+
+let test_shards_close_wakes_blocked_pop () =
+  let s = Service.Shards.create ~shards:2 ~capacity:4 in
+  let got = Atomic.make `Pending in
+  let t =
+    Thread.create
+      (fun () ->
+        match Service.Shards.pop s ~shard:0 with
+        | None -> Atomic.set got `None
+        | Some _ -> Atomic.set got `Some)
+      ()
+  in
+  Thread.delay 0.02;
+  Service.Shards.close s;
+  Thread.join t;
+  check "blocked pop unblocked with None" true (Atomic.get got = `None)
 
 (* ------------------------------------------------------------------ *)
 (* Server lifecycle                                                    *)
@@ -723,6 +808,63 @@ let test_loadgen_against_server () =
         let s = Service.Server.stats server in
         drain_invariant "loadgen" s)
 
+let test_server_multi_dispatcher () =
+  (* Four dispatchers over a skewed stream: every request still gets
+     exactly one answer and the drain invariant holds; the stats line
+     carries the dispatcher count. *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 2;
+        dispatchers = 4;
+        queue_capacity = 64;
+        max_batch = 8;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      match
+        Service.Loadgen.run ~skew:1.2 address ~connections:6 ~requests:60
+          ~seed:5 ~distinct:8 ()
+      with
+      | Error e -> Alcotest.failf "loadgen: %s" (Dls.Errors.to_string e)
+      | Ok o ->
+        check_int "every request answered" 60
+          (o.Service.Loadgen.ok + o.Service.Loadgen.overloaded
+          + o.Service.Loadgen.timeouts + o.Service.Loadgen.failed);
+        check_int "no failures" 0 o.Service.Loadgen.failed;
+        let s = Service.Server.stats server in
+        check_int "stats report the dispatcher count" 4 s.P.dispatchers;
+        check "steals counter non-negative" true (s.P.steals >= 0);
+        drain_invariant "multi-dispatcher" s)
+
+let test_loadgen_skew () =
+  (* Same seed, same skewed stream — request by request. *)
+  let stream skew =
+    Array.init 120 (fun i ->
+        P.request_key (Service.Loadgen.request ~skew ~seed:3 ~distinct:8 i))
+  in
+  check "skewed stream deterministic" true (stream 1.5 = stream 1.5);
+  (* skew = 0 is the classic uniform stream, bit for bit *)
+  let classic =
+    Array.init 120 (fun i ->
+        P.request_key (Service.Loadgen.request ~seed:3 ~distinct:8 i))
+  in
+  check "skew 0 = classic stream" true (stream 0. = classic);
+  (* A strong skew concentrates traffic: the most popular key must take
+     a clearly larger share than under the uniform draw. *)
+  let top_share keys =
+    let tbl = Hashtbl.create 16 in
+    Array.iter
+      (fun k ->
+        Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+      keys;
+    Hashtbl.fold (fun _ n acc -> max n acc) tbl 0
+  in
+  check "skew concentrates the head" true
+    (top_share (stream 2.) > top_share classic)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -747,6 +889,15 @@ let () =
           Alcotest.test_case "close drains" `Quick test_queue_close_drains;
           Alcotest.test_case "concurrent" `Quick test_queue_concurrent;
         ] );
+      ( "shards",
+        [
+          Alcotest.test_case "exactly-once across consumers" `Quick
+            test_shards_exactly_once;
+          Alcotest.test_case "dry shard steals from the longest" `Quick
+            test_shards_steal;
+          Alcotest.test_case "close wakes blocked pop" `Quick
+            test_shards_close_wakes_blocked_pop;
+        ] );
       ( "server",
         [
           Alcotest.test_case "solve bit-identical" `Quick
@@ -758,11 +909,14 @@ let () =
           Alcotest.test_case "drain under load" `Quick test_server_drain_under_load;
           Alcotest.test_case "malformed + inline stats" `Quick
             test_server_malformed_and_inline;
+          Alcotest.test_case "multi-dispatcher drain" `Quick
+            test_server_multi_dispatcher;
         ] );
       ( "loadgen",
         [
           Alcotest.test_case "deterministic stream" `Quick
             test_loadgen_deterministic;
           Alcotest.test_case "against a server" `Quick test_loadgen_against_server;
+          Alcotest.test_case "skewed key popularity" `Quick test_loadgen_skew;
         ] );
     ]
