@@ -1242,13 +1242,303 @@ let run_pool_bench ~quick ~k ~warmup ~json_path ~gate =
   (not gate) || gate_pass
 
 (* ------------------------------------------------------------------ *)
+(* Part 9: end-to-end resilience benchmark (BENCH_chaos.json)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two halves, matching the two halves of the resilience change:
+
+   1. goodput under chaos — the same seeded fault plan (Service.Chaos)
+      between the load generator and the server, two arms: the naive
+      single-attempt client (reconnects after a failure but never
+      retries the request) and the resilient retry/breaker client.
+      Goodput counts ok responses that landed within the caller's
+      deadline — an answer after the deadline is throughput, not
+      goodput.  The gate is that resilience buys goodput.
+
+   2. warm restart — the same daemon restarted on its response journal
+      against a cold restart; time to re-answer the working set.  The
+      gate is that journal replay beats recomputing. *)
+
+type chaos_bench_arm = {
+  ca_label : string;
+  ca_ok : int;
+  ca_failed : int;
+  ca_goodput : int;
+  ca_retries : int;
+  ca_breaker_opens : int;
+  ca_p50_ms : float;
+  ca_p99_ms : float;
+  ca_wall_s : float;
+}
+
+let run_chaos_arm ~label ~resilient ~plan ~requests ~connections ~seed ~distinct
+    ~deadline_s =
+  Dls.Lp_model.reset_cache ();
+  let spath = Filename.temp_file "dls-bench-chaos" ".sock" in
+  Sys.remove spath;
+  let cfg =
+    {
+      (Service.Server.default_config (Service.Server.Unix_socket spath)) with
+      Service.Server.jobs = 4;
+      queue_capacity = max 64 connections;
+      max_batch = 16;
+    }
+  in
+  let server =
+    match Service.Server.start cfg with
+    | Ok s -> s
+    | Error e ->
+      Printf.eprintf "bench: service start failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  let ppath = Filename.temp_file "dls-bench-chaos" ".proxy" in
+  Sys.remove ppath;
+  let proxy =
+    match
+      Service.Chaos.start
+        ~listen:(Service.Server.Unix_socket ppath)
+        ~upstream:(Service.Server.address server)
+        plan
+    with
+    | Ok p -> p
+    | Error e ->
+      Printf.eprintf "bench: chaos proxy failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  let outcome =
+    match
+      Service.Loadgen.run ?resilient ~deadline_s (Service.Chaos.address proxy)
+        ~connections ~requests ~seed ~distinct ()
+    with
+    | Ok o -> o
+    | Error e ->
+      Printf.eprintf "bench: loadgen failed: %s\n" (Dls.Errors.to_string e);
+      exit 2
+  in
+  Service.Chaos.stop proxy;
+  Service.Server.stop server;
+  let answered =
+    outcome.Service.Loadgen.ok + outcome.Service.Loadgen.overloaded
+    + outcome.Service.Loadgen.timeouts + outcome.Service.Loadgen.shed
+    + outcome.Service.Loadgen.failed
+  in
+  if answered <> requests then begin
+    Printf.eprintf "bench: chaos arm %s lost requests (%d/%d accounted)\n" label
+      answered requests;
+    exit 2
+  end;
+  {
+    ca_label = label;
+    ca_ok = outcome.Service.Loadgen.ok;
+    ca_failed = outcome.Service.Loadgen.failed;
+    ca_goodput = outcome.Service.Loadgen.goodput;
+    ca_retries = outcome.Service.Loadgen.retries;
+    ca_breaker_opens = outcome.Service.Loadgen.breaker_opens;
+    ca_p50_ms = outcome.Service.Loadgen.p50_ms;
+    ca_p99_ms = outcome.Service.Loadgen.p99_ms;
+    ca_wall_s = outcome.Service.Loadgen.wall_s;
+  }
+
+let chaos_arm_json a =
+  Printf.sprintf
+    "    { \"label\": %S, \"ok\": %d, \"failed\": %d, \"goodput\": %d, \
+     \"retries\": %d, \"breaker_opens\": %d, \"p50_ms\": %.3f, \"p99_ms\": \
+     %.3f, \"wall_s\": %.4f }"
+    a.ca_label a.ca_ok a.ca_failed a.ca_goodput a.ca_retries a.ca_breaker_opens
+    a.ca_p50_ms a.ca_p99_ms a.ca_wall_s
+
+(* Warm restart: serve a working set once (journaling it), restart on
+   the journal, serve it again.  [worker_delay] gives every cold
+   evaluation a deterministic floor, so the comparison measures the
+   thing the journal changes — recompute vs replay — rather than LP
+   noise. *)
+let run_chaos_restart ~distinct ~seed =
+  let journal = Filename.temp_file "dls-bench-chaos" ".journal" in
+  let regimes = [| Check.Fuzz.Small_z; Check.Fuzz.Unit_z; Check.Fuzz.Big_z |] in
+  let reqs =
+    List.init distinct (fun i ->
+        let rng = Random.State.make [| seed; i; 0xbe9c4 |] in
+        let p = Check.Fuzz.gen_platform rng regimes.(i mod 3) in
+        Service.Protocol.Solve
+          {
+            s_platform = p;
+            s_order = Service.Protocol.Fifo;
+            s_model = Dls.Lp_model.One_port;
+            s_fast = true;
+            s_load = Some (Q.of_int 1000);
+          })
+  in
+  let serve_once label =
+    Dls.Lp_model.reset_cache ();
+    let spath = Filename.temp_file "dls-bench-chaos" ".sock" in
+    Sys.remove spath;
+    let cfg =
+      {
+        (Service.Server.default_config (Service.Server.Unix_socket spath)) with
+        Service.Server.jobs = 2;
+        worker_delay = 0.02;
+        journal = Some journal;
+      }
+    in
+    let server =
+      match Service.Server.start cfg with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "bench: restart arm %s failed: %s\n" label
+          (Dls.Errors.to_string e);
+        exit 2
+    in
+    let t0 = Parallel.Clock.now () in
+    (match
+       Service.Client.with_client (Service.Server.address server) (fun cl ->
+           List.iter
+             (fun r ->
+               match Service.Client.request cl r with
+               | Ok resp when Service.Protocol.is_ok resp -> ()
+               | Ok resp ->
+                 Printf.eprintf "bench: restart arm %s: %s\n" label
+                   (Service.Protocol.response_to_string resp);
+                 exit 2
+               | Error e ->
+                 Printf.eprintf "bench: restart arm %s: %s\n" label
+                   (Dls.Errors.to_string e);
+                 exit 2)
+             reqs)
+     with
+    | Ok () -> ()
+    | Error e ->
+      Printf.eprintf "bench: restart arm %s: %s\n" label (Dls.Errors.to_string e);
+      exit 2);
+    let wall = Parallel.Clock.elapsed_s ~since:t0 in
+    let stats = Service.Server.stats server in
+    Service.Server.stop server;
+    (wall, stats)
+  in
+  let cold_s, cold_stats = serve_once "cold" in
+  if cold_stats.Service.Protocol.journal_appended <> distinct then begin
+    Printf.eprintf "bench: cold run journaled %d/%d records\n"
+      cold_stats.Service.Protocol.journal_appended distinct;
+    exit 2
+  end;
+  let warm_s, warm_stats = serve_once "warm" in
+  if
+    warm_stats.Service.Protocol.journal_replayed <> distinct
+    || warm_stats.Service.Protocol.warm_hits <> distinct
+  then begin
+    Printf.eprintf "bench: warm run replayed %d, hit %d of %d records\n"
+      warm_stats.Service.Protocol.journal_replayed
+      warm_stats.Service.Protocol.warm_hits distinct;
+    exit 2
+  end;
+  Sys.remove journal;
+  (cold_s, warm_s)
+
+let run_chaos_bench ~quick ~json_path ~gate =
+  let requests, connections, distinct =
+    if quick then (120, 8, 5) else (320, 16, 6)
+  in
+  (* Severity 1: every connection except each guaranteed-clean fourth
+     carries a fault on one of its first three requests — the regime
+     where the two clients actually part ways.  (At low severities the
+     handful of loadgen connections can dodge the plan entirely.) *)
+  let seed = 2026 and severity = 1.0 in
+  let plan = Service.Chaos.gen ~seed ~conns:4096 ~severity in
+  Printf.printf
+    "=== end-to-end resilience (chaos proxy, retries, journal restart) ===\n\
+     (%d requests, %d connections, severity %.2f, %d planned faults)\n\n%!"
+    requests connections severity (List.length plan);
+  let deadline_s = 0.25 in
+  let naive =
+    run_chaos_arm ~label:"naive client" ~resilient:None ~plan ~requests
+      ~connections ~seed ~distinct ~deadline_s
+  in
+  let rcfg address =
+    {
+      (Service.Resilient.default_config address) with
+      Service.Resilient.attempts = 4;
+      attempt_timeout = Some 0.1;
+      backoff_base = 0.002;
+      backoff_max = 0.02;
+      breaker_cooldown = 0.3;
+      jitter_seed = seed;
+    }
+  in
+  let resilient =
+    run_chaos_arm ~label:"resilient client"
+      ~resilient:
+        (Some (rcfg (Service.Server.Unix_socket "/nonexistent(overridden)")))
+      ~plan ~requests ~connections ~seed ~distinct ~deadline_s
+  in
+  List.iter
+    (fun a ->
+      Printf.printf
+        "  %-18s  ok %4d  failed %4d  goodput %4d  retries %4d  breaker %d  \
+         p50 %.1fms  p99 %.1fms\n%!"
+        a.ca_label a.ca_ok a.ca_failed a.ca_goodput a.ca_retries
+        a.ca_breaker_opens a.ca_p50_ms a.ca_p99_ms)
+    [ naive; resilient ];
+  let cold_s, warm_s = run_chaos_restart ~distinct ~seed in
+  Printf.printf
+    "  restart: cold %.3fs -> journal-warm %.3fs (%.2fx) over %d records\n%!"
+    cold_s warm_s
+    (cold_s /. Float.max 1e-9 warm_s)
+    distinct;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-chaos/1\",\n\
+      \  \"quick\": %b,\n\
+      \  \"seed\": %d,\n\
+      \  \"requests\": %d,\n\
+      \  \"connections\": %d,\n\
+      \  \"distinct\": %d,\n\
+      \  \"severity\": %.2f,\n\
+      \  \"plan_faults\": %d,\n\
+      \  \"deadline_s\": %.3f,\n\
+      \  \"arms\": [\n%s\n  ],\n\
+      \  \"restart\": { \"records\": %d, \"cold_s\": %.4f, \"warm_s\": %.4f, \
+       \"speedup\": %.2f }\n\
+       }\n"
+      quick seed requests connections distinct severity (List.length plan)
+      deadline_s
+      (String.concat ",\n" (List.map chaos_arm_json [ naive; resilient ]))
+      distinct cold_s warm_s
+      (cold_s /. Float.max 1e-9 warm_s)
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path;
+  let goodput_pass = resilient.ca_goodput > naive.ca_goodput in
+  let restart_pass = warm_s < cold_s in
+  let gate_pass = goodput_pass && restart_pass in
+  if gate && not gate_pass then begin
+    if not goodput_pass then
+      Printf.eprintf
+        "GATE FAILED: resilient goodput %d <= naive goodput %d under the same \
+         chaos plan\n"
+        resilient.ca_goodput naive.ca_goodput;
+    if not restart_pass then
+      Printf.eprintf
+        "GATE FAILED: journal-warm restart %.3fs >= cold restart %.3fs\n" warm_s
+        cold_s
+  end
+  else if gate then
+    Printf.printf
+      "  gate: resilient goodput %d > naive %d; warm restart %.3fs < cold \
+       %.3fs\n%!"
+      resilient.ca_goodput naive.ca_goodput warm_s cold_s;
+  (not gate) || gate_pass
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
 let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     solvers_gate robustness_only robustness_json robustness_cases service_only
     service_json service_gate multiload_only multiload_json multiload_gate
-    resolve_only resolve_json resolve_gate pool_only pool_json pool_gate =
+    resolve_only resolve_json resolve_gate pool_only pool_json pool_gate
+    chaos_only chaos_json chaos_gate =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
@@ -1281,6 +1571,10 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
            ~gate:pool_gate)
     then exit 1
   end
+  else if chaos_only then begin
+    if not (run_chaos_bench ~quick ~json_path:chaos_json ~gate:chaos_gate) then
+      exit 1
+  end
   else begin
     if not solvers_only then begin
       run_experiments ~quick ~jobs ~only;
@@ -1309,10 +1603,13 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
       run_pool_bench ~quick ~k:bench_k ~warmup ~json_path:pool_json
         ~gate:pool_gate
     in
+    let chaos_pass =
+      run_chaos_bench ~quick ~json_path:chaos_json ~gate:chaos_gate
+    in
     if
       not
         (gate_pass && service_pass && multiload_pass && resolve_pass
-       && pool_pass)
+       && pool_pass && chaos_pass)
     then exit 1
   end
 
@@ -1483,6 +1780,28 @@ let () =
              mutex pool on every jobs>=4 cell and 4 dispatchers match or beat \
              1 on the skewed service mix.")
   in
+  let chaos_only_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-only" ]
+          ~doc:"Run only the end-to-end resilience benchmark (Part 9).")
+  in
+  let chaos_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_chaos.json"
+      & info [ "chaos-json" ] ~docv:"FILE"
+          ~doc:"Where to write the resilience benchmark JSON.")
+  in
+  let chaos_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos-gate" ]
+          ~doc:
+            "Exit non-zero unless the resilient client's goodput beats the \
+             naive client under the same chaos plan and the journal-warm \
+             restart beats the cold restart.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
@@ -1494,6 +1813,7 @@ let () =
         $ robustness_cases_arg $ service_only_arg $ service_json_arg
         $ service_gate_arg $ multiload_only_arg $ multiload_json_arg
         $ multiload_gate_arg $ resolve_only_arg $ resolve_json_arg
-        $ resolve_gate_arg $ pool_only_arg $ pool_json_arg $ pool_gate_arg)
+        $ resolve_gate_arg $ pool_only_arg $ pool_json_arg $ pool_gate_arg
+        $ chaos_only_arg $ chaos_json_arg $ chaos_gate_arg)
   in
   exit (Cmd.eval cmd)

@@ -1461,9 +1461,29 @@ let serve_cmd =
             "Artificial per-request work, for overload and timeout \
              experiments.")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Crash-safe response journal: every fresh response is appended to \
+             $(docv) and replayed into a warm cache at boot, so a restarted \
+             daemon answers repeat requests at admission time.")
+  in
+  let brownout_arg =
+    Arg.(
+      value & flag
+      & info [ "brownout" ]
+          ~doc:
+            "Under sustained overload (three dispatch rounds above 3/4 queue \
+             capacity), force every solve onto the certified fast pipeline \
+             (bit-identical answers, lower worst-case latency) until three \
+             rounds end at or below 1/4.")
+  in
   let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
   let run socket host port jobs dispatchers queue_cap max_batch timeout
-      no_dedup worker_delay =
+      no_dedup worker_delay journal brownout =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1479,6 +1499,8 @@ let serve_cmd =
         timeout;
         dedup = not no_dedup;
         worker_delay;
+        journal;
+        brownout;
       }
     in
     match Service.Server.start cfg with
@@ -1511,7 +1533,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ jobs_arg
       $ dispatchers_arg $ queue_cap_arg $ max_batch_arg $ timeout_arg
-      $ no_dedup_arg $ worker_delay_arg)
+      $ no_dedup_arg $ worker_delay_arg $ journal_arg $ brownout_arg)
 
 let client_cmd =
   let requests_arg =
@@ -1522,7 +1544,24 @@ let client_cmd =
             "Request lines (quote each one); with none, lines are read from \
              standard input.")
   in
-  let run socket host port requests =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transport failures, transit corruption and $(b,overloaded) \
+             up to $(docv) times on fresh connections, with capped exponential \
+             backoff and a circuit breaker (0 = the naive single-attempt \
+             client).  Safe because a request's canonical line fully \
+             determines its response.")
+  in
+  let attempt_timeout_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "attempt-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt deadline when retrying (with $(b,--retries)).")
+  in
+  let run socket host port retries attempt_timeout requests =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1541,12 +1580,12 @@ let client_cmd =
         in
         slurp []
     in
+    let lines = List.filter (fun l -> String.trim l <> "") lines in
     let outcome =
-      Service.Client.with_client address (fun client ->
-          List.fold_left
-            (fun all_ok line ->
-              if String.trim line = "" then all_ok
-              else
+      if retries <= 0 then
+        Service.Client.with_client address (fun client ->
+            List.fold_left
+              (fun all_ok line ->
                 match Service.Client.request_raw client line with
                 | Ok resp ->
                   print_endline (Service.Protocol.response_to_string resp);
@@ -1554,7 +1593,40 @@ let client_cmd =
                 | Error e ->
                   prerr_endline ("dls: " ^ Dls.Errors.to_string e);
                   false)
-            true lines)
+              true lines)
+      else begin
+        (* The retry loop is keyed on the canonical renderer, so lines
+           are parsed locally first: a line that does not parse cannot
+           be retried safely (or at all). *)
+        let client =
+          Service.Resilient.create
+            {
+              (Service.Resilient.default_config address) with
+              Service.Resilient.attempts = retries + 1;
+              attempt_timeout =
+                (if attempt_timeout > 0. then Some attempt_timeout else None);
+            }
+        in
+        let all_ok =
+          List.fold_left
+            (fun all_ok line ->
+              match Service.Protocol.parse_request ~line:1 line with
+              | Error e ->
+                prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+                false
+              | Ok req -> (
+                match Service.Resilient.request client req with
+                | Ok resp ->
+                  print_endline (Service.Protocol.response_to_string resp);
+                  all_ok && Service.Protocol.is_ok resp
+                | Error e ->
+                  prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+                  false))
+            true lines
+        in
+        Service.Resilient.close client;
+        Ok all_ok
+      end
     in
     match outcome with
     | Ok true -> ()
@@ -1566,7 +1638,9 @@ let client_cmd =
   let doc = "send request lines to a running daemon" in
   Cmd.v
     (Cmd.info "client" ~doc)
-    Term.(const run $ socket_arg $ host_arg $ port_arg $ requests_arg)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ retries_arg
+      $ attempt_timeout_arg $ requests_arg)
 
 let loadgen_cmd =
   let requests_arg =
@@ -1614,7 +1688,32 @@ let loadgen_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the outcome to $(docv).")
   in
-  let run socket host port requests connections seed distinct multi skew json =
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Use the resilient client (reconnect, backoff, circuit breaker) \
+             with up to $(docv) retries per request; 0 keeps the naive \
+             single-attempt client that reconnects but never retries.")
+  in
+  let attempt_timeout_arg =
+    Arg.(
+      value & opt float 0.25
+      & info [ "attempt-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt deadline of the resilient client.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Per-request answer-by deadline: $(b,ok) responses landing later \
+             count as throughput but not goodput.")
+  in
+  let run socket host port requests connections seed distinct multi skew json
+      retries attempt_timeout deadline =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1622,19 +1721,35 @@ let loadgen_cmd =
         prerr_endline ("dls: " ^ msg);
         exit 2
     in
+    let resilient =
+      if retries <= 0 then None
+      else
+        Some
+          {
+            (Service.Resilient.default_config address) with
+            Service.Resilient.attempts = retries + 1;
+            attempt_timeout =
+              (if attempt_timeout > 0. then Some attempt_timeout else None);
+            jitter_seed = seed;
+          }
+    in
     match
-      Service.Loadgen.run ~multi ~skew address ~connections ~requests ~seed
-        ~distinct ()
+      Service.Loadgen.run ~multi ~skew ?resilient ?deadline_s:deadline address
+        ~connections ~requests ~seed ~distinct ()
     with
     | Error e ->
       prerr_endline ("dls: " ^ Dls.Errors.to_string e);
       exit 2
     | Ok o ->
       Printf.printf
-        "sent=%d ok=%d overloaded=%d timeouts=%d failed=%d wall=%.3fs \
+        "sent=%d ok=%d overloaded=%d timeouts=%d shed=%d failed=%d goodput=%d \
+         retries=%d breaker_opens=%d p50=%.1fms p99=%.1fms wall=%.3fs \
          rps=%.1f\n"
         o.Service.Loadgen.sent o.Service.Loadgen.ok o.Service.Loadgen.overloaded
-        o.Service.Loadgen.timeouts o.Service.Loadgen.failed
+        o.Service.Loadgen.timeouts o.Service.Loadgen.shed
+        o.Service.Loadgen.failed o.Service.Loadgen.goodput
+        o.Service.Loadgen.retries o.Service.Loadgen.breaker_opens
+        o.Service.Loadgen.p50_ms o.Service.Loadgen.p99_ms
         o.Service.Loadgen.wall_s o.Service.Loadgen.rps;
       (match json with
       | None -> ()
@@ -1642,24 +1757,33 @@ let loadgen_cmd =
         let oc = open_out path in
         Printf.fprintf oc
           "{\n\
-          \  \"schema\": \"dls-loadgen/1\",\n\
+          \  \"schema\": \"dls-loadgen/2\",\n\
           \  \"seed\": %d,\n\
           \  \"distinct\": %d,\n\
           \  \"skew\": %.3f,\n\
           \  \"connections\": %d,\n\
+          \  \"retries\": %d,\n\
           \  \"sent\": %d,\n\
           \  \"ok\": %d,\n\
           \  \"overloaded\": %d,\n\
           \  \"timeouts\": %d,\n\
+          \  \"shed\": %d,\n\
           \  \"failed\": %d,\n\
+          \  \"goodput\": %d,\n\
+          \  \"retried\": %d,\n\
+          \  \"breaker_opens\": %d,\n\
+          \  \"p50_ms\": %.3f,\n\
+          \  \"p99_ms\": %.3f,\n\
           \  \"wall_s\": %.6f,\n\
           \  \"rps\": %.1f\n\
            }\n"
-          seed distinct skew connections o.Service.Loadgen.sent
-          o.Service.Loadgen.ok
-          o.Service.Loadgen.overloaded o.Service.Loadgen.timeouts
-          o.Service.Loadgen.failed o.Service.Loadgen.wall_s
-          o.Service.Loadgen.rps;
+          seed distinct skew connections retries o.Service.Loadgen.sent
+          o.Service.Loadgen.ok o.Service.Loadgen.overloaded
+          o.Service.Loadgen.timeouts o.Service.Loadgen.shed
+          o.Service.Loadgen.failed o.Service.Loadgen.goodput
+          o.Service.Loadgen.retries o.Service.Loadgen.breaker_opens
+          o.Service.Loadgen.p50_ms o.Service.Loadgen.p99_ms
+          o.Service.Loadgen.wall_s o.Service.Loadgen.rps;
         close_out oc);
       if o.Service.Loadgen.failed > 0 then exit 1
   in
@@ -1669,7 +1793,153 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ requests_arg
       $ connections_arg $ seed_arg $ distinct_arg $ multi_arg $ skew_arg
-      $ json_arg)
+      $ json_arg $ retries_arg $ attempt_timeout_arg $ deadline_arg)
+
+let chaos_cmd =
+  let listen_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen-socket" ] ~docv:"PATH"
+          ~doc:"Unix socket the proxy listens on.")
+  in
+  let listen_host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "listen-host" ] ~docv:"HOST" ~doc:"TCP listen host.")
+  in
+  let listen_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "listen-port" ] ~docv:"PORT"
+          ~doc:"TCP listen port; 0 picks a free one.")
+  in
+  let upstream_socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "upstream-socket" ] ~docv:"PATH"
+          ~doc:"Unix socket of the upstream daemon.")
+  in
+  let upstream_host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "upstream-host" ] ~docv:"HOST" ~doc:"TCP upstream host.")
+  in
+  let upstream_port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "upstream-port" ] ~docv:"PORT" ~doc:"TCP upstream port.")
+  in
+  let plan_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan" ] ~docv:"FILE"
+          ~doc:
+            "Fault plan to inject (one $(b,conn C req R <fault>) per line); \
+             without it a plan is drawn from $(b,--chaos-seed), \
+             $(b,--conns) and $(b,--severity).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "chaos-seed" ] ~docv:"SEED"
+          ~doc:"Seed of the generated plan (ignored with $(b,--plan)).")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "conns" ] ~docv:"N"
+          ~doc:"Connections covered by the generated plan.")
+  in
+  let severity_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "severity" ] ~docv:"S"
+          ~doc:
+            "Fraction in [0,1] of covered connections that get a fault \
+             (every fourth connection always stays clean).")
+  in
+  let emit_plan_arg =
+    Arg.(
+      value & flag
+      & info [ "emit-plan" ]
+          ~doc:"Print the effective plan on standard output and exit.")
+  in
+  let die fmt =
+    Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt
+  in
+  let run lsocket lhost lport usocket uhost uport plan_file seed conns severity
+      emit_plan =
+    let plan =
+      match plan_file with
+      | Some path ->
+        let contents =
+          try
+            let ic = open_in_bin path in
+            let n = in_channel_length ic in
+            let s = really_input_string ic n in
+            close_in ic;
+            s
+          with Sys_error msg -> die "%s" msg
+        in
+        (match Service.Chaos.of_string contents with
+        | Ok plan -> plan
+        | Error e -> die "%s: %s" path (Dls.Errors.to_string e))
+      | None -> Service.Chaos.gen ~seed ~conns ~severity
+    in
+    if emit_plan then print_string (Service.Chaos.to_string plan)
+    else begin
+      let listen =
+        match (lsocket, lport) with
+        | None, None ->
+          (* No listen address given: default to a free TCP port. *)
+          Service.Server.Tcp (lhost, 0)
+        | _ -> (
+          match address_of lsocket lhost lport with
+          | Ok a -> a
+          | Error msg -> die "chaos listen: %s" msg)
+      in
+      let upstream =
+        match address_of usocket uhost uport with
+        | Ok a -> a
+        | Error _ ->
+          die
+            "chaos: an upstream is required (--upstream-socket PATH or \
+             --upstream-port N)"
+      in
+      match Service.Chaos.start ~listen ~upstream plan with
+      | Error e -> die "%s" (Dls.Errors.to_string e)
+      | Ok proxy ->
+        let stop_flag = Atomic.make false in
+        let on_signal =
+          Sys.Signal_handle (fun _ -> Atomic.set stop_flag true)
+        in
+        Sys.set_signal Sys.sigterm on_signal;
+        Sys.set_signal Sys.sigint on_signal;
+        Printf.printf "dls: chaos proxy %s -> %s (%d planned faults)\n%!"
+          (address_to_string (Service.Chaos.address proxy))
+          (address_to_string upstream)
+          (List.length plan);
+        while not (Atomic.get stop_flag) do
+          (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+        done;
+        prerr_endline "dls: chaos proxy stopping";
+        Service.Chaos.stop proxy
+    end
+  in
+  let doc =
+    "run the deterministic fault-injecting proxy in front of a daemon"
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    Term.(
+      const run $ listen_socket_arg $ listen_host_arg $ listen_port_arg
+      $ upstream_socket_arg $ upstream_host_arg $ upstream_port_arg $ plan_arg
+      $ seed_arg $ conns_arg $ severity_arg $ emit_plan_arg)
 
 (* ------------------------------------------------------------------ *)
 
@@ -1701,4 +1971,5 @@ let () =
             serve_cmd;
             client_cmd;
             loadgen_cmd;
+            chaos_cmd;
           ]))

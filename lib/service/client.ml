@@ -2,23 +2,22 @@ module E = Dls.Errors
 
 type t = {
   fd : Unix.file_descr;
-  ic : in_channel;
-  oc : out_channel;
+  reader : Wire.reader;
   mutable closed : bool;
 }
+
+type transport_error = [ `Closed | `Closed_mid_line | `Deadline ]
+
+let transport_error_to_string = function
+  | `Closed -> "server closed the connection"
+  | `Closed_mid_line -> "connection lost mid-response"
+  | `Deadline -> "deadline expired waiting for the response"
 
 let connect (address : Server.address) =
   let mk domain addr =
     let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
     match Unix.connect fd addr with
-    | () ->
-      Ok
-        {
-          fd;
-          ic = Unix.in_channel_of_descr fd;
-          oc = Unix.out_channel_of_descr fd;
-          closed = false;
-        }
+    | () -> Ok { fd; reader = Wire.reader fd; closed = false }
     | exception Unix.Unix_error (err, fn, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (E.Io_error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
@@ -35,22 +34,28 @@ let connect (address : Server.address) =
       | _ | (exception Not_found) ->
         Error (E.Io_error (Printf.sprintf "cannot resolve host %S" host))))
 
-let request_raw t line =
-  if t.closed then Error (E.Io_error "client connection is closed")
+(* One raw request/response cycle: the resilient client builds on this
+   because it needs the undecoded reply line (corruption detection
+   happens on raw bytes, before parsing). *)
+let request_line ?deadline_s t line =
+  if t.closed then Error `Closed
   else
-    match
-      output_string t.oc line;
-      output_char t.oc '\n';
-      flush t.oc;
-      input_line t.ic
-    with
-    | reply -> Protocol.parse_response reply
-    | exception End_of_file -> Error (E.Io_error "server closed the connection")
-    | exception (Sys_error msg) -> Error (E.Io_error msg)
-    | exception Unix.Unix_error (err, fn, _) ->
-      Error (E.Io_error (Printf.sprintf "%s: %s" fn (Unix.error_message err)))
+    match Wire.write_line t.fd line with
+    | Error `Closed -> Error `Closed
+    | Ok () -> (
+      match Wire.read_line ?deadline_s t.reader with
+      | Wire.Line reply -> Ok reply
+      | Wire.Eof -> Error `Closed
+      | Wire.Eof_mid_line -> Error `Closed_mid_line
+      | Wire.Deadline -> Error `Deadline)
 
-let request t req = request_raw t (Protocol.request_to_string req)
+let request_raw ?deadline_s t line =
+  match request_line ?deadline_s t line with
+  | Ok reply -> Protocol.parse_response reply
+  | Error e -> Error (E.Io_error (transport_error_to_string e))
+
+let request ?deadline_s t req =
+  request_raw ?deadline_s t (Protocol.request_to_string req)
 
 let close t =
   if not t.closed then begin

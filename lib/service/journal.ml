@@ -1,0 +1,153 @@
+(* Append-only checksummed journal.  See journal.mli for the record
+   format and the truncated-tail recovery contract. *)
+
+module E = Dls.Errors
+
+(* Table-driven CRC-32, reflected polynomial 0xEDB88320 (the IEEE
+   variant used by gzip/zlib).  Good enough to catch torn writes and
+   bit rot; this is an integrity check, not an authenticity one. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8))
+    s;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let payload_crc ~key ~value = crc32 (key ^ "\n" ^ value)
+
+type t = {
+  fd : Unix.file_descr;
+  sync : bool;
+  lock : Mutex.t;
+  mutable appended : int;
+  mutable closed : bool;
+}
+
+let render ~key ~value =
+  Printf.sprintf "rec %08lx %d %d\n%s\n%s\n" (payload_crc ~key ~value)
+    (String.length key) (String.length value) key value
+
+(* Replay: scan [contents], returning the valid records and the byte
+   offset of the first bad (or absent) record.  Boundaries are derived
+   from the lengths in each header, so a single bad record makes
+   everything after it unreachable — we stop there by design. *)
+let scan contents =
+  let len = String.length contents in
+  let records = ref [] in
+  let pos = ref 0 in
+  let good = ref 0 in
+  let bad = ref false in
+  while (not !bad) && !pos < len do
+    match String.index_from_opt contents !pos '\n' with
+    | None -> bad := true
+    | Some eol -> (
+        let header = String.sub contents !pos (eol - !pos) in
+        match String.split_on_char ' ' header with
+        | [ "rec"; crc_hex; klen_s; vlen_s ] -> (
+            match
+              ( int_of_string_opt ("0x" ^ crc_hex),
+                int_of_string_opt klen_s,
+                int_of_string_opt vlen_s )
+            with
+            | Some crc, Some klen, Some vlen
+              when klen >= 0 && vlen >= 0
+                   && eol + 1 + klen + 1 + vlen + 1 <= len
+                   && contents.[eol + 1 + klen] = '\n'
+                   && contents.[eol + 1 + klen + 1 + vlen] = '\n' ->
+                let key = String.sub contents (eol + 1) klen in
+                let value = String.sub contents (eol + 1 + klen + 1) vlen in
+                if Int32.of_int crc = payload_crc ~key ~value then begin
+                  records := (key, value) :: !records;
+                  pos := eol + 1 + klen + 1 + vlen + 1;
+                  good := !pos
+                end
+                else bad := true
+            | _ -> bad := true)
+        | _ -> bad := true)
+  done;
+  (List.rev !records, !good)
+
+let open_ ?(sync = false) path =
+  match
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    let size = (Unix.fstat fd).Unix.st_size in
+    let contents =
+      let b = Bytes.create size in
+      let rec fill off =
+        if off < size then
+          match Unix.read fd b off (size - off) with
+          | 0 -> off
+          | n -> fill (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill off
+        else off
+      in
+      let got = fill 0 in
+      Bytes.sub_string b 0 got
+    in
+    let records, good = scan contents in
+    if good < String.length contents then Unix.ftruncate fd good;
+    ignore (Unix.lseek fd good Unix.SEEK_SET);
+    ( { fd; sync; lock = Mutex.create (); appended = 0; closed = false },
+      records )
+  with
+  | pair -> Ok pair
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (E.Io_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let append t ~key ~value =
+  if String.contains key '\n' || String.contains value '\n' then
+    Error (E.Io_error "journal: record contains a newline")
+  else begin
+    Mutex.lock t.lock;
+    let result =
+      if t.closed then Error (E.Io_error "journal: closed")
+      else
+        let line = render ~key ~value in
+        let bytes = Bytes.of_string line in
+        let len = Bytes.length bytes in
+        let rec write off =
+          if off >= len then Ok ()
+          else
+            match Unix.write t.fd bytes off (len - off) with
+            | n -> write (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (E.Io_error ("journal: " ^ Unix.error_message e))
+        in
+        match write 0 with
+        | Ok () ->
+            if t.sync then Unix.fsync t.fd;
+            t.appended <- t.appended + 1;
+            Ok ()
+        | Error _ as e -> e
+    in
+    Mutex.unlock t.lock;
+    result
+  end
+
+let appended t = t.appended
+
+let close t =
+  Mutex.lock t.lock;
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ())
+  end;
+  Mutex.unlock t.lock

@@ -1,0 +1,53 @@
+(** Crash-safe append-only journal of canonical-key → response records.
+
+    The daemon's warm state — the LRU of canonical request keys to
+    rendered responses — used to live only in memory, so a restart
+    served every request cold.  A journal makes that state durable the
+    cheapest way possible: every freshly computed record is appended to
+    a flat file, and on boot {!open_} replays whatever prefix of the
+    file survives into the cache.
+
+    {b Record format} (all byte counts exact, keys and values are the
+    protocol's canonical single-line renderings):
+
+    {v rec <crc32-hex> <klen> <vlen>
+<key bytes>
+<value bytes>
+v}
+
+    The CRC-32 covers [key ^ "\n" ^ value].  A record is accepted only
+    if the header parses, both payloads are present in full with their
+    terminators, and the checksum matches.
+
+    {b Truncated-tail tolerance}: a crash mid-append leaves a partial
+    or corrupt final record.  {!open_} replays records until the first
+    bad one, truncates the file back to the last good boundary, and
+    carries on — a torn tail costs at most the records after it, never
+    the journal.  Corruption {e before} the tail also stops the replay
+    at that point (everything after an unreadable record is
+    unreachable, since record boundaries are length-derived). *)
+
+type t
+
+(** [open_ ?sync path] opens (creating if absent) the journal at
+    [path], replays its valid prefix, truncates any bad tail, and
+    returns the handle plus the replayed [(key, value)] pairs in append
+    order — oldest first, so feeding them to an LRU in order leaves the
+    most recently appended records also most recently used.  With
+    [~sync:true] (default [false]) every {!append} is followed by
+    [fsync]. *)
+val open_ : ?sync:bool -> string -> (t * (string * string) list, Dls.Errors.t) result
+
+(** [append t ~key ~value] durably adds one record.  [key] and [value]
+    must be newline-free (canonical protocol lines are).  Serialised
+    internally; safe to call from several threads. *)
+val append : t -> key:string -> value:string -> (unit, Dls.Errors.t) result
+
+(** Number of records appended through this handle (excludes replay). *)
+val appended : t -> int
+
+val close : t -> unit
+
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a string — exposed
+    for tests that corrupt records deliberately. *)
+val crc32 : string -> int32

@@ -6,7 +6,13 @@ type outcome = {
   ok : int;
   overloaded : int;
   timeouts : int;
+  shed : int;
   failed : int;
+  goodput : int;
+  retries : int;
+  breaker_opens : int;
+  p50_ms : float;
+  p99_ms : float;
   wall_s : float;
   rps : float;
 }
@@ -86,11 +92,46 @@ type tally = {
   mutable t_ok : int;
   mutable t_overloaded : int;
   mutable t_timeouts : int;
+  mutable t_shed : int;
   mutable t_failed : int;
+  mutable t_goodput : int;
+  mutable t_retries : int;
+  mutable t_breaker_opens : int;
+  mutable t_latencies_ms : float list;  (* of ok responses *)
 }
 
-let run ?(multi = false) ?(skew = 0.) address ~connections ~requests ~seed
-    ~distinct () =
+(* Per-connection issue loop, shared by the naive and resilient arms.
+   [send] runs one request to completion (including any retries) and
+   returns the response or a terminal error. *)
+let issue tally ~deadline_s ~send req =
+  let t0 = Parallel.Clock.now () in
+  let result = send req in
+  let elapsed = Parallel.Clock.elapsed_s ~since:t0 in
+  match result with
+  | Ok resp when P.is_ok resp ->
+    tally.t_ok <- tally.t_ok + 1;
+    tally.t_latencies_ms <- (elapsed *. 1e3) :: tally.t_latencies_ms;
+    let in_time =
+      match deadline_s with None -> true | Some d -> elapsed <= d
+    in
+    if in_time then tally.t_goodput <- tally.t_goodput + 1
+  | Ok (P.Overloaded _) -> tally.t_overloaded <- tally.t_overloaded + 1
+  | Ok (P.Timed_out _) -> tally.t_timeouts <- tally.t_timeouts + 1
+  | Ok (P.Shed _) -> tally.t_shed <- tally.t_shed + 1
+  | Ok _ | Error _ -> tally.t_failed <- tally.t_failed + 1
+
+let quantile_ms sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let idx =
+      let i = int_of_float (ceil (float_of_int n *. q)) - 1 in
+      if i < 0 then 0 else if i >= n then n - 1 else i
+    in
+    sorted.(idx)
+
+let run ?(multi = false) ?(skew = 0.) ?resilient ?deadline_s address
+    ~connections ~requests ~seed ~distinct () =
   if connections <= 0 || requests < 0 || distinct <= 0 then
     Dls.Errors.invalid "Loadgen.run: bad parameters"
   else begin
@@ -101,25 +142,67 @@ let run ?(multi = false) ?(skew = 0.) address ~connections ~requests ~seed
     let connections = max 1 (min connections (max requests 1)) in
     let tallies =
       Array.init connections (fun _ ->
-          { t_ok = 0; t_overloaded = 0; t_timeouts = 0; t_failed = 0 })
+          {
+            t_ok = 0;
+            t_overloaded = 0;
+            t_timeouts = 0;
+            t_shed = 0;
+            t_failed = 0;
+            t_goodput = 0;
+            t_retries = 0;
+            t_breaker_opens = 0;
+            t_latencies_ms = [];
+          })
     in
     let conn_error = Atomic.make None in
-    let worker c =
+    let naive_worker c =
       match Client.connect address with
       | Error e ->
         if Atomic.get conn_error = None then Atomic.set conn_error (Some e)
       | Ok client ->
         let tally = tallies.(c) in
+        let client = ref client in
+        let send req =
+          match Client.request ?deadline_s:deadline_s !client req with
+          | Ok _ as ok -> ok
+          | Error _ as err ->
+            (* The cycle failed, so this connection's stream position
+               is unknowable (a late reply would be matched to the
+               wrong request).  Reconnect to stay well-framed; the
+               failed request itself is NOT retried — that naivety is
+               the point of this arm. *)
+            Client.close !client;
+            (match Client.connect address with
+            | Ok fresh -> client := fresh
+            | Error _ -> ());
+            err
+        in
         let i = ref c in
         while !i < requests do
-          (match Client.request client stream.(!i) with
-          | Ok resp when P.is_ok resp -> tally.t_ok <- tally.t_ok + 1
-          | Ok (P.Overloaded _) -> tally.t_overloaded <- tally.t_overloaded + 1
-          | Ok (P.Timed_out _) -> tally.t_timeouts <- tally.t_timeouts + 1
-          | Ok _ | Error _ -> tally.t_failed <- tally.t_failed + 1);
+          issue tally ~deadline_s ~send stream.(!i);
           i := !i + connections
         done;
-        Client.close client
+        Client.close !client
+    in
+    let resilient_worker rcfg c =
+      let rcfg = { rcfg with Resilient.address } in
+      let r = Resilient.create rcfg in
+      let tally = tallies.(c) in
+      let send req = Resilient.request r req in
+      let i = ref c in
+      while !i < requests do
+        issue tally ~deadline_s ~send stream.(!i);
+        i := !i + connections
+      done;
+      let s = Resilient.stats r in
+      tally.t_retries <- s.Resilient.retries;
+      tally.t_breaker_opens <- s.Resilient.breaker_opens;
+      Resilient.close r
+    in
+    let worker =
+      match resilient with
+      | None -> naive_worker
+      | Some rcfg -> resilient_worker rcfg
     in
     let t0 = Parallel.Clock.now () in
     let threads = Array.init connections (fun c -> Thread.create worker c) in
@@ -130,13 +213,26 @@ let run ?(multi = false) ?(skew = 0.) address ~connections ~requests ~seed
     | None ->
       let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
       let ok = sum (fun t -> t.t_ok) in
+      let latencies =
+        Array.of_list
+          (Array.fold_left
+             (fun acc t -> List.rev_append t.t_latencies_ms acc)
+             [] tallies)
+      in
+      Array.sort compare latencies;
       Ok
         {
           sent = requests;
           ok;
           overloaded = sum (fun t -> t.t_overloaded);
           timeouts = sum (fun t -> t.t_timeouts);
+          shed = sum (fun t -> t.t_shed);
           failed = sum (fun t -> t.t_failed);
+          goodput = sum (fun t -> t.t_goodput);
+          retries = sum (fun t -> t.t_retries);
+          breaker_opens = sum (fun t -> t.t_breaker_opens);
+          p50_ms = quantile_ms latencies 0.50;
+          p99_ms = quantile_ms latencies 0.99;
           wall_s;
           rps = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
         }

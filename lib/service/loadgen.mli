@@ -19,7 +19,18 @@ type outcome = {
   ok : int;
   overloaded : int;
   timeouts : int;
+  shed : int;  (** [shed] responses (deadline-aware admission) *)
   failed : int;  (** transport errors and [error] responses *)
+  goodput : int;
+      (** [ok] responses that landed within [deadline_s] of being
+          issued (client-side clock, retries included); equals [ok]
+          when no deadline is set.  This is the number a user actually
+          cares about under chaos — an answer after the deadline is
+          throughput, not goodput. *)
+  retries : int;  (** resilient arm only: attempts beyond each first *)
+  breaker_opens : int;  (** resilient arm only: circuit-breaker trips *)
+  p50_ms : float;  (** latency quantiles over [ok] responses, ms *)
+  p99_ms : float;
   wall_s : float;
   rps : float;  (** ok responses per wall-clock second *)
 }
@@ -47,10 +58,23 @@ val request :
 (** [run address ~connections ~requests ~seed ~distinct ()] replays the
     first [requests] requests of the stream over [connections]
     concurrent connections and aggregates the outcome.  [~multi] and
-    [~skew] are passed to {!request}. *)
+    [~skew] are passed to {!request}.
+
+    [~resilient] switches the per-connection client from the naive
+    single-attempt {!Client} (which, after a transport failure, drops
+    the request and reconnects to stay well-framed) to a {!Resilient}
+    client with the given configuration (its [address] field is
+    overridden by [address]); each connection gets its own breaker.
+
+    [~deadline_s] is the per-request answer-by deadline used for the
+    [goodput] count and, in the naive arm, as the read deadline of each
+    cycle.  The request stream itself never depends on either option,
+    so chaos runs stay seed-deterministic and connection-invariant. *)
 val run :
   ?multi:bool ->
   ?skew:float ->
+  ?resilient:Resilient.config ->
+  ?deadline_s:float ->
   Server.address ->
   connections:int ->
   requests:int ->

@@ -14,6 +14,19 @@ type t = {
   collapsed : int Atomic.t;
   inflight : int Atomic.t;
   steals : int Atomic.t;
+  shed : int Atomic.t;
+  brownouts : int Atomic.t;
+  brownout_active : bool Atomic.t;
+  hangups : int Atomic.t;
+  warm_hits : int Atomic.t;
+  journal_appended : int Atomic.t;
+  journal_replayed : int Atomic.t;
+  retries : int Atomic.t;
+  breaker_opens : int Atomic.t;
+  (* EWMA of per-request service time, stored as float bits so a CAS
+     loop can update it without a lock.  Admission divides this by the
+     worker count to predict queue wait. *)
+  service_ewma_bits : int Atomic.t;
   histogram : int Atomic.t array;
   max_us : int Atomic.t;
   started : float;  (* monotonic (Clock.now), not wall time *)
@@ -32,6 +45,16 @@ let create () =
     collapsed = Atomic.make 0;
     inflight = Atomic.make 0;
     steals = Atomic.make 0;
+    shed = Atomic.make 0;
+    brownouts = Atomic.make 0;
+    brownout_active = Atomic.make false;
+    hangups = Atomic.make 0;
+    warm_hits = Atomic.make 0;
+    journal_appended = Atomic.make 0;
+    journal_replayed = Atomic.make 0;
+    retries = Atomic.make 0;
+    breaker_opens = Atomic.make 0;
+    service_ewma_bits = Atomic.make (Int64.to_int (Int64.bits_of_float 0.0));
     histogram = Array.init buckets (fun _ -> Atomic.make 0);
     max_us = Atomic.make 0;
     started = Parallel.Clock.now ();
@@ -46,6 +69,24 @@ let incr_malformed t = Atomic.incr t.malformed
 let incr_inflight t = Atomic.incr t.inflight
 let decr_inflight t = Atomic.decr t.inflight
 let incr_steals t = Atomic.incr t.steals
+let incr_shed t = Atomic.incr t.shed
+let incr_hangups t = Atomic.incr t.hangups
+let incr_warm_hits t = Atomic.incr t.warm_hits
+let incr_journal_appended t = Atomic.incr t.journal_appended
+let incr_retries t = Atomic.incr t.retries
+let incr_breaker_opens t = Atomic.incr t.breaker_opens
+
+let add_journal_replayed t n =
+  ignore (Atomic.fetch_and_add t.journal_replayed n)
+
+let set_brownout t active =
+  (* Count only the off->on edge so [brownouts] is "times we browned
+     out", not "rounds spent browned out". *)
+  if active && not (Atomic.exchange t.brownout_active true) then
+    Atomic.incr t.brownouts
+  else if not active then Atomic.set t.brownout_active false
+
+let brownout_active t = Atomic.get t.brownout_active
 let steals t = Atomic.get t.steals
 let inflight t = Atomic.get t.inflight
 let accepted t = Atomic.get t.accepted
@@ -54,6 +95,12 @@ let timed_out t = Atomic.get t.timed_out
 let failed t = Atomic.get t.failed
 let rejected t = Atomic.get t.rejected
 let collapsed t = Atomic.get t.collapsed
+let shed t = Atomic.get t.shed
+let brownouts t = Atomic.get t.brownouts
+let hangups t = Atomic.get t.hangups
+let warm_hits t = Atomic.get t.warm_hits
+let retries t = Atomic.get t.retries
+let breaker_opens t = Atomic.get t.breaker_opens
 
 let rec atomic_max cell v =
   let cur = Atomic.get cell in
@@ -75,6 +122,20 @@ let observe_latency t seconds =
   let us = int_of_float (Float.max 0. (seconds *. 1e6)) in
   Atomic.incr t.histogram.(bucket_of_us us);
   atomic_max t.max_us us
+
+(* EWMA with alpha = 0.2: heavy enough on history to ride out one odd
+   request, light enough to track a regime change within ~10 requests.
+   First observation seeds the average directly. *)
+let rec observe_service t seconds =
+  let old_bits = Atomic.get t.service_ewma_bits in
+  let old = Int64.float_of_bits (Int64.of_int old_bits) in
+  let next = if old <= 0.0 then seconds else (0.8 *. old) +. (0.2 *. seconds) in
+  let next_bits = Int64.to_int (Int64.bits_of_float next) in
+  if not (Atomic.compare_and_set t.service_ewma_bits old_bits next_bits) then
+    observe_service t seconds
+
+let service_ewma t =
+  Int64.float_of_bits (Int64.of_int (Atomic.get t.service_ewma_bits))
 
 (* The last bucket is an overflow bucket: it holds everything at or
    past the last finite boundary, so it has no meaningful upper bound.
@@ -125,6 +186,12 @@ let snapshot ?(dispatchers = 1) t ~queue_depth : Protocol.stats_rep =
     repair_pivots = resolve.Dls.Lp_model.repair_pivots;
     dispatchers;
     steals = Atomic.get t.steals;
+    shed = Atomic.get t.shed;
+    brownouts = Atomic.get t.brownouts;
+    hangups = Atomic.get t.hangups;
+    warm_hits = Atomic.get t.warm_hits;
+    journal_appended = Atomic.get t.journal_appended;
+    journal_replayed = Atomic.get t.journal_replayed;
     queue_depth;
     inflight = Atomic.get t.inflight;
     p50_us = quantile counts total 0.50;

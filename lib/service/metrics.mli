@@ -30,6 +30,38 @@ val decr_inflight : t -> unit
     stolen from another dispatcher's shard. *)
 val incr_steals : t -> unit
 
+(** Resilience counters (PR 9).  Server side: [shed] requests turned
+    away by deadline-aware admission, [hangups] connections lost
+    mid-request or before their response was written, [warm_hits]
+    requests answered from the journal-backed response cache, and the
+    journal append/replay totals.  Client side ({!Resilient} keeps its
+    own [t]): [retries] re-sent attempts and [breaker_opens] circuit
+    trips — both are rendered into loadgen/bench reports rather than
+    the server's wire stats line. *)
+val incr_shed : t -> unit
+
+val incr_hangups : t -> unit
+val incr_warm_hits : t -> unit
+val incr_journal_appended : t -> unit
+val add_journal_replayed : t -> int -> unit
+val incr_retries : t -> unit
+val incr_breaker_opens : t -> unit
+
+(** [set_brownout m active] flips the brownout gauge; only the
+    off→on edge increments the [brownouts] counter, so it counts
+    activations, not rounds spent browned out. *)
+val set_brownout : t -> bool -> unit
+
+val brownout_active : t -> bool
+
+(** [observe_service m seconds] folds one request's evaluation time
+    into the service-time EWMA (alpha 0.2) that deadline-aware
+    admission divides by the worker count to predict queue wait. *)
+val observe_service : t -> float -> unit
+
+(** Current EWMA in seconds; 0.0 until the first observation. *)
+val service_ewma : t -> float
+
 val steals : t -> int
 val inflight : t -> int
 val accepted : t -> int
@@ -38,6 +70,12 @@ val timed_out : t -> int
 val failed : t -> int
 val rejected : t -> int
 val collapsed : t -> int
+val shed : t -> int
+val brownouts : t -> int
+val hangups : t -> int
+val warm_hits : t -> int
+val retries : t -> int
+val breaker_opens : t -> int
 
 (** [observe_latency m seconds] files one admission-to-response
     latency. *)

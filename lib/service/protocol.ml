@@ -96,6 +96,12 @@ type stats_rep = {
   repair_pivots : int;
   dispatchers : int;
   steals : int;
+  shed : int;
+  brownouts : int;
+  hangups : int;
+  warm_hits : int;
+  journal_appended : int;
+  journal_replayed : int;
   queue_depth : int;
   inflight : int;
   p50_us : int;
@@ -105,9 +111,12 @@ type stats_rep = {
   uptime_s : float;
 }
 
+type health_mode = Mode_healthy | Mode_degraded | Mode_draining
+
 type health_rep = {
   healthy : bool;
   draining : bool;
+  h_mode : health_mode;
   h_uptime_s : float;
   h_queue_depth : int;
   h_capacity : int;
@@ -124,6 +133,7 @@ type response =
   | Ok_hello of hello_rep
   | Overloaded of { depth : int; capacity : int }
   | Timed_out of { budget : float }
+  | Shed of { wait : float; budget : float }
   | Unsupported of { verb : string; server_version : int }
   | Failed of E.t
 
@@ -154,6 +164,11 @@ let float_str f =
       go 6
 
 let bool_str b = if b then "true" else "false"
+
+let mode_str = function
+  | Mode_healthy -> "healthy"
+  | Mode_degraded -> "degraded"
+  | Mode_draining -> "draining"
 let order_to_string = function Fifo -> "fifo" | Lifo -> "lifo"
 
 let model_to_string = function
@@ -614,17 +629,20 @@ let response_to_string = function
       "ok stats accepted=%d served=%d rejected=%d timed_out=%d failed=%d \
        malformed=%d batches=%d max_batch=%d collapsed=%d cache_hits=%d \
        cache_misses=%d repair_probes=%d repair_wins=%d repair_pivots=%d \
-       dispatchers=%d steals=%d queue_depth=%d inflight=%d p50_us=%d \
-       p90_us=%d p99_us=%d max_us=%d uptime_s=%s"
+       dispatchers=%d steals=%d shed=%d brownouts=%d hangups=%d warm_hits=%d \
+       journal_appended=%d journal_replayed=%d queue_depth=%d inflight=%d \
+       p50_us=%d p90_us=%d p99_us=%d max_us=%d uptime_s=%s"
       r.accepted r.served r.rejected r.timed_out r.failed r.malformed r.batches
       r.max_batch r.collapsed r.cache_hits r.cache_misses r.repair_probes
-      r.repair_wins r.repair_pivots r.dispatchers r.steals r.queue_depth
+      r.repair_wins r.repair_pivots r.dispatchers r.steals r.shed r.brownouts
+      r.hangups r.warm_hits r.journal_appended r.journal_replayed r.queue_depth
       r.inflight r.p50_us r.p90_us r.p99_us r.max_us (float_str r.uptime_s)
   | Ok_health r ->
     Printf.sprintf
-      "ok health healthy=%s draining=%s uptime_s=%s queue=%d capacity=%d \
-       workers=%d"
+      "ok health healthy=%s draining=%s mode=%s uptime_s=%s queue=%d \
+       capacity=%d workers=%d"
       (bool_str r.healthy) (bool_str r.draining)
+      (mode_str r.h_mode)
       (float_str r.h_uptime_s)
       r.h_queue_depth r.h_capacity r.h_workers
   | Ok_hello r ->
@@ -634,6 +652,8 @@ let response_to_string = function
   | Overloaded { depth; capacity } ->
     Printf.sprintf "overloaded depth=%d capacity=%d" depth capacity
   | Timed_out { budget } -> "timeout budget=" ^ float_str budget
+  | Shed { wait; budget } ->
+    Printf.sprintf "shed wait=%s budget=%s" (float_str wait) (float_str budget)
   | Unsupported { verb; server_version } ->
     Printf.sprintf "unsupported verb=%s version=%d" verb server_version
   | Failed e -> error_to_string e
@@ -642,7 +662,7 @@ let is_ok = function
   | Ok_solve _ | Ok_multi _ | Ok_simulate _ | Ok_check _ | Ok_stats _
   | Ok_health _ | Ok_hello _ ->
     true
-  | Overloaded _ | Timed_out _ | Unsupported _ | Failed _ -> false
+  | Overloaded _ | Timed_out _ | Shed _ | Unsupported _ | Failed _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Response parsing                                                    *)
@@ -752,6 +772,11 @@ let parse_response s =
     let* kvs = kv_map rest in
     let* budget = need_float kvs "budget" in
     Ok (Timed_out { budget })
+  | { T.text = "shed"; _ } :: rest ->
+    let* kvs = kv_map rest in
+    let* wait = need_float kvs "wait" in
+    let* budget = need_float kvs "budget" in
+    Ok (Shed { wait; budget })
   | { T.text = "unsupported"; _ } :: rest ->
     let* kvs = kv_map rest in
     let* _, verb = need kvs "verb" in
@@ -891,6 +916,15 @@ let parse_response s =
          steal, so those are the wire defaults. *)
       let* dispatchers = opt_int ~default:1 kvs "dispatchers" in
       let* steals = opt_int ~default:0 kvs "steals" in
+      (* Pre-resilience servers never shed, browned out, counted lost
+         connections, or journaled, so every new counter defaults to 0
+         when absent on the wire. *)
+      let* shed = opt_int ~default:0 kvs "shed" in
+      let* brownouts = opt_int ~default:0 kvs "brownouts" in
+      let* hangups = opt_int ~default:0 kvs "hangups" in
+      let* warm_hits = opt_int ~default:0 kvs "warm_hits" in
+      let* journal_appended = opt_int ~default:0 kvs "journal_appended" in
+      let* journal_replayed = opt_int ~default:0 kvs "journal_replayed" in
       let* queue_depth = need_int kvs "queue_depth" in
       let* inflight = need_int kvs "inflight" in
       let* p50_us = need_int kvs "p50_us" in
@@ -917,6 +951,12 @@ let parse_response s =
              repair_pivots;
              dispatchers;
              steals;
+             shed;
+             brownouts;
+             hangups;
+             warm_hits;
+             journal_appended;
+             journal_replayed;
              queue_depth;
              inflight;
              p50_us;
@@ -929,18 +969,42 @@ let parse_response s =
       let* kvs = kv_map rest in
       let* healthy = need_bool kvs "healthy" in
       let* draining = need_bool kvs "draining" in
+      (* Pre-resilience servers spoke only the two booleans; derive the
+         mode from them when the field is absent so new clients keep
+         parsing old health lines. *)
+      let* h_mode =
+        match opt_field kvs "mode" with
+        | None ->
+          Ok
+            (if draining then Mode_draining
+             else if healthy then Mode_healthy
+             else Mode_degraded)
+        | Some "healthy" -> Ok Mode_healthy
+        | Some "degraded" -> Ok Mode_degraded
+        | Some "draining" -> Ok Mode_draining
+        | Some other ->
+          E.parse_error ~line:1 ~col:1 "unknown health mode %S" other
+      in
       let* h_uptime_s = need_float kvs "uptime_s" in
       let* h_queue_depth = need_int kvs "queue" in
       let* h_capacity = need_int kvs "capacity" in
       let* h_workers = need_int kvs "workers" in
       Ok
         (Ok_health
-           { healthy; draining; h_uptime_s; h_queue_depth; h_capacity; h_workers })
+           {
+             healthy;
+             draining;
+             h_mode;
+             h_uptime_s;
+             h_queue_depth;
+             h_capacity;
+             h_workers;
+           })
     | other ->
       E.parse_error ~line:1 ~col:kind.T.col "unknown response kind %S" other)
   | { T.text = "ok"; col; _ } :: [] ->
     E.parse_error ~line:1 ~col "ok response misses its kind"
   | tok :: _ ->
     E.parse_error ~line:1 ~col:tok.T.col
-      "unknown response status %S (expected ok/overloaded/timeout/error)"
+      "unknown response status %S (expected ok/overloaded/timeout/shed/error)"
       tok.T.text

@@ -38,8 +38,10 @@
     {2 Response grammar}
 
     A response starts with a status token: [ok <kind> key=value ...],
-    [overloaded depth=N capacity=N], [timeout budget=S], or
-    [error <code> <message...>].  {!parse_response} inverts
+    [overloaded depth=N capacity=N], [timeout budget=S],
+    [shed wait=S budget=S] (deadline-aware admission turned the request
+    away because the predicted queue wait already exceeds the budget),
+    or [error <code> <message...>].  {!parse_response} inverts
     {!response_to_string} exactly; rationals are rendered in lowest
     terms, floats with enough digits to round-trip.
 
@@ -150,7 +152,7 @@ type hello_rep = {
 }
 
 (** Serving counters; the invariant after a drain (no requests in
-    flight) is [accepted = served + timed_out + failed]. *)
+    flight) is [accepted = served + timed_out + failed + shed]. *)
 type stats_rep = {
   accepted : int;  (** admitted to the request queue *)
   served : int;  (** answered with an [ok] response *)
@@ -175,6 +177,24 @@ type stats_rep = {
   steals : int;
       (** dispatch rounds whose first job was stolen from another
           dispatcher's shard; 0 when absent on the wire *)
+  shed : int;
+      (** accepted but answered [shed] at admission: the predicted
+          queue wait already exceeded the request budget, so queueing
+          the work would only have produced a later [timeout].  Counts
+          toward [accepted]; 0 when absent on the wire *)
+  brownouts : int;
+      (** times sustained overload switched the server into brownout
+          (forced [`Fast] solve mode); 0 when absent on the wire *)
+  hangups : int;
+      (** connections that vanished mid-request or before their
+          response could be written; 0 when absent on the wire *)
+  warm_hits : int;
+      (** requests answered from the journal-backed response cache at
+          admission, without touching the queue; 0 when absent *)
+  journal_appended : int;  (** records appended this process lifetime *)
+  journal_replayed : int;
+      (** records replayed into the response cache at boot; 0 when the
+          server runs without [--journal] or on old wire lines *)
   queue_depth : int;
   inflight : int;  (** admitted but not yet answered *)
   p50_us : int;  (** latency quantiles, admission to response, in us *)
@@ -184,9 +204,18 @@ type stats_rep = {
   uptime_s : float;
 }
 
+(** Coarse serving state: [Mode_degraded] means the daemon is up but
+    browning out (forcing [`Fast] solves) or otherwise shedding load;
+    [Mode_draining] means it stopped accepting work and is finishing
+    what it has. *)
+type health_mode = Mode_healthy | Mode_degraded | Mode_draining
+
 type health_rep = {
   healthy : bool;
   draining : bool;
+  h_mode : health_mode;
+      (** derived from [healthy]/[draining] when absent on the wire
+          (pre-resilience servers) *)
   h_uptime_s : float;
   h_queue_depth : int;
   h_capacity : int;
@@ -203,6 +232,12 @@ type response =
   | Ok_hello of hello_rep
   | Overloaded of { depth : int; capacity : int }
   | Timed_out of { budget : float }
+  | Shed of { wait : float; budget : float }
+      (** deadline-aware admission: the predicted queue wait [wait]
+          already exceeds the per-request budget, so the server refuses
+          to queue work it knows it would time out.  Unlike
+          [Overloaded] (a backpressure signal worth retrying after a
+          backoff), [Shed] is authoritative for the attempted deadline. *)
   | Unsupported of { verb : string; server_version : int }
       (** the verb is not in this server's {!verbs} *)
   | Failed of Dls.Errors.t

@@ -14,6 +14,8 @@ type config = {
   dedup : bool;
   fast : bool;
   worker_delay : float;
+  journal : string option;
+  brownout : bool;
 }
 
 let default_config address =
@@ -27,7 +29,14 @@ let default_config address =
     dedup = true;
     fast = true;
     worker_delay = 0.;
+    journal = None;
+    brownout = false;
   }
+
+(* Warm response cache, active when a journal is configured.  Holds
+   rendered-response entries keyed by canonical request key; sized well
+   past the admission bound so a restart can replay a useful history. *)
+let response_cache_capacity = 4096
 
 type job = {
   request : P.request;
@@ -44,6 +53,15 @@ type t = {
   shards : job Shards.t;
   metrics : Metrics.t;
   pool : Parallel.Pool.t;
+  cache : (string, P.response) Parallel.Lru.t option;
+      (* journal-backed warm responses; [Some] iff [cfg.journal] *)
+  journal : Journal.t option;
+  (* Brownout hysteresis: consecutive dispatch rounds that ended with
+     the queue above 3/4 (resp. at or below 1/4) of capacity.  Written
+     by dispatcher threads; a lost update under contention only delays
+     the flip by a round. *)
+  high_rounds : int Atomic.t;
+  low_rounds : int Atomic.t;
   listen_fd : Unix.file_descr;
   draining : bool Atomic.t;
   mutable listener : Thread.t option;
@@ -58,14 +76,18 @@ type t = {
 (* ------------------------------------------------------------------ *)
 (* Request evaluation (dispatcher side, runs on pool workers)          *)
 
-let eval_solve cfg (r : P.solve_req) =
+let eval_solve ~brownout cfg (r : P.solve_req) =
   let p = r.P.s_platform in
   let scenario =
     match r.P.s_order with
     | P.Fifo -> Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
     | P.Lifo -> Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
   in
-  let fast = cfg.fast && r.P.s_fast in
+  (* Brownout downgrades `Exact to the certified fast pipeline.  The
+     response stays bit-identical: the fast path certifies its answer
+     against the exact optimum and falls back on any mismatch, so the
+     downgrade trades worst-case latency, never correctness. *)
+  let fast = (cfg.fast && r.P.s_fast) || brownout in
   let mode =
     if cfg.dedup && fast then `Cached else if fast then `Fast else `Exact
   in
@@ -186,8 +208,8 @@ let eval_check p =
   in
   P.Ok_check { check_ok = violations = 0; violations }
 
-let eval_request cfg = function
-  | P.Solve r -> eval_solve cfg r
+let eval_request ~brownout cfg = function
+  | P.Solve r -> eval_solve ~brownout cfg r
   | P.Solve_multi r -> eval_multi r
   | P.Simulate r -> eval_simulate r
   | P.Check p -> eval_check p
@@ -199,17 +221,26 @@ let eval_request cfg = function
    aborts on a bad request (Pool.map would re-raise and discard the
    whole round otherwise). *)
 let eval_job t job =
-  match
-    Parallel.Pool.timed ?timeout:t.cfg.timeout ~index:0
-      (fun () ->
-        if t.cfg.worker_delay > 0. then Unix.sleepf t.cfg.worker_delay;
-        eval_request t.cfg job.request)
-      ()
-  with
-  | resp -> resp
-  | exception Parallel.Pool.Task_timeout { budget; _ } -> P.Timed_out { budget }
-  | exception E.Error e -> P.Failed e
-  | exception exn -> P.Failed (E.Invalid_scenario (Printexc.to_string exn))
+  let brownout = Metrics.brownout_active t.metrics in
+  let t0 = Parallel.Clock.now () in
+  let resp =
+    match
+      Parallel.Pool.timed ?timeout:t.cfg.timeout ~index:0
+        (fun () ->
+          if t.cfg.worker_delay > 0. then Unix.sleepf t.cfg.worker_delay;
+          eval_request ~brownout t.cfg job.request)
+        ()
+    with
+    | resp -> resp
+    | exception Parallel.Pool.Task_timeout { budget; _ } ->
+      P.Timed_out { budget }
+    | exception E.Error e -> P.Failed e
+    | exception exn -> P.Failed (E.Invalid_scenario (Printexc.to_string exn))
+  in
+  (* Feed the admission predictor with the evaluation time (including
+     [worker_delay], which keeps overload experiments deterministic). *)
+  Metrics.observe_service t.metrics (Parallel.Clock.elapsed_s ~since:t0);
+  resp
 
 (* ------------------------------------------------------------------ *)
 (* Dispatcher: batch, collapse, evaluate, distribute                   *)
@@ -220,6 +251,10 @@ let deliver t job resp =
   | P.Ok_health _ | P.Ok_hello _ ->
     Metrics.incr_served t.metrics
   | P.Timed_out _ -> Metrics.incr_timed_out t.metrics
+  | P.Shed _ ->
+    (* Sheds are answered at admission, never delivered from a
+       dispatcher; counted defensively should that ever change. *)
+    Metrics.incr_shed t.metrics
   | P.Overloaded _ | P.Unsupported _ | P.Failed _ ->
     Metrics.incr_failed t.metrics);
   Metrics.observe_latency t.metrics
@@ -264,9 +299,54 @@ let dispatch_round t ~src first =
   let responses =
     Parallel.Pool.map t.pool (fun cell -> eval_job t (List.hd (List.rev !cell))) uniques
   in
+  (* Successful evaluations feed the journal-backed warm cache — once
+     per unique key, before delivery, so a crash right after the reply
+     is visible can still replay the record. *)
+  (match t.cache with
+  | None -> ()
+  | Some cache ->
+    Array.iteri
+      (fun i cell ->
+        let resp = responses.(i) in
+        if P.is_ok resp then begin
+          let key = (List.hd (List.rev !cell)).key in
+          if not (Parallel.Lru.mem cache key) then begin
+            Parallel.Lru.add cache key resp;
+            match t.journal with
+            | None -> ()
+            | Some j -> (
+              match
+                Journal.append j ~key ~value:(P.response_to_string resp)
+              with
+              | Ok () -> Metrics.incr_journal_appended t.metrics
+              | Error _ -> ())
+          end
+        end)
+      uniques);
   Array.iteri
     (fun i cell -> List.iter (fun j -> deliver t j responses.(i)) (List.rev !cell))
-    uniques
+    uniques;
+  (* Brownout hysteresis: three consecutive rounds ending with the
+     queue above 3/4 of capacity switch the forced-fast mode on; three
+     at or below 1/4 switch it off.  In between, both streaks reset. *)
+  if t.cfg.brownout then begin
+    let depth = Shards.length t.shards in
+    let cap = Shards.capacity t.shards in
+    if 4 * depth >= 3 * cap then begin
+      Atomic.set t.low_rounds 0;
+      if Atomic.fetch_and_add t.high_rounds 1 + 1 >= 3 then
+        Metrics.set_brownout t.metrics true
+    end
+    else if 4 * depth <= cap then begin
+      Atomic.set t.high_rounds 0;
+      if Atomic.fetch_and_add t.low_rounds 1 + 1 >= 3 then
+        Metrics.set_brownout t.metrics false
+    end
+    else begin
+      Atomic.set t.high_rounds 0;
+      Atomic.set t.low_rounds 0
+    end
+  end
 
 let dispatcher_loop t shard =
   let rec loop () =
@@ -288,10 +368,15 @@ let snapshot t =
 
 let health_of t : P.health_rep =
   let draining = Atomic.get t.draining in
+  let degraded = Metrics.brownout_active t.metrics in
   let s = snapshot t in
   {
-    healthy = not draining;
+    healthy = not (draining || degraded);
     draining;
+    h_mode =
+      (if draining then P.Mode_draining
+       else if degraded then P.Mode_degraded
+       else P.Mode_healthy);
     h_uptime_s = s.P.uptime_s;
     h_queue_depth = s.P.queue_depth;
     h_capacity = Shards.capacity t.shards;
@@ -337,11 +422,50 @@ let handle_line t line =
               server_verbs = P.verbs;
             }
         | _ -> P.Ok_health (health_of t))
-    | `Request request ->
+    | `Request request -> (
+      let key = P.request_key request in
+      (* Journal-backed warm cache: a hit answers at admission without
+         touching the queue — this is what makes a freshly restarted
+         daemon useful within milliseconds. *)
+      match
+        Option.bind t.cache (fun cache -> Parallel.Lru.find cache key)
+      with
+      | Some resp ->
+        Metrics.incr_accepted t.metrics;
+        Metrics.incr_warm_hits t.metrics;
+        Metrics.incr_served t.metrics;
+        Metrics.observe_latency t.metrics 0.;
+        Some resp
+      | None ->
+      (* Deadline-aware admission: when the per-request budget cannot
+         be met at the current depth (predicted wait = service EWMA x
+         queued-ahead / workers), shedding now is strictly kinder than
+         queueing work that is doomed to [timeout] — the client learns
+         immediately and the queue stays available for requests that
+         can still make it. *)
+      let doomed =
+        match t.cfg.timeout with
+        | None -> None
+        | Some budget ->
+          let ewma = Metrics.service_ewma t.metrics in
+          if ewma <= 0. then None
+          else
+            let depth = Shards.length t.shards in
+            let wait =
+              ewma *. float_of_int (depth + 1) /. float_of_int t.cfg.jobs
+            in
+            if wait > budget then Some (wait, budget) else None
+      in
+      match doomed with
+      | Some (wait, budget) ->
+        Metrics.incr_accepted t.metrics;
+        Metrics.incr_shed t.metrics;
+        Some (P.Shed { wait; budget })
+      | None ->
       let job =
         {
           request;
-          key = P.request_key request;
+          key;
           admitted = Parallel.Clock.now ();
           jm = Mutex.create ();
           jc = Condition.create ();
@@ -363,24 +487,28 @@ let handle_line t line =
             }
         | Queue.Closed ->
           Metrics.incr_rejected t.metrics;
-          P.Failed (E.Io_error "server is draining"))
+          P.Failed (E.Io_error "server is draining")))
 
 let connection_loop t id fd =
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  (try
-     let rec loop () =
-       let line = input_line ic in
-       (match handle_line t line with
-       | None -> ()
-       | Some resp ->
-         output_string oc (P.response_to_string resp);
-         output_char oc '\n';
-         flush oc);
-       loop ()
-     in
-     loop ()
-   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  (* Raw-descriptor line I/O (Wire): EINTR retried, EPIPE/reset typed,
+     partial lines reassembled across arbitrary packet boundaries.  A
+     peer that vanishes mid-request or before its response is written
+     is a hangup, not a thread-killing exception. *)
+  let reader = Wire.reader fd in
+  let rec loop () =
+    match Wire.read_line reader with
+    | Wire.Line line -> (
+      match handle_line t line with
+      | None -> loop ()
+      | Some resp -> (
+        match Wire.write_line fd (P.response_to_string resp) with
+        | Ok () -> loop ()
+        | Error `Closed -> Metrics.incr_hangups t.metrics))
+    | Wire.Eof -> ()
+    | Wire.Eof_mid_line -> Metrics.incr_hangups t.metrics
+    | Wire.Deadline -> loop ()
+  in
+  loop ();
   Mutex.lock t.conns_m;
   Hashtbl.remove t.conns id;
   Mutex.unlock t.conns_m;
@@ -459,7 +587,39 @@ let start cfg =
         (E.Io_error
            (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
     | exception Not_found -> Error (E.Io_error "cannot resolve host")
-    | listen_fd, bound ->
+    | listen_fd, bound -> (
+      (* Open and replay the journal before serving: a bad journal path
+         must fail the boot, and replayed responses must be warm before
+         the first connection is accepted. *)
+      let journal_setup =
+        match cfg.journal with
+        | None -> Ok (None, None, 0)
+        | Some path -> (
+          match Journal.open_ path with
+          | Error e ->
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            Error e
+          | Ok (j, records) ->
+            let cache =
+              Parallel.Lru.create ~capacity:response_cache_capacity ()
+            in
+            (* Oldest record first, so the most recently journaled
+               entries end up most recently used. *)
+            let replayed =
+              List.fold_left
+                (fun n (key, value) ->
+                  match P.parse_response value with
+                  | Ok resp when P.is_ok resp ->
+                    Parallel.Lru.add cache key resp;
+                    n + 1
+                  | Ok _ | Error _ -> n)
+                0 records
+            in
+            Ok (Some cache, Some j, replayed))
+      in
+      match journal_setup with
+      | Error e -> Error e
+      | Ok (cache, journal, replayed) ->
       let t =
         {
           cfg;
@@ -469,6 +629,10 @@ let start cfg =
               ~capacity:cfg.queue_capacity;
           metrics = Metrics.create ();
           pool = Parallel.Pool.create ~jobs:cfg.jobs ();
+          cache;
+          journal;
+          high_rounds = Atomic.make 0;
+          low_rounds = Atomic.make 0;
           listen_fd;
           draining = Atomic.make false;
           listener = None;
@@ -480,11 +644,12 @@ let start cfg =
           stopped = false;
         }
       in
+      Metrics.add_journal_replayed t.metrics replayed;
       t.dispatchers <-
         List.init cfg.dispatchers (fun i ->
             Thread.create (fun () -> dispatcher_loop t i) ());
       t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
-      Ok t
+      Ok t)
   end
 
 let address t = t.bound
@@ -518,8 +683,19 @@ let stop t =
         try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
       conns;
     List.iter (fun (_, thread) -> Thread.join thread) conns;
+    Option.iter Journal.close t.journal;
     match t.bound with
     | Unix_socket path -> (
       try Unix.unlink path with Unix.Unix_error _ -> ())
     | Tcp _ -> ()
   end
+
+(* Test hook: the warm cache's contents in LRU-to-MRU order, rendered —
+   what a journal replay is checked against. *)
+let cache_dump t =
+  match t.cache with
+  | None -> []
+  | Some cache ->
+    List.rev
+      (Parallel.Lru.fold cache ~init:[] ~f:(fun acc key resp ->
+           (key, P.response_to_string resp) :: acc))

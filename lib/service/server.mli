@@ -18,11 +18,23 @@
     so skewed traffic cannot idle dispatchers (counted in the [steals]
     stat).
 
+    Graceful degradation (PR 9): with a [timeout] configured, admission
+    is deadline-aware — when the service-time EWMA predicts a queue
+    wait beyond the budget, the request is answered [shed] instead of
+    being queued to die; with [brownout = true], three consecutive
+    dispatch rounds ending above 3/4 of queue capacity force every
+    [solve] onto the certified fast pipeline (bit-identical answers,
+    lower worst-case latency) until three rounds end at or below 1/4.
+    With [journal = Some path], successful responses are appended to a
+    checksummed crash-safe log and replayed into a warm response cache
+    at boot, so a restarted daemon answers repeat requests at admission
+    time ([warm_hits]).
+
     {!stop} drains gracefully: stop accepting, close admission, let
     every dispatcher finish everything already admitted, shut the pool
     down, then wake the connection threads.  After [stop] returns, no
     request is in flight and the counters satisfy
-    [accepted = served + timed_out + failed]. *)
+    [accepted = served + timed_out + failed + shed]. *)
 
 type address =
   | Unix_socket of string  (** path; created on start, unlinked on stop *)
@@ -48,6 +60,11 @@ type config = {
   worker_delay : float;
       (** artificial seconds of work added to every evaluation — for
           deterministic overload and timeout experiments *)
+  journal : string option;
+      (** crash-safe response journal path; [Some] also enables the
+          warm response cache it replays into at boot *)
+  brownout : bool;
+      (** enable the sustained-overload `Exact→`Fast downgrade *)
 }
 
 val default_config : address -> config
@@ -69,3 +86,9 @@ val address : t -> address
 
 val stats : t -> Protocol.stats_rep
 val health : t -> Protocol.health_rep
+
+(** [cache_dump t] is the warm response cache as [(key, rendered
+    response)] pairs in least-to-most-recently-used order — empty
+    without a journal.  Test hook: journal replay on a restarted server
+    must reproduce the pre-crash dump exactly. *)
+val cache_dump : t -> (string * string) list

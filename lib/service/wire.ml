@@ -1,0 +1,106 @@
+(* Buffered deadline-aware line I/O over raw file descriptors.  See
+   wire.mli for the contract.  Everything here is exception-free at the
+   I/O boundary: Unix errors that mean "peer is gone" become typed
+   results, EINTR is always retried, and partial reads/writes loop. *)
+
+module Clock = Parallel.Clock
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Buffer.t;  (* bytes received but not yet delivered as a line *)
+  chunk : Bytes.t;  (* scratch for Unix.read *)
+  mutable scanned : int;  (* prefix of [buf] known to contain no '\n' *)
+}
+
+let chunk_size = 4096
+
+let reader fd =
+  { fd; buf = Buffer.create 256; chunk = Bytes.create chunk_size; scanned = 0 }
+
+type read_result = Line of string | Eof | Eof_mid_line | Deadline
+
+(* Errors that mean the peer hung up or reset; anything else
+   unexpected is treated the same way — for a stream socket there is
+   no useful distinction for the caller. *)
+let closed_errno = function
+  | Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED | Unix.ENOTCONN
+  | Unix.EBADF | Unix.ESHUTDOWN ->
+      true
+  | _ -> false
+
+(* Extract the first complete line from [r.buf], if any, using
+   [r.scanned] to avoid rescanning the same prefix on every arrival of
+   a tiny chunk (the byte-at-a-time case would otherwise be O(n^2)). *)
+let take_line r =
+  let s = Buffer.contents r.buf in
+  let n = String.length s in
+  match String.index_from_opt s r.scanned '\n' with
+  | None ->
+      r.scanned <- n;
+      None
+  | Some i ->
+      let stop = if i > 0 && s.[i - 1] = '\r' then i - 1 else i in
+      let line = String.sub s 0 stop in
+      Buffer.clear r.buf;
+      Buffer.add_substring r.buf s (i + 1) (n - i - 1);
+      r.scanned <- 0;
+      Some line
+
+(* Wait until [fd] is readable or [until] (monotonic, from Clock.now)
+   passes.  [None] = wait forever.  Returns false on timeout. *)
+let rec wait_readable fd until =
+  let budget =
+    match until with
+    | None -> -1.0
+    | Some t ->
+        let left = t -. Clock.now () in
+        if left <= 0.0 then 0.0 else left
+  in
+  match Unix.select [ fd ] [] [] budget with
+  | [], _, _ -> (
+      match until with
+      | Some t when Clock.now () >= t -> false
+      | _ -> wait_readable fd until)
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd until
+
+let read_line ?deadline_s r =
+  let until =
+    match deadline_s with None -> None | Some d -> Some (Clock.now () +. d)
+  in
+  let rec loop () =
+    match take_line r with
+    | Some line -> Line line
+    | None ->
+        if not (wait_readable r.fd until) then Deadline
+        else begin
+          match Unix.read r.fd r.chunk 0 chunk_size with
+          | 0 -> if Buffer.length r.buf = 0 then Eof else Eof_mid_line
+          | n ->
+              Buffer.add_subbytes r.buf r.chunk 0 n;
+              loop ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+          | exception Unix.Unix_error (e, _, _) when closed_errno e ->
+              if Buffer.length r.buf = 0 then Eof else Eof_mid_line
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              (* Spurious readiness; go back to waiting. *)
+              loop ()
+        end
+  in
+  loop ()
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> Error `Closed
+  in
+  go 0
+
+let write_line fd s = write_all fd (Bytes.of_string (s ^ "\n"))
+let write_bytes fd s = write_all fd (Bytes.of_string s)

@@ -160,6 +160,12 @@ let sample_responses () =
         repair_pivots = 5;
         dispatchers = 4;
         steals = 6;
+        shed = 2;
+        brownouts = 1;
+        hangups = 3;
+        warm_hits = 5;
+        journal_appended = 9;
+        journal_replayed = 4;
         queue_depth = 0;
         inflight = 0;
         p50_us = 256;
@@ -172,13 +178,25 @@ let sample_responses () =
       {
         healthy = true;
         draining = false;
+        h_mode = P.Mode_healthy;
         h_uptime_s = 3.25;
         h_queue_depth = 2;
         h_capacity = 64;
         h_workers = 4;
       };
+    P.Ok_health
+      {
+        healthy = false;
+        draining = false;
+        h_mode = P.Mode_degraded;
+        h_uptime_s = 7.5;
+        h_queue_depth = 48;
+        h_capacity = 64;
+        h_workers = 4;
+      };
     P.Overloaded { depth = 64; capacity = 64 };
     P.Timed_out { budget = 0.005 };
+    P.Shed { wait = 0.75; budget = 0.25 };
     P.Failed Dls.Errors.Unbounded;
     P.Failed Dls.Errors.Infeasible;
     P.Failed (Dls.Errors.Invalid_scenario "load must be positive");
@@ -541,9 +559,9 @@ let drain_invariant label (s : P.stats_rep) =
   check_int (label ^ ": inflight 0") 0 s.P.inflight;
   check_int (label ^ ": queue empty") 0 s.P.queue_depth;
   check_int
-    (label ^ ": accepted = served + timed_out + failed")
+    (label ^ ": accepted = served + timed_out + failed + shed")
     s.P.accepted
-    (s.P.served + s.P.timed_out + s.P.failed)
+    (s.P.served + s.P.timed_out + s.P.failed + s.P.shed)
 
 let solve_req p =
   P.Solve
@@ -676,18 +694,22 @@ let test_server_timeout () =
       let address = Service.Server.address server in
       let outcome =
         Service.Client.with_client address (fun cl ->
-            ( request_ok cl (solve_req (p2 ())),
-              request_ok cl (solve_req (p3 ())) ))
+            let first = request_ok cl (solve_req (p2 ())) in
+            (* the first timeout seeds the admission predictor, so the
+               second doomed request is shed instead of queued to die *)
+            let second = request_ok cl (solve_req (p3 ())) in
+            (first, second))
       in
       (match outcome with
-      | Ok (P.Timed_out { budget = b1 }, P.Timed_out { budget = b2 }) ->
-        check "budget echoed" true (b1 = 0.005 && b2 = 0.005)
+      | Ok (P.Timed_out { budget }, P.Shed { budget = b2; _ }) ->
+        check "budget echoed" true (budget = 0.005 && b2 = 0.005)
       | Ok (r1, r2) ->
-        Alcotest.failf "expected timeouts, got %s / %s"
+        Alcotest.failf "expected timeout then shed, got %s / %s"
           (P.response_to_string r1) (P.response_to_string r2)
       | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e));
       let s = Service.Server.stats server in
-      check_int "both timed out" 2 s.P.timed_out;
+      check_int "first timed out" 1 s.P.timed_out;
+      check_int "second shed" 1 s.P.shed;
       drain_invariant "timeout" s)
 
 let test_server_drain_under_load () =
@@ -802,7 +824,8 @@ let test_loadgen_against_server () =
         check_int "all sent" 30 o.Service.Loadgen.sent;
         check_int "every request answered" 30
           (o.Service.Loadgen.ok + o.Service.Loadgen.overloaded
-          + o.Service.Loadgen.timeouts + o.Service.Loadgen.failed);
+          + o.Service.Loadgen.timeouts + o.Service.Loadgen.shed
+          + o.Service.Loadgen.failed);
         check "mostly ok" true (o.Service.Loadgen.ok >= 25);
         check_int "no failures" 0 o.Service.Loadgen.failed;
         let s = Service.Server.stats server in
@@ -832,7 +855,8 @@ let test_server_multi_dispatcher () =
       | Ok o ->
         check_int "every request answered" 60
           (o.Service.Loadgen.ok + o.Service.Loadgen.overloaded
-          + o.Service.Loadgen.timeouts + o.Service.Loadgen.failed);
+          + o.Service.Loadgen.timeouts + o.Service.Loadgen.shed
+          + o.Service.Loadgen.failed);
         check_int "no failures" 0 o.Service.Loadgen.failed;
         let s = Service.Server.stats server in
         check_int "stats report the dispatcher count" 4 s.P.dispatchers;
@@ -866,6 +890,692 @@ let test_loadgen_skew () =
     (top_share (stream 2.) > top_share classic)
 
 (* ------------------------------------------------------------------ *)
+(* Wire framing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module W = Service.Wire
+
+let test_wire_byte_at_a_time () =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payload = "first line\nsecond\r\nunterminated tail" in
+  let writer =
+    Thread.create
+      (fun () ->
+        String.iter
+          (fun c ->
+            ignore (Unix.write_substring a (String.make 1 c) 0 1);
+            Thread.yield ())
+          payload;
+        Unix.close a)
+      ()
+  in
+  let r = W.reader b in
+  (match W.read_line r with
+  | W.Line l -> check_str "line reassembled from 1-byte reads" "first line" l
+  | _ -> Alcotest.fail "expected first line");
+  (match W.read_line r with
+  | W.Line l -> check_str "trailing \\r stripped" "second" l
+  | _ -> Alcotest.fail "expected second line");
+  (match W.read_line r with
+  | W.Eof_mid_line -> ()
+  | W.Line l -> Alcotest.failf "partial tail delivered as a line: %S" l
+  | _ -> Alcotest.fail "expected eof mid-line");
+  Thread.join writer;
+  Unix.close b
+
+let test_wire_read_deadline () =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let r = W.reader b in
+  (match W.read_line ~deadline_s:0.02 r with
+  | W.Deadline -> ()
+  | _ -> Alcotest.fail "expected deadline on a silent peer");
+  (* a partial line before the deadline is kept, not delivered *)
+  ignore (Unix.write_substring a "par" 0 3);
+  (match W.read_line ~deadline_s:0.02 r with
+  | W.Deadline -> ()
+  | _ -> Alcotest.fail "expected deadline on a partial line");
+  ignore (Unix.write_substring a "tial\n" 0 5);
+  (match W.read_line r with
+  | W.Line l -> check_str "buffered prefix survives the deadline" "partial" l
+  | _ -> Alcotest.fail "expected the completed line");
+  Unix.close a;
+  (match W.read_line r with
+  | W.Eof -> ()
+  | _ -> Alcotest.fail "expected eof at a line boundary");
+  Unix.close b
+
+let test_server_kill_mid_line () =
+  (* A client that vanishes half-way through a request line must be
+     counted as a hangup and must not take the server down. *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 1 })
+    (fun server ->
+      let address = Service.Server.address server in
+      let path =
+        match address with
+        | Service.Server.Unix_socket p -> p
+        | Service.Server.Tcp _ -> Alcotest.fail "expected a unix socket"
+      in
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      ignore (Unix.write_substring fd "solve 1:1:1/2," 0 14);
+      Unix.close fd;
+      (* the connection thread notices asynchronously *)
+      let t0 = Parallel.Clock.now () in
+      let rec wait () =
+        let s = Service.Server.stats server in
+        if s.P.hangups >= 1 || Parallel.Clock.elapsed_s ~since:t0 > 2. then s
+        else begin
+          Thread.delay 0.005;
+          wait ()
+        end
+      in
+      let s = wait () in
+      check_int "mid-line hangup counted" 1 s.P.hangups;
+      check_int "nothing admitted" 0 s.P.accepted;
+      match
+        Service.Client.with_client address (fun cl -> request_ok cl P.Health)
+      with
+      | Ok (P.Ok_health h) -> check "server survives the hangup" true h.P.healthy
+      | Ok other ->
+        Alcotest.failf "expected health, got %s" (P.response_to_string other)
+      | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module J = Service.Journal
+
+let tmp_journal () = Filename.temp_file "dls-journal" ".log"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let find_sub haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    if i + n > h then Alcotest.failf "substring %S not found" needle
+    else if String.sub haystack i n = needle then i
+    else go (i + 1)
+  in
+  go 0
+
+let journal_open path =
+  match J.open_ path with
+  | Ok (j, replayed) -> (j, replayed)
+  | Error e -> Alcotest.failf "journal open: %s" (Dls.Errors.to_string e)
+
+let journal_append j ~key ~value =
+  match J.append j ~key ~value with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "journal append: %s" (Dls.Errors.to_string e)
+
+let seed_journal path records =
+  let j, replayed = journal_open path in
+  check_int "fresh journal replays nothing" 0 (List.length replayed);
+  List.iter (fun (key, value) -> journal_append j ~key ~value) records;
+  check_int "appends counted" (List.length records) (J.appended j);
+  J.close j
+
+let sample_records =
+  [
+    ("solve 1:1:1/2,1:2:1/2", "ok rho=3/4 alpha=1/2,1/4");
+    ("check 1:1:1/2", "ok check valid=true violations=0");
+    ("solve 2:1:1,1:3:1/2 load=1000", "ok rho=5/8 alpha=1/3,2/3 makespan=1600");
+  ]
+
+let test_journal_roundtrip () =
+  let path = tmp_journal () in
+  seed_journal path sample_records;
+  let j, replayed = journal_open path in
+  check "replay is oldest-first append order" true (replayed = sample_records);
+  (* payloads must stay single-line: the record framing depends on it *)
+  (match J.append j ~key:"bad\nkey" ~value:"v" with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "newline-bearing key accepted");
+  check_int "rejected append not counted" 0 (J.appended j);
+  J.close j;
+  Sys.remove path
+
+let test_journal_truncated_tail () =
+  let path = tmp_journal () in
+  seed_journal path sample_records;
+  (* crash mid-append: a torn record at the tail *)
+  let good = read_file path in
+  write_file path (good ^ "rec deadbeef 17 42\nsolve 3:1:1,2:");
+  let j, replayed = journal_open path in
+  check "torn tail costs nothing before it" true (replayed = sample_records);
+  check_int "file truncated back to the last good boundary"
+    (String.length good)
+    (String.length (read_file path));
+  (* the journal is immediately appendable again *)
+  journal_append j ~key:"late" ~value:"ok late";
+  J.close j;
+  let j, replayed = journal_open path in
+  check "post-repair appends replay" true
+    (replayed = sample_records @ [ ("late", "ok late") ]);
+  J.close j;
+  Sys.remove path
+
+let test_journal_crc_corruption () =
+  let path = tmp_journal () in
+  seed_journal path sample_records;
+  (* flip one payload byte of the middle record: lengths and terminators
+     still line up, only the checksum disagrees *)
+  let contents = read_file path in
+  let i = find_sub contents "check 1:1:1/2" in
+  let corrupted = Bytes.of_string contents in
+  Bytes.set corrupted i 'X';
+  write_file path (Bytes.to_string corrupted);
+  let j, replayed = journal_open path in
+  check "replay stops at the first bad checksum" true
+    (replayed = [ List.hd sample_records ]);
+  J.close j;
+  Sys.remove path
+
+let test_journal_crc32_vector () =
+  (* IEEE 802.3 check value: crc32("123456789") = 0xCBF43926. *)
+  check_str "crc32 known-answer" "cbf43926"
+    (Printf.sprintf "%08lx" (J.crc32 "123456789"))
+
+(* ------------------------------------------------------------------ *)
+(* Graceful degradation: shed, brownout, warm restart                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_server_shed () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 1;
+        worker_delay = 0.05;
+        timeout = Some 0.04;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let outcome =
+        Service.Client.with_client address (fun cl ->
+            (* The first request seeds the service-time EWMA (and times
+               out: 50ms of work against a 40ms budget)... *)
+            let first = request_ok cl (solve_req (p2 ())) in
+            (* ...so the second is refused at admission: even at queue
+               depth 0 the predicted service time alone blows the
+               budget, and shedding beats queueing doomed work. *)
+            let second = request_ok cl (solve_req (p3 ())) in
+            (first, second))
+      in
+      (match outcome with
+      | Ok (P.Timed_out _, P.Shed { wait; budget }) ->
+        check "echoed budget" true (budget = 0.04);
+        check "predicted wait exceeds the budget" true (wait > budget)
+      | Ok (r1, r2) ->
+        Alcotest.failf "expected timeout then shed, got %s / %s"
+          (P.response_to_string r1) (P.response_to_string r2)
+      | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e));
+      let s = Service.Server.stats server in
+      check_int "one timed out" 1 s.P.timed_out;
+      check_int "one shed" 1 s.P.shed;
+      check_int "shed counts as accepted" 2 s.P.accepted;
+      drain_invariant "shed" s)
+
+let test_server_brownout () =
+  (* Sustained pressure must trip the brownout downgrade at least once,
+     and every response served under it must still be bit-identical to
+     the exact solver (the fast pipeline is certified: it falls back to
+     exact whenever its own audit fails). *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      {
+        c with
+        Service.Server.jobs = 1;
+        dispatchers = 1;
+        queue_capacity = 8;
+        max_batch = 1;
+        worker_delay = 0.01;
+        brownout = true;
+      })
+    (fun server ->
+      let address = Service.Server.address server in
+      let clients = 12 in
+      let per_client = 2 in
+      let answers = Array.make (clients * per_client) None in
+      let worker i () =
+        match
+          Service.Client.with_client address (fun cl ->
+              for k = 0 to per_client - 1 do
+                let slot = (i * per_client) + k in
+                let p =
+                  platform
+                    [
+                      ("1", "1", "1/2");
+                      (Printf.sprintf "%d/13" (slot + 1), "2", "1/2");
+                    ]
+                in
+                (* keep the queue saturated: retry overload rejections *)
+                let rec send () =
+                  match request_ok cl (solve_req p) with
+                  | P.Overloaded _ ->
+                    Thread.delay 0.002;
+                    send ()
+                  | P.Ok_solve r -> answers.(slot) <- Some (p, r)
+                  | other ->
+                    Alcotest.failf "client %d: unexpected %s" i
+                      (P.response_to_string other)
+                in
+                send ()
+              done)
+        with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "client %d: %s" i (Dls.Errors.to_string e)
+      in
+      let ts = Array.init clients (fun i -> Thread.create (worker i) ()) in
+      Array.iter Thread.join ts;
+      let s = Service.Server.stats server in
+      check "sustained overload tripped the brownout" true (s.P.brownouts >= 1);
+      check_int "every request eventually served" (clients * per_client)
+        s.P.served;
+      drain_invariant "brownout" s;
+      Array.iter
+        (fun a ->
+          match a with
+          | None -> Alcotest.fail "missing answer"
+          | Some (p, r) ->
+            let direct =
+              Dls.Solve.solve_exn ~mode:`Exact
+                (Dls.Scenario.fifo_exn p (Dls.Fifo.order p))
+            in
+            check_str "brownout answers bit-identical"
+              (Q.to_string direct.Dls.Lp_model.rho)
+              (Q.to_string r.P.rho))
+        answers)
+
+let test_server_journal_warm_restart () =
+  Dls.Lp_model.reset_cache ();
+  let journal = tmp_journal () in
+  let reqs = [ solve_req (p2 ()); solve_req (p3 ()) ] in
+  let first_dump, first_replies =
+    with_server
+      (fun c -> { c with Service.Server.jobs = 2; journal = Some journal })
+      (fun server ->
+        let address = Service.Server.address server in
+        let replies =
+          match
+            Service.Client.with_client address (fun cl ->
+                List.map
+                  (fun r -> P.response_to_string (request_ok cl r))
+                  reqs)
+          with
+          | Ok r -> r
+          | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e)
+        in
+        let s = Service.Server.stats server in
+        check_int "unique responses journaled" 2 s.P.journal_appended;
+        check_int "fresh journal replays nothing" 0 s.P.journal_replayed;
+        check_int "no warm hits before a restart" 0 s.P.warm_hits;
+        (Service.Server.cache_dump server, replies))
+  in
+  check_int "warm cache holds the unique responses" 2 (List.length first_dump);
+  (* restart on the same journal: the warm cache must reappear exactly *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 2; journal = Some journal })
+    (fun server ->
+      let address = Service.Server.address server in
+      let s0 = Service.Server.stats server in
+      check_int "journal replayed at boot" 2 s0.P.journal_replayed;
+      check "replayed cache equals the pre-crash cache" true
+        (Service.Server.cache_dump server = first_dump);
+      let reply =
+        match
+          Service.Client.with_client address (fun cl ->
+              P.response_to_string (request_ok cl (List.hd reqs)))
+        with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "client: %s" (Dls.Errors.to_string e)
+      in
+      check_str "warm reply bit-identical across the restart"
+        (List.hd first_replies) reply;
+      let s = Service.Server.stats server in
+      check_int "repeat was a warm hit" 1 s.P.warm_hits;
+      check_int "warm hit served at admission" 1 s.P.served;
+      check_int "warm hit appends nothing new" 0 s.P.journal_appended;
+      drain_invariant "warm restart" s);
+  Sys.remove journal
+
+(* ------------------------------------------------------------------ *)
+(* Resilient client                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module R = Service.Resilient
+
+let test_resilient_breaker_lifecycle () =
+  Dls.Lp_model.reset_cache ();
+  let path = tmp_socket () in
+  let address = Service.Server.Unix_socket path in
+  let metrics = Service.Metrics.create () in
+  let client =
+    R.create ~metrics
+      {
+        (R.default_config address) with
+        R.attempts = 2;
+        attempt_timeout = Some 0.05;
+        backoff_base = 0.001;
+        backoff_max = 0.002;
+        breaker_threshold = 2;
+        breaker_cooldown = 0.15;
+      }
+  in
+  (* nothing listens: both attempts fail, tripping the breaker *)
+  (match R.request client P.Health with
+  | Error _ -> ()
+  | Ok r ->
+    Alcotest.failf "request against a dead socket succeeded: %s"
+      (P.response_to_string r));
+  check "breaker tripped open" true (R.breaker client = R.Breaker_open);
+  let st = R.stats client in
+  check_int "one trip counted" 1 st.R.breaker_opens;
+  check_int "metrics saw the trip" 1 (Service.Metrics.breaker_opens metrics);
+  check "a retry was counted" true
+    (st.R.retries >= 1 && Service.Metrics.retries metrics >= 1);
+  (* while open: refused locally, without touching the network *)
+  (match R.request client P.Health with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "open breaker let a request through");
+  check_int "fast-fail counted" 1 (R.stats client).R.fast_fails;
+  (* bring the server up; after the cooldown, the half-open probe
+     succeeds and recloses the breaker *)
+  (match
+     Service.Server.start
+       { (Service.Server.default_config address) with Service.Server.jobs = 1 }
+   with
+  | Error e -> Alcotest.failf "server start: %s" (Dls.Errors.to_string e)
+  | Ok server ->
+    Thread.delay 0.2;
+    (match R.request client P.Health with
+    | Ok (P.Ok_health h) -> check "probe answered" true h.P.healthy
+    | Ok other ->
+      Alcotest.failf "expected health, got %s" (P.response_to_string other)
+    | Error e -> Alcotest.failf "half-open probe: %s" (Dls.Errors.to_string e));
+    check "breaker reclosed" true (R.breaker client = R.Breaker_closed);
+    R.close client;
+    Service.Server.stop server)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module C = Service.Chaos
+
+let test_chaos_plan_roundtrip () =
+  let plan = C.gen ~seed:5 ~conns:64 ~severity:0.9 in
+  check "gen is deterministic" true
+    (plan = C.gen ~seed:5 ~conns:64 ~severity:0.9);
+  check "severity 0.9 draws faults" true (List.length plan >= 10);
+  List.iter
+    (fun s ->
+      check "every fourth connection is clean" true (s.C.conn mod 4 <> 3))
+    plan;
+  (match C.of_string (C.to_string plan) with
+  | Ok plan' -> check "plan text round trip" true (plan = plan')
+  | Error e -> Alcotest.failf "plan parse: %s" (Dls.Errors.to_string e));
+  check_int "severity 0 is a clean plan" 0
+    (List.length (C.gen ~seed:5 ~conns:64 ~severity:0.));
+  match C.of_string "conn 0 req 0 explode" with
+  | Error (Dls.Errors.Parse_error _) -> ()
+  | Error e ->
+    Alcotest.failf "expected parse error, got %s" (Dls.Errors.to_string e)
+  | Ok _ -> Alcotest.fail "malformed plan accepted"
+
+let chaos_fault_of_int = function
+  | 0 -> C.Drop
+  | 1 -> C.Delay 0.004
+  | 2 -> C.Stall
+  | 3 -> C.Truncate
+  | 4 -> C.Garble_req
+  | 5 -> C.Garble_resp
+  | _ -> C.Disconnect
+
+let regimes = [| Check.Fuzz.Small_z; Check.Fuzz.Unit_z; Check.Fuzz.Big_z |]
+
+(* The certification matrix: >= 300 seeded cases crossing every fault
+   kind with every z-regime of the paper (plus clean pass-through
+   cases), each on a fresh proxy so fault indices never leak between
+   cases.  The resilient client must deliver the bit-identical answer
+   with a bounded number of retries, and the server-side accounting
+   invariant must survive the whole barrage. *)
+let test_chaos_matrix () =
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c ->
+      { c with Service.Server.jobs = 2; queue_capacity = 64; max_batch = 8 })
+    (fun server ->
+      let upstream = Service.Server.address server in
+      let cases = 336 in
+      let total_retries = ref 0 in
+      for case = 0 to cases - 1 do
+        let rng = Random.State.make [| 0xc4a05; case |] in
+        let p = Check.Fuzz.gen_platform rng regimes.(case mod 3) in
+        let req = solve_req p in
+        let plan =
+          if case mod 8 = 7 then [] (* clean pass-through *)
+          else
+            [ { C.conn = 0; req = 0; fault = chaos_fault_of_int (case mod 7) } ]
+        in
+        let fault_label =
+          match plan with
+          | [] -> "clean"
+          | s :: _ -> C.fault_to_string s.C.fault
+        in
+        match
+          C.start
+            ~listen:(Service.Server.Unix_socket (tmp_socket ()))
+            ~upstream plan
+        with
+        | Error e ->
+          Alcotest.failf "case %d: proxy: %s" case (Dls.Errors.to_string e)
+        | Ok proxy ->
+          let client =
+            R.create
+              {
+                (R.default_config (C.address proxy)) with
+                R.attempts = 4;
+                attempt_timeout = Some 0.05;
+                backoff_base = 0.001;
+                backoff_max = 0.004;
+                jitter_seed = case;
+              }
+          in
+          let resp =
+            match R.request client req with
+            | Ok r -> r
+            | Error e ->
+              Alcotest.failf "case %d (%s): %s" case fault_label
+                (Dls.Errors.to_string e)
+          in
+          let st = R.stats client in
+          total_retries := !total_retries + st.R.retries;
+          check
+            (Printf.sprintf "case %d (%s): bounded retries" case fault_label)
+            true (st.R.retries <= 3);
+          R.close client;
+          C.stop proxy;
+          let direct =
+            Dls.Solve.solve_exn ~mode:`Exact
+              (Dls.Scenario.fifo_exn p (Dls.Fifo.order p))
+          in
+          (match resp with
+          | P.Ok_solve r ->
+            check_str
+              (Printf.sprintf "case %d (%s): rho bit-identical" case fault_label)
+              (Q.to_string direct.Dls.Lp_model.rho)
+              (Q.to_string r.P.rho);
+            check_str
+              (Printf.sprintf "case %d (%s): makespan bit-identical" case
+                 fault_label)
+              (Q.to_string
+                 (Dls.Lp_model.time_for_load direct ~load:(q "1000")))
+              (Q.to_string (Option.get r.P.makespan))
+          | other ->
+            Alcotest.failf "case %d (%s): expected ok solve, got %s" case
+              fault_label (P.response_to_string other))
+      done;
+      (* at most one retry per faulted case, plus slack for timing *)
+      check "retry budget across the matrix" true (!total_retries <= cases);
+      let s = Service.Server.stats server in
+      check "garbled requests were refused, not served" true
+        (s.P.malformed >= 1);
+      drain_invariant "chaos matrix" s)
+
+let test_loadgen_chaos_goodput () =
+  (* Replies delayed past the caller's deadline count as throughput but
+     not goodput — the two must be reported separately. *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 2 })
+    (fun server ->
+      let upstream = Service.Server.address server in
+      let plan =
+        [
+          { C.conn = 0; req = 0; fault = C.Delay 0.06 };
+          { C.conn = 1; req = 0; fault = C.Delay 0.06 };
+        ]
+      in
+      match
+        C.start ~listen:(Service.Server.Unix_socket (tmp_socket ())) ~upstream
+          plan
+      with
+      | Error e -> Alcotest.failf "proxy: %s" (Dls.Errors.to_string e)
+      | Ok proxy ->
+        let rcfg =
+          {
+            (R.default_config upstream) with
+            R.attempts = 3;
+            attempt_timeout = Some 0.5;
+          }
+        in
+        let r =
+          Service.Loadgen.run ~resilient:rcfg ~deadline_s:0.03
+            (C.address proxy) ~connections:2 ~requests:8 ~seed:11 ~distinct:4
+            ()
+        in
+        C.stop proxy;
+        (match r with
+        | Error e -> Alcotest.failf "loadgen: %s" (Dls.Errors.to_string e)
+        | Ok o ->
+          check_int "every request answered" 8
+            (o.Service.Loadgen.ok + o.Service.Loadgen.overloaded
+            + o.Service.Loadgen.timeouts + o.Service.Loadgen.shed
+            + o.Service.Loadgen.failed);
+          check_int "no failures" 0 o.Service.Loadgen.failed;
+          check "delayed replies are throughput, not goodput" true
+            (o.Service.Loadgen.goodput < o.Service.Loadgen.ok)))
+
+let test_loadgen_chaos_resilient_beats_naive () =
+  (* Same drop plan, two arms: the naive client loses every dropped
+     request (it reconnects but never retries); the resilient client
+     recovers all of them.  The plan drops the first request of each of
+     the four initial connections, so the outcome is deterministic. *)
+  Dls.Lp_model.reset_cache ();
+  with_server
+    (fun c -> { c with Service.Server.jobs = 2; queue_capacity = 64 })
+    (fun server ->
+      let upstream = Service.Server.address server in
+      let plan =
+        List.init 4 (fun c -> { C.conn = c; req = 0; fault = C.Drop })
+      in
+      let run_arm ?resilient () =
+        match
+          C.start
+            ~listen:(Service.Server.Unix_socket (tmp_socket ()))
+            ~upstream plan
+        with
+        | Error e -> Alcotest.failf "proxy: %s" (Dls.Errors.to_string e)
+        | Ok proxy ->
+          let r =
+            Service.Loadgen.run ?resilient ~deadline_s:0.15 (C.address proxy)
+              ~connections:4 ~requests:16 ~seed:2 ~distinct:4 ()
+          in
+          C.stop proxy;
+          (match r with
+          | Ok o -> o
+          | Error e -> Alcotest.failf "loadgen: %s" (Dls.Errors.to_string e))
+      in
+      let naive = run_arm () in
+      let rcfg =
+        {
+          (R.default_config upstream) with
+          R.attempts = 3;
+          attempt_timeout = Some 0.05;
+          backoff_base = 0.001;
+          backoff_max = 0.004;
+        }
+      in
+      let resil = run_arm ~resilient:rcfg () in
+      check_int "naive loses every dropped request" 4
+        naive.Service.Loadgen.failed;
+      check_int "naive throughput" 12 naive.Service.Loadgen.ok;
+      check_int "resilient recovers them all" 16 resil.Service.Loadgen.ok;
+      check_int "no resilient failures" 0 resil.Service.Loadgen.failed;
+      check "retries did the recovering" true
+        (resil.Service.Loadgen.retries >= 4);
+      drain_invariant "chaos loadgen" (Service.Server.stats server))
+
+(* ------------------------------------------------------------------ *)
+(* Wire-format back compatibility                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_protocol_backcompat_lines () =
+  (* Lines rendered by a pre-resilience daemon must parse with the new
+     fields at their documented defaults. *)
+  let old_stats =
+    "ok stats accepted=10 served=7 rejected=1 timed_out=2 failed=1 \
+     malformed=2 batches=3 max_batch=4 collapsed=1 cache_hits=5 \
+     cache_misses=2 repair_probes=0 repair_wins=0 repair_pivots=0 \
+     dispatchers=1 steals=0 queue_depth=0 inflight=0 p50_us=10 p90_us=20 \
+     p99_us=30 max_us=40 uptime_s=1.5"
+  in
+  (match P.parse_response old_stats with
+  | Ok (P.Ok_stats s) ->
+    check_int "accepted preserved" 10 s.P.accepted;
+    check_int "shed defaults to 0" 0 s.P.shed;
+    check_int "brownouts defaults to 0" 0 s.P.brownouts;
+    check_int "hangups defaults to 0" 0 s.P.hangups;
+    check_int "warm_hits defaults to 0" 0 s.P.warm_hits;
+    check_int "journal_appended defaults to 0" 0 s.P.journal_appended;
+    check_int "journal_replayed defaults to 0" 0 s.P.journal_replayed
+  | Ok other ->
+    Alcotest.failf "expected stats, got %s" (P.response_to_string other)
+  | Error e -> Alcotest.failf "old stats line: %s" (Dls.Errors.to_string e));
+  let old_health mode_less =
+    Printf.sprintf
+      "ok health healthy=%s draining=%s uptime_s=2.5 queue=0 capacity=64 \
+       workers=4"
+      (if mode_less = `Healthy then "true" else "false")
+      (if mode_less = `Draining then "true" else "false")
+  in
+  (match P.parse_response (old_health `Healthy) with
+  | Ok (P.Ok_health h) ->
+    check "healthy preserved" true h.P.healthy;
+    check "absent mode derived as healthy" true (h.P.h_mode = P.Mode_healthy)
+  | _ -> Alcotest.fail "old healthy line did not parse");
+  match P.parse_response (old_health `Draining) with
+  | Ok (P.Ok_health h) ->
+    check "absent mode derived as draining" true (h.P.h_mode = P.Mode_draining)
+  | _ -> Alcotest.fail "old draining line did not parse"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "service"
@@ -880,6 +1590,26 @@ let () =
           Alcotest.test_case "non-finite floats" `Quick test_float_nonfinite;
           Alcotest.test_case "platform spec hardening" `Quick
             test_platform_spec_hardening;
+          Alcotest.test_case "pre-resilience lines still parse" `Quick
+            test_protocol_backcompat_lines;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "byte-at-a-time framing" `Quick
+            test_wire_byte_at_a_time;
+          Alcotest.test_case "read deadline keeps partial lines" `Quick
+            test_wire_read_deadline;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append/replay round trip" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "torn tail truncated, journal reusable" `Quick
+            test_journal_truncated_tail;
+          Alcotest.test_case "replay stops at a bad checksum" `Quick
+            test_journal_crc_corruption;
+          Alcotest.test_case "crc32 known-answer vector" `Quick
+            test_journal_crc32_vector;
         ] );
       ( "metrics",
         [ Alcotest.test_case "quantile edges" `Quick test_metrics_quantiles ] );
@@ -911,6 +1641,27 @@ let () =
             test_server_malformed_and_inline;
           Alcotest.test_case "multi-dispatcher drain" `Quick
             test_server_multi_dispatcher;
+          Alcotest.test_case "hangup mid-line" `Quick test_server_kill_mid_line;
+          Alcotest.test_case "deadline-aware shed" `Quick test_server_shed;
+          Alcotest.test_case "brownout downgrade" `Quick test_server_brownout;
+          Alcotest.test_case "journal warm restart" `Quick
+            test_server_journal_warm_restart;
+        ] );
+      ( "resilient",
+        [
+          Alcotest.test_case "breaker open/half-open/close" `Quick
+            test_resilient_breaker_lifecycle;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "plan round trip + generator" `Quick
+            test_chaos_plan_roundtrip;
+          Alcotest.test_case "fault matrix certification" `Slow
+            test_chaos_matrix;
+          Alcotest.test_case "goodput vs throughput under delay" `Quick
+            test_loadgen_chaos_goodput;
+          Alcotest.test_case "resilient beats naive under drops" `Quick
+            test_loadgen_chaos_resilient_beats_naive;
         ] );
       ( "loadgen",
         [
