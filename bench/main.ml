@@ -1531,6 +1531,371 @@ let run_chaos_bench ~quick ~json_path ~gate =
   (not gate) || gate_pass
 
 (* ------------------------------------------------------------------ *)
+(* Part 10: horizontal scale-out benchmark (BENCH_scale.json)          *)
+(* ------------------------------------------------------------------ *)
+
+(* Two arms over the same open-loop Poisson stream (Loadgen.run_open)
+   at ten times the Part-5 request volume:
+
+     single   one daemon, the whole stream straight at it;
+     router   the same stream at a consistent-hash front router over
+              two daemon shards (Service.Router).
+
+   Every daemon runs evaluation-bound (dedup off, a small artificial
+   worker delay), so per-shard capacity is jobs/delay and the offered
+   rate is pitched between one shard's capacity and two shards': the
+   single arm saturates (the arrival-lag signal grows without bound),
+   the routed fleet keeps up.  The gate asks for routed throughput at
+   least the single daemon's on the same stream, responses through the
+   router bit-identical to the direct exact solve, and the tier-2
+   store turning a restarted shard's cold misses into admission-time
+   hits (warm restart faster than cold). *)
+
+type scale_arm = {
+  sc_label : string;
+  sc_target_rps : float;
+  sc_offered_rps : float;
+  sc_achieved_rps : float;
+  sc_ok : int;
+  sc_p50_ms : float;
+  sc_p99_ms : float;
+  sc_max_lag_ms : float;
+  sc_wall_s : float;
+}
+
+(* Fixed socket paths, not temp names: shard addresses are the ring
+   identities, so random paths would reshuffle key placement — and the
+   measured shard split — on every run.  The server unlinks stale
+   sockets at bind. *)
+let scale_sock role =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    ("dls-bench-scale-" ^ role ^ ".sock")
+
+let scale_server_cfg ?(jobs = 2) ?(dedup = false) ?(worker_delay = 0.004)
+    ?store ~path () =
+  {
+    (Service.Server.default_config (Service.Server.Unix_socket path)) with
+    Service.Server.jobs;
+    queue_capacity = 256;
+    max_batch = 32;
+    dedup;
+    worker_delay;
+    store;
+  }
+
+let scale_start_server cfg =
+  match Service.Server.start cfg with
+  | Ok s -> s
+  | Error e ->
+    Printf.eprintf "bench: scale server start failed: %s\n"
+      (Dls.Errors.to_string e);
+    exit 2
+
+let run_scale_arm ~label address ~processes ~requests ~rps ~seed ~distinct =
+  match
+    Service.Loadgen.run_open address ~processes ~requests ~rps ~seed ~distinct
+      ()
+  with
+  | Error e ->
+    Printf.eprintf "bench: open-loop loadgen failed: %s\n"
+      (Dls.Errors.to_string e);
+    exit 2
+  | Ok oo ->
+    let o = oo.Service.Loadgen.closed in
+    if o.Service.Loadgen.ok <> requests then begin
+      Printf.eprintf
+        "bench: scale arm %s dropped requests (ok=%d/%d overloaded=%d \
+         timeouts=%d failed=%d)\n"
+        label o.Service.Loadgen.ok requests o.Service.Loadgen.overloaded
+        o.Service.Loadgen.timeouts o.Service.Loadgen.failed;
+      exit 2
+    end;
+    {
+      sc_label = label;
+      sc_target_rps = oo.Service.Loadgen.target_rps;
+      sc_offered_rps = oo.Service.Loadgen.offered_rps;
+      sc_achieved_rps = o.Service.Loadgen.rps;
+      sc_ok = o.Service.Loadgen.ok;
+      sc_p50_ms = o.Service.Loadgen.p50_ms;
+      sc_p99_ms = o.Service.Loadgen.p99_ms;
+      sc_max_lag_ms = oo.Service.Loadgen.max_lag_ms;
+      sc_wall_s = o.Service.Loadgen.wall_s;
+    }
+
+(* Every distinct solve scenario of the stream, sent through the
+   router, must come back byte-for-byte the direct exact answer. *)
+let check_scale_bit_identity router_address ~seed ~distinct =
+  let seen = Hashtbl.create 16 in
+  let outcome =
+    Service.Client.with_client router_address (fun cl ->
+        let rec go i =
+          if i >= 8 * distinct then Ok ()
+          else
+            match Service.Loadgen.request ~seed ~distinct i with
+            | Service.Protocol.Solve r as req ->
+              let key = Service.Protocol.request_key req in
+              if Hashtbl.mem seen key then go (i + 1)
+              else begin
+                Hashtbl.add seen key ();
+                match Service.Client.request cl req with
+                | Error e -> Error e
+                | Ok reply -> (
+                  let p = r.Service.Protocol.s_platform in
+                  let scenario =
+                    match r.Service.Protocol.s_order with
+                    | Service.Protocol.Fifo ->
+                      Dls.Scenario.fifo_exn p (Dls.Fifo.order p)
+                    | Service.Protocol.Lifo ->
+                      Dls.Scenario.lifo_exn p (Dls.Lifo.order p)
+                  in
+                  let direct =
+                    Dls.Solve.solve_exn ~mode:`Exact
+                      ~model:r.Service.Protocol.s_model scenario
+                  in
+                  match reply with
+                  | Service.Protocol.Ok_solve s ->
+                    let q_eq a b = Q.to_string a = Q.to_string b in
+                    let identical =
+                      q_eq s.Service.Protocol.rho direct.Dls.Lp_model.rho
+                      && Array.length s.Service.Protocol.alpha
+                         = Array.length direct.Dls.Lp_model.alpha
+                      && Array.for_all2 q_eq s.Service.Protocol.alpha
+                           direct.Dls.Lp_model.alpha
+                      && Array.for_all2 q_eq s.Service.Protocol.idle
+                           direct.Dls.Lp_model.idle
+                    in
+                    if identical then go (i + 1)
+                    else begin
+                      Printf.eprintf
+                        "bench: routed response differs from direct solve \
+                         (stream index %d)\n"
+                        i;
+                      exit 3
+                    end
+                  | other ->
+                    Printf.eprintf "bench: expected ok solve, got %s\n"
+                      (Service.Protocol.response_to_string other);
+                    exit 3)
+              end
+            | _ -> go (i + 1)
+        in
+        go 0)
+  in
+  match outcome with
+  | Ok (Ok ()) -> Hashtbl.length seen
+  | Ok (Error e) | Error e ->
+    Printf.eprintf "bench: bit-identity probe failed: %s\n"
+      (Dls.Errors.to_string e);
+    exit 2
+
+(* Tier-2 restart experiment.  Cold: run the stream, restart a fresh
+   daemon, run it again — the restarted daemon re-evaluates everything.
+   Warm: same, but both daemons share one store file — the restarted
+   daemon starts with an empty tier-1 cache yet answers the repeats at
+   admission time from the store.  The LP cache is reset around every
+   run so only the store can carry answers across the restart. *)
+let run_scale_restart ~seed ~distinct =
+  let requests = 48 and connections = 4 in
+  let run_once cfg =
+    Dls.Lp_model.reset_cache ();
+    let server = scale_start_server cfg in
+    let t0 = Unix.gettimeofday () in
+    (match
+       Service.Loadgen.run
+         (Service.Server.address server)
+         ~connections ~requests ~seed ~distinct ()
+     with
+    | Ok o when o.Service.Loadgen.ok = requests -> ()
+    | Ok o ->
+      Printf.eprintf "bench: restart stream dropped requests (ok=%d/%d)\n"
+        o.Service.Loadgen.ok requests;
+      exit 2
+    | Error e ->
+      Printf.eprintf "bench: restart loadgen failed: %s\n"
+        (Dls.Errors.to_string e);
+      exit 2);
+    let wall = Unix.gettimeofday () -. t0 in
+    let stats = Service.Server.stats server in
+    Service.Server.stop server;
+    (wall, stats)
+  in
+  let cold_cfg () =
+    scale_server_cfg ~dedup:true ~worker_delay:0.02
+      ~path:(scale_sock "restart") ()
+  in
+  let _ = run_once (cold_cfg ()) in
+  let cold_s, _ = run_once (cold_cfg ()) in
+  let store = Filename.temp_file "dls-bench-scale" ".store" in
+  let warm_cfg () =
+    scale_server_cfg ~dedup:true ~worker_delay:0.02 ~store
+      ~path:(scale_sock "restart") ()
+  in
+  let _ = run_once (warm_cfg ()) in
+  let warm_s, warm_stats = run_once (warm_cfg ()) in
+  (try Sys.remove store with Sys_error _ -> ());
+  (cold_s, warm_s, warm_stats.Service.Protocol.store_hits)
+
+let scale_arm_json a =
+  Printf.sprintf
+    "    { \"label\": %S, \"target_rps\": %.1f, \"offered_rps\": %.1f, \
+     \"achieved_rps\": %.1f, \"ok\": %d, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \
+     \"max_lag_ms\": %.3f, \"wall_s\": %.4f }"
+    a.sc_label a.sc_target_rps a.sc_offered_rps a.sc_achieved_rps a.sc_ok
+    a.sc_p50_ms a.sc_p99_ms a.sc_max_lag_ms a.sc_wall_s
+
+let run_scale_bench ~quick ~json_path ~gate =
+  let requests = if quick then 1600 else 6000 in
+  let rps = 750. in
+  let processes = 16 in
+  let seed = 2026 and distinct = 6 in
+  let jobs = 2 and worker_delay = 0.004 in
+  let vnodes = 128 in
+  Printf.printf
+    "=== horizontal scale-out (consistent-hash router, 2 shards) ===\n\
+     (%d open-loop requests at %.0f rps target, %d driving processes, %d \
+     jobs x %.0fms work per shard)\n\n\
+     %!"
+    requests rps processes jobs (worker_delay *. 1000.);
+  (* Arm 1: the whole stream straight at one daemon. *)
+  Dls.Lp_model.reset_cache ();
+  let s1 =
+    scale_start_server
+      (scale_server_cfg ~jobs ~worker_delay ~path:(scale_sock "single") ())
+  in
+  let single =
+    run_scale_arm ~label:"single daemon"
+      (Service.Server.address s1)
+      ~processes ~requests ~rps ~seed ~distinct
+  in
+  Service.Server.stop s1;
+  (* Arm 2: the same stream at a router over two shards. *)
+  Dls.Lp_model.reset_cache ();
+  let sh1 =
+    scale_start_server
+      (scale_server_cfg ~jobs ~worker_delay ~path:(scale_sock "shard-a") ())
+  in
+  let sh2 =
+    scale_start_server
+      (scale_server_cfg ~jobs ~worker_delay ~path:(scale_sock "shard-b") ())
+  in
+  let router =
+    let cfg =
+      {
+        (Service.Router.default_config
+           (Service.Server.Unix_socket (scale_sock "router"))
+           ~shard_addresses:
+             [ Service.Server.address sh1; Service.Server.address sh2 ])
+        with
+        Service.Router.vnodes;
+        attempt_timeout = None;
+      }
+    in
+    match Service.Router.start cfg with
+    | Ok r -> r
+    | Error e ->
+      Printf.eprintf "bench: router start failed: %s\n"
+        (Dls.Errors.to_string e);
+      exit 2
+  in
+  let scenarios =
+    check_scale_bit_identity (Service.Router.address router) ~seed ~distinct
+  in
+  Printf.printf
+    "  bit-identity through the router vs direct exact solve: ok (%d \
+     scenarios)\n\
+     %!"
+    scenarios;
+  let routed =
+    run_scale_arm ~label:"router + 2 shards"
+      (Service.Router.address router)
+      ~processes ~requests ~rps ~seed ~distinct
+  in
+  let rstats = Service.Router.stats router in
+  Service.Router.stop router;
+  Service.Server.stop sh1;
+  Service.Server.stop sh2;
+  (* Tier-2 store across a restart. *)
+  let cold_s, warm_s, warm_store_hits = run_scale_restart ~seed ~distinct in
+  List.iter
+    (fun a ->
+      Printf.printf
+        "  %-18s  %8.1f req/s achieved (offered %.1f)  p50 %.1fms  p99 \
+         %.1fms  max lag %.1fms  wall %.3fs\n\
+         %!"
+        a.sc_label a.sc_achieved_rps a.sc_offered_rps a.sc_p50_ms a.sc_p99_ms
+        a.sc_max_lag_ms a.sc_wall_s)
+    [ single; routed ];
+  Printf.printf
+    "  routed per shard: [%s]  failovers: %d\n\
+    \  store restart: cold %.3fs, warm %.3fs (%d admission-time store hits)\n\
+     %!"
+    (String.concat "; "
+       (Array.to_list
+          (Array.map string_of_int rstats.Service.Router.r_routed)))
+    rstats.Service.Router.r_failovers cold_s warm_s warm_store_hits;
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"schema\": \"dls-bench-scale/1\",\n\
+      \  \"quick\": %b,\n\
+      \  \"seed\": %d,\n\
+      \  \"requests\": %d,\n\
+      \  \"target_rps\": %.1f,\n\
+      \  \"processes\": %d,\n\
+      \  \"distinct\": %d,\n\
+      \  \"shards\": 2,\n\
+      \  \"vnodes\": %d,\n\
+      \  \"jobs_per_shard\": %d,\n\
+      \  \"worker_delay_ms\": %.1f,\n\
+      \  \"bit_identical\": true,\n\
+      \  \"scenarios_checked\": %d,\n\
+      \  \"routed_per_shard\": [%s],\n\
+      \  \"failovers\": %d,\n\
+      \  \"store_cold_s\": %.4f,\n\
+      \  \"store_warm_s\": %.4f,\n\
+      \  \"store_warm_hits\": %d,\n\
+      \  \"arms\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      quick seed requests rps processes distinct vnodes jobs
+      (worker_delay *. 1000.)
+      scenarios
+      (String.concat ", "
+         (Array.to_list
+            (Array.map string_of_int rstats.Service.Router.r_routed)))
+      rstats.Service.Router.r_failovers cold_s warm_s warm_store_hits
+      (String.concat ",\n" (List.map scale_arm_json [ single; routed ]))
+  in
+  let oc = open_out json_path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "  wrote %s\n\n%!" json_path;
+  let throughput_pass = routed.sc_achieved_rps >= single.sc_achieved_rps in
+  let restart_pass = warm_s < cold_s && warm_store_hits > 0 in
+  let gate_pass = throughput_pass && restart_pass in
+  if gate && not gate_pass then begin
+    if not throughput_pass then
+      Printf.eprintf
+        "GATE FAILED: router+2 shards %.1f req/s < single daemon %.1f req/s \
+         on the same open-loop stream\n"
+        routed.sc_achieved_rps single.sc_achieved_rps;
+    if not restart_pass then
+      Printf.eprintf
+        "GATE FAILED: store-warm restart %.3fs (hits %d) not faster than \
+         cold restart %.3fs\n"
+        warm_s warm_store_hits cold_s
+  end
+  else if gate then
+    Printf.printf
+      "  gate: routed %.1f >= single %.1f req/s; warm restart %.3fs < cold \
+       %.3fs\n\
+       %!"
+      routed.sc_achieved_rps single.sc_achieved_rps warm_s cold_s;
+  (not gate) || gate_pass
+
+(* ------------------------------------------------------------------ *)
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -1538,7 +1903,7 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     solvers_gate robustness_only robustness_json robustness_cases service_only
     service_json service_gate multiload_only multiload_json multiload_gate
     resolve_only resolve_json resolve_gate pool_only pool_json pool_gate
-    chaos_only chaos_json chaos_gate =
+    chaos_only chaos_json chaos_gate scale_only scale_json scale_gate =
   Printf.printf
     "One-port FIFO divisible-load scheduling - reproduction harness\n\
      (Beaumont, Marchal, Rehn, Robert, RR-5738, 2005)%s\n\n%!"
@@ -1575,6 +1940,10 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     if not (run_chaos_bench ~quick ~json_path:chaos_json ~gate:chaos_gate) then
       exit 1
   end
+  else if scale_only then begin
+    if not (run_scale_bench ~quick ~json_path:scale_json ~gate:scale_gate) then
+      exit 1
+  end
   else begin
     if not solvers_only then begin
       run_experiments ~quick ~jobs ~only;
@@ -1606,10 +1975,13 @@ let main quick skip_micro only jobs solvers_only solvers_json bench_k warmup
     let chaos_pass =
       run_chaos_bench ~quick ~json_path:chaos_json ~gate:chaos_gate
     in
+    let scale_pass =
+      run_scale_bench ~quick ~json_path:scale_json ~gate:scale_gate
+    in
     if
       not
         (gate_pass && service_pass && multiload_pass && resolve_pass
-       && pool_pass && chaos_pass)
+       && pool_pass && chaos_pass && scale_pass)
     then exit 1
   end
 
@@ -1802,6 +2174,28 @@ let () =
              naive client under the same chaos plan and the journal-warm \
              restart beats the cold restart.")
   in
+  let scale_only_arg =
+    Arg.(
+      value & flag
+      & info [ "scale-only" ]
+          ~doc:"Run only the horizontal scale-out benchmark (Part 10).")
+  in
+  let scale_json_arg =
+    Arg.(
+      value
+      & opt string "BENCH_scale.json"
+      & info [ "scale-json" ] ~docv:"FILE"
+          ~doc:"Where to write the scale-out benchmark JSON.")
+  in
+  let scale_gate_arg =
+    Arg.(
+      value & flag
+      & info [ "scale-gate" ]
+          ~doc:
+            "Exit non-zero unless the router over two shards matches or \
+             beats the single daemon on the same open-loop stream and the \
+             tier-2 store makes the warm restart faster than the cold one.")
+  in
   let doc = "reproduce the paper's figures and benchmark the library" in
   let cmd =
     Cmd.v
@@ -1814,6 +2208,7 @@ let () =
         $ service_gate_arg $ multiload_only_arg $ multiload_json_arg
         $ multiload_gate_arg $ resolve_only_arg $ resolve_json_arg
         $ resolve_gate_arg $ pool_only_arg $ pool_json_arg $ pool_gate_arg
-        $ chaos_only_arg $ chaos_json_arg $ chaos_gate_arg)
+        $ chaos_only_arg $ chaos_json_arg $ chaos_gate_arg $ scale_only_arg
+        $ scale_json_arg $ scale_gate_arg)
   in
   exit (Cmd.eval cmd)

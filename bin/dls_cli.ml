@@ -1481,9 +1481,38 @@ let serve_cmd =
              (bit-identical answers, lower worst-case latency) until three \
              rounds end at or below 1/4.")
   in
+  let journal_max_bytes_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "journal-max-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Journal byte budget (with $(b,--journal)): past it, the journal \
+             is compacted down to the latest record of each key the warm \
+             cache still holds (counted in the $(b,compactions) stat).")
+  in
+  let store_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"FILE"
+          ~doc:
+            "Tier-2 shared solution store: on a warm-cache miss the daemon \
+             consults $(docv) before solving ($(b,store_hits) / \
+             $(b,store_misses) in the stats) and publishes every fresh \
+             solution to it.  Many shards may share one store file.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value & flag
+      & info [ "stats-json" ]
+          ~doc:
+            "Print the final drain statistics as a JSON object (same fields \
+             as the line format).")
+  in
   let die fmt = Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt in
   let run socket host port jobs dispatchers queue_cap max_batch timeout
-      no_dedup worker_delay journal brownout =
+      no_dedup worker_delay journal journal_max_bytes store brownout stats_json =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1500,6 +1529,8 @@ let serve_cmd =
         dedup = not no_dedup;
         worker_delay;
         journal;
+        journal_max_bytes;
+        store;
         brownout;
       }
     in
@@ -1523,9 +1554,12 @@ let serve_cmd =
       done;
       prerr_endline "dls: draining";
       Service.Server.stop server;
-      print_endline
-        (Service.Protocol.response_to_string
-           (Service.Protocol.Ok_stats (Service.Server.stats server)))
+      let final = Service.Server.stats server in
+      if stats_json then print_endline (Service.Protocol.stats_to_json final)
+      else
+        print_endline
+          (Service.Protocol.response_to_string
+             (Service.Protocol.Ok_stats final))
   in
   let doc = "run the scheduling daemon (drains gracefully on SIGTERM)" in
   Cmd.v
@@ -1533,7 +1567,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ jobs_arg
       $ dispatchers_arg $ queue_cap_arg $ max_batch_arg $ timeout_arg
-      $ no_dedup_arg $ worker_delay_arg $ journal_arg $ brownout_arg)
+      $ no_dedup_arg $ worker_delay_arg $ journal_arg $ journal_max_bytes_arg
+      $ store_arg $ brownout_arg $ stats_json_arg)
 
 let client_cmd =
   let requests_arg =
@@ -1561,7 +1596,15 @@ let client_cmd =
       & info [ "attempt-timeout" ] ~docv:"SECONDS"
           ~doc:"Per-attempt deadline when retrying (with $(b,--retries)).")
   in
-  let run socket host port retries attempt_timeout requests =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Render $(b,stats) responses as a JSON object (same fields as \
+             the line format); every other response keeps the line format.")
+  in
+  let run socket host port retries attempt_timeout json requests =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1581,6 +1624,12 @@ let client_cmd =
         slurp []
     in
     let lines = List.filter (fun l -> String.trim l <> "") lines in
+    let print_response resp =
+      match resp with
+      | Service.Protocol.Ok_stats s when json ->
+        print_endline (Service.Protocol.stats_to_json s)
+      | _ -> print_endline (Service.Protocol.response_to_string resp)
+    in
     let outcome =
       if retries <= 0 then
         Service.Client.with_client address (fun client ->
@@ -1588,7 +1637,7 @@ let client_cmd =
               (fun all_ok line ->
                 match Service.Client.request_raw client line with
                 | Ok resp ->
-                  print_endline (Service.Protocol.response_to_string resp);
+                  print_response resp;
                   all_ok && Service.Protocol.is_ok resp
                 | Error e ->
                   prerr_endline ("dls: " ^ Dls.Errors.to_string e);
@@ -1617,7 +1666,7 @@ let client_cmd =
               | Ok req -> (
                 match Service.Resilient.request client req with
                 | Ok resp ->
-                  print_endline (Service.Protocol.response_to_string resp);
+                  print_response resp;
                   all_ok && Service.Protocol.is_ok resp
                 | Error e ->
                   prerr_endline ("dls: " ^ Dls.Errors.to_string e);
@@ -1640,7 +1689,7 @@ let client_cmd =
     (Cmd.info "client" ~doc)
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ retries_arg
-      $ attempt_timeout_arg $ requests_arg)
+      $ attempt_timeout_arg $ json_arg $ requests_arg)
 
 let loadgen_cmd =
   let requests_arg =
@@ -1712,8 +1761,27 @@ let loadgen_cmd =
             "Per-request answer-by deadline: $(b,ok) responses landing later \
              count as throughput but not goodput.")
   in
+  let rps_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "rps" ] ~docv:"RATE"
+          ~doc:
+            "Open-loop mode: issue request $(i,i) at its seeded Poisson \
+             arrival time at target rate $(docv) instead of as fast as the \
+             connections allow, and report offered vs achieved rate plus the \
+             worst scheduling lag.  0 keeps the classic closed loop.")
+  in
+  let processes_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "processes" ] ~docv:"N"
+          ~doc:
+            "Open-loop driving processes (with $(b,--rps)); the request \
+             multiset and the arrival schedule are invariant in $(docv), \
+             only the issue interleaving changes.")
+  in
   let run socket host port requests connections seed distinct multi skew json
-      retries attempt_timeout deadline =
+      retries attempt_timeout deadline rps processes =
     let address =
       match address_of socket host port with
       | Ok a -> a
@@ -1733,14 +1801,7 @@ let loadgen_cmd =
             jitter_seed = seed;
           }
     in
-    match
-      Service.Loadgen.run ~multi ~skew ?resilient ?deadline_s:deadline address
-        ~connections ~requests ~seed ~distinct ()
-    with
-    | Error e ->
-      prerr_endline ("dls: " ^ Dls.Errors.to_string e);
-      exit 2
-    | Ok o ->
+    let print_outcome (o : Service.Loadgen.outcome) =
       Printf.printf
         "sent=%d ok=%d overloaded=%d timeouts=%d shed=%d failed=%d goodput=%d \
          retries=%d breaker_opens=%d p50=%.1fms p99=%.1fms wall=%.3fs \
@@ -1750,42 +1811,85 @@ let loadgen_cmd =
         o.Service.Loadgen.failed o.Service.Loadgen.goodput
         o.Service.Loadgen.retries o.Service.Loadgen.breaker_opens
         o.Service.Loadgen.p50_ms o.Service.Loadgen.p99_ms
+        o.Service.Loadgen.wall_s o.Service.Loadgen.rps
+    in
+    let write_json path ?open_loop (o : Service.Loadgen.outcome) =
+      let oc = open_out path in
+      Printf.fprintf oc
+        "{\n\
+        \  \"schema\": \"dls-loadgen/2\",\n\
+        \  \"seed\": %d,\n\
+        \  \"distinct\": %d,\n\
+        \  \"skew\": %.3f,\n\
+        \  \"connections\": %d,\n\
+        \  \"retries\": %d,\n\
+        \  \"sent\": %d,\n\
+        \  \"ok\": %d,\n\
+        \  \"overloaded\": %d,\n\
+        \  \"timeouts\": %d,\n\
+        \  \"shed\": %d,\n\
+        \  \"failed\": %d,\n\
+        \  \"goodput\": %d,\n\
+        \  \"retried\": %d,\n\
+        \  \"breaker_opens\": %d,\n\
+        \  \"p50_ms\": %.3f,\n\
+        \  \"p99_ms\": %.3f,\n\
+        \  \"wall_s\": %.6f,\n\
+        \  \"rps\": %.1f"
+        seed distinct skew connections retries o.Service.Loadgen.sent
+        o.Service.Loadgen.ok o.Service.Loadgen.overloaded
+        o.Service.Loadgen.timeouts o.Service.Loadgen.shed
+        o.Service.Loadgen.failed o.Service.Loadgen.goodput
+        o.Service.Loadgen.retries o.Service.Loadgen.breaker_opens
+        o.Service.Loadgen.p50_ms o.Service.Loadgen.p99_ms
         o.Service.Loadgen.wall_s o.Service.Loadgen.rps;
-      (match json with
+      (match open_loop with
       | None -> ()
-      | Some path ->
-        let oc = open_out path in
+      | Some oo ->
         Printf.fprintf oc
-          "{\n\
-          \  \"schema\": \"dls-loadgen/2\",\n\
-          \  \"seed\": %d,\n\
-          \  \"distinct\": %d,\n\
-          \  \"skew\": %.3f,\n\
-          \  \"connections\": %d,\n\
-          \  \"retries\": %d,\n\
-          \  \"sent\": %d,\n\
-          \  \"ok\": %d,\n\
-          \  \"overloaded\": %d,\n\
-          \  \"timeouts\": %d,\n\
-          \  \"shed\": %d,\n\
-          \  \"failed\": %d,\n\
-          \  \"goodput\": %d,\n\
-          \  \"retried\": %d,\n\
-          \  \"breaker_opens\": %d,\n\
-          \  \"p50_ms\": %.3f,\n\
-          \  \"p99_ms\": %.3f,\n\
-          \  \"wall_s\": %.6f,\n\
-          \  \"rps\": %.1f\n\
-           }\n"
-          seed distinct skew connections retries o.Service.Loadgen.sent
-          o.Service.Loadgen.ok o.Service.Loadgen.overloaded
-          o.Service.Loadgen.timeouts o.Service.Loadgen.shed
-          o.Service.Loadgen.failed o.Service.Loadgen.goodput
-          o.Service.Loadgen.retries o.Service.Loadgen.breaker_opens
-          o.Service.Loadgen.p50_ms o.Service.Loadgen.p99_ms
-          o.Service.Loadgen.wall_s o.Service.Loadgen.rps;
-        close_out oc);
-      if o.Service.Loadgen.failed > 0 then exit 1
+          ",\n\
+          \  \"target_rps\": %.3f,\n\
+          \  \"offered_rps\": %.3f,\n\
+          \  \"max_lag_ms\": %.3f,\n\
+          \  \"processes\": %d"
+          oo.Service.Loadgen.target_rps oo.Service.Loadgen.offered_rps
+          oo.Service.Loadgen.max_lag_ms oo.Service.Loadgen.processes);
+      Printf.fprintf oc "\n}\n";
+      close_out oc
+    in
+    if rps > 0. then begin
+      match
+        Service.Loadgen.run_open ~multi ~skew ?resilient ?deadline_s:deadline
+          address ~processes ~requests ~rps ~seed ~distinct ()
+      with
+      | Error e ->
+        prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+        exit 2
+      | Ok oo ->
+        let o = oo.Service.Loadgen.closed in
+        print_outcome o;
+        Printf.printf
+          "open-loop: target=%.1frps offered=%.1frps achieved=%.1frps \
+           max_lag=%.1fms processes=%d\n"
+          oo.Service.Loadgen.target_rps oo.Service.Loadgen.offered_rps
+          o.Service.Loadgen.rps oo.Service.Loadgen.max_lag_ms
+          oo.Service.Loadgen.processes;
+        Option.iter (fun path -> write_json path ~open_loop:oo o) json;
+        if o.Service.Loadgen.failed > 0 then exit 1
+    end
+    else begin
+      match
+        Service.Loadgen.run ~multi ~skew ?resilient ?deadline_s:deadline
+          address ~connections ~requests ~seed ~distinct ()
+      with
+      | Error e ->
+        prerr_endline ("dls: " ^ Dls.Errors.to_string e);
+        exit 2
+      | Ok o ->
+        print_outcome o;
+        Option.iter (fun path -> write_json path o) json;
+        if o.Service.Loadgen.failed > 0 then exit 1
+    end
   in
   let doc = "replay the deterministic request stream against a daemon" in
   Cmd.v
@@ -1793,7 +1897,114 @@ let loadgen_cmd =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ requests_arg
       $ connections_arg $ seed_arg $ distinct_arg $ multi_arg $ skew_arg
-      $ json_arg $ retries_arg $ attempt_timeout_arg $ deadline_arg)
+      $ json_arg $ retries_arg $ attempt_timeout_arg $ deadline_arg $ rps_arg
+      $ processes_arg)
+
+let route_cmd =
+  let shard_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "shard" ] ~docv:"ADDR"
+          ~doc:
+            "Backend daemon shard (repeatable; at least one).  $(docv) is a \
+             Unix-socket path when it contains a '/', $(b,HOST:PORT) when it \
+             contains a ':', else a bare TCP port on 127.0.0.1.")
+  in
+  let vnodes_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "vnodes" ] ~docv:"N"
+          ~doc:
+            "Ring points per shard; more points, smoother key balance and \
+             finer-grained remapping.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Resilient attempts per shard beyond the first; once a shard's \
+             budget is spent the request fails over to the next shard on \
+             the ring.")
+  in
+  let attempt_timeout_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "attempt-timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-attempt deadline on backend requests; 0 disables.")
+  in
+  let die fmt =
+    Format.kasprintf (fun s -> prerr_endline ("dls: " ^ s); exit 1) fmt
+  in
+  let parse_shard s =
+    if String.contains s '/' then Service.Server.Unix_socket s
+    else
+      match String.rindex_opt s ':' with
+      | Some i -> (
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        match int_of_string_opt port with
+        | Some p when host <> "" -> Service.Server.Tcp (host, p)
+        | _ -> die "bad shard address %S (want PATH, HOST:PORT or PORT)" s)
+      | None -> (
+        match int_of_string_opt s with
+        | Some p -> Service.Server.Tcp ("127.0.0.1", p)
+        | None -> die "bad shard address %S (want PATH, HOST:PORT or PORT)" s)
+  in
+  let run socket host port shards vnodes retries attempt_timeout =
+    let address =
+      match address_of socket host port with
+      | Ok a -> a
+      | Error msg -> die "%s" msg
+    in
+    if shards = [] then
+      die "at least one --shard is required (repeat it per backend)";
+    let shard_addresses = List.map parse_shard shards in
+    let cfg =
+      {
+        (Service.Router.default_config address ~shard_addresses) with
+        Service.Router.vnodes;
+        attempts = retries + 1;
+        attempt_timeout =
+          (if attempt_timeout > 0. then Some attempt_timeout else None);
+      }
+    in
+    match Service.Router.start cfg with
+    | Error e -> die "%s" (Dls.Errors.to_string e)
+    | Ok router ->
+      let stop_flag = Atomic.make false in
+      let on_signal = Sys.Signal_handle (fun _ -> Atomic.set stop_flag true) in
+      Sys.set_signal Sys.sigterm on_signal;
+      Sys.set_signal Sys.sigint on_signal;
+      Printf.printf "dls: routing %s over %d shards (vnodes=%d)\n%!"
+        (address_to_string (Service.Router.address router))
+        (List.length shard_addresses)
+        vnodes;
+      while not (Atomic.get stop_flag) do
+        (try Unix.sleepf 0.1 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      done;
+      prerr_endline "dls: router draining";
+      Service.Router.stop router;
+      let s = Service.Router.stats router in
+      Printf.printf
+        "requests=%d routed=[%s] failovers=%d unavailable=%d local=%d \
+         fanouts=%d hangups=%d\n"
+        s.Service.Router.r_requests
+        (String.concat ";"
+           (Array.to_list
+              (Array.map string_of_int s.Service.Router.r_routed)))
+        s.Service.Router.r_failovers s.Service.Router.r_unavailable
+        s.Service.Router.r_local s.Service.Router.r_fanouts
+        s.Service.Router.r_hangups
+  in
+  let doc =
+    "front a fleet of daemon shards with one consistent-hash endpoint"
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ shard_arg $ vnodes_arg
+      $ retries_arg $ attempt_timeout_arg)
 
 let chaos_cmd =
   let listen_socket_arg =
@@ -1971,5 +2182,6 @@ let () =
             serve_cmd;
             client_cmd;
             loadgen_cmd;
+            route_cmd;
             chaos_cmd;
           ]))

@@ -30,6 +30,7 @@ type ('k, 'v) t = {
   table : ('k, ('k, 'v) node) Hashtbl.t;
   inflight : ('k, 'v flight) Hashtbl.t;
   cap : int;
+  on_evict : ('k -> 'v -> unit) option;
   mutable head : ('k, 'v) node option;
   mutable tail : ('k, 'v) node option;
   mutable hits : int;
@@ -47,13 +48,14 @@ type stats = {
   capacity : int;
 }
 
-let create ?(capacity = 1024) () =
+let create ?(capacity = 1024) ?on_evict () =
   {
     m = Mutex.create ();
     flight_done = Condition.create ();
     table = Hashtbl.create (max 16 (min capacity 4096));
     inflight = Hashtbl.create 16;
     cap = capacity;
+    on_evict;
     head = None;
     tail = None;
     hits = 0;
@@ -87,7 +89,10 @@ let evict_lru t =
   | Some n ->
       unlink t n;
       Hashtbl.remove t.table n.key;
-      t.evictions <- t.evictions + 1
+      t.evictions <- t.evictions + 1;
+      (* Runs with [t.m] held — the callback must not touch this
+         cache (see the .mli contract). *)
+      (match t.on_evict with Some f -> f n.key n.value | None -> ())
 
 (* Recency bump without counter movement — the single-flight path does
    its own hit/miss/join accounting. *)

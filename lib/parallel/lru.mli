@@ -27,8 +27,16 @@ type stats = {
 
 (** [create ~capacity ()] is an empty cache holding at most [capacity]
     entries (least-recently-used evicted first).  [capacity <= 0]
-    disables caching: every lookup misses and nothing is stored. *)
-val create : ?capacity:int -> unit -> ('k, 'v) t
+    disables caching: every lookup misses and nothing is stored.
+
+    [on_evict] (optional) observes every capacity eviction — the hook
+    the service layer uses to count tier-1 → tier-2 cache demotions.
+    It runs {e with the cache lock held}, so it must be cheap and must
+    not touch this cache (a counter increment, not a recompute).  It is
+    not called for {!clear} or for an {!add} that replaces an existing
+    key. *)
+val create :
+  ?capacity:int -> ?on_evict:('k -> 'v -> unit) -> unit -> ('k, 'v) t
 
 (** [find t k] is the cached value for [k], refreshing its recency. *)
 val find : ('k, 'v) t -> 'k -> 'v option

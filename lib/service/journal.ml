@@ -33,10 +33,12 @@ let crc32 s =
 let payload_crc ~key ~value = crc32 (key ^ "\n" ^ value)
 
 type t = {
-  fd : Unix.file_descr;
+  path : string;
+  mutable fd : Unix.file_descr;
   sync : bool;
   lock : Mutex.t;
   mutable appended : int;
+  mutable compactions : int;
   mutable closed : bool;
 }
 
@@ -104,7 +106,15 @@ let open_ ?(sync = false) path =
     let records, good = scan contents in
     if good < String.length contents then Unix.ftruncate fd good;
     ignore (Unix.lseek fd good Unix.SEEK_SET);
-    ( { fd; sync; lock = Mutex.create (); appended = 0; closed = false },
+    ( {
+        path;
+        fd;
+        sync;
+        lock = Mutex.create ();
+        appended = 0;
+        compactions = 0;
+        closed = false;
+      },
       records )
   with
   | pair -> Ok pair
@@ -143,6 +153,90 @@ let append t ~key ~value =
   end
 
 let appended t = t.appended
+let compactions t = t.compactions
+
+let size_bytes t =
+  Mutex.lock t.lock;
+  let size =
+    if t.closed then 0
+    else try (Unix.fstat t.fd).Unix.st_size with Unix.Unix_error _ -> 0
+  in
+  Mutex.unlock t.lock;
+  size
+
+(* Read the whole file through [fd]. *)
+let read_all fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let b = Bytes.create size in
+  let rec fill off =
+    if off < size then
+      match Unix.read fd b off (size - off) with
+      | 0 -> off
+      | n -> fill (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill off
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string b 0 got
+
+let write_all fd s =
+  let bytes = Bytes.of_string s in
+  let len = Bytes.length bytes in
+  let rec write off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> write (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write off
+  in
+  write 0
+
+(* Rewrite the journal keeping only the latest record of each key that
+   [live] accepts, in the order of each key's last append.  The new
+   contents go to a sibling temp file which is renamed over the journal
+   — a crash mid-compaction leaves either the old file or the new one,
+   both valid.  Serialised against [append] by the same lock, so no
+   record can land between the read and the swap. *)
+let compact t ~live =
+  Mutex.lock t.lock;
+  let result =
+    if t.closed then Error (E.Io_error "journal: closed")
+    else
+      match
+        let contents = read_all t.fd in
+        let records, _good = scan contents in
+        (* Last occurrence per key wins; emit in last-append order. *)
+        let last = Hashtbl.create 64 in
+        List.iteri (fun i (k, v) -> Hashtbl.replace last k (i, v)) records;
+        let kept =
+          Hashtbl.fold
+            (fun k (i, v) acc -> if live k then (i, k, v) :: acc else acc)
+            last []
+        in
+        let kept = List.sort (fun (a, _, _) (b, _, _) -> compare a b) kept in
+        let b = Buffer.create 4096 in
+        List.iter
+          (fun (_, k, v) -> Buffer.add_string b (render ~key:k ~value:v))
+          kept;
+        let tmp = t.path ^ ".compact" in
+        let tmp_fd =
+          Unix.openfile tmp [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+        in
+        write_all tmp_fd (Buffer.contents b);
+        if t.sync then Unix.fsync tmp_fd;
+        Unix.rename tmp t.path;
+        (try Unix.close t.fd with Unix.Unix_error _ -> ());
+        ignore (Unix.lseek tmp_fd 0 Unix.SEEK_END);
+        t.fd <- tmp_fd;
+        t.compactions <- t.compactions + 1;
+        (String.length contents, Buffer.length b)
+      with
+      | sizes -> Ok sizes
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (E.Io_error ("journal compact: " ^ Unix.error_message e))
+  in
+  Mutex.unlock t.lock;
+  result
 
 let close t =
   Mutex.lock t.lock;
@@ -151,3 +245,8 @@ let close t =
     (try Unix.close t.fd with Unix.Unix_error _ -> ())
   end;
   Mutex.unlock t.lock
+
+(* The record format is shared with {!Store}, which generalises this
+   append-only log into a random-access store. *)
+let render_record = render
+let scan_string = scan

@@ -46,8 +46,35 @@ val append : t -> key:string -> value:string -> (unit, Dls.Errors.t) result
 (** Number of records appended through this handle (excludes replay). *)
 val appended : t -> int
 
+(** Current journal size in bytes (0 after {!close}). *)
+val size_bytes : t -> int
+
+(** [compact t ~live] rewrites the journal, keeping only the {e
+    latest} record of every key that [live] accepts — superseded
+    appends and keys the caller no longer cares about (evicted cache
+    entries) are dropped.  Kept records stay in last-append order, so a
+    replay reproduces the same LRU recency.  The rewrite goes to a
+    sibling temp file renamed over the journal: a crash mid-compaction
+    leaves either the old journal or the new one, never a torn mix.
+    Serialised against {!append} internally.  Returns
+    [(bytes_before, bytes_after)]. *)
+val compact : t -> live:(string -> bool) -> (int * int, Dls.Errors.t) result
+
+(** Number of {!compact} runs completed through this handle. *)
+val compactions : t -> int
+
 val close : t -> unit
 
 (** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a string — exposed
     for tests that corrupt records deliberately. *)
 val crc32 : string -> int32
+
+(** The shared record codec — {!Store} generalises this journal's
+    on-disk format into a random-access store, and reuses these rather
+    than re-deriving the framing.  [render_record] is the exact byte
+    sequence {!append} writes; [scan_string s] parses the valid record
+    prefix of [s], returning the [(key, value)] pairs in order plus the
+    byte offset of the first bad (or absent) record. *)
+val render_record : key:string -> value:string -> string
+
+val scan_string : string -> (string * string) list * int

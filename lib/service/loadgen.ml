@@ -88,6 +88,27 @@ let request ?(multi = false) ?(skew = 0.) ~seed ~distinct i =
         s_load = (if k < 4 then Some (Q.of_int 1000) else None);
       }
 
+(* ------------------------------------------------------------------ *)
+(* Open-loop arrivals                                                  *)
+
+(* Poisson arrival schedule: inter-arrival gaps are exponential with
+   mean 1/rps, each gap derived from a hash-based uniform — a pure
+   function of (seed, i), like the request stream itself.  The prefix
+   sums are therefore identical in every process and for every worker
+   count: "process-count-invariant" is by construction, not by
+   coordination.  Hashtbl.hash gives 30 bits; +1 keeps the uniform in
+   (0, 1] so log never sees 0. *)
+let arrivals ~seed ~rps n =
+  if rps <= 0. then invalid_arg "Loadgen.arrivals: rps must be > 0";
+  let t = ref 0. in
+  Array.init n (fun i ->
+      let u =
+        float_of_int ((Hashtbl.hash (seed, i, 0xa881a1) land 0x3FFFFFFF) + 1)
+        /. 1073741824.
+      in
+      t := !t +. (-.log u /. rps);
+      !t)
+
 type tally = {
   mutable t_ok : int;
   mutable t_overloaded : int;
@@ -235,5 +256,142 @@ let run ?(multi = false) ?(skew = 0.) ?resilient ?deadline_s address
           p99_ms = quantile_ms latencies 0.99;
           wall_s;
           rps = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+        }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop driving                                                   *)
+
+type open_outcome = {
+  closed : outcome;
+  target_rps : float;
+  offered_rps : float;
+  max_lag_ms : float;
+  processes : int;
+}
+
+let run_open ?(multi = false) ?(skew = 0.) ?resilient ?deadline_s address
+    ~processes ~requests ~rps ~seed ~distinct () =
+  if processes <= 0 || requests < 0 || distinct <= 0 || rps <= 0. then
+    Dls.Errors.invalid "Loadgen.run_open: bad parameters"
+  else begin
+    let stream =
+      Array.init requests (fun i -> request ~multi ~skew ~seed ~distinct i)
+    in
+    let schedule = arrivals ~seed ~rps requests in
+    let processes = max 1 (min processes (max requests 1)) in
+    let tallies =
+      Array.init processes (fun _ ->
+          {
+            t_ok = 0;
+            t_overloaded = 0;
+            t_timeouts = 0;
+            t_shed = 0;
+            t_failed = 0;
+            t_goodput = 0;
+            t_retries = 0;
+            t_breaker_opens = 0;
+            t_latencies_ms = [];
+          })
+    in
+    let lags = Array.make processes 0. in
+    let conn_error = Atomic.make None in
+    let t0 = Parallel.Clock.now () in
+    (* Worker [p] issues the requests with [i mod processes = p], each
+       no earlier than its scheduled arrival.  A busy worker falls
+       behind schedule instead of thinning the offered load — that lag
+       (reported as [max_lag_ms]) and the achieved-vs-offered gap are
+       exactly what an open-loop run is supposed to expose. *)
+    let drive p send close_it =
+      let tally = tallies.(p) in
+      let i = ref p in
+      while !i < requests do
+        let due = schedule.(!i) in
+        let now = Parallel.Clock.elapsed_s ~since:t0 in
+        if due > now then Unix.sleepf (due -. now)
+        else lags.(p) <- Float.max lags.(p) (now -. due);
+        issue tally ~deadline_s ~send stream.(!i);
+        i := !i + processes
+      done;
+      close_it ()
+    in
+    let naive_worker p =
+      match Client.connect address with
+      | Error e ->
+        if Atomic.get conn_error = None then Atomic.set conn_error (Some e)
+      | Ok client ->
+        let client = ref client in
+        let send req =
+          match Client.request ?deadline_s:deadline_s !client req with
+          | Ok _ as ok -> ok
+          | Error _ as err ->
+            Client.close !client;
+            (match Client.connect address with
+            | Ok fresh -> client := fresh
+            | Error _ -> ());
+            err
+        in
+        drive p send (fun () -> Client.close !client)
+    in
+    let resilient_worker rcfg p =
+      let rcfg = { rcfg with Resilient.address } in
+      let r = Resilient.create rcfg in
+      let send req = Resilient.request r req in
+      drive p send (fun () ->
+          let s = Resilient.stats r in
+          tallies.(p).t_retries <- s.Resilient.retries;
+          tallies.(p).t_breaker_opens <- s.Resilient.breaker_opens;
+          Resilient.close r)
+    in
+    let worker =
+      match resilient with
+      | None -> naive_worker
+      | Some rcfg -> resilient_worker rcfg
+    in
+    let threads = Array.init processes (fun p -> Thread.create worker p) in
+    Array.iter Thread.join threads;
+    let wall_s = Parallel.Clock.elapsed_s ~since:t0 in
+    match Atomic.get conn_error with
+    | Some e -> Error e
+    | None ->
+      let sum f = Array.fold_left (fun acc t -> acc + f t) 0 tallies in
+      let ok = sum (fun t -> t.t_ok) in
+      let latencies =
+        Array.of_list
+          (Array.fold_left
+             (fun acc t -> List.rev_append t.t_latencies_ms acc)
+             [] tallies)
+      in
+      Array.sort compare latencies;
+      let closed =
+        {
+          sent = requests;
+          ok;
+          overloaded = sum (fun t -> t.t_overloaded);
+          timeouts = sum (fun t -> t.t_timeouts);
+          shed = sum (fun t -> t.t_shed);
+          failed = sum (fun t -> t.t_failed);
+          goodput = sum (fun t -> t.t_goodput);
+          retries = sum (fun t -> t.t_retries);
+          breaker_opens = sum (fun t -> t.t_breaker_opens);
+          p50_ms = quantile_ms latencies 0.50;
+          p99_ms = quantile_ms latencies 0.99;
+          wall_s;
+          rps = (if wall_s > 0. then float_of_int ok /. wall_s else 0.);
+        }
+      in
+      let offered_rps =
+        if requests = 0 then 0.
+        else
+          let span = schedule.(requests - 1) in
+          if span > 0. then float_of_int requests /. span else 0.
+      in
+      Ok
+        {
+          closed;
+          target_rps = rps;
+          offered_rps;
+          max_lag_ms = 1e3 *. Array.fold_left Float.max 0. lags;
+          processes;
         }
   end

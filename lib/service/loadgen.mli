@@ -82,3 +82,50 @@ val run :
   distinct:int ->
   unit ->
   (outcome, Dls.Errors.t) result
+
+(** [arrivals ~seed ~rps n] is the open-loop schedule: arrival time of
+    request [i], as the prefix sum of exponential inter-arrival gaps
+    with mean [1/rps] — a Poisson process at target rate [rps].  Each
+    gap is derived from a hash of [(seed, i)], so the schedule is a
+    pure function of its arguments: identical in every process and for
+    every worker partition.  Monotone nondecreasing. *)
+val arrivals : seed:int -> rps:float -> int -> float array
+
+(** Outcome of an open-loop run.  [closed] aggregates exactly like
+    {!run}; the extra fields carry the offered-vs-achieved accounting:
+    [target_rps] is the requested rate, [offered_rps] the schedule's
+    realised rate ([n / last arrival] — close to target, not equal,
+    since the schedule is one random draw), and [closed.rps] the
+    achieved rate.  [max_lag_ms] is the worst scheduling lag: how far
+    behind its arrival time a request was issued because the driving
+    process was still busy — the open-loop saturation signal (a closed
+    loop would have silently thinned the load instead). *)
+type open_outcome = {
+  closed : outcome;
+  target_rps : float;
+  offered_rps : float;
+  max_lag_ms : float;
+  processes : int;
+}
+
+(** [run_open address ~processes ~requests ~rps ~seed ~distinct ()]
+    replays the stream {e open-loop}: request [i] is issued no earlier
+    than {!arrivals}[.(i)], by driving process [i mod processes] (one
+    connection each; threads here, the multi-process CLI arms simply
+    pass disjoint [processes] slices).  The request multiset {e and}
+    the arrival schedule are invariant under [processes] — only the
+    issue interleaving changes.  [~multi]/[~skew]/[~resilient]/
+    [~deadline_s] as in {!run}. *)
+val run_open :
+  ?multi:bool ->
+  ?skew:float ->
+  ?resilient:Resilient.config ->
+  ?deadline_s:float ->
+  Server.address ->
+  processes:int ->
+  requests:int ->
+  rps:float ->
+  seed:int ->
+  distinct:int ->
+  unit ->
+  (open_outcome, Dls.Errors.t) result

@@ -21,6 +21,10 @@ type t = {
   warm_hits : int Atomic.t;
   journal_appended : int Atomic.t;
   journal_replayed : int Atomic.t;
+  store_hits : int Atomic.t;
+  store_misses : int Atomic.t;
+  store_demoted : int Atomic.t;
+  compactions : int Atomic.t;
   retries : int Atomic.t;
   breaker_opens : int Atomic.t;
   (* EWMA of per-request service time, stored as float bits so a CAS
@@ -52,6 +56,10 @@ let create () =
     warm_hits = Atomic.make 0;
     journal_appended = Atomic.make 0;
     journal_replayed = Atomic.make 0;
+    store_hits = Atomic.make 0;
+    store_misses = Atomic.make 0;
+    store_demoted = Atomic.make 0;
+    compactions = Atomic.make 0;
     retries = Atomic.make 0;
     breaker_opens = Atomic.make 0;
     service_ewma_bits = Atomic.make (Int64.to_int (Int64.bits_of_float 0.0));
@@ -73,6 +81,10 @@ let incr_shed t = Atomic.incr t.shed
 let incr_hangups t = Atomic.incr t.hangups
 let incr_warm_hits t = Atomic.incr t.warm_hits
 let incr_journal_appended t = Atomic.incr t.journal_appended
+let incr_store_hits t = Atomic.incr t.store_hits
+let incr_store_misses t = Atomic.incr t.store_misses
+let incr_store_demoted t = Atomic.incr t.store_demoted
+let incr_compactions t = Atomic.incr t.compactions
 let incr_retries t = Atomic.incr t.retries
 let incr_breaker_opens t = Atomic.incr t.breaker_opens
 
@@ -99,6 +111,10 @@ let shed t = Atomic.get t.shed
 let brownouts t = Atomic.get t.brownouts
 let hangups t = Atomic.get t.hangups
 let warm_hits t = Atomic.get t.warm_hits
+let store_hits t = Atomic.get t.store_hits
+let store_misses t = Atomic.get t.store_misses
+let store_demoted t = Atomic.get t.store_demoted
+let compactions t = Atomic.get t.compactions
 let retries t = Atomic.get t.retries
 let breaker_opens t = Atomic.get t.breaker_opens
 
@@ -192,6 +208,10 @@ let snapshot ?(dispatchers = 1) t ~queue_depth : Protocol.stats_rep =
     warm_hits = Atomic.get t.warm_hits;
     journal_appended = Atomic.get t.journal_appended;
     journal_replayed = Atomic.get t.journal_replayed;
+    store_hits = Atomic.get t.store_hits;
+    store_misses = Atomic.get t.store_misses;
+    store_demoted = Atomic.get t.store_demoted;
+    compactions = Atomic.get t.compactions;
     queue_depth;
     inflight = Atomic.get t.inflight;
     p50_us = quantile counts total 0.50;

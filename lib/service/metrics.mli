@@ -44,6 +44,16 @@ val incr_hangups : t -> unit
 val incr_warm_hits : t -> unit
 val incr_journal_appended : t -> unit
 val add_journal_replayed : t -> int -> unit
+
+(** Scale-out counters (PR 10): tier-2 store probes at admission
+    ([store_hits]/[store_misses]), tier-1 response-cache evictions
+    demoted to store-only residency ([store_demoted]), and journal
+    compactions triggered by the [--journal-max-bytes] bound. *)
+val incr_store_hits : t -> unit
+
+val incr_store_misses : t -> unit
+val incr_store_demoted : t -> unit
+val incr_compactions : t -> unit
 val incr_retries : t -> unit
 val incr_breaker_opens : t -> unit
 
@@ -74,6 +84,10 @@ val shed : t -> int
 val brownouts : t -> int
 val hangups : t -> int
 val warm_hits : t -> int
+val store_hits : t -> int
+val store_misses : t -> int
+val store_demoted : t -> int
+val compactions : t -> int
 val retries : t -> int
 val breaker_opens : t -> int
 

@@ -102,6 +102,10 @@ type stats_rep = {
   warm_hits : int;
   journal_appended : int;
   journal_replayed : int;
+  store_hits : int;
+  store_misses : int;
+  store_demoted : int;
+  compactions : int;
   queue_depth : int;
   inflight : int;
   p50_us : int;
@@ -630,12 +634,14 @@ let response_to_string = function
        malformed=%d batches=%d max_batch=%d collapsed=%d cache_hits=%d \
        cache_misses=%d repair_probes=%d repair_wins=%d repair_pivots=%d \
        dispatchers=%d steals=%d shed=%d brownouts=%d hangups=%d warm_hits=%d \
-       journal_appended=%d journal_replayed=%d queue_depth=%d inflight=%d \
+       journal_appended=%d journal_replayed=%d store_hits=%d store_misses=%d \
+       store_demoted=%d compactions=%d queue_depth=%d inflight=%d \
        p50_us=%d p90_us=%d p99_us=%d max_us=%d uptime_s=%s"
       r.accepted r.served r.rejected r.timed_out r.failed r.malformed r.batches
       r.max_batch r.collapsed r.cache_hits r.cache_misses r.repair_probes
       r.repair_wins r.repair_pivots r.dispatchers r.steals r.shed r.brownouts
-      r.hangups r.warm_hits r.journal_appended r.journal_replayed r.queue_depth
+      r.hangups r.warm_hits r.journal_appended r.journal_replayed r.store_hits
+      r.store_misses r.store_demoted r.compactions r.queue_depth
       r.inflight r.p50_us r.p90_us r.p99_us r.max_us (float_str r.uptime_s)
   | Ok_health r ->
     Printf.sprintf
@@ -663,6 +669,101 @@ let is_ok = function
   | Ok_health _ | Ok_hello _ ->
     true
   | Overloaded _ | Timed_out _ | Shed _ | Unsupported _ | Failed _ -> false
+
+(* Same fields, same names, same order as the [ok stats ...] line — a
+   machine-readable rendering for CI assertions and dashboards, so
+   nothing has to scrape the ad-hoc text format. *)
+let stats_to_json (r : stats_rep) =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  let first = ref true in
+  let field k v =
+    if not !first then Buffer.add_char b ',';
+    first := false;
+    Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v)
+  in
+  let int k v = field k (string_of_int v) in
+  int "accepted" r.accepted;
+  int "served" r.served;
+  int "rejected" r.rejected;
+  int "timed_out" r.timed_out;
+  int "failed" r.failed;
+  int "malformed" r.malformed;
+  int "batches" r.batches;
+  int "max_batch" r.max_batch;
+  int "collapsed" r.collapsed;
+  int "cache_hits" r.cache_hits;
+  int "cache_misses" r.cache_misses;
+  int "repair_probes" r.repair_probes;
+  int "repair_wins" r.repair_wins;
+  int "repair_pivots" r.repair_pivots;
+  int "dispatchers" r.dispatchers;
+  int "steals" r.steals;
+  int "shed" r.shed;
+  int "brownouts" r.brownouts;
+  int "hangups" r.hangups;
+  int "warm_hits" r.warm_hits;
+  int "journal_appended" r.journal_appended;
+  int "journal_replayed" r.journal_replayed;
+  int "store_hits" r.store_hits;
+  int "store_misses" r.store_misses;
+  int "store_demoted" r.store_demoted;
+  int "compactions" r.compactions;
+  int "queue_depth" r.queue_depth;
+  int "inflight" r.inflight;
+  int "p50_us" r.p50_us;
+  int "p90_us" r.p90_us;
+  int "p99_us" r.p99_us;
+  int "max_us" r.max_us;
+  field "uptime_s" (float_str r.uptime_s);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* Fan-out merge for the router: counters add up across shards; the
+   round/latency maxima stay maxima (a merged quantile of power-of-two
+   bucket bounds is not reconstructible, so the conservative upper
+   envelope is reported); [dispatchers] adds up because it counts
+   serving threads behind the merged endpoint; [uptime_s] is the oldest
+   shard — the merged endpoint has been serving at least that long. *)
+let merge_stats (first : stats_rep) (rest : stats_rep list) =
+  List.fold_left
+    (fun a r ->
+      {
+        accepted = a.accepted + r.accepted;
+        served = a.served + r.served;
+        rejected = a.rejected + r.rejected;
+        timed_out = a.timed_out + r.timed_out;
+        failed = a.failed + r.failed;
+        malformed = a.malformed + r.malformed;
+        batches = a.batches + r.batches;
+        max_batch = max a.max_batch r.max_batch;
+        collapsed = a.collapsed + r.collapsed;
+        cache_hits = a.cache_hits + r.cache_hits;
+        cache_misses = a.cache_misses + r.cache_misses;
+        repair_probes = a.repair_probes + r.repair_probes;
+        repair_wins = a.repair_wins + r.repair_wins;
+        repair_pivots = a.repair_pivots + r.repair_pivots;
+        dispatchers = a.dispatchers + r.dispatchers;
+        steals = a.steals + r.steals;
+        shed = a.shed + r.shed;
+        brownouts = a.brownouts + r.brownouts;
+        hangups = a.hangups + r.hangups;
+        warm_hits = a.warm_hits + r.warm_hits;
+        journal_appended = a.journal_appended + r.journal_appended;
+        journal_replayed = a.journal_replayed + r.journal_replayed;
+        store_hits = a.store_hits + r.store_hits;
+        store_misses = a.store_misses + r.store_misses;
+        store_demoted = a.store_demoted + r.store_demoted;
+        compactions = a.compactions + r.compactions;
+        queue_depth = a.queue_depth + r.queue_depth;
+        inflight = a.inflight + r.inflight;
+        p50_us = max a.p50_us r.p50_us;
+        p90_us = max a.p90_us r.p90_us;
+        p99_us = max a.p99_us r.p99_us;
+        max_us = max a.max_us r.max_us;
+        uptime_s = Float.max a.uptime_s r.uptime_s;
+      })
+    first rest
 
 (* ------------------------------------------------------------------ *)
 (* Response parsing                                                    *)
@@ -925,6 +1026,12 @@ let parse_response s =
       let* warm_hits = opt_int ~default:0 kvs "warm_hits" in
       let* journal_appended = opt_int ~default:0 kvs "journal_appended" in
       let* journal_replayed = opt_int ~default:0 kvs "journal_replayed" in
+      (* Pre-scale-out servers had no tier-2 store and never compacted
+         their journal; same default-0 back-compat story. *)
+      let* store_hits = opt_int ~default:0 kvs "store_hits" in
+      let* store_misses = opt_int ~default:0 kvs "store_misses" in
+      let* store_demoted = opt_int ~default:0 kvs "store_demoted" in
+      let* compactions = opt_int ~default:0 kvs "compactions" in
       let* queue_depth = need_int kvs "queue_depth" in
       let* inflight = need_int kvs "inflight" in
       let* p50_us = need_int kvs "p50_us" in
@@ -957,6 +1064,10 @@ let parse_response s =
              warm_hits;
              journal_appended;
              journal_replayed;
+             store_hits;
+             store_misses;
+             store_demoted;
+             compactions;
              queue_depth;
              inflight;
              p50_us;

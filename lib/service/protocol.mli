@@ -195,6 +195,20 @@ type stats_rep = {
   journal_replayed : int;
       (** records replayed into the response cache at boot; 0 when the
           server runs without [--journal] or on old wire lines *)
+  store_hits : int;
+      (** tier-1 LRU misses answered from the shared tier-2 solution
+          store at admission; 0 when absent on the wire (pre-scale-out
+          servers) *)
+  store_misses : int;
+      (** tier-2 store probes that found nothing and went on to solve;
+          0 when absent *)
+  store_demoted : int;
+      (** tier-1 response-cache evictions while a tier-2 store was
+          attached — those entries now live only in the store; 0 when
+          absent *)
+  compactions : int;
+      (** journal compactions triggered by [--journal-max-bytes]; 0
+          when absent *)
   queue_depth : int;
   inflight : int;  (** admitted but not yet answered *)
   p50_us : int;  (** latency quantiles, admission to response, in us *)
@@ -276,6 +290,21 @@ val response_to_string : response -> string
 
 (** [is_ok r] holds on the [Ok_*] constructors. *)
 val is_ok : response -> bool
+
+(** [stats_to_json r] renders the stats record as one flat JSON object
+    — exactly the fields of the [ok stats ...] line, same names, same
+    order, so CI and dashboards need not scrape the text format. *)
+val stats_to_json : stats_rep -> string
+
+(** [merge_stats first rest] folds shard stats into the view a client
+    of the whole fleet should see: counters ([accepted], [served],
+    [cache_hits], ..., and [dispatchers], which counts serving threads)
+    add up; [max_batch] and the latency fields [p50_us]/[p90_us]/
+    [p99_us]/[max_us] take the per-shard maximum (bucketed quantiles do
+    not merge, so the upper envelope is reported); [uptime_s] is the
+    oldest shard's.  The router answers [stats] with this merge over
+    every reachable shard. *)
+val merge_stats : stats_rep -> stats_rep list -> stats_rep
 
 val order_to_string : order -> string
 val platform_to_spec : Dls.Platform.t -> string

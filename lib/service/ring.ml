@@ -1,0 +1,114 @@
+(* Consistent hashing with virtual nodes.  See ring.mli for the
+   affinity and minimal-remap contracts.
+
+   The ring is a sorted array of (point, shard) pairs; lookup is a
+   binary search for the first point at or after the key's hash in
+   unsigned 64-bit order, wrapping to the smallest point.  Points
+   collide only if FNV-1a collides on two vnode labels — astronomically
+   unlikely at our scale, and harmless anyway: sorting breaks the tie
+   by shard index, deterministically. *)
+
+(* FNV-1a, 64-bit: h := (h xor byte) * prime.  Deterministic on the
+   bytes alone, unlike [Hashtbl.hash], which samples long strings. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+(* splitmix64 finalizer.  Raw FNV-1a clusters labels that share a
+   prefix and differ only near the end — exactly the shape of vnode
+   labels ("shard#0", "shard#1", ...), whose hashes then sit within a
+   few multiples of the prime of each other and collapse a shard's
+   points into one arc.  Avalanching the result spreads those
+   differences across all 64 bits. *)
+let mix h =
+  let h = Int64.logxor h (Int64.shift_right_logical h 30) in
+  let h = Int64.mul h 0xbf58476d1ce4e5b9L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 27) in
+  let h = Int64.mul h 0x94d049bb133111ebL in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let hash s = mix (fnv s)
+
+type t = {
+  points : (int64 * int) array;  (* sorted by point, unsigned *)
+  members : bool array;  (* members.(i) <=> shard i still on the ring *)
+  n_shards : int;  (* live shards = number of [true]s in members *)
+  vnodes : int;
+}
+
+let compare_points (p1, s1) (p2, s2) =
+  let c = Int64.unsigned_compare p1 p2 in
+  if c <> 0 then c else compare s1 s2
+
+let create ~vnodes names =
+  if vnodes <= 0 then invalid_arg "Ring.create: vnodes must be >= 1";
+  if Array.length names = 0 then invalid_arg "Ring.create: no shards";
+  let points =
+    Array.init
+      (Array.length names * vnodes)
+      (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (hash (Printf.sprintf "%s#%d" names.(shard) v), shard))
+  in
+  Array.sort compare_points points;
+  {
+    points;
+    members = Array.make (Array.length names) true;
+    n_shards = Array.length names;
+    vnodes;
+  }
+
+let shards t = t.n_shards
+let vnodes t = t.vnodes
+
+(* Index of the first point at or after [h] (unsigned), wrapping. *)
+let successor_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+    else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t key = snd t.points.(successor_index t (hash key))
+
+let route t key =
+  let n = Array.length t.points in
+  let start = successor_index t (hash key) in
+  let seen = Array.make (Array.length t.members) false in
+  let order = ref [] in
+  let found = ref 0 in
+  let i = ref 0 in
+  while !found < t.n_shards && !i < n do
+    let shard = snd t.points.((start + !i) mod n) in
+    if not seen.(shard) then begin
+      seen.(shard) <- true;
+      order := shard :: !order;
+      incr found
+    end;
+    incr i
+  done;
+  List.rev !order
+
+let remove t i =
+  if i < 0 || i >= Array.length t.members || not t.members.(i) then
+    invalid_arg "Ring.remove: no such shard";
+  if t.n_shards <= 1 then invalid_arg "Ring.remove: cannot empty the ring";
+  let members = Array.copy t.members in
+  members.(i) <- false;
+  {
+    points = Array.of_list
+        (List.filter (fun (_, s) -> s <> i) (Array.to_list t.points));
+    members;
+    n_shards = t.n_shards - 1;
+    vnodes = t.vnodes;
+  }

@@ -15,6 +15,8 @@ type config = {
   fast : bool;
   worker_delay : float;
   journal : string option;
+  journal_max_bytes : int option;
+  store : string option;
   brownout : bool;
 }
 
@@ -30,6 +32,8 @@ let default_config address =
     fast = true;
     worker_delay = 0.;
     journal = None;
+    journal_max_bytes = None;
+    store = None;
     brownout = false;
   }
 
@@ -54,8 +58,9 @@ type t = {
   metrics : Metrics.t;
   pool : Parallel.Pool.t;
   cache : (string, P.response) Parallel.Lru.t option;
-      (* journal-backed warm responses; [Some] iff [cfg.journal] *)
+      (* tier-1 warm responses; [Some] iff [cfg.journal] or [cfg.store] *)
   journal : Journal.t option;
+  store : Store.t option;  (* tier-2 shared solution store *)
   (* Brownout hysteresis: consecutive dispatch rounds that ended with
      the queue above 3/4 (resp. at or below 1/4) of capacity.  Written
      by dispatcher threads; a lost update under contention only delays
@@ -299,9 +304,9 @@ let dispatch_round t ~src first =
   let responses =
     Parallel.Pool.map t.pool (fun cell -> eval_job t (List.hd (List.rev !cell))) uniques
   in
-  (* Successful evaluations feed the journal-backed warm cache — once
-     per unique key, before delivery, so a crash right after the reply
-     is visible can still replay the record. *)
+  (* Successful evaluations feed the warm tiers — once per unique key,
+     before delivery, so a crash right after the reply is visible can
+     still replay (journal) or re-read (store) the record. *)
   (match t.cache with
   | None -> ()
   | Some cache ->
@@ -312,17 +317,34 @@ let dispatch_round t ~src first =
           let key = (List.hd (List.rev !cell)).key in
           if not (Parallel.Lru.mem cache key) then begin
             Parallel.Lru.add cache key resp;
-            match t.journal with
+            let value = P.response_to_string resp in
+            (match t.journal with
             | None -> ()
             | Some j -> (
-              match
-                Journal.append j ~key ~value:(P.response_to_string resp)
-              with
+              match Journal.append j ~key ~value with
               | Ok () -> Metrics.incr_journal_appended t.metrics
-              | Error _ -> ())
+              | Error _ -> ()));
+            match t.store with
+            | None -> ()
+            | Some store ->
+              (* The store dedupes on key internally, so a record
+                 another shard already published is not re-written. *)
+              ignore (Store.add store ~key ~value)
           end
         end)
       uniques);
+  (* Bounded journal: past the byte budget, rewrite it down to the keys
+     the tier-1 cache still holds — evicted and superseded records are
+     exactly the ones a replay would no longer want.  Dispatchers race
+     here at worst into back-to-back compactions; the journal lock
+     serialises them and each is counted. *)
+  (match (t.journal, t.cfg.journal_max_bytes, t.cache) with
+  | Some j, Some max_bytes, Some cache when Journal.size_bytes j > max_bytes
+    -> (
+      match Journal.compact j ~live:(fun k -> Parallel.Lru.mem cache k) with
+      | Ok _ -> Metrics.incr_compactions t.metrics
+      | Error _ -> ())
+  | _ -> ());
   Array.iteri
     (fun i cell -> List.iter (fun j -> deliver t j responses.(i)) (List.rev !cell))
     uniques;
@@ -424,9 +446,9 @@ let handle_line t line =
         | _ -> P.Ok_health (health_of t))
     | `Request request -> (
       let key = P.request_key request in
-      (* Journal-backed warm cache: a hit answers at admission without
-         touching the queue — this is what makes a freshly restarted
-         daemon useful within milliseconds. *)
+      (* Tier 1, the warm response cache: a hit answers at admission
+         without touching the queue — this is what makes a freshly
+         restarted daemon useful within milliseconds. *)
       match
         Option.bind t.cache (fun cache -> Parallel.Lru.find cache key)
       with
@@ -435,6 +457,31 @@ let handle_line t line =
         Metrics.incr_warm_hits t.metrics;
         Metrics.incr_served t.metrics;
         Metrics.observe_latency t.metrics 0.;
+        Some resp
+      | None ->
+      (* Tier 2, the shared solution store: an LRU miss consults the
+         fleet's persistent store before solving — a solution computed
+         by any shard, in any past life, is a disk read here.  Hits are
+         promoted back into tier 1. *)
+      match
+        match t.store with
+        | None -> None
+        | Some store -> (
+          match Store.find store key with
+          | None ->
+            Metrics.incr_store_misses t.metrics;
+            None
+          | Some value -> (
+            match P.parse_response value with
+            | Ok resp when P.is_ok resp -> Some resp
+            | Ok _ | Error _ -> None))
+      with
+      | Some resp ->
+        Metrics.incr_accepted t.metrics;
+        Metrics.incr_store_hits t.metrics;
+        Metrics.incr_served t.metrics;
+        Metrics.observe_latency t.metrics 0.;
+        Option.iter (fun cache -> Parallel.Lru.add cache key resp) t.cache;
         Some resp
       | None ->
       (* Deadline-aware admission: when the per-request budget cannot
@@ -588,38 +635,68 @@ let start cfg =
            (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message err)))
     | exception Not_found -> Error (E.Io_error "cannot resolve host")
     | listen_fd, bound -> (
-      (* Open and replay the journal before serving: a bad journal path
-         must fail the boot, and replayed responses must be warm before
-         the first connection is accepted. *)
+      let metrics = Metrics.create () in
+      let fail_boot e =
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        Error e
+      in
+      (* Open the journal and the tier-2 store before serving: a bad
+         path must fail the boot, and replayed responses must be warm
+         before the first connection is accepted. *)
       let journal_setup =
         match cfg.journal with
-        | None -> Ok (None, None, 0)
+        | None -> Ok (None, [])
         | Some path -> (
           match Journal.open_ path with
-          | Error e ->
-            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
-            Error e
-          | Ok (j, records) ->
-            let cache =
-              Parallel.Lru.create ~capacity:response_cache_capacity ()
-            in
-            (* Oldest record first, so the most recently journaled
-               entries end up most recently used. *)
-            let replayed =
-              List.fold_left
-                (fun n (key, value) ->
-                  match P.parse_response value with
-                  | Ok resp when P.is_ok resp ->
-                    Parallel.Lru.add cache key resp;
-                    n + 1
-                  | Ok _ | Error _ -> n)
-                0 records
-            in
-            Ok (Some cache, Some j, replayed))
+          | Error e -> Error e
+          | Ok (j, records) -> Ok (Some j, records))
       in
       match journal_setup with
-      | Error e -> Error e
-      | Ok (cache, journal, replayed) ->
+      | Error e -> fail_boot e
+      | Ok (journal, records) -> (
+      let store_setup =
+        match cfg.store with
+        | None -> Ok None
+        | Some path -> (
+          match Store.open_ path with
+          | Error e ->
+            Option.iter Journal.close journal;
+            Error e
+          | Ok s -> Ok (Some s))
+      in
+      match store_setup with
+      | Error e -> fail_boot e
+      | Ok store ->
+      (* The tier-1 cache exists whenever either durable tier does.
+         With a store attached, every capacity eviction is a demotion:
+         the record still lives in tier 2, and the counter says how
+         much of the working set no longer fits hot. *)
+      let cache =
+        if journal = None && store = None then None
+        else
+          let on_evict =
+            if store = None then None
+            else Some (fun _ _ -> Metrics.incr_store_demoted metrics)
+          in
+          Some
+            (Parallel.Lru.create ~capacity:response_cache_capacity ?on_evict
+               ())
+      in
+      (* Oldest record first, so the most recently journaled entries
+         end up most recently used. *)
+      let replayed =
+        match cache with
+        | None -> 0
+        | Some cache ->
+          List.fold_left
+            (fun n (key, value) ->
+              match P.parse_response value with
+              | Ok resp when P.is_ok resp ->
+                Parallel.Lru.add cache key resp;
+                n + 1
+              | Ok _ | Error _ -> n)
+            0 records
+      in
       let t =
         {
           cfg;
@@ -627,10 +704,11 @@ let start cfg =
           shards =
             Shards.create ~shards:cfg.dispatchers
               ~capacity:cfg.queue_capacity;
-          metrics = Metrics.create ();
+          metrics;
           pool = Parallel.Pool.create ~jobs:cfg.jobs ();
           cache;
           journal;
+          store;
           high_rounds = Atomic.make 0;
           low_rounds = Atomic.make 0;
           listen_fd;
@@ -649,7 +727,7 @@ let start cfg =
         List.init cfg.dispatchers (fun i ->
             Thread.create (fun () -> dispatcher_loop t i) ());
       t.listener <- Some (Thread.create (fun () -> listener_loop t) ());
-      Ok t)
+      Ok t))
   end
 
 let address t = t.bound
@@ -684,6 +762,7 @@ let stop t =
       conns;
     List.iter (fun (_, thread) -> Thread.join thread) conns;
     Option.iter Journal.close t.journal;
+    Option.iter Store.close t.store;
     match t.bound with
     | Unix_socket path -> (
       try Unix.unlink path with Unix.Unix_error _ -> ())

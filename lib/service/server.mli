@@ -63,6 +63,17 @@ type config = {
   journal : string option;
       (** crash-safe response journal path; [Some] also enables the
           warm response cache it replays into at boot *)
+  journal_max_bytes : int option;
+      (** journal byte budget: past it, a dispatcher compacts the
+          journal down to the keys the warm cache still holds
+          ({!Journal.compact}); [None] never compacts *)
+  store : string option;
+      (** tier-2 shared solution store path ({!Store}).  [Some] also
+          enables the warm response cache (tier 1): an LRU miss
+          consults the store before solving ([store_hits] /
+          [store_misses] in the stats), fresh solutions are published
+          to it, and tier-1 evictions are counted as demotions.  Many
+          shards may share one store file *)
   brownout : bool;
       (** enable the sustained-overload `Exact→`Fast downgrade *)
 }

@@ -1,0 +1,777 @@
+(* Horizontal scale-out: the consistent-hash ring (balance, minimal
+   remap, cross-process determinism via pinned hashes), the tier-2
+   shared solution store, journal compaction, the open-loop Poisson
+   load generator, and the front router end to end — bit-identity
+   through the router, shard affinity, failover past a dead shard and
+   the merged control plane.  Servers and routers bind throwaway Unix
+   sockets under the temp dir; everything runs in-process. *)
+
+module Q = Numeric.Rational
+module P = Service.Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let q = Q.of_string
+
+let platform specs =
+  Dls.Platform.make_exn
+    (List.mapi
+       (fun i (c, w, d) ->
+         Dls.Platform.worker
+           ~name:(Printf.sprintf "P%d" (i + 1))
+           ~c:(q c) ~w:(q w) ~d:(q d) ())
+       specs)
+
+let p2 () = platform [ ("1", "1", "1/2"); ("1", "2", "1/2") ]
+let p3 () = platform [ ("1/2", "1", "1/4"); ("1", "2", "1/2"); ("2", "3", "1") ]
+
+let tmp_socket () =
+  let path = Filename.temp_file "dls-scale" ".sock" in
+  Sys.remove path;
+  path
+
+let tmp_file suffix = Filename.temp_file "dls-scale" suffix
+
+let server_cfg ?(jobs = 2) ?journal ?journal_max_bytes ?store path =
+  {
+    (Service.Server.default_config (Service.Server.Unix_socket path)) with
+    Service.Server.jobs;
+    journal;
+    journal_max_bytes;
+    store;
+  }
+
+let start_server_exn cfg =
+  match Service.Server.start cfg with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "server start: %s" (Dls.Errors.to_string e)
+
+let start_router_exn cfg =
+  match Service.Router.start cfg with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "router start: %s" (Dls.Errors.to_string e)
+
+(* One request over a throwaway connection; fails the test on any
+   transport or protocol error. *)
+let request_via address req =
+  match
+    Service.Client.with_client address (fun cl -> Service.Client.request cl req)
+  with
+  | Ok (Ok resp) -> resp
+  | Ok (Error e) | Error e ->
+    Alcotest.failf "request: %s" (Dls.Errors.to_string e)
+
+let raw_via address line =
+  match
+    Service.Client.with_client address (fun cl ->
+        Service.Client.request_raw cl line)
+  with
+  | Ok (Ok resp) -> resp
+  | Ok (Error e) | Error e -> Alcotest.failf "raw: %s" (Dls.Errors.to_string e)
+
+let solve_req p =
+  P.Solve
+    {
+      P.s_platform = p;
+      s_order = P.Fifo;
+      s_model = Dls.Lp_model.One_port;
+      s_fast = false;
+      s_load = None;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Ring                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let keys_1k () = Array.init 1000 (fun i -> Printf.sprintf "key-%d" i)
+
+(* Every shard within 20% of the even share across 1000 keys, at the
+   router's default point count. *)
+let test_ring_balance () =
+  List.iter
+    (fun n_shards ->
+      let names =
+        Array.init n_shards (fun i -> Printf.sprintf "shard-%d" i)
+      in
+      let ring = Service.Ring.create ~vnodes:128 names in
+      let counts = Array.make n_shards 0 in
+      Array.iter
+        (fun k ->
+          let s = Service.Ring.lookup ring k in
+          counts.(s) <- counts.(s) + 1)
+        (keys_1k ());
+      let mean = 1000. /. float_of_int n_shards in
+      Array.iteri
+        (fun i c ->
+          let dev = Float.abs (float_of_int c -. mean) /. mean in
+          if dev > 0.20 then
+            Alcotest.failf "shard %d of %d owns %d keys (%.0f%% off even)" i
+              n_shards c (100. *. dev))
+        counts)
+    [ 2; 3; 4; 8 ]
+
+(* Removing a shard moves exactly the keys it owned — every other key
+   keeps its shard — and the moved fraction is about 1/N. *)
+let test_ring_minimal_remap () =
+  let names = Array.init 4 (fun i -> Printf.sprintf "shard-%d" i) in
+  let ring = Service.Ring.create ~vnodes:128 names in
+  let ring' = Service.Ring.remove ring 2 in
+  let moved = ref 0 in
+  Array.iter
+    (fun k ->
+      let before = Service.Ring.lookup ring k in
+      let after = Service.Ring.lookup ring' k in
+      if before = 2 then begin
+        incr moved;
+        check ("moved key leaves removed shard: " ^ k) true (after <> 2)
+      end
+      else check_int ("unmoved key keeps its shard: " ^ k) before after)
+    (keys_1k ());
+  check "some keys moved" true (!moved > 0);
+  (* 1/N = 250 of 1000; allow the arc-length slack the balance test
+     allows. *)
+  check "remap is minimal (<= 1/N + slack)" true (!moved <= 300);
+  (* Failover order: the second entry of [route] is the owner after
+     removal — retrying down the route list follows the remap. *)
+  Array.iter
+    (fun k ->
+      if Service.Ring.lookup ring k = 2 then
+        match Service.Ring.route ring k with
+        | owner :: next :: _ ->
+          check_int ("route head is the owner: " ^ k) 2 owner;
+          check_int
+            ("route successor is the post-removal owner: " ^ k)
+            (Service.Ring.lookup ring' k)
+            next
+        | _ -> Alcotest.fail "route shorter than 2 on a 4-shard ring")
+    (keys_1k ())
+
+(* The placement must be a pure function of the byte strings: pinned
+   hash constants (computed independently) and pinned lookups prove
+   any process, today or later, places keys identically. *)
+let test_ring_determinism () =
+  let golden =
+    [
+      ("", 0xf52a15e9a9b5e89bL);
+      ("a", 0x02c0bdbf481420f8L);
+      ("solve", 0x4b65c556b6ce48deL);
+      ("shard-0#0", 0xf921b31cc0d686a3L);
+    ]
+  in
+  List.iter
+    (fun (s, h) ->
+      Alcotest.(check int64) (Printf.sprintf "hash %S" s) h
+        (Service.Ring.hash s))
+    golden;
+  let ring = Service.Ring.create ~vnodes:128 [| "shard-0"; "shard-1" |] in
+  let pinned = [ 0; 0; 0; 1; 0; 0; 1; 0 ] in
+  List.iteri
+    (fun i expect ->
+      check_int
+        (Printf.sprintf "pinned lookup key-%d" i)
+        expect
+        (Service.Ring.lookup ring (Printf.sprintf "key-%d" i)))
+    pinned;
+  (* Route: starts at the owner, visits every shard exactly once. *)
+  let ring4 =
+    Service.Ring.create ~vnodes:128
+      (Array.init 4 (fun i -> Printf.sprintf "shard-%d" i))
+  in
+  Array.iter
+    (fun k ->
+      let r = Service.Ring.route ring4 k in
+      check_int ("route covers the ring: " ^ k) 4 (List.length r);
+      check_int ("route head is lookup: " ^ k)
+        (Service.Ring.lookup ring4 k)
+        (List.hd r);
+      check ("route is distinct: " ^ k) true
+        (List.length (List.sort_uniq compare r) = 4))
+    (Array.sub (keys_1k ()) 0 50)
+
+let test_ring_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Service.Ring.create ~vnodes:0 [| "a" |]);
+  raises (fun () -> Service.Ring.create ~vnodes:8 [||]);
+  let ring = Service.Ring.create ~vnodes:8 [| "a"; "b" |] in
+  raises (fun () -> Service.Ring.remove ring 5);
+  let solo = Service.Ring.remove ring 0 in
+  (* the survivor keeps its original index *)
+  check_int "survivor keeps its index" 1 (Service.Ring.lookup solo "x");
+  raises (fun () -> Service.Ring.remove solo 1)
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let open_store_exn path =
+  match Service.Store.open_ path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "store open: %s" (Dls.Errors.to_string e)
+
+let add_exn store ~key ~value =
+  match Service.Store.add store ~key ~value with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "store add: %s" (Dls.Errors.to_string e)
+
+let test_store_roundtrip () =
+  let path = tmp_file ".store" in
+  let s = open_store_exn path in
+  add_exn s ~key:"k1" ~value:"v1";
+  add_exn s ~key:"k2" ~value:"v2 with spaces";
+  check "mem k1" true (Service.Store.mem s "k1");
+  check_int "length" 2 (Service.Store.length s);
+  check "find k1" true (Service.Store.find s "k1" = Some "v1");
+  check "find k2" true (Service.Store.find s "k2" = Some "v2 with spaces");
+  check "find missing" true (Service.Store.find s "nope" = None);
+  (* re-adding an indexed key is a no-op, not a duplicate record *)
+  let size = Service.Store.size_bytes s in
+  add_exn s ~key:"k1" ~value:"other";
+  check_int "no duplicate append" size (Service.Store.size_bytes s);
+  let st = Service.Store.stats s in
+  check_int "hits" 2 st.Service.Store.hits;
+  check_int "misses" 1 st.Service.Store.misses;
+  check_int "appended" 2 st.Service.Store.appended;
+  Service.Store.close s;
+  (* persistence across a reopen *)
+  let s2 = open_store_exn path in
+  check "persisted k2" true
+    (Service.Store.find s2 "k2" = Some "v2 with spaces");
+  Service.Store.close s2;
+  Sys.remove path
+
+(* Two handles on one file: a record added through one is visible
+   through the other (the cross-shard sharing contract). *)
+let test_store_cross_handle () =
+  let path = tmp_file ".store" in
+  let a = open_store_exn path in
+  let b = open_store_exn path in
+  add_exn a ~key:"from-a" ~value:"1";
+  check "b sees a's append" true (Service.Store.find b "from-a" = Some "1");
+  add_exn b ~key:"from-b" ~value:"2";
+  check "a sees b's append" true (Service.Store.find a "from-b" = Some "2");
+  (* compaction through b swaps the inode; a must follow it *)
+  (match Service.Store.compact b () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "compact: %s" (Dls.Errors.to_string e));
+  check "a survives b's compaction" true
+    (Service.Store.find a "from-a" = Some "1");
+  Service.Store.close a;
+  Service.Store.close b;
+  Sys.remove path
+
+let test_store_compact () =
+  let path = tmp_file ".store" in
+  let s = open_store_exn path in
+  for i = 1 to 5 do
+    add_exn s
+      ~key:(Printf.sprintf "k%d" i)
+      ~value:(String.make 64 (Char.chr (Char.code '0' + i)))
+  done;
+  let before = Service.Store.size_bytes s in
+  let live k = k = "k2" || k = "k4" in
+  (match Service.Store.compact s ~live () with
+  | Ok (b, a) ->
+    check_int "reported before" before b;
+    check "compaction shrinks" true (a < b)
+  | Error e -> Alcotest.failf "compact: %s" (Dls.Errors.to_string e));
+  check "kept key survives" true (Service.Store.find s "k2" <> None);
+  check "dropped key is gone" true (Service.Store.find s "k1" = None);
+  Service.Store.close s;
+  let s2 = open_store_exn path in
+  check_int "fresh handle sees only survivors" 2 (Service.Store.length s2);
+  check "survivor value intact" true
+    (Service.Store.find s2 "k4" = Some (String.make 64 '4'));
+  Service.Store.close s2;
+  Sys.remove path
+
+(* A torn append (crash mid-write by some shard) must cost only the
+   torn record. *)
+let test_store_torn_tail () =
+  let path = tmp_file ".store" in
+  let s = open_store_exn path in
+  add_exn s ~key:"good" ~value:"value";
+  Service.Store.close s;
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "rec deadbeef 4 9\npar";
+  close_out oc;
+  let s2 = open_store_exn path in
+  check "valid prefix served" true (Service.Store.find s2 "good" = Some "value");
+  check_int "torn record not indexed" 1 (Service.Store.length s2);
+  (* appending after the torn tail still works, and the new record is
+     readable through a fresh handle *)
+  add_exn s2 ~key:"after" ~value:"tear";
+  Service.Store.close s2;
+  let s3 = open_store_exn path in
+  check "append after tear readable" true
+    (Service.Store.find s3 "after" = Some "tear");
+  Service.Store.close s3;
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Journal compaction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_compact () =
+  let path = tmp_file ".journal" in
+  let j =
+    match Service.Journal.open_ path with
+    | Ok (j, []) -> j
+    | Ok _ -> Alcotest.fail "fresh journal not empty"
+    | Error e -> Alcotest.failf "journal open: %s" (Dls.Errors.to_string e)
+  in
+  let append k v =
+    match Service.Journal.append j ~key:k ~value:v with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "append: %s" (Dls.Errors.to_string e)
+  in
+  append "k1" "old";
+  append "k2" "gone";
+  append "k3" "kept";
+  append "k1" "new";
+  let before = Service.Journal.size_bytes j in
+  (match
+     Service.Journal.compact j ~live:(fun k -> k = "k1" || k = "k3")
+   with
+  | Ok (b, a) ->
+    check_int "before bytes" before b;
+    check "compaction shrinks" true (a < b);
+    check_int "size_bytes agrees" a (Service.Journal.size_bytes j)
+  | Error e -> Alcotest.failf "compact: %s" (Dls.Errors.to_string e));
+  check_int "compactions counted" 1 (Service.Journal.compactions j);
+  (* the journal stays appendable after the fd swap *)
+  append "k4" "post";
+  Service.Journal.close j;
+  match Service.Journal.open_ path with
+  | Ok (j2, replay) ->
+    Service.Journal.close j2;
+    (* latest record per live key, in last-append order, then the
+       post-compaction append *)
+    Alcotest.(check (list (pair string string)))
+      "replay after compaction"
+      [ ("k3", "kept"); ("k1", "new"); ("k4", "post") ]
+      replay
+  | Error e -> Alcotest.failf "reopen: %s" (Dls.Errors.to_string e)
+
+(* End to end: a bounded journal compacts itself while serving, and
+   the count lands in the wire stats. *)
+let test_server_journal_budget () =
+  let jpath = tmp_file ".journal" in
+  let server =
+    start_server_exn
+      (server_cfg ~journal:jpath ~journal_max_bytes:128 (tmp_socket ()))
+  in
+  let address = Service.Server.address server in
+  (* several distinct solves: every fresh response is appended, and
+     each append beyond 128 bytes triggers a compaction pass *)
+  List.iter
+    (fun p -> ignore (request_via address (solve_req p)))
+    [ p2 (); p3 () ];
+  let stats = Service.Server.stats server in
+  Service.Server.stop server;
+  check "compactions surfaced in stats" true
+    (stats.P.compactions >= 1);
+  check "journal survives compaction" true (Sys.file_exists jpath);
+  Sys.remove jpath
+
+(* ------------------------------------------------------------------ *)
+(* Server + tier-2 store                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A solution computed by one daemon is an admission-time answer for a
+   different daemon sharing the store — across a restart, with a cold
+   tier-1. *)
+let test_server_store_tier2 () =
+  let spath = tmp_file ".store" in
+  Dls.Lp_model.reset_cache ();
+  let a = start_server_exn (server_cfg ~store:spath (tmp_socket ())) in
+  let req = solve_req (p2 ()) in
+  let first = P.response_to_string (request_via (Service.Server.address a) req) in
+  let sa = Service.Server.stats a in
+  Service.Server.stop a;
+  check_int "fresh solve missed the store" 1 sa.P.store_misses;
+  check_int "no store hit on first sight" 0 sa.P.store_hits;
+  (* a different daemon, empty tier-1, same store *)
+  Dls.Lp_model.reset_cache ();
+  let b = start_server_exn (server_cfg ~store:spath (tmp_socket ())) in
+  let again = P.response_to_string (request_via (Service.Server.address b) req) in
+  check_str "tier-2 answer bit-identical" first again;
+  (* the hit was promoted to tier 1: a repeat is a warm hit *)
+  let third = P.response_to_string (request_via (Service.Server.address b) req) in
+  check_str "tier-1 promoted answer bit-identical" first third;
+  let sb = Service.Server.stats b in
+  Service.Server.stop b;
+  check_int "restarted shard hit the store" 1 sb.P.store_hits;
+  check "promotion made the repeat a warm hit" true (sb.P.warm_hits >= 1);
+  Sys.remove spath
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop load generator                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_arrivals () =
+  let a = Service.Loadgen.arrivals ~seed:7 ~rps:100. 500 in
+  let b = Service.Loadgen.arrivals ~seed:7 ~rps:100. 500 in
+  check "deterministic" true (a = b);
+  let c = Service.Loadgen.arrivals ~seed:8 ~rps:100. 500 in
+  check "seed matters" true (a <> c);
+  check_int "length" 500 (Array.length a);
+  Array.iteri
+    (fun i t ->
+      check ("positive arrival " ^ string_of_int i) true (t > 0.);
+      if i > 0 then
+        check ("monotone " ^ string_of_int i) true (t >= a.(i - 1)))
+    a;
+  (* realised rate of the draw is within a factor of the target *)
+  let offered = 500. /. a.(499) in
+  check "offered near target" true (offered > 50. && offered < 200.);
+  (* a prefix of the schedule is the schedule of a shorter run: the
+     per-request gaps depend only on (seed, i) *)
+  let short = Service.Loadgen.arrivals ~seed:7 ~rps:100. 100 in
+  check "prefix property" true (short = Array.sub a 0 100);
+  match Service.Loadgen.arrivals ~seed:1 ~rps:0. 10 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rps = 0 must be rejected"
+
+(* The request multiset and the schedule are invariant under the
+   process count — only the interleaving changes. *)
+let test_run_open_invariance () =
+  let server = start_server_exn (server_cfg (tmp_socket ())) in
+  let address = Service.Server.address server in
+  let run processes =
+    match
+      Service.Loadgen.run_open address ~processes ~requests:60 ~rps:600.
+        ~seed:5 ~distinct:4 ()
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "run_open: %s" (Dls.Errors.to_string e)
+  in
+  let one = run 1 in
+  let four = run 4 in
+  Service.Server.stop server;
+  check_int "ok invariant" one.Service.Loadgen.closed.Service.Loadgen.ok
+    four.Service.Loadgen.closed.Service.Loadgen.ok;
+  check_int "everything answered" 60
+    one.Service.Loadgen.closed.Service.Loadgen.ok;
+  check "offered rate is schedule-determined" true
+    (one.Service.Loadgen.offered_rps = four.Service.Loadgen.offered_rps);
+  check_int "processes reported" 4 four.Service.Loadgen.processes;
+  check "lag is measured" true (four.Service.Loadgen.max_lag_ms >= 0.)
+
+let test_run_open_accounting () =
+  let server = start_server_exn (server_cfg (tmp_socket ())) in
+  let address = Service.Server.address server in
+  let o =
+    match
+      Service.Loadgen.run_open address ~processes:2 ~requests:80 ~rps:400.
+        ~seed:11 ~distinct:5 ()
+    with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "run_open: %s" (Dls.Errors.to_string e)
+  in
+  Service.Server.stop server;
+  check "target recorded" true (o.Service.Loadgen.target_rps = 400.);
+  check "offered is one Poisson draw of the target" true
+    (o.Service.Loadgen.offered_rps > 200.
+    && o.Service.Loadgen.offered_rps < 800.);
+  let closed = o.Service.Loadgen.closed in
+  check_int "sent" 80 closed.Service.Loadgen.sent;
+  check_int "ok" 80 closed.Service.Loadgen.ok;
+  (* an open loop cannot finish before its own schedule *)
+  check "wall at least the schedule span" true
+    (closed.Service.Loadgen.wall_s
+    >= 80. /. o.Service.Loadgen.offered_rps -. 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let with_fleet ?(shards = 2) f =
+  let servers =
+    List.init shards (fun _ -> start_server_exn (server_cfg (tmp_socket ())))
+  in
+  let cfg =
+    Service.Router.default_config
+      (Service.Server.Unix_socket (tmp_socket ()))
+      ~shard_addresses:(List.map Service.Server.address servers)
+  in
+  let router = start_router_exn cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Router.stop router;
+      List.iter Service.Server.stop servers)
+    (fun () -> f router servers)
+
+(* Responses through the router are byte-identical to a plain daemon's
+   (which test_service pins against the direct exact solve). *)
+let test_router_bit_identity () =
+  let reference = start_server_exn (server_cfg (tmp_socket ())) in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.stop reference)
+    (fun () ->
+      with_fleet (fun router _ ->
+          List.iter
+            (fun p ->
+              let req = solve_req p in
+              let direct =
+                P.response_to_string
+                  (request_via (Service.Server.address reference) req)
+              in
+              let routed =
+                P.response_to_string
+                  (request_via (Service.Router.address router) req)
+              in
+              check_str "routed = direct" direct routed)
+            [ p2 (); p3 () ]))
+
+(* Equal requests land on one shard, and that shard is the ring
+   owner. *)
+let test_router_affinity () =
+  with_fleet (fun router servers ->
+      let req = solve_req (p2 ()) in
+      let owner = Service.Router.shard_of_key router (P.request_key req) in
+      for _ = 1 to 3 do
+        ignore (request_via (Service.Router.address router) req)
+      done;
+      let s = Service.Router.stats router in
+      check_int "all three on the owner" 3
+        s.Service.Router.r_routed.(owner);
+      check_int "nothing elsewhere" 3
+        (Array.fold_left ( + ) 0 s.Service.Router.r_routed);
+      check_int "no failovers" 0 s.Service.Router.r_failovers;
+      (* the owning daemon collapsed the repeats into its cache *)
+      let owner_stats = Service.Server.stats (List.nth servers owner) in
+      check_int "owner served every copy" 3 owner_stats.P.served)
+
+(* Killing the owning shard must degrade capacity, not availability:
+   the request fails over to the ring successor and still answers
+   bit-identically. *)
+let test_router_failover () =
+  with_fleet (fun router servers ->
+      let req = solve_req (p3 ()) in
+      let expected =
+        P.response_to_string (request_via (Service.Router.address router) req)
+      in
+      let owner = Service.Router.shard_of_key router (P.request_key req) in
+      Service.Server.stop (List.nth servers owner);
+      let after =
+        P.response_to_string (request_via (Service.Router.address router) req)
+      in
+      check_str "failover answer bit-identical" expected after;
+      let s = Service.Router.stats router in
+      check "failover counted" true (s.Service.Router.r_failovers >= 1);
+      check_int "nothing unavailable" 0 s.Service.Router.r_unavailable)
+
+(* The control plane speaks for the whole fleet: stats fan out and
+   merge, hello is answered locally, malformed lines never reach a
+   shard. *)
+let test_router_control_plane () =
+  with_fleet (fun router servers ->
+      ignore (request_via (Service.Router.address router) (solve_req (p2 ())));
+      ignore (request_via (Service.Router.address router) (solve_req (p3 ())));
+      let merged =
+        match request_via (Service.Router.address router) P.Stats with
+        | P.Ok_stats s -> s
+        | other ->
+          Alcotest.failf "expected stats, got %s" (P.response_to_string other)
+      in
+      let direct_sum =
+        List.fold_left
+          (fun acc srv -> acc + (Service.Server.stats srv).P.served)
+          0 servers
+      in
+      check_int "merged served = sum over shards" direct_sum merged.P.served;
+      (match request_via (Service.Router.address router) P.Health with
+      | P.Ok_health h -> check "fleet healthy" true h.P.healthy
+      | other ->
+        Alcotest.failf "expected health, got %s" (P.response_to_string other));
+      (match raw_via (Service.Router.address router) "hello" with
+      | P.Ok_hello _ -> ()
+      | other ->
+        Alcotest.failf "expected hello, got %s" (P.response_to_string other));
+      (match raw_via (Service.Router.address router) "no-such-verb x" with
+      | P.Unsupported _ -> ()
+      | other ->
+        Alcotest.failf "expected unsupported, got %s"
+          (P.response_to_string other));
+      (match raw_via (Service.Router.address router) "solve garbage" with
+      | P.Failed _ -> ()
+      | other ->
+        Alcotest.failf "expected failure, got %s"
+          (P.response_to_string other));
+      let s = Service.Router.stats router in
+      check "hello/malformed answered locally" true
+        (s.Service.Router.r_local >= 2);
+      check "fanouts counted" true (s.Service.Router.r_fanouts >= 2))
+
+(* ------------------------------------------------------------------ *)
+(* Wire format: JSON stats, merge, back compatibility                  *)
+(* ------------------------------------------------------------------ *)
+
+let sample_stats () =
+  {
+    P.accepted = 10;
+    served = 7;
+    rejected = 2;
+    timed_out = 1;
+    failed = 2;
+    malformed = 1;
+    batches = 4;
+    max_batch = 5;
+    collapsed = 3;
+    cache_hits = 6;
+    cache_misses = 4;
+    repair_probes = 3;
+    repair_wins = 2;
+    repair_pivots = 5;
+    dispatchers = 4;
+    steals = 6;
+    shed = 2;
+    brownouts = 1;
+    hangups = 3;
+    warm_hits = 5;
+    journal_appended = 9;
+    journal_replayed = 4;
+    store_hits = 6;
+    store_misses = 3;
+    store_demoted = 2;
+    compactions = 1;
+    queue_depth = 0;
+    inflight = 0;
+    p50_us = 256;
+    p90_us = 1024;
+    p99_us = 2048;
+    max_us = 1843;
+    uptime_s = 12.5;
+  }
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+(* The JSON rendering carries exactly the line format's fields. *)
+let test_stats_json () =
+  let json = P.stats_to_json (sample_stats ()) in
+  List.iter
+    (fun fragment -> check ("json has " ^ fragment) true (contains json fragment))
+    [
+      "\"served\":7";
+      "\"store_hits\":6";
+      "\"store_misses\":3";
+      "\"store_demoted\":2";
+      "\"compactions\":1";
+      "\"p99_us\":2048";
+      "\"uptime_s\":12.5";
+    ]
+
+let test_merge_stats () =
+  let a = sample_stats () in
+  let b = { a with P.served = 100; p99_us = 9999; uptime_s = 3.; max_batch = 2 } in
+  let m = P.merge_stats a [ b ] in
+  check_int "served sums" 107 m.P.served;
+  check_int "accepted sums" 20 m.P.accepted;
+  check_int "store_hits sums" 12 m.P.store_hits;
+  check_int "compactions sums" 2 m.P.compactions;
+  check_int "p99 is the worst" 9999 m.P.p99_us;
+  check_int "max_batch is the max" 5 m.P.max_batch;
+  check "uptime is the eldest" true (m.P.uptime_s = 12.5);
+  check_int "dispatchers sum across the fleet" 8 m.P.dispatchers;
+  (* merging nothing is the identity *)
+  check "identity" true (P.merge_stats a [] = a)
+
+(* A PR-9-era stats line (no store/compaction fields) must still
+   parse, with the new counters defaulting to zero. *)
+let test_stats_backcompat () =
+  let rendered = P.response_to_string (P.Ok_stats (sample_stats ())) in
+  (match P.parse_response rendered with
+  | Ok (P.Ok_stats s) -> check "round trip" true (s = sample_stats ())
+  | Ok other ->
+    Alcotest.failf "expected stats, got %s" (P.response_to_string other)
+  | Error e -> Alcotest.failf "parse: %s" (Dls.Errors.to_string e));
+  let old_line =
+    "ok stats accepted=10 served=7 rejected=2 timed_out=1 failed=2 \
+     malformed=1 batches=4 max_batch=5 collapsed=3 cache_hits=6 \
+     cache_misses=4 queue_depth=0 inflight=0 p50_us=256 p90_us=1024 \
+     p99_us=2048 max_us=1843 uptime_s=12.5"
+  in
+  match P.parse_response old_line with
+  | Ok (P.Ok_stats s) ->
+    check_int "store_hits defaults to 0" 0 s.P.store_hits;
+    check_int "store_misses defaults to 0" 0 s.P.store_misses;
+    check_int "store_demoted defaults to 0" 0 s.P.store_demoted;
+    check_int "compactions defaults to 0" 0 s.P.compactions
+  | Ok other ->
+    Alcotest.failf "expected stats, got %s" (P.response_to_string other)
+  | Error e -> Alcotest.failf "parse: %s" (Dls.Errors.to_string e)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "ring",
+        [
+          Alcotest.test_case "balance within 20% over 1k keys" `Quick
+            test_ring_balance;
+          Alcotest.test_case "minimal remap on shard removal" `Quick
+            test_ring_minimal_remap;
+          Alcotest.test_case "pinned hashes and lookups" `Quick
+            test_ring_determinism;
+          Alcotest.test_case "argument validation" `Quick test_ring_validation;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round trip + persistence" `Quick
+            test_store_roundtrip;
+          Alcotest.test_case "cross-handle visibility" `Quick
+            test_store_cross_handle;
+          Alcotest.test_case "compaction" `Quick test_store_compact;
+          Alcotest.test_case "torn tail tolerated" `Quick test_store_torn_tail;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "compact keeps latest live records" `Quick
+            test_journal_compact;
+          Alcotest.test_case "server compacts on byte budget" `Quick
+            test_server_journal_budget;
+        ] );
+      ( "tiering",
+        [
+          Alcotest.test_case "store carries answers across restart" `Quick
+            test_server_store_tier2;
+        ] );
+      ( "openloop",
+        [
+          Alcotest.test_case "arrival schedule" `Quick test_arrivals;
+          Alcotest.test_case "invariant under process count" `Quick
+            test_run_open_invariance;
+          Alcotest.test_case "offered vs achieved accounting" `Quick
+            test_run_open_accounting;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "bit-identity through the router" `Quick
+            test_router_bit_identity;
+          Alcotest.test_case "shard affinity" `Quick test_router_affinity;
+          Alcotest.test_case "failover past a dead shard" `Quick
+            test_router_failover;
+          Alcotest.test_case "merged control plane" `Quick
+            test_router_control_plane;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "stats as JSON" `Quick test_stats_json;
+          Alcotest.test_case "merge across shards" `Quick test_merge_stats;
+          Alcotest.test_case "old stats lines still parse" `Quick
+            test_stats_backcompat;
+        ] );
+    ]

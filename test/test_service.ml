@@ -166,6 +166,10 @@ let sample_responses () =
         warm_hits = 5;
         journal_appended = 9;
         journal_replayed = 4;
+        store_hits = 6;
+        store_misses = 3;
+        store_demoted = 2;
+        compactions = 1;
         queue_depth = 0;
         inflight = 0;
         p50_us = 256;
